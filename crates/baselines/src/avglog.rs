@@ -1,0 +1,117 @@
+//! Average·Log fact-finder (Pasternack & Roth, COLING 2010).
+//!
+//! A compromise between summing a source's claim beliefs (which over-
+//! rewards prolific sources) and averaging them (which ignores breadth):
+//!
+//! ```text
+//! T_i(s) = log(|F_s|) · avg_{f ∈ F_s} B_{i−1}(f)
+//! B_i(f) = Σ_{s ∈ S_f} T_i(s)
+//! ```
+//!
+//! over positive claims, with per-round max-normalisation and uniform
+//! initial beliefs. Note `log(1) = 0`: single-claim sources carry no
+//! weight, which is part of why the method is so conservative on the
+//! paper's datasets (recall 0.169 / 0.025 in Table 7).
+
+use ltm_model::{ClaimDb, TruthAssignment};
+
+use crate::graph::{normalize_max, PositiveGraph};
+use crate::method::TruthMethod;
+
+/// Average·Log iterations over positive claims.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvgLog {
+    /// Number of trust/belief rounds.
+    pub iterations: usize,
+}
+
+impl Default for AvgLog {
+    fn default() -> Self {
+        Self { iterations: 100 }
+    }
+}
+
+impl TruthMethod for AvgLog {
+    fn name(&self) -> &'static str {
+        "AvgLog"
+    }
+
+    fn infer(&self, db: &ClaimDb) -> TruthAssignment {
+        let g = PositiveGraph::new(db);
+        let mut belief = vec![1.0f64; g.num_facts()];
+        let mut trust = vec![0.0f64; g.num_sources()];
+
+        for _ in 0..self.iterations {
+            for s in db.source_ids() {
+                let facts = g.facts_of(s);
+                trust[s.index()] = if facts.is_empty() {
+                    0.0
+                } else {
+                    let avg = facts.iter().map(|&f| belief[f.index()]).sum::<f64>()
+                        / facts.len() as f64;
+                    (facts.len() as f64).ln() * avg
+                };
+            }
+            normalize_max(&mut trust);
+            for f in db.fact_ids() {
+                belief[f.index()] = g
+                    .sources_of(f)
+                    .iter()
+                    .map(|&s| trust[s.index()])
+                    .sum::<f64>();
+            }
+            normalize_max(&mut belief);
+        }
+        TruthAssignment::new(belief)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::fixtures::{fact_id, table1};
+
+    #[test]
+    fn multi_claim_sources_dominate() {
+        let (raw, db) = table1();
+        let t = AvgLog::default().infer(&db);
+        // Facts supported by the 3-claim sources (IMDB, BadSource) outrank
+        // the fact supported only by single-claim Hulu.
+        let daniel = t.prob(fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe"));
+        let pirates = t.prob(fact_id(&raw, &db, "Pirates 4", "Johnny Depp"));
+        assert!(daniel > pirates);
+        // Single-claim source has log(1) = 0 trust → its fact scores 0.
+        assert_eq!(pirates, 0.0);
+    }
+
+    #[test]
+    fn support_ordering_preserved() {
+        // AvgLog's conservativeness (Table 7: precision 1, recall 0.17)
+        // emerges at dataset scale; on the tiny Table 1 fixture we check
+        // the ranking it induces instead.
+        let (raw, db) = table1();
+        let t = AvgLog::default().infer(&db);
+        let daniel = t.prob(fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe"));
+        let emma = t.prob(fact_id(&raw, &db, "Harry Potter", "Emma Watson"));
+        let rupert = t.prob(fact_id(&raw, &db, "Harry Potter", "Rupert Grint"));
+        assert!(daniel >= emma && emma >= rupert);
+        assert!((daniel - 1.0).abs() < 1e-12, "top fact max-normalised to 1");
+    }
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let (_, db) = table1();
+        let m = AvgLog::default();
+        let a = m.infer(&db);
+        assert_eq!(a, m.infer(&db));
+        for f in db.fact_ids() {
+            assert!((0.0..=1.0).contains(&a.prob(f)));
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = ClaimDb::from_parts(vec![], vec![], 0);
+        assert!(AvgLog::default().infer(&db).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! The positive-claim bipartite graph shared by the link-analysis
+//! baselines.
+//!
+//! TruthFinder, HITS, AvgLog, Investment, and PooledInvestment all operate
+//! on the bipartite graph whose edges are *positive* claims: source `s` —
+//! fact `f` whenever `s` asserted `f`. This helper materialises both
+//! adjacency directions once so the iterative methods stay O(edges) per
+//! round.
+
+use ltm_model::{ClaimDb, FactId, SourceId};
+
+/// Bipartite adjacency over positive claims.
+#[derive(Debug, Clone)]
+pub struct PositiveGraph {
+    /// `facts_of[s]` — facts positively asserted by source `s`.
+    facts_of: Vec<Vec<FactId>>,
+    /// `sources_of[f]` — sources positively asserting fact `f`.
+    sources_of: Vec<Vec<SourceId>>,
+    num_edges: usize,
+}
+
+impl PositiveGraph {
+    /// Builds the graph from a claim database.
+    pub fn new(db: &ClaimDb) -> Self {
+        let mut facts_of = vec![Vec::new(); db.num_sources()];
+        let mut sources_of = vec![Vec::new(); db.num_facts()];
+        let mut num_edges = 0;
+        for f in db.fact_ids() {
+            for (s, o) in db.claims_of_fact(f) {
+                if o {
+                    facts_of[s.index()].push(f);
+                    sources_of[f.index()].push(s);
+                    num_edges += 1;
+                }
+            }
+        }
+        Self {
+            facts_of,
+            sources_of,
+            num_edges,
+        }
+    }
+
+    /// Facts positively asserted by `s`.
+    #[inline]
+    pub fn facts_of(&self, s: SourceId) -> &[FactId] {
+        &self.facts_of[s.index()]
+    }
+
+    /// Sources positively asserting `f`.
+    #[inline]
+    pub fn sources_of(&self, f: FactId) -> &[SourceId] {
+        &self.sources_of[f.index()]
+    }
+
+    /// Out-degree of source `s` (`|F_s|` in the Pasternack–Roth notation).
+    #[inline]
+    pub fn source_degree(&self, s: SourceId) -> usize {
+        self.facts_of[s.index()].len()
+    }
+
+    /// Number of sources in the id space.
+    pub fn num_sources(&self) -> usize {
+        self.facts_of.len()
+    }
+
+    /// Number of facts in the id space.
+    pub fn num_facts(&self) -> usize {
+        self.sources_of.len()
+    }
+
+    /// Number of positive claims (edges).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+}
+
+/// Normalises a score vector by its maximum so the largest entry is 1;
+/// leaves an all-zero vector unchanged. Shared by the iterative baselines,
+/// which renormalise every round to avoid numeric blow-up, as
+/// Pasternack & Roth prescribe.
+pub(crate) fn normalize_max(v: &mut [f64]) {
+    let max = v.iter().copied().fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for x in v {
+            *x /= max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::fixtures::table1;
+
+    #[test]
+    fn graph_matches_positive_claims() {
+        let (_, db) = table1();
+        let g = PositiveGraph::new(&db);
+        assert_eq!(g.num_edges(), db.num_positive_claims());
+        assert_eq!(g.num_facts(), db.num_facts());
+        assert_eq!(g.num_sources(), db.num_sources());
+        // Cross-check both directions agree edge by edge.
+        let mut forward = 0;
+        for s in db.source_ids() {
+            for &f in g.facts_of(s) {
+                assert!(g.sources_of(f).contains(&s));
+                forward += 1;
+            }
+        }
+        assert_eq!(forward, g.num_edges());
+    }
+
+    #[test]
+    fn degrees_match_table1() {
+        let (raw, db) = table1();
+        let g = PositiveGraph::new(&db);
+        let sid = |n: &str| raw.source_id(n).unwrap();
+        assert_eq!(g.source_degree(sid("IMDB")), 3);
+        assert_eq!(g.source_degree(sid("Netflix")), 1);
+        assert_eq!(g.source_degree(sid("BadSource.com")), 3);
+        assert_eq!(g.source_degree(sid("Hulu.com")), 1);
+    }
+
+    #[test]
+    fn normalize_max_scales_and_handles_zero() {
+        let mut v = vec![2.0, 4.0, 1.0];
+        normalize_max(&mut v);
+        assert_eq!(v, vec![0.5, 1.0, 0.25]);
+        let mut z = vec![0.0, 0.0];
+        normalize_max(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Investment fact-finder (Pasternack & Roth, COLING 2010).
+//!
+//! Each source "invests" its trust uniformly across its claims and is paid
+//! back in proportion to its share of each claim's belief; belief grows
+//! non-linearly so well-funded claims pull ahead:
+//!
+//! ```text
+//! T_i(s) = Σ_{f ∈ F_s}  B_{i−1}(f) · (T_{i−1}(s)/|F_s|)
+//!                      / (Σ_{s' ∈ S_f} T_{i−1}(s')/|F_s'|)
+//! B_i(f) = G( Σ_{s ∈ S_f} T_i(s) / |F_s| ),   G(x) = x^g,  g = 1.2
+//! ```
+//!
+//! over positive claims with per-round max-normalisation for numeric
+//! stability. Pasternack & Roth evaluate fact-finders by belief *ranking
+//! within each mutual-exclusion group*, so the final scores here are
+//! calibrated per entity (each entity's top fact scores 1, its competitors
+//! proportionally). This matches the over-optimistic behaviour the LTM
+//! paper reports for Investment on multi-truth data (FPR 1.0 at threshold
+//! 0.5 in Table 7): in sparse conflict data most facts are the best-funded
+//! claim of *some* entity and sail over the threshold.
+
+use ltm_model::{ClaimDb, TruthAssignment};
+
+use crate::graph::{normalize_max, PositiveGraph};
+use crate::method::TruthMethod;
+
+/// Investment iterations over positive claims.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Investment {
+    /// Belief growth exponent `g` (authors recommend 1.2).
+    pub growth: f64,
+    /// Number of rounds.
+    pub iterations: usize,
+}
+
+impl Default for Investment {
+    fn default() -> Self {
+        // 20 rounds is the Pasternack–Roth setting. The growth step makes
+        // the dynamics doubly exponential (beliefs behave like x^(g^n)), so
+        // many more rounds underflow every non-maximal belief to exactly
+        // zero; 20 keeps the ranking finite, which is how the method was
+        // designed to be read.
+        Self {
+            growth: 1.2,
+            iterations: 20,
+        }
+    }
+}
+
+impl TruthMethod for Investment {
+    fn name(&self) -> &'static str {
+        "Investment"
+    }
+
+    fn infer(&self, db: &ClaimDb) -> TruthAssignment {
+        let g = PositiveGraph::new(db);
+        let num_sources = g.num_sources();
+        let mut trust = vec![1.0f64; num_sources];
+        // Initial beliefs from uniform trust.
+        let mut belief: Vec<f64> = (0..g.num_facts())
+            .map(|i| {
+                invested_sum(&g, db, i, &trust).powf(self.growth)
+            })
+            .collect();
+        normalize_max(&mut belief);
+
+        for _ in 0..self.iterations {
+            // Trust update: each source reclaims its share of its claims'
+            // beliefs.
+            let mut new_trust = vec![0.0f64; num_sources];
+            for s in db.source_ids() {
+                let degree = g.source_degree(s) as f64;
+                if degree == 0.0 {
+                    continue;
+                }
+                let stake = trust[s.index()] / degree;
+                let mut total = 0.0;
+                for &f in g.facts_of(s) {
+                    let pool: f64 = g
+                        .sources_of(f)
+                        .iter()
+                        .map(|&s2| {
+                            trust[s2.index()] / g.source_degree(s2).max(1) as f64
+                        })
+                        .sum();
+                    if pool > 0.0 {
+                        total += belief[f.index()] * stake / pool;
+                    }
+                }
+                new_trust[s.index()] = total;
+            }
+            normalize_max(&mut new_trust);
+            trust = new_trust;
+
+            // Belief update with non-linear growth.
+            #[allow(clippy::needless_range_loop)] // index feeds invested_sum
+            for i in 0..belief.len() {
+                belief[i] = invested_sum(&g, db, i, &trust).powf(self.growth);
+            }
+            normalize_max(&mut belief);
+        }
+        // Final calibration: rescale within each entity's mutual-exclusion
+        // group (see the module docs).
+        for e in db.entity_ids() {
+            let group = db.facts_of_entity(e);
+            let max = group
+                .iter()
+                .map(|&f| belief[f.index()])
+                .fold(0.0f64, f64::max);
+            if max > 0.0 {
+                for &f in group {
+                    belief[f.index()] /= max;
+                }
+            }
+        }
+        TruthAssignment::new(belief)
+    }
+}
+
+/// `Σ_{s ∈ S_f} T(s) / |F_s|` — the trust invested into fact index `i`.
+fn invested_sum(g: &PositiveGraph, _db: &ClaimDb, i: usize, trust: &[f64]) -> f64 {
+    g.sources_of(ltm_model::FactId::from_usize(i))
+        .iter()
+        .map(|&s| trust[s.index()] / g.source_degree(s).max(1) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::fixtures::{fact_id, table1};
+
+    #[test]
+    fn support_ordering_preserved() {
+        let (raw, db) = table1();
+        let t = Investment::default().infer(&db);
+        let daniel = t.prob(fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe"));
+        let emma = t.prob(fact_id(&raw, &db, "Harry Potter", "Emma Watson"));
+        assert!(daniel >= emma);
+        assert!((daniel - 1.0).abs() < 1e-9, "top fact is max-normalised to 1");
+    }
+
+    #[test]
+    fn per_entity_calibration_keeps_singletons() {
+        // Pirates 4's only fact is the best-funded claim of its entity, so
+        // calibration pins it to 1 — the over-optimism the paper reports.
+        let (raw, db) = table1();
+        let t = Investment::default().infer(&db);
+        let pirates = t.prob(fact_id(&raw, &db, "Pirates 4", "Johnny Depp"));
+        assert_eq!(pirates, 1.0, "pirates = {pirates}");
+    }
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let (_, db) = table1();
+        let m = Investment::default();
+        let a = m.infer(&db);
+        assert_eq!(a, m.infer(&db));
+        for f in db.fact_ids() {
+            assert!((0.0..=1.0).contains(&a.prob(f)));
+        }
+    }
+
+    #[test]
+    fn growth_exponent_sharpens() {
+        let (raw, db) = table1();
+        let mild = Investment {
+            growth: 1.0,
+            ..Default::default()
+        }
+        .infer(&db);
+        let sharp = Investment {
+            growth: 2.0,
+            ..Default::default()
+        }
+        .infer(&db);
+        // Within the Harry Potter group, stronger growth widens the gap
+        // between the best-funded fact and a weakly-funded sibling.
+        let rupert = fact_id(&raw, &db, "Harry Potter", "Rupert Grint");
+        assert!(sharp.prob(rupert) <= mild.prob(rupert) + 1e-9);
+    }
+}

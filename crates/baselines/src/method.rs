@@ -1,0 +1,54 @@
+//! The common interface implemented by every truth-finding method.
+
+use ltm_model::{ClaimDb, TruthAssignment};
+
+/// A truth-finding method: consumes a claim database, produces a score in
+/// `[0, 1]` per fact ("the probability for each fact indicating how likely
+/// it is to be true", paper §6.2.1).
+///
+/// Implementations must be deterministic for a given input (the iterative
+/// baselines all have deterministic fixed-point updates; only LTM itself
+/// is stochastic, and it is seeded).
+pub trait TruthMethod {
+    /// Display name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Scores every fact of `db`.
+    fn infer(&self, db: &ClaimDb) -> TruthAssignment;
+}
+
+/// Shared test fixtures for the baseline implementations.
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use ltm_model::{ClaimDb, RawDatabase, RawDatabaseBuilder};
+
+    /// Paper Table 1.
+    pub fn table1() -> (RawDatabase, ClaimDb) {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+        b.add("Harry Potter", "Emma Watson", "IMDB");
+        b.add("Harry Potter", "Rupert Grint", "IMDB");
+        b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+        b.add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+        b.add("Harry Potter", "Emma Watson", "BadSource.com");
+        b.add("Harry Potter", "Johnny Depp", "BadSource.com");
+        b.add("Pirates 4", "Johnny Depp", "Hulu.com");
+        let raw = b.build();
+        let db = ClaimDb::from_raw(&raw);
+        (raw, db)
+    }
+
+    /// Finds the fact id for an (entity, attribute) name pair.
+    pub fn fact_id(
+        raw: &RawDatabase,
+        db: &ClaimDb,
+        entity: &str,
+        attr: &str,
+    ) -> ltm_model::FactId {
+        let e = raw.entity_id(entity).expect("entity exists");
+        let a = raw.attr_id(attr).expect("attr exists");
+        db.fact_ids()
+            .find(|&f| db.fact(f).entity == e && db.fact(f).attr == a)
+            .expect("fact exists")
+    }
+}

@@ -1,0 +1,158 @@
+//! PooledInvestment (Pasternack & Roth, IJCAI 2011).
+//!
+//! Like Investment, but a fact's grown belief is linearly rescaled within
+//! its *mutual-exclusion set* — here, the facts of the same entity — so
+//! belief mass is redistributed rather than inflated:
+//!
+//! ```text
+//! H_i(f) = Σ_{s ∈ S_f} T_i(s) / |F_s|
+//! B_i(f) = H_i(f) · G(H_i(f)) / Σ_{f' ∈ mutex(f)} G(H_i(f'))
+//! ```
+//!
+//! with `G(x) = x^g`, `g = 1.4` (the authors' recommended setting). Using
+//! the entity's fact group as the mutex set follows how the method is
+//! applied to multi-valued data in the LTM paper's comparison; it is also
+//! why the method ends up very conservative there — with several
+//! simultaneously-true facts per entity, pooling forces them to share
+//! belief (recall 0.142 / 0.025 in Table 7).
+
+use ltm_model::{ClaimDb, TruthAssignment};
+
+use crate::graph::{normalize_max, PositiveGraph};
+use crate::method::TruthMethod;
+
+/// PooledInvestment iterations over positive claims.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PooledInvestment {
+    /// Belief growth exponent `g` (authors recommend 1.4).
+    pub growth: f64,
+    /// Number of rounds.
+    pub iterations: usize,
+}
+
+impl Default for PooledInvestment {
+    fn default() -> Self {
+        // 20 rounds, as for `Investment`: the growth recursion is doubly
+        // exponential and long runs underflow all non-maximal beliefs.
+        Self {
+            growth: 1.4,
+            iterations: 20,
+        }
+    }
+}
+
+impl TruthMethod for PooledInvestment {
+    fn name(&self) -> &'static str {
+        "PooledInvestment"
+    }
+
+    fn infer(&self, db: &ClaimDb) -> TruthAssignment {
+        let g = PositiveGraph::new(db);
+        let num_sources = g.num_sources();
+        let mut trust = vec![1.0f64; num_sources];
+        let mut belief = pooled_beliefs(db, &g, &trust, self.growth);
+
+        for _ in 0..self.iterations {
+            let mut new_trust = vec![0.0f64; num_sources];
+            for s in db.source_ids() {
+                let degree = g.source_degree(s) as f64;
+                if degree == 0.0 {
+                    continue;
+                }
+                let stake = trust[s.index()] / degree;
+                let mut total = 0.0;
+                for &f in g.facts_of(s) {
+                    let pool: f64 = g
+                        .sources_of(f)
+                        .iter()
+                        .map(|&s2| trust[s2.index()] / g.source_degree(s2).max(1) as f64)
+                        .sum();
+                    if pool > 0.0 {
+                        total += belief[f.index()] * stake / pool;
+                    }
+                }
+                new_trust[s.index()] = total;
+            }
+            normalize_max(&mut new_trust);
+            trust = new_trust;
+            belief = pooled_beliefs(db, &g, &trust, self.growth);
+        }
+        TruthAssignment::new(belief)
+    }
+}
+
+/// Computes `H`, applies growth, and rescales within each entity's fact
+/// group; the result is already in `[0, 1]`.
+fn pooled_beliefs(db: &ClaimDb, g: &PositiveGraph, trust: &[f64], growth: f64) -> Vec<f64> {
+    let mut h = vec![0.0f64; db.num_facts()];
+    for f in db.fact_ids() {
+        h[f.index()] = g
+            .sources_of(f)
+            .iter()
+            .map(|&s| trust[s.index()] / g.source_degree(s).max(1) as f64)
+            .sum();
+    }
+    normalize_max(&mut h);
+    let mut belief = vec![0.0f64; db.num_facts()];
+    for e in db.entity_ids() {
+        let group = db.facts_of_entity(e);
+        let denom: f64 = group.iter().map(|&f| h[f.index()].powf(growth)).sum();
+        for &f in group {
+            belief[f.index()] = if denom > 0.0 {
+                h[f.index()] * h[f.index()].powf(growth) / denom
+            } else {
+                0.0
+            };
+        }
+    }
+    // The pooled scores are ≤ H(f) ≤ 1 but may be small; rescale to use the
+    // full [0, 1] range as the other fact-finders do.
+    normalize_max(&mut belief);
+    belief
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::fixtures::{fact_id, table1};
+
+    #[test]
+    fn pooling_penalises_siblings() {
+        let (raw, db) = table1();
+        let t = PooledInvestment::default().infer(&db);
+        // Within the Harry Potter pool the weakly-supported facts are
+        // crushed relative to Daniel Radcliffe.
+        let daniel = t.prob(fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe"));
+        let rupert = t.prob(fact_id(&raw, &db, "Harry Potter", "Rupert Grint"));
+        assert!(daniel > 2.0 * rupert, "daniel {daniel} vs rupert {rupert}");
+    }
+
+    #[test]
+    fn single_fact_entity_keeps_belief() {
+        // Pirates 4 has a singleton pool: no sibling competition.
+        let (raw, db) = table1();
+        let t = PooledInvestment::default().infer(&db);
+        let pirates = t.prob(fact_id(&raw, &db, "Pirates 4", "Johnny Depp"));
+        assert!(pirates > 0.0);
+    }
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let (_, db) = table1();
+        let m = PooledInvestment::default();
+        let a = m.infer(&db);
+        assert_eq!(a, m.infer(&db));
+        for f in db.fact_ids() {
+            assert!((0.0..=1.0).contains(&a.prob(f)));
+        }
+    }
+
+    #[test]
+    fn conservative_overall() {
+        // Table 7's qualitative shape: few facts clear threshold 0.5.
+        let (_, db) = table1();
+        let t = PooledInvestment::default().infer(&db);
+        let above = db.fact_ids().filter(|&f| t.prob(f) >= 0.5).count();
+        assert!(above <= 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! TruthFinder (Yin, Han & Yu, KDD 2007) — the first joint
+//! truth/source-quality iteration.
+//!
+//! TruthFinder models source trustworthiness `t(s)` as the average
+//! confidence of the facts it asserts, and fact confidence as the
+//! probability that *at least one* of its asserting sources is correct:
+//!
+//! ```text
+//! τ(s)  = −ln(1 − t(s))                    (trustworthiness score)
+//! σ*(f) = Σ_{s ∈ S_f⁺} τ(s)                (combined evidence)
+//! s(f)  = 1 / (1 + e^{−γ σ*(f)})           (confidence, dampened by γ)
+//! t(s)  = mean_{f ∈ F_s⁺} s(f)
+//! ```
+//!
+//! Only positive claims participate. The dampening factor `γ = 0.3` and
+//! initial trust `0.9` are the authors' recommended settings; the
+//! inter-fact similarity term ("implication") is not applicable here
+//! because the workspace integrates one segmented attribute type at a
+//! time, matching how the LTM paper ran it.
+//!
+//! The LTM paper's diagnosis (§6.2.1): because `s(f)` estimates "at least
+//! one positive source is right", TruthFinder is discriminative for
+//! picking the single best value but over-optimistic when several values
+//! may be true — on the claim table its scores cluster near 1 and its
+//! false-positive rate reaches 1.0 at threshold 0.5.
+
+use ltm_model::{ClaimDb, TruthAssignment};
+
+use crate::graph::PositiveGraph;
+use crate::method::TruthMethod;
+
+/// TruthFinder with the standard dampened-sigmoid update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruthFinder {
+    /// Dampening factor γ applied to the combined evidence.
+    pub gamma: f64,
+    /// Initial source trustworthiness.
+    pub initial_trust: f64,
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the max trust change.
+    pub tolerance: f64,
+}
+
+impl Default for TruthFinder {
+    fn default() -> Self {
+        Self {
+            gamma: 0.3,
+            initial_trust: 0.9,
+            max_iterations: 100,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+impl TruthMethod for TruthFinder {
+    fn name(&self) -> &'static str {
+        "TruthFinder"
+    }
+
+    fn infer(&self, db: &ClaimDb) -> TruthAssignment {
+        let g = PositiveGraph::new(db);
+        let mut trust = vec![self.initial_trust; g.num_sources()];
+        let mut confidence = vec![0.0f64; g.num_facts()];
+
+        for _ in 0..self.max_iterations {
+            // Fact confidences from source trust.
+            for f in db.fact_ids() {
+                let sigma: f64 = g
+                    .sources_of(f)
+                    .iter()
+                    // Clamp keeps τ finite when a source reaches trust 1.
+                    .map(|&s| -(1.0 - trust[s.index()].min(1.0 - 1e-12)).ln())
+                    .sum();
+                confidence[f.index()] = sigmoid(self.gamma * sigma);
+            }
+            // Source trust from fact confidences.
+            let mut max_delta = 0.0f64;
+            for s in db.source_ids() {
+                let facts = g.facts_of(s);
+                if facts.is_empty() {
+                    continue;
+                }
+                let new: f64 = facts.iter().map(|&f| confidence[f.index()]).sum::<f64>()
+                    / facts.len() as f64;
+                max_delta = max_delta.max((new - trust[s.index()]).abs());
+                trust[s.index()] = new;
+            }
+            if max_delta < self.tolerance {
+                break;
+            }
+        }
+        TruthAssignment::new(confidence)
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::fixtures::{fact_id, table1};
+
+    #[test]
+    fn more_support_means_higher_confidence() {
+        let (raw, db) = table1();
+        let t = TruthFinder::default().infer(&db);
+        let daniel = t.prob(fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe"));
+        let emma = t.prob(fact_id(&raw, &db, "Harry Potter", "Emma Watson"));
+        let rupert = t.prob(fact_id(&raw, &db, "Harry Potter", "Rupert Grint"));
+        assert!(daniel > emma, "3 sources beat 2");
+        assert!(emma > rupert, "2 sources beat 1");
+    }
+
+    #[test]
+    fn scores_are_overly_optimistic() {
+        // The paper's finding: every asserted fact scores above 0.5 — the
+        // negative evidence is invisible to TruthFinder.
+        let (_, db) = table1();
+        let t = TruthFinder::default().infer(&db);
+        for f in db.fact_ids() {
+            assert!(
+                t.prob(f) > 0.5,
+                "fact {f} scored {} — TruthFinder never rejects an asserted fact",
+                t.prob(f)
+            );
+        }
+    }
+
+    #[test]
+    fn converges_and_is_deterministic() {
+        let (_, db) = table1();
+        let m = TruthFinder::default();
+        assert_eq!(m.infer(&db), m.infer(&db));
+    }
+
+    #[test]
+    fn unasserted_fact_scores_half() {
+        // A fact with no positive sources gets σ* = 0 → sigmoid(0) = 0.5.
+        use ltm_model::{AttrId, Claim, EntityId, Fact, FactId, SourceId};
+        let facts = vec![
+            Fact {
+                entity: EntityId::new(0),
+                attr: AttrId::new(0),
+            },
+            Fact {
+                entity: EntityId::new(0),
+                attr: AttrId::new(1),
+            },
+        ];
+        let claims = vec![
+            Claim {
+                fact: FactId::new(0),
+                source: SourceId::new(0),
+                observation: true,
+            },
+            Claim {
+                fact: FactId::new(1),
+                source: SourceId::new(0),
+                observation: false,
+            },
+        ];
+        let db = ClaimDb::from_parts(facts, claims, 1);
+        let t = TruthFinder::default().infer(&db);
+        assert_eq!(t.prob(FactId::new(1)), 0.5);
+    }
+
+    #[test]
+    fn gamma_dampens_confidence() {
+        let (raw, db) = table1();
+        let low = TruthFinder {
+            gamma: 0.1,
+            ..Default::default()
+        }
+        .infer(&db);
+        let high = TruthFinder {
+            gamma: 1.0,
+            ..Default::default()
+        }
+        .infer(&db);
+        let f = fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe");
+        assert!(low.prob(f) < high.prob(f));
+    }
+}

@@ -1,0 +1,90 @@
+//! Majority voting (paper §6.2, "Voting").
+//!
+//! "For each fact, compute the proportion of corresponding claims that are
+//! positive." A fact asserted by all covering sources scores 1; one denied
+//! by all of them scores 0. Note that thanks to the claim-table
+//! construction this is vote-per-individual-attribute, which the paper
+//! points out is *fairer* than the concatenated-list voting used in
+//! earlier comparisons.
+
+use ltm_model::{ClaimDb, TruthAssignment};
+
+use crate::method::TruthMethod;
+
+/// Majority voting over the claim table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Voting;
+
+impl TruthMethod for Voting {
+    fn name(&self) -> &'static str {
+        "Voting"
+    }
+
+    fn infer(&self, db: &ClaimDb) -> TruthAssignment {
+        let probs = db
+            .fact_ids()
+            .map(|f| {
+                let obs = db.fact_claim_observations(f);
+                if obs.is_empty() {
+                    // No covering source at all: no evidence either way.
+                    0.5
+                } else {
+                    obs.iter().filter(|&&o| o).count() as f64 / obs.len() as f64
+                }
+            })
+            .collect();
+        TruthAssignment::new(probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::fixtures::{fact_id, table1};
+
+    #[test]
+    fn table1_vote_fractions() {
+        let (raw, db) = table1();
+        let t = Voting.infer(&db);
+        // Daniel Radcliffe: 3/3 positive.
+        assert_eq!(t.prob(fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe")), 1.0);
+        // Emma Watson: 2/3.
+        assert!(
+            (t.prob(fact_id(&raw, &db, "Harry Potter", "Emma Watson")) - 2.0 / 3.0).abs()
+                < 1e-12
+        );
+        // Rupert Grint: 1/3 — voting at threshold 0.5 wrongly rejects it,
+        // the paper's motivating failure.
+        assert!(
+            (t.prob(fact_id(&raw, &db, "Harry Potter", "Rupert Grint")) - 1.0 / 3.0).abs()
+                < 1e-12
+        );
+        // Johnny Depp in HP: 1/3 — indistinguishable from Rupert by votes.
+        assert_eq!(
+            t.prob(fact_id(&raw, &db, "Harry Potter", "Johnny Depp")),
+            t.prob(fact_id(&raw, &db, "Harry Potter", "Rupert Grint"))
+        );
+        // Pirates: single positive claim → 1.
+        assert_eq!(t.prob(fact_id(&raw, &db, "Pirates 4", "Johnny Depp")), 1.0);
+    }
+
+    #[test]
+    fn fact_without_claims_scores_half() {
+        use ltm_model::{AttrId, EntityId, Fact};
+        let db = ClaimDb::from_parts(
+            vec![Fact {
+                entity: EntityId::new(0),
+                attr: AttrId::new(0),
+            }],
+            vec![],
+            1,
+        );
+        assert_eq!(Voting.infer(&db).prob(ltm_model::FactId::new(0)), 0.5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, db) = table1();
+        assert_eq!(Voting.infer(&db), Voting.infer(&db));
+    }
+}

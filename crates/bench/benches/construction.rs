@@ -1,0 +1,30 @@
+//! Criterion micro-benchmark: claim-table construction (Definition 3)
+//! from raw triple databases of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltm_datagen::movies::{self, MovieConfig};
+use ltm_model::ClaimDb;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("claim_table_construction");
+    group.sample_size(10);
+    for raw_movies in [1_000usize, 2_000, 4_000] {
+        let data = movies::generate(&MovieConfig {
+            num_movies_raw: raw_movies,
+            labeled_entities: 10,
+            seed: 3,
+        });
+        group.throughput(criterion::Throughput::Elements(data.dataset.raw.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(raw_movies),
+            &data.dataset.raw,
+            |b, raw| {
+                b.iter(|| ClaimDb::from_raw(raw));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmark: collapsed Gibbs sampling cost versus data
+//! size (the per-iteration cost the paper proves linear in the number of
+//! claims) and log-space versus direct arithmetic (ablation A3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltm_core::{Arithmetic, LtmConfig, Priors, SampleSchedule};
+use ltm_datagen::synthetic::{self, SyntheticConfig};
+
+fn config(arithmetic: Arithmetic) -> LtmConfig {
+    LtmConfig {
+        priors: Priors::scaled_specificity(4_000),
+        schedule: SampleSchedule::new(10, 2, 0),
+        seed: 42,
+        arithmetic,
+    }
+}
+
+fn bench_gibbs_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gibbs_10_iterations");
+    group.sample_size(10);
+    for facts in [1_000usize, 2_000, 4_000] {
+        let data = synthetic::generate(&SyntheticConfig {
+            num_facts: facts,
+            num_sources: 20,
+            seed: 7,
+            ..Default::default()
+        });
+        group.throughput(criterion::Throughput::Elements(
+            data.claims.num_claims() as u64
+        ));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(facts),
+            &data.claims,
+            |b, db| {
+                b.iter(|| ltm_core::fit(db, &config(Arithmetic::LogSpace)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_arithmetic_parity(c: &mut Criterion) {
+    let data = synthetic::generate(&SyntheticConfig {
+        num_facts: 2_000,
+        num_sources: 20,
+        seed: 7,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("gibbs_arithmetic");
+    group.sample_size(10);
+    group.bench_function("log_space", |b| {
+        b.iter(|| ltm_core::fit(&data.claims, &config(Arithmetic::LogSpace)));
+    });
+    group.bench_function("direct", |b| {
+        b.iter(|| ltm_core::fit(&data.claims, &config(Arithmetic::Direct)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gibbs_scaling, bench_arithmetic_parity);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion micro-benchmark: LTMinc closed-form prediction (Equation 3)
+//! versus a full batch refit — the speedup that motivates §5.4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltm_core::{IncrementalLtm, LtmConfig};
+use ltm_datagen::movies::{self, MovieConfig};
+
+fn bench_incremental(c: &mut Criterion) {
+    let data = movies::generate(&MovieConfig {
+        num_movies_raw: 2_000,
+        labeled_entities: 10,
+        seed: 3,
+    });
+    let db = &data.dataset.claims;
+    let config = LtmConfig::scaled_for(db.num_facts());
+    let fit = ltm_core::fit(db, &config);
+    let predictor = IncrementalLtm::new(&fit.quality, &config.priors);
+
+    let mut group = c.benchmark_group("incremental_vs_batch");
+    group.sample_size(10);
+    group.bench_function("ltminc_predict", |b| {
+        b.iter(|| predictor.predict(db));
+    });
+    group.bench_function("batch_refit", |b| {
+        b.iter(|| ltm_core::fit(db, &config));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark: one fit of each truth-finding method on the
+//! same (reduced) movie dataset — the per-method cost behind Table 9.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltm_baselines::{all_baselines, TruthMethod};
+use ltm_bench::LtmMethod;
+use ltm_datagen::movies::{self, MovieConfig};
+
+fn bench_methods(c: &mut Criterion) {
+    let data = movies::generate(&MovieConfig {
+        num_movies_raw: 2_000,
+        labeled_entities: 10,
+        seed: 3,
+    });
+    let db = &data.dataset.claims;
+
+    let mut group = c.benchmark_group("method_fit");
+    group.sample_size(10);
+    for method in all_baselines() {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| method.infer(db));
+        });
+    }
+    let ltm = LtmMethod::scaled_for(db);
+    group.bench_function("LTM", |b| {
+        b.iter(|| ltm.infer(db));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

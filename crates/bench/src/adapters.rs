@@ -1,0 +1,182 @@
+//! [`TruthMethod`] adapters for the LTM family, so the harness evaluates
+//! LTM, LTMinc and LTMpos through the same interface as the baselines.
+
+use ltm_baselines::TruthMethod;
+use ltm_core::{IncrementalLtm, LtmConfig};
+use ltm_model::{Claim, ClaimDb, EntityId, GroundTruth, TruthAssignment};
+
+/// Full batch LTM (paper §5.2).
+#[derive(Debug, Clone)]
+pub struct LtmMethod {
+    /// Sampler configuration (priors, schedule, seed).
+    pub config: LtmConfig,
+}
+
+impl LtmMethod {
+    /// LTM with priors scaled for `db` and the paper's default schedule.
+    pub fn scaled_for(db: &ClaimDb) -> Self {
+        Self {
+            config: LtmConfig::scaled_for(db.num_facts()),
+        }
+    }
+}
+
+impl TruthMethod for LtmMethod {
+    fn name(&self) -> &'static str {
+        "LTM"
+    }
+
+    fn infer(&self, db: &ClaimDb) -> TruthAssignment {
+        ltm_core::fit(db, &self.config).truth
+    }
+}
+
+/// LTMpos — LTM run on positive claims only (paper §6.2).
+#[derive(Debug, Clone)]
+pub struct LtmPosMethod {
+    /// Sampler configuration.
+    pub config: LtmConfig,
+}
+
+impl TruthMethod for LtmPosMethod {
+    fn name(&self) -> &'static str {
+        "LTMpos"
+    }
+
+    fn infer(&self, db: &ClaimDb) -> TruthAssignment {
+        ltm_core::positive_only::fit(db, &self.config).truth
+    }
+}
+
+/// LTMinc — source quality is learned by batch LTM on all *unlabeled*
+/// entities, then Equation 3 predicts every fact with no iteration
+/// (paper §6.2: "run standard LTM on all the data except the 100 books or
+/// movies with labeled truth, then apply the output source quality to
+/// predict truth on the labeled data").
+#[derive(Debug, Clone)]
+pub struct LtmIncMethod {
+    /// Sampler configuration for the quality-learning fit.
+    pub config: LtmConfig,
+    /// Entities excluded from training (the labeled evaluation subset).
+    pub holdout: Vec<EntityId>,
+}
+
+impl LtmIncMethod {
+    /// Builds the adapter from a dataset's evaluation labels.
+    pub fn for_truth(config: LtmConfig, truth: &GroundTruth) -> Self {
+        Self {
+            config,
+            holdout: truth.entities().collect(),
+        }
+    }
+}
+
+impl TruthMethod for LtmIncMethod {
+    fn name(&self) -> &'static str {
+        "LTMinc"
+    }
+
+    fn infer(&self, db: &ClaimDb) -> TruthAssignment {
+        let training = without_entities(db, &self.holdout);
+        let fit = ltm_core::fit(&training, &self.config);
+        let predictor = IncrementalLtm::new(&fit.quality, &self.config.priors);
+        predictor.predict(db)
+    }
+}
+
+/// Returns a copy of `db` without the facts (and claims) of the given
+/// entities. Fact ids are re-assigned; the source id space is preserved,
+/// which is what allows quality learned on the subset to transfer.
+pub fn without_entities(db: &ClaimDb, exclude: &[EntityId]) -> ClaimDb {
+    let excluded: std::collections::HashSet<EntityId> = exclude.iter().copied().collect();
+    let mut facts = Vec::new();
+    let mut remap = vec![None; db.num_facts()];
+    for f in db.fact_ids() {
+        let fact = db.fact(f);
+        if !excluded.contains(&fact.entity) {
+            remap[f.index()] = Some(ltm_model::FactId::from_usize(facts.len()));
+            facts.push(fact);
+        }
+    }
+    let mut claims = Vec::new();
+    for f in db.fact_ids() {
+        if let Some(new_f) = remap[f.index()] {
+            for (source, observation) in db.claims_of_fact(f) {
+                claims.push(Claim {
+                    fact: new_f,
+                    source,
+                    observation,
+                });
+            }
+        }
+    }
+    ClaimDb::from_parts(facts, claims, db.num_sources())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltm_model::RawDatabaseBuilder;
+
+    fn db() -> (ltm_model::RawDatabase, ClaimDb) {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("A", "x", "s1");
+        b.add("A", "y", "s2");
+        b.add("B", "z", "s1");
+        b.add("C", "w", "s2");
+        let raw = b.build();
+        let claims = ClaimDb::from_raw(&raw);
+        (raw, claims)
+    }
+
+    #[test]
+    fn without_entities_drops_their_facts() {
+        let (raw, full) = db();
+        let a = raw.entity_id("A").unwrap();
+        let rest = without_entities(&full, &[a]);
+        assert_eq!(rest.num_facts(), 2);
+        assert_eq!(rest.num_sources(), full.num_sources());
+        for f in rest.fact_ids() {
+            assert_ne!(rest.fact(f).entity, a);
+        }
+    }
+
+    #[test]
+    fn without_entities_empty_exclusion_is_identity() {
+        let (_, full) = db();
+        let same = without_entities(&full, &[]);
+        assert_eq!(same.num_facts(), full.num_facts());
+        assert_eq!(same.num_claims(), full.num_claims());
+    }
+
+    #[test]
+    fn ltm_adapter_runs() {
+        let (_, full) = db();
+        let m = LtmMethod::scaled_for(&full);
+        let t = m.infer(&full);
+        assert_eq!(t.len(), full.num_facts());
+        assert_eq!(m.name(), "LTM");
+    }
+
+    #[test]
+    fn ltminc_adapter_excludes_holdout_from_training() {
+        let (raw, full) = db();
+        let a = raw.entity_id("A").unwrap();
+        let m = LtmIncMethod {
+            config: LtmConfig::scaled_for(full.num_facts()),
+            holdout: vec![a],
+        };
+        // Must still predict all facts of the full database.
+        let t = m.infer(&full);
+        assert_eq!(t.len(), full.num_facts());
+    }
+
+    #[test]
+    fn ltmpos_adapter_runs() {
+        let (_, full) = db();
+        let m = LtmPosMethod {
+            config: LtmConfig::scaled_for(full.num_facts()),
+        };
+        assert_eq!(m.infer(&full).len(), full.num_facts());
+    }
+}

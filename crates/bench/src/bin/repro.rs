@@ -1,0 +1,164 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [OPTIONS] <COMMAND>...
+//!
+//! Commands:
+//!   stats                 dataset statistics (paper §6.1.1)
+//!   table7                effectiveness at threshold 0.5
+//!   table8                movie source-quality case study
+//!   table9                runtime scaling of all methods
+//!   fig2                  accuracy vs threshold curves
+//!   fig3                  AUC per method per dataset
+//!   fig4                  synthetic source-quality degradation
+//!   fig5                  convergence with confidence intervals
+//!   fig6                  runtime vs claims + linear fit
+//!   ablation-prior        specificity-prior strength sweep (A2)
+//!   ablation-adversarial  §7 adversarial filtering (A4)
+//!   all                   everything above
+//!
+//! Options:
+//!   --out <DIR>      output directory for JSON artifacts
+//!                    (default target/experiments)
+//!   --repeats <N>    timing/convergence repeats (default 3; paper uses 10)
+//!   --fast           ~10x smaller datasets, for smoke runs
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ltm_bench::experiments::{ablations, fig2, fig3, fig4, fig5, fig6, table7, table8, table9};
+use ltm_bench::Suite;
+
+struct Options {
+    out: PathBuf,
+    repeats: usize,
+    fast: bool,
+    commands: Vec<String>,
+}
+
+const COMMANDS: [&str; 12] = [
+    "stats",
+    "table7",
+    "table8",
+    "table9",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ablation-prior",
+    "ablation-adversarial",
+    "all",
+];
+
+fn parse_args() -> Result<Options, String> {
+    let mut out = PathBuf::from("target/experiments");
+    let mut repeats = 3usize;
+    let mut fast = false;
+    let mut commands = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out requires a directory")?);
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .ok_or("--repeats requires a number")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+                if repeats == 0 {
+                    return Err("--repeats must be at least 1".into());
+                }
+            }
+            "--fast" => fast = true,
+            "--help" | "-h" => {
+                commands.clear();
+                commands.push("help".to_string());
+                return Ok(Options {
+                    out,
+                    repeats,
+                    fast,
+                    commands,
+                });
+            }
+            cmd if COMMANDS.contains(&cmd) => commands.push(cmd.to_string()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if commands.is_empty() {
+        return Err("no command given; try --help".into());
+    }
+    Ok(Options {
+        out,
+        repeats,
+        fast,
+        commands,
+    })
+}
+
+fn usage() -> &'static str {
+    "repro — regenerate the tables and figures of\n\
+     \"A Bayesian Approach to Discovering Truth from Conflicting Sources\"\n\
+     (Zhao et al., VLDB 2012)\n\n\
+     usage: repro [--out DIR] [--repeats N] [--fast] <command>...\n\
+     commands: stats table7 table8 table9 fig2 fig3 fig4 fig5 fig6\n\
+     \u{20}         ablation-prior ablation-adversarial all"
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.commands == ["help"] {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut commands: Vec<&str> = opts.commands.iter().map(String::as_str).collect();
+    if commands.contains(&"all") {
+        commands = COMMANDS[..COMMANDS.len() - 1].to_vec();
+    }
+
+    eprintln!(
+        "building datasets ({} scale)...",
+        if opts.fast { "fast" } else { "paper" }
+    );
+    let suite = Suite::new(opts.fast);
+    std::fs::create_dir_all(&opts.out).expect("create output directory");
+
+    for cmd in commands {
+        eprintln!("running {cmd}...");
+        let report = match cmd {
+            "stats" => {
+                let mut s = String::from("Dataset statistics (paper section 6.1.1)\n\n");
+                for d in [&suite.books, &suite.movies] {
+                    s.push_str(&format!("== {} ==\n{}\n\n", d.dataset.name, d.dataset.stats()));
+                }
+                s
+            }
+            "table7" => table7::run(&suite, &opts.out),
+            "table8" => table8::run(&suite, &opts.out),
+            "table9" => table9::run(&suite, &opts.out, opts.repeats),
+            "fig2" => fig2::run(&suite, &opts.out),
+            "fig3" => fig3::run(&suite, &opts.out),
+            "fig4" => fig4::run(&opts.out, opts.fast),
+            "fig5" => fig5::run(&suite, &opts.out, opts.repeats.max(3)),
+            "fig6" => fig6::run(&suite, &opts.out, opts.repeats),
+            "ablation-prior" => ablations::run_prior(&suite, &opts.out),
+            "ablation-adversarial" => ablations::run_adversarial(&suite, &opts.out),
+            other => unreachable!("validated command {other}"),
+        };
+        println!("{report}");
+    }
+    eprintln!("JSON artifacts written to {}", opts.out.display());
+    ExitCode::SUCCESS
+}

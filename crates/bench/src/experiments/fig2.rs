@@ -1,0 +1,88 @@
+//! **Figure 2** — accuracy versus decision threshold for every method, on
+//! the book data (left panel) and the movie data (right panel).
+
+use std::path::Path;
+
+use ltm_eval::report::{write_json, TextTable};
+use ltm_eval::sweep::{accuracy_series, best_threshold};
+use serde::Serialize;
+
+use crate::suite::Suite;
+
+/// One method's accuracy curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Curve {
+    /// Method name.
+    pub method: String,
+    /// `(threshold, accuracy)` over the 0.00..1.00 grid.
+    pub series: Vec<(f64, f64)>,
+    /// Best threshold and the accuracy there (the "optimal threshold" the
+    /// paper discusses per method).
+    pub best: (f64, f64),
+}
+
+/// The Figure 2 reproduction: one curve set per dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2 {
+    /// Curves on the book data.
+    pub books: Vec<Curve>,
+    /// Curves on the movie data.
+    pub movies: Vec<Curve>,
+}
+
+/// Sweeps every method's threshold on both datasets.
+pub fn run(suite: &Suite, out_dir: &Path) -> String {
+    let result = Fig2 {
+        books: curves_for(suite, true),
+        movies: curves_for(suite, false),
+    };
+    write_json(&out_dir.join("fig2.json"), &result).expect("write fig2.json");
+    render(&result)
+}
+
+fn curves_for(suite: &Suite, books: bool) -> Vec<Curve> {
+    let (data, config) = if books {
+        (&suite.books, suite.books_ltm_config())
+    } else {
+        (&suite.movies, suite.movies_ltm_config())
+    };
+    let truth = &data.dataset.truth;
+    let db = &data.dataset.claims;
+    suite
+        .methods_for(data, config)
+        .iter()
+        .map(|m| {
+            let pred = m.infer(db);
+            Curve {
+                method: m.name().to_string(),
+                series: accuracy_series(truth, &pred),
+                best: best_threshold(truth, &pred),
+            }
+        })
+        .collect()
+}
+
+fn render(f: &Fig2) -> String {
+    let mut out = String::from(
+        "Figure 2: accuracy vs threshold (sampled at 0.1 steps; full grid in fig2.json)\n\n",
+    );
+    for (name, curves) in [("book", &f.books), ("movie", &f.movies)] {
+        out.push_str(&format!("Inferring true {name} attributes\n"));
+        let mut headers = vec!["Threshold".to_string()];
+        headers.extend(curves.iter().map(|c| c.method.clone()));
+        let mut table = TextTable::new(headers);
+        for step in 0..=10 {
+            let idx = step * 10; // 0.0, 0.1, ..., 1.0 on the 101-point grid
+            let mut row = vec![format!("{:.1}", step as f64 / 10.0)];
+            row.extend(curves.iter().map(|c| format!("{:.3}", c.series[idx].1)));
+            table.row(row);
+        }
+        out.push_str(&table.render());
+        out.push_str("best threshold per method: ");
+        for c in curves {
+            out.push_str(&format!("{} {:.2}@{:.3}  ", c.method, c.best.0, c.best.1));
+        }
+        out.push_str("\n\n");
+    }
+    out
+}

@@ -1,0 +1,72 @@
+//! **Figure 3** — area under the ROC curve per method per dataset, sorted
+//! by decreasing average AUC.
+
+use std::path::Path;
+
+use ltm_eval::report::{fmt3, write_json, TextTable};
+use ltm_eval::roc::auc;
+use serde::Serialize;
+
+use crate::suite::Suite;
+
+/// AUC of one method on both datasets.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Method name.
+    pub method: String,
+    /// AUC on the book data.
+    pub books: f64,
+    /// AUC on the movie data.
+    pub movies: f64,
+}
+
+/// The Figure 3 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3 {
+    /// Rows sorted by decreasing mean AUC, as the paper plots them.
+    pub rows: Vec<Row>,
+}
+
+/// Computes every method's AUC on both datasets.
+pub fn run(suite: &Suite, out_dir: &Path) -> String {
+    let book_cfg = suite.books_ltm_config();
+    let movie_cfg = suite.movies_ltm_config();
+    let book_methods = suite.methods_for(&suite.books, book_cfg);
+    let movie_methods = suite.methods_for(&suite.movies, movie_cfg);
+
+    let mut rows: Vec<Row> = book_methods
+        .iter()
+        .zip(movie_methods.iter())
+        .map(|(bm, mm)| {
+            debug_assert_eq!(bm.name(), mm.name());
+            let b_pred = bm.infer(&suite.books.dataset.claims);
+            let m_pred = mm.infer(&suite.movies.dataset.claims);
+            Row {
+                method: bm.name().to_string(),
+                books: auc(&suite.books.dataset.truth, &b_pred),
+                movies: auc(&suite.movies.dataset.truth, &m_pred),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        let ma = a.books + a.movies;
+        let mb = b.books + b.movies;
+        mb.partial_cmp(&ma).expect("AUCs are finite")
+    });
+
+    let result = Fig3 { rows };
+    write_json(&out_dir.join("fig3.json"), &result).expect("write fig3.json");
+    render(&result)
+}
+
+fn render(f: &Fig3) -> String {
+    let mut out = String::from(
+        "Figure 3: area under the ROC curve per method per dataset (sorted by mean AUC)\n\n",
+    );
+    let mut table = TextTable::new(["Method", "Books AUC", "Movies AUC"]);
+    for r in &f.rows {
+        table.row([r.method.clone(), fmt3(r.books), fmt3(r.movies)]);
+    }
+    out.push_str(&table.render());
+    out
+}

@@ -1,0 +1,107 @@
+//! **Figure 5** — convergence of LTM on the movie data: accuracy after
+//! 7/10/20/50/100/200/500 total iterations (with the paper's burn-in and
+//! thinning schedule per point), repeated 10 times for mean and 95%
+//! confidence intervals.
+
+use std::path::Path;
+
+use ltm_core::{LtmConfig, SampleSchedule};
+use ltm_eval::metrics::evaluate;
+use ltm_eval::report::{write_json, TextTable};
+use ltm_stats::MeanCi;
+use rayon::prelude::*;
+use serde::Serialize;
+
+use crate::suite::Suite;
+
+/// The paper's seven prediction schedules: (iterations, burn-in, gap).
+pub const SCHEDULES: [(usize, usize, usize); 7] = [
+    (7, 2, 0),
+    (10, 2, 0),
+    (20, 5, 0),
+    (50, 10, 1),
+    (100, 20, 4),
+    (200, 50, 4),
+    (500, 100, 9),
+];
+
+/// One convergence point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Point {
+    /// Total iterations of the schedule.
+    pub iterations: usize,
+    /// Mean accuracy over the repeats.
+    pub mean_accuracy: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci_half_width: f64,
+}
+
+/// The Figure 5 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5 {
+    /// One point per schedule.
+    pub points: Vec<Point>,
+    /// Independent sampler runs per point.
+    pub repeats: usize,
+}
+
+/// Runs `repeats` chains (different seeds); each chain serves all seven
+/// schedules at once, exactly as the paper's "7 sequential predictions
+/// using the samples in the same run".
+pub fn run(suite: &Suite, out_dir: &Path, repeats: usize) -> String {
+    let db = &suite.movies.dataset.claims;
+    let truth = &suite.movies.dataset.truth;
+    let base = suite.movies_ltm_config();
+    let schedules: Vec<SampleSchedule> = SCHEDULES
+        .iter()
+        .map(|&(it, burn, gap)| SampleSchedule::new(it, burn, gap))
+        .collect();
+
+    // repeats × 7 accuracy values.
+    let per_run: Vec<Vec<f64>> = (0..repeats as u64)
+        .into_par_iter()
+        .map(|seed| {
+            let cfg = LtmConfig {
+                seed: 4000 + seed,
+                ..base
+            };
+            ltm_core::fit_with_schedules(db, &cfg, &schedules)
+                .into_iter()
+                .map(|t| evaluate(truth, &t, 0.5).accuracy)
+                .collect()
+        })
+        .collect();
+
+    let points: Vec<Point> = (0..schedules.len())
+        .map(|i| {
+            let values: Vec<f64> = per_run.iter().map(|run| run[i]).collect();
+            let ci = MeanCi::of(&values);
+            Point {
+                iterations: schedules[i].iterations,
+                mean_accuracy: ci.mean,
+                ci_half_width: ci.half_width,
+            }
+        })
+        .collect();
+
+    let result = Fig5 { points, repeats };
+    write_json(&out_dir.join("fig5.json"), &result).expect("write fig5.json");
+    render(&result)
+}
+
+fn render(f: &Fig5) -> String {
+    let mut out = format!(
+        "Figure 5: convergence of LTM on the movie data ({} repeats per point)\n\n",
+        f.repeats
+    );
+    let mut table = TextTable::new(["Iterations", "Mean accuracy", "95% CI half-width"]);
+    for p in &f.points {
+        table.row([
+            p.iterations.to_string(),
+            format!("{:.4}", p.mean_accuracy),
+            format!("{:.4}", p.ci_half_width),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}

@@ -1,0 +1,67 @@
+//! **Figure 6** — LTM runtime (100 iterations) as a function of the
+//! number of claims, with the least-squares line and its `R²` (the paper
+//! reports `R² = 0.9913` as evidence of linear scaling).
+
+use std::path::Path;
+
+use ltm_datagen::movies::entity_sample;
+use ltm_eval::report::{write_json, TextTable};
+use ltm_eval::timing::mean_seconds;
+use ltm_stats::SimpleOls;
+use serde::Serialize;
+
+use crate::suite::Suite;
+
+/// The Figure 6 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6 {
+    /// `(claims, seconds)` measurements.
+    pub measurements: Vec<(usize, f64)>,
+    /// Fitted slope (seconds per claim).
+    pub slope: f64,
+    /// Fitted intercept (seconds).
+    pub intercept: f64,
+    /// Coefficient of determination of the linear fit.
+    pub r_squared: f64,
+    /// Timing repeats per measurement.
+    pub repeats: usize,
+}
+
+/// Measures LTM runtime across entity-sampled subsets and fits a line.
+pub fn run(suite: &Suite, out_dir: &Path, repeats: usize) -> String {
+    let total = suite.movies.dataset.claims.entity_ids().count();
+    let config = suite.movies_ltm_config();
+    let mut measurements = Vec::new();
+    for (i, frac) in [0.2, 0.4, 0.6, 0.8, 1.0].iter().enumerate() {
+        let subset = entity_sample(&suite.movies, (total as f64 * frac) as usize, 5000 + i as u64);
+        let secs = mean_seconds(repeats, || ltm_core::fit(&subset.claims, &config));
+        measurements.push((subset.claims.num_claims(), secs));
+    }
+    let xs: Vec<f64> = measurements.iter().map(|&(c, _)| c as f64).collect();
+    let ys: Vec<f64> = measurements.iter().map(|&(_, s)| s).collect();
+    let fit = SimpleOls::fit(&xs, &ys);
+
+    let result = Fig6 {
+        measurements,
+        slope: fit.line.slope,
+        intercept: fit.line.intercept,
+        r_squared: fit.r_squared,
+        repeats,
+    };
+    write_json(&out_dir.join("fig6.json"), &result).expect("write fig6.json");
+    render(&result)
+}
+
+fn render(f: &Fig6) -> String {
+    let mut out = String::from("Figure 6: LTM runtime scaling in the number of claims\n\n");
+    let mut table = TextTable::new(["Claims", "Seconds"]);
+    for &(c, s) in &f.measurements {
+        table.row([c.to_string(), format!("{s:.3}")]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nlinear fit: seconds = {:.3e} x claims + {:.4}   (R^2 = {:.4}, paper: 0.9913)\n",
+        f.slope, f.intercept, f.r_squared
+    ));
+    out
+}

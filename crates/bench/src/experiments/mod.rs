@@ -1,0 +1,13 @@
+//! One module per reproduced table/figure (see DESIGN.md §4 for the
+//! experiment index). Each experiment returns a rendered text report and
+//! writes a JSON artifact under the output directory.
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table7;
+pub mod table8;
+pub mod table9;

@@ -1,0 +1,94 @@
+//! **Table 7** — inference results per dataset and per method at
+//! threshold 0.5: precision, recall, FPR, accuracy, F1.
+
+use std::path::Path;
+
+use ltm_eval::calibration::{brier_score, expected_calibration_error};
+use ltm_eval::metrics::{evaluate, Metrics};
+use ltm_eval::report::{fmt3, write_json, TextTable};
+use serde::Serialize;
+
+use crate::suite::Suite;
+
+/// One method's Table 7 row on one dataset, extended with the calibration
+/// measures that quantify the Figure 2 discussion (Brier score and
+/// expected calibration error; not in the paper's table, recorded in the
+/// JSON artifact).
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Method name.
+    pub method: String,
+    /// The five Table 7 measures.
+    pub metrics: Metrics,
+    /// Brier score (mean squared probability error; lower is better).
+    pub brier: f64,
+    /// Expected calibration error over 10 bins (lower is better).
+    pub ece: f64,
+}
+
+/// The full Table 7 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table7 {
+    /// Rows on the book data, in the paper's method order.
+    pub books: Vec<Row>,
+    /// Rows on the movie data.
+    pub movies: Vec<Row>,
+}
+
+/// Runs every method on both datasets and evaluates at threshold 0.5.
+pub fn run(suite: &Suite, out_dir: &Path) -> String {
+    let books = rows_for(suite, true);
+    let movies = rows_for(suite, false);
+    let result = Table7 { books, movies };
+    write_json(&out_dir.join("table7.json"), &result).expect("write table7.json");
+    render(&result)
+}
+
+fn rows_for(suite: &Suite, books: bool) -> Vec<Row> {
+    let (data, config) = if books {
+        (&suite.books, suite.books_ltm_config())
+    } else {
+        (&suite.movies, suite.movies_ltm_config())
+    };
+    let truth = &data.dataset.truth;
+    let db = &data.dataset.claims;
+    suite
+        .methods_for(data, config)
+        .iter()
+        .map(|m| {
+            let pred = m.infer(db);
+            Row {
+                method: m.name().to_string(),
+                metrics: evaluate(truth, &pred, 0.5),
+                brier: brier_score(truth, &pred),
+                ece: expected_calibration_error(truth, &pred, 10),
+            }
+        })
+        .collect()
+}
+
+fn render(t: &Table7) -> String {
+    let mut out = String::from(
+        "Table 7: inference results per dataset and per method (threshold 0.5)\n\n",
+    );
+    for (name, rows) in [("book", &t.books), ("movie", &t.movies)] {
+        out.push_str(&format!("Results on {name} data\n"));
+        let mut table = TextTable::new([
+            "Method", "Precision", "Recall", "FPR", "Accuracy", "F1", "Brier",
+        ]);
+        for r in rows {
+            table.row([
+                r.method.clone(),
+                fmt3(r.metrics.precision),
+                fmt3(r.metrics.recall),
+                fmt3(r.metrics.fpr),
+                fmt3(r.metrics.accuracy),
+                fmt3(r.metrics.f1),
+                fmt3(r.brier),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}

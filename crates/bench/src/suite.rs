@@ -1,0 +1,141 @@
+//! Dataset suite shared by all experiments: the two simulated datasets at
+//! paper scale (or a reduced "fast" scale for smoke runs), with fixed
+//! seeds so every experiment sees the same data.
+
+use ltm_baselines::{self as baselines, TruthMethod};
+use ltm_core::{LtmConfig, Priors, SampleSchedule};
+use ltm_datagen::{books, movies, BookConfig, GeneratedDataset, MovieConfig};
+
+use crate::adapters::{LtmIncMethod, LtmMethod, LtmPosMethod};
+
+/// The evaluation suite: both datasets plus the method configurations the
+/// paper uses on them.
+pub struct Suite {
+    /// Simulated book-author dataset.
+    pub books: GeneratedDataset,
+    /// Simulated movie-director dataset.
+    pub movies: GeneratedDataset,
+    /// Whether the suite was built at reduced scale.
+    pub fast: bool,
+}
+
+impl Suite {
+    /// Builds the suite at paper scale.
+    pub fn paper_scale() -> Self {
+        Self {
+            books: books::generate(&BookConfig::default()),
+            movies: movies::generate(&MovieConfig::default()),
+            fast: false,
+        }
+    }
+
+    /// A reduced-scale suite for smoke tests (~10× smaller, same
+    /// structure).
+    pub fn fast() -> Self {
+        Self {
+            books: books::generate(&BookConfig {
+                num_books: 150,
+                num_sources: 120,
+                mean_sources_per_book: 22.0,
+                labeled_entities: 40,
+                seed: 2012,
+            }),
+            movies: movies::generate(&MovieConfig {
+                num_movies_raw: 2_500,
+                labeled_entities: 60,
+                seed: 2012,
+            }),
+            fast: true,
+        }
+    }
+
+    /// Builds either scale.
+    pub fn new(fast: bool) -> Self {
+        if fast {
+            Self::fast()
+        } else {
+            Self::paper_scale()
+        }
+    }
+
+    /// The LTM configuration the paper uses for the book data
+    /// (`α₀ = (10, 1000)`, `α₁ = (50, 50)`, `β = (10, 10)`, 100 iterations
+    /// with burn-in 20 and gap 4).
+    pub fn books_ltm_config(&self) -> LtmConfig {
+        LtmConfig {
+            priors: if self.fast {
+                Priors::scaled_specificity(self.books.dataset.claims.num_facts())
+            } else {
+                Priors::paper_books()
+            },
+            schedule: SampleSchedule::paper_default(),
+            seed: 42,
+            arithmetic: Default::default(),
+        }
+    }
+
+    /// The LTM configuration for the movie data (`α₀ = (100, 10000)`).
+    pub fn movies_ltm_config(&self) -> LtmConfig {
+        LtmConfig {
+            priors: if self.fast {
+                Priors::scaled_specificity(self.movies.dataset.claims.num_facts())
+            } else {
+                Priors::paper_movies()
+            },
+            schedule: SampleSchedule::paper_default(),
+            seed: 42,
+            arithmetic: Default::default(),
+        }
+    }
+
+    /// All ten methods for a dataset, in the paper's Table 7 order.
+    pub fn methods_for(
+        &self,
+        data: &GeneratedDataset,
+        config: LtmConfig,
+    ) -> Vec<Box<dyn TruthMethod>> {
+        let mut methods: Vec<Box<dyn TruthMethod>> = vec![
+            Box::new(LtmIncMethod::for_truth(config, &data.dataset.truth)),
+            Box::new(LtmMethod { config }),
+            Box::new(baselines::ThreeEstimates::default()),
+            Box::new(baselines::Voting),
+            Box::new(baselines::TruthFinder::default()),
+            Box::new(baselines::Investment::default()),
+            Box::new(LtmPosMethod { config }),
+            Box::new(baselines::HubAuthority::default()),
+            Box::new(baselines::AvgLog::default()),
+            Box::new(baselines::PooledInvestment::default()),
+        ];
+        // Keep the declared order stable for reports.
+        debug_assert_eq!(methods.len(), 10);
+        methods.shrink_to_fit();
+        methods
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_suite_builds_and_names_are_unique() {
+        let suite = Suite::fast();
+        let cfg = suite.books_ltm_config();
+        let methods = suite.methods_for(&suite.books, cfg);
+        let mut names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 10);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10, "method names must be unique");
+    }
+
+    #[test]
+    fn paper_configs_match_section_6() {
+        let suite = Suite::fast();
+        // Even in fast mode the schedule matches the paper.
+        let cfg = suite.movies_ltm_config();
+        assert_eq!(cfg.schedule.iterations, 100);
+        assert_eq!(cfg.schedule.burn_in, 20);
+        assert_eq!(cfg.schedule.sample_gap, 4);
+    }
+}

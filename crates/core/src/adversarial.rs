@@ -1,0 +1,233 @@
+//! Adversarial-source filtering (paper Section 7, "Adversarial sources").
+//!
+//! LTM assumes sources have reasonable specificity and precision. A
+//! malicious source whose data is mostly false inflates the apparent
+//! specificity of benign sources (its garbage makes everyone else's
+//! negatives look right) and can make benign sources' false facts harder
+//! to detect. The paper's proposed remedy, implemented here, is to run LTM
+//! iteratively, after each round removing sources whose inferred
+//! specificity *and* precision fall below thresholds, then refitting on the
+//! surviving claims.
+
+use ltm_model::{Claim, ClaimDb, SourceId};
+
+use crate::gibbs::{self, LtmConfig, LtmFit};
+
+/// Thresholds below which a source is declared adversarial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversarialFilter {
+    /// A source is removed when `specificity < min_specificity` **and**
+    /// `precision < min_precision` (both sides low — conservative sources
+    /// with low recall are kept).
+    pub min_specificity: f64,
+    /// See `min_specificity`.
+    pub min_precision: f64,
+    /// Maximum filter-and-refit rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for AdversarialFilter {
+    fn default() -> Self {
+        Self {
+            min_specificity: 0.5,
+            min_precision: 0.5,
+            max_rounds: 5,
+        }
+    }
+}
+
+/// Result of iterative adversarial filtering.
+#[derive(Debug, Clone)]
+pub struct FilteredFit {
+    /// The fit on the final (filtered) database. Truth probabilities are
+    /// indexed by the *original* fact ids — facts keep their identity even
+    /// when some of their claims were removed.
+    pub fit: LtmFit,
+    /// Sources removed, in the order they were detected.
+    pub removed: Vec<SourceId>,
+    /// Rounds actually performed (≥ 1).
+    pub rounds: usize,
+}
+
+/// Runs LTM, removes adversarial sources, and refits until no source is
+/// flagged or `filter.max_rounds` is reached.
+pub fn fit_filtered(db: &ClaimDb, config: &LtmConfig, filter: &AdversarialFilter) -> FilteredFit {
+    let mut removed: Vec<SourceId> = Vec::new();
+    let mut current = db.clone();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let fit = gibbs::fit(&current, config);
+        let mut flagged: Vec<SourceId> = Vec::new();
+        for s in current.source_ids() {
+            if removed.contains(&s) || current.claims_of_source(s).is_empty() {
+                continue;
+            }
+            if fit.quality.specificity(s) < filter.min_specificity
+                && fit.quality.precision(s) < filter.min_precision
+            {
+                flagged.push(s);
+            }
+        }
+        if flagged.is_empty() || rounds >= filter.max_rounds {
+            return FilteredFit {
+                fit,
+                removed,
+                rounds,
+            };
+        }
+        removed.extend(flagged.iter().copied());
+        current = remove_sources(&current, &removed);
+    }
+}
+
+/// Returns a view of `db` without the claims of `sources`. Facts and the
+/// source id space are preserved so ids remain comparable.
+pub fn remove_sources(db: &ClaimDb, sources: &[SourceId]) -> ClaimDb {
+    let claims: Vec<Claim> = db
+        .all_claims()
+        .into_iter()
+        .filter(|c| !sources.contains(&c.source))
+        .collect();
+    ClaimDb::from_parts(db.facts().to_vec(), claims, db.num_sources())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::SampleSchedule;
+    use crate::priors::{BetaPair, Priors};
+    use ltm_model::{AttrId, EntityId, Fact, FactId};
+
+    /// 12 entities; 3 honest sources assert the true fact of each entity;
+    /// one adversarial source asserts a distinct false fact per entity and
+    /// none of the true ones.
+    fn spiked_db() -> (ClaimDb, SourceId) {
+        let n = 12u32;
+        let mut facts = Vec::new();
+        let mut claims = Vec::new();
+        let adversary = SourceId::new(3);
+        for e in 0..n {
+            let true_fact = FactId::new(2 * e);
+            let false_fact = FactId::new(2 * e + 1);
+            facts.push(Fact {
+                entity: EntityId::new(e),
+                attr: AttrId::new(2 * e),
+            });
+            facts.push(Fact {
+                entity: EntityId::new(e),
+                attr: AttrId::new(2 * e + 1),
+            });
+            for s in 0..3 {
+                claims.push(Claim {
+                    fact: true_fact,
+                    source: SourceId::new(s),
+                    observation: true,
+                });
+                claims.push(Claim {
+                    fact: false_fact,
+                    source: SourceId::new(s),
+                    observation: false,
+                });
+            }
+            claims.push(Claim {
+                fact: true_fact,
+                source: adversary,
+                observation: false,
+            });
+            claims.push(Claim {
+                fact: false_fact,
+                source: adversary,
+                observation: true,
+            });
+        }
+        (ClaimDb::from_parts(facts, claims, 4), adversary)
+    }
+
+    fn config() -> LtmConfig {
+        // The specificity prior is deliberately weak here: the filter
+        // compares the *smoothed* MAP specificity against the threshold,
+        // and the adversary's 12 false positives must be able to pull the
+        // estimate below 0.5 against the prior pseudo-counts.
+        LtmConfig {
+            priors: Priors {
+                alpha0: BetaPair::new(1.0, 5.0),
+                alpha1: BetaPair::new(5.0, 5.0),
+                beta: BetaPair::new(5.0, 5.0),
+            },
+            schedule: SampleSchedule::new(300, 60, 2),
+            seed: 77,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn detects_and_removes_adversary() {
+        let (db, adversary) = spiked_db();
+        let result = fit_filtered(&db, &config(), &AdversarialFilter::default());
+        assert!(
+            result.removed.contains(&adversary),
+            "adversary not removed; removed = {:?}",
+            result.removed
+        );
+        assert!(result.rounds >= 2, "needs at least one refit round");
+        // No honest source should be removed.
+        for s in 0..3 {
+            assert!(!result.removed.contains(&SourceId::new(s)));
+        }
+    }
+
+    #[test]
+    fn truth_improves_after_filtering() {
+        let (db, _) = spiked_db();
+        let plain = gibbs::fit(&db, &config());
+        let filtered = fit_filtered(&db, &config(), &AdversarialFilter::default());
+        // Count correctly resolved facts (even ids true, odd ids false).
+        let score = |t: &ltm_model::TruthAssignment| {
+            db.fact_ids()
+                .filter(|f| {
+                    let should_be_true = f.raw() % 2 == 0;
+                    (t.prob(*f) >= 0.5) == should_be_true
+                })
+                .count()
+        };
+        assert!(
+            score(&filtered.fit.truth) >= score(&plain.truth),
+            "filtering must not hurt accuracy on the spiked data"
+        );
+    }
+
+    #[test]
+    fn clean_data_removes_nothing() {
+        let (db, _) = spiked_db();
+        let clean = remove_sources(&db, &[SourceId::new(3)]);
+        let result = fit_filtered(&clean, &config(), &AdversarialFilter::default());
+        assert!(result.removed.is_empty());
+        assert_eq!(result.rounds, 1);
+    }
+
+    #[test]
+    fn remove_sources_preserves_facts_and_id_space() {
+        let (db, adversary) = spiked_db();
+        let filtered = remove_sources(&db, &[adversary]);
+        assert_eq!(filtered.num_facts(), db.num_facts());
+        assert_eq!(filtered.num_sources(), db.num_sources());
+        assert!(filtered.claims_of_source(adversary).is_empty());
+        assert_eq!(
+            filtered.num_claims(),
+            db.num_claims() - db.claims_of_source(adversary).len()
+        );
+    }
+
+    #[test]
+    fn max_rounds_is_respected() {
+        let (db, _) = spiked_db();
+        let filter = AdversarialFilter {
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let result = fit_filtered(&db, &config(), &filter);
+        assert_eq!(result.rounds, 1);
+        assert!(result.removed.is_empty(), "one round = no refit happened");
+    }
+}

@@ -1,0 +1,309 @@
+//! Per-source confusion-count matrices.
+//!
+//! The collapsed Gibbs sampler maintains, for every source `s`, the four
+//! counts `n_{s,i,j}` = number of `s`'s claims with observation `j` on
+//! facts currently labeled `i` (paper Equation 2):
+//!
+//! ```text
+//! n_{s,1,1} true positives     n_{s,0,1} false positives
+//! n_{s,1,0} false negatives    n_{s,0,0} true negatives
+//! ```
+//!
+//! [`GibbsCounts`] stores them as integers updated in O(1) per flip;
+//! [`ExpectedCounts`] stores their posterior expectations
+//! `E[n_{s,i,j}] = Σ_{c: s_c = s, o_c = j} p(t_{f_c} = i)` (paper §5.3).
+
+use ltm_model::{ClaimDb, SourceId, TruthAssignment};
+
+/// Flat index of `(source, label, observation)` in a count table.
+#[inline]
+fn idx(s: SourceId, label: bool, obs: bool) -> usize {
+    s.index() * 4 + (label as usize) * 2 + obs as usize
+}
+
+/// Integer confusion counts per source, updated incrementally by the
+/// sampler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GibbsCounts {
+    data: Vec<u32>,
+}
+
+impl GibbsCounts {
+    /// Zero counts for `num_sources` sources.
+    pub fn zeros(num_sources: usize) -> Self {
+        Self {
+            data: vec![0; num_sources * 4],
+        }
+    }
+
+    /// Counts computed from a full truth labeling: every claim contributes
+    /// to `n[s][t_f][o]`.
+    pub fn from_labels(db: &ClaimDb, labels: &[bool]) -> Self {
+        assert_eq!(labels.len(), db.num_facts(), "one label per fact required");
+        let mut counts = Self::zeros(db.num_sources());
+        for f in db.fact_ids() {
+            let t = labels[f.index()];
+            for (s, o) in db.claims_of_fact(f) {
+                counts.inc(s, t, o);
+            }
+        }
+        counts
+    }
+
+    /// `n_{s,label,obs}`.
+    #[inline]
+    pub fn get(&self, s: SourceId, label: bool, obs: bool) -> u32 {
+        self.data[idx(s, label, obs)]
+    }
+
+    /// Increments `n_{s,label,obs}`.
+    #[inline]
+    pub fn inc(&mut self, s: SourceId, label: bool, obs: bool) {
+        self.data[idx(s, label, obs)] += 1;
+    }
+
+    /// Decrements `n_{s,label,obs}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the count would go negative (that would
+    /// mean the sampler's bookkeeping diverged from the labeling).
+    #[inline]
+    pub fn dec(&mut self, s: SourceId, label: bool, obs: bool) {
+        debug_assert!(
+            self.data[idx(s, label, obs)] > 0,
+            "count underflow at source {s}, label {label}, obs {obs}"
+        );
+        self.data[idx(s, label, obs)] -= 1;
+    }
+
+    /// Moves one claim with observation `obs` of source `s` from label
+    /// `from` to label `!from` — the per-flip update of Algorithm 1.
+    #[inline]
+    pub fn flip(&mut self, s: SourceId, from: bool, obs: bool) {
+        self.dec(s, from, obs);
+        self.inc(s, !from, obs);
+    }
+
+    /// Total claims of source `s` under label `label`
+    /// (`n_{s,label,0} + n_{s,label,1}`).
+    #[inline]
+    pub fn label_total(&self, s: SourceId, label: bool) -> u32 {
+        self.data[idx(s, label, false)] + self.data[idx(s, label, true)]
+    }
+
+    /// Number of sources covered.
+    pub fn num_sources(&self) -> usize {
+        self.data.len() / 4
+    }
+
+    /// Total count across all cells (= number of claims accounted for).
+    pub fn total(&self) -> u64 {
+        self.data.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// Expected confusion counts per source under a posterior truth assignment
+/// (paper §5.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectedCounts {
+    data: Vec<f64>,
+}
+
+impl ExpectedCounts {
+    /// Zero counts for `num_sources` sources.
+    pub fn zeros(num_sources: usize) -> Self {
+        Self {
+            data: vec![0.0; num_sources * 4],
+        }
+    }
+
+    /// Computes `E[n_{s,i,j}] = Σ_{c: s_c = s, o_c = j} p(t_{f_c} = i)`
+    /// from posterior truth probabilities.
+    pub fn from_posterior(db: &ClaimDb, truth: &TruthAssignment) -> Self {
+        assert_eq!(
+            truth.len(),
+            db.num_facts(),
+            "posterior must cover every fact"
+        );
+        let mut e = Self::zeros(db.num_sources());
+        for f in db.fact_ids() {
+            let p1 = truth.prob(f);
+            let p0 = 1.0 - p1;
+            for (s, o) in db.claims_of_fact(f) {
+                e.data[idx(s, true, o)] += p1;
+                e.data[idx(s, false, o)] += p0;
+            }
+        }
+        e
+    }
+
+    /// `E[n_{s,label,obs}]`.
+    #[inline]
+    pub fn get(&self, s: SourceId, label: bool, obs: bool) -> f64 {
+        self.data[idx(s, label, obs)]
+    }
+
+    /// Adds another table cell-wise (used by streaming training to
+    /// accumulate counts across batches).
+    pub fn add_assign(&mut self, other: &ExpectedCounts) {
+        assert_eq!(self.data.len(), other.data.len(), "source count mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Number of sources covered.
+    pub fn num_sources(&self) -> usize {
+        self.data.len() / 4
+    }
+
+    /// Grows the table to cover at least `num_sources` sources.
+    pub fn grow(&mut self, num_sources: usize) {
+        if num_sources * 4 > self.data.len() {
+            self.data.resize(num_sources * 4, 0.0);
+        }
+    }
+
+    /// Total expected count (= number of claims accounted for).
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltm_model::{AttrId, Claim, EntityId, Fact, FactId};
+
+    /// Two facts, two sources; source 0 asserts both, source 1 asserts
+    /// only fact 0 (negative claim on fact 1).
+    fn tiny_db() -> ClaimDb {
+        let facts = vec![
+            Fact {
+                entity: EntityId::new(0),
+                attr: AttrId::new(0),
+            },
+            Fact {
+                entity: EntityId::new(0),
+                attr: AttrId::new(1),
+            },
+        ];
+        let claims = vec![
+            Claim {
+                fact: FactId::new(0),
+                source: SourceId::new(0),
+                observation: true,
+            },
+            Claim {
+                fact: FactId::new(0),
+                source: SourceId::new(1),
+                observation: true,
+            },
+            Claim {
+                fact: FactId::new(1),
+                source: SourceId::new(0),
+                observation: true,
+            },
+            Claim {
+                fact: FactId::new(1),
+                source: SourceId::new(1),
+                observation: false,
+            },
+        ];
+        ClaimDb::from_parts(facts, claims, 2)
+    }
+
+    #[test]
+    fn from_labels_counts_confusion() {
+        let db = tiny_db();
+        // Fact 0 true, fact 1 false.
+        let c = GibbsCounts::from_labels(&db, &[true, false]);
+        let s0 = SourceId::new(0);
+        let s1 = SourceId::new(1);
+        assert_eq!(c.get(s0, true, true), 1); // TP on fact 0
+        assert_eq!(c.get(s0, false, true), 1); // FP on fact 1
+        assert_eq!(c.get(s1, true, true), 1); // TP on fact 0
+        assert_eq!(c.get(s1, false, false), 1); // TN on fact 1
+        assert_eq!(c.get(s1, true, false), 0);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn flip_moves_one_unit() {
+        let db = tiny_db();
+        let mut c = GibbsCounts::from_labels(&db, &[true, false]);
+        let s0 = SourceId::new(0);
+        // Relabel fact 1 as true: s0's claim moves from (false,T) to (true,T).
+        c.flip(s0, false, true);
+        assert_eq!(c.get(s0, false, true), 0);
+        assert_eq!(c.get(s0, true, true), 2);
+        assert_eq!(c.total(), 4, "flip preserves total");
+    }
+
+    #[test]
+    fn label_total_sums_observations() {
+        let db = tiny_db();
+        let c = GibbsCounts::from_labels(&db, &[true, true]);
+        let s1 = SourceId::new(1);
+        assert_eq!(c.label_total(s1, true), 2); // one TP + one FN
+        assert_eq!(c.label_total(s1, false), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "count underflow")]
+    fn dec_underflow_caught_in_debug() {
+        let mut c = GibbsCounts::zeros(1);
+        c.dec(SourceId::new(0), true, true);
+    }
+
+    #[test]
+    fn expected_counts_from_posterior() {
+        let db = tiny_db();
+        let t = TruthAssignment::new(vec![1.0, 0.25]);
+        let e = ExpectedCounts::from_posterior(&db, &t);
+        let s1 = SourceId::new(1);
+        // s1: positive claim on fact 0 (p=1) → E[TP] += 1.
+        assert!((e.get(s1, true, true) - 1.0).abs() < 1e-12);
+        // s1: negative claim on fact 1 → E[FN] += 0.25, E[TN] += 0.75.
+        assert!((e.get(s1, true, false) - 0.25).abs() < 1e-12);
+        assert!((e.get(s1, false, false) - 0.75).abs() < 1e-12);
+        // Totals: every claim contributes p + (1−p) = 1.
+        assert!((e.total() - db.num_claims() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_counts_accumulate_and_grow() {
+        let db = tiny_db();
+        let t = TruthAssignment::new(vec![0.5, 0.5]);
+        let e1 = ExpectedCounts::from_posterior(&db, &t);
+        let mut acc = ExpectedCounts::zeros(2);
+        acc.add_assign(&e1);
+        acc.add_assign(&e1);
+        assert!((acc.total() - 8.0).abs() < 1e-12);
+        acc.grow(5);
+        assert_eq!(acc.num_sources(), 5);
+        assert!((acc.total() - 8.0).abs() < 1e-12, "growing keeps counts");
+    }
+
+    #[test]
+    fn expected_counts_match_gibbs_counts_at_certainty() {
+        // With a deterministic posterior the expected counts equal the
+        // integer counts.
+        let db = tiny_db();
+        let labels = [true, false];
+        let g = GibbsCounts::from_labels(&db, &labels);
+        let t = TruthAssignment::new(labels.iter().map(|&b| b as u8 as f64).collect());
+        let e = ExpectedCounts::from_posterior(&db, &t);
+        for s in db.source_ids() {
+            for label in [false, true] {
+                for obs in [false, true] {
+                    assert!(
+                        (e.get(s, label, obs) - g.get(s, label, obs) as f64).abs() < 1e-12
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Exact posterior inference by enumeration — the test oracle for the
+//! Gibbs sampler.
+//!
+//! With the quality parameters and fact priors integrated out (the same
+//! conjugacy the collapsed sampler exploits), the joint probability of a
+//! complete truth assignment `t ∈ {0,1}^F` and the observed claims is,
+//! up to a constant factor (paper Appendix A):
+//!
+//! ```text
+//! p(o, t) ∝ Π_f β_{t_f} · Π_s Π_{i∈{0,1}}
+//!     B(n_{s,i,1} + α_{i,1}, n_{s,i,0} + α_{i,0}) / B(α_{i,1}, α_{i,0})
+//! ```
+//!
+//! where `n_{s,i,j}` are the confusion counts of the full assignment.
+//! Enumerating all `2^F` assignments gives the exact marginals
+//! `p(t_f = 1 | o)`, feasible for `F ≤ ~20`. The workspace uses this to
+//! validate that the sampler converges to the true posterior on small
+//! instances (DESIGN.md §6).
+
+use ltm_model::{ClaimDb, TruthAssignment};
+use ltm_stats::special::ln_beta;
+
+use crate::counts::GibbsCounts;
+use crate::priors::Priors;
+
+/// Maximum number of facts accepted by [`posterior`]; beyond this the
+/// `2^F` enumeration is unreasonable.
+pub const MAX_EXACT_FACTS: usize = 20;
+
+/// Computes the exact posterior marginals `p(t_f = 1 | o)` by enumeration.
+///
+/// # Panics
+///
+/// Panics if `db` has more than [`MAX_EXACT_FACTS`] facts.
+pub fn posterior(db: &ClaimDb, priors: &Priors) -> TruthAssignment {
+    let f = db.num_facts();
+    assert!(
+        f <= MAX_EXACT_FACTS,
+        "exact inference limited to {MAX_EXACT_FACTS} facts, got {f}"
+    );
+    if f == 0 {
+        return TruthAssignment::new(vec![]);
+    }
+
+    let ln_b0 = ln_beta(priors.alpha0.pos, priors.alpha0.neg);
+    let ln_b1 = ln_beta(priors.alpha1.pos, priors.alpha1.neg);
+
+    // log-sum-exp accumulators: total evidence and per-fact "true" slices.
+    let mut max_seen = f64::NEG_INFINITY;
+    let mut joints: Vec<(u64, f64)> = Vec::with_capacity(1usize << f);
+
+    let mut labels = vec![false; f];
+    for mask in 0u64..(1u64 << f) {
+        for (i, l) in labels.iter_mut().enumerate() {
+            *l = (mask >> i) & 1 == 1;
+        }
+        let counts = GibbsCounts::from_labels(db, &labels);
+        let mut ln_joint = 0.0;
+        for &l in &labels {
+            ln_joint += priors.beta.count(l).ln();
+        }
+        for s in db.source_ids() {
+            // i = 0 (fact false): α₀ over (FP, TN) observations.
+            let fp = counts.get(s, false, true) as f64;
+            let tn = counts.get(s, false, false) as f64;
+            ln_joint += ln_beta(fp + priors.alpha0.pos, tn + priors.alpha0.neg) - ln_b0;
+            // i = 1 (fact true): α₁ over (TP, FN).
+            let tp = counts.get(s, true, true) as f64;
+            let fnn = counts.get(s, true, false) as f64;
+            ln_joint += ln_beta(tp + priors.alpha1.pos, fnn + priors.alpha1.neg) - ln_b1;
+        }
+        max_seen = max_seen.max(ln_joint);
+        joints.push((mask, ln_joint));
+    }
+
+    // Normalise in a numerically safe way relative to the max exponent.
+    let mut total = 0.0;
+    let mut per_fact_true = vec![0.0; f];
+    for &(mask, ln_joint) in &joints {
+        let w = (ln_joint - max_seen).exp();
+        total += w;
+        for (i, p) in per_fact_true.iter_mut().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                *p += w;
+            }
+        }
+    }
+    TruthAssignment::new(per_fact_true.into_iter().map(|p| p / total).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::{self, Arithmetic, LtmConfig, SampleSchedule};
+    use crate::priors::BetaPair;
+    use ltm_model::{AttrId, Claim, EntityId, Fact, FactId, SourceId};
+
+    fn priors() -> Priors {
+        Priors {
+            alpha0: BetaPair::new(1.0, 9.0),
+            alpha1: BetaPair::new(4.0, 2.0),
+            beta: BetaPair::new(2.0, 2.0),
+        }
+    }
+
+    /// One fact, one source, one positive claim — the posterior has a
+    /// closed form we can verify by hand.
+    #[test]
+    fn single_fact_single_claim_closed_form() {
+        let facts = vec![Fact {
+            entity: EntityId::new(0),
+            attr: AttrId::new(0),
+        }];
+        let claims = vec![Claim {
+            fact: FactId::new(0),
+            source: SourceId::new(0),
+            observation: true,
+        }];
+        let db = ClaimDb::from_parts(facts, claims, 1);
+        let p = priors();
+        // p(t=1) ∝ β₁ · E[φ¹] = β₁ · α₁₁/(α₁₁+α₁₀)
+        // p(t=0) ∝ β₀ · E[φ⁰] = β₀ · α₀₁/(α₀₁+α₀₀)
+        let w1 = p.beta.pos * p.alpha1.pos / p.alpha1.strength();
+        let w0 = p.beta.neg * p.alpha0.pos / p.alpha0.strength();
+        let expected = w1 / (w0 + w1);
+        let post = posterior(&db, &p);
+        assert!(
+            (post.prob(FactId::new(0)) - expected).abs() < 1e-12,
+            "got {}, expected {expected}",
+            post.prob(FactId::new(0))
+        );
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = ClaimDb::from_parts(vec![], vec![], 0);
+        assert!(posterior(&db, &priors()).is_empty());
+    }
+
+    #[test]
+    fn fact_with_no_claims_gets_beta_prior() {
+        let facts = vec![Fact {
+            entity: EntityId::new(0),
+            attr: AttrId::new(0),
+        }];
+        let db = ClaimDb::from_parts(facts, vec![], 1);
+        let post = posterior(&db, &priors());
+        // β = (2, 2) → p = 0.5.
+        assert!((post.prob(FactId::new(0)) - 0.5).abs() < 1e-12);
+    }
+
+    /// A 5-fact, 3-source instance with conflicts; the Gibbs sampler run
+    /// long must agree with enumeration. This is the core correctness test
+    /// of the whole reproduction.
+    fn small_conflict_db() -> ClaimDb {
+        let facts: Vec<Fact> = (0..5)
+            .map(|i| Fact {
+                entity: EntityId::new(i / 2),
+                attr: AttrId::new(i),
+            })
+            .collect();
+        let mut claims = Vec::new();
+        let pattern: [(u32, u32, bool); 11] = [
+            (0, 0, true),
+            (0, 1, true),
+            (0, 2, false),
+            (1, 0, true),
+            (1, 1, false),
+            (2, 0, false),
+            (2, 1, true),
+            (2, 2, true),
+            (3, 2, true),
+            (4, 0, true),
+            (4, 2, false),
+        ];
+        for (f, s, o) in pattern {
+            claims.push(Claim {
+                fact: FactId::new(f),
+                source: SourceId::new(s),
+                observation: o,
+            });
+        }
+        ClaimDb::from_parts(facts, claims, 3)
+    }
+
+    #[test]
+    fn gibbs_converges_to_exact_posterior() {
+        let db = small_conflict_db();
+        let p = priors();
+        let exact = posterior(&db, &p);
+        let cfg = LtmConfig {
+            priors: p,
+            schedule: SampleSchedule::new(60_000, 5_000, 0),
+            seed: 123,
+            arithmetic: Arithmetic::LogSpace,
+        };
+        let fit = gibbs::fit(&db, &cfg);
+        for f in db.fact_ids() {
+            assert!(
+                (fit.truth.prob(f) - exact.prob(f)).abs() < 0.02,
+                "fact {f}: gibbs {} vs exact {}",
+                fit.truth.prob(f),
+                exact.prob(f)
+            );
+        }
+    }
+
+    #[test]
+    fn direct_arithmetic_also_converges() {
+        let db = small_conflict_db();
+        let p = priors();
+        let exact = posterior(&db, &p);
+        let cfg = LtmConfig {
+            priors: p,
+            schedule: SampleSchedule::new(60_000, 5_000, 0),
+            seed: 321,
+            arithmetic: Arithmetic::Direct,
+        };
+        let fit = gibbs::fit(&db, &cfg);
+        for f in db.fact_ids() {
+            assert!(
+                (fit.truth.prob(f) - exact.prob(f)).abs() < 0.02,
+                "fact {f}: gibbs {} vs exact {}",
+                fit.truth.prob(f),
+                exact.prob(f)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exact inference limited")]
+    fn rejects_oversized_instance() {
+        let facts: Vec<Fact> = (0..21)
+            .map(|i| Fact {
+                entity: EntityId::new(i),
+                attr: AttrId::new(i),
+            })
+            .collect();
+        let db = ClaimDb::from_parts(facts, vec![], 1);
+        let _ = posterior(&db, &priors());
+    }
+
+    #[test]
+    fn marginals_sum_consistency() {
+        // The exact marginals must lie strictly inside (0,1) for facts with
+        // conflicting evidence.
+        let db = small_conflict_db();
+        let post = posterior(&db, &priors());
+        for f in db.fact_ids() {
+            let p = post.prob(f);
+            assert!(p > 0.0 && p < 1.0, "fact {f}: degenerate marginal {p}");
+        }
+    }
+}

@@ -1,0 +1,677 @@
+//! Collapsed Gibbs sampling for the Latent Truth Model
+//! (paper Section 5.2, Algorithm 1).
+//!
+//! The sampler iteratively resamples each fact's truth label from its
+//! conditional distribution given all other labels (paper Equation 2):
+//!
+//! ```text
+//! p(t_f = i | t_−f, o, s) ∝ β_i · Π_{c ∈ C_f}
+//!     (n⁻ᶠ_{s_c,i,o_c} + α_{i,o_c}) /
+//!     (n⁻ᶠ_{s_c,i,1} + n⁻ᶠ_{s_c,i,0} + α_{i,1} + α_{i,0})
+//! ```
+//!
+//! where `n⁻ᶠ` are the per-source confusion counts excluding fact `f`'s own
+//! claims. The source-quality parameters `φ⁰, φ¹` and the per-fact prior
+//! `θ_f` are integrated out thanks to Beta–Bernoulli conjugacy, so only the
+//! truth labels are sampled — one Boolean per fact — giving the linear
+//! `O(|C|)` per-iteration cost the paper reports.
+//!
+//! Deviations from the paper's pseudo-code are documented in DESIGN.md §5:
+//! by default the per-claim ratios accumulate in log-space and the flip
+//! probability is a stable sigmoid of the log-odds (identical results,
+//! immune to underflow on high-degree facts); the direct product of
+//! Algorithm 1 is available as [`Arithmetic::Direct`] for the parity
+//! ablation.
+
+use ltm_model::{ClaimDb, TruthAssignment};
+use ltm_stats::rng::{rng_from_seed, WorkspaceRng};
+use ltm_stats::special::sigmoid;
+use rand::Rng;
+
+use crate::counts::{ExpectedCounts, GibbsCounts};
+use crate::priors::{BetaPair, Priors, SourcePriors};
+use crate::quality::SourceQuality;
+
+/// How the per-claim conditional ratios are accumulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arithmetic {
+    /// Accumulate `ln` of each ratio; flip with `σ(Δ log-odds)`. Default —
+    /// numerically safe for facts with hundreds of claims.
+    #[default]
+    LogSpace,
+    /// Multiply raw ratios exactly as written in Algorithm 1.
+    Direct,
+}
+
+/// When samples are taken: total iterations, burn-in, and thinning gap.
+///
+/// After `burn_in` iterations, every `(sample_gap + 1)`-th iteration
+/// contributes a sample, up to `iterations` total — matching the schedules
+/// enumerated in the paper's convergence experiment (§6.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSchedule {
+    /// Total Gibbs iterations to run.
+    pub iterations: usize,
+    /// Iterations discarded before sampling starts.
+    pub burn_in: usize,
+    /// Iterations skipped between consecutive samples (0 = keep all).
+    pub sample_gap: usize,
+}
+
+impl SampleSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `burn_in < iterations` (the schedule must produce at
+    /// least one sample).
+    pub fn new(iterations: usize, burn_in: usize, sample_gap: usize) -> Self {
+        assert!(
+            burn_in < iterations,
+            "SampleSchedule: burn_in ({burn_in}) must be < iterations ({iterations})"
+        );
+        Self {
+            iterations,
+            burn_in,
+            sample_gap,
+        }
+    }
+
+    /// The paper's default experimental schedule: 100 iterations, burn-in
+    /// 20, sample gap 4.
+    pub fn paper_default() -> Self {
+        Self::new(100, 20, 4)
+    }
+
+    /// Whether iteration `iter` (1-based) contributes a sample.
+    #[inline]
+    fn samples_at(&self, iter: usize) -> bool {
+        iter > self.burn_in
+            && iter <= self.iterations
+            && (iter - self.burn_in).is_multiple_of(self.sample_gap + 1)
+    }
+
+    /// Number of samples the schedule will collect.
+    pub fn num_samples(&self) -> usize {
+        (self.iterations - self.burn_in) / (self.sample_gap + 1)
+    }
+}
+
+impl Default for SampleSchedule {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Full configuration of an LTM fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LtmConfig {
+    /// Prior hyperparameters.
+    pub priors: Priors,
+    /// Iteration/burn-in/thinning schedule.
+    pub schedule: SampleSchedule,
+    /// Seed for the sampler's RNG (initial labels + flips).
+    pub seed: u64,
+    /// Ratio-accumulation arithmetic.
+    pub arithmetic: Arithmetic,
+}
+
+impl LtmConfig {
+    /// Default configuration with priors scaled to `num_facts`
+    /// (see [`Priors::scaled_specificity`]).
+    pub fn scaled_for(num_facts: usize) -> Self {
+        Self {
+            priors: Priors::scaled_specificity(num_facts),
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for LtmConfig {
+    fn default() -> Self {
+        Self {
+            priors: Priors::default(),
+            schedule: SampleSchedule::default(),
+            seed: 42,
+            arithmetic: Arithmetic::default(),
+        }
+    }
+}
+
+/// Diagnostics recorded during sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitDiagnostics {
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Samples collected for the (primary) schedule.
+    pub samples: usize,
+    /// Number of label flips in each iteration — a cheap mixing indicator:
+    /// it starts high and settles once the chain reaches its mode.
+    pub flips_per_iteration: Vec<u32>,
+}
+
+/// The result of fitting the Latent Truth Model.
+#[derive(Debug, Clone)]
+pub struct LtmFit {
+    /// Posterior probability of truth per fact (`p(t_f = 1)` estimated by
+    /// the post-burn-in sample mean).
+    pub truth: TruthAssignment,
+    /// Two-sided source quality derived from the posterior (paper §5.3).
+    pub quality: SourceQuality,
+    /// Expected per-source confusion counts (the sufficient statistics for
+    /// incremental / streaming retraining, paper §5.4).
+    pub expected_counts: ExpectedCounts,
+    /// Sampler diagnostics.
+    pub diagnostics: FitDiagnostics,
+}
+
+/// Fits the Latent Truth Model on `db`.
+pub fn fit(db: &ClaimDb, config: &LtmConfig) -> LtmFit {
+    let priors = SourcePriors::uniform(config.priors, db.num_sources());
+    fit_with_source_priors(db, config, &priors)
+}
+
+/// Fits the model with per-source prior overrides — the entry point used
+/// by incremental/streaming training, where each source's learned quality
+/// counts are folded into its prior (paper §5.4).
+pub fn fit_with_source_priors(
+    db: &ClaimDb,
+    config: &LtmConfig,
+    source_priors: &SourcePriors,
+) -> LtmFit {
+    let (mut assignments, diagnostics) = run_chain(
+        db,
+        config,
+        source_priors,
+        std::slice::from_ref(&config.schedule),
+    );
+    let truth = assignments.pop().expect("one schedule yields one result");
+    let expected_counts = ExpectedCounts::from_posterior(db, &truth);
+    let quality = SourceQuality::from_expected_counts(&expected_counts, source_priors);
+    LtmFit {
+        truth,
+        quality,
+        expected_counts,
+        diagnostics,
+    }
+}
+
+/// Runs a single chain and reports the posterior estimate under several
+/// sampling schedules at once (all schedules share the same trajectory, as
+/// in the paper's convergence study, which makes "7 sequential predictions
+/// in the same run").
+///
+/// # Panics
+///
+/// Panics if `schedules` is empty.
+pub fn fit_with_schedules(
+    db: &ClaimDb,
+    config: &LtmConfig,
+    schedules: &[SampleSchedule],
+) -> Vec<TruthAssignment> {
+    assert!(!schedules.is_empty(), "need at least one schedule");
+    let priors = SourcePriors::uniform(config.priors, db.num_sources());
+    run_chain(db, config, &priors, schedules).0
+}
+
+/// The sampler core shared by all entry points.
+fn run_chain(
+    db: &ClaimDb,
+    config: &LtmConfig,
+    source_priors: &SourcePriors,
+    schedules: &[SampleSchedule],
+) -> (Vec<TruthAssignment>, FitDiagnostics) {
+    let num_facts = db.num_facts();
+    let max_iterations = schedules
+        .iter()
+        .map(|s| s.iterations)
+        .max()
+        .expect("non-empty schedules");
+
+    // Resolve per-source priors once into flat arrays indexed by source.
+    let num_sources = db.num_sources();
+    let alpha: [Vec<BetaPair>; 2] = [
+        (0..num_sources).map(|s| source_priors.alpha0_for(s)).collect(),
+        (0..num_sources).map(|s| source_priors.alpha1_for(s)).collect(),
+    ];
+    let beta = source_priors.base.beta;
+
+    let mut rng = rng_from_seed(config.seed);
+
+    // Initialisation: uniform random labels (Algorithm 1).
+    let mut labels: Vec<bool> = (0..num_facts).map(|_| rng.gen::<f64>() < 0.5).collect();
+    let mut counts = GibbsCounts::from_labels(db, &labels);
+
+    let mut acc: Vec<Vec<f64>> = schedules.iter().map(|_| vec![0.0; num_facts]).collect();
+    let mut samples_taken = vec![0usize; schedules.len()];
+    let mut flips_per_iteration = Vec::with_capacity(max_iterations);
+
+    for iter in 1..=max_iterations {
+        let mut flips = 0u32;
+        for f in db.fact_ids() {
+            let current = labels[f.index()];
+            let flip_prob = match config.arithmetic {
+                Arithmetic::LogSpace => {
+                    flip_probability_log(db, f, current, &counts, &alpha, beta)
+                }
+                Arithmetic::Direct => {
+                    flip_probability_direct(db, f, current, &counts, &alpha, beta)
+                }
+            };
+            if rng.gen::<f64>() < flip_prob {
+                labels[f.index()] = !current;
+                for (s, o) in db.claims_of_fact(f) {
+                    counts.flip(s, current, o);
+                }
+                flips += 1;
+            }
+        }
+        flips_per_iteration.push(flips);
+
+        for (k, schedule) in schedules.iter().enumerate() {
+            if schedule.samples_at(iter) {
+                samples_taken[k] += 1;
+                for (a, &t) in acc[k].iter_mut().zip(&labels) {
+                    *a += t as u8 as f64;
+                }
+            }
+        }
+    }
+
+    let assignments: Vec<TruthAssignment> = acc
+        .into_iter()
+        .zip(&samples_taken)
+        .map(|(sum, &n)| {
+            debug_assert!(n > 0, "schedule validation guarantees ≥ 1 sample");
+            TruthAssignment::new(sum.into_iter().map(|x| x / n as f64).collect())
+        })
+        .collect();
+
+    let diagnostics = FitDiagnostics {
+        iterations: max_iterations,
+        samples: samples_taken[0],
+        flips_per_iteration,
+    };
+    (assignments, diagnostics)
+}
+
+/// Flip probability via log-odds (default arithmetic).
+#[inline]
+fn flip_probability_log(
+    db: &ClaimDb,
+    f: ltm_model::FactId,
+    current: bool,
+    counts: &GibbsCounts,
+    alpha: &[Vec<BetaPair>; 2],
+    beta: BetaPair,
+) -> f64 {
+    let proposed = !current;
+    let mut log_odds = (beta.count(proposed) / beta.count(current)).ln();
+    for (s, o) in db.claims_of_fact(f) {
+        let a_cur = alpha[current as usize][s.index()];
+        let a_pro = alpha[proposed as usize][s.index()];
+        // Current label: exclude this claim's own contribution (the −1 of
+        // Algorithm 1). Proposed label: raw counts.
+        let num_cur = (counts.get(s, current, o) - 1) as f64 + a_cur.count(o);
+        let den_cur = (counts.label_total(s, current) - 1) as f64 + a_cur.strength();
+        let num_pro = counts.get(s, proposed, o) as f64 + a_pro.count(o);
+        let den_pro = counts.label_total(s, proposed) as f64 + a_pro.strength();
+        log_odds += (num_pro / den_pro).ln() - (num_cur / den_cur).ln();
+    }
+    sigmoid(log_odds)
+}
+
+/// Flip probability via direct products, exactly as Algorithm 1 writes it.
+#[inline]
+fn flip_probability_direct(
+    db: &ClaimDb,
+    f: ltm_model::FactId,
+    current: bool,
+    counts: &GibbsCounts,
+    alpha: &[Vec<BetaPair>; 2],
+    beta: BetaPair,
+) -> f64 {
+    let proposed = !current;
+    let mut p_cur = beta.count(current);
+    let mut p_pro = beta.count(proposed);
+    for (s, o) in db.claims_of_fact(f) {
+        let a_cur = alpha[current as usize][s.index()];
+        let a_pro = alpha[proposed as usize][s.index()];
+        p_cur *= ((counts.get(s, current, o) - 1) as f64 + a_cur.count(o))
+            / ((counts.label_total(s, current) - 1) as f64 + a_cur.strength());
+        p_pro *= (counts.get(s, proposed, o) as f64 + a_pro.count(o))
+            / ((counts.label_total(s, proposed)) as f64 + a_pro.strength());
+    }
+    if p_cur + p_pro == 0.0 {
+        // Both products underflowed — the very failure mode log-space
+        // arithmetic avoids; fall back to a fair coin.
+        return 0.5;
+    }
+    p_pro / (p_cur + p_pro)
+}
+
+/// Draws one forward sample of the generative process for testing: not part
+/// of inference, but kept here so tests and the synthetic generator agree
+/// on the model semantics.
+pub fn sample_labels_from_prior<R: Rng + ?Sized>(
+    num_facts: usize,
+    beta: BetaPair,
+    rng: &mut R,
+) -> Vec<bool> {
+    let theta = ltm_stats::Beta::new(beta.pos, beta.neg);
+    (0..num_facts)
+        .map(|_| rng.gen::<f64>() < theta.sample(rng))
+        .collect()
+}
+
+/// Convenience used by tests: a fresh workspace RNG.
+pub fn test_rng(seed: u64) -> WorkspaceRng {
+    rng_from_seed(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltm_model::{RawDatabaseBuilder, SourceId};
+
+    /// Paper Table 1 as a claim database.
+    fn table1_db() -> (ltm_model::RawDatabase, ClaimDb) {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+        b.add("Harry Potter", "Emma Watson", "IMDB");
+        b.add("Harry Potter", "Rupert Grint", "IMDB");
+        b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+        b.add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+        b.add("Harry Potter", "Emma Watson", "BadSource.com");
+        b.add("Harry Potter", "Johnny Depp", "BadSource.com");
+        b.add("Pirates 4", "Johnny Depp", "Hulu.com");
+        let raw = b.build();
+        let db = ClaimDb::from_raw(&raw);
+        (raw, db)
+    }
+
+    /// Table 1 plus three symmetry-breaking movies.
+    ///
+    /// In the bare Table 1 instance, IMDB and BadSource.com are *exactly*
+    /// symmetric under swapping Rupert Grint ↔ Johnny Depp (verified
+    /// against the exact-enumeration oracle: the two facts get identical
+    /// marginals), so no unsupervised method can separate them. The paper's
+    /// narrative assumes quality learned from the full crawl; these extra
+    /// movies supply that signal — IMDB and Netflix corroborate each other
+    /// while BadSource.com keeps adding junk actors nobody else lists.
+    fn extended_db() -> (ltm_model::RawDatabase, ClaimDb) {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+        b.add("Harry Potter", "Emma Watson", "IMDB");
+        b.add("Harry Potter", "Rupert Grint", "IMDB");
+        b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+        b.add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+        b.add("Harry Potter", "Emma Watson", "BadSource.com");
+        b.add("Harry Potter", "Johnny Depp", "BadSource.com");
+        b.add("Pirates 4", "Johnny Depp", "Hulu.com");
+        for (movie, a, bb, junk) in [
+            ("Inception", "Leonardo DiCaprio", "Ellen Page", "Fake Actor 1"),
+            ("Twilight", "Kristen Stewart", "Robert Pattinson", "Fake Actor 2"),
+            ("Avatar", "Sam Worthington", "Zoe Saldana", "Fake Actor 3"),
+        ] {
+            b.add(movie, a, "IMDB");
+            b.add(movie, bb, "IMDB");
+            b.add(movie, a, "Netflix");
+            b.add(movie, bb, "Netflix");
+            b.add(movie, a, "BadSource.com");
+            b.add(movie, junk, "BadSource.com");
+        }
+        let raw = b.build();
+        let db = ClaimDb::from_raw(&raw);
+        (raw, db)
+    }
+
+    fn small_config() -> LtmConfig {
+        LtmConfig {
+            priors: Priors {
+                alpha0: BetaPair::new(1.0, 10.0),
+                alpha1: BetaPair::new(5.0, 5.0),
+                beta: BetaPair::new(2.0, 2.0),
+            },
+            schedule: SampleSchedule::new(400, 100, 2),
+            seed: 7,
+            arithmetic: Arithmetic::LogSpace,
+        }
+    }
+
+    #[test]
+    fn schedule_sampling_pattern() {
+        let s = SampleSchedule::new(10, 2, 1);
+        // Samples at iterations 4, 6, 8, 10.
+        let hits: Vec<usize> = (1..=10).filter(|&i| s.samples_at(i)).collect();
+        assert_eq!(hits, vec![4, 6, 8, 10]);
+        assert_eq!(s.num_samples(), 4);
+    }
+
+    #[test]
+    fn schedule_paper_default_counts() {
+        let s = SampleSchedule::paper_default();
+        assert_eq!(s.num_samples(), 16); // (100 − 20) / 5
+    }
+
+    #[test]
+    #[should_panic(expected = "burn_in")]
+    fn schedule_rejects_all_burn_in() {
+        SampleSchedule::new(10, 10, 0);
+    }
+
+    #[test]
+    fn fit_is_deterministic_for_fixed_seed() {
+        let (_, db) = table1_db();
+        let cfg = small_config();
+        let a = fit(&db, &cfg);
+        let b = fit(&db, &cfg);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(
+            a.diagnostics.flips_per_iteration,
+            b.diagnostics.flips_per_iteration
+        );
+    }
+
+    #[test]
+    fn different_seeds_agree_qualitatively() {
+        let (raw, db) = extended_db();
+        for seed in [1, 2, 3] {
+            let cfg = LtmConfig {
+                seed,
+                ..small_config()
+            };
+            let fit = fit(&db, &cfg);
+            // Depp-in-HP and the three junk actors share the same claim
+            // pattern (exact marginal ≈ 0.26); every other fact is exactly
+            // or heavily corroborated. All seeds must agree on that split.
+            let depp_hp = db
+                .fact_ids()
+                .find(|&f| {
+                    raw.entity_name(db.fact(f).entity) == "Harry Potter"
+                        && raw.attr_name(db.fact(f).attr) == "Johnny Depp"
+                })
+                .unwrap();
+            let p_depp = fit.truth.prob(depp_hp);
+            assert!(p_depp < 0.5, "seed {seed}: p(Depp-in-HP) = {p_depp}");
+            for f in db.fact_ids() {
+                let name = raw.attr_name(db.fact(f).attr);
+                if name.starts_with("Fake Actor") {
+                    assert!(
+                        fit.truth.prob(f) < 0.5,
+                        "seed {seed}: junk fact {name} = {}",
+                        fit.truth.prob(f)
+                    );
+                } else if f != depp_hp {
+                    assert!(
+                        fit.truth.prob(f) > p_depp,
+                        "seed {seed}: {name} ranked at or below Depp-in-HP"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_table1_truth() {
+        // The paper's running example: with two-sided quality, LTM keeps
+        // Rupert Grint (single positive from reliable IMDB) while rejecting
+        // Johnny Depp in Harry Potter (positive only from BadSource).
+        let (raw, db) = extended_db();
+        let fit = fit(&db, &small_config());
+        let prob_of = |entity: &str, attr: &str| {
+            let f = db
+                .fact_ids()
+                .find(|&f| {
+                    raw.entity_name(db.fact(f).entity) == entity
+                        && raw.attr_name(db.fact(f).attr) == attr
+                })
+                .unwrap();
+            fit.truth.prob(f)
+        };
+        assert!(prob_of("Harry Potter", "Daniel Radcliffe") >= 0.5);
+        assert!(prob_of("Harry Potter", "Emma Watson") >= 0.5);
+        assert!(
+            prob_of("Harry Potter", "Johnny Depp")
+                < prob_of("Harry Potter", "Rupert Grint"),
+            "false fact must rank below the under-reported true fact"
+        );
+    }
+
+    #[test]
+    fn log_space_and_direct_agree() {
+        let (_, db) = table1_db();
+        let cfg_log = small_config();
+        let cfg_dir = LtmConfig {
+            arithmetic: Arithmetic::Direct,
+            ..cfg_log
+        };
+        // Same seed → identical trajectory as long as flip probabilities
+        // agree to the last ulp that matters for the uniform draws.
+        let a = fit(&db, &cfg_log);
+        let b = fit(&db, &cfg_dir);
+        for f in db.fact_ids() {
+            assert!(
+                (a.truth.prob(f) - b.truth.prob(f)).abs() < 0.05,
+                "fact {f}: log {} vs direct {}",
+                a.truth.prob(f),
+                b.truth.prob(f)
+            );
+        }
+    }
+
+    #[test]
+    fn counts_stay_consistent_with_labels() {
+        // Failure-injection style check: after a full fit, re-derive counts
+        // from scratch and compare with the incrementally-updated table.
+        // (Runs the chain manually to inspect internals.)
+        let (_, db) = table1_db();
+        let cfg = small_config();
+        let priors = SourcePriors::uniform(cfg.priors, db.num_sources());
+        let mut rng = rng_from_seed(cfg.seed);
+        let mut labels: Vec<bool> = (0..db.num_facts()).map(|_| rng.gen::<f64>() < 0.5).collect();
+        let mut counts = GibbsCounts::from_labels(&db, &labels);
+        let alpha: [Vec<BetaPair>; 2] = [
+            (0..db.num_sources()).map(|s| priors.alpha0_for(s)).collect(),
+            (0..db.num_sources()).map(|s| priors.alpha1_for(s)).collect(),
+        ];
+        for _ in 0..50 {
+            for f in db.fact_ids() {
+                let current = labels[f.index()];
+                let p = flip_probability_log(&db, f, current, &counts, &alpha, cfg.priors.beta);
+                if rng.gen::<f64>() < p {
+                    labels[f.index()] = !current;
+                    for (s, o) in db.claims_of_fact(f) {
+                        counts.flip(s, current, o);
+                    }
+                }
+            }
+            assert_eq!(
+                counts,
+                GibbsCounts::from_labels(&db, &labels),
+                "incremental counts diverged from labels"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_schedule_matches_single_schedule() {
+        let (_, db) = table1_db();
+        let cfg = small_config();
+        let schedules = [
+            SampleSchedule::new(100, 20, 4),
+            cfg.schedule,
+            SampleSchedule::new(50, 10, 0),
+        ];
+        let multi = fit_with_schedules(&db, &cfg, &schedules);
+        // The schedule equal to cfg.schedule must reproduce fit()'s truth.
+        let single = fit(&db, &cfg);
+        assert_eq!(multi[1], single.truth);
+        assert_eq!(multi.len(), 3);
+    }
+
+    #[test]
+    fn quality_orders_sources_correctly() {
+        let (raw, db) = extended_db();
+        let fit = fit(&db, &small_config());
+        let sid = |name: &str| raw.source_id(name).unwrap();
+        // IMDB asserts all three true HP facts → highest sensitivity.
+        // Netflix asserts only one of three → low sensitivity, but it never
+        // asserts a false fact → specificity at least as high as BadSource.
+        let q = &fit.quality;
+        assert!(q.sensitivity(sid("IMDB")) > q.sensitivity(sid("Netflix")));
+        assert!(q.specificity(sid("Netflix")) > q.specificity(sid("BadSource.com")));
+        assert!(q.specificity(sid("IMDB")) > q.specificity(sid("BadSource.com")));
+    }
+
+    #[test]
+    fn empty_database_fit() {
+        let db = ClaimDb::from_parts(vec![], vec![], 0);
+        let fit = fit(&db, &small_config());
+        assert!(fit.truth.is_empty());
+        assert_eq!(fit.diagnostics.iterations, 400);
+    }
+
+    #[test]
+    fn diagnostics_flip_counts_settle() {
+        let (_, db) = table1_db();
+        let fit = fit(&db, &small_config());
+        let flips = &fit.diagnostics.flips_per_iteration;
+        assert_eq!(flips.len(), 400);
+        // Late-chain flip rate should not exceed the theoretical max.
+        assert!(flips.iter().all(|&f| f as usize <= db.num_facts()));
+    }
+
+    #[test]
+    fn prior_sampler_respects_beta_mean() {
+        let mut rng = test_rng(3);
+        let labels = sample_labels_from_prior(20_000, BetaPair::new(80.0, 20.0), &mut rng);
+        let frac = labels.iter().filter(|&&t| t).count() as f64 / labels.len() as f64;
+        assert!((frac - 0.8).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn strong_specificity_prior_prevents_global_flip() {
+        // With uniform priors the posterior "everything flipped" has the
+        // same likelihood (the symmetry the paper warns about). The strong
+        // α₀ prior must break the tie towards high specificity.
+        let (raw, db) = table1_db();
+        let cfg = LtmConfig {
+            priors: Priors {
+                alpha0: BetaPair::new(1.0, 100.0),
+                alpha1: BetaPair::new(5.0, 5.0),
+                beta: BetaPair::new(2.0, 2.0),
+            },
+            ..small_config()
+        };
+        let fit = fit(&db, &cfg);
+        // Majority-supported facts must come out true, not flipped.
+        let daniel = db
+            .fact_ids()
+            .find(|&f| raw.attr_name(db.fact(f).attr) == "Daniel Radcliffe")
+            .unwrap();
+        assert!(fit.truth.prob(daniel) > 0.5);
+        let s = SourceId::new(0);
+        let _ = s; // silence unused in case of refactor
+    }
+}

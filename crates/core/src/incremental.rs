@@ -1,0 +1,262 @@
+//! Incremental truth prediction — **LTMinc** (paper Section 5.4,
+//! Equation 3).
+//!
+//! When data arrives as a stream, refitting the full model on every batch
+//! is wasteful. If source quality can be assumed stable over the medium
+//! term, the posterior truth of a *new* fact has a closed form given the
+//! learned `φ¹` (sensitivity) and `φ⁰` (false-positive rate):
+//!
+//! ```text
+//! p(t_f = 1 | o, s) = β₁ Π_c (φ¹_s)^{o_c} (1−φ¹_s)^{1−o_c}
+//!                   / Σ_{i∈{0,1}} β_i Π_c (φⁱ_s)^{o_c} (1−φⁱ_s)^{1−o_c}
+//! ```
+//!
+//! This needs no iteration at all — the paper's Table 9 shows LTMinc
+//! running as fast as Voting — and Table 7 shows it matching full LTM
+//! accuracy when quality is learned on sibling data.
+
+use ltm_model::{ClaimDb, TruthAssignment};
+use ltm_stats::special::sigmoid;
+
+use crate::gibbs::LtmFit;
+use crate::priors::{BetaPair, Priors};
+use crate::quality::SourceQuality;
+
+/// A closed-form truth predictor parameterised by learned source quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalLtm {
+    /// Per-source sensitivity `φ¹`, indexed by `SourceId`.
+    phi1: Vec<f64>,
+    /// Per-source false-positive rate `φ⁰ = 1 − specificity`.
+    phi0: Vec<f64>,
+    /// Prior truth pseudo-counts `β`.
+    beta: BetaPair,
+    /// Quality assumed for sources never seen during training: the prior
+    /// means of `φ¹` and `φ⁰`.
+    default_phi1: f64,
+    default_phi0: f64,
+}
+
+impl IncrementalLtm {
+    /// Builds a predictor from learned source quality. `priors` supplies
+    /// `β` and the fallback quality for unseen sources.
+    pub fn new(quality: &SourceQuality, priors: &Priors) -> Self {
+        let n = quality.num_sources();
+        let mut phi1 = Vec::with_capacity(n);
+        let mut phi0 = Vec::with_capacity(n);
+        for (s, record) in quality.iter() {
+            debug_assert_eq!(s.index(), phi1.len());
+            phi1.push(clamp_prob(record.sensitivity));
+            phi0.push(clamp_prob(1.0 - record.specificity));
+        }
+        Self {
+            phi1,
+            phi0,
+            beta: priors.beta,
+            default_phi1: clamp_prob(priors.alpha1.mean()),
+            default_phi0: clamp_prob(priors.alpha0.mean()),
+        }
+    }
+
+    /// Builds a predictor straight from a batch fit.
+    pub fn from_fit(fit: &LtmFit, priors: &Priors) -> Self {
+        Self::new(&fit.quality, priors)
+    }
+
+    /// Sensitivity used for source index `s` (learned or fallback).
+    #[inline]
+    fn phi1_for(&self, s: usize) -> f64 {
+        self.phi1.get(s).copied().unwrap_or(self.default_phi1)
+    }
+
+    /// False-positive rate used for source index `s` (learned or fallback).
+    #[inline]
+    fn phi0_for(&self, s: usize) -> f64 {
+        self.phi0.get(s).copied().unwrap_or(self.default_phi0)
+    }
+
+    /// Applies Equation 3 to every fact of `db`. Sources of `db` must share
+    /// the id space the quality was learned on (unknown ids fall back to
+    /// prior-mean quality).
+    pub fn predict(&self, db: &ClaimDb) -> TruthAssignment {
+        let probs: Vec<f64> = db
+            .fact_ids()
+            .map(|f| {
+                // Work with log-odds: ln β₁/β₀ + Σ_c ln(term₁/term₀).
+                let mut log_odds = (self.beta.pos / self.beta.neg).ln();
+                for (s, o) in db.claims_of_fact(f) {
+                    let p1 = self.phi1_for(s.index());
+                    let p0 = self.phi0_for(s.index());
+                    let (l1, l0) = if o {
+                        (p1, p0)
+                    } else {
+                        (1.0 - p1, 1.0 - p0)
+                    };
+                    log_odds += (l1 / l0).ln();
+                }
+                sigmoid(log_odds)
+            })
+            .collect();
+        TruthAssignment::new(probs)
+    }
+
+    /// The `β` prior in use.
+    pub fn beta(&self) -> BetaPair {
+        self.beta
+    }
+}
+
+/// Keeps likelihood terms away from exact 0/1 so the log-odds stay finite
+/// even for degenerate quality estimates.
+#[inline]
+fn clamp_prob(p: f64) -> f64 {
+    p.clamp(1e-9, 1.0 - 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltm_model::{AttrId, Claim, EntityId, Fact, FactId, SourceId};
+
+    /// A database with hand-set claims to verify Equation 3 numerically.
+    fn db_two_facts() -> ClaimDb {
+        let facts = vec![
+            Fact {
+                entity: EntityId::new(0),
+                attr: AttrId::new(0),
+            },
+            Fact {
+                entity: EntityId::new(1),
+                attr: AttrId::new(1),
+            },
+        ];
+        let claims = vec![
+            // Fact 0: source 0 positive, source 1 negative.
+            Claim {
+                fact: FactId::new(0),
+                source: SourceId::new(0),
+                observation: true,
+            },
+            Claim {
+                fact: FactId::new(0),
+                source: SourceId::new(1),
+                observation: false,
+            },
+            // Fact 1: source 1 positive.
+            Claim {
+                fact: FactId::new(1),
+                source: SourceId::new(1),
+                observation: true,
+            },
+        ];
+        ClaimDb::from_parts(facts, claims, 2)
+    }
+
+    /// Builds a predictor with explicit quality values by constructing the
+    /// struct through its public constructor path.
+    fn predictor<const N: usize>(
+        phi1: [f64; N],
+        spec: [f64; N],
+        beta: (f64, f64),
+    ) -> IncrementalLtm {
+        IncrementalLtm {
+            phi1: phi1.to_vec(),
+            phi0: spec.iter().map(|s| 1.0 - s).collect(),
+            beta: BetaPair::new(beta.0, beta.1),
+            default_phi1: 0.5,
+            default_phi0: 0.1,
+        }
+    }
+
+    #[test]
+    fn equation3_hand_computed() {
+        // φ¹ = (0.9, 0.5), specificity = (0.95, 0.8) → φ⁰ = (0.05, 0.2);
+        // β = (1, 1).
+        let p = predictor([0.9, 0.5], [0.95, 0.8], (1.0, 1.0));
+        let db = db_two_facts();
+        let t = p.predict(&db);
+
+        // Fact 0: positive from s0, negative from s1.
+        // num = 0.9 · (1 − 0.5) = 0.45;  den_false = 0.05 · (1 − 0.2) = 0.04.
+        // p = 0.45 / (0.45 + 0.04).
+        let expected0 = 0.45 / 0.49;
+        assert!((t.prob(FactId::new(0)) - expected0).abs() < 1e-9);
+
+        // Fact 1: positive from s1 only: 0.5 vs 0.2 → 0.5/0.7.
+        let expected1 = 0.5 / 0.7;
+        assert!((t.prob(FactId::new(1)) - expected1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_prior_shifts_posterior() {
+        let skeptical = predictor([0.9, 0.5], [0.95, 0.8], (1.0, 9.0));
+        let credulous = predictor([0.9, 0.5], [0.95, 0.8], (9.0, 1.0));
+        let db = db_two_facts();
+        let f = FactId::new(1);
+        assert!(skeptical.predict(&db).prob(f) < credulous.predict(&db).prob(f));
+    }
+
+    #[test]
+    fn unseen_source_uses_fallback_quality() {
+        let p = predictor([0.9], [0.95], (1.0, 1.0));
+        // Only source 0 was learned; db references source 1.
+        let facts = vec![Fact {
+            entity: EntityId::new(0),
+            attr: AttrId::new(0),
+        }];
+        let claims = vec![Claim {
+            fact: FactId::new(0),
+            source: SourceId::new(1),
+            observation: true,
+        }];
+        let db = ClaimDb::from_parts(facts, claims, 2);
+        let t = p.predict(&db);
+        // Fallbacks: φ¹ = 0.5, φ⁰ = 0.1 → p = 0.5 / 0.6.
+        assert!((t.prob(FactId::new(0)) - 0.5 / 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_quality_stays_finite() {
+        let p = predictor([1.0, 0.0], [1.0, 0.0], (1.0, 1.0));
+        let db = db_two_facts();
+        let t = p.predict(&db);
+        for f in db.fact_ids() {
+            assert!(t.prob(f).is_finite());
+            assert!((0.0..=1.0).contains(&t.prob(f)));
+        }
+    }
+
+    #[test]
+    fn wrapper_predictor_is_well_formed() {
+        // predictor() bypasses clamping; the public constructor must clamp.
+        // Build quality via estimate() with degenerate truth and verify the
+        // predictor still yields finite probabilities.
+        use crate::priors::Priors;
+        use crate::quality::SourceQuality;
+        let db = db_two_facts();
+        let truth = TruthAssignment::new(vec![1.0, 0.0]);
+        let weak = Priors {
+            alpha0: BetaPair::new(1e-9, 1e-9),
+            alpha1: BetaPair::new(1e-9, 1e-9),
+            beta: BetaPair::new(1.0, 1.0),
+        };
+        let q = SourceQuality::estimate(&db, &truth, &weak);
+        let inc = IncrementalLtm::new(&q, &weak);
+        let t = inc.predict(&db);
+        for f in db.fact_ids() {
+            assert!(t.prob(f).is_finite());
+        }
+    }
+
+    #[test]
+    fn fact_with_no_claims_gets_prior() {
+        let p = predictor([0.9, 0.5], [0.95, 0.8], (3.0, 1.0));
+        let facts = vec![Fact {
+            entity: EntityId::new(0),
+            attr: AttrId::new(0),
+        }];
+        let db = ClaimDb::from_parts(facts, vec![], 2);
+        let t = p.predict(&db);
+        assert!((t.prob(FactId::new(0)) - 0.75).abs() < 1e-12);
+    }
+}

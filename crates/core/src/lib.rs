@@ -1,0 +1,79 @@
+//! The **Latent Truth Model** (LTM) — a Bayesian approach to discovering
+//! truth from conflicting sources (Zhao, Rubinstein, Gemmell, Han;
+//! VLDB 2012).
+//!
+//! Given a claim database ([`ltm_model::ClaimDb`]) derived from raw
+//! `(entity, attribute, source)` triples, LTM jointly infers
+//!
+//! * the posterior probability that each fact is true, and
+//! * **two-sided quality** for every source — sensitivity (how rarely it
+//!   omits true facts) and specificity (how rarely it asserts false ones) —
+//!
+//! with no supervision, by collapsed Gibbs sampling over the latent truth
+//! labels. Modeling the two error types separately is what lets the model
+//! support multiple true values per entity (e.g. several authors per
+//! book), the paper's headline contribution.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ltm_model::RawDatabaseBuilder;
+//! use ltm_core::{fit, LtmConfig};
+//!
+//! let mut b = RawDatabaseBuilder::new();
+//! b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+//! b.add("Harry Potter", "Emma Watson", "IMDB");
+//! b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+//! let raw = b.build();
+//! let db = ltm_model::ClaimDb::from_raw(&raw);
+//!
+//! let result = fit(&db, &LtmConfig::scaled_for(db.num_facts()));
+//! for f in db.fact_ids() {
+//!     println!("p(true) = {:.3}", result.truth.prob(f));
+//! }
+//! ```
+//!
+//! # Module map
+//!
+//! | Module | Paper section | Contents |
+//! |---|---|---|
+//! | [`priors`] | §4.3 | `Beta` hyperparameters `α₀`, `α₁`, `β`; per-source priors |
+//! | [`counts`] | §5.2 | per-source confusion counts (integer + expected) |
+//! | [`gibbs`]  | §5.2 | collapsed Gibbs sampler (Algorithm 1) |
+//! | [`quality`] | §3, §5.3 | sensitivity / specificity / precision estimation |
+//! | [`incremental`] | §5.4 | LTMinc closed-form prediction (Equation 3) |
+//! | [`streaming`] | §5.4 | batch-over-batch online training |
+//! | [`positive_only`] | §6.2 | LTMpos ablation (negative claims dropped) |
+//! | [`exact`] | App. A | exact enumeration oracle for small instances |
+//! | [`adversarial`] | §7 | iterative malicious-source filtering |
+//! | [`realvalued`] | §7 | Gaussian observation model for real-valued loss |
+//! | [`multi_attr`] | §7 | joint fitting of multiple attribute types |
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+pub mod counts;
+pub mod exact;
+pub mod gibbs;
+pub mod incremental;
+pub mod loglik;
+pub mod multi_attr;
+pub mod positive_only;
+pub mod priors;
+pub mod quality;
+pub mod realvalued;
+pub mod streaming;
+
+pub use adversarial::{fit_filtered, AdversarialFilter, FilteredFit};
+pub use counts::{ExpectedCounts, GibbsCounts};
+pub use gibbs::{
+    fit, fit_with_schedules, fit_with_source_priors, Arithmetic, FitDiagnostics, LtmConfig,
+    LtmFit, SampleSchedule,
+};
+pub use incremental::IncrementalLtm;
+pub use multi_attr::{fit_joint, MultiAttrConfig};
+pub use priors::{BetaPair, Priors, SourcePriors};
+pub use quality::{QualityRecord, SourceQuality};
+pub use realvalued::{RealClaim, RealClaimDb, RealLtmConfig, RealLtmFit};
+pub use streaming::StreamingLtm;

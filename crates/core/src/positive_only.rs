@@ -1,0 +1,104 @@
+//! **LTMpos** — the truncated ablation that discards negative claims
+//! (paper Section 6.2).
+//!
+//! The paper uses LTMpos to demonstrate that negative claims are what lets
+//! LTM recognise erroneous data when multiple facts can be true: with only
+//! positive claims every fact looks asserted-by-someone and the model
+//! drifts to predicting everything true (its Table 7 row shows a 1.0
+//! false-positive rate on both datasets).
+
+use ltm_model::{Claim, ClaimDb};
+
+use crate::gibbs::{self, LtmConfig, LtmFit};
+
+/// Returns a copy of `db` with every negative claim removed. Facts,
+/// entities and the source id space are preserved.
+pub fn positive_only_view(db: &ClaimDb) -> ClaimDb {
+    let claims: Vec<Claim> = db
+        .all_claims()
+        .into_iter()
+        .filter(|c| c.observation)
+        .collect();
+    ClaimDb::from_parts(db.facts().to_vec(), claims, db.num_sources())
+}
+
+/// Fits LTM on the positive-claims-only view of `db`.
+pub fn fit(db: &ClaimDb, config: &LtmConfig) -> LtmFit {
+    let view = positive_only_view(db);
+    gibbs::fit(&view, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::SampleSchedule;
+    use crate::priors::{BetaPair, Priors};
+    use ltm_model::RawDatabaseBuilder;
+
+    fn table1_db() -> ClaimDb {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+        b.add("Harry Potter", "Emma Watson", "IMDB");
+        b.add("Harry Potter", "Rupert Grint", "IMDB");
+        b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+        b.add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+        b.add("Harry Potter", "Emma Watson", "BadSource.com");
+        b.add("Harry Potter", "Johnny Depp", "BadSource.com");
+        b.add("Pirates 4", "Johnny Depp", "Hulu.com");
+        ClaimDb::from_raw(&b.build())
+    }
+
+    #[test]
+    fn view_keeps_only_positive_claims() {
+        let db = table1_db();
+        let view = positive_only_view(&db);
+        assert_eq!(view.num_facts(), db.num_facts());
+        assert_eq!(view.num_claims(), db.num_positive_claims());
+        assert_eq!(view.num_negative_claims(), 0);
+        assert_eq!(view.num_sources(), db.num_sources());
+    }
+
+    #[test]
+    fn view_preserves_entity_structure() {
+        let db = table1_db();
+        let view = positive_only_view(&db);
+        for e in db.entity_ids() {
+            assert_eq!(db.facts_of_entity(e), view.facts_of_entity(e));
+        }
+    }
+
+    #[test]
+    fn ltmpos_is_overly_optimistic() {
+        // Without negative claims every fact has only positive evidence, so
+        // all posteriors should be high — including the false Depp-in-HP
+        // fact. This reproduces the paper's qualitative LTMpos finding.
+        let db = table1_db();
+        let cfg = LtmConfig {
+            priors: Priors {
+                alpha0: BetaPair::new(1.0, 10.0),
+                alpha1: BetaPair::new(5.0, 5.0),
+                beta: BetaPair::new(2.0, 2.0),
+            },
+            schedule: SampleSchedule::new(300, 60, 2),
+            seed: 11,
+            arithmetic: Default::default(),
+        };
+        let pos_fit = fit(&db, &cfg);
+        for f in db.fact_ids() {
+            assert!(
+                pos_fit.truth.prob(f) >= 0.5,
+                "LTMpos should call fact {f} true, got {}",
+                pos_fit.truth.prob(f)
+            );
+        }
+    }
+
+    #[test]
+    fn idempotent_on_positive_only_database() {
+        let db = table1_db();
+        let once = positive_only_view(&db);
+        let twice = positive_only_view(&once);
+        assert_eq!(once.num_claims(), twice.num_claims());
+        assert_eq!(once.all_claims(), twice.all_claims());
+    }
+}

@@ -1,0 +1,255 @@
+//! Prior hyperparameters of the Latent Truth Model (paper Section 4.3).
+//!
+//! Three Beta priors drive the model:
+//!
+//! * `α₀ = (α₀,₁, α₀,₀)` — prior false-positive / true-negative counts; the
+//!   false-positive rate of each source is `φ⁰ₖ ~ Beta(α₀,₁, α₀,₀)`. The
+//!   paper stresses that `α₀,₀` must be set *significantly* higher than
+//!   `α₀,₁` (sources rarely fabricate data) — "otherwise the model could
+//!   flip every truth while still achieving high likelihood".
+//! * `α₁ = (α₁,₁, α₁,₀)` — prior true-positive / false-negative counts;
+//!   sensitivity is `φ¹ₖ ~ Beta(α₁,₁, α₁,₀)`. Missing data is common, so a
+//!   weak (uniform-ish) prior is appropriate.
+//! * `β = (β₁, β₀)` — prior true / false counts per fact;
+//!   `θ_f ~ Beta(β₁, β₀)`.
+//!
+//! To be effective the specificity prior counts must be on the same scale
+//! as the number of facts (paper §6.2: `(10, 1000)` for the 2.4k-fact book
+//! data, `(100, 10000)` for the 33.5k-fact movie data);
+//! [`Priors::scaled_specificity`] encodes that rule.
+
+use serde::{Deserialize, Serialize};
+
+/// A Beta prior expressed as a pair of pseudo-counts `(positive, negative)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaPair {
+    /// Pseudo-count of the "1" outcome.
+    pub pos: f64,
+    /// Pseudo-count of the "0" outcome.
+    pub neg: f64,
+}
+
+impl BetaPair {
+    /// Creates a Beta pseudo-count pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both counts are strictly positive and finite.
+    pub fn new(pos: f64, neg: f64) -> Self {
+        assert!(
+            pos > 0.0 && pos.is_finite() && neg > 0.0 && neg.is_finite(),
+            "BetaPair: counts must be positive and finite, got ({pos}, {neg})"
+        );
+        Self { pos, neg }
+    }
+
+    /// Mean of the Beta distribution, `pos / (pos + neg)`.
+    pub fn mean(&self) -> f64 {
+        self.pos / (self.pos + self.neg)
+    }
+
+    /// Total pseudo-count (prior strength).
+    pub fn strength(&self) -> f64 {
+        self.pos + self.neg
+    }
+
+    /// The pseudo-count for outcome `o` (`true` → `pos`).
+    #[inline]
+    pub fn count(&self, o: bool) -> f64 {
+        if o {
+            self.pos
+        } else {
+            self.neg
+        }
+    }
+}
+
+/// The full prior configuration of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Priors {
+    /// `α₀ = (prior false-positive count, prior true-negative count)` —
+    /// governs the false-positive rate `φ⁰`; `1 − mean` is the prior
+    /// expected specificity.
+    pub alpha0: BetaPair,
+    /// `α₁ = (prior true-positive count, prior false-negative count)` —
+    /// governs sensitivity `φ¹`.
+    pub alpha1: BetaPair,
+    /// `β = (prior true count, prior false count)` per fact.
+    pub beta: BetaPair,
+}
+
+impl Priors {
+    /// Creates a prior configuration.
+    pub fn new(alpha0: BetaPair, alpha1: BetaPair, beta: BetaPair) -> Self {
+        Self {
+            alpha0,
+            alpha1,
+            beta,
+        }
+    }
+
+    /// The paper's setting for the book-author dataset:
+    /// `α₀ = (10, 1000)`, `α₁ = (50, 50)`, `β = (10, 10)`.
+    pub fn paper_books() -> Self {
+        Self {
+            alpha0: BetaPair::new(10.0, 1000.0),
+            alpha1: BetaPair::new(50.0, 50.0),
+            beta: BetaPair::new(10.0, 10.0),
+        }
+    }
+
+    /// The paper's setting for the movie-director dataset:
+    /// `α₀ = (100, 10000)`, `α₁ = (50, 50)`, `β = (10, 10)`.
+    pub fn paper_movies() -> Self {
+        Self {
+            alpha0: BetaPair::new(100.0, 10000.0),
+            alpha1: BetaPair::new(50.0, 50.0),
+            beta: BetaPair::new(10.0, 10.0),
+        }
+    }
+
+    /// Scales the specificity prior to the dataset size following the
+    /// paper's rule of thumb: prior expected specificity 0.99, with prior
+    /// strength on the order of the number of facts (so the prior is not
+    /// washed out by the data).
+    pub fn scaled_specificity(num_facts: usize) -> Self {
+        let neg = (num_facts as f64 / 3.0).max(100.0);
+        Self {
+            alpha0: BetaPair::new(neg / 100.0, neg),
+            alpha1: BetaPair::new(50.0, 50.0),
+            beta: BetaPair::new(10.0, 10.0),
+        }
+    }
+
+    /// Fully uniform priors — every Beta is `Beta(1, 1)`. Useful for
+    /// studying why the strong specificity prior matters (ablation A2 in
+    /// DESIGN.md).
+    pub fn uniform() -> Self {
+        Self {
+            alpha0: BetaPair::new(1.0, 1.0),
+            alpha1: BetaPair::new(1.0, 1.0),
+            beta: BetaPair::new(1.0, 1.0),
+        }
+    }
+}
+
+impl Default for Priors {
+    /// Defaults to the book-data setting, suitable for datasets with a few
+    /// thousand facts. Use [`Priors::scaled_specificity`] to adapt to the
+    /// dataset size.
+    fn default() -> Self {
+        Self::paper_books()
+    }
+}
+
+/// Per-source prior overrides, used by incremental / streaming training
+/// (paper §5.4): after a batch, each source's expected confusion counts are
+/// folded into its prior for the next batch, `α'ᵢ,ⱼ = E[n_{s,i,j}] + αᵢ,ⱼ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourcePriors {
+    /// Global (fallback) priors for sources without an override.
+    pub base: Priors,
+    /// Per-source `α₀` overrides, indexed by `SourceId`.
+    pub alpha0: Vec<Option<BetaPair>>,
+    /// Per-source `α₁` overrides, indexed by `SourceId`.
+    pub alpha1: Vec<Option<BetaPair>>,
+}
+
+impl SourcePriors {
+    /// Uniform per-source priors equal to `base` everywhere.
+    pub fn uniform(base: Priors, num_sources: usize) -> Self {
+        Self {
+            base,
+            alpha0: vec![None; num_sources],
+            alpha1: vec![None; num_sources],
+        }
+    }
+
+    /// The effective `α₀` for source `s`.
+    #[inline]
+    pub fn alpha0_for(&self, s: usize) -> BetaPair {
+        self.alpha0
+            .get(s)
+            .copied()
+            .flatten()
+            .unwrap_or(self.base.alpha0)
+    }
+
+    /// The effective `α₁` for source `s`.
+    #[inline]
+    pub fn alpha1_for(&self, s: usize) -> BetaPair {
+        self.alpha1
+            .get(s)
+            .copied()
+            .flatten()
+            .unwrap_or(self.base.alpha1)
+    }
+
+    /// Sets both overrides for source `s`, growing the tables if needed.
+    pub fn set(&mut self, s: usize, alpha0: BetaPair, alpha1: BetaPair) {
+        if s >= self.alpha0.len() {
+            self.alpha0.resize(s + 1, None);
+            self.alpha1.resize(s + 1, None);
+        }
+        self.alpha0[s] = Some(alpha0);
+        self.alpha1[s] = Some(alpha1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_pair_mean_and_strength() {
+        let p = BetaPair::new(10.0, 90.0);
+        assert!((p.mean() - 0.1).abs() < 1e-12);
+        assert_eq!(p.strength(), 100.0);
+        assert_eq!(p.count(true), 10.0);
+        assert_eq!(p.count(false), 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn beta_pair_rejects_zero() {
+        BetaPair::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn paper_settings() {
+        let b = Priors::paper_books();
+        assert_eq!(b.alpha0.pos, 10.0);
+        assert_eq!(b.alpha0.neg, 1000.0);
+        let m = Priors::paper_movies();
+        assert_eq!(m.alpha0.neg, 10000.0);
+        // Both encode ~0.99 prior specificity.
+        assert!((1.0 - b.alpha0.mean() - 0.990).abs() < 0.001);
+        assert!((1.0 - m.alpha0.mean() - 0.990).abs() < 0.001);
+    }
+
+    #[test]
+    fn scaled_specificity_tracks_fact_count() {
+        let small = Priors::scaled_specificity(100);
+        assert_eq!(small.alpha0.neg, 100.0); // floor
+        let books = Priors::scaled_specificity(2420);
+        assert!((books.alpha0.neg - 2420.0 / 3.0).abs() < 1e-9);
+        let movies = Priors::scaled_specificity(33526);
+        // Prior strength within a factor ~2 of the paper's hand-picked
+        // (100, 10000).
+        assert!(movies.alpha0.neg > 5000.0 && movies.alpha0.neg < 20000.0);
+        // Specificity prior mean stays at 0.99 regardless of scale.
+        assert!((1.0 - movies.alpha0.mean() - 0.990).abs() < 0.001);
+    }
+
+    #[test]
+    fn source_priors_override_and_fallback() {
+        let mut sp = SourcePriors::uniform(Priors::default(), 2);
+        assert_eq!(sp.alpha0_for(0), Priors::default().alpha0);
+        sp.set(3, BetaPair::new(1.0, 2.0), BetaPair::new(3.0, 4.0));
+        assert_eq!(sp.alpha0_for(3), BetaPair::new(1.0, 2.0));
+        assert_eq!(sp.alpha1_for(3), BetaPair::new(3.0, 4.0));
+        // Fallback past the table and for non-overridden entries.
+        assert_eq!(sp.alpha1_for(1), Priors::default().alpha1);
+        assert_eq!(sp.alpha0_for(99), Priors::default().alpha0);
+    }
+}

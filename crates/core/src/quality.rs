@@ -1,0 +1,289 @@
+//! Two-sided source-quality estimation (paper Sections 3 and 5.3).
+//!
+//! After inference produces posterior truth probabilities, each source's
+//! quality has a closed-form MAP estimate because the quality posterior is
+//! again a Beta distribution:
+//!
+//! ```text
+//! sensitivity(s) = (E[n_{s,1,1}] + α₁,₁) / (E[n_{s,1,0}] + E[n_{s,1,1}] + α₁,₀ + α₁,₁)
+//! specificity(s) = (E[n_{s,0,0}] + α₀,₀) / (E[n_{s,0,0}] + E[n_{s,0,1}] + α₀,₀ + α₀,₁)
+//! precision(s)   = (E[n_{s,1,1}] + α₁,₁) / (E[n_{s,0,1}] + E[n_{s,1,1}] + α₀,₁ + α₁,₁)
+//! ```
+//!
+//! with the expected counts `E[n_{s,i,j}] = Σ_{c: s_c=s, o_c=j} p(t_{f_c}=i)`.
+
+use ltm_model::{ClaimDb, SourceId, TruthAssignment};
+use serde::Serialize;
+
+use crate::counts::ExpectedCounts;
+use crate::priors::{Priors, SourcePriors};
+
+/// Smoothed two-sided quality estimates for every source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceQuality {
+    sensitivity: Vec<f64>,
+    specificity: Vec<f64>,
+    precision: Vec<f64>,
+    accuracy: Vec<f64>,
+}
+
+/// Quality measures of a single source, in the vocabulary of the paper's
+/// Table 5/6 discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct QualityRecord {
+    /// `TP / (TP + FN)` — recall of true facts; `1 − sensitivity` is the
+    /// false-negative rate.
+    pub sensitivity: f64,
+    /// `TN / (FP + TN)`; `1 − specificity` is the false-positive rate.
+    pub specificity: f64,
+    /// `TP / (TP + FP)` — reliability of positive claims.
+    pub precision: f64,
+    /// `(TP + TN) / (TP + FP + TN + FN)` — the scalar measure whose
+    /// inadequacy Section 3.3 demonstrates; exposed for comparison.
+    pub accuracy: f64,
+}
+
+impl SourceQuality {
+    /// Estimates quality from posterior truth probabilities for the claims
+    /// in `db` (computes the expected counts internally).
+    pub fn estimate(db: &ClaimDb, truth: &TruthAssignment, priors: &Priors) -> Self {
+        let expected = ExpectedCounts::from_posterior(db, truth);
+        let sp = SourcePriors::uniform(*priors, db.num_sources());
+        Self::from_expected_counts(&expected, &sp)
+    }
+
+    /// Estimates quality from precomputed expected counts and (possibly
+    /// per-source) priors.
+    pub fn from_expected_counts(expected: &ExpectedCounts, priors: &SourcePriors) -> Self {
+        let n = expected.num_sources();
+        let mut q = Self {
+            sensitivity: Vec::with_capacity(n),
+            specificity: Vec::with_capacity(n),
+            precision: Vec::with_capacity(n),
+            accuracy: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let s = SourceId::from_usize(i);
+            let a0 = priors.alpha0_for(i);
+            let a1 = priors.alpha1_for(i);
+            let tp = expected.get(s, true, true);
+            let fneg = expected.get(s, true, false);
+            let fp = expected.get(s, false, true);
+            let tn = expected.get(s, false, false);
+            q.sensitivity
+                .push((tp + a1.pos) / (tp + fneg + a1.pos + a1.neg));
+            q.specificity
+                .push((tn + a0.neg) / (tn + fp + a0.neg + a0.pos));
+            q.precision
+                .push((tp + a1.pos) / (tp + fp + a1.pos + a0.pos));
+            q.accuracy.push(
+                (tp + tn + a1.pos + a0.neg)
+                    / (tp + tn + fp + fneg + a0.pos + a0.neg + a1.pos + a1.neg),
+            );
+        }
+        q
+    }
+
+    /// Number of sources covered.
+    pub fn num_sources(&self) -> usize {
+        self.sensitivity.len()
+    }
+
+    /// Sensitivity (recall) of source `s`.
+    #[inline]
+    pub fn sensitivity(&self, s: SourceId) -> f64 {
+        self.sensitivity[s.index()]
+    }
+
+    /// Specificity of source `s`.
+    #[inline]
+    pub fn specificity(&self, s: SourceId) -> f64 {
+        self.specificity[s.index()]
+    }
+
+    /// False-positive rate of source `s` (`1 − specificity`, the `φ⁰`
+    /// parameter of the generative model).
+    #[inline]
+    pub fn false_positive_rate(&self, s: SourceId) -> f64 {
+        1.0 - self.specificity[s.index()]
+    }
+
+    /// Precision of source `s`.
+    #[inline]
+    pub fn precision(&self, s: SourceId) -> f64 {
+        self.precision[s.index()]
+    }
+
+    /// Accuracy of source `s`.
+    #[inline]
+    pub fn accuracy(&self, s: SourceId) -> f64 {
+        self.accuracy[s.index()]
+    }
+
+    /// The full record for source `s`.
+    pub fn record(&self, s: SourceId) -> QualityRecord {
+        QualityRecord {
+            sensitivity: self.sensitivity(s),
+            specificity: self.specificity(s),
+            precision: self.precision(s),
+            accuracy: self.accuracy(s),
+        }
+    }
+
+    /// Iterates `(source, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SourceId, QualityRecord)> + '_ {
+        (0..self.num_sources()).map(|i| {
+            let s = SourceId::from_usize(i);
+            (s, self.record(s))
+        })
+    }
+
+    /// Source ids sorted by descending sensitivity — the presentation order
+    /// of the paper's Table 8.
+    pub fn by_descending_sensitivity(&self) -> Vec<SourceId> {
+        let mut ids: Vec<SourceId> = (0..self.num_sources()).map(SourceId::from_usize).collect();
+        ids.sort_by(|&a, &b| {
+            self.sensitivity(b)
+                .partial_cmp(&self.sensitivity(a))
+                .expect("quality estimates are finite")
+        });
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priors::BetaPair;
+    use ltm_model::RawDatabaseBuilder;
+
+    /// Paper Tables 1/3/4: with the ground truth of Table 4 and a weak
+    /// uniform prior, the estimates should approach the raw confusion-count
+    /// ratios of Table 6.
+    fn table1_setup() -> (ltm_model::RawDatabase, ClaimDb, TruthAssignment) {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+        b.add("Harry Potter", "Emma Watson", "IMDB");
+        b.add("Harry Potter", "Rupert Grint", "IMDB");
+        b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+        b.add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+        b.add("Harry Potter", "Emma Watson", "BadSource.com");
+        b.add("Harry Potter", "Johnny Depp", "BadSource.com");
+        b.add("Pirates 4", "Johnny Depp", "Hulu.com");
+        let raw = b.build();
+        let db = ClaimDb::from_raw(&raw);
+        // Table 4 ground truth: all facts true except Depp-in-HP.
+        let probs: Vec<f64> = db
+            .fact_ids()
+            .map(|f| {
+                let fact = db.fact(f);
+                let is_depp_hp = raw.entity_name(fact.entity) == "Harry Potter"
+                    && raw.attr_name(fact.attr) == "Johnny Depp";
+                if is_depp_hp {
+                    0.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        (raw, db, TruthAssignment::new(probs))
+    }
+
+    fn weak_priors() -> Priors {
+        Priors {
+            alpha0: BetaPair::new(1e-6, 1e-6),
+            alpha1: BetaPair::new(1e-6, 1e-6),
+            beta: BetaPair::new(1.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn reproduces_table6_ratios() {
+        let (raw, db, truth) = table1_setup();
+        let q = SourceQuality::estimate(&db, &truth, &weak_priors());
+        let sid = |n: &str| raw.source_id(n).unwrap();
+
+        // Table 6: IMDB — precision 1, sensitivity 1, specificity 1.
+        assert!((q.precision(sid("IMDB")) - 1.0).abs() < 1e-3);
+        assert!((q.sensitivity(sid("IMDB")) - 1.0).abs() < 1e-3);
+        assert!((q.specificity(sid("IMDB")) - 1.0).abs() < 1e-3);
+
+        // Netflix — precision 1, sensitivity 1/3, specificity 1.
+        assert!((q.precision(sid("Netflix")) - 1.0).abs() < 1e-3);
+        assert!((q.sensitivity(sid("Netflix")) - 1.0 / 3.0).abs() < 1e-3);
+        assert!((q.specificity(sid("Netflix")) - 1.0).abs() < 1e-3);
+
+        // BadSource — precision 2/3, sensitivity 2/3, specificity 0.
+        assert!((q.precision(sid("BadSource.com")) - 2.0 / 3.0).abs() < 1e-3);
+        assert!((q.sensitivity(sid("BadSource.com")) - 2.0 / 3.0).abs() < 1e-3);
+        assert!(q.specificity(sid("BadSource.com")) < 1e-3);
+
+        // Accuracy (Table 6): Netflix 1/2 == BadSource 1/2 — the scalar
+        // measure cannot tell them apart, which is the paper's point.
+        assert!((q.accuracy(sid("Netflix")) - 0.5).abs() < 1e-3);
+        assert!((q.accuracy(sid("BadSource.com")) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn priors_smooth_towards_prior_mean() {
+        let (raw, db, truth) = table1_setup();
+        let strong = Priors {
+            alpha0: BetaPair::new(10.0, 990.0),
+            alpha1: BetaPair::new(500.0, 500.0),
+            beta: BetaPair::new(1.0, 1.0),
+        };
+        let q = SourceQuality::estimate(&db, &truth, &strong);
+        let netflix = raw.source_id("Netflix").unwrap();
+        // With a sensitivity prior of mean 0.5 and strength 1000, three
+        // observations barely move the estimate.
+        assert!((q.sensitivity(netflix) - 0.5).abs() < 0.01);
+        // Specificity prior mean 0.99 dominates BadSource's single FP.
+        let bad = raw.source_id("BadSource.com").unwrap();
+        assert!(q.specificity(bad) > 0.95);
+    }
+
+    #[test]
+    fn fpr_is_one_minus_specificity() {
+        let (_, db, truth) = table1_setup();
+        let q = SourceQuality::estimate(&db, &truth, &weak_priors());
+        for s in db.source_ids() {
+            assert!((q.false_positive_rate(s) + q.specificity(s) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sorting_by_sensitivity_descends() {
+        let (_, db, truth) = table1_setup();
+        let q = SourceQuality::estimate(&db, &truth, &weak_priors());
+        let order = q.by_descending_sensitivity();
+        for w in order.windows(2) {
+            assert!(q.sensitivity(w[0]) >= q.sensitivity(w[1]));
+        }
+        assert_eq!(order.len(), db.num_sources());
+    }
+
+    #[test]
+    fn record_and_iter_consistent() {
+        let (_, db, truth) = table1_setup();
+        let q = SourceQuality::estimate(&db, &truth, &weak_priors());
+        for (s, rec) in q.iter() {
+            assert_eq!(rec.sensitivity, q.sensitivity(s));
+            assert_eq!(rec.specificity, q.specificity(s));
+            assert_eq!(rec.precision, q.precision(s));
+            assert_eq!(rec.accuracy, q.accuracy(s));
+        }
+    }
+
+    #[test]
+    fn all_estimates_are_probabilities() {
+        let (_, db, truth) = table1_setup();
+        for priors in [weak_priors(), Priors::paper_books(), Priors::uniform()] {
+            let q = SourceQuality::estimate(&db, &truth, &priors);
+            for (_, r) in q.iter() {
+                for v in [r.sensitivity, r.specificity, r.precision, r.accuracy] {
+                    assert!((0.0..=1.0).contains(&v), "estimate {v} out of range");
+                }
+            }
+        }
+    }
+}

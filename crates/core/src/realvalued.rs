@@ -1,0 +1,502 @@
+//! Real-valued observation model (paper §7, "Real-valued loss").
+//!
+//! The Bernoulli observation model treats every claim as exactly right or
+//! wrong, but "in practice loss can be real-valued, e.g., inexact matches
+//! of terms, numerical attributes"; the paper suggests "a Gaussian to
+//! generate observations from facts and source quality instead of the
+//! Bernoulli". This module implements that variant.
+//!
+//! Each claim carries a real value `v_c` (e.g. a string-similarity score
+//! between the source's value and the fact's canonical value). The
+//! generative process keeps the latent truth machinery and swaps the
+//! observation likelihood:
+//!
+//! ```text
+//! t_f ~ Bernoulli(θ_f),      θ_f ~ Beta(β)
+//! v_c | t_f = i  ~  Normal(μ_{i,s_c}, σ²_{i,s_c})
+//! (μ_{i,s}, σ²_{i,s}) ~ NormalInverseGamma(m_i, κ_i, a_i, b_i)
+//! ```
+//!
+//! The per-source, per-side Gaussian parameters are integrated out by
+//! Normal–Inverse-Gamma conjugacy, so — exactly as in the Bernoulli model
+//! — the collapsed Gibbs sampler only resamples the truth labels. Each
+//! claim's contribution is the NIG posterior-predictive (a Student-t)
+//! under the counts of the *other* claims currently assigned to that side.
+//! Sufficient statistics per (source, side) are `(n, Σv, Σv²)`, updated in
+//! O(1) per flip, preserving the linear iteration cost.
+
+use ltm_model::{FactId, SourceId, TruthAssignment};
+use ltm_stats::rng::rng_from_seed;
+use ltm_stats::special::{ln_gamma, sigmoid};
+use rand::Rng;
+
+use crate::priors::BetaPair;
+
+/// A real-valued claim: a source's scored assertion about a fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealClaim {
+    /// The fact the claim refers to.
+    pub fact: FactId,
+    /// The asserting source.
+    pub source: SourceId,
+    /// The observed value (similarity score, numeric reading, …).
+    pub value: f64,
+}
+
+/// A claim database with real-valued observations, in fact-major CSR
+/// layout like [`ltm_model::ClaimDb`].
+#[derive(Debug, Clone)]
+pub struct RealClaimDb {
+    num_facts: usize,
+    num_sources: usize,
+    claim_source: Vec<SourceId>,
+    claim_value: Vec<f64>,
+    fact_offsets: Vec<u32>,
+}
+
+impl RealClaimDb {
+    /// Builds the database from claims.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range fact/source ids, non-finite values, or
+    /// duplicate `(fact, source)` pairs.
+    pub fn new(num_facts: usize, num_sources: usize, mut claims: Vec<RealClaim>) -> Self {
+        let mut seen = std::collections::HashSet::with_capacity(claims.len());
+        for c in &claims {
+            assert!(c.fact.index() < num_facts, "claim references fact {}", c.fact);
+            assert!(
+                c.source.index() < num_sources,
+                "claim references source {}",
+                c.source
+            );
+            assert!(c.value.is_finite(), "claim value must be finite");
+            assert!(
+                seen.insert((c.fact, c.source)),
+                "duplicate claim for (fact {}, source {})",
+                c.fact,
+                c.source
+            );
+        }
+        claims.sort_unstable_by(|x, y| {
+            (x.fact, x.source)
+                .cmp(&(y.fact, y.source))
+        });
+        let mut fact_offsets = vec![0u32; num_facts + 1];
+        for c in &claims {
+            fact_offsets[c.fact.index() + 1] += 1;
+        }
+        for i in 0..num_facts {
+            fact_offsets[i + 1] += fact_offsets[i];
+        }
+        Self {
+            num_facts,
+            num_sources,
+            claim_source: claims.iter().map(|c| c.source).collect(),
+            claim_value: claims.iter().map(|c| c.value).collect(),
+            fact_offsets,
+        }
+    }
+
+    /// Number of facts.
+    pub fn num_facts(&self) -> usize {
+        self.num_facts
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    /// Number of claims.
+    pub fn num_claims(&self) -> usize {
+        self.claim_source.len()
+    }
+
+    /// `(source, value)` pairs of fact `f`'s claims.
+    pub fn claims_of_fact(&self, f: FactId) -> impl Iterator<Item = (SourceId, f64)> + '_ {
+        let range = self.fact_offsets[f.index()] as usize..self.fact_offsets[f.index() + 1] as usize;
+        self.claim_source[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.claim_value[range].iter().copied())
+    }
+}
+
+/// Normal–Inverse-Gamma prior for one observation side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NigPrior {
+    /// Prior mean `m`.
+    pub mean: f64,
+    /// Prior mean strength `κ > 0` (pseudo-observations of the mean).
+    pub kappa: f64,
+    /// Inverse-gamma shape `a > 0`.
+    pub a: f64,
+    /// Inverse-gamma rate `b > 0`.
+    pub b: f64,
+}
+
+impl NigPrior {
+    /// A prior centred at `mean` with the given strength and a variance
+    /// prior of roughly `spread²`.
+    pub fn centered(mean: f64, kappa: f64, spread: f64) -> Self {
+        assert!(kappa > 0.0 && spread > 0.0);
+        Self {
+            mean,
+            kappa,
+            a: 2.0,
+            b: spread * spread,
+        }
+    }
+}
+
+/// Configuration of the real-valued model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealLtmConfig {
+    /// NIG prior for observations of **false** facts (side 0); e.g.
+    /// centred at a low similarity score.
+    pub side0: NigPrior,
+    /// NIG prior for observations of **true** facts (side 1); e.g. centred
+    /// near 1.
+    pub side1: NigPrior,
+    /// `β` prior on fact truth.
+    pub beta: BetaPair,
+    /// Total Gibbs iterations.
+    pub iterations: usize,
+    /// Burn-in iterations.
+    pub burn_in: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RealLtmConfig {
+    fn default() -> Self {
+        // κ = 10 pseudo-observations per side: strong enough to keep the
+        // "true" side anchored near its prior mean (the model is otherwise
+        // symmetric under swapping the two sides — the real-valued
+        // analogue of the label-flip ambiguity the Bernoulli model breaks
+        // with its strong α₀ prior).
+        Self {
+            side0: NigPrior::centered(0.25, 10.0, 0.25),
+            side1: NigPrior::centered(0.85, 10.0, 0.25),
+            beta: BetaPair::new(10.0, 10.0),
+            iterations: 200,
+            burn_in: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// The fitted real-valued model.
+#[derive(Debug, Clone)]
+pub struct RealLtmFit {
+    /// Posterior truth probabilities per fact.
+    pub truth: TruthAssignment,
+    /// Posterior mean of each source's **true-side** observation value
+    /// (high = the source scores true facts highly).
+    pub mean_true: Vec<f64>,
+    /// Posterior mean of each source's **false-side** observation value.
+    pub mean_false: Vec<f64>,
+}
+
+/// Per-(source, side) sufficient statistics.
+#[derive(Debug, Clone, Default)]
+struct Suffstats {
+    n: Vec<f64>,
+    sum: Vec<f64>,
+    ssq: Vec<f64>,
+}
+
+impl Suffstats {
+    fn new(num_sources: usize) -> Self {
+        Self {
+            n: vec![0.0; num_sources * 2],
+            sum: vec![0.0; num_sources * 2],
+            ssq: vec![0.0; num_sources * 2],
+        }
+    }
+
+    #[inline]
+    fn idx(s: SourceId, side: bool) -> usize {
+        s.index() * 2 + side as usize
+    }
+
+    #[inline]
+    fn add(&mut self, s: SourceId, side: bool, v: f64) {
+        let i = Self::idx(s, side);
+        self.n[i] += 1.0;
+        self.sum[i] += v;
+        self.ssq[i] += v * v;
+    }
+
+    #[inline]
+    fn remove(&mut self, s: SourceId, side: bool, v: f64) {
+        let i = Self::idx(s, side);
+        self.n[i] -= 1.0;
+        self.sum[i] -= v;
+        self.ssq[i] -= v * v;
+    }
+
+    /// Log posterior-predictive density of `v` under the NIG posterior for
+    /// `(s, side)` given `prior` and the current sufficient statistics.
+    fn ln_predictive(&self, s: SourceId, side: bool, v: f64, prior: &NigPrior) -> f64 {
+        let i = Self::idx(s, side);
+        let n = self.n[i];
+        let (kappa_n, mu_n, a_n, b_n);
+        if n > 0.0 {
+            let mean = self.sum[i] / n;
+            // Guard tiny negative values from floating-point cancellation.
+            let ss = (self.ssq[i] - self.sum[i] * self.sum[i] / n).max(0.0);
+            kappa_n = prior.kappa + n;
+            mu_n = (prior.kappa * prior.mean + self.sum[i]) / kappa_n;
+            a_n = prior.a + n / 2.0;
+            b_n = prior.b
+                + 0.5 * ss
+                + prior.kappa * n * (mean - prior.mean) * (mean - prior.mean) / (2.0 * kappa_n);
+        } else {
+            kappa_n = prior.kappa;
+            mu_n = prior.mean;
+            a_n = prior.a;
+            b_n = prior.b;
+        }
+        // Student-t predictive: df = 2a, loc = μ, scale² = b(κ+1)/(aκ).
+        let df = 2.0 * a_n;
+        let scale2 = b_n * (kappa_n + 1.0) / (a_n * kappa_n);
+        ln_student_t(v, df, mu_n, scale2.sqrt())
+    }
+}
+
+/// Log-density of the Student-t distribution with `df` degrees of freedom,
+/// location `loc`, and scale `scale`.
+fn ln_student_t(v: f64, df: f64, loc: f64, scale: f64) -> f64 {
+    let z = (v - loc) / scale;
+    ln_gamma((df + 1.0) / 2.0)
+        - ln_gamma(df / 2.0)
+        - 0.5 * (df * std::f64::consts::PI).ln()
+        - scale.ln()
+        - (df + 1.0) / 2.0 * (1.0 + z * z / df).ln()
+}
+
+/// Fits the real-valued Latent Truth Model by collapsed Gibbs sampling.
+pub fn fit(db: &RealClaimDb, config: &RealLtmConfig) -> RealLtmFit {
+    assert!(
+        config.burn_in < config.iterations,
+        "burn_in must be < iterations"
+    );
+    let mut rng = rng_from_seed(config.seed);
+    // Initialise each fact on the side whose prior mean is closer to its
+    // average claim value. This plants the chain in the intended mode;
+    // together with the κ-weighted side priors it resolves the two-sided
+    // label-swap symmetry of the Gaussian model.
+    let mut labels: Vec<bool> = (0..db.num_facts())
+        .map(|i| {
+            let f = FactId::from_usize(i);
+            let (mut sum, mut n) = (0.0, 0usize);
+            for (_, v) in db.claims_of_fact(f) {
+                sum += v;
+                n += 1;
+            }
+            if n == 0 {
+                rng.gen::<f64>() < 0.5
+            } else {
+                let mean = sum / n as f64;
+                (mean - config.side1.mean).abs() < (mean - config.side0.mean).abs()
+            }
+        })
+        .collect();
+
+    let mut stats = Suffstats::new(db.num_sources());
+    #[allow(clippy::needless_range_loop)] // i is both FactId and label index
+    for i in 0..db.num_facts() {
+        let f = FactId::from_usize(i);
+        for (s, v) in db.claims_of_fact(f) {
+            stats.add(s, labels[i], v);
+        }
+    }
+
+    let mut acc = vec![0.0f64; db.num_facts()];
+    let mut samples = 0usize;
+    for iter in 1..=config.iterations {
+        #[allow(clippy::needless_range_loop)] // i is both FactId and label index
+        for i in 0..db.num_facts() {
+            let f = FactId::from_usize(i);
+            let current = labels[i];
+            let proposed = !current;
+            // Remove this fact's claims from the current side so both
+            // sides are evaluated on "everyone else's" statistics.
+            for (s, v) in db.claims_of_fact(f) {
+                stats.remove(s, current, v);
+            }
+            let prior_for = |side: bool| if side { &config.side1 } else { &config.side0 };
+            let mut log_odds =
+                (config.beta.count(proposed) / config.beta.count(current)).ln();
+            for (s, v) in db.claims_of_fact(f) {
+                log_odds += stats.ln_predictive(s, proposed, v, prior_for(proposed))
+                    - stats.ln_predictive(s, current, v, prior_for(current));
+            }
+            let flip = rng.gen::<f64>() < sigmoid(log_odds);
+            let new_label = if flip { proposed } else { current };
+            labels[i] = new_label;
+            for (s, v) in db.claims_of_fact(f) {
+                stats.add(s, new_label, v);
+            }
+        }
+        if iter > config.burn_in {
+            samples += 1;
+            for (a, &t) in acc.iter_mut().zip(&labels) {
+                *a += t as u8 as f64;
+            }
+        }
+    }
+
+    let truth = TruthAssignment::new(acc.into_iter().map(|x| x / samples as f64).collect());
+
+    // Posterior side means per source from the final expected statistics:
+    // recompute with soft assignments from the posterior.
+    let mut soft = Suffstats::new(db.num_sources());
+    for i in 0..db.num_facts() {
+        let f = FactId::from_usize(i);
+        let p1 = truth.prob(f);
+        for (s, v) in db.claims_of_fact(f) {
+            let j1 = Suffstats::idx(s, true);
+            let j0 = Suffstats::idx(s, false);
+            soft.n[j1] += p1;
+            soft.sum[j1] += p1 * v;
+            soft.n[j0] += 1.0 - p1;
+            soft.sum[j0] += (1.0 - p1) * v;
+        }
+    }
+    let side_mean = |s: usize, side: bool, prior: &NigPrior| {
+        let j = s * 2 + side as usize;
+        (prior.kappa * prior.mean + soft.sum[j]) / (prior.kappa + soft.n[j])
+    };
+    let mean_true = (0..db.num_sources())
+        .map(|s| side_mean(s, true, &config.side1))
+        .collect();
+    let mean_false = (0..db.num_sources())
+        .map(|s| side_mean(s, false, &config.side0))
+        .collect();
+
+    RealLtmFit {
+        truth,
+        mean_true,
+        mean_false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic real-valued data: `n` facts alternating true/false; each
+    /// of `k` sources scores every fact — near `hi` for true facts, near
+    /// `lo` for false ones, with Gaussian-ish noise from a seeded RNG.
+    fn two_cluster_db(n: usize, k: usize, hi: f64, lo: f64, noise: f64, seed: u64) -> (RealClaimDb, Vec<bool>) {
+        let mut rng = rng_from_seed(seed);
+        let truth: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut claims = Vec::new();
+        for (i, &t) in truth.iter().enumerate() {
+            for s in 0..k {
+                // Box–Muller normal.
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let center = if t { hi } else { lo };
+                claims.push(RealClaim {
+                    fact: FactId::from_usize(i),
+                    source: SourceId::from_usize(s),
+                    value: center + noise * z,
+                });
+            }
+        }
+        (RealClaimDb::new(n, k, claims), truth)
+    }
+
+    #[test]
+    fn recovers_two_clusters() {
+        let (db, truth) = two_cluster_db(200, 4, 0.9, 0.2, 0.08, 5);
+        let fit = fit(&db, &RealLtmConfig::default());
+        let correct = (0..200)
+            .filter(|&i| (fit.truth.prob(FactId::from_usize(i)) >= 0.5) == truth[i])
+            .count();
+        assert!(correct >= 195, "correct = {correct}/200");
+    }
+
+    #[test]
+    fn side_means_recovered() {
+        let (db, _) = two_cluster_db(300, 3, 0.9, 0.2, 0.05, 6);
+        let fit = fit(&db, &RealLtmConfig::default());
+        for s in 0..3 {
+            assert!(
+                (fit.mean_true[s] - 0.9).abs() < 0.05,
+                "mean_true[{s}] = {}",
+                fit.mean_true[s]
+            );
+            assert!(
+                (fit.mean_false[s] - 0.2).abs() < 0.05,
+                "mean_false[{s}] = {}",
+                fit.mean_false[s]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (db, _) = two_cluster_db(50, 3, 0.8, 0.3, 0.1, 7);
+        let cfg = RealLtmConfig::default();
+        assert_eq!(fit(&db, &cfg).truth, fit(&db, &cfg).truth);
+    }
+
+    #[test]
+    fn overlapping_clusters_yield_uncertainty() {
+        // With heavy noise the posterior should hedge: not all facts at
+        // 0/1.
+        let (db, _) = two_cluster_db(100, 2, 0.6, 0.4, 0.3, 8);
+        let f = fit(&db, &RealLtmConfig::default());
+        let uncertain = (0..100)
+            .filter(|&i| {
+                let p = f.truth.prob(FactId::from_usize(i));
+                p > 0.05 && p < 0.95
+            })
+            .count();
+        assert!(uncertain > 10, "uncertain = {uncertain}");
+    }
+
+    #[test]
+    fn ln_student_t_is_normalized_enough() {
+        // Crude integration check over a wide grid.
+        let mut acc = 0.0;
+        let (df, loc, scale) = (5.0, 0.3, 0.7);
+        let n = 40_000;
+        for i in 0..n {
+            let v = -20.0 + 40.0 * (i as f64 + 0.5) / n as f64;
+            acc += ln_student_t(v, df, loc, scale).exp() * 40.0 / n as f64;
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "integral = {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate claim")]
+    fn rejects_duplicate_claims() {
+        let claims = vec![
+            RealClaim {
+                fact: FactId::new(0),
+                source: SourceId::new(0),
+                value: 0.5,
+            },
+            RealClaim {
+                fact: FactId::new(0),
+                source: SourceId::new(0),
+                value: 0.6,
+            },
+        ];
+        RealClaimDb::new(1, 1, claims);
+    }
+
+    #[test]
+    fn empty_database_fit() {
+        let db = RealClaimDb::new(0, 0, vec![]);
+        let f = fit(&db, &RealLtmConfig::default());
+        assert!(f.truth.is_empty());
+    }
+}

@@ -1,0 +1,350 @@
+//! The book-author dataset stand-in (paper §6.1.1, "Book Author Dataset").
+//!
+//! The original data — 1263 books, 2420 book-author facts, 48,153 raw rows
+//! from 879 abebooks.com sellers, 100 hand-labeled books — was never
+//! released. This generator reproduces its published statistics and, more
+//! importantly, its *error structure*, which is what the Latent Truth
+//! Model exploits:
+//!
+//! * **long-tail coverage** — a few large sellers list most books, hundreds
+//!   of small sellers list a handful (Zipf-weighted coverage);
+//! * **first-author-only sellers** — the paper's motivating false-negative
+//!   pattern ("many sources only output first authors"): half the sellers
+//!   reliably list the first author and usually omit the rest, giving
+//!   abundant *negative claims on true facts*;
+//! * **complete sellers** — high sensitivity, near-zero false positives;
+//! * **noisy sellers** — a minority that occasionally attach a *wrong*
+//!   author; each book has a small pool of plausible wrong authors shared
+//!   by the noisy sellers, so false facts can be corroborated and are not
+//!   trivially filtered.
+//!
+//! Tuned so that, at the defaults, the fraction of true facts among all
+//! facts is ≈ 0.88 — matching the all-true predictor's 0.880 precision in
+//! the paper's Table 7.
+
+use ltm_model::{ClaimDb, Dataset, GroundTruth, RawDatabaseBuilder};
+use ltm_stats::dist::Categorical;
+use ltm_stats::rng::rng_from_seed;
+use rand::seq::index::sample;
+use rand::Rng;
+
+use crate::profile::{GeneratedDataset, SourceProfile};
+
+/// Configuration for the book-author generator. Defaults target the
+/// paper's dataset statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BookConfig {
+    /// Number of books (paper: 1263).
+    pub num_books: usize,
+    /// Number of seller sources (paper: 879).
+    pub num_sources: usize,
+    /// Mean number of sellers covering each book (tuned so raw rows land
+    /// near the paper's 48,153).
+    pub mean_sources_per_book: f64,
+    /// Books whose facts are labeled for evaluation (paper: 100).
+    pub labeled_entities: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BookConfig {
+    fn default() -> Self {
+        Self {
+            num_books: 1263,
+            num_sources: 879,
+            mean_sources_per_book: 27.0,
+            labeled_entities: 100,
+            seed: 2012,
+        }
+    }
+}
+
+/// Seller archetypes with their planted behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Archetype {
+    /// Lists every author with high probability.
+    Complete,
+    /// Always lists the first author, rarely the others.
+    FirstAuthorOnly,
+    /// Lists most authors but sometimes attaches a wrong one.
+    Noisy,
+}
+
+impl Archetype {
+    fn sensitivity(self) -> f64 {
+        match self {
+            Archetype::Complete => 0.95,
+            Archetype::FirstAuthorOnly => 0.12, // for non-first authors
+            Archetype::Noisy => 0.75,
+        }
+    }
+
+    fn false_positive_rate(self) -> f64 {
+        match self {
+            Archetype::Complete => 0.01,
+            Archetype::FirstAuthorOnly => 0.005,
+            Archetype::Noisy => 0.09,
+        }
+    }
+}
+
+/// Generates the simulated book-author dataset.
+pub fn generate(cfg: &BookConfig) -> GeneratedDataset {
+    assert!(cfg.num_books > 0 && cfg.num_sources > 0);
+    assert!(
+        cfg.labeled_entities <= cfg.num_books,
+        "cannot label more books than exist"
+    );
+    let mut rng = rng_from_seed(cfg.seed);
+    let mut builder = RawDatabaseBuilder::new();
+
+    // --- Vocabulary ------------------------------------------------------
+    // Author-count distribution: mostly 1–2 authors, occasionally up to 5.
+    let author_count = Categorical::new(&[0.55, 0.25, 0.12, 0.05, 0.03]);
+    let book_names: Vec<String> = (0..cfg.num_books).map(|b| format!("Book {b:05}")).collect();
+    let entity_ids: Vec<_> = book_names
+        .iter()
+        .map(|n| builder.intern_entity(n))
+        .collect();
+
+    // True authors and the per-book wrong-author pool (one confusable
+    // name per book, shared by noisy sellers).
+    let mut true_authors: Vec<Vec<String>> = Vec::with_capacity(cfg.num_books);
+    let mut wrong_author: Vec<String> = Vec::with_capacity(cfg.num_books);
+    for b in 0..cfg.num_books {
+        let n = author_count.sample(&mut rng) + 1;
+        true_authors.push((0..n).map(|i| format!("Author {b:05}-{i}")).collect());
+        wrong_author.push(format!("Wrong Author {b:05}"));
+    }
+
+    // --- Sources ----------------------------------------------------------
+    // Archetype mix: 50% first-author-only, 35% complete, 15% noisy.
+    let mut archetypes = Vec::with_capacity(cfg.num_sources);
+    for s in 0..cfg.num_sources {
+        let a = match s % 20 {
+            0..=9 => Archetype::FirstAuthorOnly,
+            10..=16 => Archetype::Complete,
+            _ => Archetype::Noisy,
+        };
+        archetypes.push(a);
+    }
+
+    // Zipf coverage: source rank r gets weight (r+1)^-0.9, scaled so the
+    // expected total number of (book, source) coverage slots is
+    // num_books × mean_sources_per_book.
+    let total_slots = (cfg.num_books as f64 * cfg.mean_sources_per_book).round();
+    let weights: Vec<f64> = (1..=cfg.num_sources).map(|r| (r as f64).powf(-0.9)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let coverage_counts: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / wsum * total_slots).round() as usize).clamp(1, cfg.num_books))
+        .collect();
+
+    let source_names: Vec<String> = (0..cfg.num_sources)
+        .map(|s| format!("seller-{s:04}"))
+        .collect();
+    let mut profiles = Vec::with_capacity(cfg.num_sources);
+    for s in 0..cfg.num_sources {
+        builder.intern_source(&source_names[s]);
+        profiles.push(SourceProfile {
+            name: source_names[s].clone(),
+            sensitivity: archetypes[s].sensitivity(),
+            false_positives_per_entity: archetypes[s].false_positive_rate(),
+            coverage: coverage_counts[s] as f64 / cfg.num_books as f64,
+        });
+    }
+
+    // --- Rows --------------------------------------------------------------
+    for s in 0..cfg.num_sources {
+        let covered = sample(&mut rng, cfg.num_books, coverage_counts[s]);
+        let archetype = archetypes[s];
+        for b in covered.iter() {
+            let authors = &true_authors[b];
+            match archetype {
+                Archetype::Complete | Archetype::Noisy => {
+                    for a in authors {
+                        if rng.gen::<f64>() < archetype.sensitivity() {
+                            builder.add(&book_names[b], a, &source_names[s]);
+                        }
+                    }
+                }
+                Archetype::FirstAuthorOnly => {
+                    builder.add(&book_names[b], &authors[0], &source_names[s]);
+                    for a in authors.iter().skip(1) {
+                        if rng.gen::<f64>() < archetype.sensitivity() {
+                            builder.add(&book_names[b], a, &source_names[s]);
+                        }
+                    }
+                }
+            }
+            if rng.gen::<f64>() < archetype.false_positive_rate() {
+                builder.add(&book_names[b], &wrong_author[b], &source_names[s]);
+            }
+        }
+    }
+
+    let raw = builder.build();
+    let claims = ClaimDb::from_raw(&raw);
+
+    // --- Ground truth -------------------------------------------------------
+    // A fact is true iff its attribute is one of the book's true authors.
+    let mut full_truth = GroundTruth::new();
+    for f in claims.fact_ids() {
+        let fact = claims.fact(f);
+        let book_index = entity_ids
+            .iter()
+            .position(|&e| e == fact.entity)
+            .expect("every fact entity is a generated book");
+        let attr = raw.attr_name(fact.attr);
+        let is_true = true_authors[book_index].iter().any(|a| a == attr);
+        full_truth.insert(fact.entity, f, is_true);
+    }
+
+    // Labeled subset: the paper labels 100 random books and evaluates on
+    // all their facts.
+    let mut eval_truth = GroundTruth::new();
+    let labeled = sample(&mut rng, cfg.num_books, cfg.labeled_entities);
+    for b in labeled.iter() {
+        let e = entity_ids[b];
+        for &f in claims.facts_of_entity(e) {
+            eval_truth.insert(e, f, full_truth.label(f).expect("fully labeled"));
+        }
+    }
+
+    GeneratedDataset {
+        dataset: Dataset::from_parts("book-authors", raw, claims, eval_truth),
+        full_truth,
+        profiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BookConfig {
+        BookConfig {
+            num_books: 200,
+            num_sources: 150,
+            mean_sources_per_book: 25.0,
+            labeled_entities: 30,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn default_statistics_near_paper() {
+        let d = generate(&BookConfig::default());
+        let s = d.dataset.stats();
+        assert_eq!(s.entities, 1263);
+        assert_eq!(s.sources, 879);
+        // Raw rows within 15% of 48,153.
+        assert!(
+            (s.raw_rows as f64 - 48_153.0).abs() / 48_153.0 < 0.15,
+            "raw rows = {}",
+            s.raw_rows
+        );
+        // Facts within 25% of 2420.
+        assert!(
+            (s.facts as f64 - 2_420.0).abs() / 2_420.0 < 0.25,
+            "facts = {}",
+            s.facts
+        );
+        assert_eq!(s.labeled_entities, 100);
+        // All-true predictor precision ≈ 0.88 (paper Table 7's TruthFinder
+        // precision row implies the labeled-true fraction).
+        let frac_true = d.full_truth.num_true() as f64 / d.full_truth.num_labeled_facts() as f64;
+        assert!((frac_true - 0.88).abs() < 0.06, "true fraction = {frac_true}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.dataset.raw.len(), b.dataset.raw.len());
+        assert_eq!(a.full_truth, b.full_truth);
+        let c = generate(&BookConfig { seed: 6, ..small() });
+        assert_ne!(a.dataset.raw.len(), c.dataset.raw.len());
+    }
+
+    #[test]
+    fn every_fact_is_labeled_in_full_truth() {
+        let d = generate(&small());
+        assert_eq!(
+            d.full_truth.num_labeled_facts(),
+            d.dataset.claims.num_facts()
+        );
+    }
+
+    #[test]
+    fn eval_subset_is_restriction_of_full_truth() {
+        let d = generate(&small());
+        assert_eq!(d.eval_truth().num_labeled_entities(), 30);
+        for (f, label) in d.eval_truth().iter() {
+            assert_eq!(d.full_truth.label(f), Some(label));
+        }
+    }
+
+    #[test]
+    fn first_authors_better_covered_than_coauthors() {
+        // The planted pattern: first authors collect far more positive
+        // claims than later authors of the same books.
+        let d = generate(&small());
+        let raw = &d.dataset.raw;
+        let db = &d.dataset.claims;
+        let mut first = (0usize, 0usize); // (positives, facts)
+        let mut later = (0usize, 0usize);
+        for f in db.fact_ids() {
+            let attr = raw.attr_name(db.fact(f).attr);
+            if let Some(suffix) = attr.strip_prefix("Author ") {
+                let pos = db.positive_count(f);
+                if suffix.ends_with("-0") {
+                    first.0 += pos;
+                    first.1 += 1;
+                } else {
+                    later.0 += pos;
+                    later.1 += 1;
+                }
+            }
+        }
+        let first_avg = first.0 as f64 / first.1 as f64;
+        let later_avg = later.0 as f64 / later.1.max(1) as f64;
+        assert!(
+            first_avg > 1.5 * later_avg,
+            "first {first_avg:.2} vs later {later_avg:.2}"
+        );
+    }
+
+    #[test]
+    fn wrong_authors_are_false_facts() {
+        let d = generate(&small());
+        let raw = &d.dataset.raw;
+        let db = &d.dataset.claims;
+        let mut wrong_facts = 0;
+        for f in db.fact_ids() {
+            let attr = raw.attr_name(db.fact(f).attr);
+            if attr.starts_with("Wrong Author") {
+                assert_eq!(d.full_truth.label(f), Some(false));
+                wrong_facts += 1;
+            } else {
+                assert_eq!(d.full_truth.label(f), Some(true));
+            }
+        }
+        assert!(wrong_facts > 0, "noisy sellers must introduce false facts");
+    }
+
+    #[test]
+    fn long_tail_coverage() {
+        let d = generate(&small());
+        let db = &d.dataset.claims;
+        let mut degrees: Vec<usize> = db
+            .source_ids()
+            .map(|s| db.claims_of_source(s).len())
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // Head sources cover far more than tail sources.
+        let head: usize = degrees[..10].iter().sum();
+        let tail: usize = degrees[degrees.len() - 10..].iter().sum();
+        assert!(head > 10 * tail.max(1), "head {head} vs tail {tail}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Workload generators for the `latent-truth` workspace.
+//!
+//! The paper evaluates on two proprietary datasets — a crawl of
+//! abebooks.com book-seller listings and the Bing movies vertical's
+//! director feeds — plus a synthetic stress test. The real datasets were
+//! never released, so this crate builds simulators that reproduce their
+//! *published statistics and error structure* (see DESIGN.md §3 for the
+//! substitution argument):
+//!
+//! * [`synthetic`] — the paper's own generative process (§6.1): draw
+//!   source quality from Beta priors, fact truth from Bernoulli(θ), claim
+//!   observations from the quality of their source. Used for Figure 4.
+//! * [`books`] — the book-author dataset stand-in: ~1263 books, ~879
+//!   long-tail sellers, first-author-only sellers (the motivating
+//!   false-negative pattern), a minority of noisy sellers introducing
+//!   wrong authors, ~48k raw rows, 100 labeled books.
+//! * [`movies`] — the movie-director stand-in: 12 named sources with
+//!   two-sided quality profiles mirroring the paper's Table 8,
+//!   conflict-only filtering, ~15k movies / ~33.5k facts / ~109k rows,
+//!   100 labeled movies.
+//!
+//! All generators are deterministic given a seed and return both the
+//! evaluation labels (the "100 labeled entities" protocol of the paper)
+//! and the complete ground truth for validation.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod books;
+pub mod movies;
+pub mod profile;
+pub mod streams;
+pub mod synthetic;
+
+pub use books::BookConfig;
+pub use movies::MovieConfig;
+pub use profile::{GeneratedDataset, SourceProfile};
+pub use synthetic::{SyntheticConfig, SyntheticData};

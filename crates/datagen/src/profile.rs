@@ -1,0 +1,44 @@
+//! Shared generator types: per-source behaviour profiles and the generated
+//! dataset bundle.
+
+use ltm_model::{Dataset, GroundTruth};
+
+/// The behaviour profile a generator assigned to one source. These are the
+/// *generation-time* parameters; inference never sees them, but tests use
+/// them to verify that learned quality tracks planted quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceProfile {
+    /// Source name as interned in the raw database.
+    pub name: String,
+    /// Probability the source lists a given true attribute of an entity it
+    /// covers (its planted sensitivity).
+    pub sensitivity: f64,
+    /// Expected number of *wrong* attribute values the source invents per
+    /// covered entity (drives its planted false-positive rate; the
+    /// realised specificity also depends on how many false facts exist in
+    /// total).
+    pub false_positives_per_entity: f64,
+    /// Fraction of entities the source covers.
+    pub coverage: f64,
+}
+
+/// A generated dataset bundle: the public dataset (with the 100-entity
+/// evaluation labels, as in the paper) plus the full ground truth and the
+/// planted source profiles for validation.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// Raw database + claim tables + evaluation labels.
+    pub dataset: Dataset,
+    /// Ground truth for *every* fact (generators know everything).
+    pub full_truth: GroundTruth,
+    /// Planted per-source behaviour, indexed by `SourceId`.
+    pub profiles: Vec<SourceProfile>,
+}
+
+impl GeneratedDataset {
+    /// Convenience: evaluation labels restricted view (same object the
+    /// paper's protocol exposes to the evaluator).
+    pub fn eval_truth(&self) -> &GroundTruth {
+        &self.dataset.truth
+    }
+}

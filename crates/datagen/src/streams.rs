@@ -1,0 +1,185 @@
+//! Batch-splitting utilities for streaming experiments (paper §5.4).
+//!
+//! The streaming trainer consumes disjoint entity batches whose source id
+//! space matches the parent dataset. These helpers cut a generated
+//! dataset into such batches and resolve each batch's ground truth by
+//! `(entity, attribute)` name, so examples and tests don't each reimplement
+//! the bookkeeping.
+
+use ltm_model::{ClaimDb, Dataset, GroundTruth, RawDatabaseBuilder, SourceId};
+use ltm_stats::rng::rng_from_seed;
+use rand::seq::SliceRandom;
+
+use crate::profile::GeneratedDataset;
+
+/// Splits `data` into `k` disjoint entity batches (sizes differing by at
+/// most one), shuffled by `seed`. Source ids are preserved across batches.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of entities.
+pub fn partition_entities(data: &GeneratedDataset, k: usize, seed: u64) -> Vec<Dataset> {
+    let entities: Vec<_> = data.dataset.claims.entity_ids().collect();
+    assert!(k > 0, "need at least one batch");
+    assert!(
+        k <= entities.len(),
+        "cannot split {} entities into {k} batches",
+        entities.len()
+    );
+    let mut shuffled = entities;
+    let mut rng = rng_from_seed(seed);
+    shuffled.shuffle(&mut rng);
+
+    let raw = &data.dataset.raw;
+    (0..k)
+        .map(|b| {
+            let members: std::collections::HashSet<usize> = shuffled
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % k == b)
+                .map(|(_, e)| e.index())
+                .collect();
+            let mut builder = RawDatabaseBuilder::new();
+            // Stable source id space (see movies::entity_sample).
+            for s in 0..raw.num_sources() {
+                builder.intern_source(raw.source_name(SourceId::from_usize(s)));
+            }
+            for row in raw.rows() {
+                if members.contains(&row.entity.index()) {
+                    builder.add(
+                        raw.entity_name(row.entity),
+                        raw.attr_name(row.attr),
+                        raw.source_name(row.source),
+                    );
+                }
+            }
+            let batch_raw = builder.build();
+            let claims = ClaimDb::from_raw(&batch_raw);
+            let truth = resolve_truth(data, &batch_raw, &claims);
+            Dataset::from_parts(
+                format!("{}-batch{}", data.dataset.name, b),
+                batch_raw,
+                claims,
+                truth,
+            )
+        })
+        .collect()
+}
+
+/// Maps the generator's full ground truth onto a derived database whose
+/// fact ids differ from the parent's, by `(entity, attribute)` name.
+pub fn resolve_truth(
+    data: &GeneratedDataset,
+    raw: &ltm_model::RawDatabase,
+    claims: &ClaimDb,
+) -> GroundTruth {
+    let parent_raw = &data.dataset.raw;
+    let parent_claims = &data.dataset.claims;
+    let mut truth = GroundTruth::new();
+    for f in claims.fact_ids() {
+        let fact = claims.fact(f);
+        let entity_name = raw.entity_name(fact.entity);
+        let attr_name = raw.attr_name(fact.attr);
+        let pe = parent_raw
+            .entity_id(entity_name)
+            .expect("batch entity exists in parent");
+        let pa = parent_raw
+            .attr_id(attr_name)
+            .expect("batch attribute exists in parent");
+        let pf = parent_claims
+            .facts_of_entity(pe)
+            .iter()
+            .copied()
+            .find(|&x| parent_claims.fact(x).attr == pa)
+            .expect("batch fact exists in parent");
+        truth.insert(
+            fact.entity,
+            f,
+            data.full_truth.label(pf).expect("parent is fully labeled"),
+        );
+    }
+    truth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::books::{self, BookConfig};
+
+    fn data() -> GeneratedDataset {
+        books::generate(&BookConfig {
+            num_books: 90,
+            num_sources: 50,
+            mean_sources_per_book: 12.0,
+            labeled_entities: 20,
+            seed: 9,
+        })
+    }
+
+    #[test]
+    fn batches_are_disjoint_and_cover_everything() {
+        let d = data();
+        let batches = partition_entities(&d, 3, 1);
+        assert_eq!(batches.len(), 3);
+        let mut seen = std::collections::HashSet::new();
+        let mut total_rows = 0;
+        for b in &batches {
+            for (e, _, _) in b.raw.iter_named() {
+                seen.insert(e.to_string());
+            }
+            total_rows += b.raw.len();
+        }
+        assert_eq!(seen.len(), d.dataset.claims.entity_ids().count());
+        assert_eq!(total_rows, d.dataset.raw.len(), "rows partitioned exactly");
+    }
+
+    #[test]
+    fn batch_sizes_balanced() {
+        let d = data();
+        let batches = partition_entities(&d, 4, 2);
+        let sizes: Vec<usize> = batches
+            .iter()
+            .map(|b| b.claims.entity_ids().count())
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn source_ids_stable_across_batches() {
+        let d = data();
+        let batches = partition_entities(&d, 2, 3);
+        for b in &batches {
+            assert_eq!(b.raw.num_sources(), d.dataset.raw.num_sources());
+            for s in 0..d.dataset.raw.num_sources() {
+                let sid = SourceId::from_usize(s);
+                assert_eq!(b.raw.source_name(sid), d.dataset.raw.source_name(sid));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_truth_matches_parent() {
+        let d = data();
+        let batches = partition_entities(&d, 2, 4);
+        for b in &batches {
+            assert_eq!(
+                b.truth.num_labeled_facts(),
+                b.claims.num_facts(),
+                "every batch fact labeled"
+            );
+            // Spot-check: wrong authors false, real authors true.
+            for (f, label) in b.truth.iter() {
+                let attr = b.raw.attr_name(b.claims.fact(f).attr);
+                assert_eq!(label, !attr.starts_with("Wrong Author"), "{attr}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one batch")]
+    fn zero_batches_rejected() {
+        partition_entities(&data(), 0, 0);
+    }
+}

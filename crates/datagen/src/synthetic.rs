@@ -1,0 +1,251 @@
+//! The paper's synthetic stress test (§6.1, "Synthetic Dataset";
+//! evaluated in Figure 4).
+//!
+//! "We follow the generative process described in Section 4 to generate
+//! this synthetic dataset. There are 10000 facts, 20 sources, and for
+//! simplicity each source makes a claim with regard to each fact, i.e.,
+//! 200000 claims in total."
+//!
+//! Generation runs the Latent Truth Model forward:
+//!
+//! 1. per source `k`: `φ⁰ₖ ~ Beta(α₀)` (false-positive rate),
+//!    `φ¹ₖ ~ Beta(α₁)` (sensitivity);
+//! 2. per fact `f`: `θ_f ~ Beta(β)`, `t_f ~ Bernoulli(θ_f)`;
+//! 3. per (fact, source): `o ~ Bernoulli(φ^{t_f}_k)`.
+//!
+//! Every fact is its own entity (the synthetic test has no entity
+//! structure), and claims are emitted directly — both polarities — rather
+//! than via a raw triple database.
+
+use ltm_model::{AttrId, Claim, ClaimDb, EntityId, Fact, FactId, GroundTruth, SourceId, TruthAssignment};
+use ltm_stats::dist::Beta;
+use ltm_stats::rng::rng_from_seed;
+use rand::Rng;
+
+/// Configuration for the synthetic generator. Defaults match the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of facts (paper: 10000).
+    pub num_facts: usize,
+    /// Number of sources (paper: 20).
+    pub num_sources: usize,
+    /// `α₀ = (prior FP count, prior TN count)`: expected specificity is
+    /// `1 − α₀.0/(α₀.0+α₀.1)`. Paper sweeps this from `(90,10)` to
+    /// `(10,90)`.
+    pub alpha0: (f64, f64),
+    /// `α₁ = (prior TP count, prior FN count)`: expected sensitivity is
+    /// `α₁.0/(α₁.0+α₁.1)`. Paper sweeps `(10,90)` to `(90,10)`.
+    pub alpha1: (f64, f64),
+    /// `β = (prior true count, prior false count)`. Paper: `(10, 10)`.
+    pub beta: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            num_facts: 10_000,
+            num_sources: 20,
+            alpha0: (10.0, 90.0),
+            alpha1: (90.0, 10.0),
+            beta: (10.0, 10.0),
+            seed: 7,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A configuration with expected sensitivity `s` (prior strength 100),
+    /// keeping everything else at the defaults — one point on the
+    /// Figure 4 sensitivity sweep.
+    pub fn with_expected_sensitivity(s: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&s), "sensitivity must be in [0,1]");
+        Self {
+            alpha1: (100.0 * s, 100.0 * (1.0 - s)),
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A configuration with expected specificity `s` (prior strength 100)
+    /// and expected sensitivity 0.9 — one point on the Figure 4
+    /// specificity sweep.
+    pub fn with_expected_specificity(s: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&s), "specificity must be in [0,1]");
+        Self {
+            alpha0: (100.0 * (1.0 - s), 100.0 * s),
+            alpha1: (90.0, 10.0),
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// A generated synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticData {
+    /// The claim database (every source claims every fact).
+    pub claims: ClaimDb,
+    /// Ground-truth label per fact.
+    pub truth: Vec<bool>,
+    /// Ground truth in evaluation form (every fact labeled).
+    pub ground: GroundTruth,
+    /// The drawn per-source false-positive rates `φ⁰`.
+    pub phi0: Vec<f64>,
+    /// The drawn per-source sensitivities `φ¹`.
+    pub phi1: Vec<f64>,
+}
+
+impl SyntheticData {
+    /// Ground truth as a degenerate probability assignment (for metric
+    /// computations that want the oracle).
+    pub fn truth_assignment(&self) -> TruthAssignment {
+        TruthAssignment::new(self.truth.iter().map(|&t| t as u8 as f64).collect())
+    }
+}
+
+/// Runs the generative process of paper §4 forward.
+pub fn generate(cfg: &SyntheticConfig) -> SyntheticData {
+    assert!(cfg.num_facts > 0, "num_facts must be positive");
+    assert!(cfg.num_sources > 0, "num_sources must be positive");
+    let mut rng = rng_from_seed(cfg.seed);
+
+    let beta_phi0 = Beta::new(cfg.alpha0.0, cfg.alpha0.1);
+    let beta_phi1 = Beta::new(cfg.alpha1.0, cfg.alpha1.1);
+    let beta_theta = Beta::new(cfg.beta.0, cfg.beta.1);
+
+    let phi0: Vec<f64> = (0..cfg.num_sources).map(|_| beta_phi0.sample(&mut rng)).collect();
+    let phi1: Vec<f64> = (0..cfg.num_sources).map(|_| beta_phi1.sample(&mut rng)).collect();
+
+    let mut facts = Vec::with_capacity(cfg.num_facts);
+    let mut truth = Vec::with_capacity(cfg.num_facts);
+    let mut claims = Vec::with_capacity(cfg.num_facts * cfg.num_sources);
+    let mut ground = GroundTruth::new();
+
+    for i in 0..cfg.num_facts {
+        let f = FactId::from_usize(i);
+        let entity = EntityId::from_usize(i);
+        facts.push(Fact {
+            entity,
+            attr: AttrId::new(0),
+        });
+        let theta = beta_theta.sample(&mut rng);
+        let t = rng.gen::<f64>() < theta;
+        truth.push(t);
+        ground.insert(entity, f, t);
+        for k in 0..cfg.num_sources {
+            let p = if t { phi1[k] } else { phi0[k] };
+            claims.push(Claim {
+                fact: f,
+                source: SourceId::from_usize(k),
+                observation: rng.gen::<f64>() < p,
+            });
+        }
+    }
+
+    SyntheticData {
+        claims: ClaimDb::from_parts(facts, claims, cfg.num_sources),
+        truth,
+        ground,
+        phi0,
+        phi1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig {
+            num_facts: 2_000,
+            num_sources: 10,
+            seed: 99,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let d = generate(&small());
+        assert_eq!(d.claims.num_facts(), 2_000);
+        assert_eq!(d.claims.num_sources(), 10);
+        assert_eq!(d.claims.num_claims(), 20_000, "every source claims every fact");
+        assert_eq!(d.truth.len(), 2_000);
+        assert_eq!(d.ground.num_labeled_facts(), 2_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.phi0, b.phi0);
+        assert_eq!(a.claims.num_positive_claims(), b.claims.num_positive_claims());
+        let c = generate(&SyntheticConfig {
+            seed: 100,
+            ..small()
+        });
+        assert_ne!(a.truth, c.truth);
+    }
+
+    #[test]
+    fn truth_fraction_tracks_beta_mean() {
+        // β = (10, 10) → expected ~50% true facts.
+        let d = generate(&small());
+        let frac = d.truth.iter().filter(|&&t| t).count() as f64 / d.truth.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    fn observation_rates_track_planted_quality() {
+        let d = generate(&small());
+        // For each source, the positive rate on true facts ≈ φ¹ and on
+        // false facts ≈ φ⁰.
+        for k in 0..10 {
+            let s = SourceId::from_usize(k);
+            let mut pos_true = 0usize;
+            let mut n_true = 0usize;
+            let mut pos_false = 0usize;
+            let mut n_false = 0usize;
+            for &c in d.claims.claims_of_source(s) {
+                let f = d.claims.claim_fact(c);
+                if d.truth[f.index()] {
+                    n_true += 1;
+                    pos_true += d.claims.claim_observation(c) as usize;
+                } else {
+                    n_false += 1;
+                    pos_false += d.claims.claim_observation(c) as usize;
+                }
+            }
+            let sens = pos_true as f64 / n_true as f64;
+            let fpr = pos_false as f64 / n_false as f64;
+            assert!((sens - d.phi1[k]).abs() < 0.05, "source {k}: sens {sens} vs {}", d.phi1[k]);
+            assert!((fpr - d.phi0[k]).abs() < 0.05, "source {k}: fpr {fpr} vs {}", d.phi0[k]);
+        }
+    }
+
+    #[test]
+    fn sweep_constructors_set_expectations() {
+        let s = SyntheticConfig::with_expected_sensitivity(0.3, 1);
+        assert!((s.alpha1.0 / (s.alpha1.0 + s.alpha1.1) - 0.3).abs() < 1e-12);
+        let p = SyntheticConfig::with_expected_specificity(0.7, 1);
+        assert!((p.alpha0.1 / (p.alpha0.0 + p.alpha0.1) - 0.7).abs() < 1e-12);
+        // Specificity sweep keeps sensitivity at 0.9 as in the paper.
+        assert!((p.alpha1.0 / (p.alpha1.0 + p.alpha1.1) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truth_assignment_is_degenerate() {
+        let d = generate(&SyntheticConfig {
+            num_facts: 50,
+            num_sources: 3,
+            ..small()
+        });
+        let t = d.truth_assignment();
+        for (i, &label) in d.truth.iter().enumerate() {
+            assert_eq!(t.prob(FactId::from_usize(i)), label as u8 as f64);
+        }
+    }
+}

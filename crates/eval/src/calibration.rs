@@ -1,0 +1,173 @@
+//! Probability-calibration measures.
+//!
+//! Figure 2 of the paper shows that several methods produce badly
+//! *calibrated* scores (TruthFinder's probabilities cluster near 1, the
+//! conservative fact-finders' near 0) even when their ranking is decent.
+//! These measures quantify that observation directly:
+//!
+//! * **Brier score** — mean squared error of the probabilities against
+//!   the labels (lower is better; 0.25 is the score of a constant 0.5).
+//! * **Expected calibration error (ECE)** — average |confidence −
+//!   empirical frequency| over equal-width probability bins, weighted by
+//!   bin occupancy.
+
+use ltm_model::{GroundTruth, TruthAssignment};
+use serde::Serialize;
+
+/// Brier score of `pred` on the labeled facts: `mean((p − y)²)`.
+///
+/// Returns `0` for an empty labeling.
+pub fn brier_score(truth: &GroundTruth, pred: &TruthAssignment) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (f, label) in truth.iter() {
+        let y = label as u8 as f64;
+        let e = pred.prob(f) - y;
+        total += e * e;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ReliabilityBin {
+    /// Lower edge of the bin (upper edge is `lo + width`).
+    pub lo: f64,
+    /// Mean predicted probability of facts in the bin.
+    pub mean_confidence: f64,
+    /// Empirical fraction of labeled-true facts in the bin.
+    pub empirical: f64,
+    /// Number of labeled facts in the bin.
+    pub count: usize,
+}
+
+/// Reliability diagram over `bins` equal-width probability bins.
+///
+/// Facts with probability exactly 1.0 fall into the last bin.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+pub fn reliability_diagram(
+    truth: &GroundTruth,
+    pred: &TruthAssignment,
+    bins: usize,
+) -> Vec<ReliabilityBin> {
+    assert!(bins > 0, "need at least one bin");
+    let width = 1.0 / bins as f64;
+    let mut conf = vec![0.0f64; bins];
+    let mut pos = vec![0usize; bins];
+    let mut count = vec![0usize; bins];
+    for (f, label) in truth.iter() {
+        let p = pred.prob(f);
+        let b = ((p / width) as usize).min(bins - 1);
+        conf[b] += p;
+        pos[b] += label as usize;
+        count[b] += 1;
+    }
+    (0..bins)
+        .map(|b| ReliabilityBin {
+            lo: b as f64 * width,
+            mean_confidence: if count[b] == 0 { 0.0 } else { conf[b] / count[b] as f64 },
+            empirical: if count[b] == 0 {
+                0.0
+            } else {
+                pos[b] as f64 / count[b] as f64
+            },
+            count: count[b],
+        })
+        .collect()
+}
+
+/// Expected calibration error over `bins` equal-width bins:
+/// `Σ_b (n_b / n) · |confidence_b − empirical_b|`.
+pub fn expected_calibration_error(
+    truth: &GroundTruth,
+    pred: &TruthAssignment,
+    bins: usize,
+) -> f64 {
+    let diagram = reliability_diagram(truth, pred, bins);
+    let n: usize = diagram.iter().map(|b| b.count).sum();
+    if n == 0 {
+        return 0.0;
+    }
+    diagram
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| b.count as f64 / n as f64 * (b.mean_confidence - b.empirical).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltm_model::{EntityId, FactId};
+
+    fn gt(labels: &[bool]) -> GroundTruth {
+        let mut g = GroundTruth::new();
+        for (i, &l) in labels.iter().enumerate() {
+            g.insert(EntityId::new(0), FactId::from_usize(i), l);
+        }
+        g
+    }
+
+    #[test]
+    fn brier_perfect_and_worst() {
+        let truth = gt(&[true, false]);
+        assert_eq!(brier_score(&truth, &TruthAssignment::new(vec![1.0, 0.0])), 0.0);
+        assert_eq!(brier_score(&truth, &TruthAssignment::new(vec![0.0, 1.0])), 1.0);
+        // Constant 0.5 scores 0.25.
+        assert!(
+            (brier_score(&truth, &TruthAssignment::new(vec![0.5, 0.5])) - 0.25).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn brier_empty_labeling_is_zero() {
+        let truth = GroundTruth::new();
+        assert_eq!(brier_score(&truth, &TruthAssignment::new(vec![0.7])), 0.0);
+    }
+
+    #[test]
+    fn ece_zero_for_perfectly_calibrated() {
+        // 10 facts at p = 0.8, exactly 8 true.
+        let labels: Vec<bool> = (0..10).map(|i| i < 8).collect();
+        let truth = gt(&labels);
+        let pred = TruthAssignment::new(vec![0.8; 10]);
+        assert!(expected_calibration_error(&truth, &pred, 10) < 1e-12);
+    }
+
+    #[test]
+    fn ece_large_for_overconfident() {
+        // Everything predicted 0.95 but only half true.
+        let labels: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let truth = gt(&labels);
+        let pred = TruthAssignment::new(vec![0.95; 10]);
+        let ece = expected_calibration_error(&truth, &pred, 10);
+        assert!((ece - 0.45).abs() < 1e-9, "ece = {ece}");
+    }
+
+    #[test]
+    fn reliability_bins_partition_facts() {
+        let labels = [true, false, true, true, false];
+        let truth = gt(&labels);
+        let pred = TruthAssignment::new(vec![0.05, 0.25, 0.55, 0.95, 1.0]);
+        let d = reliability_diagram(&truth, &pred, 4);
+        assert_eq!(d.len(), 4);
+        let total: usize = d.iter().map(|b| b.count).sum();
+        assert_eq!(total, 5);
+        // p = 1.0 lands in the last bin.
+        assert_eq!(d[3].count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        reliability_diagram(&gt(&[true]), &TruthAssignment::new(vec![0.5]), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Evaluation substrate for the `latent-truth` workspace.
+//!
+//! Implements the measurements of the paper's experimental section:
+//!
+//! * [`metrics`] — confusion matrices against labeled ground truth and the
+//!   derived one-sided (precision / recall) and two-sided (false-positive
+//!   rate / accuracy / F1) measures of Table 7, evaluated at a score
+//!   threshold (0.5 in the paper's headline results);
+//! * [`sweep`] — accuracy-versus-threshold curves (Figure 2);
+//! * [`roc`] — ROC curves and the area under them (Figure 3), computed by
+//!   the tie-aware Mann–Whitney statistic;
+//! * [`timing`] — wall-clock measurement helpers for the runtime studies
+//!   (Table 9, Figure 6);
+//! * [`report`] — plain-text table rendering and JSON export used by the
+//!   `repro` binary to print paper-style tables.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod calibration;
+pub mod metrics;
+pub mod report;
+pub mod roc;
+pub mod sweep;
+pub mod timing;
+
+pub use calibration::{brier_score, expected_calibration_error, reliability_diagram};
+pub use metrics::{Confusion, Metrics};
+pub use report::TextTable;
+pub use roc::{auc, roc_curve, RocPoint};
+pub use sweep::{accuracy_series, threshold_sweep};
+pub use timing::time;

@@ -1,0 +1,246 @@
+//! Confusion-matrix metrics against labeled ground truth
+//! (paper §3.1 and Table 7).
+//!
+//! Predictions are compared against the labeled subset only (the paper
+//! labels 100 entities per dataset); unlabeled facts are ignored. A fact
+//! is predicted true when its score is **greater than or equal to** the
+//! threshold, matching the paper's "equal to or above a threshold of 0.5".
+
+use ltm_model::{GroundTruth, TruthAssignment};
+use serde::Serialize;
+
+/// Confusion counts of a prediction against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct Confusion {
+    /// Labeled-true facts predicted true.
+    pub tp: usize,
+    /// Labeled-false facts predicted true.
+    pub fp: usize,
+    /// Labeled-true facts predicted false.
+    pub fn_: usize,
+    /// Labeled-false facts predicted false.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Compares `pred` against the labeled facts of `truth` at a score
+    /// threshold.
+    pub fn at_threshold(truth: &GroundTruth, pred: &TruthAssignment, threshold: f64) -> Self {
+        let mut c = Confusion::default();
+        for (f, label) in truth.iter() {
+            let predicted = pred.is_true(f, threshold);
+            match (label, predicted) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (true, false) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Total labeled facts.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// `TP / (TP + FP)`; 1 when the method makes no positive prediction
+    /// (the convention behind Table 7's `1.000` precision entries for the
+    /// conservative methods).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`; 1 when there are no labeled-true facts.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// `FP / (FP + TN)`; 0 when there are no labeled-false facts.
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.fp + self.tn == 0 {
+            0.0
+        } else {
+            self.fp as f64 / (self.fp + self.tn) as f64
+        }
+    }
+
+    /// `TN / (FP + TN)`; 1 when there are no labeled-false facts.
+    pub fn specificity(&self) -> f64 {
+        1.0 - self.false_positive_rate()
+    }
+
+    /// `(TP + TN) / total`; 1 on an empty labeling.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// The Table 7 row for this confusion matrix.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            precision: self.precision(),
+            recall: self.recall(),
+            fpr: self.false_positive_rate(),
+            accuracy: self.accuracy(),
+            f1: self.f1(),
+        }
+    }
+}
+
+/// The five measures the paper reports per method per dataset (Table 7):
+/// one-sided precision and recall, two-sided false-positive rate, accuracy,
+/// and F1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Metrics {
+    /// One-sided: reliability of positive predictions.
+    pub precision: f64,
+    /// One-sided: coverage of true facts.
+    pub recall: f64,
+    /// Two-sided: fraction of false facts predicted true.
+    pub fpr: f64,
+    /// Two-sided: overall fraction correct.
+    pub accuracy: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Shorthand: metrics of `pred` against `truth` at a threshold.
+pub fn evaluate(truth: &GroundTruth, pred: &TruthAssignment, threshold: f64) -> Metrics {
+    Confusion::at_threshold(truth, pred, threshold).metrics()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltm_model::{EntityId, FactId};
+
+    /// Four labeled facts with known scores:
+    /// f0 true/0.9, f1 true/0.4, f2 false/0.6, f3 false/0.1.
+    fn setup() -> (GroundTruth, TruthAssignment) {
+        let mut gt = GroundTruth::new();
+        gt.insert(EntityId::new(0), FactId::new(0), true);
+        gt.insert(EntityId::new(0), FactId::new(1), true);
+        gt.insert(EntityId::new(1), FactId::new(2), false);
+        gt.insert(EntityId::new(1), FactId::new(3), false);
+        let pred = TruthAssignment::new(vec![0.9, 0.4, 0.6, 0.1]);
+        (gt, pred)
+    }
+
+    #[test]
+    fn confusion_at_half() {
+        let (gt, pred) = setup();
+        let c = Confusion::at_threshold(&gt, &pred, 0.5);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
+        let m = c.metrics();
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+        assert_eq!(m.fpr, 0.5);
+        assert_eq!(m.accuracy, 0.5);
+        assert_eq!(m.f1, 0.5);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let (gt, _) = setup();
+        let pred = TruthAssignment::new(vec![0.5, 0.5, 0.5, 0.5]);
+        let c = Confusion::at_threshold(&gt, &pred, 0.5);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 2);
+        assert_eq!(c.fn_ + c.tn, 0);
+    }
+
+    #[test]
+    fn unlabeled_facts_ignored() {
+        let mut gt = GroundTruth::new();
+        gt.insert(EntityId::new(0), FactId::new(1), true);
+        // Prediction covers 4 facts; only fact 1 is labeled.
+        let pred = TruthAssignment::new(vec![0.0, 1.0, 0.0, 0.0]);
+        let c = Confusion::at_threshold(&gt, &pred, 0.5);
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.tp, 1);
+    }
+
+    #[test]
+    fn degenerate_conventions() {
+        // All-negative predictor: precision 1 by convention, recall 0.
+        let (gt, _) = setup();
+        let pred = TruthAssignment::new(vec![0.0; 4]);
+        let m = evaluate(&gt, &pred, 0.5);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.fpr, 0.0);
+        assert_eq!(m.f1, 0.0);
+
+        // All-positive predictor: recall 1, FPR 1 (the paper's
+        // TruthFinder/Investment/LTMpos row shape).
+        let pred = TruthAssignment::new(vec![1.0; 4]);
+        let m = evaluate(&gt, &pred, 0.5);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.fpr, 1.0);
+        assert_eq!(m.precision, 0.5);
+    }
+
+    #[test]
+    fn empty_ground_truth() {
+        let gt = GroundTruth::new();
+        let pred = TruthAssignment::new(vec![0.7]);
+        let c = Confusion::at_threshold(&gt, &pred, 0.5);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let c = Confusion {
+            tp: 8,
+            fp: 2,
+            fn_: 4,
+            tn: 6,
+        };
+        let p = 0.8;
+        let r = 8.0 / 12.0;
+        assert!((c.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn specificity_complements_fpr() {
+        let c = Confusion {
+            tp: 1,
+            fp: 3,
+            fn_: 2,
+            tn: 9,
+        };
+        assert!((c.specificity() + c.false_positive_rate() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Plain-text table rendering and JSON export for the experiment harness.
+//!
+//! The `repro` binary prints each reproduced table/figure as an aligned
+//! text table (mirroring the paper's layout) and writes the same data as
+//! JSON so EXPERIMENTS.md numbers are diffable across runs.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the header count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with padded columns, a header underline, and a trailing
+    /// newline.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                // First column left-aligned, the rest right-aligned
+                // (numbers read better right-aligned).
+                if i == 0 {
+                    let _ = write!(out, "{cell}{}", " ".repeat(pad));
+                } else {
+                    let _ = write!(out, "{}{cell}", " ".repeat(pad));
+                }
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a probability/metric with 3 decimals, as in the paper's tables.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Serialises `value` as pretty JSON into `path`, creating parent
+/// directories as needed.
+pub fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["Method", "Accuracy"]);
+        t.row(["LTM", "0.995"]);
+        t.row(["Voting", "0.880"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric column: both rows end at the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[2].ends_with("0.995"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        TextTable::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(0.99949), "0.999");
+        assert_eq!(fmt3(1.0), "1.000");
+    }
+
+    #[test]
+    fn write_json_roundtrip() {
+        let dir = std::env::temp_dir().join("ltm-eval-test-json");
+        let path = dir.join("nested/out.json");
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unicode_widths_align() {
+        let mut t = TextTable::new(["α₀", "value"]);
+        t.row(["Beta(10,1000)", "0.990"]);
+        // Must not panic on multi-byte headers; rough alignment suffices.
+        let s = t.render();
+        assert!(s.contains("Beta"));
+    }
+}

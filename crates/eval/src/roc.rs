@@ -1,0 +1,181 @@
+//! ROC curves and AUC (paper Figure 3).
+//!
+//! The paper summarises each method's ranking quality by the area under
+//! its ROC curve, "which quantitatively evaluates capability of correctly
+//! ranking random facts by score". AUC is computed by the tie-aware
+//! Mann–Whitney U statistic: the probability that a random labeled-true
+//! fact outscores a random labeled-false fact, counting ties as ½.
+
+use ltm_model::{GroundTruth, TruthAssignment};
+use serde::Serialize;
+
+/// One point of an ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RocPoint {
+    /// False-positive rate at this operating point.
+    pub fpr: f64,
+    /// True-positive rate (recall) at this operating point.
+    pub tpr: f64,
+    /// The score threshold realising the point.
+    pub threshold: f64,
+}
+
+/// Computes the ROC curve of `pred` on the labeled facts, from the
+/// all-negative corner `(0,0)` to the all-positive corner `(1,1)`,
+/// stepping through each distinct score.
+pub fn roc_curve(truth: &GroundTruth, pred: &TruthAssignment) -> Vec<RocPoint> {
+    let mut scored: Vec<(f64, bool)> = truth
+        .iter()
+        .map(|(f, label)| (pred.prob(f), label))
+        .collect();
+    let pos = scored.iter().filter(|(_, l)| *l).count();
+    let neg = scored.len() - pos;
+    // Descending by score; walk thresholds downwards.
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are not NaN"));
+
+    let mut points = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < scored.len() {
+        let score = scored[i].0;
+        // Consume the whole tie group at once — points between tied scores
+        // are not realisable thresholds.
+        while i < scored.len() && scored[i].0 == score {
+            if scored[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            fpr: if neg == 0 { 0.0 } else { fp as f64 / neg as f64 },
+            tpr: if pos == 0 { 1.0 } else { tp as f64 / pos as f64 },
+            threshold: score,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve via the tie-aware rank statistic.
+///
+/// Returns 0.5 when either class is empty (no ranking information).
+pub fn auc(truth: &GroundTruth, pred: &TruthAssignment) -> f64 {
+    let mut scored: Vec<(f64, bool)> = truth
+        .iter()
+        .map(|(f, label)| (pred.prob(f), label))
+        .collect();
+    let pos = scored.iter().filter(|(_, l)| *l).count();
+    let neg = scored.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are not NaN"));
+
+    // Sum of average ranks (1-based) of the positive class.
+    let mut rank_sum = 0.0f64;
+    let mut i = 0;
+    while i < scored.len() {
+        let score = scored[i].0;
+        let start = i;
+        let mut positives_in_tie = 0usize;
+        while i < scored.len() && scored[i].0 == score {
+            if scored[i].1 {
+                positives_in_tie += 1;
+            }
+            i += 1;
+        }
+        let avg_rank = (start + 1 + i) as f64 / 2.0; // mean of ranks start+1..=i
+        rank_sum += avg_rank * positives_in_tie as f64;
+    }
+    (rank_sum - (pos * (pos + 1)) as f64 / 2.0) / (pos * neg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltm_model::{EntityId, FactId};
+
+    fn gt(labels: &[bool]) -> GroundTruth {
+        let mut g = GroundTruth::new();
+        for (i, &l) in labels.iter().enumerate() {
+            g.insert(EntityId::new(0), FactId::from_usize(i), l);
+        }
+        g
+    }
+
+    #[test]
+    fn perfect_separation_auc_one() {
+        let truth = gt(&[true, true, false, false]);
+        let pred = TruthAssignment::new(vec![0.9, 0.8, 0.2, 0.1]);
+        assert!((auc(&truth, &pred) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_auc_zero() {
+        let truth = gt(&[true, true, false, false]);
+        let pred = TruthAssignment::new(vec![0.1, 0.2, 0.8, 0.9]);
+        assert!(auc(&truth, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_scores_auc_half() {
+        let truth = gt(&[true, false, true, false]);
+        let pred = TruthAssignment::new(vec![0.5; 4]);
+        assert!((auc(&truth, &pred) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_returns_half() {
+        let truth = gt(&[true, true]);
+        let pred = TruthAssignment::new(vec![0.9, 0.1]);
+        assert_eq!(auc(&truth, &pred), 0.5);
+    }
+
+    #[test]
+    fn partial_overlap_hand_computed() {
+        // positives: 0.8, 0.4; negatives: 0.6, 0.2.
+        // Pairs: (0.8>0.6) 1, (0.8>0.2) 1, (0.4<0.6) 0, (0.4>0.2) 1 → 3/4.
+        let truth = gt(&[true, false, true, false]);
+        let pred = TruthAssignment::new(vec![0.8, 0.6, 0.4, 0.2]);
+        assert!((auc(&truth, &pred) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_counts_half() {
+        // positive 0.5, negative 0.5 → AUC 0.5 by tie convention.
+        let truth = gt(&[true, false]);
+        let pred = TruthAssignment::new(vec![0.5, 0.5]);
+        assert!((auc(&truth, &pred) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_endpoints_and_monotonicity() {
+        let truth = gt(&[true, false, true, false, true]);
+        let pred = TruthAssignment::new(vec![0.9, 0.7, 0.6, 0.3, 0.2]);
+        let curve = roc_curve(&truth, &pred);
+        assert_eq!(curve.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(curve.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+            assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+
+    #[test]
+    fn auc_matches_trapezoid_of_curve() {
+        let truth = gt(&[true, false, true, false, true, false, false]);
+        let pred = TruthAssignment::new(vec![0.9, 0.8, 0.6, 0.5, 0.5, 0.3, 0.1]);
+        let curve = roc_curve(&truth, &pred);
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0;
+        }
+        assert!((area - auc(&truth, &pred)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Threshold sweeps (paper Figure 2).
+//!
+//! The paper plots accuracy as the decision threshold varies over `[0, 1]`
+//! to expose each method's score calibration: a discriminative method is
+//! flat and high across the range; optimistic methods only work at very
+//! high thresholds, conservative ones only at very low thresholds.
+
+use ltm_model::{GroundTruth, TruthAssignment};
+
+use crate::metrics::{evaluate, Metrics};
+
+/// Evaluates `pred` at each threshold, returning `(threshold, metrics)`
+/// pairs.
+pub fn threshold_sweep(
+    truth: &GroundTruth,
+    pred: &TruthAssignment,
+    thresholds: &[f64],
+) -> Vec<(f64, Metrics)> {
+    thresholds
+        .iter()
+        .map(|&t| (t, evaluate(truth, pred, t)))
+        .collect()
+}
+
+/// The default grid used by the Figure 2 reproduction: 0.00 to 1.00 in
+/// steps of 0.01.
+pub fn default_grid() -> Vec<f64> {
+    (0..=100).map(|i| i as f64 / 100.0).collect()
+}
+
+/// Accuracy at each threshold of the default grid — one curve of
+/// Figure 2.
+pub fn accuracy_series(truth: &GroundTruth, pred: &TruthAssignment) -> Vec<(f64, f64)> {
+    threshold_sweep(truth, pred, &default_grid())
+        .into_iter()
+        .map(|(t, m)| (t, m.accuracy))
+        .collect()
+}
+
+/// The threshold with the highest accuracy (ties broken towards the lower
+/// threshold). The paper discusses each method's "optimal threshold" even
+/// though it is unknowable without supervision.
+pub fn best_threshold(truth: &GroundTruth, pred: &TruthAssignment) -> (f64, f64) {
+    accuracy_series(truth, pred)
+        .into_iter()
+        .fold((0.0, f64::NEG_INFINITY), |best, (t, acc)| {
+            if acc > best.1 {
+                (t, acc)
+            } else {
+                best
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltm_model::{EntityId, FactId};
+
+    fn setup() -> (GroundTruth, TruthAssignment) {
+        let mut gt = GroundTruth::new();
+        gt.insert(EntityId::new(0), FactId::new(0), true);
+        gt.insert(EntityId::new(0), FactId::new(1), true);
+        gt.insert(EntityId::new(1), FactId::new(2), false);
+        gt.insert(EntityId::new(1), FactId::new(3), false);
+        (gt, TruthAssignment::new(vec![0.9, 0.7, 0.3, 0.1]))
+    }
+
+    #[test]
+    fn grid_covers_unit_interval() {
+        let g = default_grid();
+        assert_eq!(g.len(), 101);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[100], 1.0);
+    }
+
+    #[test]
+    fn perfectly_separable_scores_peak_in_middle() {
+        let (gt, pred) = setup();
+        let series = accuracy_series(&gt, &pred);
+        // Accuracy 1.0 anywhere strictly above 0.3 and at/below 0.7.
+        for (t, acc) in &series {
+            if *t > 0.3 && *t <= 0.7 {
+                assert_eq!(*acc, 1.0, "threshold {t}");
+            }
+        }
+        // At threshold 0 everything is predicted true: accuracy 0.5.
+        assert_eq!(series[0].1, 0.5);
+    }
+
+    #[test]
+    fn best_threshold_finds_plateau() {
+        let (gt, pred) = setup();
+        let (t, acc) = best_threshold(&gt, &pred);
+        assert_eq!(acc, 1.0);
+        assert!(t > 0.3 && t <= 0.7, "best threshold {t}");
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_evaluation() {
+        let (gt, pred) = setup();
+        let sweep = threshold_sweep(&gt, &pred, &[0.25, 0.5, 0.75]);
+        assert_eq!(sweep.len(), 3);
+        for (t, m) in sweep {
+            assert_eq!(m, evaluate(&gt, &pred, t));
+        }
+    }
+}

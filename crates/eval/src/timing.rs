@@ -1,0 +1,72 @@
+//! Wall-clock measurement helpers for the runtime studies
+//! (paper Table 9 and Figure 6).
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+/// Runs `f`, returning its result and the elapsed wall-clock time.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Runs `f` `repeats` times and returns the mean wall-clock seconds —
+/// the paper's Table 9 averages 10 runs per cell.
+pub fn mean_seconds<R>(repeats: usize, mut f: impl FnMut() -> R) -> f64 {
+    assert!(repeats > 0, "need at least one repeat");
+    let mut total = Duration::ZERO;
+    for _ in 0..repeats {
+        let (_, d) = time(&mut f);
+        total += d;
+    }
+    total.as_secs_f64() / repeats as f64
+}
+
+/// One row of a runtime-scaling table: dataset size and measured seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RuntimeRow {
+    /// Number of entities in the subset.
+    pub entities: usize,
+    /// Number of claims in the subset.
+    pub claims: usize,
+    /// Mean measured seconds.
+    pub seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_value_and_duration() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0 || d == Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_seconds_counts_all_repeats() {
+        let mut calls = 0;
+        let _ = mean_seconds(5, || calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repeat")]
+    fn zero_repeats_rejected() {
+        mean_seconds(0, || ());
+    }
+
+    #[test]
+    fn timing_is_roughly_monotone_in_work() {
+        let short = mean_seconds(3, || {
+            std::hint::black_box((0..10_000).sum::<u64>())
+        });
+        let long = mean_seconds(3, || {
+            std::hint::black_box((0..10_000_000).sum::<u64>())
+        });
+        assert!(long > short, "long {long} vs short {short}");
+    }
+}

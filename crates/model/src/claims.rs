@@ -1,0 +1,568 @@
+//! The fact table and claim table (paper Definitions 2–3), in a
+//! compressed-sparse-row layout.
+//!
+//! [`ClaimDb`] is the structure every inference method in the workspace
+//! consumes. It stores:
+//!
+//! * the **fact table**: distinct `(entity, attribute)` pairs;
+//! * the **claim table**: for each fact, one claim per source that covers
+//!   the fact's entity — positive if the source asserted the fact, negative
+//!   otherwise (Definition 3). Sources that never mention an entity make no
+//!   claims about its facts;
+//! * adjacency in three directions, each as CSR: fact → claims (used by the
+//!   Gibbs sampler's per-fact resampling), source → claims (used by
+//!   source-quality estimation and several baselines), and entity → facts
+//!   (the mutual-exclusion groups used by PooledInvestment and by
+//!   per-entity evaluation).
+//!
+//! Layout notes: claims are stored as three parallel arrays sorted by fact,
+//! so "the claims of fact `f`" is a contiguous range — the sampler's inner
+//! loop is a linear scan. The source-major view is a permutation index into
+//! the same arrays.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ids::{AttrId, ClaimId, EntityId, FactId, SourceId};
+use crate::raw::RawDatabase;
+
+/// A fact: a distinct `(entity, attribute)` pair (paper Definition 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fact {
+    /// The entity this fact describes.
+    pub entity: EntityId,
+    /// The attribute value this fact asserts.
+    pub attr: AttrId,
+}
+
+/// A claim: one source's Boolean assertion about one fact
+/// (paper Definition 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Claim {
+    /// The fact the claim refers to.
+    pub fact: FactId,
+    /// The source making the claim.
+    pub source: SourceId,
+    /// `true` for a positive claim (source asserted the fact), `false` for
+    /// a negative claim (source covered the entity but did not assert it).
+    pub observation: bool,
+}
+
+/// Fact table + claim table with CSR adjacency. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ClaimDb {
+    facts: Vec<Fact>,
+    /// Claims sorted by fact: parallel arrays.
+    claim_source: Vec<SourceId>,
+    claim_obs: Vec<bool>,
+    /// `fact_offsets[f.index()]..fact_offsets[f.index()+1]` indexes the
+    /// claims of fact `f`.
+    fact_offsets: Vec<u32>,
+    /// Source-major permutation: `source_claims[source_offsets[s]..
+    /// source_offsets[s+1]]` are claim ids of source `s`.
+    source_offsets: Vec<u32>,
+    source_claims: Vec<ClaimId>,
+    /// Entity → facts (facts sorted by id within each entity).
+    entity_offsets: Vec<u32>,
+    entity_facts: Vec<FactId>,
+    num_sources: usize,
+    num_positive: usize,
+}
+
+impl ClaimDb {
+    /// Builds the fact and claim tables from a raw database, applying the
+    /// claim-generation rules of Definition 3.
+    pub fn from_raw(raw: &RawDatabase) -> Self {
+        // 1. Distinct (entity, attr) pairs in sorted order become facts.
+        //    Raw rows are sorted, so facts come out sorted and deduplicated
+        //    by a linear scan.
+        let mut facts: Vec<Fact> = Vec::new();
+        let mut fact_of: HashMap<(EntityId, AttrId), FactId> = HashMap::new();
+        for row in raw.rows() {
+            let key = (row.entity, row.attr);
+            if let std::collections::hash_map::Entry::Vacant(e) = fact_of.entry(key) {
+                e.insert(FactId::from_usize(facts.len()));
+                facts.push(Fact {
+                    entity: row.entity,
+                    attr: row.attr,
+                });
+            }
+        }
+
+        // 2. Which sources cover each entity, and which (fact, source)
+        //    pairs are positive.
+        let mut entity_sources: HashMap<EntityId, Vec<SourceId>> = HashMap::new();
+        let mut positive: HashSet<(FactId, SourceId)> = HashSet::new();
+        for row in raw.rows() {
+            let f = fact_of[&(row.entity, row.attr)];
+            positive.insert((f, row.source));
+            let cover = entity_sources.entry(row.entity).or_default();
+            if !cover.contains(&row.source) {
+                cover.push(row.source);
+            }
+        }
+        for cover in entity_sources.values_mut() {
+            cover.sort_unstable();
+        }
+
+        // 3. Emit claims fact-by-fact: one per covering source.
+        let mut claims: Vec<Claim> = Vec::new();
+        for (i, fact) in facts.iter().enumerate() {
+            let f = FactId::from_usize(i);
+            for &s in &entity_sources[&fact.entity] {
+                claims.push(Claim {
+                    fact: f,
+                    source: s,
+                    observation: positive.contains(&(f, s)),
+                });
+            }
+        }
+
+        Self::from_parts(facts, claims, raw.num_sources())
+    }
+
+    /// Builds a `ClaimDb` directly from facts and explicit claims.
+    ///
+    /// This is the entry point for the synthetic generator (paper §6.1),
+    /// whose generative process emits claim observations directly rather
+    /// than going through a raw triple database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a claim references an out-of-range fact, if a
+    /// `(fact, source)` pair appears twice, or if `num_sources` does not
+    /// cover every referenced source.
+    pub fn from_parts(facts: Vec<Fact>, mut claims: Vec<Claim>, num_sources: usize) -> Self {
+        // Validate references and uniqueness.
+        let mut seen: HashSet<(FactId, SourceId)> = HashSet::with_capacity(claims.len());
+        for c in &claims {
+            assert!(
+                c.fact.index() < facts.len(),
+                "claim references fact {} but there are only {} facts",
+                c.fact,
+                facts.len()
+            );
+            assert!(
+                c.source.index() < num_sources,
+                "claim references source {} but num_sources = {num_sources}",
+                c.source
+            );
+            assert!(
+                seen.insert((c.fact, c.source)),
+                "duplicate claim for (fact {}, source {})",
+                c.fact,
+                c.source
+            );
+        }
+        drop(seen);
+
+        // Sort claims by (fact, source) and build the fact-major CSR.
+        claims.sort_unstable_by_key(|c| (c.fact, c.source));
+        let mut fact_offsets = vec![0u32; facts.len() + 1];
+        for c in &claims {
+            fact_offsets[c.fact.index() + 1] += 1;
+        }
+        for i in 0..facts.len() {
+            fact_offsets[i + 1] += fact_offsets[i];
+        }
+        let claim_source: Vec<SourceId> = claims.iter().map(|c| c.source).collect();
+        let claim_obs: Vec<bool> = claims.iter().map(|c| c.observation).collect();
+        let num_positive = claim_obs.iter().filter(|&&o| o).count();
+
+        // Source-major permutation by counting sort.
+        let mut source_offsets = vec![0u32; num_sources + 1];
+        for &s in &claim_source {
+            source_offsets[s.index() + 1] += 1;
+        }
+        for i in 0..num_sources {
+            source_offsets[i + 1] += source_offsets[i];
+        }
+        let mut cursor = source_offsets.clone();
+        let mut source_claims = vec![ClaimId::new(0); claims.len()];
+        for (i, &s) in claim_source.iter().enumerate() {
+            source_claims[cursor[s.index()] as usize] = ClaimId::from_usize(i);
+            cursor[s.index()] += 1;
+        }
+
+        // Entity → facts CSR. Entities are identified by their id; the
+        // offsets array spans 0..=max_entity_id.
+        let num_entities = facts
+            .iter()
+            .map(|f| f.entity.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut entity_offsets = vec![0u32; num_entities + 1];
+        for f in &facts {
+            entity_offsets[f.entity.index() + 1] += 1;
+        }
+        for i in 0..num_entities {
+            entity_offsets[i + 1] += entity_offsets[i];
+        }
+        let mut cursor = entity_offsets.clone();
+        let mut entity_facts = vec![FactId::new(0); facts.len()];
+        for (i, f) in facts.iter().enumerate() {
+            entity_facts[cursor[f.entity.index()] as usize] = FactId::from_usize(i);
+            cursor[f.entity.index()] += 1;
+        }
+
+        Self {
+            facts,
+            claim_source,
+            claim_obs,
+            fact_offsets,
+            source_offsets,
+            source_claims,
+            entity_offsets,
+            entity_facts,
+            num_sources,
+            num_positive,
+        }
+    }
+
+    /// Number of facts.
+    pub fn num_facts(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Number of claims (positive + negative).
+    pub fn num_claims(&self) -> usize {
+        self.claim_source.len()
+    }
+
+    /// Number of positive claims.
+    pub fn num_positive_claims(&self) -> usize {
+        self.num_positive
+    }
+
+    /// Number of negative claims.
+    pub fn num_negative_claims(&self) -> usize {
+        self.num_claims() - self.num_positive
+    }
+
+    /// Number of sources (the id space; some may have no claims).
+    pub fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    /// Number of entity ids spanned by the fact table.
+    pub fn num_entities(&self) -> usize {
+        self.entity_offsets.len() - 1
+    }
+
+    /// The fact record for `f`.
+    pub fn fact(&self, f: FactId) -> Fact {
+        self.facts[f.index()]
+    }
+
+    /// All facts, indexable by `FactId`.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Iterates over all fact ids.
+    pub fn fact_ids(&self) -> impl Iterator<Item = FactId> {
+        (0..self.facts.len()).map(FactId::from_usize)
+    }
+
+    /// Iterates over all source ids.
+    pub fn source_ids(&self) -> impl Iterator<Item = SourceId> {
+        (0..self.num_sources).map(SourceId::from_usize)
+    }
+
+    /// The contiguous claim-index range of fact `f`.
+    #[inline]
+    pub fn fact_claim_range(&self, f: FactId) -> std::ops::Range<usize> {
+        self.fact_offsets[f.index()] as usize..self.fact_offsets[f.index() + 1] as usize
+    }
+
+    /// The sources claiming fact `f` (parallel to
+    /// [`ClaimDb::fact_claim_observations`]).
+    #[inline]
+    pub fn fact_claim_sources(&self, f: FactId) -> &[SourceId] {
+        &self.claim_source[self.fact_claim_range(f)]
+    }
+
+    /// The observations of fact `f`'s claims (parallel to
+    /// [`ClaimDb::fact_claim_sources`]).
+    #[inline]
+    pub fn fact_claim_observations(&self, f: FactId) -> &[bool] {
+        &self.claim_obs[self.fact_claim_range(f)]
+    }
+
+    /// Iterates `(source, observation)` over the claims of fact `f`.
+    pub fn claims_of_fact(&self, f: FactId) -> impl Iterator<Item = (SourceId, bool)> + '_ {
+        self.fact_claim_sources(f)
+            .iter()
+            .copied()
+            .zip(self.fact_claim_observations(f).iter().copied())
+    }
+
+    /// The source of claim `c`.
+    #[inline]
+    pub fn claim_source(&self, c: ClaimId) -> SourceId {
+        self.claim_source[c.index()]
+    }
+
+    /// The observation of claim `c`.
+    #[inline]
+    pub fn claim_observation(&self, c: ClaimId) -> bool {
+        self.claim_obs[c.index()]
+    }
+
+    /// The fact of claim `c` (binary search over the fact offsets).
+    pub fn claim_fact(&self, c: ClaimId) -> FactId {
+        let i = c.raw();
+        // partition_point returns the count of facts whose range ends at or
+        // before i, i.e. the owning fact index.
+        let f = self.fact_offsets[1..].partition_point(|&end| end <= i);
+        FactId::from_usize(f)
+    }
+
+    /// Claim ids made by source `s` (both positive and negative).
+    pub fn claims_of_source(&self, s: SourceId) -> &[ClaimId] {
+        let range = self.source_offsets[s.index()] as usize
+            ..self.source_offsets[s.index() + 1] as usize;
+        &self.source_claims[range]
+    }
+
+    /// Facts positively asserted by source `s`.
+    pub fn positive_facts_of_source(&self, s: SourceId) -> impl Iterator<Item = FactId> + '_ {
+        self.claims_of_source(s)
+            .iter()
+            .copied()
+            .filter(|&c| self.claim_observation(c))
+            .map(|c| self.claim_fact(c))
+    }
+
+    /// Facts of entity `e` (empty if the entity id is outside the fact
+    /// table's range).
+    pub fn facts_of_entity(&self, e: EntityId) -> &[FactId] {
+        if e.index() + 1 >= self.entity_offsets.len() {
+            return &[];
+        }
+        let range =
+            self.entity_offsets[e.index()] as usize..self.entity_offsets[e.index() + 1] as usize;
+        &self.entity_facts[range]
+    }
+
+    /// Iterates over entity ids that own at least one fact.
+    pub fn entity_ids(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.num_entities())
+            .map(EntityId::from_usize)
+            .filter(|e| !self.facts_of_entity(*e).is_empty())
+    }
+
+    /// Number of positive claims for fact `f`.
+    pub fn positive_count(&self, f: FactId) -> usize {
+        self.fact_claim_observations(f)
+            .iter()
+            .filter(|&&o| o)
+            .count()
+    }
+
+    /// Materialises all claims (test/debug convenience; inference code uses
+    /// the CSR accessors instead).
+    pub fn all_claims(&self) -> Vec<Claim> {
+        let mut out = Vec::with_capacity(self.num_claims());
+        for f in self.fact_ids() {
+            for (source, observation) in self.claims_of_fact(f) {
+                out.push(Claim {
+                    fact: f,
+                    source,
+                    observation,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::RawDatabaseBuilder;
+
+    /// Paper Table 1 → Tables 2 and 3.
+    fn table1() -> (RawDatabase, ClaimDb) {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+        b.add("Harry Potter", "Emma Watson", "IMDB");
+        b.add("Harry Potter", "Rupert Grint", "IMDB");
+        b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+        b.add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+        b.add("Harry Potter", "Emma Watson", "BadSource.com");
+        b.add("Harry Potter", "Johnny Depp", "BadSource.com");
+        b.add("Pirates 4", "Johnny Depp", "Hulu.com");
+        let raw = b.build();
+        let db = ClaimDb::from_raw(&raw);
+        (raw, db)
+    }
+
+    fn fact_id(raw: &RawDatabase, db: &ClaimDb, entity: &str, attr: &str) -> FactId {
+        let e = raw.entity_id(entity).unwrap();
+        let a = raw.attr_id(attr).unwrap();
+        db.fact_ids()
+            .find(|&f| db.fact(f).entity == e && db.fact(f).attr == a)
+            .unwrap()
+    }
+
+    #[test]
+    fn table2_fact_count() {
+        let (_, db) = table1();
+        // Five facts: 4 Harry Potter cast facts + 1 Pirates fact.
+        assert_eq!(db.num_facts(), 5);
+    }
+
+    #[test]
+    fn table3_claim_count_and_polarity() {
+        let (raw, db) = table1();
+        // Harry Potter is covered by IMDB, Netflix, BadSource.com → 3
+        // claims per HP fact × 4 facts = 12; Pirates 4 is covered only by
+        // Hulu.com → 1 claim. Total 13, matching paper Table 3.
+        assert_eq!(db.num_claims(), 13);
+        assert_eq!(db.num_positive_claims(), 8);
+        assert_eq!(db.num_negative_claims(), 5);
+
+        // Spot-check the paper's rows. Fact 2 (Emma Watson): IMDB true,
+        // Netflix false, BadSource true.
+        let emma = fact_id(&raw, &db, "Harry Potter", "Emma Watson");
+        let claims: std::collections::HashMap<&str, bool> = db
+            .claims_of_fact(emma)
+            .map(|(s, o)| (raw.source_name(s), o))
+            .collect();
+        assert!(claims["IMDB"]);
+        assert!(!claims["Netflix"]);
+        assert!(claims["BadSource.com"]);
+        assert!(!claims.contains_key("Hulu.com"), "Hulu makes no HP claims");
+
+        // Fact 4 (Johnny Depp in HP): only BadSource positive.
+        let depp_hp = fact_id(&raw, &db, "Harry Potter", "Johnny Depp");
+        let claims: std::collections::HashMap<&str, bool> = db
+            .claims_of_fact(depp_hp)
+            .map(|(s, o)| (raw.source_name(s), o))
+            .collect();
+        assert!(!claims["IMDB"]);
+        assert!(!claims["Netflix"]);
+        assert!(claims["BadSource.com"]);
+    }
+
+    #[test]
+    fn uncovered_source_makes_no_claim() {
+        let (raw, db) = table1();
+        let hulu = raw.source_id("Hulu.com").unwrap();
+        let hulu_claims = db.claims_of_source(hulu);
+        assert_eq!(hulu_claims.len(), 1);
+        let c = hulu_claims[0];
+        assert!(db.claim_observation(c));
+        let f = db.claim_fact(c);
+        assert_eq!(raw.entity_name(db.fact(f).entity), "Pirates 4");
+    }
+
+    #[test]
+    fn claim_fact_inverse_of_ranges() {
+        let (_, db) = table1();
+        for f in db.fact_ids() {
+            for i in db.fact_claim_range(f) {
+                assert_eq!(db.claim_fact(ClaimId::from_usize(i)), f);
+            }
+        }
+    }
+
+    #[test]
+    fn source_major_view_is_permutation() {
+        let (_, db) = table1();
+        let mut seen = vec![false; db.num_claims()];
+        for s in db.source_ids() {
+            for &c in db.claims_of_source(s) {
+                assert_eq!(db.claim_source(c), s);
+                assert!(!seen[c.index()], "claim listed twice");
+                seen[c.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "every claim appears exactly once");
+    }
+
+    #[test]
+    fn entity_fact_groups() {
+        let (raw, db) = table1();
+        let hp = raw.entity_id("Harry Potter").unwrap();
+        let p4 = raw.entity_id("Pirates 4").unwrap();
+        assert_eq!(db.facts_of_entity(hp).len(), 4);
+        assert_eq!(db.facts_of_entity(p4).len(), 1);
+        for &f in db.facts_of_entity(hp) {
+            assert_eq!(db.fact(f).entity, hp);
+        }
+        assert_eq!(db.entity_ids().count(), 2);
+    }
+
+    #[test]
+    fn positive_count_per_fact() {
+        let (raw, db) = table1();
+        let daniel = fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe");
+        assert_eq!(db.positive_count(daniel), 3);
+        let rupert = fact_id(&raw, &db, "Harry Potter", "Rupert Grint");
+        assert_eq!(db.positive_count(rupert), 1);
+    }
+
+    #[test]
+    fn from_parts_rejects_duplicate_claim() {
+        let facts = vec![Fact {
+            entity: EntityId::new(0),
+            attr: AttrId::new(0),
+        }];
+        let claims = vec![
+            Claim {
+                fact: FactId::new(0),
+                source: SourceId::new(0),
+                observation: true,
+            },
+            Claim {
+                fact: FactId::new(0),
+                source: SourceId::new(0),
+                observation: false,
+            },
+        ];
+        let r = std::panic::catch_unwind(|| ClaimDb::from_parts(facts, claims, 1));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn from_parts_rejects_out_of_range_fact() {
+        let claims = vec![Claim {
+            fact: FactId::new(3),
+            source: SourceId::new(0),
+            observation: true,
+        }];
+        let r = std::panic::catch_unwind(|| ClaimDb::from_parts(vec![], claims, 1));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_claimdb() {
+        let db = ClaimDb::from_parts(vec![], vec![], 0);
+        assert_eq!(db.num_facts(), 0);
+        assert_eq!(db.num_claims(), 0);
+        assert_eq!(db.num_entities(), 0);
+        assert_eq!(db.all_claims().len(), 0);
+    }
+
+    #[test]
+    fn positive_facts_of_source_filters_negatives() {
+        let (raw, db) = table1();
+        let netflix = raw.source_id("Netflix").unwrap();
+        let pos: Vec<FactId> = db.positive_facts_of_source(netflix).collect();
+        // Netflix asserts only Daniel Radcliffe.
+        assert_eq!(pos.len(), 1);
+        assert_eq!(raw.attr_name(db.fact(pos[0]).attr), "Daniel Radcliffe");
+    }
+
+    #[test]
+    fn all_claims_matches_accessors() {
+        let (_, db) = table1();
+        let all = db.all_claims();
+        assert_eq!(all.len(), db.num_claims());
+        assert_eq!(
+            all.iter().filter(|c| c.observation).count(),
+            db.num_positive_claims()
+        );
+    }
+}

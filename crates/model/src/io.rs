@@ -1,0 +1,351 @@
+//! Text I/O for raw databases and ground-truth labels.
+//!
+//! Files are plain CSV with a header row. The writer quotes any field
+//! containing a comma, quote, or newline (doubling embedded quotes); the
+//! reader accepts both quoted and bare fields. Implemented here rather
+//! than pulling in a CSV dependency: the workspace needs exactly this
+//! subset and nothing more (see DESIGN.md §2).
+//!
+//! Formats:
+//!
+//! * **triples**: `entity,attribute,source` — one raw-database row per
+//!   line (paper Definition 1).
+//! * **labels**: `entity,attribute,truth` with `truth ∈ {true, false}` —
+//!   ground truth for an evaluation subset.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::claims::ClaimDb;
+use crate::ids::FactId;
+use crate::raw::{RawDatabase, RawDatabaseBuilder};
+use crate::truth::GroundTruth;
+
+/// Errors from reading triple/label files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content at a 1-based line number.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes one CSV field, quoting when needed.
+fn write_field_csv<W: Write>(w: &mut W, field: &str) -> std::io::Result<()> {
+    if field.contains([',', '"', '\n', '\r']) {
+        let escaped = field.replace('"', "\"\"");
+        write!(w, "\"{escaped}\"")
+    } else {
+        w.write_all(field.as_bytes())
+    }
+}
+
+/// Splits one CSV record into fields, honouring quotes.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, IoError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek() {
+            None => {
+                fields.push(std::mem::take(&mut cur));
+                return Ok(fields);
+            }
+            Some('"') => {
+                chars.next();
+                // Quoted field: read until the closing quote.
+                loop {
+                    match chars.next() {
+                        None => {
+                            return Err(IoError::Parse {
+                                line: line_no,
+                                message: "unterminated quoted field".into(),
+                            })
+                        }
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                cur.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => cur.push(c),
+                    }
+                }
+                match chars.next() {
+                    None => {
+                        fields.push(std::mem::take(&mut cur));
+                        return Ok(fields);
+                    }
+                    Some(',') => fields.push(std::mem::take(&mut cur)),
+                    Some(c) => {
+                        return Err(IoError::Parse {
+                            line: line_no,
+                            message: format!("unexpected character {c:?} after closing quote"),
+                        })
+                    }
+                }
+            }
+            Some(_) => {
+                // Bare field: read until comma.
+                loop {
+                    match chars.peek() {
+                        None => break,
+                        Some(',') => break,
+                        Some(_) => cur.push(chars.next().expect("peeked")),
+                    }
+                }
+                match chars.next() {
+                    None => {
+                        fields.push(std::mem::take(&mut cur));
+                        return Ok(fields);
+                    }
+                    Some(',') => fields.push(std::mem::take(&mut cur)),
+                    Some(_) => unreachable!("loop breaks only at comma or end"),
+                }
+            }
+        }
+    }
+}
+
+/// Writes a raw database as a `entity,attribute,source` CSV with header.
+pub fn write_triples<W: Write>(db: &RawDatabase, w: &mut W) -> Result<(), IoError> {
+    writeln!(w, "entity,attribute,source")?;
+    for (e, a, s) in db.iter_named() {
+        write_field_csv(w, e)?;
+        w.write_all(b",")?;
+        write_field_csv(w, a)?;
+        w.write_all(b",")?;
+        write_field_csv(w, s)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a `entity,attribute,source` CSV (with header) into a raw
+/// database. Duplicate triples are deduplicated per Definition 1.
+pub fn read_triples<R: BufRead>(r: R) -> Result<RawDatabase, IoError> {
+    let mut builder = RawDatabaseBuilder::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        if line_no == 1 {
+            // Header row — validated loosely so files from other tools load.
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line, line_no)?;
+        if fields.len() != 3 {
+            return Err(IoError::Parse {
+                line: line_no,
+                message: format!("expected 3 fields, found {}", fields.len()),
+            });
+        }
+        builder.add(&fields[0], &fields[1], &fields[2]);
+    }
+    Ok(builder.build())
+}
+
+/// Writes ground truth as `entity,attribute,truth` rows for every labeled
+/// fact, resolving names through `raw` and fact ids through `claims`.
+pub fn write_labels<W: Write>(
+    truth: &GroundTruth,
+    raw: &RawDatabase,
+    claims: &ClaimDb,
+    w: &mut W,
+) -> Result<(), IoError> {
+    writeln!(w, "entity,attribute,truth")?;
+    for (f, label) in truth.iter() {
+        let fact = claims.fact(f);
+        write_field_csv(w, raw.entity_name(fact.entity))?;
+        w.write_all(b",")?;
+        write_field_csv(w, raw.attr_name(fact.attr))?;
+        writeln!(w, ",{label}")?;
+    }
+    Ok(())
+}
+
+/// Reads ground-truth labels, resolving `(entity, attribute)` pairs to
+/// fact ids through `raw`/`claims`.
+///
+/// Unknown entities or attributes are an error: labels must refer to facts
+/// present in the database.
+pub fn read_labels<R: BufRead>(
+    r: R,
+    raw: &RawDatabase,
+    claims: &ClaimDb,
+) -> Result<GroundTruth, IoError> {
+    // Index facts by (entity, attr) once.
+    let mut fact_of = std::collections::HashMap::new();
+    for f in claims.fact_ids() {
+        let fact = claims.fact(f);
+        fact_of.insert((fact.entity, fact.attr), f);
+    }
+    let mut truth = GroundTruth::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        if line_no == 1 || line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line, line_no)?;
+        if fields.len() != 3 {
+            return Err(IoError::Parse {
+                line: line_no,
+                message: format!("expected 3 fields, found {}", fields.len()),
+            });
+        }
+        let entity = raw.entity_id(&fields[0]).ok_or_else(|| IoError::Parse {
+            line: line_no,
+            message: format!("unknown entity {:?}", fields[0]),
+        })?;
+        let attr = raw.attr_id(&fields[1]).ok_or_else(|| IoError::Parse {
+            line: line_no,
+            message: format!("unknown attribute {:?}", fields[1]),
+        })?;
+        let fact: FactId = *fact_of.get(&(entity, attr)).ok_or_else(|| IoError::Parse {
+            line: line_no,
+            message: format!("no fact for ({:?}, {:?})", fields[0], fields[1]),
+        })?;
+        let label = match fields[2].trim() {
+            "true" | "True" | "TRUE" | "1" => true,
+            "false" | "False" | "FALSE" | "0" => false,
+            other => {
+                return Err(IoError::Parse {
+                    line: line_no,
+                    message: format!("invalid truth value {other:?}"),
+                })
+            }
+        };
+        truth.insert(entity, fact, label);
+    }
+    Ok(truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::RawDatabaseBuilder;
+
+    fn sample_db() -> RawDatabase {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+        b.add("Harry Potter", "Emma Watson", "IMDB");
+        b.add("Gödel, Escher, Bach", "Douglas \"Doug\" Hofstadter", "a,b seller");
+        b.build()
+    }
+
+    #[test]
+    fn triples_roundtrip_with_escaping() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        write_triples(&db, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("entity,attribute,source\n"));
+        assert!(text.contains("\"Gödel, Escher, Bach\""));
+        assert!(text.contains("\"Douglas \"\"Doug\"\" Hofstadter\""));
+
+        let back = read_triples(std::io::Cursor::new(buf)).unwrap();
+        let mut orig: Vec<_> = db.iter_named().collect();
+        let mut got: Vec<_> = back.iter_named().collect();
+        orig.sort();
+        got.sort();
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn read_skips_blank_lines_and_dedups() {
+        let text = "entity,attribute,source\ne,a,s\n\ne,a,s\ne,b,s\n";
+        let db = read_triples(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn read_rejects_wrong_arity() {
+        let text = "entity,attribute,source\nonly,two\n";
+        let err = read_triples(std::io::Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn read_rejects_unterminated_quote() {
+        let text = "entity,attribute,source\n\"unterminated,a,s\n";
+        let err = read_triples(std::io::Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let db = sample_db();
+        let claims = ClaimDb::from_raw(&db);
+        let mut truth = GroundTruth::new();
+        for f in claims.fact_ids() {
+            let fact = claims.fact(f);
+            truth.insert(fact.entity, f, f.raw() % 2 == 0);
+        }
+        let mut buf = Vec::new();
+        write_labels(&truth, &db, &claims, &mut buf).unwrap();
+        let back = read_labels(std::io::Cursor::new(buf), &db, &claims).unwrap();
+        assert_eq!(truth, back);
+    }
+
+    #[test]
+    fn labels_reject_unknown_entity() {
+        let db = sample_db();
+        let claims = ClaimDb::from_raw(&db);
+        let text = "entity,attribute,truth\nNo Such Movie,Nobody,true\n";
+        let err = read_labels(std::io::Cursor::new(text), &db, &claims).unwrap_err();
+        assert!(err.to_string().contains("unknown entity"));
+    }
+
+    #[test]
+    fn labels_accept_numeric_booleans() {
+        let db = sample_db();
+        let claims = ClaimDb::from_raw(&db);
+        let text = "entity,attribute,truth\nHarry Potter,Emma Watson,1\n";
+        let truth = read_labels(std::io::Cursor::new(text), &db, &claims).unwrap();
+        assert_eq!(truth.num_labeled_facts(), 1);
+        assert_eq!(truth.num_true(), 1);
+    }
+
+    #[test]
+    fn labels_reject_bad_boolean() {
+        let db = sample_db();
+        let claims = ClaimDb::from_raw(&db);
+        let text = "entity,attribute,truth\nHarry Potter,Emma Watson,maybe\n";
+        let err = read_labels(std::io::Cursor::new(text), &db, &claims).unwrap_err();
+        assert!(err.to_string().contains("invalid truth value"));
+    }
+}

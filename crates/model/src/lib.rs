@@ -1,0 +1,50 @@
+//! Data substrate for the `latent-truth` workspace: the paper's data model
+//! (Zhao et al., VLDB 2012, Section 2).
+//!
+//! The truth-finding problem consumes a **raw database** of `(entity,
+//! attribute, source)` triples — e.g. `("Harry Potter", "Daniel Radcliffe",
+//! "IMDB")` — and re-casts it into
+//!
+//! 1. a **fact table** of distinct `(entity, attribute)` pairs
+//!    (Definition 2), and
+//! 2. a **claim table** (Definition 3) in which, for every fact `f` and
+//!    every source `s` that covers `f`'s entity, there is exactly one claim:
+//!    *positive* if `s` asserted `f` in the raw database, *negative* if `s`
+//!    asserted some other fact about the same entity but not `f`. Sources
+//!    that never mention the entity make **no** claim about its facts.
+//!
+//! This crate owns those representations:
+//!
+//! * [`ids`] — small typed index types (`EntityId`, `AttrId`, `SourceId`,
+//!   `FactId`, `ClaimId`) so the adjacency arrays cannot be mis-indexed.
+//! * [`interner`] — string interning for entity / attribute / source names.
+//! * [`raw`] — the deduplicated raw triple database and its builder.
+//! * [`claims`] — [`ClaimDb`]: the fact table plus the claim table in a
+//!   compressed-sparse-row layout with fact→claims, source→claims, and
+//!   entity→facts adjacency; this is the structure every inference method
+//!   in the workspace consumes.
+//! * [`truth`] — ground-truth labels for evaluation subsets, and predicted
+//!   truth assignments.
+//! * [`io`] — a small escaped-CSV reader/writer for triple files and label
+//!   files (the workspace deliberately avoids a CSV dependency).
+//! * [`dataset`] — a bundle of raw database + claims + ground truth with
+//!   summary statistics.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod claims;
+pub mod dataset;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod raw;
+pub mod truth;
+pub mod validate;
+
+pub use claims::{Claim, ClaimDb, Fact};
+pub use dataset::{Dataset, DatasetStats};
+pub use ids::{AttrId, ClaimId, EntityId, FactId, SourceId};
+pub use interner::Interner;
+pub use raw::{RawDatabase, RawDatabaseBuilder, RawRow};
+pub use truth::{GroundTruth, TruthAssignment};

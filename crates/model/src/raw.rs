@@ -1,0 +1,260 @@
+//! The raw triple database (paper Definition 1).
+//!
+//! A raw database is a set of unique `(entity, attribute, source)` rows.
+//! [`RawDatabaseBuilder`] interns the strings, deduplicates rows, and
+//! produces an immutable [`RawDatabase`] whose rows are sorted by
+//! `(entity, attribute, source)` for deterministic downstream construction.
+
+use std::collections::HashSet;
+
+use crate::ids::{AttrId, EntityId, SourceId};
+use crate::interner::Interner;
+
+/// One raw row `(e, a, c)`: source `c` asserts attribute value `a` for
+/// entity `e` (paper Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RawRow {
+    /// The entity being described.
+    pub entity: EntityId,
+    /// The asserted attribute value.
+    pub attr: AttrId,
+    /// The asserting source.
+    pub source: SourceId,
+}
+
+/// An immutable, deduplicated raw database with its interned vocabularies.
+#[derive(Debug, Clone, Default)]
+pub struct RawDatabase {
+    pub(crate) entities: Interner<EntityId>,
+    pub(crate) attrs: Interner<AttrId>,
+    pub(crate) sources: Interner<SourceId>,
+    pub(crate) rows: Vec<RawRow>,
+}
+
+impl RawDatabase {
+    /// The deduplicated rows, sorted by `(entity, attr, source)`.
+    pub fn rows(&self) -> &[RawRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the database has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of distinct entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of distinct attribute values.
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of distinct sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Resolves an entity id to its name.
+    pub fn entity_name(&self, id: EntityId) -> &str {
+        self.entities.resolve(id)
+    }
+
+    /// Resolves an attribute id to its value string.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        self.attrs.resolve(id)
+    }
+
+    /// Resolves a source id to its name.
+    pub fn source_name(&self, id: SourceId) -> &str {
+        self.sources.resolve(id)
+    }
+
+    /// Looks up an entity by name.
+    pub fn entity_id(&self, name: &str) -> Option<EntityId> {
+        self.entities.get(name)
+    }
+
+    /// Looks up an attribute value by string.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attrs.get(name)
+    }
+
+    /// Looks up a source by name.
+    pub fn source_id(&self, name: &str) -> Option<SourceId> {
+        self.sources.get(name)
+    }
+
+    /// Iterates rows rehydrated as `(entity, attribute, source)` names.
+    pub fn iter_named(&self) -> impl Iterator<Item = (&str, &str, &str)> + '_ {
+        self.rows.iter().map(move |r| {
+            (
+                self.entity_name(r.entity),
+                self.attr_name(r.attr),
+                self.source_name(r.source),
+            )
+        })
+    }
+}
+
+/// Accumulates triples into a [`RawDatabase`].
+#[derive(Debug, Clone, Default)]
+pub struct RawDatabaseBuilder {
+    entities: Interner<EntityId>,
+    attrs: Interner<AttrId>,
+    sources: Interner<SourceId>,
+    rows: Vec<RawRow>,
+    seen: HashSet<RawRow>,
+}
+
+impl RawDatabaseBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one `(entity, attribute, source)` triple by name. Duplicate
+    /// triples are silently ignored (Definition 1: each row is unique).
+    ///
+    /// Returns `true` if the row was new.
+    pub fn add(&mut self, entity: &str, attr: &str, source: &str) -> bool {
+        let row = RawRow {
+            entity: self.entities.intern(entity),
+            attr: self.attrs.intern(attr),
+            source: self.sources.intern(source),
+        };
+        self.add_row(row)
+    }
+
+    /// Adds a pre-interned row; ids must come from this builder's
+    /// vocabularies (enforced only by debug assertion, since generators add
+    /// millions of rows).
+    pub fn add_row(&mut self, row: RawRow) -> bool {
+        debug_assert!(row.entity.index() < self.entities.len());
+        debug_assert!(row.attr.index() < self.attrs.len());
+        debug_assert!(row.source.index() < self.sources.len());
+        if self.seen.insert(row) {
+            self.rows.push(row);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Interns an entity name without adding a row (used by generators to
+    /// pre-register vocabularies in a deterministic order).
+    pub fn intern_entity(&mut self, name: &str) -> EntityId {
+        self.entities.intern(name)
+    }
+
+    /// Interns an attribute value without adding a row.
+    pub fn intern_attr(&mut self, name: &str) -> AttrId {
+        self.attrs.intern(name)
+    }
+
+    /// Interns a source name without adding a row.
+    pub fn intern_source(&mut self, name: &str) -> SourceId {
+        self.sources.intern(name)
+    }
+
+    /// Number of rows added so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Finalises the database; rows are sorted for determinism.
+    pub fn build(mut self) -> RawDatabase {
+        self.rows.sort_unstable();
+        RawDatabase {
+            entities: self.entities,
+            attrs: self.attrs,
+            sources: self.sources,
+            rows: self.rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of the paper: Table 1.
+    pub(crate) fn movie_db() -> RawDatabase {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+        b.add("Harry Potter", "Emma Watson", "IMDB");
+        b.add("Harry Potter", "Rupert Grint", "IMDB");
+        b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+        b.add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+        b.add("Harry Potter", "Emma Watson", "BadSource.com");
+        b.add("Harry Potter", "Johnny Depp", "BadSource.com");
+        b.add("Pirates 4", "Johnny Depp", "Hulu.com");
+        b.build()
+    }
+
+    #[test]
+    fn table1_counts() {
+        let db = movie_db();
+        assert_eq!(db.len(), 8);
+        assert_eq!(db.num_entities(), 2);
+        assert_eq!(db.num_sources(), 4);
+        // Johnny Depp appears for two entities but is one attribute value.
+        assert_eq!(db.num_attrs(), 4);
+    }
+
+    #[test]
+    fn duplicate_rows_ignored() {
+        let mut b = RawDatabaseBuilder::new();
+        assert!(b.add("e", "a", "s"));
+        assert!(!b.add("e", "a", "s"));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.build().len(), 1);
+    }
+
+    #[test]
+    fn rows_sorted_after_build() {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("z-entity", "a", "s");
+        b.add("a-entity", "a", "s");
+        let db = b.build();
+        let rows = db.rows();
+        assert!(rows.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn name_lookup_roundtrip() {
+        let db = movie_db();
+        let e = db.entity_id("Harry Potter").unwrap();
+        assert_eq!(db.entity_name(e), "Harry Potter");
+        let s = db.source_id("IMDB").unwrap();
+        assert_eq!(db.source_name(s), "IMDB");
+        assert!(db.entity_id("Missing Movie").is_none());
+    }
+
+    #[test]
+    fn iter_named_covers_all_rows() {
+        let db = movie_db();
+        let named: Vec<_> = db.iter_named().collect();
+        assert_eq!(named.len(), 8);
+        assert!(named.contains(&("Pirates 4", "Johnny Depp", "Hulu.com")));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = RawDatabaseBuilder::new().build();
+        assert!(db.is_empty());
+        assert_eq!(db.num_entities(), 0);
+    }
+}

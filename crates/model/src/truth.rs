@@ -1,0 +1,199 @@
+//! Ground-truth labels and predicted truth assignments
+//! (paper Definition 4).
+//!
+//! The paper evaluates on a 100-entity labeled subset of each dataset: the
+//! model is fit on everything, predictions are compared against human
+//! labels only where labels exist. [`GroundTruth`] holds such a partial
+//! labeling; [`TruthAssignment`] is the per-fact posterior `p(t_f = 1)`
+//! produced by any of the inference methods.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ids::{EntityId, FactId};
+
+/// A (possibly partial) assignment of Boolean truth to facts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    labels: HashMap<FactId, bool>,
+    entities: BTreeSet<EntityId>,
+}
+
+impl GroundTruth {
+    /// Creates an empty labeling.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Labels fact `f` (belonging to `entity`) as true or false.
+    /// Re-labeling a fact overwrites the previous label.
+    pub fn insert(&mut self, entity: EntityId, f: FactId, truth: bool) {
+        self.labels.insert(f, truth);
+        self.entities.insert(entity);
+    }
+
+    /// The label of fact `f`, if labeled.
+    pub fn label(&self, f: FactId) -> Option<bool> {
+        self.labels.get(&f).copied()
+    }
+
+    /// Number of labeled facts.
+    pub fn num_labeled_facts(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of entities with at least one labeled fact.
+    pub fn num_labeled_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether no fact is labeled.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates `(fact, label)` in ascending fact order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, bool)> + '_ {
+        let mut keys: Vec<FactId> = self.labels.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(move |f| (f, self.labels[&f]))
+    }
+
+    /// The labeled entities in ascending id order.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.entities.iter().copied()
+    }
+
+    /// Whether `entity` has labeled facts.
+    pub fn contains_entity(&self, entity: EntityId) -> bool {
+        self.entities.contains(&entity)
+    }
+
+    /// Number of labeled facts whose label is `true`.
+    pub fn num_true(&self) -> usize {
+        self.labels.values().filter(|&&t| t).count()
+    }
+}
+
+/// Per-fact truth probabilities produced by an inference method.
+///
+/// Index `i` holds `p(t_i = 1)`. Thresholding at `0.5` (inclusive, as in
+/// the paper: "equal to or above") yields Boolean predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthAssignment {
+    probs: Vec<f64>,
+}
+
+impl TruthAssignment {
+    /// Wraps per-fact probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or NaN.
+    pub fn new(probs: Vec<f64>) -> Self {
+        for (i, &p) in probs.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "TruthAssignment: p(t_{i}) = {p} outside [0, 1]"
+            );
+        }
+        Self { probs }
+    }
+
+    /// Number of facts covered.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the assignment covers no facts.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// `p(t_f = 1)`.
+    #[inline]
+    pub fn prob(&self, f: FactId) -> f64 {
+        self.probs[f.index()]
+    }
+
+    /// The raw probability vector, indexed by fact id.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Boolean prediction at `threshold`: true iff `p ≥ threshold`.
+    #[inline]
+    pub fn is_true(&self, f: FactId, threshold: f64) -> bool {
+        self.prob(f) >= threshold
+    }
+
+    /// Iterates `(fact, probability)`.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, f64)> + '_ {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (FactId::from_usize(i), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_insert_and_query() {
+        let mut gt = GroundTruth::new();
+        gt.insert(EntityId::new(0), FactId::new(0), true);
+        gt.insert(EntityId::new(0), FactId::new(1), false);
+        gt.insert(EntityId::new(1), FactId::new(2), true);
+        assert_eq!(gt.num_labeled_facts(), 3);
+        assert_eq!(gt.num_labeled_entities(), 2);
+        assert_eq!(gt.label(FactId::new(1)), Some(false));
+        assert_eq!(gt.label(FactId::new(9)), None);
+        assert_eq!(gt.num_true(), 2);
+        assert!(gt.contains_entity(EntityId::new(1)));
+        assert!(!gt.contains_entity(EntityId::new(7)));
+    }
+
+    #[test]
+    fn relabeling_overwrites() {
+        let mut gt = GroundTruth::new();
+        gt.insert(EntityId::new(0), FactId::new(0), true);
+        gt.insert(EntityId::new(0), FactId::new(0), false);
+        assert_eq!(gt.num_labeled_facts(), 1);
+        assert_eq!(gt.label(FactId::new(0)), Some(false));
+    }
+
+    #[test]
+    fn iter_is_sorted_by_fact() {
+        let mut gt = GroundTruth::new();
+        gt.insert(EntityId::new(0), FactId::new(5), true);
+        gt.insert(EntityId::new(0), FactId::new(1), false);
+        gt.insert(EntityId::new(0), FactId::new(3), true);
+        let order: Vec<u32> = gt.iter().map(|(f, _)| f.raw()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn assignment_threshold_inclusive() {
+        let t = TruthAssignment::new(vec![0.5, 0.499_999, 1.0, 0.0]);
+        assert!(t.is_true(FactId::new(0), 0.5), "0.5 >= 0.5 must be true");
+        assert!(!t.is_true(FactId::new(1), 0.5));
+        assert!(t.is_true(FactId::new(2), 0.5));
+        assert!(!t.is_true(FactId::new(3), 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn assignment_rejects_invalid_probability() {
+        TruthAssignment::new(vec![0.2, 1.2]);
+    }
+
+    #[test]
+    fn assignment_iter_pairs() {
+        let t = TruthAssignment::new(vec![0.1, 0.9]);
+        let v: Vec<(u32, f64)> = t.iter().map(|(f, p)| (f.raw(), p)).collect();
+        assert_eq!(v, vec![(0, 0.1), (1, 0.9)]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! Structural validation of claim databases.
+//!
+//! `ClaimDb`'s constructors establish the Definition-3 invariants; this
+//! module re-checks them on demand. Production code never needs it (the
+//! constructors are the only way to build a `ClaimDb`), but it earns its
+//! keep in three places: as a debugging aid when writing new generators,
+//! as the oracle for failure-injection tests, and as documentation of
+//! exactly which invariants the inference code relies on.
+
+use std::collections::BTreeSet;
+
+use crate::claims::ClaimDb;
+use crate::ids::ClaimId;
+
+/// A violated invariant, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A fact's claim range is not sorted by source or contains a
+    /// duplicate source.
+    UnsortedOrDuplicateClaims {
+        /// The offending fact.
+        fact: u32,
+    },
+    /// The source-major view disagrees with the fact-major arrays.
+    SourceViewMismatch {
+        /// The offending source.
+        source: u32,
+    },
+    /// Two facts of the same entity are claimed by different source sets
+    /// (Definition 3: every covering source claims every fact of the
+    /// entity).
+    CoverageMismatch {
+        /// The entity whose facts disagree.
+        entity: u32,
+    },
+    /// Stored positive-claim count disagrees with the observations.
+    PositiveCountMismatch {
+        /// The stored count.
+        stored: usize,
+        /// The recomputed count.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::UnsortedOrDuplicateClaims { fact } => {
+                write!(f, "fact {fact}: claims unsorted or duplicate source")
+            }
+            Violation::SourceViewMismatch { source } => {
+                write!(f, "source {source}: source-major view inconsistent")
+            }
+            Violation::CoverageMismatch { entity } => {
+                write!(f, "entity {entity}: facts claimed by differing source sets")
+            }
+            Violation::PositiveCountMismatch { stored, actual } => {
+                write!(f, "positive count {stored} != recomputed {actual}")
+            }
+        }
+    }
+}
+
+/// Checks every structural invariant of `db`, returning all violations
+/// (empty = consistent).
+pub fn check(db: &ClaimDb) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // 1. Claims of each fact sorted by source, no duplicates.
+    for f in db.fact_ids() {
+        let sources = db.fact_claim_sources(f);
+        if sources.windows(2).any(|w| w[0] >= w[1]) {
+            violations.push(Violation::UnsortedOrDuplicateClaims { fact: f.raw() });
+        }
+    }
+
+    // 2. Source-major permutation covers every claim exactly once and
+    //    agrees on the source.
+    let mut seen = vec![false; db.num_claims()];
+    let mut mismatch_sources = BTreeSet::new();
+    for s in db.source_ids() {
+        for &c in db.claims_of_source(s) {
+            if db.claim_source(c) != s || seen[c.index()] {
+                mismatch_sources.insert(s.raw());
+            }
+            seen[c.index()] = true;
+        }
+    }
+    if !seen.iter().all(|&x| x) {
+        // Some claim missing from the source view; attribute it to its
+        // source for the report.
+        for (i, &covered) in seen.iter().enumerate() {
+            if !covered {
+                mismatch_sources.insert(db.claim_source(ClaimId::from_usize(i)).raw());
+            }
+        }
+    }
+    violations.extend(
+        mismatch_sources
+            .into_iter()
+            .map(|source| Violation::SourceViewMismatch { source }),
+    );
+
+    // 3. Definition 3 coverage: all facts of one entity share one source
+    //    set.
+    for e in db.entity_ids() {
+        let facts = db.facts_of_entity(e);
+        let reference: BTreeSet<_> = db.fact_claim_sources(facts[0]).iter().copied().collect();
+        for &f in &facts[1..] {
+            let here: BTreeSet<_> = db.fact_claim_sources(f).iter().copied().collect();
+            if here != reference {
+                violations.push(Violation::CoverageMismatch { entity: e.raw() });
+                break;
+            }
+        }
+    }
+
+    // 4. Cached positive count.
+    let actual = db
+        .fact_ids()
+        .map(|f| db.positive_count(f))
+        .sum::<usize>();
+    if actual != db.num_positive_claims() {
+        violations.push(Violation::PositiveCountMismatch {
+            stored: db.num_positive_claims(),
+            actual,
+        });
+    }
+
+    violations
+}
+
+/// Convenience: panics with a readable report if `db` is inconsistent.
+pub fn assert_consistent(db: &ClaimDb) {
+    let violations = check(db);
+    assert!(
+        violations.is_empty(),
+        "ClaimDb inconsistent:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  - {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::claims::{Claim, Fact};
+    use crate::ids::{AttrId, EntityId, FactId, SourceId};
+    use crate::raw::RawDatabaseBuilder;
+
+    fn table1_db() -> ClaimDb {
+        let mut b = RawDatabaseBuilder::new();
+        b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+        b.add("Harry Potter", "Emma Watson", "IMDB");
+        b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+        b.add("Pirates 4", "Johnny Depp", "Hulu.com");
+        ClaimDb::from_raw(&b.build())
+    }
+
+    #[test]
+    fn constructed_databases_are_consistent() {
+        assert_consistent(&table1_db());
+        assert!(check(&ClaimDb::from_parts(vec![], vec![], 0)).is_empty());
+    }
+
+    #[test]
+    fn from_parts_databases_are_consistent() {
+        let facts = vec![
+            Fact {
+                entity: EntityId::new(0),
+                attr: AttrId::new(0),
+            },
+            Fact {
+                entity: EntityId::new(0),
+                attr: AttrId::new(1),
+            },
+        ];
+        let claims = vec![
+            Claim {
+                fact: FactId::new(0),
+                source: SourceId::new(0),
+                observation: true,
+            },
+            Claim {
+                fact: FactId::new(0),
+                source: SourceId::new(1),
+                observation: false,
+            },
+            Claim {
+                fact: FactId::new(1),
+                source: SourceId::new(0),
+                observation: false,
+            },
+            Claim {
+                fact: FactId::new(1),
+                source: SourceId::new(1),
+                observation: true,
+            },
+        ];
+        assert_consistent(&ClaimDb::from_parts(facts, claims, 2));
+    }
+
+    #[test]
+    fn detects_coverage_mismatch() {
+        // Failure injection: build a from_parts database that violates
+        // Definition 3 (legal for synthetic data, flagged by the checker
+        // as a coverage mismatch).
+        let facts = vec![
+            Fact {
+                entity: EntityId::new(0),
+                attr: AttrId::new(0),
+            },
+            Fact {
+                entity: EntityId::new(0),
+                attr: AttrId::new(1),
+            },
+        ];
+        let claims = vec![
+            Claim {
+                fact: FactId::new(0),
+                source: SourceId::new(0),
+                observation: true,
+            },
+            // Fact 1 claimed by a different source set.
+            Claim {
+                fact: FactId::new(1),
+                source: SourceId::new(1),
+                observation: true,
+            },
+        ];
+        let db = ClaimDb::from_parts(facts, claims, 2);
+        let violations = check(&db);
+        assert_eq!(
+            violations,
+            vec![Violation::CoverageMismatch { entity: 0 }]
+        );
+    }
+
+    #[test]
+    fn violation_display_is_readable() {
+        let v = Violation::CoverageMismatch { entity: 7 };
+        assert!(v.to_string().contains("entity 7"));
+        let v = Violation::PositiveCountMismatch {
+            stored: 3,
+            actual: 4,
+        };
+        assert!(v.to_string().contains("3"));
+        assert!(v.to_string().contains("4"));
+    }
+
+    #[test]
+    fn generated_synthetic_data_is_consistent() {
+        // The synthetic generator's every-source-claims-every-fact layout
+        // trivially satisfies the coverage rule.
+        let facts: Vec<Fact> = (0..6)
+            .map(|i| Fact {
+                entity: EntityId::new(i),
+                attr: AttrId::new(0),
+            })
+            .collect();
+        let mut claims = Vec::new();
+        for f in 0..6u32 {
+            for s in 0..3u32 {
+                claims.push(Claim {
+                    fact: FactId::new(f),
+                    source: SourceId::new(s),
+                    observation: (f + s) % 2 == 0,
+                });
+            }
+        }
+        assert_consistent(&ClaimDb::from_parts(facts, claims, 3));
+    }
+}

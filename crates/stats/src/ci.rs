@@ -1,0 +1,133 @@
+//! Confidence intervals for the mean of repeated measurements.
+//!
+//! Figure 5 of the paper reports the sample mean and a 95% confidence
+//! interval over 10 repeated sampler runs per point. With so few repeats the
+//! correct interval uses Student's t critical values, not the normal 1.96.
+
+use crate::describe::Welford;
+
+/// Two-sided Student-t critical values `t_{0.975, df}` for small degrees of
+/// freedom; beyond the table we fall back to the normal quantile, which is
+/// accurate to < 0.7% at `df = 30`.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Normal 97.5% quantile used when `df` exceeds the table.
+const Z_975: f64 = 1.959_963_984_540_054;
+
+/// A mean with a symmetric 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% interval (`mean ± half_width`).
+    pub half_width: f64,
+    /// Number of observations behind the estimate.
+    pub n: usize,
+}
+
+impl MeanCi {
+    /// Computes the 95% Student-t confidence interval for the mean of
+    /// `data`.
+    ///
+    /// With a single observation the interval has zero width (there is no
+    /// variance estimate); this mirrors how the paper plots a bare point
+    /// when repeats are unavailable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "MeanCi::of: empty input");
+        let mut w = Welford::new();
+        for &x in data {
+            w.push(x);
+        }
+        let n = w.count();
+        if n == 1 {
+            return Self {
+                mean: w.mean(),
+                half_width: 0.0,
+                n,
+            };
+        }
+        let df = n - 1;
+        let t = if df <= T_975.len() {
+            T_975[df - 1]
+        } else {
+            Z_975
+        };
+        let sem = (w.sample_variance() / n as f64).sqrt();
+        Self {
+            mean: w.mean(),
+            half_width: t * sem,
+            n,
+        }
+    }
+
+    /// Lower endpoint of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_observation_zero_width() {
+        let ci = MeanCi::of(&[0.9]);
+        assert_eq!(ci.mean, 0.9);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.n, 1);
+    }
+
+    #[test]
+    fn constant_data_zero_width() {
+        let ci = MeanCi::of(&[2.0; 10]);
+        assert_eq!(ci.mean, 2.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn ten_repeats_uses_t_nine() {
+        // n = 10, df = 9 → t = 2.262 (the Figure 5 setting).
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        let ci = MeanCi::of(&data);
+        let mean = 5.5;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 9.0;
+        let expected = 2.262 * (var / 10.0).sqrt();
+        assert!((ci.mean - mean).abs() < 1e-12);
+        assert!((ci.half_width - expected).abs() < 1e-9);
+        assert!(ci.lo() < mean && ci.hi() > mean);
+    }
+
+    #[test]
+    fn large_n_approaches_normal() {
+        let data: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let ci = MeanCi::of(&data);
+        let mean = data.iter().sum::<f64>() / 1000.0;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 999.0;
+        let expected = Z_975 * (var / 1000.0).sqrt();
+        assert!((ci.half_width - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_data() {
+        let small = MeanCi::of(&[1.0, 2.0, 3.0]);
+        let data: Vec<f64> = std::iter::repeat_n([1.0, 2.0, 3.0], 30)
+            .flatten()
+            .collect();
+        let large = MeanCi::of(&data);
+        assert!(large.half_width < small.half_width);
+    }
+}

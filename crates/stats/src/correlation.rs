@@ -1,0 +1,124 @@
+//! Correlation coefficients.
+//!
+//! The workspace uses these to quantify how well inferred source quality
+//! tracks the planted generator profiles (Table 8 validation): Pearson for
+//! linear agreement, Spearman for rank agreement (the paper's Table 8 is
+//! presented as a ranking by sensitivity).
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `0` when either sample has zero variance (no linear
+/// relationship is measurable).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    assert!(xs.len() >= 2, "pearson: need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Spearman rank correlation: Pearson correlation of the (tie-averaged)
+/// ranks.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two points.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman: length mismatch");
+    assert!(xs.len() >= 2, "spearman: need at least two points");
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Tie-averaged ranks (1-based) of a sample.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("ranks: NaN input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Ranks i+1..=j+1 averaged across the tie group.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &order[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [0.1f64, 0.5, 0.9, 2.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        // xs has a tie; hand-computed: ranks xs = [1.5, 1.5, 3, 4].
+        let xs = [2.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let r = spearman(&xs, &ys);
+        assert!(r > 0.9 && r < 1.0, "r = {r}");
+    }
+
+    #[test]
+    fn spearman_reversed_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_tie_averaging() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Descriptive statistics: batch summaries and a streaming Welford
+//! accumulator.
+//!
+//! The experiment harness summarises repeated runs (Figure 5 repeats each
+//! convergence measurement 10 times) and dataset statistics (claims per
+//! fact, sources per entity). These helpers keep that logic out of the
+//! experiment code.
+
+/// Summary statistics over a slice of observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Describe {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased (n−1) sample variance; `0` when `n < 2`.
+    pub variance: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Describe {
+    /// Computes summary statistics for `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "Describe::of: empty input");
+        let mut w = Welford::new();
+        for &x in data {
+            assert!(!x.is_nan(), "Describe::of: NaN observation");
+            w.push(x);
+        }
+        Self {
+            n: w.count(),
+            mean: w.mean(),
+            variance: w.sample_variance(),
+            min: data.iter().copied().fold(f64::INFINITY, f64::min),
+            max: data.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's online algorithm).
+///
+/// Numerically stable for long streams; used when summarising per-iteration
+/// sampler statistics without materialising them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Current mean (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`0` when fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (`0` when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = (self.count + other.count) as f64;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total;
+        self.mean += delta * other.count as f64 / total;
+        self.count += other.count;
+    }
+}
+
+/// Returns the `q`-quantile of `data` (linear interpolation between order
+/// statistics, "type 7" as in R / NumPy default).
+///
+/// # Panics
+///
+/// Panics if `data` is empty, contains NaN, or `q ∉ [0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile: empty input");
+    assert!((0.0..=1.0).contains(&q), "quantile: q must lie in [0, 1]");
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN observation"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+}
+
+/// Median, shorthand for `quantile(data, 0.5)`.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_basic() {
+        let d = Describe::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.n, 4);
+        assert!((d.mean - 2.5).abs() < 1e-12);
+        assert!((d.variance - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn describe_rejects_empty() {
+        Describe::of(&[]);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let data = [3.2, -1.0, 4.5, 0.0, 2.2, 9.9];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let d = Describe::of(&data);
+        assert!((w.mean() - d.mean).abs() < 1e-12);
+        assert!((w.sample_variance() - d.variance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_single_observation() {
+        let mut w = Welford::new();
+        w.push(7.0);
+        assert_eq!(w.mean(), 7.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let (a_data, b_data) = ([1.0, 2.0, 3.0], [10.0, 20.0, 30.0, 40.0]);
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &a_data {
+            a.push(x);
+        }
+        for &x in &b_data {
+            b.push(x);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+
+        let mut seq = Welford::new();
+        for &x in a_data.iter().chain(b_data.iter()) {
+            seq.push(x);
+        }
+        assert_eq!(merged.count(), seq.count());
+        assert!((merged.mean() - seq.mean()).abs() < 1e-12);
+        assert!((merged.sample_variance() - seq.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_with_empty_is_identity() {
+        let mut w = Welford::new();
+        w.push(5.0);
+        w.push(6.0);
+        let before = w;
+        w.merge(&Welford::new());
+        assert_eq!(w, before);
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert!((quantile(&data, 0.5) - 2.5).abs() < 1e-12);
+        assert!((median(&[5.0, 1.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,539 @@
+//! Distribution samplers and densities.
+//!
+//! The paper's generative process (Section 4) draws source quality from Beta
+//! distributions, truth labels from Bernoullis, and claim observations from
+//! Bernoullis parameterised by source quality. The synthetic stress test
+//! (Section 6.1) runs that process forward, so the workspace needs reliable
+//! samplers for all of them. Everything here takes `&mut impl Rng` so the
+//! caller owns determinism.
+
+use rand::Rng;
+
+use crate::special::{ln_beta, ln_gamma};
+
+/// A Bernoulli distribution with success probability `p`.
+///
+/// A thin wrapper kept for symmetry with the other distributions and so the
+/// probability is validated exactly once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` or is NaN.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Bernoulli: p must lie in [0, 1], got {p}"
+        );
+        Self { p }
+    }
+
+    /// The success probability.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws a sample.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen::<f64>() < self.p
+    }
+
+    /// Probability mass of an outcome.
+    #[inline]
+    pub fn pmf(&self, outcome: bool) -> f64 {
+        if outcome {
+            self.p
+        } else {
+            1.0 - self.p
+        }
+    }
+}
+
+/// A Gamma distribution with shape `k` and scale `θ` (mean `kθ`).
+///
+/// Sampling uses Marsaglia & Tsang's squeeze method for `k ≥ 1` and the
+/// boost `U^{1/k}` trick for `k < 1`. Gamma is the workhorse behind the
+/// [`Beta`] sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a Gamma distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` or `scale` is not strictly positive.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0, "Gamma: shape must be > 0, got {shape}");
+        assert!(scale > 0.0, "Gamma: scale must be > 0, got {scale}");
+        Self { shape, scale }
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Mean `kθ`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Draws a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: if X ~ Gamma(k+1) and U ~ Uniform(0,1) then
+            // X·U^{1/k} ~ Gamma(k).
+            let boosted = Gamma::new(self.shape + 1.0, self.scale).sample(rng);
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            return boosted * u.powf(1.0 / self.shape);
+        }
+        // Marsaglia & Tsang (2000).
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            // Standard normal via Box–Muller (avoids a dependency on
+            // rand_distr; two uniforms per attempt is fine at our scales).
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v * self.scale;
+            }
+        }
+    }
+
+    /// Natural log of the density at `x`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.shape - 1.0) * x.ln() - x / self.scale
+            - ln_gamma(self.shape)
+            - self.shape * self.scale.ln()
+    }
+}
+
+/// A Beta distribution with parameters `(a, b)` (mean `a / (a + b)`).
+///
+/// In the Latent Truth Model this is the prior over source false-positive
+/// rate (`φ⁰ ~ Beta(α₀₁, α₀₀)`), source sensitivity (`φ¹ ~ Beta(α₁₁, α₁₀)`),
+/// and fact prior truth probability (`θ ~ Beta(β₁, β₀)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    a: f64,
+    b: f64,
+}
+
+impl Beta {
+    /// Creates a Beta distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(
+            a > 0.0 && b > 0.0,
+            "Beta: parameters must be > 0, got ({a}, {b})"
+        );
+        Self { a, b }
+    }
+
+    /// First shape parameter (prior "success"/true count).
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Second shape parameter (prior "failure"/false count).
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Mean `a / (a + b)`.
+    pub fn mean(&self) -> f64 {
+        self.a / (self.a + self.b)
+    }
+
+    /// Variance `ab / ((a+b)²(a+b+1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.a + self.b;
+        self.a * self.b / (s * s * (s + 1.0))
+    }
+
+    /// Draws a sample via two Gamma variates.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = Gamma::new(self.a, 1.0).sample(rng);
+        let y = Gamma::new(self.b, 1.0).sample(rng);
+        // Clamp away from the boundary so downstream Bernoulli(φ) never sees
+        // an exact 0/1 produced by floating-point underflow.
+        (x / (x + y)).clamp(1e-12, 1.0 - 1e-12)
+    }
+
+    /// Natural log of the density at `x`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return f64::NEG_INFINITY;
+        }
+        (self.a - 1.0) * x.ln() + (self.b - 1.0) * (1.0 - x).ln() - ln_beta(self.a, self.b)
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        crate::special::beta_inc(self.a, self.b, x.clamp(0.0, 1.0))
+    }
+}
+
+/// A Binomial distribution (`n` trials, success probability `p`).
+///
+/// Used by the dataset generators to draw per-entity fan-outs. Sampling is
+/// by inversion for small `n` and by normal approximation with correction
+/// for large `n`; at the workspace's scales (`n ≤ a few thousand`) direct
+/// inversion is accurate and fast enough.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u32,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a Binomial distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(n: u32, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Binomial: p must lie in [0, 1], got {p}"
+        );
+        Self { n, p }
+    }
+
+    /// Mean `np`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Draws a sample by sequential Bernoulli trials for small `n`, or by
+    /// mode-centred enumeration otherwise.
+    ///
+    /// Naive CDF inversion starting from `k = 0` underflows `(1−p)^n` for
+    /// large `n`; enumerating outward from the mode keeps every term in
+    /// range and terminates in `O(√(np(1−p)))` expected steps.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        if self.p == 0.0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        if self.n <= 64 {
+            let mut k = 0;
+            for _ in 0..self.n {
+                if rng.gen::<f64>() < self.p {
+                    k += 1;
+                }
+            }
+            return k;
+        }
+        let n = self.n as f64;
+        let mode = (((self.n + 1) as f64 * self.p).floor() as u32).min(self.n);
+        let ln_pmf_mode = ln_gamma(n + 1.0)
+            - ln_gamma(mode as f64 + 1.0)
+            - ln_gamma(n - mode as f64 + 1.0)
+            + mode as f64 * self.p.ln()
+            + (n - mode as f64) * (1.0 - self.p).ln();
+        // Enumerate outward from the mode, alternating sides; any fixed
+        // enumeration order is a valid way to invert a uniform draw.
+        let u: f64 = rng.gen();
+        let ratio = self.p / (1.0 - self.p);
+        let mut acc = ln_pmf_mode.exp();
+        let mut pmf_lo = acc;
+        let mut pmf_hi = acc;
+        let mut lo = mode;
+        let mut hi = mode;
+        while acc < u && (lo > 0 || hi < self.n) {
+            if hi < self.n {
+                // pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/(1−p)
+                pmf_hi *= (self.n - hi) as f64 / (hi + 1) as f64 * ratio;
+                hi += 1;
+                acc += pmf_hi;
+                if acc >= u {
+                    return hi;
+                }
+            }
+            if lo > 0 {
+                // pmf(k−1) = pmf(k) · k/(n−k+1) · (1−p)/p
+                pmf_lo *= lo as f64 / (self.n - lo + 1) as f64 / ratio;
+                lo -= 1;
+                acc += pmf_lo;
+                if acc >= u {
+                    return lo;
+                }
+            }
+        }
+        mode
+    }
+}
+
+/// A categorical distribution over `0..k` defined by unnormalised weights.
+///
+/// Dataset generators use this for Zipf-like source-popularity and
+/// author-count draws. Sampling is O(k) by linear scan, which is fine for
+/// the small `k` used here; an alias table would be overkill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from unnormalised non-negative
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "Categorical: weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "Categorical: weights must be finite and non-negative, got {w}"
+            );
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "Categorical: weights must not all be zero");
+        Self { cumulative }
+    }
+
+    /// A Zipf-like categorical over `0..k` with exponent `s`
+    /// (weight of rank `r` is `(r+1)^{−s}`).
+    pub fn zipf(k: usize, s: f64) -> Self {
+        assert!(k > 0, "Categorical::zipf: k must be > 0");
+        let weights: Vec<f64> = (1..=k).map(|r| (r as f64).powf(-s)).collect();
+        Self::new(&weights)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has zero categories (never true by
+    /// construction; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let u: f64 = rng.gen::<f64>() * total;
+        // Binary search for the first cumulative weight exceeding u.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn bernoulli_empirical_mean() {
+        let mut r = rng();
+        let d = Bernoulli::new(0.3);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| d.sample(&mut r)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn bernoulli_pmf() {
+        let d = Bernoulli::new(0.25);
+        assert_eq!(d.pmf(true), 0.25);
+        assert_eq!(d.pmf(false), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn bernoulli_rejects_bad_p() {
+        Bernoulli::new(1.5);
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut r = rng();
+        for &(shape, scale) in &[(0.5, 1.0), (2.0, 3.0), (9.0, 0.5)] {
+            let d = Gamma::new(shape, scale);
+            let n = 40_000;
+            let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            let (em, ev) = (shape * scale, shape * scale * scale);
+            assert!((mean - em).abs() / em < 0.05, "mean {mean} vs {em}");
+            assert!((var - ev).abs() / ev < 0.15, "var {var} vs {ev}");
+        }
+    }
+
+    #[test]
+    fn gamma_samples_positive() {
+        let mut r = rng();
+        let d = Gamma::new(0.1, 2.0);
+        for _ in 0..2_000 {
+            assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn beta_moments_match_theory() {
+        let mut r = rng();
+        // The paper's own prior settings.
+        for &(a, b) in &[(10.0, 90.0), (90.0, 10.0), (50.0, 50.0), (10.0, 10.0)] {
+            let d = Beta::new(a, b);
+            let n = 40_000;
+            let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - d.mean()).abs() < 0.01,
+                "mean {mean} vs {}",
+                d.mean()
+            );
+            assert!(
+                (var - d.variance()).abs() < 0.01,
+                "var {var} vs {}",
+                d.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn beta_samples_in_open_unit_interval() {
+        let mut r = rng();
+        let d = Beta::new(0.5, 0.5);
+        for _ in 0..5_000 {
+            let x = d.sample(&mut r);
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn beta_cdf_matches_empirical() {
+        let mut r = rng();
+        let d = Beta::new(3.0, 7.0);
+        let n = 40_000;
+        let below = (0..n).filter(|_| d.sample(&mut r) < 0.3).count();
+        let empirical = below as f64 / n as f64;
+        assert!((empirical - d.cdf(0.3)).abs() < 0.01);
+    }
+
+    #[test]
+    fn beta_ln_pdf_integrates_to_one() {
+        // Crude trapezoid integration of exp(ln_pdf) over a grid.
+        let d = Beta::new(2.5, 4.0);
+        let n = 20_000;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x = (i as f64 + 0.5) / n as f64;
+            acc += d.ln_pdf(x).exp() / n as f64;
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "integral = {acc}");
+    }
+
+    #[test]
+    fn binomial_mean_small_and_large_n() {
+        let mut r = rng();
+        for &(n, p) in &[(10u32, 0.5), (500u32, 0.02), (2000u32, 0.7)] {
+            let d = Binomial::new(n, p);
+            let reps = 20_000;
+            let mean =
+                (0..reps).map(|_| d.sample(&mut r) as f64).sum::<f64>() / reps as f64;
+            let em = d.mean();
+            assert!(
+                (mean - em).abs() < 0.05 * em.max(1.0),
+                "n={n} p={p}: mean {mean} vs {em}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_degenerate_edges() {
+        let mut r = rng();
+        assert_eq!(Binomial::new(100, 0.0).sample(&mut r), 0);
+        assert_eq!(Binomial::new(100, 1.0).sample(&mut r), 100);
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng();
+        let d = Categorical::new(&[1.0, 0.0, 3.0]);
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[d.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight category must never be drawn");
+        let f0 = counts[0] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        assert!((f0 - 0.25).abs() < 0.02, "f0 = {f0}");
+        assert!((f2 - 0.75).abs() < 0.02, "f2 = {f2}");
+    }
+
+    #[test]
+    fn categorical_zipf_is_monotone() {
+        let mut r = rng();
+        let d = Categorical::zipf(10, 1.2);
+        let n = 60_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[d.sample(&mut r)] += 1;
+        }
+        // Rank 0 should dominate rank 9 heavily.
+        assert!(counts[0] > counts[9] * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn categorical_rejects_empty() {
+        Categorical::new(&[]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Numeric substrate for the `latent-truth` workspace.
+//!
+//! The Latent Truth Model (Zhao et al., VLDB 2012) is built on a handful of
+//! classical probabilistic primitives — Beta/Bernoulli conjugate pairs, a
+//! collapsed Gibbs sampler, confidence intervals over repeated runs, and a
+//! least-squares runtime regression. This crate implements those primitives
+//! from scratch so the rest of the workspace does not depend on an external
+//! statistics library:
+//!
+//! * [`special`] — log-gamma, log-beta, error function, and related special
+//!   functions with double-precision accuracy.
+//! * [`dist`] — samplers and densities for the Bernoulli, Beta, Gamma,
+//!   Binomial, and categorical distributions.
+//! * [`describe`] — descriptive statistics (means, variances, quantiles)
+//!   including a streaming Welford accumulator.
+//! * [`ci`] — Student-t confidence intervals for the mean, used by the
+//!   convergence experiment (paper Figure 5).
+//! * [`regression`] — simple ordinary least squares with `R²`, used by the
+//!   runtime-scaling experiment (paper Figure 6).
+//! * [`rng`] — deterministic, splittable random-number-generator plumbing so
+//!   every experiment in the workspace is reproducible from a single seed.
+//!
+//! All samplers take `&mut impl rand::Rng` so callers control determinism.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ci;
+pub mod correlation;
+pub mod describe;
+pub mod dist;
+pub mod regression;
+pub mod rng;
+pub mod special;
+
+pub use ci::MeanCi;
+pub use correlation::{pearson, spearman};
+pub use describe::{Describe, Welford};
+pub use dist::{Bernoulli, Beta, Binomial, Categorical, Gamma};
+pub use regression::{Line, SimpleOls};
+pub use rng::SeedStream;

@@ -1,0 +1,145 @@
+//! Simple ordinary least squares.
+//!
+//! Figure 6 of the paper fits a straight line to (number of claims, LTM
+//! runtime) pairs and reports an `R²` of 0.9913 as evidence of linear
+//! scaling. This module reproduces that analysis.
+
+/// A fitted line `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+}
+
+impl Line {
+    /// Evaluates the line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Result of a simple (one-predictor) ordinary-least-squares fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleOls {
+    /// The fitted line.
+    pub line: Line,
+    /// Coefficient of determination `R² ∈ [0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl SimpleOls {
+    /// Fits `y ≈ slope · x + intercept` by least squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths, fewer than two points,
+    /// or all `x` values are identical (the slope is then undefined).
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "SimpleOls::fit: length mismatch");
+        assert!(xs.len() >= 2, "SimpleOls::fit: need at least two points");
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        assert!(sxx > 0.0, "SimpleOls::fit: all x values identical");
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        // R² = 1 − SS_res / SS_tot; for constant y define R² = 1 (the line
+        // reproduces the data exactly).
+        let r_squared = if syy == 0.0 {
+            1.0
+        } else {
+            let ss_res: f64 = xs
+                .iter()
+                .zip(ys)
+                .map(|(&x, &y)| {
+                    let e = y - (slope * x + intercept);
+                    e * e
+                })
+                .sum();
+            (1.0 - ss_res / syy).clamp(0.0, 1.0)
+        };
+        Self {
+            line: Line { slope, intercept },
+            r_squared,
+            n: xs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let fit = SimpleOls::fit(&xs, &ys);
+        assert!((fit.line.slope - 2.5).abs() < 1e-12);
+        assert!((fit.line.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_high_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + 10.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = SimpleOls::fit(&xs, &ys);
+        assert!((fit.line.slope - 3.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn uncorrelated_data_low_r2() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [5.0, 1.0, 6.0, 0.0, 5.5, 0.5];
+        let fit = SimpleOls::fit(&xs, &ys);
+        assert!(fit.r_squared < 0.3, "r2 = {}", fit.r_squared);
+    }
+
+    #[test]
+    fn constant_y_defines_r2_one() {
+        let fit = SimpleOls::fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]);
+        assert_eq!(fit.r_squared, 1.0);
+        assert!((fit.line.slope).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        SimpleOls::fit(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all x values identical")]
+    fn degenerate_x_panics() {
+        SimpleOls::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn predict_evaluates_line() {
+        let line = Line {
+            slope: 2.0,
+            intercept: 1.0,
+        };
+        assert_eq!(line.predict(3.0), 7.0);
+    }
+}

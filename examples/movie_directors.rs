@@ -1,0 +1,57 @@
+//! The movie-director scenario (the Bing movies vertical of the paper):
+//! 12 feeds with very different error habits. Fits LTM on the simulated
+//! dataset and prints the Table 8-style source-quality case study next to
+//! the quality profiles the generator planted.
+//!
+//! ```text
+//! cargo run --release --example movie_directors
+//! ```
+
+use latent_truth::core::{fit, LtmConfig, Priors, SampleSchedule};
+use latent_truth::datagen::movies::{self, MovieConfig};
+use latent_truth::eval::metrics::evaluate;
+
+fn main() {
+    let data = movies::generate(&MovieConfig {
+        num_movies_raw: 5_000,
+        labeled_entities: 100,
+        seed: 2012,
+    });
+    println!("== simulated movie-director dataset ==\n{}\n", data.dataset.stats());
+
+    let db = &data.dataset.claims;
+    let config = LtmConfig {
+        priors: Priors::scaled_specificity(db.num_facts()),
+        schedule: SampleSchedule::paper_default(),
+        seed: 42,
+        arithmetic: Default::default(),
+    };
+    let result = fit(db, &config);
+
+    let m = evaluate(&data.dataset.truth, &result.truth, 0.5);
+    println!(
+        "LTM on {} labeled movies: accuracy {:.3}, F1 {:.3}\n",
+        data.dataset.truth.num_labeled_entities(),
+        m.accuracy,
+        m.f1
+    );
+
+    println!("source quality, sorted by inferred sensitivity (cf. paper Table 8):");
+    println!("{:<15} {:>11} {:>11}   {:>12}", "source", "sensitivity", "specificity", "planted sens");
+    for s in result.quality.by_descending_sensitivity() {
+        let r = result.quality.record(s);
+        println!(
+            "{:<15} {:>11.4} {:>11.4}   {:>12.2}",
+            data.dataset.raw.source_name(s),
+            r.sensitivity,
+            r.specificity,
+            data.profiles[s.index()].sensitivity,
+        );
+    }
+    println!(
+        "\nNote how sensitivity and specificity do not correlate: conservative\n\
+         feeds (fandango) rank low on sensitivity but high on specificity,\n\
+         aggressive ones (imdb, amg) the other way — the paper's two-sided\n\
+         quality argument."
+    );
+}

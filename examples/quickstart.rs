@@ -1,0 +1,91 @@
+//! Quickstart: the paper's running example (Table 1), extended with a few
+//! more movies so the source-quality signal is identifiable, run through
+//! the Latent Truth Model.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use latent_truth::core::{fit, LtmConfig, Priors, SampleSchedule};
+use latent_truth::core::priors::BetaPair;
+use latent_truth::model::{ClaimDb, RawDatabaseBuilder};
+
+fn main() {
+    // The raw database of paper Table 1: (entity, attribute, source)
+    // triples with conflicting cast lists ...
+    let mut b = RawDatabaseBuilder::new();
+    b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+    b.add("Harry Potter", "Emma Watson", "IMDB");
+    b.add("Harry Potter", "Rupert Grint", "IMDB");
+    b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+    b.add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+    b.add("Harry Potter", "Emma Watson", "BadSource.com");
+    b.add("Harry Potter", "Johnny Depp", "BadSource.com");
+    b.add("Pirates 4", "Johnny Depp", "Hulu.com");
+    // ... plus three more movies that reveal the sources' habits: IMDB and
+    // Netflix corroborate each other, BadSource keeps inventing actors.
+    for (movie, a, b2, junk) in [
+        ("Inception", "Leonardo DiCaprio", "Elliot Page", "Fake Actor 1"),
+        ("Twilight", "Kristen Stewart", "Robert Pattinson", "Fake Actor 2"),
+        ("Avatar", "Sam Worthington", "Zoe Saldana", "Fake Actor 3"),
+    ] {
+        b.add(movie, a, "IMDB");
+        b.add(movie, b2, "IMDB");
+        b.add(movie, a, "Netflix");
+        b.add(movie, b2, "Netflix");
+        b.add(movie, a, "BadSource.com");
+        b.add(movie, junk, "BadSource.com");
+    }
+    let raw = b.build();
+
+    // Derive the fact and claim tables (paper Definitions 2-3): positive
+    // claims where a source asserted a fact, negative claims where it
+    // covered the entity but stayed silent.
+    let db = ClaimDb::from_raw(&raw);
+    println!(
+        "{} facts, {} claims ({} positive / {} negative) from {} sources\n",
+        db.num_facts(),
+        db.num_claims(),
+        db.num_positive_claims(),
+        db.num_negative_claims(),
+        db.num_sources()
+    );
+
+    // Fit the Latent Truth Model. The dataset is tiny, so use a small
+    // specificity prior and a longer chain than the paper's default.
+    let config = LtmConfig {
+        priors: Priors {
+            alpha0: BetaPair::new(1.0, 10.0),
+            alpha1: BetaPair::new(5.0, 5.0),
+            beta: BetaPair::new(2.0, 2.0),
+        },
+        schedule: SampleSchedule::new(400, 100, 2),
+        seed: 7,
+        arithmetic: Default::default(),
+    };
+    let result = fit(&db, &config);
+
+    println!("posterior truth probabilities (threshold 0.5):");
+    for f in db.fact_ids() {
+        let fact = db.fact(f);
+        let p = result.truth.prob(f);
+        println!(
+            "  {:<5} p={p:.3}  {} / {}",
+            if p >= 0.5 { "TRUE" } else { "false" },
+            raw.entity_name(fact.entity),
+            raw.attr_name(fact.attr),
+        );
+    }
+
+    println!("\ntwo-sided source quality (paper section 5.3):");
+    for s in result.quality.by_descending_sensitivity() {
+        let r = result.quality.record(s);
+        println!(
+            "  {:<15} sensitivity {:.3}  specificity {:.3}  precision {:.3}",
+            raw.source_name(s),
+            r.sensitivity,
+            r.specificity,
+            r.precision
+        );
+    }
+}

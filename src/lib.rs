@@ -1,0 +1,49 @@
+//! **latent-truth** — a Rust reproduction of
+//! *A Bayesian Approach to Discovering Truth from Conflicting Sources for
+//! Data Integration* (Bo Zhao, Benjamin I. P. Rubinstein, Jim Gemmell,
+//! Jiawei Han; PVLDB 5(6), VLDB 2012).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`model`] — the data substrate: raw `(entity, attribute, source)`
+//!   triples, fact tables, claim tables (paper §2);
+//! * [`core`] — the Latent Truth Model: collapsed Gibbs inference,
+//!   two-sided source quality, incremental & streaming modes (paper
+//!   §4–5, §7);
+//! * [`baselines`] — the seven prior methods the paper compares against
+//!   (paper §6.2);
+//! * [`datagen`] — simulators standing in for the paper's proprietary
+//!   datasets plus the synthetic stress test (paper §6.1);
+//! * [`eval`] — metrics, threshold sweeps, ROC/AUC, timing (paper §6);
+//! * [`stats`] — the numeric substrate (special functions, distribution
+//!   samplers, confidence intervals, regression).
+//!
+//! # Example
+//!
+//! ```
+//! use latent_truth::model::{ClaimDb, RawDatabaseBuilder};
+//! use latent_truth::core::{fit, LtmConfig};
+//!
+//! // Paper Table 1: conflicting cast lists for "Harry Potter".
+//! let mut b = RawDatabaseBuilder::new();
+//! b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+//! b.add("Harry Potter", "Emma Watson", "IMDB");
+//! b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+//! b.add("Harry Potter", "Johnny Depp", "BadSource.com");
+//! b.add("Harry Potter", "Daniel Radcliffe", "BadSource.com");
+//! let raw = b.build();
+//! let db = ClaimDb::from_raw(&raw);
+//!
+//! let result = fit(&db, &LtmConfig::scaled_for(db.num_facts()));
+//! assert_eq!(result.truth.len(), db.num_facts());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ltm_baselines as baselines;
+pub use ltm_core as core;
+pub use ltm_datagen as datagen;
+pub use ltm_eval as eval;
+pub use ltm_model as model;
+pub use ltm_stats as stats;

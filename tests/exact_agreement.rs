@@ -1,0 +1,122 @@
+//! The collapsed Gibbs sampler must converge to the exact posterior
+//! (computed by 2^F enumeration) on small random instances — the core
+//! correctness property of the inference algorithm.
+
+use latent_truth::core::priors::BetaPair;
+use latent_truth::core::{exact, fit, Arithmetic, LtmConfig, Priors, SampleSchedule};
+use latent_truth::model::{AttrId, Claim, ClaimDb, EntityId, Fact, FactId, SourceId};
+use latent_truth::stats::rng::rng_from_seed;
+use rand::Rng;
+
+/// Builds a random claim database with `num_facts` facts (two facts per
+/// entity), `num_sources` sources, and ~70% claim density.
+fn random_db(num_facts: usize, num_sources: usize, seed: u64) -> ClaimDb {
+    let mut rng = rng_from_seed(seed);
+    let facts: Vec<Fact> = (0..num_facts)
+        .map(|i| Fact {
+            entity: EntityId::from_usize(i / 2),
+            attr: AttrId::from_usize(i),
+        })
+        .collect();
+    let mut claims = Vec::new();
+    for f in 0..num_facts {
+        for s in 0..num_sources {
+            if rng.gen::<f64>() < 0.7 {
+                claims.push(Claim {
+                    fact: FactId::from_usize(f),
+                    source: SourceId::from_usize(s),
+                    observation: rng.gen::<f64>() < 0.5,
+                });
+            }
+        }
+    }
+    ClaimDb::from_parts(facts, claims, num_sources)
+}
+
+fn priors() -> Priors {
+    Priors {
+        alpha0: BetaPair::new(1.0, 8.0),
+        alpha1: BetaPair::new(3.0, 2.0),
+        beta: BetaPair::new(2.0, 3.0),
+    }
+}
+
+#[test]
+fn gibbs_matches_exact_on_random_instances() {
+    for seed in [1u64, 2, 3] {
+        let db = random_db(6, 3, seed);
+        let p = priors();
+        let exact_post = exact::posterior(&db, &p);
+        let cfg = LtmConfig {
+            priors: p,
+            schedule: SampleSchedule::new(40_000, 4_000, 0),
+            seed: 100 + seed,
+            arithmetic: Arithmetic::LogSpace,
+        };
+        let gibbs = fit(&db, &cfg);
+        for f in db.fact_ids() {
+            assert!(
+                (gibbs.truth.prob(f) - exact_post.prob(f)).abs() < 0.03,
+                "seed {seed}, fact {f}: gibbs {:.4} vs exact {:.4}",
+                gibbs.truth.prob(f),
+                exact_post.prob(f)
+            );
+        }
+    }
+}
+
+#[test]
+fn arithmetic_modes_agree_with_each_other() {
+    let db = random_db(8, 4, 9);
+    let p = priors();
+    let base = LtmConfig {
+        priors: p,
+        schedule: SampleSchedule::new(30_000, 3_000, 0),
+        seed: 5,
+        arithmetic: Arithmetic::LogSpace,
+    };
+    let log_fit = fit(&db, &base);
+    let dir_fit = fit(
+        &db,
+        &LtmConfig {
+            arithmetic: Arithmetic::Direct,
+            seed: 6, // different seed: we compare distributions, not paths
+            ..base
+        },
+    );
+    for f in db.fact_ids() {
+        assert!(
+            (log_fit.truth.prob(f) - dir_fit.truth.prob(f)).abs() < 0.04,
+            "fact {f}: log {:.4} vs direct {:.4}",
+            log_fit.truth.prob(f),
+            dir_fit.truth.prob(f)
+        );
+    }
+}
+
+#[test]
+fn posterior_respects_prior_when_no_claims() {
+    let facts: Vec<Fact> = (0..4)
+        .map(|i| Fact {
+            entity: EntityId::from_usize(i),
+            attr: AttrId::from_usize(i),
+        })
+        .collect();
+    let db = ClaimDb::from_parts(facts, vec![], 2);
+    let p = Priors {
+        beta: BetaPair::new(3.0, 1.0),
+        ..priors()
+    };
+    let exact_post = exact::posterior(&db, &p);
+    let cfg = LtmConfig {
+        priors: p,
+        schedule: SampleSchedule::new(20_000, 2_000, 0),
+        seed: 11,
+        arithmetic: Arithmetic::LogSpace,
+    };
+    let gibbs = fit(&db, &cfg);
+    for f in db.fact_ids() {
+        assert!((exact_post.prob(f) - 0.75).abs() < 1e-9);
+        assert!((gibbs.truth.prob(f) - 0.75).abs() < 0.02);
+    }
+}

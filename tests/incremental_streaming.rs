@@ -1,0 +1,164 @@
+//! Incremental and streaming behaviour across crates (paper §5.4): the
+//! Equation-3 predictor agrees with hand-computed posteriors, streaming
+//! training transfers quality across batches, and held-out prediction
+//! (the paper's LTMinc protocol) stays close to batch accuracy.
+
+use latent_truth::core::{fit, IncrementalLtm, LtmConfig, Priors, SampleSchedule, StreamingLtm};
+use latent_truth::datagen::books::{self, BookConfig};
+use latent_truth::eval::metrics::evaluate;
+use latent_truth::model::{Claim, ClaimDb, GroundTruth};
+
+fn book_data() -> latent_truth::datagen::GeneratedDataset {
+    books::generate(&BookConfig {
+        num_books: 160,
+        num_sources: 120,
+        mean_sources_per_book: 20.0,
+        labeled_entities: 40,
+        seed: 321,
+    })
+}
+
+fn config(num_facts: usize) -> LtmConfig {
+    LtmConfig {
+        priors: Priors::scaled_specificity(num_facts),
+        schedule: SampleSchedule::paper_default(),
+        seed: 42,
+        arithmetic: Default::default(),
+    }
+}
+
+/// Rebuilds a ClaimDb containing only the facts of entities NOT in the
+/// holdout, preserving source ids (the paper's LTMinc training protocol).
+fn without_labeled(db: &ClaimDb, truth: &GroundTruth) -> ClaimDb {
+    let holdout: std::collections::HashSet<_> = truth.entities().collect();
+    let mut facts = Vec::new();
+    let mut claims = Vec::new();
+    let mut remap = vec![None; db.num_facts()];
+    for f in db.fact_ids() {
+        let fact = db.fact(f);
+        if !holdout.contains(&fact.entity) {
+            remap[f.index()] = Some(latent_truth::model::FactId::from_usize(facts.len()));
+            facts.push(fact);
+        }
+    }
+    for f in db.fact_ids() {
+        if let Some(nf) = remap[f.index()] {
+            for (source, observation) in db.claims_of_fact(f) {
+                claims.push(Claim {
+                    fact: nf,
+                    source,
+                    observation,
+                });
+            }
+        }
+    }
+    ClaimDb::from_parts(facts, claims, db.num_sources())
+}
+
+#[test]
+fn held_out_ltminc_close_to_batch_ltm() {
+    let data = book_data();
+    let db = &data.dataset.claims;
+    let truth = &data.dataset.truth;
+    let cfg = config(db.num_facts());
+
+    // Batch LTM on everything.
+    let batch = fit(db, &cfg);
+    let batch_m = evaluate(truth, &batch.truth, 0.5);
+
+    // LTMinc: quality learned WITHOUT the labeled entities, Equation 3 on
+    // the full database.
+    let training = without_labeled(db, truth);
+    assert!(training.num_facts() < db.num_facts());
+    let learned = fit(&training, &cfg);
+    let predictor = IncrementalLtm::new(&learned.quality, &cfg.priors);
+    let inc_m = evaluate(truth, &predictor.predict(db), 0.5);
+
+    assert!(
+        (batch_m.accuracy - inc_m.accuracy).abs() < 0.06,
+        "batch {:.3} vs LTMinc {:.3}",
+        batch_m.accuracy,
+        inc_m.accuracy
+    );
+    assert!(inc_m.accuracy > 0.85, "LTMinc accuracy {:.3}", inc_m.accuracy);
+}
+
+#[test]
+fn streaming_quality_transfers_to_later_batches() {
+    let data = book_data();
+    let db = &data.dataset.claims;
+
+    // Split entities into two halves by id parity.
+    let (mut even, mut odd) = (Vec::new(), Vec::new());
+    for e in db.entity_ids() {
+        if e.index() % 2 == 0 {
+            even.push(e);
+        } else {
+            odd.push(e);
+        }
+    }
+    let keep = |keep_set: &[latent_truth::model::EntityId]| {
+        let set: std::collections::HashSet<_> = keep_set.iter().copied().collect();
+        let mut facts = Vec::new();
+        let mut claims = Vec::new();
+        let mut remap = vec![None; db.num_facts()];
+        for f in db.fact_ids() {
+            if set.contains(&db.fact(f).entity) {
+                remap[f.index()] = Some(latent_truth::model::FactId::from_usize(facts.len()));
+                facts.push(db.fact(f));
+            }
+        }
+        for f in db.fact_ids() {
+            if let Some(nf) = remap[f.index()] {
+                for (source, observation) in db.claims_of_fact(f) {
+                    claims.push(Claim { fact: nf, source, observation });
+                }
+            }
+        }
+        ClaimDb::from_parts(facts, claims, db.num_sources())
+    };
+    let batch1 = keep(&even);
+    let batch2 = keep(&odd);
+
+    let cfg = config(db.num_facts());
+    let mut stream = StreamingLtm::new(cfg);
+    stream.observe(&batch1);
+    let priors_after_one = stream.current_priors(db.num_sources());
+
+    // After one batch, sources that asserted many inferred-true facts must
+    // have inflated sensitivity priors relative to the base.
+    let base = cfg.priors.alpha1;
+    let inflated = (0..db.num_sources())
+        .filter(|&s| priors_after_one.alpha1_for(s).pos > base.pos + 1.0)
+        .count();
+    assert!(inflated > db.num_sources() / 4, "only {inflated} sources inflated");
+
+    // Second batch still fits fine and accumulates further.
+    stream.observe(&batch2);
+    assert_eq!(stream.batches_seen(), 2);
+    let q = stream.quality();
+    assert_eq!(q.num_sources(), db.num_sources());
+}
+
+#[test]
+fn streaming_predictor_comparable_to_batch_fit() {
+    let data = book_data();
+    let db = &data.dataset.claims;
+    let truth = &data.dataset.truth;
+    let cfg = config(db.num_facts());
+
+    let mut stream = StreamingLtm::new(cfg);
+    stream.observe(db);
+    let pred = stream.predictor().predict(db);
+    let stream_m = evaluate(truth, &pred, 0.5);
+
+    let batch = fit(db, &cfg);
+    let batch_m = evaluate(truth, &batch.truth, 0.5);
+
+    assert!(
+        (stream_m.accuracy - batch_m.accuracy).abs() < 0.08,
+        "stream {:.3} vs batch {:.3}",
+        stream_m.accuracy,
+        batch_m.accuracy
+    );
+}

@@ -1,0 +1,271 @@
+//! Property-based tests (proptest) on cross-crate invariants: claim-table
+//! construction rules (Definition 3), sampler bookkeeping, metric
+//! identities, and score-normalisation guarantees.
+
+use latent_truth::baselines::{all_baselines, Voting, TruthMethod};
+use latent_truth::core::{fit, GibbsCounts, LtmConfig, Priors, SampleSchedule};
+use latent_truth::core::priors::BetaPair;
+use latent_truth::eval::metrics::Confusion;
+use latent_truth::eval::roc::auc;
+use latent_truth::model::{ClaimDb, EntityId, FactId, GroundTruth, RawDatabaseBuilder, TruthAssignment};
+use proptest::prelude::*;
+
+/// Strategy: a random raw database over small vocabularies (up to 6
+/// entities × 5 attributes × 6 sources, up to 40 triples).
+fn raw_database() -> impl Strategy<Value = latent_truth::model::RawDatabase> {
+    proptest::collection::vec((0u8..6, 0u8..5, 0u8..6), 1..40).prop_map(|triples| {
+        let mut b = RawDatabaseBuilder::new();
+        for (e, a, s) in triples {
+            b.add(&format!("e{e}"), &format!("a{a}"), &format!("s{s}"));
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Definition 3: for every fact there is exactly one claim per source
+    /// covering its entity; positives correspond one-to-one to raw rows.
+    #[test]
+    fn claim_table_construction_invariants(raw in raw_database()) {
+        let db = ClaimDb::from_raw(&raw);
+
+        // (1) positive claims == raw rows (rows are deduplicated).
+        prop_assert_eq!(db.num_positive_claims(), raw.len());
+
+        // (2) every fact of an entity has claims from exactly the sources
+        // covering that entity.
+        for e in db.entity_ids() {
+            let facts = db.facts_of_entity(e);
+            let cover: std::collections::BTreeSet<_> =
+                db.fact_claim_sources(facts[0]).iter().copied().collect();
+            for &f in facts {
+                let here: std::collections::BTreeSet<_> =
+                    db.fact_claim_sources(f).iter().copied().collect();
+                prop_assert_eq!(&here, &cover, "fact {} differs from sibling", f);
+            }
+        }
+
+        // (3) claim_fact is the inverse of the fact ranges.
+        for f in db.fact_ids() {
+            for i in db.fact_claim_range(f) {
+                prop_assert_eq!(db.claim_fact(ltm_claim(i)), f);
+            }
+        }
+    }
+
+    /// The sampler's incremental confusion counts always equal counts
+    /// recomputed from scratch, for arbitrary label vectors.
+    #[test]
+    fn gibbs_counts_consistency(raw in raw_database(), flips in proptest::collection::vec(any::<bool>(), 64)) {
+        let db = ClaimDb::from_raw(&raw);
+        let mut labels = vec![false; db.num_facts()];
+        let mut counts = GibbsCounts::from_labels(&db, &labels);
+        for (i, &flip) in flips.iter().enumerate() {
+            if db.num_facts() == 0 { break; }
+            let f = FactId::from_usize(i % db.num_facts());
+            if flip {
+                let old = labels[f.index()];
+                labels[f.index()] = !old;
+                for (s, o) in db.claims_of_fact(f) {
+                    counts.flip(s, old, o);
+                }
+            }
+        }
+        prop_assert_eq!(counts, GibbsCounts::from_labels(&db, &labels));
+    }
+
+    /// Metric identities hold for arbitrary confusion matrices.
+    #[test]
+    fn metric_identities(tp in 0usize..50, fp in 0usize..50, fn_ in 0usize..50, tn in 0usize..50) {
+        let c = Confusion { tp, fp, fn_, tn };
+        let m = c.metrics();
+        // Accuracy identity.
+        if c.total() > 0 {
+            prop_assert!((m.accuracy - (tp + tn) as f64 / c.total() as f64).abs() < 1e-12);
+        }
+        // Everything is a probability.
+        for v in [m.precision, m.recall, m.fpr, m.accuracy, m.f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // F1 between min and max of precision/recall.
+        if tp + fp > 0 && tp + fn_ > 0 && m.precision + m.recall > 0.0 {
+            prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-12);
+            prop_assert!(m.f1 >= m.precision.min(m.recall) - 1e-12);
+        }
+    }
+
+    /// Every method returns a probability per fact, for arbitrary inputs.
+    #[test]
+    fn all_methods_produce_probabilities(raw in raw_database()) {
+        let db = ClaimDb::from_raw(&raw);
+        for method in all_baselines() {
+            let t = method.infer(&db);
+            prop_assert_eq!(t.len(), db.num_facts(), "{}", method.name());
+            for f in db.fact_ids() {
+                let p = t.prob(f);
+                prop_assert!((0.0..=1.0).contains(&p), "{}: p = {}", method.name(), p);
+            }
+        }
+    }
+
+    /// AUC is invariant under strictly monotone score transforms.
+    #[test]
+    fn auc_rank_invariance(scores in proptest::collection::vec(0.0f64..1.0, 4..20)) {
+        let mut gt = GroundTruth::new();
+        for i in 0..scores.len() {
+            gt.insert(EntityId::new(0), FactId::from_usize(i), i % 2 == 0);
+        }
+        let a1 = auc(&gt, &TruthAssignment::new(scores.clone()));
+        // Monotone transform x -> x/2 + x^2/4 (strictly increasing on [0,1],
+        // range within [0, 0.75]).
+        let transformed: Vec<f64> = scores.iter().map(|&x| x / 2.0 + x * x / 4.0).collect();
+        let a2 = auc(&gt, &TruthAssignment::new(transformed));
+        prop_assert!((a1 - a2).abs() < 1e-9);
+    }
+
+    /// LTM is seed-deterministic and bounded on arbitrary small inputs.
+    #[test]
+    fn ltm_deterministic_on_random_inputs(raw in raw_database()) {
+        let db = ClaimDb::from_raw(&raw);
+        let cfg = LtmConfig {
+            priors: Priors {
+                alpha0: BetaPair::new(1.0, 10.0),
+                alpha1: BetaPair::new(2.0, 2.0),
+                beta: BetaPair::new(1.0, 1.0),
+            },
+            schedule: SampleSchedule::new(30, 5, 0),
+            seed: 99,
+            arithmetic: Default::default(),
+        };
+        let a = fit(&db, &cfg);
+        let b = fit(&db, &cfg);
+        prop_assert_eq!(a.truth, b.truth);
+    }
+
+    /// Voting score equals positive fraction — cross-checked against the
+    /// claim-table accessors for arbitrary databases.
+    #[test]
+    fn voting_definition(raw in raw_database()) {
+        let db = ClaimDb::from_raw(&raw);
+        let t = Voting.infer(&db);
+        for f in db.fact_ids() {
+            let total = db.fact_claim_range(f).len();
+            let pos = db.positive_count(f);
+            prop_assert!((t.prob(f) - pos as f64 / total as f64).abs() < 1e-12);
+        }
+    }
+
+    /// Every database built from raw triples passes the structural
+    /// validator.
+    #[test]
+    fn constructed_databases_validate(raw in raw_database()) {
+        let db = ClaimDb::from_raw(&raw);
+        let violations = latent_truth::model::validate::check(&db);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// Triple files round-trip for arbitrary field content, including
+    /// separators, quotes, unicode, and blank-ish strings.
+    #[test]
+    fn csv_roundtrip_arbitrary_strings(
+        triples in proptest::collection::vec(
+            ("[a-zA-Z0-9 ,\"\\-–é中]{1,12}", "[a-zA-Z0-9 ,\"\\-]{1,12}", "[a-zA-Z0-9.]{1,8}"),
+            1..15,
+        )
+    ) {
+        use latent_truth::model::io::{read_triples, write_triples};
+        let mut b = RawDatabaseBuilder::new();
+        for (e, a, s) in &triples {
+            b.add(e, a, s);
+        }
+        let raw = b.build();
+        let mut buf = Vec::new();
+        write_triples(&raw, &mut buf).expect("write");
+        let back = read_triples(std::io::Cursor::new(buf)).expect("read");
+        let mut orig: Vec<_> = raw.iter_named().collect();
+        let mut got: Vec<_> = back.iter_named().collect();
+        orig.sort();
+        got.sort();
+        prop_assert_eq!(orig, got);
+    }
+
+    /// Equation 3 (LTMinc) matches the exact single-fact posterior when
+    /// quality is known: for one fact with arbitrary claims, the
+    /// closed-form predictor and direct Bayes computation agree.
+    #[test]
+    fn equation3_matches_direct_bayes(
+        observations in proptest::collection::vec(any::<bool>(), 1..6),
+        sens in proptest::collection::vec(0.05f64..0.95, 6),
+        fpr in proptest::collection::vec(0.05f64..0.95, 6),
+    ) {
+        use latent_truth::core::priors::{BetaPair, Priors};
+        use latent_truth::core::{IncrementalLtm, SourceQuality};
+        use latent_truth::model::{AttrId, Claim, EntityId, Fact};
+
+        // One fact, |observations| sources.
+        let facts = vec![Fact { entity: EntityId::new(0), attr: AttrId::new(0) }];
+        let claims: Vec<Claim> = observations
+            .iter()
+            .enumerate()
+            .map(|(s, &o)| Claim {
+                fact: FactId::new(0),
+                source: latent_truth::model::SourceId::from_usize(s),
+                observation: o,
+            })
+            .collect();
+        let db = ClaimDb::from_parts(facts, claims, observations.len());
+
+        // Build a quality table through the public API (weak-prior MAP
+        // estimation on a small labeled training set), then check that the
+        // predictor's output equals the direct Bayes computation with that
+        // same table — Equation 3 verbatim.
+        let beta = BetaPair::new(2.0, 3.0);
+        let weak = Priors {
+            alpha0: BetaPair::new(1e-7, 1e-7),
+            alpha1: BetaPair::new(1e-7, 1e-7),
+            beta,
+        };
+        let n = observations.len();
+        let mut tmp_facts = Vec::new();
+        let mut tmp_claims = Vec::new();
+        let mut probs = Vec::new();
+        for i in 0..(2 * n) {
+            tmp_facts.push(Fact { entity: EntityId::from_usize(i), attr: AttrId::new(0) });
+            probs.push(if i % 2 == 0 { 1.0 } else { 0.0 });
+        }
+        for s in 0..n {
+            for i in 0..(2 * n) {
+                tmp_claims.push(Claim {
+                    fact: FactId::from_usize(i),
+                    source: latent_truth::model::SourceId::from_usize(s),
+                    // Deterministic stand-in for the planted rates: assert
+                    // true facts iff sens[s] > 0.5, false iff fpr[s] > 0.5.
+                    observation: if i % 2 == 0 { sens[s] > 0.5 } else { fpr[s] > 0.5 },
+                });
+            }
+        }
+        let train = ClaimDb::from_parts(tmp_facts, tmp_claims, n);
+        let posterior = latent_truth::model::TruthAssignment::new(probs);
+        let quality = SourceQuality::estimate(&train, &posterior, &weak);
+        let predictor = IncrementalLtm::new(&quality, &weak);
+        let got = predictor.predict(&db).prob(FactId::new(0));
+
+        // Oracle: direct Bayes with the same quality table.
+        let clamp = |p: f64| p.clamp(1e-9, 1.0 - 1e-9);
+        let mut log_odds = (beta.pos / beta.neg).ln();
+        for (s, &o) in observations.iter().enumerate() {
+            let sid = latent_truth::model::SourceId::from_usize(s);
+            let p1 = clamp(quality.sensitivity(sid));
+            let p0 = clamp(1.0 - quality.specificity(sid));
+            log_odds += if o { (p1 / p0).ln() } else { ((1.0 - p1) / (1.0 - p0)).ln() };
+        }
+        let expected = 1.0 / (1.0 + (-log_odds).exp());
+        prop_assert!((got - expected).abs() < 1e-9, "got {got}, expected {expected}");
+    }
+}
+
+fn ltm_claim(i: usize) -> latent_truth::model::ClaimId {
+    latent_truth::model::ClaimId::from_usize(i)
+}

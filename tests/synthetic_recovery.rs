@@ -1,0 +1,109 @@
+//! On data drawn from the model's own generative process (paper §6.1),
+//! LTM must recover both the truth and the planted source quality — and
+//! degrade gracefully as planted quality degrades (the Figure 4 story).
+
+use latent_truth::core::{fit, LtmConfig, Priors, SampleSchedule};
+use latent_truth::datagen::synthetic::{self, SyntheticConfig};
+use latent_truth::eval::metrics::evaluate;
+use latent_truth::model::SourceId;
+
+fn config(num_facts: usize) -> LtmConfig {
+    LtmConfig {
+        priors: Priors::scaled_specificity(num_facts),
+        schedule: SampleSchedule::paper_default(),
+        seed: 42,
+        arithmetic: Default::default(),
+    }
+}
+
+#[test]
+fn high_quality_sources_near_perfect_accuracy() {
+    // Expected sensitivity 0.9, specificity 0.9 — the easy corner of
+    // Figure 4, where the paper reports accuracy ~1.
+    let data = synthetic::generate(&SyntheticConfig {
+        num_facts: 2_000,
+        num_sources: 20,
+        seed: 1,
+        ..Default::default()
+    });
+    let result = fit(&data.claims, &config(2_000));
+    let m = evaluate(&data.ground, &result.truth, 0.5);
+    assert!(m.accuracy > 0.97, "accuracy {:.3}", m.accuracy);
+}
+
+#[test]
+fn planted_quality_recovered_within_tolerance() {
+    let data = synthetic::generate(&SyntheticConfig {
+        num_facts: 2_000,
+        num_sources: 10,
+        seed: 2,
+        ..Default::default()
+    });
+    let result = fit(&data.claims, &config(2_000));
+    // The MAP estimates are deliberately smoothed by the priors
+    // (α₁ = (50, 50) against ~1000 observations pulls sensitivity ~0.04
+    // towards 0.5; the strong α₀ pulls the FPR towards 0.01), so the
+    // tolerance here accounts for that bias in addition to sampling noise.
+    for k in 0..10 {
+        let s = SourceId::from_usize(k);
+        let est_sens = result.quality.sensitivity(s);
+        let est_fpr = result.quality.false_positive_rate(s);
+        assert!(
+            (est_sens - data.phi1[k]).abs() < 0.08,
+            "source {k}: sensitivity {est_sens:.3} vs planted {:.3}",
+            data.phi1[k]
+        );
+        assert!(
+            (est_fpr - data.phi0[k]).abs() < 0.08,
+            "source {k}: FPR {est_fpr:.3} vs planted {:.3}",
+            data.phi0[k]
+        );
+        // The *ranking* of sources must be preserved much more tightly:
+        // correlation between planted and estimated sensitivity.
+    }
+    // Rank agreement: the most/least sensitive planted sources must be
+    // identified as such.
+    let best_planted = (0..10)
+        .max_by(|&a, &b| data.phi1[a].partial_cmp(&data.phi1[b]).unwrap())
+        .unwrap();
+    let best_est = (0..10)
+        .max_by(|&a, &b| {
+            result
+                .quality
+                .sensitivity(SourceId::from_usize(a))
+                .partial_cmp(&result.quality.sensitivity(SourceId::from_usize(b)))
+                .unwrap()
+        })
+        .unwrap();
+    assert_eq!(best_planted, best_est, "top-sensitivity source misidentified");
+}
+
+#[test]
+fn accuracy_degrades_with_specificity_faster_than_sensitivity() {
+    // Figure 4's asymmetry: LTM tolerates low sensitivity better than low
+    // specificity (its priors encode exactly that belief).
+    let acc_at = |cfg: SyntheticConfig| {
+        let data = synthetic::generate(&cfg);
+        let result = fit(&data.claims, &config(cfg.num_facts));
+        evaluate(&data.ground, &result.truth, 0.5).accuracy
+    };
+
+    let mut low_sens = SyntheticConfig::with_expected_sensitivity(0.3, 10);
+    low_sens.num_facts = 1_500;
+    let mut low_spec = SyntheticConfig::with_expected_specificity(0.3, 11);
+    low_spec.num_facts = 1_500;
+
+    let a_sens = acc_at(low_sens);
+    let a_spec = acc_at(low_spec);
+    assert!(
+        a_sens > a_spec,
+        "low sensitivity ({a_sens:.3}) should hurt less than low specificity ({a_spec:.3})"
+    );
+    // And the easy corners stay strong.
+    let good = SyntheticConfig {
+        num_facts: 1_500,
+        seed: 12,
+        ..Default::default()
+    };
+    assert!(acc_at(good) > 0.95);
+}
