@@ -47,8 +47,8 @@ impl TruthMethod for AvgLog {
                 trust[s.index()] = if facts.is_empty() {
                     0.0
                 } else {
-                    let avg = facts.iter().map(|&f| belief[f.index()]).sum::<f64>()
-                        / facts.len() as f64;
+                    let avg =
+                        facts.iter().map(|&f| belief[f.index()]).sum::<f64>() / facts.len() as f64;
                     (facts.len() as f64).ln() * avg
                 };
             }

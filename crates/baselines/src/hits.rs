@@ -43,19 +43,11 @@ impl TruthMethod for HubAuthority {
 
         for _ in 0..self.iterations {
             for f in db.fact_ids() {
-                auth[f.index()] = g
-                    .sources_of(f)
-                    .iter()
-                    .map(|&s| hub[s.index()])
-                    .sum::<f64>();
+                auth[f.index()] = g.sources_of(f).iter().map(|&s| hub[s.index()]).sum::<f64>();
             }
             normalize_max(&mut auth);
             for s in db.source_ids() {
-                hub[s.index()] = g
-                    .facts_of(s)
-                    .iter()
-                    .map(|&f| auth[f.index()])
-                    .sum::<f64>();
+                hub[s.index()] = g.facts_of(s).iter().map(|&f| auth[f.index()]).sum::<f64>();
             }
             normalize_max(&mut hub);
         }

@@ -58,9 +58,7 @@ impl TruthMethod for Investment {
         let mut trust = vec![1.0f64; num_sources];
         // Initial beliefs from uniform trust.
         let mut belief: Vec<f64> = (0..g.num_facts())
-            .map(|i| {
-                invested_sum(&g, db, i, &trust).powf(self.growth)
-            })
+            .map(|i| invested_sum(&g, db, i, &trust).powf(self.growth))
             .collect();
         normalize_max(&mut belief);
 
@@ -79,9 +77,7 @@ impl TruthMethod for Investment {
                     let pool: f64 = g
                         .sources_of(f)
                         .iter()
-                        .map(|&s2| {
-                            trust[s2.index()] / g.source_degree(s2).max(1) as f64
-                        })
+                        .map(|&s2| trust[s2.index()] / g.source_degree(s2).max(1) as f64)
                         .sum();
                     if pool > 0.0 {
                         total += belief[f.index()] * stake / pool;
@@ -137,7 +133,10 @@ mod tests {
         let daniel = t.prob(fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe"));
         let emma = t.prob(fact_id(&raw, &db, "Harry Potter", "Emma Watson"));
         assert!(daniel >= emma);
-        assert!((daniel - 1.0).abs() < 1e-9, "top fact is max-normalised to 1");
+        assert!(
+            (daniel - 1.0).abs() < 1e-9,
+            "top fact is max-normalised to 1"
+        );
     }
 
     #[test]

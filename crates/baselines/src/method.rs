@@ -39,12 +39,7 @@ pub(crate) mod fixtures {
     }
 
     /// Finds the fact id for an (entity, attribute) name pair.
-    pub fn fact_id(
-        raw: &RawDatabase,
-        db: &ClaimDb,
-        entity: &str,
-        attr: &str,
-    ) -> ltm_model::FactId {
+    pub fn fact_id(raw: &RawDatabase, db: &ClaimDb, entity: &str, attr: &str) -> ltm_model::FactId {
         let e = raw.entity_id(entity).expect("entity exists");
         let a = raw.attr_id(attr).expect("attr exists");
         db.fact_ids()

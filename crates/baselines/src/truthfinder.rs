@@ -81,8 +81,8 @@ impl TruthMethod for TruthFinder {
                 if facts.is_empty() {
                     continue;
                 }
-                let new: f64 = facts.iter().map(|&f| confidence[f.index()]).sum::<f64>()
-                    / facts.len() as f64;
+                let new: f64 =
+                    facts.iter().map(|&f| confidence[f.index()]).sum::<f64>() / facts.len() as f64;
                 max_delta = max_delta.max((new - trust[s.index()]).abs());
                 trust[s.index()] = new;
             }

@@ -47,17 +47,18 @@ mod tests {
         let (raw, db) = table1();
         let t = Voting.infer(&db);
         // Daniel Radcliffe: 3/3 positive.
-        assert_eq!(t.prob(fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe")), 1.0);
+        assert_eq!(
+            t.prob(fact_id(&raw, &db, "Harry Potter", "Daniel Radcliffe")),
+            1.0
+        );
         // Emma Watson: 2/3.
         assert!(
-            (t.prob(fact_id(&raw, &db, "Harry Potter", "Emma Watson")) - 2.0 / 3.0).abs()
-                < 1e-12
+            (t.prob(fact_id(&raw, &db, "Harry Potter", "Emma Watson")) - 2.0 / 3.0).abs() < 1e-12
         );
         // Rupert Grint: 1/3 — voting at threshold 0.5 wrongly rejects it,
         // the paper's motivating failure.
         assert!(
-            (t.prob(fact_id(&raw, &db, "Harry Potter", "Rupert Grint")) - 1.0 / 3.0).abs()
-                < 1e-12
+            (t.prob(fact_id(&raw, &db, "Harry Potter", "Rupert Grint")) - 1.0 / 3.0).abs() < 1e-12
         );
         // Johnny Depp in HP: 1/3 — indistinguishable from Rupert by votes.
         assert_eq!(

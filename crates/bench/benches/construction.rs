@@ -14,7 +14,9 @@ fn bench_construction(c: &mut Criterion) {
             labeled_entities: 10,
             seed: 3,
         });
-        group.throughput(criterion::Throughput::Elements(data.dataset.raw.len() as u64));
+        group.throughput(criterion::Throughput::Elements(
+            data.dataset.raw.len() as u64
+        ));
         group.bench_with_input(
             BenchmarkId::from_parameter(raw_movies),
             &data.dataset.raw,

@@ -1,6 +1,9 @@
 //! Criterion micro-benchmark: collapsed Gibbs sampling cost versus data
 //! size (the per-iteration cost the paper proves linear in the number of
-//! claims) and log-space versus direct arithmetic (ablation A3).
+//! claims) and the three kernels against each other — cached log-ratio
+//! tables versus naive log-space versus direct products (ablation A3).
+//! The full throughput comparison with JSON output lives in the `perf`
+//! binary (`cargo run --release --bin perf`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ltm_core::{Arithmetic, LtmConfig, Priors, SampleSchedule};
@@ -28,13 +31,9 @@ fn bench_gibbs_scaling(c: &mut Criterion) {
         group.throughput(criterion::Throughput::Elements(
             data.claims.num_claims() as u64
         ));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(facts),
-            &data.claims,
-            |b, db| {
-                b.iter(|| ltm_core::fit(db, &config(Arithmetic::LogSpace)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &data.claims, |b, db| {
+            b.iter(|| ltm_core::fit(db, &config(Arithmetic::CachedLog)));
+        });
     }
     group.finish();
 }
@@ -48,6 +47,9 @@ fn bench_arithmetic_parity(c: &mut Criterion) {
     });
     let mut group = c.benchmark_group("gibbs_arithmetic");
     group.sample_size(10);
+    group.bench_function("cached_log", |b| {
+        b.iter(|| ltm_core::fit(&data.claims, &config(Arithmetic::CachedLog)));
+    });
     group.bench_function("log_space", |b| {
         b.iter(|| ltm_core::fit(&data.claims, &config(Arithmetic::LogSpace)));
     });
@@ -57,5 +59,33 @@ fn bench_arithmetic_parity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gibbs_scaling, bench_arithmetic_parity);
+fn bench_parallel_chains(c: &mut Criterion) {
+    let data = synthetic::generate(&SyntheticConfig {
+        num_facts: 2_000,
+        num_sources: 20,
+        seed: 7,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("gibbs_chains");
+    group.sample_size(10);
+    for chains in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(chains),
+            &chains,
+            |b, &chains| {
+                b.iter(|| {
+                    ltm_core::fit_chains(&data.claims, &config(Arithmetic::CachedLog), chains)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gibbs_scaling,
+    bench_arithmetic_parity,
+    bench_parallel_chains
+);
 criterion_main!(benches);

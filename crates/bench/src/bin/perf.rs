@@ -1,0 +1,281 @@
+//! `perf` — Gibbs-kernel throughput benchmark, emitting `BENCH_gibbs.json`.
+//!
+//! Measures the collapsed Gibbs sweep on the paper's synthetic workload
+//! (§6.1: every source claims every fact) at several sizes, comparing the
+//! naive log-space kernel against the cached log-ratio kernel, verifying
+//! their bit-identity, and measuring the multi-chain parallel driver.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf [--out <FILE>] [--repeats <N>] [--fast]
+//!
+//! Options:
+//!   --out <FILE>   output JSON path (default BENCH_gibbs.json)
+//!   --repeats <N>  timing repeats per measurement, best-of (default 3)
+//!   --fast         smoke mode: small dataset, one repeat
+//! ```
+//!
+//! The headline dataset is 5 000 facts × 20 sources = 100 000 claims; the
+//! trajectory adds 25k and 50k claim points. Reported metrics per kernel:
+//! wall seconds, sweeps/sec, and claim-updates/sec (claims × sweeps /
+//! seconds — the paper's `O(|C|)` unit of work).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ltm_core::{fit, fit_chains, Arithmetic, LtmConfig, Priors, SampleSchedule};
+use ltm_datagen::synthetic::{self, SyntheticConfig};
+use ltm_eval::report::write_json;
+use serde::Serialize;
+
+/// One kernel measurement on one dataset size.
+#[derive(Debug, Clone, Serialize)]
+struct KernelPoint {
+    /// Kernel name (`cached_log`, `log_space`, `direct`).
+    kernel: String,
+    /// Claims in the dataset.
+    claims: usize,
+    /// Gibbs sweeps executed.
+    sweeps: usize,
+    /// Best-of-repeats wall time.
+    seconds: f64,
+    /// Sweeps per second.
+    sweeps_per_sec: f64,
+    /// Claim updates per second (claims × sweeps / seconds).
+    claims_per_sec: f64,
+}
+
+/// Cached-vs-naive comparison at one dataset size.
+#[derive(Debug, Clone, Serialize)]
+struct TrajectoryPoint {
+    claims: usize,
+    facts: usize,
+    sources: usize,
+    cached: KernelPoint,
+    naive: KernelPoint,
+    /// `naive.seconds / cached.seconds`.
+    speedup: f64,
+    /// Whether both kernels produced bit-identical posteriors.
+    parity: bool,
+}
+
+/// Multi-chain driver measurement on the headline dataset.
+#[derive(Debug, Clone, Serialize)]
+struct ParallelPoint {
+    chains: usize,
+    seconds: f64,
+    /// Total sweeps across chains per second.
+    sweeps_per_sec: f64,
+    /// Wall-time ratio versus running the chains sequentially.
+    speedup_vs_sequential: f64,
+    max_rhat: f64,
+    converged_fraction: f64,
+}
+
+/// The `BENCH_gibbs.json` schema.
+#[derive(Debug, Clone, Serialize)]
+struct BenchGibbs {
+    /// Cached-vs-naive across dataset sizes (last entry is the headline).
+    trajectory: Vec<TrajectoryPoint>,
+    /// Headline speedup (100k-claim dataset).
+    headline_speedup: f64,
+    /// Direct-product kernel on the headline dataset, for reference.
+    direct: KernelPoint,
+    /// Multi-chain scaling on the headline dataset.
+    parallel: Vec<ParallelPoint>,
+    /// Timing repeats (best-of).
+    repeats: usize,
+    /// Gibbs sweeps per fit.
+    sweeps: usize,
+}
+
+fn config(num_facts: usize, sweeps: usize, arithmetic: Arithmetic) -> LtmConfig {
+    LtmConfig {
+        priors: Priors::scaled_specificity(num_facts),
+        schedule: SampleSchedule::new(sweeps, sweeps / 6, 0),
+        seed: 42,
+        arithmetic,
+    }
+}
+
+fn best_of<T>(repeats: usize, mut run: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let out = run();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("repeats >= 1"))
+}
+
+fn measure_kernel(
+    name: &str,
+    db: &ltm_model::ClaimDb,
+    cfg: &LtmConfig,
+    repeats: usize,
+) -> (KernelPoint, ltm_model::TruthAssignment) {
+    let (seconds, fitted) = best_of(repeats, || fit(db, cfg));
+    let sweeps = cfg.schedule.iterations;
+    let work = (db.num_claims() * sweeps) as f64;
+    (
+        KernelPoint {
+            kernel: name.to_string(),
+            claims: db.num_claims(),
+            sweeps,
+            seconds,
+            sweeps_per_sec: sweeps as f64 / seconds,
+            claims_per_sec: work / seconds,
+        },
+        fitted.truth,
+    )
+}
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_gibbs.json");
+    let mut repeats = 3usize;
+    let mut fast = false;
+    let usage = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        eprintln!("usage: perf [--out FILE] [--repeats N] [--fast]");
+        std::process::exit(2);
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a path")))
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .unwrap_or_else(|| usage("--repeats needs a number"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("--repeats must be a positive integer"));
+                if repeats == 0 {
+                    usage("--repeats must be at least 1");
+                }
+            }
+            "--fast" => fast = true,
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if fast {
+        repeats = 1;
+    }
+
+    let sources = 20usize;
+    let fact_sizes: &[usize] = if fast {
+        &[250, 500]
+    } else {
+        &[1_250, 2_500, 5_000]
+    };
+    let sweeps = if fast { 12 } else { 30 };
+
+    let mut trajectory = Vec::new();
+    for &facts in fact_sizes {
+        let data = synthetic::generate(&SyntheticConfig {
+            num_facts: facts,
+            num_sources: sources,
+            seed: 7,
+            ..Default::default()
+        });
+        let db = &data.claims;
+        let (cached, cached_truth) = measure_kernel(
+            "cached_log",
+            db,
+            &config(facts, sweeps, Arithmetic::CachedLog),
+            repeats,
+        );
+        let (naive, naive_truth) = measure_kernel(
+            "log_space",
+            db,
+            &config(facts, sweeps, Arithmetic::LogSpace),
+            repeats,
+        );
+        let point = TrajectoryPoint {
+            claims: db.num_claims(),
+            facts,
+            sources,
+            speedup: naive.seconds / cached.seconds,
+            parity: cached_truth == naive_truth,
+            cached,
+            naive,
+        };
+        println!(
+            "{:>7} claims: cached {:>12.0} claims/s, naive {:>12.0} claims/s, \
+             speedup {:.2}x, parity {}",
+            point.claims,
+            point.cached.claims_per_sec,
+            point.naive.claims_per_sec,
+            point.speedup,
+            point.parity
+        );
+        assert!(point.parity, "cached kernel diverged from log-space kernel");
+        trajectory.push(point);
+    }
+
+    // Headline dataset: direct kernel reference + multi-chain scaling.
+    let headline_facts = *fact_sizes.last().expect("non-empty sizes");
+    let data = synthetic::generate(&SyntheticConfig {
+        num_facts: headline_facts,
+        num_sources: sources,
+        seed: 7,
+        ..Default::default()
+    });
+    let db = &data.claims;
+    let (direct, _) = measure_kernel(
+        "direct",
+        db,
+        &config(headline_facts, sweeps, Arithmetic::Direct),
+        repeats,
+    );
+
+    let single_seconds = trajectory
+        .last()
+        .expect("non-empty trajectory")
+        .cached
+        .seconds;
+    let mut parallel = Vec::new();
+    for &chains in &[2usize, 4] {
+        let cfg = config(headline_facts, sweeps, Arithmetic::CachedLog);
+        let (seconds, multi) = best_of(repeats, || fit_chains(db, &cfg, chains));
+        let total_sweeps = (sweeps * chains) as f64;
+        let point = ParallelPoint {
+            chains,
+            seconds,
+            sweeps_per_sec: total_sweeps / seconds,
+            speedup_vs_sequential: single_seconds * chains as f64 / seconds,
+            max_rhat: multi.diagnostics.max_rhat,
+            converged_fraction: multi.diagnostics.converged_fraction,
+        };
+        println!(
+            "{} chains: {:.3}s wall, {:.2}x vs sequential, max R-hat {:.3}, \
+             {:.0}% of facts converged",
+            point.chains,
+            point.seconds,
+            point.speedup_vs_sequential,
+            point.max_rhat,
+            point.converged_fraction * 100.0
+        );
+        parallel.push(point);
+    }
+
+    let headline_speedup = trajectory.last().expect("non-empty").speedup;
+    let report = BenchGibbs {
+        trajectory,
+        headline_speedup,
+        direct,
+        parallel,
+        repeats,
+        sweeps,
+    };
+    write_json(&out, &report).expect("write BENCH_gibbs.json");
+    println!(
+        "headline: {:.2}x cached vs naive; wrote {}",
+        report.headline_speedup,
+        out.display()
+    );
+}

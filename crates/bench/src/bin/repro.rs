@@ -141,7 +141,11 @@ fn main() -> ExitCode {
             "stats" => {
                 let mut s = String::from("Dataset statistics (paper section 6.1.1)\n\n");
                 for d in [&suite.books, &suite.movies] {
-                    s.push_str(&format!("== {} ==\n{}\n\n", d.dataset.name, d.dataset.stats()));
+                    s.push_str(&format!(
+                        "== {} ==\n{}\n\n",
+                        d.dataset.name,
+                        d.dataset.stats()
+                    ));
                 }
                 s
             }

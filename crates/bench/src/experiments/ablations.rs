@@ -111,9 +111,7 @@ pub fn run_adversarial(suite: &Suite, out_dir: &Path) -> String {
         if i % 3 != 0 {
             continue;
         }
-        let covering: Vec<SourceId> = db
-            .fact_claim_sources(db.facts_of_entity(e)[0])
-            .to_vec();
+        let covering: Vec<SourceId> = db.fact_claim_sources(db.facts_of_entity(e)[0]).to_vec();
         for &f in db.facts_of_entity(e) {
             claims.push(Claim {
                 fact: f,
@@ -195,9 +193,6 @@ pub fn run_adversarial(suite: &Suite, out_dir: &Path) -> String {
          filtered LTM accuracy   {:.3}\n\
          adversary removed       {}\n\
          removed sources         {:?}\n",
-        result.plain_accuracy,
-        result.filtered_accuracy,
-        result.adversary_removed,
-        result.removed
+        result.plain_accuracy, result.filtered_accuracy, result.adversary_removed, result.removed
     )
 }

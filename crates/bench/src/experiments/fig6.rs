@@ -33,7 +33,11 @@ pub fn run(suite: &Suite, out_dir: &Path, repeats: usize) -> String {
     let config = suite.movies_ltm_config();
     let mut measurements = Vec::new();
     for (i, frac) in [0.2, 0.4, 0.6, 0.8, 1.0].iter().enumerate() {
-        let subset = entity_sample(&suite.movies, (total as f64 * frac) as usize, 5000 + i as u64);
+        let subset = entity_sample(
+            &suite.movies,
+            (total as f64 * frac) as usize,
+            5000 + i as u64,
+        );
         let secs = mean_seconds(repeats, || ltm_core::fit(&subset.claims, &config));
         measurements.push((subset.claims.num_claims(), secs));
     }

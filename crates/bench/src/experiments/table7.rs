@@ -68,13 +68,18 @@ fn rows_for(suite: &Suite, books: bool) -> Vec<Row> {
 }
 
 fn render(t: &Table7) -> String {
-    let mut out = String::from(
-        "Table 7: inference results per dataset and per method (threshold 0.5)\n\n",
-    );
+    let mut out =
+        String::from("Table 7: inference results per dataset and per method (threshold 0.5)\n\n");
     for (name, rows) in [("book", &t.books), ("movie", &t.movies)] {
         out.push_str(&format!("Results on {name} data\n"));
         let mut table = TextTable::new([
-            "Method", "Precision", "Recall", "FPR", "Accuracy", "F1", "Brier",
+            "Method",
+            "Precision",
+            "Recall",
+            "FPR",
+            "Accuracy",
+            "F1",
+            "Brier",
         ]);
         for r in rows {
             table.row([

@@ -48,7 +48,10 @@ pub fn run(suite: &Suite, out_dir: &Path, repeats: usize) -> String {
 pub fn measure(suite: &Suite, repeats: usize) -> Table9 {
     let total = suite.movies.dataset.claims.entity_ids().count();
     let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
-    let sizes: Vec<usize> = fractions.iter().map(|f| (total as f64 * f) as usize).collect();
+    let sizes: Vec<usize> = fractions
+        .iter()
+        .map(|f| (total as f64 * f) as usize)
+        .collect();
     let subsets: Vec<_> = sizes
         .iter()
         .enumerate()
@@ -133,7 +136,11 @@ pub fn measure(suite: &Suite, repeats: usize) -> Table9 {
 fn render(t: &Table9) -> String {
     let mut out = String::from("Table 9: runtimes (seconds) on movie-data subsets\n\n");
     let mut headers = vec!["Method".to_string()];
-    headers.extend(t.entities.iter().map(|e| format!("{:.1}k", *e as f64 / 1000.0)));
+    headers.extend(
+        t.entities
+            .iter()
+            .map(|e| format!("{:.1}k", *e as f64 / 1000.0)),
+    );
     let mut table = TextTable::new(headers);
     for m in &t.methods {
         let mut row = vec![m.method.clone()];

@@ -299,9 +299,7 @@ mod tests {
         for s in db.source_ids() {
             for label in [false, true] {
                 for obs in [false, true] {
-                    assert!(
-                        (e.get(s, label, obs) - g.get(s, label, obs) as f64).abs() < 1e-12
-                    );
+                    assert!((e.get(s, label, obs) - g.get(s, label, obs) as f64).abs() < 1e-12);
                 }
             }
         }

@@ -22,11 +22,23 @@
 //! immune to underflow on high-degree facts); the direct product of
 //! Algorithm 1 is available as [`Arithmetic::Direct`] for the parity
 //! ablation.
+//!
+//! The default [`Arithmetic::CachedLog`] kernel additionally exploits that
+//! the per-claim log-ratio `ln((n_{s,i,o}+α)/(n_{s,i,·}+α_·))` depends only
+//! on source `s`'s current counts: each source keeps a lazily-invalidated
+//! 4-entry table of per-claim log-odds deltas (indexed by current label ×
+//! observation), so the inner loop is one table lookup per claim plus one
+//! sigmoid per fact. The table is recomputed on first use after any flip
+//! touches the source. The cached kernel is bit-identical to
+//! [`Arithmetic::LogSpace`] — same floating-point expressions evaluated in
+//! the same order — which the `cached_kernel_bit_identical_*` tests and the
+//! `kernel_parity` integration test enforce.
 
 use ltm_model::{ClaimDb, TruthAssignment};
-use ltm_stats::rng::{rng_from_seed, WorkspaceRng};
+use ltm_stats::rng::{derive_seed, rng_from_seed, WorkspaceRng};
 use ltm_stats::special::sigmoid;
 use rand::Rng;
+use rayon::prelude::*;
 
 use crate::counts::{ExpectedCounts, GibbsCounts};
 use crate::priors::{BetaPair, Priors, SourcePriors};
@@ -35,9 +47,14 @@ use crate::quality::SourceQuality;
 /// How the per-claim conditional ratios are accumulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Arithmetic {
-    /// Accumulate `ln` of each ratio; flip with `σ(Δ log-odds)`. Default —
-    /// numerically safe for facts with hundreds of claims.
+    /// Log-space accumulation through per-source cached log-ratio tables.
+    /// Default — bit-identical to [`Arithmetic::LogSpace`], several times
+    /// faster (no `ln` in the steady-state inner loop).
     #[default]
+    CachedLog,
+    /// Accumulate `ln` of each ratio; flip with `σ(Δ log-odds)` —
+    /// numerically safe for facts with hundreds of claims. The reference
+    /// kernel the cache is validated against.
     LogSpace,
     /// Multiply raw ratios exactly as written in Algorithm 1.
     Direct,
@@ -63,12 +80,20 @@ impl SampleSchedule {
     ///
     /// # Panics
     ///
-    /// Panics unless `burn_in < iterations` (the schedule must produce at
-    /// least one sample).
+    /// Panics unless the schedule produces at least one sample: `burn_in`
+    /// must be `< iterations`, and the post-burn-in stretch must fit one
+    /// full thinning gap (`iterations − burn_in ≥ sample_gap + 1`) —
+    /// otherwise the posterior mean would be a silent 0/0.
     pub fn new(iterations: usize, burn_in: usize, sample_gap: usize) -> Self {
         assert!(
             burn_in < iterations,
             "SampleSchedule: burn_in ({burn_in}) must be < iterations ({iterations})"
+        );
+        assert!(
+            iterations - burn_in > sample_gap,
+            "SampleSchedule: no sample fits — iterations ({iterations}) − burn_in ({burn_in}) \
+             must be ≥ sample_gap + 1 ({})",
+            sample_gap + 1
         );
         Self {
             iterations,
@@ -148,6 +173,13 @@ pub struct FitDiagnostics {
     /// Number of label flips in each iteration — a cheap mixing indicator:
     /// it starts high and settles once the chain reaches its mode.
     pub flips_per_iteration: Vec<u32>,
+    /// Times the [`Arithmetic::Direct`] kernel's numerator *and*
+    /// denominator products both underflowed to zero and the sampler fell
+    /// back to a fair coin. Always zero for the log-space kernels; a
+    /// non-zero value means the direct arithmetic silently degraded and the
+    /// run should be repeated with [`Arithmetic::LogSpace`] or
+    /// [`Arithmetic::CachedLog`].
+    pub degenerate_flips: u64,
 }
 
 /// The result of fitting the Latent Truth Model.
@@ -214,6 +246,268 @@ pub fn fit_with_schedules(
     run_chain(db, config, &priors, schedules).0
 }
 
+/// Convergence diagnostics across the chains of a [`fit_chains`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainDiagnostics {
+    /// Chains run.
+    pub num_chains: usize,
+    /// Per-fact potential scale reduction `R̂` (Gelman–Rubin). Values near
+    /// 1 mean the chains agree; the conventional threshold is `R̂ ≤ 1.1`.
+    /// Reported as 1 when undefined (fewer than two chains or samples).
+    pub rhat: Vec<f64>,
+    /// Largest per-fact `R̂` (1 for an empty fact table).
+    pub max_rhat: f64,
+    /// Mean per-fact `R̂` (1 for an empty fact table).
+    pub mean_rhat: f64,
+    /// Fraction of facts with `R̂ ≤ 1.1` (1 for an empty fact table).
+    pub converged_fraction: f64,
+    /// The single-chain diagnostics of every chain, in chain order.
+    pub per_chain: Vec<FitDiagnostics>,
+}
+
+/// The result of a multi-chain fit ([`fit_chains`]).
+#[derive(Debug, Clone)]
+pub struct MultiChainFit {
+    /// Posterior truth pooled across chains (equal-weight mean — every
+    /// chain collects the same number of samples).
+    pub truth: TruthAssignment,
+    /// Source quality derived from the pooled posterior.
+    pub quality: SourceQuality,
+    /// Expected confusion counts under the pooled posterior.
+    pub expected_counts: ExpectedCounts,
+    /// Each chain's own posterior estimate, in chain order (chain 0 uses
+    /// `config.seed` verbatim, so it reproduces the single-chain [`fit`]).
+    pub per_chain_truth: Vec<TruthAssignment>,
+    /// Cross-chain convergence diagnostics.
+    pub diagnostics: ChainDiagnostics,
+}
+
+/// Fits the model by running `num_chains` independent Gibbs chains in
+/// parallel (rayon) and pooling their posterior means — the classic
+/// variance-reduction / convergence-checking device for MCMC. Chain `k`
+/// is seeded with `derive_seed(config.seed, k)` (chain 0 keeps
+/// `config.seed`, so `fit_chains(db, cfg, 1)` reproduces `fit(db, cfg)`),
+/// which makes the result independent of scheduling order.
+///
+/// # Panics
+///
+/// Panics if `num_chains` is zero.
+pub fn fit_chains(db: &ClaimDb, config: &LtmConfig, num_chains: usize) -> MultiChainFit {
+    let priors = SourcePriors::uniform(config.priors, db.num_sources());
+    fit_chains_with_source_priors(db, config, &priors, num_chains)
+}
+
+/// [`fit_chains`] with per-source prior overrides.
+///
+/// # Panics
+///
+/// Panics if `num_chains` is zero.
+pub fn fit_chains_with_source_priors(
+    db: &ClaimDb,
+    config: &LtmConfig,
+    source_priors: &SourcePriors,
+    num_chains: usize,
+) -> MultiChainFit {
+    assert!(num_chains > 0, "fit_chains: need at least one chain");
+    let runs: Vec<(TruthAssignment, FitDiagnostics)> = (0..num_chains)
+        .into_par_iter()
+        .map(|k| {
+            let seed = if k == 0 {
+                config.seed
+            } else {
+                derive_seed(config.seed, k as u64)
+            };
+            let chain_config = LtmConfig { seed, ..*config };
+            let (mut assignments, diagnostics) = run_chain(
+                db,
+                &chain_config,
+                source_priors,
+                std::slice::from_ref(&chain_config.schedule),
+            );
+            let truth = assignments.pop().expect("one schedule yields one result");
+            (truth, diagnostics)
+        })
+        .collect();
+
+    let (per_chain_truth, per_chain): (Vec<_>, Vec<_>) = runs.into_iter().unzip();
+
+    // Pool: equal-weight mean across chains.
+    let num_facts = db.num_facts();
+    let mut pooled = vec![0.0; num_facts];
+    for truth in &per_chain_truth {
+        for (acc, f) in pooled.iter_mut().zip(db.fact_ids()) {
+            *acc += truth.prob(f);
+        }
+    }
+    for p in &mut pooled {
+        *p /= num_chains as f64;
+    }
+    let truth = TruthAssignment::new(pooled);
+
+    let rhat = potential_scale_reduction(&per_chain_truth, db, config.schedule.num_samples());
+    let max_rhat = if rhat.is_empty() {
+        1.0
+    } else {
+        rhat.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    };
+    let mean_rhat = if rhat.is_empty() {
+        1.0
+    } else {
+        rhat.iter().sum::<f64>() / rhat.len() as f64
+    };
+    let converged_fraction = if rhat.is_empty() {
+        1.0
+    } else {
+        rhat.iter().filter(|&&r| r <= 1.1).count() as f64 / rhat.len() as f64
+    };
+
+    let expected_counts = ExpectedCounts::from_posterior(db, &truth);
+    let quality = SourceQuality::from_expected_counts(&expected_counts, source_priors);
+    MultiChainFit {
+        truth,
+        quality,
+        expected_counts,
+        per_chain_truth,
+        diagnostics: ChainDiagnostics {
+            num_chains,
+            rhat,
+            max_rhat,
+            mean_rhat,
+            converged_fraction,
+            per_chain,
+        },
+    }
+}
+
+/// Per-fact Gelman–Rubin `R̂` from per-chain posterior means.
+///
+/// Because the sampled quantity is a 0/1 truth label, the within-chain
+/// sample variance is available in closed form from the chain mean alone:
+/// `Σ t² = Σ t`, so `s²_k = m_k (1 − m_k) · n / (n − 1)`. That lets the
+/// diagnostic run off the per-chain means [`fit_chains`] already keeps —
+/// no per-sample storage.
+fn potential_scale_reduction(
+    chains: &[TruthAssignment],
+    db: &ClaimDb,
+    samples_per_chain: usize,
+) -> Vec<f64> {
+    let k = chains.len();
+    let n = samples_per_chain;
+    if k < 2 || n < 2 {
+        return vec![1.0; db.num_facts()];
+    }
+    let (kf, nf) = (k as f64, n as f64);
+    db.fact_ids()
+        .map(|f| {
+            let means: Vec<f64> = chains.iter().map(|c| c.prob(f)).collect();
+            let grand = means.iter().sum::<f64>() / kf;
+            // Within-chain variance (mean of per-chain sample variances).
+            let w = means
+                .iter()
+                .map(|&m| m * (1.0 - m) * nf / (nf - 1.0))
+                .sum::<f64>()
+                / kf;
+            // Between-chain variance of the means, B/n.
+            let b_over_n = means.iter().map(|&m| (m - grand).powi(2)).sum::<f64>() / (kf - 1.0);
+            if w <= 0.0 {
+                // All chains constant: agreeing constants have converged;
+                // disagreeing constants never will.
+                if b_over_n <= 0.0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                let var_plus = (nf - 1.0) / nf * w + b_over_n;
+                (var_plus / w).sqrt()
+            }
+        })
+        .collect()
+}
+
+/// Per-source cached log-odds delta tables — the heart of the
+/// [`Arithmetic::CachedLog`] kernel.
+///
+/// For a claim `(s, o)` on a fact currently labeled `i`, the log-space
+/// kernel adds
+///
+/// ```text
+/// Δ(s, i, o) = ln((n_{s,¬i,o} + α_{¬i,o}) / (n_{s,¬i,·} + α_{¬i,·}))
+///            − ln((n_{s,i,o} − 1 + α_{i,o}) / (n_{s,i,·} − 1 + α_{i,·}))
+/// ```
+///
+/// which depends only on `(s, i, o)` and source `s`'s current counts — the
+/// `−1` excludes exactly this claim's own contribution, which always sits
+/// in cell `(s, i, o)`. So each source carries a 4-entry table of `Δ`
+/// indexed by `(current label, observation)`, invalidated whenever a flip
+/// touches the source and recomputed on first use. In the steady state
+/// (few flips per sweep) the inner loop does one table lookup per claim
+/// and zero `ln` calls.
+///
+/// Every table entry is computed with the *same floating-point
+/// expressions, in the same order*, as [`flip_probability_log`], so the
+/// cached kernel's trajectory is bit-identical to the log-space kernel's.
+struct DeltaCache {
+    /// `delta[s * 4 + current * 2 + obs]`.
+    delta: Vec<f64>,
+    /// Per-source invalidation flags.
+    dirty: Vec<bool>,
+}
+
+impl DeltaCache {
+    fn new(num_sources: usize) -> Self {
+        Self {
+            delta: vec![0.0; num_sources * 4],
+            dirty: vec![true; num_sources],
+        }
+    }
+
+    /// Recomputes all four entries of source `s` from the current counts.
+    ///
+    /// Cells the sampler can never consult (a `(label, obs)` pair with zero
+    /// claims — the `−1` would be invalid there) may compute a NaN; they
+    /// are recomputed before any later use, so the NaN never escapes.
+    #[inline]
+    fn refresh(&mut self, s: usize, counts: &GibbsCounts, alpha: &[Vec<BetaPair>; 2]) {
+        let sid = ltm_model::SourceId::from_usize(s);
+        for current in [false, true] {
+            let proposed = !current;
+            let a_cur = alpha[current as usize][s];
+            let a_pro = alpha[proposed as usize][s];
+            // `n as f64 − 1.0` instead of the reference kernel's
+            // `(n − 1) as f64`: identical value for every cell the sampler
+            // consults (n ≥ 1 there; both are exact below 2⁵³), and immune
+            // to u32 wrap-around on the unused n = 0 cells.
+            let den_cur = counts.label_total(sid, current) as f64 - 1.0 + a_cur.strength();
+            let den_pro = counts.label_total(sid, proposed) as f64 + a_pro.strength();
+            for obs in [false, true] {
+                let num_cur = counts.get(sid, current, obs) as f64 - 1.0 + a_cur.count(obs);
+                let num_pro = counts.get(sid, proposed, obs) as f64 + a_pro.count(obs);
+                self.delta[s * 4 + (current as usize) * 2 + obs as usize] =
+                    (num_pro / den_pro).ln() - (num_cur / den_cur).ln();
+            }
+        }
+        self.dirty[s] = false;
+    }
+
+    /// The log-odds delta for one claim, refreshing the source's table if a
+    /// flip invalidated it.
+    #[inline]
+    fn lookup(
+        &mut self,
+        s: usize,
+        current: bool,
+        obs: bool,
+        counts: &GibbsCounts,
+        alpha: &[Vec<BetaPair>; 2],
+    ) -> f64 {
+        if self.dirty[s] {
+            self.refresh(s, counts, alpha);
+        }
+        self.delta[s * 4 + (current as usize) * 2 + obs as usize]
+    }
+}
+
 /// The sampler core shared by all entry points.
 fn run_chain(
     db: &ClaimDb,
@@ -231,37 +525,81 @@ fn run_chain(
     // Resolve per-source priors once into flat arrays indexed by source.
     let num_sources = db.num_sources();
     let alpha: [Vec<BetaPair>; 2] = [
-        (0..num_sources).map(|s| source_priors.alpha0_for(s)).collect(),
-        (0..num_sources).map(|s| source_priors.alpha1_for(s)).collect(),
+        (0..num_sources)
+            .map(|s| source_priors.alpha0_for(s))
+            .collect(),
+        (0..num_sources)
+            .map(|s| source_priors.alpha1_for(s))
+            .collect(),
     ];
     let beta = source_priors.base.beta;
+    // The β log-odds prior term only depends on the current label; hoist
+    // both values out of the sweep (same expression as the per-fact
+    // reference computation, so trajectories stay bit-identical).
+    let beta_log_odds = [
+        (beta.count(true) / beta.count(false)).ln(), // current = false
+        (beta.count(false) / beta.count(true)).ln(), // current = true
+    ];
 
     let mut rng = rng_from_seed(config.seed);
 
     // Initialisation: uniform random labels (Algorithm 1).
     let mut labels: Vec<bool> = (0..num_facts).map(|_| rng.gen::<f64>() < 0.5).collect();
     let mut counts = GibbsCounts::from_labels(db, &labels);
+    let mut cache = DeltaCache::new(num_sources);
+
+    // The raw CSR arrays, sliced per fact — no per-fact iterator
+    // construction or repeated offset lookups in the sweep.
+    let offsets = db.fact_offsets();
+    let all_sources = db.claim_sources();
+    let all_obs = db.claim_observations();
 
     let mut acc: Vec<Vec<f64>> = schedules.iter().map(|_| vec![0.0; num_facts]).collect();
     let mut samples_taken = vec![0usize; schedules.len()];
     let mut flips_per_iteration = Vec::with_capacity(max_iterations);
+    let mut degenerate_flips = 0u64;
 
     for iter in 1..=max_iterations {
         let mut flips = 0u32;
-        for f in db.fact_ids() {
-            let current = labels[f.index()];
+        for f in 0..num_facts {
+            let current = labels[f];
+            let range = offsets[f] as usize..offsets[f + 1] as usize;
+            let sources = &all_sources[range.clone()];
+            let obs = &all_obs[range];
             let flip_prob = match config.arithmetic {
-                Arithmetic::LogSpace => {
-                    flip_probability_log(db, f, current, &counts, &alpha, beta)
+                Arithmetic::CachedLog => {
+                    let mut log_odds = beta_log_odds[current as usize];
+                    for (s, &o) in sources.iter().zip(obs) {
+                        log_odds += cache.lookup(s.index(), current, o, &counts, &alpha);
+                    }
+                    sigmoid(log_odds)
                 }
+                Arithmetic::LogSpace => flip_probability_log(
+                    db,
+                    ltm_model::FactId::from_usize(f),
+                    current,
+                    &counts,
+                    &alpha,
+                    beta,
+                ),
                 Arithmetic::Direct => {
-                    flip_probability_direct(db, f, current, &counts, &alpha, beta)
+                    let (p, degenerate) = flip_probability_direct(
+                        db,
+                        ltm_model::FactId::from_usize(f),
+                        current,
+                        &counts,
+                        &alpha,
+                        beta,
+                    );
+                    degenerate_flips += u64::from(degenerate);
+                    p
                 }
             };
             if rng.gen::<f64>() < flip_prob {
-                labels[f.index()] = !current;
-                for (s, o) in db.claims_of_fact(f) {
-                    counts.flip(s, current, o);
+                labels[f] = !current;
+                for (s, &o) in sources.iter().zip(obs) {
+                    counts.flip(*s, current, o);
+                    cache.dirty[s.index()] = true;
                 }
                 flips += 1;
             }
@@ -291,6 +629,7 @@ fn run_chain(
         iterations: max_iterations,
         samples: samples_taken[0],
         flips_per_iteration,
+        degenerate_flips,
     };
     (assignments, diagnostics)
 }
@@ -311,9 +650,15 @@ fn flip_probability_log(
         let a_cur = alpha[current as usize][s.index()];
         let a_pro = alpha[proposed as usize][s.index()];
         // Current label: exclude this claim's own contribution (the −1 of
-        // Algorithm 1). Proposed label: raw counts.
-        let num_cur = (counts.get(s, current, o) - 1) as f64 + a_cur.count(o);
-        let den_cur = (counts.label_total(s, current) - 1) as f64 + a_cur.strength();
+        // Algorithm 1). Proposed label: raw counts. The subtraction happens
+        // in f64 (exact below 2⁵³) so a bookkeeping bug cannot wrap a u32;
+        // the debug assert pins the invariant that makes the −1 valid.
+        debug_assert!(
+            counts.get(s, current, o) > 0,
+            "fact {f}: claim ({s}, {o}) not reflected in counts"
+        );
+        let num_cur = counts.get(s, current, o) as f64 - 1.0 + a_cur.count(o);
+        let den_cur = counts.label_total(s, current) as f64 - 1.0 + a_cur.strength();
         let num_pro = counts.get(s, proposed, o) as f64 + a_pro.count(o);
         let den_pro = counts.label_total(s, proposed) as f64 + a_pro.strength();
         log_odds += (num_pro / den_pro).ln() - (num_cur / den_cur).ln();
@@ -322,6 +667,10 @@ fn flip_probability_log(
 }
 
 /// Flip probability via direct products, exactly as Algorithm 1 writes it.
+///
+/// Returns the probability plus a flag marking the degenerate case where
+/// both products underflowed to zero and the result is a fair-coin
+/// fallback (surfaced as [`FitDiagnostics::degenerate_flips`]).
 #[inline]
 fn flip_probability_direct(
     db: &ClaimDb,
@@ -330,24 +679,36 @@ fn flip_probability_direct(
     counts: &GibbsCounts,
     alpha: &[Vec<BetaPair>; 2],
     beta: BetaPair,
-) -> f64 {
+) -> (f64, bool) {
     let proposed = !current;
     let mut p_cur = beta.count(current);
     let mut p_pro = beta.count(proposed);
     for (s, o) in db.claims_of_fact(f) {
         let a_cur = alpha[current as usize][s.index()];
         let a_pro = alpha[proposed as usize][s.index()];
-        p_cur *= ((counts.get(s, current, o) - 1) as f64 + a_cur.count(o))
-            / ((counts.label_total(s, current) - 1) as f64 + a_cur.strength());
+        // This claim contributes to cell (s, current, o), so both counts
+        // are ≥ 1 whenever the sampler's bookkeeping is intact. The
+        // saturating subtraction keeps a release build from wrapping to
+        // u32::MAX (and silently corrupting the posterior) if that
+        // invariant is ever broken; the debug assert catches the breakage
+        // where it happens.
+        let n_cell = counts.get(s, current, o);
+        let n_total = counts.label_total(s, current);
+        debug_assert!(
+            n_cell > 0 && n_total > 0,
+            "fact {f}: claim ({s}, {o}) not reflected in counts (cell {n_cell}, total {n_total})"
+        );
+        p_cur *= (n_cell.saturating_sub(1) as f64 + a_cur.count(o))
+            / (n_total.saturating_sub(1) as f64 + a_cur.strength());
         p_pro *= (counts.get(s, proposed, o) as f64 + a_pro.count(o))
             / ((counts.label_total(s, proposed)) as f64 + a_pro.strength());
     }
     if p_cur + p_pro == 0.0 {
         // Both products underflowed — the very failure mode log-space
-        // arithmetic avoids; fall back to a fair coin.
-        return 0.5;
+        // arithmetic avoids; fall back to a fair coin and report it.
+        return (0.5, true);
     }
-    p_pro / (p_cur + p_pro)
+    (p_pro / (p_cur + p_pro), false)
 }
 
 /// Draws one forward sample of the generative process for testing: not part
@@ -410,8 +771,18 @@ mod tests {
         b.add("Harry Potter", "Johnny Depp", "BadSource.com");
         b.add("Pirates 4", "Johnny Depp", "Hulu.com");
         for (movie, a, bb, junk) in [
-            ("Inception", "Leonardo DiCaprio", "Ellen Page", "Fake Actor 1"),
-            ("Twilight", "Kristen Stewart", "Robert Pattinson", "Fake Actor 2"),
+            (
+                "Inception",
+                "Leonardo DiCaprio",
+                "Ellen Page",
+                "Fake Actor 1",
+            ),
+            (
+                "Twilight",
+                "Kristen Stewart",
+                "Robert Pattinson",
+                "Fake Actor 2",
+            ),
             ("Avatar", "Sam Worthington", "Zoe Saldana", "Fake Actor 3"),
         ] {
             b.add(movie, a, "IMDB");
@@ -458,6 +829,21 @@ mod tests {
     #[should_panic(expected = "burn_in")]
     fn schedule_rejects_all_burn_in() {
         SampleSchedule::new(10, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sample fits")]
+    fn schedule_rejects_gap_wider_than_tail() {
+        // burn_in < iterations, but the 10-wide thinning gap never fires
+        // within the 5 post-burn-in iterations: zero samples.
+        SampleSchedule::new(10, 5, 9);
+    }
+
+    #[test]
+    fn schedule_minimal_tail_accepted() {
+        let s = SampleSchedule::new(10, 5, 4);
+        assert_eq!(s.num_samples(), 1);
+        assert!((1..=10).any(|i| s.samples_at(i)));
     }
 
     #[test]
@@ -532,10 +918,133 @@ mod tests {
         assert!(prob_of("Harry Potter", "Daniel Radcliffe") >= 0.5);
         assert!(prob_of("Harry Potter", "Emma Watson") >= 0.5);
         assert!(
-            prob_of("Harry Potter", "Johnny Depp")
-                < prob_of("Harry Potter", "Rupert Grint"),
+            prob_of("Harry Potter", "Johnny Depp") < prob_of("Harry Potter", "Rupert Grint"),
             "false fact must rank below the under-reported true fact"
         );
+    }
+
+    #[test]
+    fn cached_kernel_bit_identical_to_log_space() {
+        // The tentpole invariant: the cached-table kernel must reproduce
+        // the log-space kernel's trajectory *exactly* — same labels, same
+        // flip counts, same RNG consumption — not merely approximately.
+        for (_, db) in [table1_db(), extended_db()] {
+            for seed in [7, 41, 1234] {
+                let cfg_log = LtmConfig {
+                    seed,
+                    arithmetic: Arithmetic::LogSpace,
+                    ..small_config()
+                };
+                let cfg_cached = LtmConfig {
+                    arithmetic: Arithmetic::CachedLog,
+                    ..cfg_log
+                };
+                let a = fit(&db, &cfg_log);
+                let b = fit(&db, &cfg_cached);
+                assert_eq!(a.truth, b.truth, "seed {seed}: posterior diverged");
+                assert_eq!(
+                    a.diagnostics.flips_per_iteration, b.diagnostics.flips_per_iteration,
+                    "seed {seed}: trajectory diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_arithmetic_is_cached() {
+        assert_eq!(Arithmetic::default(), Arithmetic::CachedLog);
+    }
+
+    #[test]
+    fn log_kernels_report_no_degenerate_flips() {
+        let (_, db) = extended_db();
+        let fit_res = fit(&db, &small_config());
+        assert_eq!(fit_res.diagnostics.degenerate_flips, 0);
+    }
+
+    #[test]
+    fn fit_chains_single_chain_matches_fit() {
+        let (_, db) = extended_db();
+        let cfg = small_config();
+        let single = fit(&db, &cfg);
+        let multi = fit_chains(&db, &cfg, 1);
+        assert_eq!(multi.truth, single.truth);
+        assert_eq!(multi.per_chain_truth.len(), 1);
+        assert_eq!(multi.diagnostics.per_chain[0], single.diagnostics);
+        // One chain: R̂ undefined, reported as converged.
+        assert!(multi.diagnostics.rhat.iter().all(|&r| r == 1.0));
+    }
+
+    #[test]
+    fn fit_chains_is_deterministic_and_chain_order_independent() {
+        let (_, db) = extended_db();
+        let cfg = small_config();
+        let a = fit_chains(&db, &cfg, 4);
+        let b = fit_chains(&db, &cfg, 4);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.per_chain_truth, b.per_chain_truth);
+        assert_eq!(a.diagnostics, b.diagnostics);
+        // Chains genuinely differ (different seeds) …
+        assert_ne!(a.per_chain_truth[0], a.per_chain_truth[1]);
+        // … and the pooled mean is the equal-weight average.
+        for f in db.fact_ids() {
+            let mean = a.per_chain_truth.iter().map(|t| t.prob(f)).sum::<f64>() / 4.0;
+            assert!((a.truth.prob(f) - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_chains_rhat_near_one_on_well_identified_data() {
+        // The extended db is strongly identified, so independent chains
+        // must agree: R̂ close to 1 on (nearly) every fact.
+        let (_, db) = extended_db();
+        let cfg = LtmConfig {
+            schedule: SampleSchedule::new(800, 200, 2),
+            ..small_config()
+        };
+        let multi = fit_chains(&db, &cfg, 4);
+        assert_eq!(multi.diagnostics.rhat.len(), db.num_facts());
+        assert!(
+            multi.diagnostics.converged_fraction >= 0.8,
+            "converged fraction = {}, rhat = {:?}",
+            multi.diagnostics.converged_fraction,
+            multi.diagnostics.rhat
+        );
+        // max_rhat is the true maximum of the per-fact vector …
+        let expected_max = multi
+            .diagnostics
+            .rhat
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(multi.diagnostics.max_rhat, expected_max);
+        // … and finite-sample R̂ may undershoot 1 slightly but stays near it.
+        assert!(
+            (0.9..2.0).contains(&multi.diagnostics.max_rhat),
+            "max_rhat = {}",
+            multi.diagnostics.max_rhat
+        );
+        assert!(
+            (0.9..1.5).contains(&multi.diagnostics.mean_rhat),
+            "mean_rhat = {}",
+            multi.diagnostics.mean_rhat
+        );
+    }
+
+    #[test]
+    fn fit_chains_empty_database() {
+        let db = ClaimDb::from_parts(vec![], vec![], 0);
+        let multi = fit_chains(&db, &small_config(), 3);
+        assert!(multi.truth.is_empty());
+        assert_eq!(multi.diagnostics.max_rhat, 1.0);
+        assert_eq!(multi.diagnostics.converged_fraction, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn fit_chains_rejects_zero_chains() {
+        let (_, db) = table1_db();
+        fit_chains(&db, &small_config(), 0);
     }
 
     #[test]
@@ -569,11 +1078,17 @@ mod tests {
         let cfg = small_config();
         let priors = SourcePriors::uniform(cfg.priors, db.num_sources());
         let mut rng = rng_from_seed(cfg.seed);
-        let mut labels: Vec<bool> = (0..db.num_facts()).map(|_| rng.gen::<f64>() < 0.5).collect();
+        let mut labels: Vec<bool> = (0..db.num_facts())
+            .map(|_| rng.gen::<f64>() < 0.5)
+            .collect();
         let mut counts = GibbsCounts::from_labels(&db, &labels);
         let alpha: [Vec<BetaPair>; 2] = [
-            (0..db.num_sources()).map(|s| priors.alpha0_for(s)).collect(),
-            (0..db.num_sources()).map(|s| priors.alpha1_for(s)).collect(),
+            (0..db.num_sources())
+                .map(|s| priors.alpha0_for(s))
+                .collect(),
+            (0..db.num_sources())
+                .map(|s| priors.alpha1_for(s))
+                .collect(),
         ];
         for _ in 0..50 {
             for f in db.fact_ids() {

@@ -87,11 +87,7 @@ impl IncrementalLtm {
                 for (s, o) in db.claims_of_fact(f) {
                     let p1 = self.phi1_for(s.index());
                     let p0 = self.phi0_for(s.index());
-                    let (l1, l0) = if o {
-                        (p1, p0)
-                    } else {
-                        (1.0 - p1, 1.0 - p0)
-                    };
+                    let (l1, l0) = if o { (p1, p0) } else { (1.0 - p1, 1.0 - p0) };
                     log_odds += (l1 / l0).ln();
                 }
                 sigmoid(log_odds)

@@ -68,8 +68,8 @@ pub mod streaming;
 pub use adversarial::{fit_filtered, AdversarialFilter, FilteredFit};
 pub use counts::{ExpectedCounts, GibbsCounts};
 pub use gibbs::{
-    fit, fit_with_schedules, fit_with_source_priors, Arithmetic, FitDiagnostics, LtmConfig,
-    LtmFit, SampleSchedule,
+    fit, fit_chains, fit_chains_with_source_priors, fit_with_schedules, fit_with_source_priors,
+    Arithmetic, ChainDiagnostics, FitDiagnostics, LtmConfig, LtmFit, MultiChainFit, SampleSchedule,
 };
 pub use incremental::IncrementalLtm;
 pub use multi_attr::{fit_joint, MultiAttrConfig};

@@ -75,7 +75,9 @@ pub fn log_joint_trace(
 
     let priors = SourcePriors::uniform(config.priors, db.num_sources());
     let mut rng = rng_from_seed(config.seed);
-    let mut labels: Vec<bool> = (0..db.num_facts()).map(|_| rng.gen::<f64>() < 0.5).collect();
+    let mut labels: Vec<bool> = (0..db.num_facts())
+        .map(|_| rng.gen::<f64>() < 0.5)
+        .collect();
     let mut trace = Vec::with_capacity(iterations);
     for _ in 0..iterations {
         // One sweep of the same conditional updates the production sampler
@@ -89,10 +91,24 @@ pub fn log_joint_trace(
             let beta = config.priors.beta;
             let mut log_odds = (beta.count(proposed) / beta.count(current)).ln();
             for (s, o) in db.claims_of_fact(f) {
-                let a_cur = if current { priors.alpha1_for(s.index()) } else { priors.alpha0_for(s.index()) };
-                let a_pro = if proposed { priors.alpha1_for(s.index()) } else { priors.alpha0_for(s.index()) };
-                let num_cur = (counts.get(s, current, o) - 1) as f64 + a_cur.count(o);
-                let den_cur = (counts.label_total(s, current) - 1) as f64 + a_cur.strength();
+                let a_cur = if current {
+                    priors.alpha1_for(s.index())
+                } else {
+                    priors.alpha0_for(s.index())
+                };
+                let a_pro = if proposed {
+                    priors.alpha1_for(s.index())
+                } else {
+                    priors.alpha0_for(s.index())
+                };
+                // f64 subtraction (exact below 2⁵³) — same hardening as the
+                // production kernels: a bookkeeping bug must not wrap a u32.
+                debug_assert!(
+                    counts.get(s, current, o) > 0,
+                    "fact {f}: claim ({s}, {o}) not reflected in counts"
+                );
+                let num_cur = counts.get(s, current, o) as f64 - 1.0 + a_cur.count(o);
+                let den_cur = counts.label_total(s, current) as f64 - 1.0 + a_cur.strength();
                 let num_pro = counts.get(s, proposed, o) as f64 + a_pro.count(o);
                 let den_pro = counts.label_total(s, proposed) as f64 + a_pro.strength();
                 log_odds += (num_pro / den_pro).ln() - (num_cur / den_cur).ln();

@@ -132,8 +132,8 @@ pub fn fit_joint(types: &[&ClaimDb], config: &MultiAttrConfig) -> Vec<LtmFit> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::priors::Priors;
     use crate::gibbs::SampleSchedule;
+    use crate::priors::Priors;
     use ltm_model::{AttrId, Claim, EntityId, Fact, FactId};
 
     /// Builds one attribute type: `n` entities, each with one true fact

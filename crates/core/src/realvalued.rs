@@ -64,7 +64,11 @@ impl RealClaimDb {
     pub fn new(num_facts: usize, num_sources: usize, mut claims: Vec<RealClaim>) -> Self {
         let mut seen = std::collections::HashSet::with_capacity(claims.len());
         for c in &claims {
-            assert!(c.fact.index() < num_facts, "claim references fact {}", c.fact);
+            assert!(
+                c.fact.index() < num_facts,
+                "claim references fact {}",
+                c.fact
+            );
             assert!(
                 c.source.index() < num_sources,
                 "claim references source {}",
@@ -78,10 +82,7 @@ impl RealClaimDb {
                 c.source
             );
         }
-        claims.sort_unstable_by(|x, y| {
-            (x.fact, x.source)
-                .cmp(&(y.fact, y.source))
-        });
+        claims.sort_unstable_by_key(|x| (x.fact, x.source));
         let mut fact_offsets = vec![0u32; num_facts + 1];
         for c in &claims {
             fact_offsets[c.fact.index() + 1] += 1;
@@ -115,7 +116,8 @@ impl RealClaimDb {
 
     /// `(source, value)` pairs of fact `f`'s claims.
     pub fn claims_of_fact(&self, f: FactId) -> impl Iterator<Item = (SourceId, f64)> + '_ {
-        let range = self.fact_offsets[f.index()] as usize..self.fact_offsets[f.index() + 1] as usize;
+        let range =
+            self.fact_offsets[f.index()] as usize..self.fact_offsets[f.index() + 1] as usize;
         self.claim_source[range.clone()]
             .iter()
             .copied()
@@ -328,8 +330,7 @@ pub fn fit(db: &RealClaimDb, config: &RealLtmConfig) -> RealLtmFit {
                 stats.remove(s, current, v);
             }
             let prior_for = |side: bool| if side { &config.side1 } else { &config.side0 };
-            let mut log_odds =
-                (config.beta.count(proposed) / config.beta.count(current)).ln();
+            let mut log_odds = (config.beta.count(proposed) / config.beta.count(current)).ln();
             for (s, v) in db.claims_of_fact(f) {
                 log_odds += stats.ln_predictive(s, proposed, v, prior_for(proposed))
                     - stats.ln_predictive(s, current, v, prior_for(current));
@@ -391,7 +392,14 @@ mod tests {
     /// Synthetic real-valued data: `n` facts alternating true/false; each
     /// of `k` sources scores every fact — near `hi` for true facts, near
     /// `lo` for false ones, with Gaussian-ish noise from a seeded RNG.
-    fn two_cluster_db(n: usize, k: usize, hi: f64, lo: f64, noise: f64, seed: u64) -> (RealClaimDb, Vec<bool>) {
+    fn two_cluster_db(
+        n: usize,
+        k: usize,
+        hi: f64,
+        lo: f64,
+        noise: f64,
+        seed: u64,
+    ) -> (RealClaimDb, Vec<bool>) {
         let mut rng = rng_from_seed(seed);
         let truth: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
         let mut claims = Vec::new();

@@ -157,12 +157,7 @@ mod tests {
         // second batch's expected true-positive count.
         assert!(after.alpha1_for(0).pos > before.alpha1_for(0).pos);
         // The first fit should call the well-supported facts true.
-        let true_frac = fit1
-            .truth
-            .probs()
-            .iter()
-            .filter(|&&p| p >= 0.5)
-            .count() as f64
+        let true_frac = fit1.truth.probs().iter().filter(|&&p| p >= 0.5).count() as f64
             / fit1.truth.len() as f64;
         assert!(true_frac > 0.5);
     }

@@ -133,7 +133,9 @@ pub fn generate(cfg: &BookConfig) -> GeneratedDataset {
     // expected total number of (book, source) coverage slots is
     // num_books × mean_sources_per_book.
     let total_slots = (cfg.num_books as f64 * cfg.mean_sources_per_book).round();
-    let weights: Vec<f64> = (1..=cfg.num_sources).map(|r| (r as f64).powf(-0.9)).collect();
+    let weights: Vec<f64> = (1..=cfg.num_sources)
+        .map(|r| (r as f64).powf(-0.9))
+        .collect();
     let wsum: f64 = weights.iter().sum();
     let coverage_counts: Vec<usize> = weights
         .iter()
@@ -254,7 +256,10 @@ mod tests {
         // All-true predictor precision ≈ 0.88 (paper Table 7's TruthFinder
         // precision row implies the labeled-true fraction).
         let frac_true = d.full_truth.num_true() as f64 / d.full_truth.num_labeled_facts() as f64;
-        assert!((frac_true - 0.88).abs() < 0.06, "true fraction = {frac_true}");
+        assert!(
+            (frac_true - 0.88).abs() < 0.06,
+            "true fraction = {frac_true}"
+        );
     }
 
     #[test]

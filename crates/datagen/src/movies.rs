@@ -378,8 +378,7 @@ mod tests {
             db.claims_of_source(s)
                 .iter()
                 .filter(|&&c| {
-                    db.claim_observation(c)
-                        && d.full_truth.label(db.claim_fact(c)) == Some(false)
+                    db.claim_observation(c) && d.full_truth.label(db.claim_fact(c)) == Some(false)
                 })
                 .count() as f64
                 / db.claims_of_source(s).len().max(1) as f64

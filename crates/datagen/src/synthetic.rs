@@ -17,7 +17,9 @@
 //! structure), and claims are emitted directly — both polarities — rather
 //! than via a raw triple database.
 
-use ltm_model::{AttrId, Claim, ClaimDb, EntityId, Fact, FactId, GroundTruth, SourceId, TruthAssignment};
+use ltm_model::{
+    AttrId, Claim, ClaimDb, EntityId, Fact, FactId, GroundTruth, SourceId, TruthAssignment,
+};
 use ltm_stats::dist::Beta;
 use ltm_stats::rng::rng_from_seed;
 use rand::Rng;
@@ -115,8 +117,12 @@ pub fn generate(cfg: &SyntheticConfig) -> SyntheticData {
     let beta_phi1 = Beta::new(cfg.alpha1.0, cfg.alpha1.1);
     let beta_theta = Beta::new(cfg.beta.0, cfg.beta.1);
 
-    let phi0: Vec<f64> = (0..cfg.num_sources).map(|_| beta_phi0.sample(&mut rng)).collect();
-    let phi1: Vec<f64> = (0..cfg.num_sources).map(|_| beta_phi1.sample(&mut rng)).collect();
+    let phi0: Vec<f64> = (0..cfg.num_sources)
+        .map(|_| beta_phi0.sample(&mut rng))
+        .collect();
+    let phi1: Vec<f64> = (0..cfg.num_sources)
+        .map(|_| beta_phi1.sample(&mut rng))
+        .collect();
 
     let mut facts = Vec::with_capacity(cfg.num_facts);
     let mut truth = Vec::with_capacity(cfg.num_facts);
@@ -171,7 +177,11 @@ mod tests {
         let d = generate(&small());
         assert_eq!(d.claims.num_facts(), 2_000);
         assert_eq!(d.claims.num_sources(), 10);
-        assert_eq!(d.claims.num_claims(), 20_000, "every source claims every fact");
+        assert_eq!(
+            d.claims.num_claims(),
+            20_000,
+            "every source claims every fact"
+        );
         assert_eq!(d.truth.len(), 2_000);
         assert_eq!(d.ground.num_labeled_facts(), 2_000);
     }
@@ -182,7 +192,10 @@ mod tests {
         let b = generate(&small());
         assert_eq!(a.truth, b.truth);
         assert_eq!(a.phi0, b.phi0);
-        assert_eq!(a.claims.num_positive_claims(), b.claims.num_positive_claims());
+        assert_eq!(
+            a.claims.num_positive_claims(),
+            b.claims.num_positive_claims()
+        );
         let c = generate(&SyntheticConfig {
             seed: 100,
             ..small()
@@ -221,8 +234,16 @@ mod tests {
             }
             let sens = pos_true as f64 / n_true as f64;
             let fpr = pos_false as f64 / n_false as f64;
-            assert!((sens - d.phi1[k]).abs() < 0.05, "source {k}: sens {sens} vs {}", d.phi1[k]);
-            assert!((fpr - d.phi0[k]).abs() < 0.05, "source {k}: fpr {fpr} vs {}", d.phi0[k]);
+            assert!(
+                (sens - d.phi1[k]).abs() < 0.05,
+                "source {k}: sens {sens} vs {}",
+                d.phi1[k]
+            );
+            assert!(
+                (fpr - d.phi0[k]).abs() < 0.05,
+                "source {k}: fpr {fpr} vs {}",
+                d.phi0[k]
+            );
         }
     }
 

@@ -73,7 +73,11 @@ pub fn reliability_diagram(
     (0..bins)
         .map(|b| ReliabilityBin {
             lo: b as f64 * width,
-            mean_confidence: if count[b] == 0 { 0.0 } else { conf[b] / count[b] as f64 },
+            mean_confidence: if count[b] == 0 {
+                0.0
+            } else {
+                conf[b] / count[b] as f64
+            },
             empirical: if count[b] == 0 {
                 0.0
             } else {
@@ -86,11 +90,7 @@ pub fn reliability_diagram(
 
 /// Expected calibration error over `bins` equal-width bins:
 /// `Σ_b (n_b / n) · |confidence_b − empirical_b|`.
-pub fn expected_calibration_error(
-    truth: &GroundTruth,
-    pred: &TruthAssignment,
-    bins: usize,
-) -> f64 {
+pub fn expected_calibration_error(truth: &GroundTruth, pred: &TruthAssignment, bins: usize) -> f64 {
     let diagram = reliability_diagram(truth, pred, bins);
     let n: usize = diagram.iter().map(|b| b.count).sum();
     if n == 0 {
@@ -119,12 +119,16 @@ mod tests {
     #[test]
     fn brier_perfect_and_worst() {
         let truth = gt(&[true, false]);
-        assert_eq!(brier_score(&truth, &TruthAssignment::new(vec![1.0, 0.0])), 0.0);
-        assert_eq!(brier_score(&truth, &TruthAssignment::new(vec![0.0, 1.0])), 1.0);
-        // Constant 0.5 scores 0.25.
-        assert!(
-            (brier_score(&truth, &TruthAssignment::new(vec![0.5, 0.5])) - 0.25).abs() < 1e-12
+        assert_eq!(
+            brier_score(&truth, &TruthAssignment::new(vec![1.0, 0.0])),
+            0.0
         );
+        assert_eq!(
+            brier_score(&truth, &TruthAssignment::new(vec![0.0, 1.0])),
+            1.0
+        );
+        // Constant 0.5 scores 0.25.
+        assert!((brier_score(&truth, &TruthAssignment::new(vec![0.5, 0.5])) - 0.25).abs() < 1e-12);
     }
 
     #[test]

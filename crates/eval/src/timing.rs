@@ -61,12 +61,8 @@ mod tests {
 
     #[test]
     fn timing_is_roughly_monotone_in_work() {
-        let short = mean_seconds(3, || {
-            std::hint::black_box((0..10_000).sum::<u64>())
-        });
-        let long = mean_seconds(3, || {
-            std::hint::black_box((0..10_000_000).sum::<u64>())
-        });
+        let short = mean_seconds(3, || std::hint::black_box((0..10_000).sum::<u64>()));
+        let long = mean_seconds(3, || std::hint::black_box((0..10_000_000).sum::<u64>()));
         assert!(long > short, "long {long} vs short {short}");
     }
 }

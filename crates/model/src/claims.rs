@@ -274,6 +274,34 @@ impl ClaimDb {
         self.fact_offsets[f.index()] as usize..self.fact_offsets[f.index() + 1] as usize
     }
 
+    /// The raw fact-major CSR offsets: claims of fact `f` occupy
+    /// `offsets[f] as usize..offsets[f + 1] as usize` in the parallel claim
+    /// arrays ([`ClaimDb::claim_sources`], [`ClaimDb::claim_observations`]).
+    ///
+    /// These raw accessors exist for hot loops (the Gibbs sampler) that
+    /// sweep every fact: slicing the arrays once per fact avoids the
+    /// repeated offset lookups and iterator construction of the per-fact
+    /// convenience accessors.
+    #[inline]
+    pub fn fact_offsets(&self) -> &[u32] {
+        &self.fact_offsets
+    }
+
+    /// All claim sources in fact-major order (parallel to
+    /// [`ClaimDb::claim_observations`], indexed via
+    /// [`ClaimDb::fact_offsets`]).
+    #[inline]
+    pub fn claim_sources(&self) -> &[SourceId] {
+        &self.claim_source
+    }
+
+    /// All claim observations in fact-major order (parallel to
+    /// [`ClaimDb::claim_sources`]).
+    #[inline]
+    pub fn claim_observations(&self) -> &[bool] {
+        &self.claim_obs
+    }
+
     /// The sources claiming fact `f` (parallel to
     /// [`ClaimDb::fact_claim_observations`]).
     #[inline]
@@ -319,8 +347,8 @@ impl ClaimDb {
 
     /// Claim ids made by source `s` (both positive and negative).
     pub fn claims_of_source(&self, s: SourceId) -> &[ClaimId] {
-        let range = self.source_offsets[s.index()] as usize
-            ..self.source_offsets[s.index() + 1] as usize;
+        let range =
+            self.source_offsets[s.index()] as usize..self.source_offsets[s.index() + 1] as usize;
         &self.source_claims[range]
     }
 

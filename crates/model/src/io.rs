@@ -263,7 +263,11 @@ mod tests {
         let mut b = RawDatabaseBuilder::new();
         b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
         b.add("Harry Potter", "Emma Watson", "IMDB");
-        b.add("Gödel, Escher, Bach", "Douglas \"Doug\" Hofstadter", "a,b seller");
+        b.add(
+            "Gödel, Escher, Bach",
+            "Douglas \"Doug\" Hofstadter",
+            "a,b seller",
+        );
         b.build()
     }
 

@@ -116,10 +116,7 @@ pub fn check(db: &ClaimDb) -> Vec<Violation> {
     }
 
     // 4. Cached positive count.
-    let actual = db
-        .fact_ids()
-        .map(|f| db.positive_count(f))
-        .sum::<usize>();
+    let actual = db.fact_ids().map(|f| db.positive_count(f)).sum::<usize>();
     if actual != db.num_positive_claims() {
         violations.push(Violation::PositiveCountMismatch {
             stored: db.num_positive_claims(),
@@ -233,10 +230,7 @@ mod tests {
         ];
         let db = ClaimDb::from_parts(facts, claims, 2);
         let violations = check(&db);
-        assert_eq!(
-            violations,
-            vec![Violation::CoverageMismatch { entity: 0 }]
-        );
+        assert_eq!(violations, vec![Violation::CoverageMismatch { entity: 0 }]);
     }
 
     #[test]

@@ -124,9 +124,7 @@ mod tests {
     #[test]
     fn interval_shrinks_with_more_data() {
         let small = MeanCi::of(&[1.0, 2.0, 3.0]);
-        let data: Vec<f64> = std::iter::repeat_n([1.0, 2.0, 3.0], 30)
-            .flatten()
-            .collect();
+        let data: Vec<f64> = std::iter::repeat_n([1.0, 2.0, 3.0], 30).flatten().collect();
         let large = MeanCi::of(&data);
         assert!(large.half_width < small.half_width);
     }

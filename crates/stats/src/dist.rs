@@ -130,7 +130,8 @@ impl Gamma {
         if x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        (self.shape - 1.0) * x.ln() - x / self.scale
+        (self.shape - 1.0) * x.ln()
+            - x / self.scale
             - ln_gamma(self.shape)
             - self.shape * self.scale.ln()
     }
@@ -260,11 +261,10 @@ impl Binomial {
         }
         let n = self.n as f64;
         let mode = (((self.n + 1) as f64 * self.p).floor() as u32).min(self.n);
-        let ln_pmf_mode = ln_gamma(n + 1.0)
-            - ln_gamma(mode as f64 + 1.0)
-            - ln_gamma(n - mode as f64 + 1.0)
-            + mode as f64 * self.p.ln()
-            + (n - mode as f64) * (1.0 - self.p).ln();
+        let ln_pmf_mode =
+            ln_gamma(n + 1.0) - ln_gamma(mode as f64 + 1.0) - ln_gamma(n - mode as f64 + 1.0)
+                + mode as f64 * self.p.ln()
+                + (n - mode as f64) * (1.0 - self.p).ln();
         // Enumerate outward from the mode, alternating sides; any fixed
         // enumeration order is a valid way to invert a uniform draw.
         let u: f64 = rng.gen();
@@ -317,7 +317,10 @@ impl Categorical {
     /// Panics if `weights` is empty, contains a negative or non-finite
     /// value, or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "Categorical: weights must be non-empty");
+        assert!(
+            !weights.is_empty(),
+            "Categorical: weights must be non-empty"
+        );
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut total = 0.0;
         for &w in weights {
@@ -485,8 +488,7 @@ mod tests {
         for &(n, p) in &[(10u32, 0.5), (500u32, 0.02), (2000u32, 0.7)] {
             let d = Binomial::new(n, p);
             let reps = 20_000;
-            let mean =
-                (0..reps).map(|_| d.sample(&mut r) as f64).sum::<f64>() / reps as f64;
+            let mean = (0..reps).map(|_| d.sample(&mut r) as f64).sum::<f64>() / reps as f64;
             let em = d.mean();
             assert!(
                 (mean - em).abs() < 0.05 * em.max(1.0),

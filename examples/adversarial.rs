@@ -8,9 +8,7 @@
 //! ```
 
 use latent_truth::core::priors::BetaPair;
-use latent_truth::core::{
-    fit, fit_filtered, AdversarialFilter, LtmConfig, Priors, SampleSchedule,
-};
+use latent_truth::core::{fit, fit_filtered, AdversarialFilter, LtmConfig, Priors, SampleSchedule};
 use latent_truth::model::{AttrId, Claim, ClaimDb, EntityId, Fact, FactId, SourceId};
 
 fn main() {
@@ -75,7 +73,10 @@ fn main() {
     };
 
     let plain = fit(&db, &config);
-    println!("plain LTM accuracy on spiked data:    {:.3}", accuracy(&plain.truth));
+    println!(
+        "plain LTM accuracy on spiked data:    {:.3}",
+        accuracy(&plain.truth)
+    );
     println!(
         "adversary quality as inferred:        specificity {:.3}, precision {:.3}",
         plain.quality.specificity(adversary),

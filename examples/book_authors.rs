@@ -21,7 +21,10 @@ fn main() {
         labeled_entities: 80,
         seed: 2012,
     });
-    println!("== simulated book-author dataset ==\n{}\n", data.dataset.stats());
+    println!(
+        "== simulated book-author dataset ==\n{}\n",
+        data.dataset.stats()
+    );
 
     let db = &data.dataset.claims;
     let truth = &data.dataset.truth;

@@ -17,7 +17,10 @@ fn main() {
         labeled_entities: 100,
         seed: 2012,
     });
-    println!("== simulated movie-director dataset ==\n{}\n", data.dataset.stats());
+    println!(
+        "== simulated movie-director dataset ==\n{}\n",
+        data.dataset.stats()
+    );
 
     let db = &data.dataset.claims;
     let config = LtmConfig {
@@ -37,7 +40,10 @@ fn main() {
     );
 
     println!("source quality, sorted by inferred sensitivity (cf. paper Table 8):");
-    println!("{:<15} {:>11} {:>11}   {:>12}", "source", "sensitivity", "specificity", "planted sens");
+    println!(
+        "{:<15} {:>11} {:>11}   {:>12}",
+        "source", "sensitivity", "specificity", "planted sens"
+    );
     for s in result.quality.by_descending_sensitivity() {
         let r = result.quality.record(s);
         println!(

@@ -9,9 +9,7 @@
 //! ```
 
 use latent_truth::core::priors::BetaPair;
-use latent_truth::core::{
-    fit_with_source_priors, LtmConfig, Priors, SampleSchedule, SourcePriors,
-};
+use latent_truth::core::{fit_with_source_priors, LtmConfig, Priors, SampleSchedule, SourcePriors};
 use latent_truth::model::{ClaimDb, FactId, RawDatabaseBuilder};
 
 fn main() {

@@ -6,8 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use latent_truth::core::{fit, LtmConfig, Priors, SampleSchedule};
 use latent_truth::core::priors::BetaPair;
+use latent_truth::core::{fit, LtmConfig, Priors, SampleSchedule};
 use latent_truth::model::{ClaimDb, RawDatabaseBuilder};
 
 fn main() {
@@ -25,8 +25,18 @@ fn main() {
     // ... plus three more movies that reveal the sources' habits: IMDB and
     // Netflix corroborate each other, BadSource keeps inventing actors.
     for (movie, a, b2, junk) in [
-        ("Inception", "Leonardo DiCaprio", "Elliot Page", "Fake Actor 1"),
-        ("Twilight", "Kristen Stewart", "Robert Pattinson", "Fake Actor 2"),
+        (
+            "Inception",
+            "Leonardo DiCaprio",
+            "Elliot Page",
+            "Fake Actor 1",
+        ),
+        (
+            "Twilight",
+            "Kristen Stewart",
+            "Robert Pattinson",
+            "Fake Actor 2",
+        ),
         ("Avatar", "Sam Worthington", "Zoe Saldana", "Fake Actor 3"),
     ] {
         b.add(movie, a, "IMDB");

@@ -44,12 +44,13 @@ fn main() {
     let correct = (0..num_facts)
         .filter(|&i| (result.truth.prob(FactId::from_usize(i)) >= 0.5) == truth[i])
         .count();
-    println!(
-        "recovered {correct}/{num_facts} facts from real-valued scores alone\n"
-    );
+    println!("recovered {correct}/{num_facts} facts from real-valued scores alone\n");
 
     println!("per-source posterior score profiles:");
-    println!("{:<10} {:>12} {:>13} {:>12}", "source", "mean (true)", "mean (false)", "planted σ");
+    println!(
+        "{:<10} {:>12} {:>13} {:>12}",
+        "source", "mean (true)", "mean (false)", "planted σ"
+    );
     for (s, &sigma) in noise.iter().enumerate() {
         println!(
             "matcher-{s}  {:>12.3} {:>13.3} {sigma:>12.2}",

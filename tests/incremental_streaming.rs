@@ -80,7 +80,11 @@ fn held_out_ltminc_close_to_batch_ltm() {
         batch_m.accuracy,
         inc_m.accuracy
     );
-    assert!(inc_m.accuracy > 0.85, "LTMinc accuracy {:.3}", inc_m.accuracy);
+    assert!(
+        inc_m.accuracy > 0.85,
+        "LTMinc accuracy {:.3}",
+        inc_m.accuracy
+    );
 }
 
 #[test]
@@ -111,7 +115,11 @@ fn streaming_quality_transfers_to_later_batches() {
         for f in db.fact_ids() {
             if let Some(nf) = remap[f.index()] {
                 for (source, observation) in db.claims_of_fact(f) {
-                    claims.push(Claim { fact: nf, source, observation });
+                    claims.push(Claim {
+                        fact: nf,
+                        source,
+                        observation,
+                    });
                 }
             }
         }
@@ -131,7 +139,10 @@ fn streaming_quality_transfers_to_later_batches() {
     let inflated = (0..db.num_sources())
         .filter(|&s| priors_after_one.alpha1_for(s).pos > base.pos + 1.0)
         .count();
-    assert!(inflated > db.num_sources() / 4, "only {inflated} sources inflated");
+    assert!(
+        inflated > db.num_sources() / 4,
+        "only {inflated} sources inflated"
+    );
 
     // Second batch still fits fine and accumulates further.
     stream.observe(&batch2);

@@ -1,0 +1,107 @@
+//! Kernel-parity acceptance tests: the cached log-ratio Gibbs kernel must
+//! be *bit-identical* to the reference log-space kernel on realistic
+//! synthetic data — identical posterior, identical flip trajectory,
+//! identical RNG consumption — while the multi-chain driver must agree
+//! with pooling single chains by hand.
+
+use latent_truth::core::{fit, fit_chains, Arithmetic, LtmConfig, Priors, SampleSchedule};
+use latent_truth::datagen::synthetic::{self, SyntheticConfig};
+
+fn synthetic_db(num_facts: usize, num_sources: usize, seed: u64) -> latent_truth::model::ClaimDb {
+    synthetic::generate(&SyntheticConfig {
+        num_facts,
+        num_sources,
+        seed,
+        ..Default::default()
+    })
+    .claims
+}
+
+#[test]
+fn cached_kernel_bit_identical_on_synthetic_data() {
+    let db = synthetic_db(2_000, 20, 7);
+    for seed in [1, 42, 9001] {
+        let base = LtmConfig {
+            priors: Priors::scaled_specificity(db.num_facts()),
+            schedule: SampleSchedule::new(60, 10, 1),
+            seed,
+            arithmetic: Arithmetic::LogSpace,
+        };
+        let reference = fit(&db, &base);
+        let cached = fit(
+            &db,
+            &LtmConfig {
+                arithmetic: Arithmetic::CachedLog,
+                ..base
+            },
+        );
+        // Bit-identical posterior: f64 equality, not a tolerance.
+        assert_eq!(
+            reference.truth, cached.truth,
+            "seed {seed}: cached kernel diverged from log-space kernel"
+        );
+        // Identical trajectory (flip counts per sweep) proves the two
+        // kernels consumed the RNG stream identically.
+        assert_eq!(
+            reference.diagnostics.flips_per_iteration, cached.diagnostics.flips_per_iteration,
+            "seed {seed}: flip trajectory diverged"
+        );
+        assert_eq!(reference.expected_counts, cached.expected_counts);
+    }
+}
+
+#[test]
+fn cached_kernel_bit_identical_with_skewed_sources() {
+    // Few sources with huge claim counts stress the invalidation path: a
+    // single flip dirties almost every source's table.
+    let db = synthetic_db(1_000, 3, 11);
+    let cfg = LtmConfig {
+        priors: Priors::scaled_specificity(db.num_facts()),
+        schedule: SampleSchedule::new(40, 5, 0),
+        seed: 4,
+        arithmetic: Arithmetic::LogSpace,
+    };
+    let reference = fit(&db, &cfg);
+    let cached = fit(
+        &db,
+        &LtmConfig {
+            arithmetic: Arithmetic::CachedLog,
+            ..cfg
+        },
+    );
+    assert_eq!(reference.truth, cached.truth);
+    assert_eq!(
+        reference.diagnostics.flips_per_iteration,
+        cached.diagnostics.flips_per_iteration
+    );
+}
+
+#[test]
+fn multi_chain_pool_matches_manual_average() {
+    let db = synthetic_db(500, 10, 3);
+    let cfg = LtmConfig {
+        priors: Priors::scaled_specificity(db.num_facts()),
+        schedule: SampleSchedule::new(50, 10, 1),
+        seed: 99,
+        arithmetic: Arithmetic::CachedLog,
+    };
+    let chains = 3;
+    let multi = fit_chains(&db, &cfg, chains);
+
+    // Chain 0 is the plain single-chain fit.
+    let single = fit(&db, &cfg);
+    assert_eq!(multi.per_chain_truth[0], single.truth);
+
+    // Pooled estimate is the equal-weight chain average.
+    for f in db.fact_ids() {
+        let mean = multi.per_chain_truth.iter().map(|t| t.prob(f)).sum::<f64>() / chains as f64;
+        assert!((multi.truth.prob(f) - mean).abs() < 1e-12);
+    }
+
+    // Synthetic data is well identified: most facts must have R̂ ≤ 1.1.
+    assert!(
+        multi.diagnostics.converged_fraction > 0.7,
+        "converged fraction = {}",
+        multi.diagnostics.converged_fraction
+    );
+}

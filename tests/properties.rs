@@ -2,12 +2,14 @@
 //! construction rules (Definition 3), sampler bookkeeping, metric
 //! identities, and score-normalisation guarantees.
 
-use latent_truth::baselines::{all_baselines, Voting, TruthMethod};
-use latent_truth::core::{fit, GibbsCounts, LtmConfig, Priors, SampleSchedule};
+use latent_truth::baselines::{all_baselines, TruthMethod, Voting};
 use latent_truth::core::priors::BetaPair;
+use latent_truth::core::{fit, GibbsCounts, LtmConfig, Priors, SampleSchedule};
 use latent_truth::eval::metrics::Confusion;
 use latent_truth::eval::roc::auc;
-use latent_truth::model::{ClaimDb, EntityId, FactId, GroundTruth, RawDatabaseBuilder, TruthAssignment};
+use latent_truth::model::{
+    ClaimDb, EntityId, FactId, GroundTruth, RawDatabaseBuilder, TruthAssignment,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random raw database over small vocabularies (up to 6
@@ -56,12 +58,17 @@ proptest! {
     }
 
     /// The sampler's incremental confusion counts always equal counts
-    /// recomputed from scratch, for arbitrary label vectors.
+    /// recomputed from scratch, for arbitrary label vectors — and the
+    /// structural invariants hold at every step of the flip sequence:
+    /// the grand total stays pinned at the claim count, and each source's
+    /// label totals always sum to its claim count.
     #[test]
     fn gibbs_counts_consistency(raw in raw_database(), flips in proptest::collection::vec(any::<bool>(), 64)) {
         let db = ClaimDb::from_raw(&raw);
         let mut labels = vec![false; db.num_facts()];
         let mut counts = GibbsCounts::from_labels(&db, &labels);
+        let claims_per_source: Vec<usize> =
+            db.source_ids().map(|s| db.claims_of_source(s).len()).collect();
         for (i, &flip) in flips.iter().enumerate() {
             if db.num_facts() == 0 { break; }
             let f = FactId::from_usize(i % db.num_facts());
@@ -72,8 +79,45 @@ proptest! {
                     counts.flip(s, old, o);
                 }
             }
+            // Invariants after every step, not only at the end.
+            prop_assert_eq!(counts.total(), db.num_claims() as u64);
+            for s in db.source_ids() {
+                prop_assert_eq!(
+                    (counts.label_total(s, true) + counts.label_total(s, false)) as usize,
+                    claims_per_source[s.index()],
+                    "source {} label totals drifted", s
+                );
+            }
         }
         prop_assert_eq!(counts, GibbsCounts::from_labels(&db, &labels));
+    }
+
+    /// The cached log-ratio kernel is bit-identical to the reference
+    /// log-space kernel on arbitrary databases and seeds — the tentpole
+    /// parity guarantee, checked property-style.
+    #[test]
+    fn cached_kernel_parity_on_random_inputs(raw in raw_database(), seed in 0u32..1000) {
+        let db = ClaimDb::from_raw(&raw);
+        let base = LtmConfig {
+            priors: Priors {
+                alpha0: BetaPair::new(1.0, 10.0),
+                alpha1: BetaPair::new(2.0, 2.0),
+                beta: BetaPair::new(1.0, 1.0),
+            },
+            schedule: SampleSchedule::new(30, 5, 0),
+            seed: seed as u64,
+            arithmetic: latent_truth::core::Arithmetic::LogSpace,
+        };
+        let reference = fit(&db, &base);
+        let cached = fit(&db, &LtmConfig {
+            arithmetic: latent_truth::core::Arithmetic::CachedLog,
+            ..base
+        });
+        prop_assert_eq!(reference.truth, cached.truth);
+        prop_assert_eq!(
+            reference.diagnostics.flips_per_iteration,
+            cached.diagnostics.flips_per_iteration
+        );
     }
 
     /// Metric identities hold for arbitrary confusion matrices.

@@ -75,7 +75,10 @@ fn planted_quality_recovered_within_tolerance() {
                 .unwrap()
         })
         .unwrap();
-    assert_eq!(best_planted, best_est, "top-sensitivity source misidentified");
+    assert_eq!(
+        best_planted, best_est,
+        "top-sensitivity source misidentified"
+    );
 }
 
 #[test]

@@ -1,0 +1,252 @@
+//! Offline vendored shim of the `criterion` API surface used by this
+//! workspace's `benches/`.
+//!
+//! Implements a compact wall-clock harness behind criterion's interface:
+//! benchmark groups, per-group sample size, throughput annotation,
+//! `bench_function` / `bench_with_input`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs one warm-up iteration,
+//! then `sample_size` timed iterations, and prints min / median / mean
+//! wall time plus derived throughput.
+//!
+//! Statistical analysis (outlier classification, regression against saved
+//! baselines) is out of scope for the shim — the numbers it prints are
+//! honest wall-clock measurements, which is what the workspace's
+//! benchmarks consume.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaquely consumes a value, preventing the optimiser from deleting the
+/// computation that produced it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value, e.g. a problem size.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+
+    /// An id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `sample_size` measured
+    /// calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<S: Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, id, &bencher.samples, self.throughput);
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples recorded");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    print!(
+        "{group}/{id}: min {:.3?}  median {:.3?}  mean {:.3?}  ({} samples)",
+        min,
+        median,
+        mean,
+        sorted.len()
+    );
+    if let Some(t) = throughput {
+        let per_sec = |count: u64| count as f64 / median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => print!("  [{:.0} elem/s]", per_sec(n)),
+            Throughput::Bytes(n) => print!("  [{:.0} B/s]", per_sec(n)),
+        }
+    }
+    println!();
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, &mut f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 1 warm-up + 4 samples.
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(3));
+        let data = vec![1u64, 2, 3];
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, input| {
+            b.iter(|| seen = input.iter().sum());
+        });
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::from_parameter(4000).to_string(), "4000");
+        assert_eq!(BenchmarkId::new("fit", 10).to_string(), "fit/10");
+    }
+}

@@ -1,0 +1,503 @@
+//! Offline vendored shim of the `proptest` API surface used by this
+//! workspace.
+//!
+//! Provides the [`Strategy`] trait with deterministic generation (seeded
+//! per test from the test's name), `prop_map`, tuple/range/`any` strategies,
+//! [`collection::vec`], a character-class subset of the string-regex
+//! strategies (`"[chars]{m,n}"`), and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream: failing cases are reported by panic without
+//! shrinking, and generation is always deterministic (no persisted failure
+//! seeds). For the workspace's invariant checks that trade-off is
+//! acceptable — a failure still prints the offending values via the assert
+//! message.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::{Rng as _, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+pub mod prelude {
+    //! Glob-importable names, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// A generator seeded from a test's name (stable across runs).
+    pub fn deterministic(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(ChaCha8Rng::seed_from_u64(h))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.0.gen_index(bound)
+    }
+
+    /// Raw 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end - self.start) as usize;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for std::ops::Range<i32> {
+    type Value = i32;
+
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        assert!(self.start < self.end, "empty integer range strategy");
+        let span = (self.end as i64 - self.start as i64) as usize;
+        (self.start as i64 + rng.below(span) as i64) as i32
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty float range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a uniform value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.bits() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.bits() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.bits() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.bits()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The uniform strategy for `T` — `any::<bool>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// String strategies from a character-class pattern, the subset of
+/// proptest's regex strategies this workspace uses: `"[chars]{min,max}"`.
+/// Supported inside the class: literal characters (any unicode), ranges
+/// like `a-z`, and backslash escapes.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_char_class(self);
+        let len = min + rng.below(max - min + 1);
+        (0..len).map(|_| chars[rng.below(chars.len())]).collect()
+    }
+}
+
+/// Parses `[class]{min,max}` into (alphabet, min, max).
+fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+    let inner = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| panic!("unsupported string strategy `{pattern}`: must start with `[`"));
+    let (class, rest) = split_class(inner, pattern);
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported string strategy `{pattern}`: need `{{min,max}}`"));
+    let (min_s, max_s) = counts
+        .split_once(',')
+        .unwrap_or_else(|| panic!("unsupported repetition `{{{counts}}}` in `{pattern}`"));
+    let min: usize = min_s.trim().parse().expect("min repeat count");
+    let max: usize = max_s.trim().parse().expect("max repeat count");
+    assert!(
+        min <= max && max > 0,
+        "bad repetition bounds in `{pattern}`"
+    );
+
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        let literal = if c == '\\' {
+            chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in `{pattern}`"))
+        } else {
+            c
+        };
+        // Range `X-Y` (the `-` must be unescaped and followed by something).
+        if c != '\\' && chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // the '-'
+            if let Some(&end) = lookahead.peek() {
+                if end != '\\' {
+                    chars = lookahead;
+                    chars.next(); // consume the range end
+                    assert!(
+                        literal <= end,
+                        "descending range `{literal}-{end}` in `{pattern}`"
+                    );
+                    for code in (literal as u32)..=(end as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            alphabet.push(ch);
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+        alphabet.push(literal);
+    }
+    assert!(!alphabet.is_empty(), "empty character class in `{pattern}`");
+    (alphabet, min, max)
+}
+
+/// Splits the class body from the repetition suffix, honouring escapes.
+fn split_class<'a>(inner: &'a str, pattern: &str) -> (&'a str, &'a str) {
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            ']' => return (&inner[..i], &inner[i + 1..]),
+            _ => {}
+        }
+    }
+    panic!("unterminated character class in `{pattern}`");
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// A size specification: a fixed length or a half-open range.
+    pub trait IntoSizeRange {
+        /// Lower bound (inclusive).
+        fn lo(&self) -> usize;
+        /// Upper bound (exclusive).
+        fn hi(&self) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn lo(&self) -> usize {
+            *self
+        }
+
+        fn hi(&self) -> usize {
+            *self + 1
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn lo(&self) -> usize {
+            self.start
+        }
+
+        fn hi(&self) -> usize {
+            self.end
+        }
+    }
+
+    /// Strategy for vectors of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.lo + rng.below(self.hi - self.lo);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = (size.lo(), size.hi());
+        assert!(lo < hi, "empty size range for collection::vec");
+        VecStrategy { element, lo, hi }
+    }
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`] — one test function per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::deterministic("vecsizes");
+        let s = crate::collection::vec(0u8..5, 2..7);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let fixed = crate::collection::vec(any::<bool>(), 64usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 64);
+    }
+
+    #[test]
+    fn char_class_strategies() {
+        let mut rng = TestRng::deterministic("charclass");
+        let s = "[a-cXé中\\-]{2,5}";
+        for _ in 0..500 {
+            let v = Strategy::generate(&s, &mut rng);
+            let n = v.chars().count();
+            assert!((2..=5).contains(&n), "len {n}");
+            for c in v.chars() {
+                assert!(
+                    matches!(c, 'a'..='c' | 'X' | 'é' | '中' | '-'),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = TestRng::deterministic("map");
+        let s = (0u8..10).prop_map(|x| x as usize * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = crate::collection::vec(0u8..250, 5..20);
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    // The macro itself, exercised end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Addition commutes (sanity-check of macro plumbing).
+        #[test]
+        fn macro_generates_cases(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn macro_tuple_and_vec(v in crate::collection::vec((0u8..4, any::<bool>()), 1..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline vendored shim of the `rayon` API surface used by this
+//! workspace: `par_iter()` / `into_par_iter()` followed by `map(...)` and
+//! `collect()`.
+//!
+//! Execution is genuinely parallel — items are split into per-thread
+//! contiguous chunks and processed under `std::thread::scope`, one thread
+//! per chunk up to `std::thread::available_parallelism()`. Result order is
+//! preserved. There is no work stealing; at this workspace's scales (tens
+//! of coarse-grained tasks: one Gibbs chain or one sweep point per item)
+//! static chunking is within noise of a stealing scheduler.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads for `n` items.
+fn num_threads(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Splits `items` into at most `parts` contiguous chunks of near-equal
+/// size, preserving order.
+fn chunkify<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    // Split off from the back so each drain is O(chunk).
+    for i in (0..parts).rev() {
+        let size = base + usize::from(i < extra);
+        out.push(items.split_off(items.len() - size));
+    }
+    out.reverse();
+    out
+}
+
+/// Runs `f` over `items` on scoped threads, preserving order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = num_threads(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = chunkify(items, threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// A parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` for its side effects on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, &f);
+    }
+}
+
+/// The result of [`ParIter::map`], awaiting a `collect()`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F> {
+    /// Executes the map in parallel and gathers results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_vec(self.items, &self.f))
+    }
+}
+
+/// Conversion of owned collections into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+/// Borrowing conversion: `par_iter()` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let out: Vec<u64> = (0u64..97).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..98).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_vec_moves_items() {
+        let v = vec![String::from("a"), String::from("bb"), String::from("ccc")];
+        let out: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunkify_covers_everything_in_order() {
+        let chunks = super::chunkify((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(chunks.len(), 3);
+        let flat: Vec<i32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return; // single-core CI runner: nothing to assert
+        }
+        let ids: Vec<std::thread::ThreadId> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected work on more than one thread");
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the serde
+//! shim.
+//!
+//! Supports the struct shapes this workspace actually derives on:
+//!
+//! * named-field structs → JSON objects in declaration order;
+//! * newtype (single-field tuple) structs → the inner value, which also
+//!   covers `#[serde(transparent)]`;
+//! * multi-field tuple structs → JSON arrays.
+//!
+//! Generic structs and enums are rejected with a compile error. The parser
+//! walks the raw token stream directly (no `syn`/`quote`, which are
+//! unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The derived-upon struct, reduced to what code generation needs.
+struct StructShape {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+}
+
+/// Derives the shim's `Serialize` (a `to_value` renderer).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &shape.name;
+    let body = match &shape.fields {
+        Fields::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{entries}])")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives the shim's `Deserialize` (a `from_value` reader).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &shape.name;
+    let body = match &shape.fields {
+        Fields::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field_or_null(v, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {entries} }})")
+        }
+        Fields::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Fields::Tuple(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok(Self({entries})),\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                         format!(\"expected {n}-element array, found {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error invocation must parse")
+}
+
+/// Parses `struct Name { fields }` / `struct Name(types);` out of the
+/// derive input, skipping attributes and visibility.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility/doc tokens until the
+    // `struct` keyword.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("serde shim derive: enums are not supported".into());
+            }
+            Some(_) => continue,
+            None => return Err("serde shim derive: no `struct` found".into()),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected struct name, got {other:?}"
+            ))
+        }
+    };
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err("serde shim derive: generic structs are not supported".into())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(StructShape {
+            name,
+            fields: Fields::Named(parse_named_fields(g.stream())?),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(StructShape {
+            name,
+            fields: Fields::Tuple(count_tuple_fields(g.stream())),
+        }),
+        other => Err(format!(
+            "serde shim derive: expected struct body after `{name}`, got {other:?}"
+        )),
+    }
+}
+
+/// Extracts field names from the brace group of a named struct.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        let field_name = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    // Consume the attribute group `[...]`.
+                    match tokens.next() {
+                        Some(TokenTree::Group(_)) => continue,
+                        other => {
+                            return Err(format!(
+                                "serde shim derive: malformed attribute, got {other:?}"
+                            ))
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Optional restriction like `pub(crate)`.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                    continue;
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!(
+                        "serde shim derive: unexpected token in fields: {other:?}"
+                    ))
+                }
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{field_name}`, got {other:?}"
+                ))
+            }
+        }
+        fields.push(field_name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Counts comma-separated fields in a tuple struct's paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    count + usize::from(saw_token)
+}
