@@ -8,18 +8,25 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--out <FILE>] [--repeats <N>] [--fast]
+//! perf [--out <FILE>] [--serve-out <FILE>] [--repeats <N>] [--fast]
 //!
 //! Options:
-//!   --out <FILE>   output JSON path (default BENCH_gibbs.json)
-//!   --repeats <N>  timing repeats per measurement, best-of (default 3)
-//!   --fast         smoke mode: small dataset, one repeat
+//!   --out <FILE>        Gibbs output JSON path (default BENCH_gibbs.json)
+//!   --serve-out <FILE>  serve-path output JSON path (default BENCH_serve.json)
+//!   --repeats <N>       timing repeats per measurement, best-of (default 3)
+//!   --fast              smoke mode: small dataset, one repeat
 //! ```
 //!
 //! The headline dataset is 5 000 facts × 20 sources = 100 000 claims; the
 //! trajectory adds 25k and 50k claim points. Reported metrics per kernel:
 //! wall seconds, sweeps/sec, and claim-updates/sec (claims × sweeps /
 //! seconds — the paper's `O(|C|)` unit of work).
+//!
+//! After the kernel measurements, the binary boots an in-process
+//! `ltm-serve` server on an ephemeral port and drives the serve path over
+//! real HTTP: bulk-ingest a ~100k-claim workload, wait for the refit
+//! daemon's first epoch, then run a mixed query/ingest phase (9:1) with
+//! per-request latency percentiles — emitted as `BENCH_serve.json`.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -90,6 +97,203 @@ struct BenchGibbs {
     sweeps: usize,
 }
 
+/// Latency percentiles over one request class, in milliseconds.
+#[derive(Debug, Clone, Serialize)]
+struct LatencyStats {
+    ops: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    mean_ms: f64,
+}
+
+impl LatencyStats {
+    fn from_millis(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "latency class measured no requests");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+        Self {
+            ops: samples.len(),
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            max_ms: *samples.last().expect("non-empty"),
+            mean_ms: samples.iter().sum::<f64>() / samples.len() as f64,
+        }
+    }
+}
+
+/// The `BENCH_serve.json` schema.
+#[derive(Debug, Clone, Serialize)]
+struct BenchServe {
+    /// Store shards / HTTP worker threads of the measured server.
+    shards: usize,
+    threads: usize,
+    /// Bulk-ingest phase: triples sent, claims implied by the store.
+    ingest_triples: usize,
+    store_claims: usize,
+    ingest_seconds: f64,
+    ingest_triples_per_sec: f64,
+    /// Wall time from the refit trigger to the first published epoch.
+    first_epoch_seconds: f64,
+    /// Mixed phase: total ops and the query share.
+    mixed_ops: usize,
+    query_fraction: f64,
+    query: LatencyStats,
+    ingest: LatencyStats,
+    /// Epochs published by the daemon over the whole run.
+    epoch_swaps: f64,
+    /// Refit attempts the daemon started.
+    refits_started: f64,
+}
+
+/// Drives the serve path over HTTP and returns the measured report.
+fn measure_serve(fast: bool) -> BenchServe {
+    use ltm_serve::http::http_call;
+    use ltm_serve::refit::RefitConfig;
+    use ltm_serve::server::{ServeConfig, Server};
+
+    // 2 attrs per entity, every source covering every entity → claims =
+    // entities × 2 × sources; 2 500 × 2 × 20 = 100 000 on the full run.
+    let entities: usize = if fast { 150 } else { 2_500 };
+    let sources: usize = 20;
+    let mixed_ops: usize = if fast { 300 } else { 2_000 };
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 4,
+        threads: 4,
+        refit: RefitConfig {
+            ltm: LtmConfig {
+                priors: Priors::scaled_specificity(entities * 2),
+                schedule: SampleSchedule::new(60, 20, 1),
+                ..LtmConfig::default()
+            },
+            chains: 2,
+            rhat_gate: 1.5,
+            // Manual triggers only: the phases below fire refits at
+            // well-defined points so `first_epoch_seconds` measures a
+            // clean trigger→publish interval and the later refits
+            // provably overlap the mixed traffic.
+            min_pending: usize::MAX,
+            interval: std::time::Duration::from_millis(50),
+        },
+        snapshot: None,
+    })
+    .expect("boot serve benchmark server");
+    let addr = server.addr();
+
+    // Bulk ingest in batches of 1 000 triples.
+    let triples: Vec<String> = (0..entities)
+        .flat_map(|e| {
+            (0..sources).map(move |s| {
+                // Every source asserts one of the two attrs; both attrs
+                // appear for every entity so the claim count is exact.
+                let a = (e + s) % 2;
+                format!("[\"e{e}\",\"a{a}\",\"s{s}\"]")
+            })
+        })
+        .collect();
+    let ingest_started = Instant::now();
+    for chunk in triples.chunks(1_000) {
+        let body = format!("{{\"triples\":[{}]}}", chunk.join(","));
+        let (status, response) =
+            http_call(addr, "POST", "/claims", Some(&body)).expect("bulk ingest");
+        assert_eq!(status, 200, "{response}");
+    }
+    let ingest_seconds = ingest_started.elapsed().as_secs_f64();
+
+    // Schema-less stats parsing through the vendored `serde::Value`.
+    let stats_f64 = |body: &str, field: &str| -> f64 {
+        let value: serde::Value = serde_json::from_str(body).expect("stats JSON");
+        match value.get_field(field) {
+            Some(serde::Value::Float(f)) => *f,
+            Some(serde::Value::Int(i)) => *i as f64,
+            Some(serde::Value::UInt(u)) => *u as f64,
+            other => panic!("stats field {field} missing or non-numeric: {other:?}"),
+        }
+    };
+    // Waits until `at_least` refits have *finished* (published or
+    // gate-rejected), so the counters read afterwards are settled.
+    let wait_for_refits_done = |at_least: f64, what: &str| {
+        let started = Instant::now();
+        loop {
+            let (_, body) = http_call(addr, "GET", "/stats", None).expect("stats");
+            if stats_f64(&body, "epochs_published") + stats_f64(&body, "epochs_rejected")
+                >= at_least
+            {
+                return;
+            }
+            assert!(
+                started.elapsed().as_secs() < 600,
+                "refit daemon never finished ({what}): {body}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    };
+
+    // First epoch: a clean trigger→publish interval on the full store.
+    let epoch_started = Instant::now();
+    server.trigger_refit();
+    wait_for_refits_done(1.0, "first epoch");
+    let first_epoch_seconds = epoch_started.elapsed().as_secs_f64();
+
+    // Mixed phase: 9 queries per 1 ingest, measured per request, with
+    // refits fired at the start and midpoint so epoch swaps demonstrably
+    // overlap the measured traffic.
+    let mut query_ms = Vec::new();
+    let mut ingest_ms = Vec::new();
+    for i in 0..mixed_ops {
+        if i == 0 || i == mixed_ops / 2 {
+            server.trigger_refit();
+        }
+        let started = Instant::now();
+        if i % 10 == 9 {
+            let body = format!("[\"mixed{i}\",\"a0\",\"s{}\"]", i % sources);
+            let (status, _) = http_call(
+                addr,
+                "POST",
+                "/claims",
+                Some(&format!("{{\"triples\":[{body}]}}")),
+            )
+            .expect("mixed ingest");
+            assert_eq!(status, 200);
+            ingest_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        } else {
+            let body = format!(
+                "{{\"claims\":[[\"s{}\",true],[\"s{}\",false],[\"s{}\",true]]}}",
+                i % sources,
+                (i + 7) % sources,
+                (i + 13) % sources
+            );
+            let (status, response) =
+                http_call(addr, "POST", "/query", Some(&body)).expect("mixed query");
+            assert_eq!(status, 200, "{response}");
+            query_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    // Let the mid-phase refits land before reading the final counters.
+    wait_for_refits_done(3.0, "mixed-phase refits");
+    let (_, stats) = http_call(addr, "GET", "/stats", None).expect("final stats");
+    let report = BenchServe {
+        shards: 4,
+        threads: 4,
+        ingest_triples: triples.len(),
+        store_claims: stats_f64(&stats, "claims") as usize,
+        ingest_seconds,
+        ingest_triples_per_sec: triples.len() as f64 / ingest_seconds,
+        first_epoch_seconds,
+        mixed_ops,
+        query_fraction: query_ms.len() as f64 / mixed_ops as f64,
+        query: LatencyStats::from_millis(query_ms),
+        ingest: LatencyStats::from_millis(ingest_ms),
+        epoch_swaps: stats_f64(&stats, "epochs_published"),
+        refits_started: stats_f64(&stats, "refits_started"),
+    };
+    server.shutdown().expect("clean shutdown");
+    report
+}
+
 fn config(num_facts: usize, sweeps: usize, arithmetic: Arithmetic) -> LtmConfig {
     LtmConfig {
         priors: Priors::scaled_specificity(num_facts),
@@ -135,11 +339,12 @@ fn measure_kernel(
 
 fn main() {
     let mut out = PathBuf::from("BENCH_gibbs.json");
+    let mut serve_out = PathBuf::from("BENCH_serve.json");
     let mut repeats = 3usize;
     let mut fast = false;
     let usage = |msg: &str| -> ! {
         eprintln!("{msg}");
-        eprintln!("usage: perf [--out FILE] [--repeats N] [--fast]");
+        eprintln!("usage: perf [--out FILE] [--serve-out FILE] [--repeats N] [--fast]");
         std::process::exit(2);
     };
     let mut args = std::env::args().skip(1);
@@ -147,6 +352,12 @@ fn main() {
         match arg.as_str() {
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a path")))
+            }
+            "--serve-out" => {
+                serve_out = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--serve-out needs a path")),
+                )
             }
             "--repeats" => {
                 repeats = args
@@ -278,4 +489,18 @@ fn main() {
         report.headline_speedup,
         out.display()
     );
+
+    // Serve-path workload over real HTTP (ingest → refit → mixed traffic).
+    let serve_report = measure_serve(fast);
+    println!(
+        "serve: {} claims in store, query p50 {:.2} ms / p99 {:.2} ms, \
+         ingest p50 {:.2} ms, {} epoch swaps",
+        serve_report.store_claims,
+        serve_report.query.p50_ms,
+        serve_report.query.p99_ms,
+        serve_report.ingest.p50_ms,
+        serve_report.epoch_swaps
+    );
+    write_json(&serve_out, &serve_report).expect("write BENCH_serve.json");
+    println!("wrote {}", serve_out.display());
 }

@@ -15,7 +15,7 @@
 //! Enumerating all `2^F` assignments gives the exact marginals
 //! `p(t_f = 1 | o)`, feasible for `F ≤ ~20`. The workspace uses this to
 //! validate that the sampler converges to the true posterior on small
-//! instances (DESIGN.md §6).
+//! instances (DESIGN.md §7).
 
 use ltm_model::{ClaimDb, TruthAssignment};
 use ltm_stats::special::ln_beta;

@@ -15,7 +15,7 @@
 //! running as fast as Voting — and Table 7 shows it matching full LTM
 //! accuracy when quality is learned on sibling data.
 
-use ltm_model::{ClaimDb, TruthAssignment};
+use ltm_model::{ClaimDb, SourceId, TruthAssignment};
 use ltm_stats::special::sigmoid;
 
 use crate::gibbs::LtmFit;
@@ -63,6 +63,51 @@ impl IncrementalLtm {
         Self::new(&fit.quality, priors)
     }
 
+    /// Rebuilds a predictor from previously exported parameters (see
+    /// [`IncrementalLtm::phi1`] / [`IncrementalLtm::phi0`] /
+    /// [`IncrementalLtm::fallback`]) — the snapshot-restore path of
+    /// `ltm-serve`. All probabilities are re-clamped away from 0/1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi1` and `phi0` have different lengths.
+    pub fn from_parts(
+        phi1: Vec<f64>,
+        phi0: Vec<f64>,
+        beta: BetaPair,
+        default_phi1: f64,
+        default_phi0: f64,
+    ) -> Self {
+        assert_eq!(
+            phi1.len(),
+            phi0.len(),
+            "phi1 and phi0 must cover the same sources"
+        );
+        Self {
+            phi1: phi1.into_iter().map(clamp_prob).collect(),
+            phi0: phi0.into_iter().map(clamp_prob).collect(),
+            beta,
+            default_phi1: clamp_prob(default_phi1),
+            default_phi0: clamp_prob(default_phi0),
+        }
+    }
+
+    /// Per-source sensitivity `φ¹`, indexed by `SourceId`.
+    pub fn phi1(&self) -> &[f64] {
+        &self.phi1
+    }
+
+    /// Per-source false-positive rate `φ⁰`, indexed by `SourceId`.
+    pub fn phi0(&self) -> &[f64] {
+        &self.phi0
+    }
+
+    /// The `(φ¹, φ⁰)` fallback used for sources outside the learned id
+    /// space.
+    pub fn fallback(&self) -> (f64, f64) {
+        (self.default_phi1, self.default_phi0)
+    }
+
     /// Sensitivity used for source index `s` (learned or fallback).
     #[inline]
     fn phi1_for(&self, s: usize) -> f64 {
@@ -75,23 +120,36 @@ impl IncrementalLtm {
         self.phi0.get(s).copied().unwrap_or(self.default_phi0)
     }
 
+    /// Equation 3's log-odds for one fact's claims — the single shared
+    /// implementation behind [`IncrementalLtm::predict`] and
+    /// [`IncrementalLtm::predict_fact`].
+    fn log_odds<I: IntoIterator<Item = (SourceId, bool)>>(&self, claims: I) -> f64 {
+        // Work with log-odds: ln β₁/β₀ + Σ_c ln(term₁/term₀).
+        let mut log_odds = (self.beta.pos / self.beta.neg).ln();
+        for (s, o) in claims {
+            let p1 = self.phi1_for(s.index());
+            let p0 = self.phi0_for(s.index());
+            let (l1, l0) = if o { (p1, p0) } else { (1.0 - p1, 1.0 - p0) };
+            log_odds += (l1 / l0).ln();
+        }
+        log_odds
+    }
+
+    /// Applies Equation 3 to a single fact given as its claim list —
+    /// the serving-path entry point: no throwaway [`ClaimDb`] is built per
+    /// request. Unknown source ids fall back to prior-mean quality; an
+    /// empty claim list yields the `β` prior mean.
+    pub fn predict_fact(&self, claims: &[(SourceId, bool)]) -> f64 {
+        sigmoid(self.log_odds(claims.iter().copied()))
+    }
+
     /// Applies Equation 3 to every fact of `db`. Sources of `db` must share
     /// the id space the quality was learned on (unknown ids fall back to
     /// prior-mean quality).
     pub fn predict(&self, db: &ClaimDb) -> TruthAssignment {
         let probs: Vec<f64> = db
             .fact_ids()
-            .map(|f| {
-                // Work with log-odds: ln β₁/β₀ + Σ_c ln(term₁/term₀).
-                let mut log_odds = (self.beta.pos / self.beta.neg).ln();
-                for (s, o) in db.claims_of_fact(f) {
-                    let p1 = self.phi1_for(s.index());
-                    let p0 = self.phi0_for(s.index());
-                    let (l1, l0) = if o { (p1, p0) } else { (1.0 - p1, 1.0 - p0) };
-                    log_odds += (l1 / l0).ln();
-                }
-                sigmoid(log_odds)
-            })
+            .map(|f| sigmoid(self.log_odds(db.claims_of_fact(f))))
             .collect();
         TruthAssignment::new(probs)
     }
@@ -241,6 +299,63 @@ mod tests {
         let t = inc.predict(&db);
         for f in db.fact_ids() {
             assert!(t.prob(f).is_finite());
+        }
+    }
+
+    #[test]
+    fn predict_fact_matches_predict() {
+        let p = predictor([0.9, 0.5], [0.95, 0.8], (2.0, 3.0));
+        let db = db_two_facts();
+        let t = p.predict(&db);
+        for f in db.fact_ids() {
+            let claims: Vec<(SourceId, bool)> = db.claims_of_fact(f).collect();
+            assert_eq!(p.predict_fact(&claims), t.prob(f), "fact {f}");
+        }
+    }
+
+    #[test]
+    fn predict_fact_empty_claims_gives_beta_prior() {
+        let p = predictor([0.9], [0.95], (3.0, 1.0));
+        assert!((p.predict_fact(&[]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_fact_unknown_source_uses_fallback() {
+        let p = predictor([0.9], [0.95], (1.0, 1.0));
+        // Fallbacks in `predictor()`: φ¹ = 0.5, φ⁰ = 0.1 → p = 0.5/0.6.
+        let got = p.predict_fact(&[(SourceId::new(u32::MAX), true)]);
+        assert!((got - 0.5 / 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_parts_round_trips_parameters() {
+        let p = predictor([0.9, 0.5], [0.95, 0.8], (2.0, 5.0));
+        let rebuilt = IncrementalLtm::from_parts(
+            p.phi1().to_vec(),
+            p.phi0().to_vec(),
+            p.beta(),
+            p.fallback().0,
+            p.fallback().1,
+        );
+        let db = db_two_facts();
+        for f in db.fact_ids() {
+            assert_eq!(rebuilt.predict(&db).prob(f), p.predict(&db).prob(f));
+        }
+    }
+
+    #[test]
+    fn from_parts_clamps_degenerate_inputs() {
+        let p = IncrementalLtm::from_parts(
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            BetaPair::new(1.0, 1.0),
+            1.0,
+            0.0,
+        );
+        let db = db_two_facts();
+        for f in db.fact_ids() {
+            let prob = p.predict(&db).prob(f);
+            assert!(prob.is_finite() && (0.0..=1.0).contains(&prob));
         }
     }
 

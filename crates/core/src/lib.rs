@@ -76,4 +76,4 @@ pub use multi_attr::{fit_joint, MultiAttrConfig};
 pub use priors::{BetaPair, Priors, SourcePriors};
 pub use quality::{QualityRecord, SourceQuality};
 pub use realvalued::{RealClaim, RealClaimDb, RealLtmConfig, RealLtmFit};
-pub use streaming::StreamingLtm;
+pub use streaming::{StreamError, StreamingLtm};

@@ -10,13 +10,47 @@
 //! current quality as an [`IncrementalLtm`] (Equation 3) that predicts new
 //! facts with no sampling at all.
 
+use std::fmt;
+
 use ltm_model::{ClaimDb, SourceId};
 
 use crate::counts::ExpectedCounts;
-use crate::gibbs::{self, LtmConfig, LtmFit};
+use crate::gibbs::{self, LtmConfig, LtmFit, MultiChainFit};
 use crate::incremental::IncrementalLtm;
 use crate::priors::{BetaPair, Priors, SourcePriors};
 use crate::quality::SourceQuality;
+
+/// A batch that cannot be folded into the accumulated streaming state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The batch's source-id space is smaller than the accumulated
+    /// [`ExpectedCounts`]. Source ids are positional, so a shrunken id
+    /// space almost always means the batch was interned separately from
+    /// the earlier batches — folding it in would attribute its claims to
+    /// the wrong sources, and its expected counts could not be added to
+    /// the wider accumulator anyway.
+    SourceSpaceShrunk {
+        /// `num_sources` of the offending batch.
+        batch: usize,
+        /// Sources covered by the accumulated counts so far.
+        accumulated: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::SourceSpaceShrunk { batch, accumulated } => write!(
+                f,
+                "batch source-id space shrank: batch covers {batch} sources but the \
+                 accumulated counts cover {accumulated} — batches must be interned in \
+                 one shared id space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 /// Incremental trainer that folds learned quality into the priors of
 /// subsequent batches.
@@ -67,18 +101,71 @@ impl StreamingLtm {
     /// Each batch's sources must live in the same id space (the generators
     /// and readers in this workspace guarantee that by interning source
     /// names consistently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's source-id space is smaller than the
+    /// accumulated counts' (see [`StreamError::SourceSpaceShrunk`]). Use
+    /// [`StreamingLtm::try_observe`] to handle the drift as a typed error.
     pub fn observe(&mut self, batch: &ClaimDb) -> LtmFit {
+        self.try_observe(batch).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`StreamingLtm::observe`], with id-space drift reported as a typed
+    /// error instead of a panic. On error the accumulated state is left
+    /// untouched.
+    pub fn try_observe(&mut self, batch: &ClaimDb) -> Result<LtmFit, StreamError> {
+        self.check_id_space(batch)?;
         let priors = self.current_priors(batch.num_sources());
-        // Decorrelate batches while keeping the run reproducible.
-        let config = LtmConfig {
+        let fit = gibbs::fit_with_source_priors(batch, &self.batch_config(), &priors);
+        self.fold(batch, &fit.expected_counts);
+        Ok(fit)
+    }
+
+    /// Fits a batch with `num_chains` parallel Gibbs chains (pooled
+    /// posterior + Gelman–Rubin `R̂` diagnostics) under the accumulated
+    /// quality priors, then folds the pooled expected counts into the
+    /// accumulator. This is the refit path of `ltm-serve`, whose epoch
+    /// promotion is gated on the returned diagnostics.
+    pub fn try_observe_chains(
+        &mut self,
+        batch: &ClaimDb,
+        num_chains: usize,
+    ) -> Result<MultiChainFit, StreamError> {
+        self.check_id_space(batch)?;
+        let priors = self.current_priors(batch.num_sources());
+        let multi =
+            gibbs::fit_chains_with_source_priors(batch, &self.batch_config(), &priors, num_chains);
+        self.fold(batch, &multi.expected_counts);
+        Ok(multi)
+    }
+
+    /// Rejects batches whose source-id space is smaller than the
+    /// accumulated counts'.
+    fn check_id_space(&self, batch: &ClaimDb) -> Result<(), StreamError> {
+        if batch.num_sources() < self.cumulative.num_sources() {
+            return Err(StreamError::SourceSpaceShrunk {
+                batch: batch.num_sources(),
+                accumulated: self.cumulative.num_sources(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The configuration for the next batch fit: the base configuration
+    /// with the seed decorrelated across batches (reproducibly).
+    fn batch_config(&self) -> LtmConfig {
+        LtmConfig {
             seed: self.config.seed.wrapping_add(self.batches_seen as u64),
             ..self.config
-        };
-        let fit = gibbs::fit_with_source_priors(batch, &config, &priors);
+        }
+    }
+
+    /// Folds one batch's expected counts into the accumulator.
+    fn fold(&mut self, batch: &ClaimDb, counts: &ExpectedCounts) {
         self.cumulative.grow(batch.num_sources());
-        self.cumulative.add_assign(&fit.expected_counts);
+        self.cumulative.add_assign(counts);
         self.batches_seen += 1;
-        fit
     }
 
     /// Source quality implied by everything seen so far (base priors plus
@@ -200,6 +287,72 @@ mod tests {
         let db = ClaimDb::from_parts(facts, claims, 2);
         let t = pred.predict(&db);
         assert!(t.prob(FactId::new(0)) > 0.5);
+    }
+
+    /// A batch over a single source (smaller id space than `batch`'s 2).
+    fn one_source_batch() -> ClaimDb {
+        let facts = vec![Fact {
+            entity: EntityId::new(0),
+            attr: AttrId::new(0),
+        }];
+        let claims = vec![Claim {
+            fact: FactId::new(0),
+            source: SourceId::new(0),
+            observation: true,
+        }];
+        ClaimDb::from_parts(facts, claims, 1)
+    }
+
+    #[test]
+    fn shrunken_source_space_is_typed_error() {
+        let mut s = StreamingLtm::new(config());
+        s.observe(&batch(4, 0));
+        let before = s.batches_seen();
+        let err = s.try_observe(&one_source_batch()).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::SourceSpaceShrunk {
+                batch: 1,
+                accumulated: 2
+            }
+        );
+        assert!(err.to_string().contains("shrank"), "{err}");
+        // The accumulated state is untouched by the rejected batch.
+        assert_eq!(s.batches_seen(), before);
+        let err2 = s.try_observe_chains(&one_source_batch(), 2).unwrap_err();
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn observe_panics_on_shrunken_source_space() {
+        let mut s = StreamingLtm::new(config());
+        s.observe(&batch(4, 0));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.observe(&one_source_batch())
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn growing_source_space_still_accepted() {
+        let mut s = StreamingLtm::new(config());
+        s.observe(&one_source_batch());
+        // A wider batch grows the accumulator rather than erroring.
+        s.try_observe(&batch(4, 0)).unwrap();
+        assert_eq!(s.batches_seen(), 2);
+        assert_eq!(s.quality().num_sources(), 2);
+    }
+
+    #[test]
+    fn observe_chains_folds_counts_and_reports_diagnostics() {
+        let mut chained = StreamingLtm::new(config());
+        let multi = chained.try_observe_chains(&batch(8, 0), 2).unwrap();
+        assert_eq!(multi.diagnostics.num_chains, 2);
+        assert!(multi.diagnostics.max_rhat.is_finite());
+        assert_eq!(chained.batches_seen(), 1);
+        // The fold uses the pooled expected counts: totals match the batch.
+        let q = chained.quality();
+        assert_eq!(q.num_sources(), 2);
     }
 
     #[test]

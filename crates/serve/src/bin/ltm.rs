@@ -1,0 +1,194 @@
+//! `ltm` — the truth-discovery service CLI.
+//!
+//! ```text
+//! ltm serve  [--addr A] [--shards N] [--threads N] [--chains N]
+//!            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]
+//!            [--snapshot FILE] [--port-file FILE]
+//! ltm ingest <TRIPLES.csv> [--addr A] [--batch N]
+//! ltm query  <SOURCE=true|false>... [--addr A]
+//! ```
+//!
+//! `serve` runs the sharded server until `POST /admin/shutdown`;
+//! `ingest` streams a `entity,attribute,source` CSV (the
+//! `ltm_model::io` triples format) into a running server; `query` scores
+//! an ad-hoc claim list and prints the JSON response.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ltm_core::{LtmConfig, SampleSchedule};
+use ltm_serve::http::http_call;
+use ltm_serve::refit::RefitConfig;
+use ltm_serve::server::{ServeConfig, Server};
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage:\n  ltm serve  [--addr A] [--shards N] [--threads N] [--chains N]\n\
+         \x20            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]\n\
+         \x20            [--snapshot FILE] [--port-file FILE]\n\
+         \x20 ltm ingest <TRIPLES.csv> [--addr A] [--batch N]\n\
+         \x20 ltm query  <SOURCE=true|false>... [--addr A]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_or_usage<T: std::str::FromStr>(value: Option<String>, what: &str) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{what} needs a valid value")))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("serve") => serve(args),
+        Some("ingest") => ingest(args),
+        Some("query") => query(args),
+        Some(other) => usage(&format!("unknown subcommand `{other}`")),
+        None => usage("missing subcommand"),
+    }
+}
+
+fn serve(mut args: impl Iterator<Item = String>) {
+    let mut config = ServeConfig {
+        refit: RefitConfig {
+            ltm: LtmConfig {
+                schedule: SampleSchedule::new(100, 20, 1),
+                ..LtmConfig::default()
+            },
+            min_pending: 1000,
+            interval: Duration::from_millis(500),
+            ..RefitConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let mut port_file: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse_or_usage(args.next(), "--addr"),
+            "--shards" => config.shards = parse_or_usage(args.next(), "--shards"),
+            "--threads" => config.threads = parse_or_usage(args.next(), "--threads"),
+            "--chains" => config.refit.chains = parse_or_usage(args.next(), "--chains"),
+            "--refit-claims" => {
+                config.refit.min_pending = parse_or_usage(args.next(), "--refit-claims")
+            }
+            "--refit-millis" => {
+                config.refit.interval =
+                    Duration::from_millis(parse_or_usage(args.next(), "--refit-millis"))
+            }
+            "--rhat-gate" => config.refit.rhat_gate = parse_or_usage(args.next(), "--rhat-gate"),
+            "--snapshot" => config.snapshot = Some(parse_or_usage(args.next(), "--snapshot")),
+            "--port-file" => port_file = Some(parse_or_usage(args.next(), "--port-file")),
+            other => usage(&format!("unknown serve argument `{other}`")),
+        }
+    }
+    let server = Server::start(config).unwrap_or_else(|e| {
+        eprintln!("failed to start: {e}");
+        std::process::exit(1);
+    });
+    println!("ltm serve listening on {}", server.addr());
+    if let Some(path) = &port_file {
+        std::fs::write(path, server.addr().to_string()).unwrap_or_else(|e| {
+            eprintln!("failed to write port file: {e}");
+            std::process::exit(1);
+        });
+    }
+    server.wait_for_shutdown_request();
+    println!("shutdown requested, stopping");
+    if let Err(e) = server.shutdown() {
+        eprintln!("shutdown error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn ingest(mut args: impl Iterator<Item = String>) {
+    let mut file: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut batch = 1000usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse_or_usage(args.next(), "--addr"),
+            "--batch" => batch = parse_or_usage(args.next(), "--batch"),
+            other if file.is_none() && !other.starts_with("--") => {
+                file = Some(PathBuf::from(other))
+            }
+            other => usage(&format!("unknown ingest argument `{other}`")),
+        }
+    }
+    let file = file.unwrap_or_else(|| usage("ingest needs a triples file"));
+    let raw = std::fs::File::open(&file)
+        .map_err(|e| e.to_string())
+        .and_then(|f| {
+            ltm_model::io::read_triples(std::io::BufReader::new(f)).map_err(|e| e.to_string())
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("failed to read {}: {e}", file.display());
+            std::process::exit(1);
+        });
+
+    let triples: Vec<(String, String, String)> = raw
+        .iter_named()
+        .map(|(e, a, s)| (e.to_owned(), a.to_owned(), s.to_owned()))
+        .collect();
+    let mut sent = 0usize;
+    for chunk in triples.chunks(batch.max(1)) {
+        let body = claims_body(chunk);
+        match http_call(&addr, "POST", "/claims", Some(&body)) {
+            Ok((200, _)) => sent += chunk.len(),
+            Ok((status, response)) => {
+                eprintln!("server rejected batch: HTTP {status}: {response}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("ingest failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("ingested {sent} triples from {}", file.display());
+}
+
+/// Renders a `/claims` body from named triples.
+fn claims_body(triples: &[(String, String, String)]) -> String {
+    let rows: Vec<Vec<&String>> = triples.iter().map(|(e, a, s)| vec![e, a, s]).collect();
+    format!(
+        "{{\"triples\":{}}}",
+        serde_json::to_string(&rows).expect("serialize triples")
+    )
+}
+
+fn query(mut args: impl Iterator<Item = String>) {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut claims: Vec<(String, bool)> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse_or_usage(args.next(), "--addr"),
+            other => match other.split_once('=') {
+                Some((source, "true")) => claims.push((source.to_owned(), true)),
+                Some((source, "false")) => claims.push((source.to_owned(), false)),
+                _ => usage(&format!(
+                    "query arguments look like SOURCE=true|false, got `{other}`"
+                )),
+            },
+        }
+    }
+    if claims.is_empty() {
+        usage("query needs at least one SOURCE=true|false claim");
+    }
+    let body = format!(
+        "{{\"claims\":{}}}",
+        serde_json::to_string(&claims).expect("serialize claims")
+    );
+    match http_call(&addr, "POST", "/query", Some(&body)) {
+        Ok((200, response)) => println!("{response}"),
+        Ok((status, response)) => {
+            eprintln!("HTTP {status}: {response}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

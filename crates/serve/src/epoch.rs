@@ -1,0 +1,164 @@
+//! Epoch-swapped predictors.
+//!
+//! Queries never touch model-fitting state: they read an immutable
+//! [`EpochSnapshot`] behind an `Arc`, and the refit daemon publishes a
+//! whole new snapshot by swapping the `Arc` in one short critical
+//! section. The `RwLock` around the `Arc` is held only for the pointer
+//! clone (readers) or the pointer store (writer) — never across a fit or
+//! even a prediction — so a query can stall behind a refit for at most
+//! one pointer-swap, regardless of how long the refit itself runs (see
+//! DESIGN.md §6 for the memory-ordering argument).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use ltm_core::{IncrementalLtm, Priors, SourceQuality};
+
+/// One immutable published predictor generation.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    /// Monotonic epoch number (0 = the prior-only boot predictor).
+    pub epoch: u64,
+    /// The Equation-3 predictor for this epoch.
+    pub predictor: IncrementalLtm,
+    /// Largest per-fact Gelman–Rubin `R̂` of the refit that produced this
+    /// epoch (1.0 for the boot predictor).
+    pub max_rhat: f64,
+    /// Fraction of facts with `R̂ ≤ 1.1` in that refit.
+    pub converged_fraction: f64,
+    /// Claims the refit folded in.
+    pub trained_claims: usize,
+    /// Sources covered by the learned quality.
+    pub trained_sources: usize,
+}
+
+impl EpochSnapshot {
+    /// The epoch-0 boot predictor: prior-mean quality only.
+    pub fn boot(priors: &Priors) -> Self {
+        let empty = SourceQuality::estimate(
+            &ltm_model::ClaimDb::from_parts(vec![], vec![], 0),
+            &ltm_model::TruthAssignment::new(vec![]),
+            priors,
+        );
+        Self {
+            epoch: 0,
+            predictor: IncrementalLtm::new(&empty, priors),
+            max_rhat: 1.0,
+            converged_fraction: 1.0,
+            trained_claims: 0,
+            trained_sources: 0,
+        }
+    }
+}
+
+/// The atomically swapped predictor cell plus publish/reject counters.
+#[derive(Debug)]
+pub struct EpochPredictor {
+    current: RwLock<Arc<EpochSnapshot>>,
+    published: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl EpochPredictor {
+    /// Starts at the epoch-0 boot predictor.
+    pub fn new(priors: &Priors) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(EpochSnapshot::boot(priors))),
+            published: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The current snapshot. Cheap: one read-lock + `Arc` clone.
+    pub fn load(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.current.read().expect("epoch lock"))
+    }
+
+    /// Publishes `snapshot` as the next epoch (its `epoch` field is
+    /// overwritten with `current + 1`) and returns the new epoch number.
+    pub fn publish(&self, mut snapshot: EpochSnapshot) -> u64 {
+        let mut slot = self.current.write().expect("epoch lock");
+        snapshot.epoch = slot.epoch + 1;
+        let epoch = snapshot.epoch;
+        *slot = Arc::new(snapshot);
+        drop(slot);
+        self.published.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// Installs a snapshot restored from disk, keeping its epoch number.
+    pub fn restore(&self, snapshot: EpochSnapshot) {
+        *self.current.write().expect("epoch lock") = Arc::new(snapshot);
+    }
+
+    /// Records a refit whose diagnostics failed the promotion gate.
+    pub fn record_rejection(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Epochs published since boot (restores not counted).
+    pub fn epochs_published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Refits rejected by the promotion gate since boot.
+    pub fn epochs_rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltm_core::BetaPair;
+
+    fn priors() -> Priors {
+        Priors::default()
+    }
+
+    #[test]
+    fn boot_predictor_is_epoch_zero_prior_mean() {
+        let p = EpochPredictor::new(&priors());
+        let snap = p.load();
+        assert_eq!(snap.epoch, 0);
+        // No claims → β prior mean.
+        let b = priors().beta;
+        assert!((snap.predictor.predict_fact(&[]) - b.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_counts() {
+        let p = EpochPredictor::new(&priors());
+        let mut snap = EpochSnapshot::boot(&priors());
+        snap.max_rhat = 1.05;
+        let e1 = p.publish(snap.clone());
+        let e2 = p.publish(snap);
+        assert_eq!((e1, e2), (1, 2));
+        assert_eq!(p.load().epoch, 2);
+        assert_eq!(p.epochs_published(), 2);
+        p.record_rejection();
+        assert_eq!(p.epochs_rejected(), 1);
+    }
+
+    #[test]
+    fn restore_keeps_epoch_number() {
+        let p = EpochPredictor::new(&priors());
+        let mut snap = EpochSnapshot::boot(&priors());
+        snap.epoch = 7;
+        snap.predictor =
+            IncrementalLtm::from_parts(vec![0.9], vec![0.1], BetaPair::new(1.0, 1.0), 0.5, 0.1);
+        p.restore(snap);
+        assert_eq!(p.load().epoch, 7);
+        assert_eq!(p.epochs_published(), 0);
+    }
+
+    #[test]
+    fn load_is_stable_across_publish() {
+        let p = EpochPredictor::new(&priors());
+        let old = p.load();
+        p.publish(EpochSnapshot::boot(&priors()));
+        // The old Arc keeps serving its epoch; no tearing.
+        assert_eq!(old.epoch, 0);
+        assert_eq!(p.load().epoch, 1);
+    }
+}

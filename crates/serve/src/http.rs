@@ -1,0 +1,305 @@
+//! A minimal HTTP/1.1 layer on `std::net` — request parsing, response
+//! writing, a fixed worker pool, and a tiny client.
+//!
+//! Implemented in-repo rather than pulling in a web framework, consistent
+//! with the offline vendored-dependency policy (DESIGN.md §8): the serving
+//! layer needs exactly `Content-Length`-delimited JSON bodies over
+//! `Connection: close` request/response pairs, and nothing more. Chunked
+//! encoding, keep-alive, and TLS are explicitly out of scope.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum accepted request-head (request line + headers) size.
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted body size.
+const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// A parsed request: method, path, and UTF-8 body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the client, verbatim from peers).
+    pub method: String,
+    /// The request target, e.g. `/facts/3`.
+    pub path: String,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// Reads one request from `stream`.
+///
+/// Returns `Err` on malformed framing, oversized heads/bodies, or I/O
+/// failure — the connection is then dropped without a response body the
+/// peer could misinterpret.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+
+    // Accumulate until the blank line that ends the head.
+    let mut head = Vec::new();
+    let mut buf = [0u8; 4096];
+    let body_start = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-head"));
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+    let (head_bytes, rest) = head.split_at(body_start);
+    let mut body = rest[4..].to_vec(); // skip the \r\n\r\n itself
+
+    let head_text = std::str::from_utf8(head_bytes).map_err(|_| bad("non-UTF-8 head"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("missing method"))?;
+    let path = parts.next().ok_or_else(|| bad("missing path"))?;
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body: String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?,
+    })
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a `Connection: close` JSON response.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// A fixed pool of worker threads draining accepted connections.
+#[derive(Debug)]
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<TcpStream>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` workers, each running `handler` on every connection
+    /// it receives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize, handler: Arc<dyn Fn(TcpStream) + Send + Sync>) -> Self {
+        assert!(size > 0, "thread pool needs at least one worker");
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("ltm-http-{i}"))
+                    .spawn(move || loop {
+                        let next = receiver.lock().expect("pool receiver lock").recv();
+                        match next {
+                            Ok(stream) => {
+                                // A panicking handler must not shrink the
+                                // pool: contain it, drop the connection,
+                                // keep serving.
+                                let result =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        handler(stream)
+                                    }));
+                                if result.is_err() {
+                                    eprintln!(
+                                        "[ltm-http] request handler panicked; worker continues"
+                                    );
+                                }
+                            }
+                            Err(_) => return, // sender dropped: shutdown
+                        }
+                    })
+                    .expect("spawn http worker")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Hands a connection to the pool.
+    pub fn dispatch(&self, stream: TcpStream) {
+        if let Some(sender) = &self.sender {
+            // A send error means shutdown already started; drop the
+            // connection.
+            let _ = sender.send(stream);
+        }
+    }
+
+    /// A clone of the dispatch channel (used by the server's accept loop,
+    /// which outlives borrows of the pool).
+    pub(crate) fn sender_clone(&self) -> Option<mpsc::Sender<TcpStream>> {
+        self.sender.clone()
+    }
+
+    /// Closes the queue and joins every worker.
+    pub fn shutdown(mut self) {
+        self.sender.take(); // closes the channel
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A one-shot HTTP client call: `Connection: close`, optional JSON body.
+/// Returns `(status, body)`.
+pub fn http_call<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: ltm\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+    let (head, response_body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated response"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, response_body.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Spins up a listener whose single accepted connection is parsed and
+    /// echoed back through `write_response`.
+    fn echo_server() -> (std::net::SocketAddr, JoinHandle<Request>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            write_response(
+                &mut stream,
+                200,
+                &format!("{{\"echo\":{}}}", req.body.len()),
+            )
+            .unwrap();
+            req
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let (addr, server) = echo_server();
+        let (status, body) = http_call(addr, "POST", "/claims", Some("{\"x\":1}")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"echo\":7}");
+        let req = server.join().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/claims");
+        assert_eq!(req.body, "{\"x\":1}");
+    }
+
+    #[test]
+    fn get_without_body_parses() {
+        let (addr, server) = echo_server();
+        let (status, _) = http_call(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        let req = server.join().unwrap();
+        assert_eq!((req.method.as_str(), req.body.as_str()), ("GET", ""));
+    }
+
+    #[test]
+    fn pool_processes_and_shuts_down() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let pool = ThreadPool::new(
+            2,
+            Arc::new(move |mut s: TcpStream| {
+                let _ = read_request(&mut s);
+                c.fetch_add(1, Ordering::SeqCst);
+                let _ = write_response(&mut s, 200, "{}");
+            }),
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let clients: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(move || http_call(addr, "GET", "/", None).unwrap()))
+            .collect();
+        for _ in 0..4 {
+            let (stream, _) = listener.accept().unwrap();
+            pool.dispatch(stream);
+        }
+        for c in clients {
+            let (status, _) = c.join().unwrap();
+            assert_eq!(status, 200);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,45 @@
+//! **ltm-serve** — the truth-discovery *serving* layer.
+//!
+//! The paper's own pitch for LTMinc (§5.4, Equation 3) is that once
+//! source quality is learned, new claims can be scored as fast as Voting
+//! with no sampling — i.e. it is the natural online read path of a
+//! truth-discovery service. This crate turns the workspace's library into
+//! that service:
+//!
+//! * [`store`] — a **sharded in-memory claim store**: triples are
+//!   hash-partitioned by entity across N shards, each an append log with
+//!   coverage indexes that rebuilds its CSR [`ltm_model::ClaimDb`] on
+//!   refit. Source ids are global across shards.
+//! * [`epoch`] — **epoch-swapped predictors**: reads clone an
+//!   `Arc<EpochSnapshot>` out of one short critical section; the refit
+//!   daemon publishes whole new generations atomically, so queries never
+//!   wait on a fit.
+//! * [`refit`] — the **background refit daemon**: folds the shards
+//!   batch-over-batch through [`ltm_core::StreamingLtm`] with multi-chain
+//!   Gibbs fits, and promotes the result only if its Gelman–Rubin `R̂`
+//!   passes the gate (a regressing refit is rejected and logged).
+//! * [`http`] + [`server`] — a minimal HTTP/1.1 front end on
+//!   `std::net::TcpListener` and a fixed thread pool (no external deps).
+//! * [`snapshot`] — store + quality persistence, so a restarted server
+//!   resumes its last epoch without refitting.
+//!
+//! The `ltm` binary wraps this as a CLI: `ltm serve`, `ltm ingest`,
+//! `ltm query`. See README.md for a curl quickstart and DESIGN.md §6 for
+//! the architecture notes.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod epoch;
+pub mod http;
+pub mod refit;
+pub mod server;
+pub mod snapshot;
+pub mod store;
+
+pub use epoch::{EpochPredictor, EpochSnapshot};
+pub use http::http_call;
+pub use refit::{refit_once, RefitConfig, RefitDaemon, RefitOutcome};
+pub use server::{ServeConfig, Server};
+pub use snapshot::Snapshot;
+pub use store::{FactView, IngestOutcome, ShardedStore, StoreStats};

@@ -1,0 +1,372 @@
+//! The background refit daemon.
+//!
+//! A worker thread wakes when enough triples have accumulated (or a
+//! forced trigger arrives), rebuilds every shard's [`ClaimDb`], and folds
+//! them batch-by-batch through a fresh [`StreamingLtm`] using multi-chain
+//! Gibbs fits — each shard's fit is seeded with the quality priors
+//! accumulated from the shards before it, exactly the paper's §5.4
+//! batch-over-batch scheme with shards as batches. The resulting
+//! cumulative quality becomes a candidate [`EpochSnapshot`].
+//!
+//! **R̂-gated promotion**: the candidate is published only if its worst
+//! per-fact Gelman–Rubin `R̂` is below the configured gate *or* no worse
+//! than the currently served epoch's (an improvement is never rejected).
+//! A rejected refit is counted, logged, and the store's pending counter is
+//! still consumed — otherwise a deterministic non-converging fit would
+//! re-trigger in a hot loop; fresh ingests re-arm the trigger and each
+//! attempt re-seeds its chains.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ltm_core::{LtmConfig, SampleSchedule, StreamError, StreamingLtm};
+
+use crate::epoch::{EpochPredictor, EpochSnapshot};
+use crate::store::ShardedStore;
+
+/// Refit daemon configuration.
+#[derive(Debug, Clone)]
+pub struct RefitConfig {
+    /// Base model configuration (priors, schedule, seed, kernel).
+    pub ltm: LtmConfig,
+    /// Parallel Gibbs chains per shard fit (≥ 2 for meaningful `R̂`).
+    pub chains: usize,
+    /// Promotion gate: reject a refit whose worst `R̂` exceeds this and
+    /// regresses the served epoch.
+    pub rhat_gate: f64,
+    /// Accepted triples that arm an automatic refit.
+    pub min_pending: usize,
+    /// How often the daemon checks the trigger condition.
+    pub interval: Duration,
+}
+
+impl Default for RefitConfig {
+    fn default() -> Self {
+        Self {
+            ltm: LtmConfig {
+                schedule: SampleSchedule::new(100, 20, 1),
+                ..LtmConfig::default()
+            },
+            chains: 2,
+            rhat_gate: 1.2,
+            min_pending: 1,
+            interval: Duration::from_millis(200),
+        }
+    }
+}
+
+/// What one refit attempt did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefitOutcome {
+    /// A new epoch was published.
+    Published {
+        /// The new epoch number.
+        epoch: u64,
+        /// Worst per-fact `R̂` of the refit.
+        max_rhat: f64,
+    },
+    /// Diagnostics regressed past the gate; the served epoch is unchanged.
+    Rejected {
+        /// Worst per-fact `R̂` of the rejected refit.
+        max_rhat: f64,
+        /// The gate it failed.
+        gate: f64,
+    },
+    /// The store held no claims; nothing to fit.
+    Empty,
+    /// A shard batch could not be folded (id-space drift).
+    Failed(StreamError),
+}
+
+/// Runs one full refit over the store and (maybe) publishes an epoch.
+///
+/// `refit_lock` is held for the whole fold — tests grab it first to hold
+/// the daemon hostage and prove queries still serve; `seed_bump`
+/// decorrelates the chains of successive attempts.
+pub fn refit_once(
+    store: &ShardedStore,
+    predictor: &EpochPredictor,
+    config: &RefitConfig,
+    refit_lock: &Mutex<()>,
+    seed_bump: u64,
+) -> RefitOutcome {
+    let _hostage = refit_lock.lock().expect("refit lock");
+    let pending_at_start = store.pending();
+    let dbs = store.shard_databases();
+    let total_claims: usize = dbs.iter().map(|db| db.num_claims()).sum();
+    if total_claims == 0 {
+        return RefitOutcome::Empty;
+    }
+
+    let ltm = LtmConfig {
+        seed: config.ltm.seed.wrapping_add(seed_bump.wrapping_mul(0x9E37)),
+        ..config.ltm
+    };
+    let mut streaming = StreamingLtm::new(ltm);
+    let mut max_rhat: f64 = 1.0;
+    let mut converged_weighted = 0.0;
+    let mut facts_total = 0usize;
+    for db in &dbs {
+        match streaming.try_observe_chains(db, config.chains) {
+            Ok(multi) => {
+                max_rhat = max_rhat.max(multi.diagnostics.max_rhat);
+                converged_weighted += multi.diagnostics.converged_fraction * db.num_facts() as f64;
+                facts_total += db.num_facts();
+            }
+            Err(e) => return RefitOutcome::Failed(e),
+        }
+    }
+
+    let quality = streaming.quality();
+    let candidate = EpochSnapshot {
+        epoch: 0, // overwritten by publish()
+        predictor: ltm_core::IncrementalLtm::new(&quality, &streaming.base_priors()),
+        max_rhat,
+        converged_fraction: if facts_total == 0 {
+            1.0
+        } else {
+            converged_weighted / facts_total as f64
+        },
+        trained_claims: total_claims,
+        trained_sources: quality.num_sources(),
+    };
+
+    // Pending is consumed whether or not the candidate is promoted: the
+    // data *was* folded; only the promotion was vetoed.
+    store.consume_pending(pending_at_start);
+
+    let current = predictor.load();
+    if max_rhat <= config.rhat_gate || max_rhat <= current.max_rhat {
+        let epoch = predictor.publish(candidate);
+        RefitOutcome::Published { epoch, max_rhat }
+    } else {
+        predictor.record_rejection();
+        RefitOutcome::Rejected {
+            max_rhat,
+            gate: config.rhat_gate,
+        }
+    }
+}
+
+/// Shared daemon state behind the trigger condvar.
+#[derive(Debug, Default)]
+struct DaemonState {
+    shutdown: bool,
+    forced: bool,
+}
+
+/// Handle to the background refit thread.
+#[derive(Debug)]
+pub struct RefitDaemon {
+    state: Arc<(Mutex<DaemonState>, Condvar)>,
+    refits_started: Arc<AtomicU64>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RefitDaemon {
+    /// Spawns the daemon thread.
+    pub fn spawn(
+        store: Arc<ShardedStore>,
+        predictor: Arc<EpochPredictor>,
+        config: RefitConfig,
+        refit_lock: Arc<Mutex<()>>,
+    ) -> Self {
+        let state = Arc::new((Mutex::new(DaemonState::default()), Condvar::new()));
+        let refits_started = Arc::new(AtomicU64::new(0));
+        let thread_state = Arc::clone(&state);
+        let thread_refits = Arc::clone(&refits_started);
+        let handle = std::thread::Builder::new()
+            .name("ltm-refit".into())
+            .spawn(move || {
+                let (lock, cv) = &*thread_state;
+                let mut attempt: u64 = 0;
+                loop {
+                    {
+                        let mut st = lock.lock().expect("daemon lock");
+                        while !st.shutdown && !st.forced && store.pending() < config.min_pending {
+                            let (next, _timeout) = cv
+                                .wait_timeout(st, config.interval)
+                                .expect("daemon lock poisoned");
+                            st = next;
+                        }
+                        if st.shutdown {
+                            return;
+                        }
+                        st.forced = false;
+                    }
+                    attempt += 1;
+                    thread_refits.fetch_add(1, Ordering::Relaxed);
+                    let outcome =
+                        refit_once(&store, &predictor, &config, &refit_lock, attempt);
+                    match &outcome {
+                        RefitOutcome::Published { epoch, max_rhat } => {
+                            eprintln!("[ltm-refit] published epoch {epoch} (max R-hat {max_rhat:.3})");
+                        }
+                        RefitOutcome::Rejected { max_rhat, gate } => {
+                            eprintln!("[ltm-refit] rejected refit: max R-hat {max_rhat:.3} > gate {gate:.3}");
+                        }
+                        RefitOutcome::Failed(e) => {
+                            eprintln!("[ltm-refit] refit failed: {e}");
+                        }
+                        RefitOutcome::Empty => {}
+                    }
+                }
+            })
+            .expect("spawn refit daemon");
+        Self {
+            state,
+            refits_started,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Forces a refit pass regardless of the pending threshold.
+    pub fn trigger(&self) {
+        let (lock, cv) = &*self.state;
+        lock.lock().expect("daemon lock").forced = true;
+        cv.notify_all();
+    }
+
+    /// Refit attempts started since boot.
+    pub fn refits_started(&self) -> u64 {
+        self.refits_started.load(Ordering::Relaxed)
+    }
+
+    /// Stops the daemon and joins its thread (idempotent).
+    pub fn shutdown(&self) {
+        let (lock, cv) = &*self.state;
+        if let Ok(mut st) = lock.lock() {
+            st.shutdown = true;
+        }
+        cv.notify_all();
+        let handle = self.handle.lock().expect("daemon handle lock").take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RefitDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> RefitConfig {
+        RefitConfig {
+            ltm: LtmConfig {
+                schedule: SampleSchedule::new(60, 20, 1),
+                ..LtmConfig::default()
+            },
+            chains: 2,
+            rhat_gate: 1.2,
+            min_pending: usize::MAX, // manual triggers only
+            interval: Duration::from_millis(10),
+        }
+    }
+
+    fn seeded_store() -> Arc<ShardedStore> {
+        let store = Arc::new(ShardedStore::new(3));
+        for e in 0..12 {
+            for a in 0..2 {
+                store.ingest(&format!("e{e}"), &format!("a{a}"), "good");
+            }
+            store.ingest(&format!("e{e}"), "a0", "lazy");
+        }
+        store
+    }
+
+    #[test]
+    fn refit_once_publishes_an_epoch() {
+        let store = seeded_store();
+        let cfg = fast_config();
+        let predictor = EpochPredictor::new(&cfg.ltm.priors);
+        let lock = Mutex::new(());
+        let outcome = refit_once(&store, &predictor, &cfg, &lock, 1);
+        match outcome {
+            RefitOutcome::Published { epoch, .. } => assert_eq!(epoch, 1),
+            other => panic!("expected publish, got {other:?}"),
+        }
+        let snap = predictor.load();
+        assert_eq!(snap.trained_claims, store.stats().claims);
+        assert_eq!(store.pending(), 0, "pending consumed");
+        // The learned quality must rank `good` above `lazy` on sensitivity.
+        let good = store.source_id("good").unwrap();
+        let lazy = store.source_id("lazy").unwrap();
+        let p_good = snap.predictor.predict_fact(&[(good, true)]);
+        let p_lazy = snap.predictor.predict_fact(&[(lazy, true)]);
+        assert!(
+            p_good > p_lazy,
+            "good-source claim should carry more weight: {p_good} vs {p_lazy}"
+        );
+    }
+
+    #[test]
+    fn refit_on_empty_store_is_a_noop() {
+        let store = Arc::new(ShardedStore::new(2));
+        let cfg = fast_config();
+        let predictor = EpochPredictor::new(&cfg.ltm.priors);
+        let lock = Mutex::new(());
+        assert_eq!(
+            refit_once(&store, &predictor, &cfg, &lock, 0),
+            RefitOutcome::Empty
+        );
+        assert_eq!(predictor.load().epoch, 0);
+    }
+
+    #[test]
+    fn rhat_gate_rejects_regressions() {
+        let store = seeded_store();
+        let cfg = RefitConfig {
+            // An impossible gate: any R̂ > 0 fails unless it improves on
+            // the served epoch.
+            rhat_gate: 0.0,
+            ..fast_config()
+        };
+        let predictor = EpochPredictor::new(&cfg.ltm.priors);
+        // Pretend the served epoch already has a perfect R̂ so the
+        // "never reject an improvement" clause cannot save the candidate.
+        let mut served = EpochSnapshot::boot(&cfg.ltm.priors);
+        served.max_rhat = 0.0;
+        predictor.restore(served);
+        let lock = Mutex::new(());
+        match refit_once(&store, &predictor, &cfg, &lock, 1) {
+            RefitOutcome::Rejected { gate, .. } => assert_eq!(gate, 0.0),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(predictor.load().epoch, 0, "served epoch unchanged");
+        assert_eq!(predictor.epochs_rejected(), 1);
+        assert_eq!(store.pending(), 0, "pending consumed even on rejection");
+    }
+
+    #[test]
+    fn daemon_trigger_and_shutdown() {
+        let store = seeded_store();
+        let cfg = fast_config();
+        let predictor = Arc::new(EpochPredictor::new(&cfg.ltm.priors));
+        let lock = Arc::new(Mutex::new(()));
+        let daemon = RefitDaemon::spawn(
+            Arc::clone(&store),
+            Arc::clone(&predictor),
+            cfg,
+            Arc::clone(&lock),
+        );
+        daemon.trigger();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while predictor.load().epoch == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never published"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(daemon.refits_started() >= 1);
+        daemon.shutdown();
+    }
+}

@@ -1,0 +1,517 @@
+//! The HTTP front end: routes, JSON schemas, and server lifecycle.
+//!
+//! Endpoints (all JSON, `Connection: close`):
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/claims` | POST | ingest `{"triples": [["entity","attr","source"], …]}` |
+//! | `/facts/{id}` | GET | one fact's names, claims, and current probability |
+//! | `/query` | POST | score an ad-hoc claim list `{"claims": [["source", true], …]}` |
+//! | `/healthz` | GET | liveness + served epoch |
+//! | `/stats` | GET | store/epoch/daemon counters |
+//! | `/admin/refit` | POST | force a refit pass |
+//! | `/admin/snapshot` | POST | save a snapshot (`{"path": "…"}` optional) |
+//! | `/admin/shutdown` | POST | request a graceful stop |
+//!
+//! Queries read the current [`EpochSnapshot`](crate::epoch::EpochSnapshot)
+//! through one `Arc` clone and never wait on the refit daemon; see
+//! DESIGN.md §6.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ltm_model::SourceId;
+use serde::{Deserialize, Serialize};
+
+use crate::epoch::EpochPredictor;
+use crate::http::{read_request, write_response, Request, ThreadPool};
+use crate::refit::{RefitConfig, RefitDaemon};
+use crate::snapshot;
+use crate::store::ShardedStore;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Store shard count.
+    pub shards: usize,
+    /// HTTP worker threads.
+    pub threads: usize,
+    /// Refit daemon configuration.
+    pub refit: RefitConfig,
+    /// Snapshot path: loaded at boot when the file exists, saved on
+    /// graceful shutdown and on `POST /admin/snapshot`.
+    pub snapshot: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            shards: 4,
+            threads: 4,
+            refit: RefitConfig::default(),
+            snapshot: None,
+        }
+    }
+}
+
+/// Everything a request handler needs, shared across workers.
+struct Context {
+    store: Arc<ShardedStore>,
+    predictor: Arc<EpochPredictor>,
+    daemon: Arc<RefitDaemon>,
+    snapshot_path: Option<PathBuf>,
+    requests: AtomicU64,
+    started: Instant,
+    shutdown_requested: (Mutex<bool>, Condvar),
+}
+
+// ---------------------------------------------------------------------------
+// JSON schemas
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Deserialize)]
+struct ClaimsRequest {
+    triples: Vec<Vec<String>>,
+}
+
+#[derive(Debug, Serialize)]
+struct ClaimsResponse {
+    accepted: usize,
+    duplicates: usize,
+    new_facts: usize,
+    pending: usize,
+    epoch: u64,
+}
+
+#[derive(Debug, Deserialize)]
+struct QueryRequest {
+    claims: Vec<(String, bool)>,
+}
+
+#[derive(Debug, Serialize)]
+struct QueryResponse {
+    probability: f64,
+    epoch: u64,
+    unknown_sources: Vec<String>,
+}
+
+#[derive(Debug, Serialize)]
+struct FactResponse {
+    id: u64,
+    entity: String,
+    attribute: String,
+    claims: usize,
+    positive: usize,
+    probability: f64,
+    epoch: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct HealthResponse {
+    status: String,
+    epoch: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct StatsResponse {
+    shards: usize,
+    facts: usize,
+    claims: usize,
+    positive_claims: usize,
+    sources: usize,
+    pending: usize,
+    epoch: u64,
+    epoch_max_rhat: f64,
+    epoch_converged_fraction: f64,
+    epoch_trained_claims: usize,
+    epochs_published: u64,
+    epochs_rejected: u64,
+    refits_started: u64,
+    requests: u64,
+    uptime_secs: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct SnapshotRequest {
+    path: Option<String>,
+}
+
+#[derive(Debug, Serialize)]
+struct ErrorResponse {
+    error: String,
+}
+
+fn json<T: serde::Serialize>(status: u16, value: &T) -> (u16, String) {
+    (
+        status,
+        serde_json::to_string(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+    )
+}
+
+fn error(status: u16, message: impl Into<String>) -> (u16, String) {
+    json(
+        status,
+        &ErrorResponse {
+            error: message.into(),
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+fn route(ctx: &Context, req: &Request) -> (u16, String) {
+    ctx.requests.fetch_add(1, Ordering::Relaxed);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => json(
+            200,
+            &HealthResponse {
+                status: "ok".into(),
+                epoch: ctx.predictor.load().epoch,
+            },
+        ),
+        ("GET", "/stats") => stats(ctx),
+        ("POST", "/claims") => ingest(ctx, &req.body),
+        ("POST", "/query") => query(ctx, &req.body),
+        ("POST", "/admin/refit") => {
+            ctx.daemon.trigger();
+            json(
+                202,
+                &HealthResponse {
+                    status: "refit triggered".into(),
+                    epoch: ctx.predictor.load().epoch,
+                },
+            )
+        }
+        ("POST", "/admin/snapshot") => admin_snapshot(ctx, &req.body),
+        ("POST", "/admin/shutdown") => {
+            let (flag, cv) = &ctx.shutdown_requested;
+            *flag.lock().expect("shutdown flag lock") = true;
+            cv.notify_all();
+            json(
+                202,
+                &HealthResponse {
+                    status: "shutting down".into(),
+                    epoch: ctx.predictor.load().epoch,
+                },
+            )
+        }
+        ("GET", path) if path.starts_with("/facts/") => fact(ctx, &path["/facts/".len()..]),
+        (_, path) => error(404, format!("no route for {path}")),
+    }
+}
+
+fn stats(ctx: &Context) -> (u16, String) {
+    let s = ctx.store.stats();
+    let e = ctx.predictor.load();
+    json(
+        200,
+        &StatsResponse {
+            shards: s.shards,
+            facts: s.facts,
+            claims: s.claims,
+            positive_claims: s.positive_claims,
+            sources: s.sources,
+            pending: s.pending,
+            epoch: e.epoch,
+            epoch_max_rhat: e.max_rhat,
+            epoch_converged_fraction: e.converged_fraction,
+            epoch_trained_claims: e.trained_claims,
+            epochs_published: ctx.predictor.epochs_published(),
+            epochs_rejected: ctx.predictor.epochs_rejected(),
+            refits_started: ctx.daemon.refits_started(),
+            requests: ctx.requests.load(Ordering::Relaxed),
+            uptime_secs: ctx.started.elapsed().as_secs_f64(),
+        },
+    )
+}
+
+fn ingest(ctx: &Context, body: &str) -> (u16, String) {
+    let parsed: ClaimsRequest = match serde_json::from_str(body) {
+        Ok(p) => p,
+        Err(e) => return error(400, format!("bad claims body: {e}")),
+    };
+    // Validate the whole batch before committing any of it, so a 400
+    // never leaves a silently half-ingested prefix behind.
+    if let Some((i, t)) = parsed
+        .triples
+        .iter()
+        .enumerate()
+        .find(|(_, t)| t.len() != 3)
+    {
+        return error(
+            400,
+            format!(
+                "triple {i} has {} fields, expected 3; no triples were ingested",
+                t.len()
+            ),
+        );
+    }
+    let mut accepted = 0;
+    let mut duplicates = 0;
+    let mut new_facts = 0;
+    for t in &parsed.triples {
+        match ctx.store.ingest(&t[0], &t[1], &t[2]) {
+            crate::store::IngestOutcome::NewFact(_) => {
+                accepted += 1;
+                new_facts += 1;
+            }
+            crate::store::IngestOutcome::NewRow(_) => accepted += 1,
+            crate::store::IngestOutcome::Duplicate(_) => duplicates += 1,
+        }
+    }
+    json(
+        200,
+        &ClaimsResponse {
+            accepted,
+            duplicates,
+            new_facts,
+            pending: ctx.store.pending(),
+            epoch: ctx.predictor.load().epoch,
+        },
+    )
+}
+
+fn query(ctx: &Context, body: &str) -> (u16, String) {
+    let parsed: QueryRequest = match serde_json::from_str(body) {
+        Ok(p) => p,
+        Err(e) => return error(400, format!("bad query body: {e}")),
+    };
+    let mut unknown = Vec::new();
+    let claims: Vec<(SourceId, bool)> = parsed
+        .claims
+        .iter()
+        .map(|(name, obs)| {
+            let id = ctx.store.source_id(name).unwrap_or_else(|| {
+                unknown.push(name.clone());
+                // Out-of-range id → the predictor's prior-mean fallback.
+                SourceId::new(u32::MAX)
+            });
+            (id, *obs)
+        })
+        .collect();
+    let snap = ctx.predictor.load();
+    json(
+        200,
+        &QueryResponse {
+            probability: snap.predictor.predict_fact(&claims),
+            epoch: snap.epoch,
+            unknown_sources: unknown,
+        },
+    )
+}
+
+fn fact(ctx: &Context, id_text: &str) -> (u16, String) {
+    let id: u64 = match id_text.parse() {
+        Ok(id) => id,
+        Err(_) => return error(400, format!("bad fact id {id_text:?}")),
+    };
+    let Some(view) = ctx.store.fact(id) else {
+        return error(404, format!("no fact {id}"));
+    };
+    let snap = ctx.predictor.load();
+    json(
+        200,
+        &FactResponse {
+            id: view.id,
+            entity: view.entity,
+            attribute: view.attr,
+            claims: view.claims.len(),
+            positive: view.claims.iter().filter(|(_, o)| *o).count(),
+            probability: snap.predictor.predict_fact(&view.claims),
+            epoch: snap.epoch,
+        },
+    )
+}
+
+fn admin_snapshot(ctx: &Context, body: &str) -> (u16, String) {
+    let requested: Option<PathBuf> = if body.trim().is_empty() {
+        None
+    } else {
+        match serde_json::from_str::<SnapshotRequest>(body) {
+            Ok(r) => r.path.map(PathBuf::from),
+            Err(e) => return error(400, format!("bad snapshot body: {e}")),
+        }
+    };
+    let Some(path) = requested.or_else(|| ctx.snapshot_path.clone()) else {
+        return error(400, "no snapshot path configured or supplied");
+    };
+    match snapshot::save(&ctx.store, &ctx.predictor, &path) {
+        Ok(()) => json(
+            200,
+            &HealthResponse {
+                status: format!("snapshot saved to {}", path.display()),
+                epoch: ctx.predictor.load().epoch,
+            },
+        ),
+        Err(e) => error(500, format!("snapshot failed: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// aborts the accept loop without a final snapshot.
+pub struct Server {
+    addr: SocketAddr,
+    ctx: Arc<Context>,
+    refit_lock: Arc<Mutex<()>>,
+    pool: Option<ThreadPool>,
+    accept: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds, restores the snapshot (if configured and present), and
+    /// spawns the worker pool plus refit daemon.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let store = Arc::new(ShardedStore::new(config.shards));
+        let predictor = Arc::new(EpochPredictor::new(&config.refit.ltm.priors));
+        if let Some(path) = &config.snapshot {
+            if path.exists() {
+                let snap = snapshot::load(path)?;
+                snapshot::restore(&snap, &store, &predictor)?;
+            }
+        }
+        let refit_lock = Arc::new(Mutex::new(()));
+        let daemon = Arc::new(RefitDaemon::spawn(
+            Arc::clone(&store),
+            Arc::clone(&predictor),
+            config.refit.clone(),
+            Arc::clone(&refit_lock),
+        ));
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let ctx = Arc::new(Context {
+            store,
+            predictor,
+            daemon,
+            snapshot_path: config.snapshot.clone(),
+            requests: AtomicU64::new(0),
+            started: Instant::now(),
+            shutdown_requested: (Mutex::new(false), Condvar::new()),
+        });
+
+        let handler_ctx = Arc::clone(&ctx);
+        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> =
+            Arc::new(move |mut stream| match read_request(&mut stream) {
+                Ok(req) => {
+                    let (status, body) = route(&handler_ctx, &req);
+                    let _ = write_response(&mut stream, status, &body);
+                }
+                Err(_) => {
+                    let _ = write_response(&mut stream, 400, "{\"error\":\"malformed request\"}");
+                }
+            });
+        let pool = ThreadPool::new(config.threads, handler);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_pool_sender = pool_sender(&pool);
+        let accept = std::thread::Builder::new()
+            .name("ltm-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        accept_pool_sender(stream);
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            addr,
+            ctx,
+            refit_lock,
+            pool: Some(pool),
+            accept: Some(accept),
+            stop,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared store (test/benchmark access).
+    pub fn store(&self) -> Arc<ShardedStore> {
+        Arc::clone(&self.ctx.store)
+    }
+
+    /// The epoch predictor (test/benchmark access).
+    pub fn predictor(&self) -> Arc<EpochPredictor> {
+        Arc::clone(&self.ctx.predictor)
+    }
+
+    /// The lock the refit daemon holds for the duration of every refit.
+    /// Tests acquire it to hold the daemon hostage and verify queries
+    /// still serve.
+    pub fn refit_lock(&self) -> Arc<Mutex<()>> {
+        Arc::clone(&self.refit_lock)
+    }
+
+    /// Forces a refit pass.
+    pub fn trigger_refit(&self) {
+        self.ctx.daemon.trigger();
+    }
+
+    /// Saves a snapshot to `path` immediately.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> io::Result<()> {
+        snapshot::save(&self.ctx.store, &self.ctx.predictor, path)
+    }
+
+    /// Blocks until a `POST /admin/shutdown` arrives.
+    pub fn wait_for_shutdown_request(&self) {
+        let (flag, cv) = &self.ctx.shutdown_requested;
+        let mut requested = flag.lock().expect("shutdown flag lock");
+        while !*requested {
+            requested = cv.wait(requested).expect("shutdown flag lock poisoned");
+        }
+    }
+
+    /// Graceful stop: refit daemon, accept loop, worker pool — then the
+    /// final snapshot (if configured).
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.ctx.daemon.shutdown();
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+        if let Some(path) = &self.ctx.snapshot_path {
+            snapshot::save(&self.ctx.store, &self.ctx.predictor, path)?;
+        }
+        Ok(())
+    }
+}
+
+/// A dispatch closure for the accept thread (borrow-friendly indirection:
+/// the pool itself stays owned by [`Server`]).
+fn pool_sender(pool: &ThreadPool) -> impl Fn(TcpStream) + Send + 'static {
+    let sender = pool.sender_clone();
+    move |stream| {
+        if let Some(sender) = &sender {
+            let _ = sender.send(stream);
+        }
+    }
+}

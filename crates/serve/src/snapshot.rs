@@ -1,0 +1,272 @@
+//! Snapshot save/restore: store contents + learned quality as one JSON
+//! file, so a restarted server resumes serving its last published epoch
+//! without refitting from scratch.
+//!
+//! The store side is the accepted-triple log in arrival order: replaying
+//! it through a fresh [`ShardedStore`] with the same shard count
+//! reproduces every entity/attribute/source/fact id assignment (ids are
+//! handed out in first-accepted order and duplicates never mint ids).
+//! The predictor side is the raw Equation-3 parameter tables of the
+//! served epoch.
+
+use std::io;
+use std::path::Path;
+
+use ltm_core::{BetaPair, IncrementalLtm};
+use serde::{Deserialize, Serialize};
+
+use crate::epoch::{EpochPredictor, EpochSnapshot};
+use crate::store::ShardedStore;
+
+/// One accepted triple.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TripleRec {
+    /// Entity name.
+    pub entity: String,
+    /// Attribute name.
+    pub attr: String,
+    /// Source name.
+    pub source: String,
+}
+
+/// The served epoch's parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRec {
+    /// Epoch number at save time.
+    pub epoch: u64,
+    /// Per-source sensitivity `φ¹`, indexed by global source id.
+    pub phi1: Vec<f64>,
+    /// Per-source false-positive rate `φ⁰`.
+    pub phi0: Vec<f64>,
+    /// `β` prior pseudo-counts.
+    pub beta_pos: f64,
+    /// See `beta_pos`.
+    pub beta_neg: f64,
+    /// Fallback `φ¹` for unseen sources.
+    pub default_phi1: f64,
+    /// Fallback `φ⁰` for unseen sources.
+    pub default_phi0: f64,
+    /// Diagnostics of the refit that produced the epoch.
+    pub max_rhat: f64,
+    /// See `max_rhat`.
+    pub converged_fraction: f64,
+    /// Claims that refit folded in.
+    pub trained_claims: usize,
+    /// Sources covered by the learned quality.
+    pub trained_sources: usize,
+}
+
+/// The on-disk snapshot format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format version (currently 1).
+    pub version: u32,
+    /// Shard count the log was built with — restore replays into the
+    /// same partitioning so global fact ids survive.
+    pub shards: usize,
+    /// Global source names in id order (informational / validation).
+    pub sources: Vec<String>,
+    /// Accepted triples in arrival order.
+    pub triples: Vec<TripleRec>,
+    /// The served epoch, if any was published before the save.
+    pub epoch: Option<EpochRec>,
+}
+
+/// Captures the current store + served epoch.
+pub fn capture(store: &ShardedStore, predictor: &EpochPredictor) -> Snapshot {
+    let snap = predictor.load();
+    let epoch = if snap.epoch == 0 {
+        None
+    } else {
+        Some(EpochRec {
+            epoch: snap.epoch,
+            phi1: snap.predictor.phi1().to_vec(),
+            phi0: snap.predictor.phi0().to_vec(),
+            beta_pos: snap.predictor.beta().pos,
+            beta_neg: snap.predictor.beta().neg,
+            default_phi1: snap.predictor.fallback().0,
+            default_phi0: snap.predictor.fallback().1,
+            max_rhat: snap.max_rhat,
+            converged_fraction: snap.converged_fraction,
+            trained_claims: snap.trained_claims,
+            trained_sources: snap.trained_sources,
+        })
+    };
+    Snapshot {
+        version: 1,
+        shards: store.num_shards(),
+        sources: store.source_names(),
+        triples: store
+            .log_snapshot()
+            .into_iter()
+            .map(|[entity, attr, source]| TripleRec {
+                entity,
+                attr,
+                source,
+            })
+            .collect(),
+        epoch,
+    }
+}
+
+/// Saves a snapshot as pretty JSON.
+pub fn save(store: &ShardedStore, predictor: &EpochPredictor, path: &Path) -> io::Result<()> {
+    let snapshot = capture(store, predictor);
+    let json = serde_json::to_string_pretty(&snapshot)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json)
+}
+
+/// Loads a snapshot file.
+pub fn load(path: &Path) -> io::Result<Snapshot> {
+    let text = std::fs::read_to_string(path)?;
+    let snapshot: Snapshot = serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if snapshot.version != 1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported snapshot version {}", snapshot.version),
+        ));
+    }
+    Ok(snapshot)
+}
+
+/// Replays a snapshot into `store` (which must be empty and have the
+/// snapshot's shard count) and restores the served epoch into `predictor`.
+pub fn restore(
+    snapshot: &Snapshot,
+    store: &ShardedStore,
+    predictor: &EpochPredictor,
+) -> io::Result<()> {
+    if store.num_shards() != snapshot.shards {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "snapshot was taken with {} shards but the store has {} — fact ids would \
+                 not survive the replay",
+                snapshot.shards,
+                store.num_shards()
+            ),
+        ));
+    }
+    for t in &snapshot.triples {
+        store.ingest(&t.entity, &t.attr, &t.source);
+    }
+    // The replayed rows are already folded into the saved epoch; they must
+    // not re-arm the refit trigger.
+    store.consume_pending(usize::MAX);
+    if store.source_names() != snapshot.sources {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "replay produced a different source-id assignment than the snapshot records",
+        ));
+    }
+    if let Some(rec) = &snapshot.epoch {
+        predictor.restore(EpochSnapshot {
+            epoch: rec.epoch,
+            predictor: IncrementalLtm::from_parts(
+                rec.phi1.clone(),
+                rec.phi0.clone(),
+                BetaPair::new(rec.beta_pos, rec.beta_neg),
+                rec.default_phi1,
+                rec.default_phi0,
+            ),
+            max_rhat: rec.max_rhat,
+            converged_fraction: rec.converged_fraction,
+            trained_claims: rec.trained_claims,
+            trained_sources: rec.trained_sources,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltm_core::Priors;
+    use ltm_model::SourceId;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ltm-serve-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn snapshot_round_trips_store_and_epoch() {
+        let store = ShardedStore::new(3);
+        let priors = Priors::default();
+        let predictor = EpochPredictor::new(&priors);
+        store.ingest("e0", "a0", "s0");
+        store.ingest("e0", "a1", "s1");
+        store.ingest("e1", "a0", "s0");
+        let mut snap = EpochSnapshot::boot(&priors);
+        snap.predictor = IncrementalLtm::from_parts(
+            vec![0.9, 0.4],
+            vec![0.05, 0.3],
+            BetaPair::new(2.0, 3.0),
+            0.5,
+            0.1,
+        );
+        snap.max_rhat = 1.07;
+        snap.trained_claims = 4;
+        predictor.publish(snap);
+
+        let path = temp_path("roundtrip.json");
+        save(&store, &predictor, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, capture(&store, &predictor));
+
+        let store2 = ShardedStore::new(3);
+        let predictor2 = EpochPredictor::new(&priors);
+        restore(&loaded, &store2, &predictor2).unwrap();
+        assert_eq!(store2.stats().facts, store.stats().facts);
+        assert_eq!(store2.source_names(), store.source_names());
+        assert_eq!(store2.pending(), 0, "replayed rows are not pending");
+
+        let before = predictor.load();
+        let after = predictor2.load();
+        assert_eq!(after.epoch, before.epoch);
+        let claims = [(SourceId::new(0), true), (SourceId::new(1), false)];
+        assert_eq!(
+            after.predictor.predict_fact(&claims),
+            before.predictor.predict_fact(&claims),
+            "bit-identical predictions after restore"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_shard_count_mismatch() {
+        let store = ShardedStore::new(2);
+        let priors = Priors::default();
+        let predictor = EpochPredictor::new(&priors);
+        store.ingest("e", "a", "s");
+        let snapshot = capture(&store, &predictor);
+        let wrong = ShardedStore::new(3);
+        let err = restore(&snapshot, &wrong, &predictor).unwrap_err();
+        assert!(err.to_string().contains("shards"), "{err}");
+    }
+
+    #[test]
+    fn epoch_zero_saves_without_epoch_record() {
+        let store = ShardedStore::new(1);
+        let priors = Priors::default();
+        let predictor = EpochPredictor::new(&priors);
+        let snapshot = capture(&store, &predictor);
+        assert!(snapshot.epoch.is_none());
+    }
+
+    #[test]
+    fn load_rejects_future_versions() {
+        let path = temp_path("version.json");
+        std::fs::write(
+            &path,
+            "{\"version\":9,\"shards\":1,\"sources\":[],\"triples\":[],\"epoch\":null}",
+        )
+        .unwrap();
+        let err = load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+}

@@ -1,0 +1,483 @@
+//! The sharded in-memory claim store.
+//!
+//! Triples land in one of `N` shards chosen by hashing the **entity**
+//! name. Partitioning by entity (rather than by the full fact key) keeps
+//! every fact of an entity — and therefore the entity's whole
+//! mutual-exclusion group — inside one shard, so each shard can generate
+//! Definition-3 negative claims locally: a source covers an entity iff it
+//! asserted at least one triple about it, and that coverage is never
+//! split across shards.
+//!
+//! Each shard is an append log of deduplicated rows plus incrementally
+//! maintained coverage indexes; [`ShardedStore::shard_databases`] rebuilds
+//! each shard's CSR [`ClaimDb`] from the log when the refit daemon asks
+//! for it. **Source ids are global** — interned once in
+//! [`ShardedStore`]-level state — because source quality is the
+//! cross-shard signal the whole model exists to learn; every shard
+//! database is emitted over the full global source-id space so their
+//! expected counts can be folded into one accumulator.
+//!
+//! Lock discipline: `sources` (RwLock), each shard (Mutex), the fact
+//! `registry` (RwLock), and the replay `log` (Mutex) are acquired in that
+//! order during ingest; readers that need the registry copy the entry out
+//! and release it *before* touching a shard, so no lock cycle exists.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use ltm_model::interner::Interner;
+use ltm_model::{AttrId, Claim, ClaimDb, EntityId, Fact, FactId, SourceId};
+
+/// Where a globally-numbered fact lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactLocation {
+    /// Shard index.
+    pub shard: usize,
+    /// Fact index local to that shard's [`ClaimDb`].
+    pub local: u32,
+}
+
+/// Outcome of ingesting one triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The triple introduced a brand-new fact (global id attached).
+    NewFact(u64),
+    /// The triple added a new positive row to an existing fact.
+    NewRow(u64),
+    /// The triple was already present (Definition 1 deduplication).
+    Duplicate(u64),
+}
+
+impl IngestOutcome {
+    /// The global fact id the triple resolved to.
+    pub fn fact_id(self) -> u64 {
+        match self {
+            IngestOutcome::NewFact(id)
+            | IngestOutcome::NewRow(id)
+            | IngestOutcome::Duplicate(id) => id,
+        }
+    }
+
+    /// Whether the triple was accepted (not a duplicate).
+    pub fn accepted(self) -> bool {
+        !matches!(self, IngestOutcome::Duplicate(_))
+    }
+}
+
+/// A resolved fact: names plus its current claim list (global source ids).
+#[derive(Debug, Clone)]
+pub struct FactView {
+    /// Global fact id.
+    pub id: u64,
+    /// Entity name.
+    pub entity: String,
+    /// Attribute name.
+    pub attr: String,
+    /// One claim per source covering the entity, in ascending source id.
+    pub claims: Vec<(SourceId, bool)>,
+}
+
+/// Aggregate store statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Shard count.
+    pub shards: usize,
+    /// Distinct facts across all shards.
+    pub facts: usize,
+    /// Claims (positive + generated negative) across all shards.
+    pub claims: usize,
+    /// Positive claims (accepted raw rows).
+    pub positive_claims: usize,
+    /// Global distinct sources.
+    pub sources: usize,
+    /// Accepted rows since the last [`ShardedStore::consume_pending`].
+    pub pending: usize,
+}
+
+/// One shard: a deduplicated row log with coverage indexes.
+#[derive(Debug, Default)]
+struct Shard {
+    entities: Interner<EntityId>,
+    attrs: Interner<AttrId>,
+    /// Deduplication set over `(entity, attr, source)` (local entity/attr
+    /// ids, global source id).
+    rows: HashSet<(u32, u32, u32)>,
+    /// `(entity, attr, global fact id)` per local fact, in creation order —
+    /// local fact id is the index.
+    facts: Vec<(u32, u32, u64)>,
+    fact_index: HashMap<(u32, u32), u32>,
+    /// Per local entity: sorted global source ids covering it.
+    cover: Vec<Vec<u32>>,
+    /// Per local entity: local fact ids, in creation order.
+    entity_facts: Vec<Vec<u32>>,
+}
+
+impl Shard {
+    /// Claims of local fact `f` per Definition 3, ascending source id.
+    fn claims_of(&self, f: u32) -> Vec<(SourceId, bool)> {
+        let (e, a, _) = self.facts[f as usize];
+        self.cover[e as usize]
+            .iter()
+            .map(|&s| (SourceId::new(s), self.rows.contains(&(e, a, s))))
+            .collect()
+    }
+
+    /// Total claims the shard currently implies (Σ per entity:
+    /// facts × covering sources).
+    fn num_claims(&self) -> usize {
+        self.entity_facts
+            .iter()
+            .zip(&self.cover)
+            .map(|(facts, cover)| facts.len() * cover.len())
+            .sum()
+    }
+
+    /// Rebuilds the shard as a CSR [`ClaimDb`] over `num_sources` global
+    /// source ids.
+    fn to_claim_db(&self, num_sources: usize) -> ClaimDb {
+        let facts: Vec<Fact> = self
+            .facts
+            .iter()
+            .map(|&(e, a, _)| Fact {
+                entity: EntityId::new(e),
+                attr: AttrId::new(a),
+            })
+            .collect();
+        let mut claims = Vec::with_capacity(self.num_claims());
+        for (f, &(e, a, _)) in self.facts.iter().enumerate() {
+            for &s in &self.cover[e as usize] {
+                claims.push(Claim {
+                    fact: FactId::from_usize(f),
+                    source: SourceId::new(s),
+                    observation: self.rows.contains(&(e, a, s)),
+                });
+            }
+        }
+        ClaimDb::from_parts(facts, claims, num_sources)
+    }
+}
+
+/// Hash-partitioned claim store. See the module docs for the sharding
+/// scheme and lock discipline.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Mutex<Shard>>,
+    sources: RwLock<Interner<SourceId>>,
+    registry: RwLock<Vec<FactLocation>>,
+    /// Accepted triples in arrival order — replaying this log through a
+    /// fresh store with the same shard count reproduces every id
+    /// assignment (the snapshot-restore invariant).
+    log: Mutex<Vec<[String; 3]>>,
+    pending: AtomicUsize,
+}
+
+impl ShardedStore {
+    /// Creates an empty store with `shards` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            sources: RwLock::new(Interner::new()),
+            registry: RwLock::new(Vec::new()),
+            log: Mutex::new(Vec::new()),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Shard index for an entity name.
+    fn shard_of(&self, entity: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        entity.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Interns a source name globally, returning its id.
+    fn intern_source(&self, name: &str) -> SourceId {
+        if let Some(id) = self.sources.read().expect("sources lock").get(name) {
+            return id;
+        }
+        self.sources.write().expect("sources lock").intern(name)
+    }
+
+    /// Resolves a source name to its global id, if known.
+    pub fn source_id(&self, name: &str) -> Option<SourceId> {
+        self.sources.read().expect("sources lock").get(name)
+    }
+
+    /// Global source names in id order.
+    pub fn source_names(&self) -> Vec<String> {
+        self.sources
+            .read()
+            .expect("sources lock")
+            .iter()
+            .map(|(_, n)| n.to_owned())
+            .collect()
+    }
+
+    /// Number of distinct sources interned so far.
+    pub fn num_sources(&self) -> usize {
+        self.sources.read().expect("sources lock").len()
+    }
+
+    /// Ingests one `(entity, attribute, source)` triple.
+    pub fn ingest(&self, entity: &str, attr: &str, source: &str) -> IngestOutcome {
+        let s = self.intern_source(source).raw();
+        let shard_idx = self.shard_of(entity);
+        let mut shard = self.shards[shard_idx].lock().expect("shard lock");
+        let e = shard.entities.intern(entity).raw();
+        let a = shard.attrs.intern(attr).raw();
+        while shard.cover.len() <= e as usize {
+            shard.cover.push(Vec::new());
+            shard.entity_facts.push(Vec::new());
+        }
+
+        if !shard.rows.insert((e, a, s)) {
+            let local = shard.fact_index[&(e, a)];
+            return IngestOutcome::Duplicate(shard.facts[local as usize].2);
+        }
+        if let Err(pos) = shard.cover[e as usize].binary_search(&s) {
+            shard.cover[e as usize].insert(pos, s);
+        }
+
+        let (global, new_fact) = match shard.fact_index.get(&(e, a)) {
+            Some(&local) => (shard.facts[local as usize].2, false),
+            None => {
+                // New fact: assign the next global id. Registry is only
+                // ever locked while a shard lock is held (never the other
+                // way round), so this nesting cannot deadlock.
+                let mut registry = self.registry.write().expect("registry lock");
+                let global = registry.len() as u64;
+                let local = shard.facts.len() as u32;
+                registry.push(FactLocation {
+                    shard: shard_idx,
+                    local,
+                });
+                drop(registry);
+                shard.facts.push((e, a, global));
+                shard.fact_index.insert((e, a), local);
+                shard.entity_facts[e as usize].push(local);
+                (global, true)
+            }
+        };
+
+        self.log.lock().expect("log lock").push([
+            entity.to_owned(),
+            attr.to_owned(),
+            source.to_owned(),
+        ]);
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        if new_fact {
+            IngestOutcome::NewFact(global)
+        } else {
+            IngestOutcome::NewRow(global)
+        }
+    }
+
+    /// Resolves a global fact id to its names and current claim list.
+    pub fn fact(&self, id: u64) -> Option<FactView> {
+        let loc = *self
+            .registry
+            .read()
+            .expect("registry lock")
+            .get(usize::try_from(id).ok()?)?;
+        // Registry lock is released here; only then is the shard locked.
+        let shard = self.shards[loc.shard].lock().expect("shard lock");
+        let &(e, a, global) = shard.facts.get(loc.local as usize)?;
+        debug_assert_eq!(global, id);
+        Some(FactView {
+            id,
+            entity: shard.entities.resolve(EntityId::new(e)).to_owned(),
+            attr: shard.attrs.resolve(AttrId::new(a)).to_owned(),
+            claims: shard.claims_of(loc.local),
+        })
+    }
+
+    /// Rebuilds every non-empty shard as a [`ClaimDb`] over the global
+    /// source-id space.
+    ///
+    /// Every shard lock is acquired *before* the source count is read:
+    /// ingest interns a triple's source before taking its shard lock, so
+    /// once all shards are held, no stored row can reference a source id
+    /// at or beyond `num_sources()` — reading the count first would race
+    /// with a concurrent ingest interning a new source and panic the CSR
+    /// rebuild. Ingestion stalls only for the rebuild itself, never for
+    /// the fit that follows.
+    pub fn shard_databases(&self) -> Vec<ClaimDb> {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock"))
+            .collect();
+        let num_sources = self.num_sources();
+        guards
+            .iter()
+            .filter(|s| !s.facts.is_empty())
+            .map(|s| s.to_claim_db(num_sources))
+            .collect()
+    }
+
+    /// Accepted rows since the last [`ShardedStore::consume_pending`].
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Subtracts `n` from the pending counter (called by the refit daemon
+    /// after folding a snapshot of the store; rows ingested mid-refit stay
+    /// pending).
+    pub fn consume_pending(&self, n: usize) {
+        let mut cur = self.pending.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.pending.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Aggregate statistics (locks each shard briefly).
+    pub fn stats(&self) -> StoreStats {
+        let mut facts = 0;
+        let mut claims = 0;
+        let mut positive = 0;
+        for s in &self.shards {
+            let s = s.lock().expect("shard lock");
+            facts += s.facts.len();
+            claims += s.num_claims();
+            positive += s.rows.len();
+        }
+        StoreStats {
+            shards: self.shards.len(),
+            facts,
+            claims,
+            positive_claims: positive,
+            sources: self.num_sources(),
+            pending: self.pending(),
+        }
+    }
+
+    /// The accepted-triple log in arrival order (for snapshots).
+    pub fn log_snapshot(&self) -> Vec<[String; 3]> {
+        self.log.lock().expect("log lock").clone()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_store(shards: usize) -> ShardedStore {
+        let store = ShardedStore::new(shards);
+        for (e, a, s) in [
+            ("Harry Potter", "Daniel Radcliffe", "IMDB"),
+            ("Harry Potter", "Emma Watson", "IMDB"),
+            ("Harry Potter", "Rupert Grint", "IMDB"),
+            ("Harry Potter", "Daniel Radcliffe", "Netflix"),
+            ("Harry Potter", "Daniel Radcliffe", "BadSource.com"),
+            ("Harry Potter", "Emma Watson", "BadSource.com"),
+            ("Harry Potter", "Johnny Depp", "BadSource.com"),
+            ("Pirates 4", "Johnny Depp", "Hulu.com"),
+        ] {
+            store.ingest(e, a, s);
+        }
+        store
+    }
+
+    #[test]
+    fn matches_paper_table3_regardless_of_shard_count() {
+        for shards in [1, 2, 7] {
+            let store = table1_store(shards);
+            let stats = store.stats();
+            assert_eq!(stats.facts, 5, "{shards} shards");
+            assert_eq!(stats.claims, 13, "{shards} shards");
+            assert_eq!(stats.positive_claims, 8, "{shards} shards");
+            assert_eq!(stats.sources, 4);
+            let total: usize = store
+                .shard_databases()
+                .iter()
+                .map(|db| db.num_claims())
+                .sum();
+            assert_eq!(total, 13);
+        }
+    }
+
+    #[test]
+    fn ingest_outcomes_and_dedup() {
+        let store = ShardedStore::new(2);
+        let first = store.ingest("e", "a", "s0");
+        assert!(matches!(first, IngestOutcome::NewFact(0)));
+        assert!(matches!(
+            store.ingest("e", "a", "s1"),
+            IngestOutcome::NewRow(0)
+        ));
+        let dup = store.ingest("e", "a", "s0");
+        assert_eq!(dup, IngestOutcome::Duplicate(0));
+        assert!(!dup.accepted());
+        assert_eq!(store.pending(), 2, "duplicates do not count as pending");
+    }
+
+    #[test]
+    fn fact_view_exposes_negative_claims() {
+        let store = ShardedStore::new(3);
+        store.ingest("e", "a0", "s0");
+        store.ingest("e", "a1", "s1");
+        let f0 = store.fact(0).unwrap();
+        assert_eq!((f0.entity.as_str(), f0.attr.as_str()), ("e", "a0"));
+        // Both sources cover entity `e`; s1 did not assert a0.
+        let s0 = store.source_id("s0").unwrap();
+        let s1 = store.source_id("s1").unwrap();
+        assert_eq!(f0.claims, vec![(s0, true), (s1, false)]);
+        assert!(store.fact(99).is_none());
+    }
+
+    #[test]
+    fn replaying_log_reproduces_ids() {
+        let store = table1_store(4);
+        store.ingest("Harry Potter", "Emma Watson", "Netflix");
+        let replayed = ShardedStore::new(4);
+        for [e, a, s] in store.log_snapshot() {
+            replayed.ingest(&e, &a, &s);
+        }
+        assert_eq!(replayed.source_names(), store.source_names());
+        let n = store.stats().facts as u64;
+        assert_eq!(replayed.stats().facts as u64, n);
+        for id in 0..n {
+            let a = store.fact(id).unwrap();
+            let b = replayed.fact(id).unwrap();
+            assert_eq!((a.entity, a.attr, a.claims), (b.entity, b.attr, b.claims));
+        }
+    }
+
+    #[test]
+    fn consume_pending_saturates() {
+        let store = ShardedStore::new(1);
+        store.ingest("e", "a", "s");
+        store.consume_pending(10);
+        assert_eq!(store.pending(), 0);
+    }
+
+    #[test]
+    fn shard_databases_share_global_source_space() {
+        let store = table1_store(8);
+        for db in store.shard_databases() {
+            assert_eq!(db.num_sources(), 4);
+        }
+    }
+}

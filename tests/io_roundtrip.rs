@@ -3,7 +3,8 @@
 
 use latent_truth::datagen::books::{self, BookConfig};
 use latent_truth::model::io::{read_labels, read_triples, write_labels, write_triples};
-use latent_truth::model::ClaimDb;
+use latent_truth::model::{ClaimDb, GroundTruth, RawDatabase, RawDatabaseBuilder};
+use proptest::prelude::*;
 
 #[test]
 fn generated_dataset_roundtrips_through_csv() {
@@ -102,4 +103,77 @@ fn inference_is_invariant_under_roundtrip() {
     // Row order is canonicalised by sorting, so the databases are
     // identical and decisions must agree everywhere.
     assert_eq!(agree, total);
+}
+
+/// Strategy: a raw database over adversarial names — small vocabularies
+/// drawn from a charset that exercises every CSV escape path (commas,
+/// quotes, doubled quotes, spaces, empty names) plus the empty-database
+/// edge case (`0..` triple count).
+///
+/// Newlines are deliberately excluded: the triples format is line-based
+/// (the writer quotes them but the reader is a per-line parser), which
+/// `read_rejects_wrong_arity`-style unit tests pin down separately.
+fn adversarial_database() -> impl Strategy<Value = RawDatabase> {
+    let name = "[a-c,\" _é]{0,5}";
+    proptest::collection::vec((name, name, name), 0..30).prop_map(|triples| {
+        let mut b = RawDatabaseBuilder::new();
+        for (e, a, s) in &triples {
+            b.add(e, a, s);
+        }
+        b.build()
+    })
+}
+
+/// Sorted named rows — the canonical content of a raw database.
+fn named_rows(db: &RawDatabase) -> Vec<(String, String, String)> {
+    let mut rows: Vec<_> = db
+        .iter_named()
+        .map(|(e, a, s)| (e.to_owned(), a.to_owned(), s.to_owned()))
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `write_triples → read_triples` reproduces the database exactly,
+    /// for any names and for the empty database.
+    #[test]
+    fn triples_roundtrip_under_adversarial_names(db in adversarial_database()) {
+        let mut buf = Vec::new();
+        write_triples(&db, &mut buf).unwrap();
+        let back = read_triples(std::io::Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(named_rows(&back), named_rows(&db));
+        prop_assert_eq!(back.len(), db.len());
+
+        // A second round-trip preserves content too (ids may permute, so
+        // byte-identity is not required — row order follows intern order).
+        let mut buf2 = Vec::new();
+        write_triples(&back, &mut buf2).unwrap();
+        let third = read_triples(std::io::Cursor::new(&buf2)).unwrap();
+        prop_assert_eq!(named_rows(&third), named_rows(&db));
+    }
+
+    /// `write_labels → read_labels` reproduces ground truth over the
+    /// round-tripped database, including the no-labels edge case.
+    #[test]
+    fn labels_roundtrip_under_adversarial_names(
+        db in adversarial_database(),
+        keep in 0u8..3,
+    ) {
+        let claims = ClaimDb::from_raw(&db);
+        let mut truth = GroundTruth::new();
+        for f in claims.fact_ids() {
+            // Label a varying subset (possibly none) of the facts.
+            if f.raw() % 3 >= keep as u32 {
+                let fact = claims.fact(f);
+                truth.insert(fact.entity, f, f.raw() % 2 == 0);
+            }
+        }
+        let mut buf = Vec::new();
+        write_labels(&truth, &db, &claims, &mut buf).unwrap();
+        let back = read_labels(std::io::Cursor::new(&buf), &db, &claims).unwrap();
+        prop_assert_eq!(back, truth);
+    }
 }

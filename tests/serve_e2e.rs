@@ -1,0 +1,259 @@
+//! End-to-end tests of the `ltm-serve` subsystem: boot the HTTP server,
+//! ingest over the wire, watch the background refit daemon publish an
+//! epoch, verify query parity with the library, prove queries never block
+//! on a refit, and restart from a snapshot.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use latent_truth::core::priors::BetaPair;
+use latent_truth::core::{IncrementalLtm, LtmConfig, SampleSchedule};
+use latent_truth::model::SourceId;
+use ltm_serve::http::http_call;
+use ltm_serve::refit::RefitConfig;
+use ltm_serve::server::{ServeConfig, Server};
+use ltm_serve::snapshot;
+use serde_json::from_str;
+
+/// Test-speed server config: tiny schedule, manual refit triggers only.
+fn config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 3,
+        threads: 3,
+        refit: RefitConfig {
+            ltm: LtmConfig {
+                schedule: SampleSchedule::new(60, 20, 1),
+                ..LtmConfig::default()
+            },
+            chains: 2,
+            rhat_gate: 2.0,
+            min_pending: usize::MAX,
+            interval: Duration::from_millis(20),
+        },
+        snapshot: None,
+    }
+}
+
+/// A JSON body ingesting a small conflicting-source workload: `good`
+/// asserts two attributes per entity, `lazy` asserts one, `spammy`
+/// asserts a junk attribute per entity.
+fn workload_body(entities: usize) -> String {
+    let mut triples = Vec::new();
+    for e in 0..entities {
+        triples.push(format!("[\"e{e}\",\"a0\",\"good\"]"));
+        triples.push(format!("[\"e{e}\",\"a1\",\"good\"]"));
+        triples.push(format!("[\"e{e}\",\"a0\",\"lazy\"]"));
+        triples.push(format!("[\"e{e}\",\"junk\",\"spammy\"]"));
+    }
+    format!("{{\"triples\":[{}]}}", triples.join(","))
+}
+
+/// Extracts a JSON number field from a flat response body.
+fn field_f64(body: &str, name: &str) -> f64 {
+    let value: serde::Value = from_str(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"));
+    let field = value
+        .get_field(name)
+        .unwrap_or_else(|| panic!("no field {name} in {body}"));
+    match field {
+        serde::Value::Float(f) => *f,
+        serde::Value::Int(i) => *i as f64,
+        serde::Value::UInt(u) => *u as f64,
+        other => panic!("field {name} is not a number: {other:?}"),
+    }
+}
+
+fn wait_for_epoch(addr: std::net::SocketAddr, at_least: f64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = http_call(addr, "GET", "/stats", None).expect("stats");
+        assert_eq!(status, 200, "{body}");
+        if field_f64(&body, "epoch") >= at_least {
+            return;
+        }
+        assert!(Instant::now() < deadline, "no epoch ≥ {at_least}: {body}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn boot_ingest_refit_query_parity_and_snapshot_restart() {
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("ltm-e2e-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&snap_path);
+
+    let mut cfg = config();
+    cfg.snapshot = Some(snap_path.clone());
+    let server = Server::start(cfg.clone()).expect("boot");
+    let addr = server.addr();
+
+    // Liveness before any data.
+    let (status, body) = http_call(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "{body}");
+
+    // Ingest over the wire.
+    let (status, body) = http_call(addr, "POST", "/claims", Some(&workload_body(10))).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(field_f64(&body, "accepted"), 40.0, "{body}");
+
+    // Background refit publishes epoch ≥ 1.
+    server.trigger_refit();
+    wait_for_epoch(addr, 1.0);
+
+    // Query through HTTP…
+    let query = "{\"claims\":[[\"good\",true],[\"lazy\",false],[\"spammy\",true]]}";
+    let (status, body) = http_call(addr, "POST", "/query", Some(query)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let served = field_f64(&body, "probability");
+    assert!((0.0..=1.0).contains(&served), "{body}");
+
+    // …must match predict_fact on the same learned quality within 1e-9.
+    // Rebuild the predictor from a snapshot of the served epoch.
+    server.save_snapshot(&snap_path).unwrap();
+    let saved = snapshot::load(&snap_path).unwrap();
+    let rec = saved.epoch.as_ref().expect("epoch saved");
+    let predictor = IncrementalLtm::from_parts(
+        rec.phi1.clone(),
+        rec.phi0.clone(),
+        BetaPair::new(rec.beta_pos, rec.beta_neg),
+        rec.default_phi1,
+        rec.default_phi0,
+    );
+    let id_of = |name: &str| {
+        SourceId::from_usize(
+            saved
+                .sources
+                .iter()
+                .position(|s| s == name)
+                .unwrap_or_else(|| panic!("source {name} not in snapshot")),
+        )
+    };
+    let direct = predictor.predict_fact(&[
+        (id_of("good"), true),
+        (id_of("lazy"), false),
+        (id_of("spammy"), true),
+    ]);
+    assert!(
+        (served - direct).abs() < 1e-9,
+        "served {served} vs direct {direct}"
+    );
+
+    // A fact endpoint agrees with the library on its own claims too.
+    let (status, fact_body) = http_call(addr, "GET", "/facts/0", None).unwrap();
+    assert_eq!(status, 200, "{fact_body}");
+    let store = server.store();
+    let view = store.fact(0).unwrap();
+    let direct_fact = predictor.predict_fact(&view.claims);
+    assert!((field_f64(&fact_body, "probability") - direct_fact).abs() < 1e-9);
+
+    // Kill the server (graceful shutdown writes the final snapshot)…
+    let epoch_before = field_f64(&http_call(addr, "GET", "/stats", None).unwrap().1, "epoch");
+    server.shutdown().unwrap();
+
+    // …and restart from the snapshot: same epoch, same answers, no refit.
+    let restarted = Server::start(cfg).expect("restart");
+    let addr2 = restarted.addr();
+    let (status, body2) = http_call(addr2, "POST", "/query", Some(query)).unwrap();
+    assert_eq!(status, 200, "{body2}");
+    assert_eq!(
+        field_f64(&body2, "probability"),
+        served,
+        "snapshot restart must preserve answers bit-for-bit"
+    );
+    assert_eq!(field_f64(&body2, "epoch"), epoch_before);
+    let (_, fact2) = http_call(addr2, "GET", "/facts/0", None).unwrap();
+    assert_eq!(
+        field_f64(&fact2, "probability"),
+        field_f64(&fact_body, "probability")
+    );
+    restarted.shutdown().unwrap();
+    let _ = std::fs::remove_file(&snap_path);
+}
+
+#[test]
+fn queries_never_block_on_a_refit() {
+    let server = Server::start(config()).expect("boot");
+    let addr = server.addr();
+    http_call(addr, "POST", "/claims", Some(&workload_body(8))).unwrap();
+
+    // Hold the refit thread hostage: grab the lock it must take for the
+    // whole fold, then force a refit.
+    let hostage = server.refit_lock();
+    let guard = hostage.lock().unwrap();
+    server.trigger_refit();
+    // Give the daemon time to wake up and block on the hostage lock.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Queries (and ingests, and stats) must all serve while the refit is
+    // stuck, on the still-current epoch 0.
+    for _ in 0..5 {
+        let started = Instant::now();
+        let (status, body) = http_call(
+            addr,
+            "POST",
+            "/query",
+            Some("{\"claims\":[[\"good\",true]]}"),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(field_f64(&body, "epoch"), 0.0, "refit must not publish");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "query stalled behind the held refit"
+        );
+    }
+    let (_, stats) = http_call(addr, "GET", "/stats", None).unwrap();
+    assert!(field_f64(&stats, "refits_started") >= 1.0, "{stats}");
+
+    // Release the hostage: the pending refit completes and publishes.
+    drop(guard);
+    wait_for_epoch(addr, 1.0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn http_error_paths_are_json() {
+    let server = Server::start(config()).expect("boot");
+    let addr = server.addr();
+    let (status, body) = http_call(addr, "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    assert!(body.contains("error"), "{body}");
+    let (status, body) = http_call(addr, "POST", "/claims", Some("not json")).unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("error"), "{body}");
+    let (status, body) = http_call(addr, "POST", "/query", Some("{\"claims\":[]}")).unwrap();
+    assert_eq!(status, 200, "empty claim list scores the prior: {body}");
+    let (status, _) = http_call(addr, "GET", "/facts/999", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, body) = http_call(
+        addr,
+        "POST",
+        "/claims",
+        Some("{\"triples\":[[\"only\",\"two\"]]}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("expected 3"), "{body}");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn admin_shutdown_unblocks_waiter() {
+    let server = Server::start(config()).expect("boot");
+    let addr = server.addr();
+    let waiter = {
+        let server = Arc::new(server);
+        let s = Arc::clone(&server);
+        let handle = std::thread::spawn(move || s.wait_for_shutdown_request());
+        let (status, _) = http_call(addr, "POST", "/admin/shutdown", None).unwrap();
+        assert_eq!(status, 202);
+        handle.join().unwrap();
+        server
+    };
+    Arc::try_unwrap(waiter)
+        .ok()
+        .expect("sole owner")
+        .shutdown()
+        .unwrap();
+}

@@ -99,6 +99,21 @@ pub fn field_or_null<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
 // Serialize impls
 // ---------------------------------------------------------------------------
 
+// `Value` passes through both traits unchanged (upstream serde_json's
+// `Value` is likewise self-(de)serializable), so callers can inspect
+// arbitrary JSON without declaring a schema.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! ser_signed {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
