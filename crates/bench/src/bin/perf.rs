@@ -178,6 +178,7 @@ fn measure_serve(fast: bool) -> BenchServe {
             interval: std::time::Duration::from_millis(50),
         },
         snapshot: None,
+        ..ServeConfig::default()
     })
     .expect("boot serve benchmark server");
     let addr = server.addr();

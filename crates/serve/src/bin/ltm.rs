@@ -3,7 +3,7 @@
 //! ```text
 //! ltm serve  [--addr A] [--shards N] [--threads N] [--chains N]
 //!            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]
-//!            [--snapshot FILE] [--port-file FILE]
+//!            [--snapshot FILE] [--port-file FILE] [--io-timeout-millis MS]
 //! ltm ingest <TRIPLES.csv> [--addr A] [--batch N]
 //! ltm query  <SOURCE=true|false>... [--addr A]
 //! ```
@@ -26,7 +26,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage:\n  ltm serve  [--addr A] [--shards N] [--threads N] [--chains N]\n\
          \x20            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]\n\
-         \x20            [--snapshot FILE] [--port-file FILE]\n\
+         \x20            [--snapshot FILE] [--port-file FILE] [--io-timeout-millis MS]\n\
          \x20 ltm ingest <TRIPLES.csv> [--addr A] [--batch N]\n\
          \x20 ltm query  <SOURCE=true|false>... [--addr A]"
     );
@@ -80,6 +80,11 @@ fn serve(mut args: impl Iterator<Item = String>) {
             "--rhat-gate" => config.refit.rhat_gate = parse_or_usage(args.next(), "--rhat-gate"),
             "--snapshot" => config.snapshot = Some(parse_or_usage(args.next(), "--snapshot")),
             "--port-file" => port_file = Some(parse_or_usage(args.next(), "--port-file")),
+            // 0 disables the per-connection deadline (trusted peers only).
+            "--io-timeout-millis" => {
+                config.io_timeout =
+                    Duration::from_millis(parse_or_usage(args.next(), "--io-timeout-millis"))
+            }
             other => usage(&format!("unknown serve argument `{other}`")),
         }
     }

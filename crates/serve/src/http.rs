@@ -12,7 +12,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Maximum accepted request-head (request line + headers) size.
 const MAX_HEAD: usize = 16 * 1024;
@@ -30,13 +30,45 @@ pub struct Request {
     pub body: String,
 }
 
-/// Reads one request from `stream`.
-///
-/// Returns `Err` on malformed framing, oversized heads/bodies, or I/O
-/// failure — the connection is then dropped without a response body the
-/// peer could misinterpret.
+/// Reads one request from `stream` with no deadline (trusted peers:
+/// tests and in-process helpers). Servers should prefer
+/// [`read_request_with_deadline`].
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    read_request_with_deadline(stream, None)
+}
+
+/// Re-arms the socket read timeout with the time remaining until
+/// `deadline`, or fails with `TimedOut` once the deadline has passed.
+/// Making the deadline govern the *whole request* — rather than relying
+/// on a fixed per-read timeout — is what stops a drip-feeding peer from
+/// holding a worker indefinitely by keeping each individual read alive.
+fn arm_deadline(stream: &TcpStream, deadline: Option<Instant>) -> io::Result<()> {
+    let Some(deadline) = deadline else {
+        return Ok(());
+    };
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "request deadline exceeded",
+        ));
+    }
+    stream.set_read_timeout(Some(remaining))
+}
+
+/// Reads one request from `stream`, bounding the whole read (head and
+/// body, across however many packets the peer drips them in) by
+/// `timeout` when given.
+///
+/// Returns `Err` on malformed framing, oversized heads/bodies, deadline
+/// expiry, or I/O failure — the connection is then dropped without a
+/// response body the peer could misinterpret.
+pub fn read_request_with_deadline(
+    stream: &mut TcpStream,
+    timeout: Option<Duration>,
+) -> io::Result<Request> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let deadline = timeout.map(|t| Instant::now() + t);
 
     // Accumulate until the blank line that ends the head.
     let mut head = Vec::new();
@@ -48,6 +80,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         if head.len() > MAX_HEAD {
             return Err(bad("request head too large"));
         }
+        arm_deadline(stream, deadline)?;
         let n = stream.read(&mut buf)?;
         if n == 0 {
             return Err(bad("connection closed mid-head"));
@@ -79,6 +112,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         return Err(bad("body too large"));
     }
     while body.len() < content_length {
+        arm_deadline(stream, deadline)?;
         let n = stream.read(&mut buf)?;
         if n == 0 {
             return Err(bad("connection closed mid-body"));
@@ -271,6 +305,41 @@ mod tests {
         assert_eq!(status, 200);
         let req = server.join().unwrap();
         assert_eq!((req.method.as_str(), req.body.as_str()), ("GET", ""));
+    }
+
+    #[test]
+    fn deadline_caps_a_drip_feeding_peer() {
+        // Each individual read succeeds well inside any per-read timeout;
+        // only a whole-request deadline can stop the drip.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let started = std::time::Instant::now();
+            let result = read_request_with_deadline(&mut stream, Some(Duration::from_millis(300)));
+            (result, started.elapsed())
+        });
+        let mut peer = TcpStream::connect(addr).unwrap();
+        // Drip one header byte every 50ms, never finishing the head.
+        for b in b"GET / HTTP/1.1\r\nX-Drip: ".iter().cycle().take(40) {
+            if peer.write_all(&[*b]).is_err() {
+                break; // server dropped us — expected
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let (result, elapsed) = server.join().unwrap();
+        let err = result.expect_err("drip-fed request must not parse");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ),
+            "expected deadline expiry, got {err:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "server held past the deadline: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -133,16 +133,22 @@ pub fn refit_once(
         trained_sources: quality.num_sources(),
     };
 
-    // Pending is consumed whether or not the candidate is promoted: the
-    // data *was* folded; only the promotion was vetoed.
-    store.consume_pending(pending_at_start);
-
+    // Pending is consumed whether or not the candidate is promoted (the
+    // data *was* folded; only the promotion was vetoed) — but always
+    // AFTER the epoch decision is applied. A snapshot capture reads the
+    // store first and the predictor second, so consuming first would
+    // open a window where capture pairs the OLD epoch with pending
+    // already zero and the folded tail is silently excluded after a
+    // restore; publish-then-consume errs toward a redundant refit
+    // instead.
     let current = predictor.load();
     if max_rhat <= config.rhat_gate || max_rhat <= current.max_rhat {
         let epoch = predictor.publish(candidate);
+        store.consume_pending(pending_at_start);
         RefitOutcome::Published { epoch, max_rhat }
     } else {
         predictor.record_rejection();
+        store.consume_pending(pending_at_start);
         RefitOutcome::Rejected {
             max_rhat,
             gate: config.rhat_gate,

@@ -23,13 +23,13 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ltm_model::SourceId;
 use serde::{Deserialize, Serialize};
 
 use crate::epoch::EpochPredictor;
-use crate::http::{read_request, write_response, Request, ThreadPool};
+use crate::http::{read_request_with_deadline, write_response, Request, ThreadPool};
 use crate::refit::{RefitConfig, RefitDaemon};
 use crate::snapshot;
 use crate::store::ShardedStore;
@@ -48,6 +48,12 @@ pub struct ServeConfig {
     /// Snapshot path: loaded at boot when the file exists, saved on
     /// graceful shutdown and on `POST /admin/snapshot`.
     pub snapshot: Option<PathBuf>,
+    /// Per-connection I/O budget: a whole-request read deadline plus a
+    /// per-write timeout on the response. A peer that connects and then
+    /// stalls or drip-feeds bytes (slow-loris) is dropped once the
+    /// deadline passes instead of wedging a worker thread forever.
+    /// `Duration::ZERO` explicitly disables both.
+    pub io_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +64,7 @@ impl Default for ServeConfig {
             threads: 4,
             refit: RefitConfig::default(),
             snapshot: None,
+            io_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -405,8 +412,21 @@ impl Server {
         });
 
         let handler_ctx = Arc::clone(&ctx);
-        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> =
-            Arc::new(move |mut stream| match read_request(&mut stream) {
+        // Duration::ZERO means "no timeout" — mapped to None explicitly,
+        // because set_read_timeout(Some(ZERO)) is an error in std and
+        // silently swallowing it would disable the slow-loris protection
+        // while appearing configured.
+        let io_timeout = (!config.io_timeout.is_zero()).then_some(config.io_timeout);
+        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(move |mut stream| {
+            // Bound both directions before parsing: a peer that connects
+            // and sends nothing (or stalls, or drips bytes mid-head /
+            // mid-body) must not wedge this worker thread forever. The
+            // read side is a whole-request deadline enforced inside
+            // read_request_with_deadline.
+            if let Some(t) = io_timeout {
+                let _ = stream.set_write_timeout(Some(t));
+            }
+            match read_request_with_deadline(&mut stream, io_timeout) {
                 Ok(req) => {
                     let (status, body) = route(&handler_ctx, &req);
                     let _ = write_response(&mut stream, status, &body);
@@ -414,7 +434,8 @@ impl Server {
                 Err(_) => {
                     let _ = write_response(&mut stream, 400, "{\"error\":\"malformed request\"}");
                 }
-            });
+            }
+        });
         let pool = ThreadPool::new(config.threads, handler);
 
         let stop = Arc::new(AtomicBool::new(false));

@@ -7,7 +7,10 @@
 //! reproduces every entity/attribute/source/fact id assignment (ids are
 //! handed out in first-accepted order and duplicates never mint ids).
 //! The predictor side is the raw Equation-3 parameter tables of the
-//! served epoch.
+//! served epoch, plus the pending watermark: the log can hold rows
+//! ingested after the epoch's last refit, and restore leaves exactly
+//! those rows pending so they still arm the refit trigger after a
+//! restart.
 
 use std::io;
 use std::path::Path;
@@ -68,12 +71,24 @@ pub struct Snapshot {
     pub sources: Vec<String>,
     /// Accepted triples in arrival order.
     pub triples: Vec<TripleRec>,
+    /// Tail of `triples` not yet folded by a refit at save time. Restore
+    /// leaves exactly this many rows pending so they still arm the refit
+    /// trigger after a restart — the saved epoch never saw them. `None`
+    /// in pre-watermark snapshots, which treated the whole log as folded.
+    pub pending: Option<usize>,
     /// The served epoch, if any was published before the save.
     pub epoch: Option<EpochRec>,
 }
 
 /// Captures the current store + served epoch.
 pub fn capture(store: &ShardedStore, predictor: &EpochPredictor) -> Snapshot {
+    // Store state first (one consistent read under the ingest-order
+    // lock), the served epoch second. A refit that publishes in between
+    // can only make the saved epoch *newer* than the saved log, which
+    // errs toward leaving already-folded rows pending (a redundant refit
+    // at the next boot); the reverse order could pair an old epoch with
+    // `pending: 0` and silently exclude the unfolded tail.
+    let (sources, log, pending) = store.persistence_snapshot();
     let snap = predictor.load();
     let epoch = if snap.epoch == 0 {
         None
@@ -95,9 +110,8 @@ pub fn capture(store: &ShardedStore, predictor: &EpochPredictor) -> Snapshot {
     Snapshot {
         version: 1,
         shards: store.num_shards(),
-        sources: store.source_names(),
-        triples: store
-            .log_snapshot()
+        sources,
+        triples: log
             .into_iter()
             .map(|[entity, attr, source]| TripleRec {
                 entity,
@@ -105,16 +119,38 @@ pub fn capture(store: &ShardedStore, predictor: &EpochPredictor) -> Snapshot {
                 source,
             })
             .collect(),
+        pending: Some(pending),
         epoch,
     }
 }
 
 /// Saves a snapshot as pretty JSON.
+///
+/// The write is atomic with respect to crashes: the JSON goes to a
+/// temporary file in the same directory which is then renamed over the
+/// target, so a kill mid-write can never leave a truncated snapshot (or
+/// clobber the previous good one) that would fail the next boot.
 pub fn save(store: &ShardedStore, predictor: &EpochPredictor, path: &Path) -> io::Result<()> {
     let snapshot = capture(store, predictor);
     let json = serde_json::to_string_pretty(&snapshot)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    std::fs::write(path, json)
+    // Unique per call, not just per process: two workers saving the same
+    // path concurrently (racing admin snapshots, or one racing the final
+    // shutdown save) must not interleave writes into a shared temp file
+    // and rename torn JSON into place.
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(".tmp.{}.{seq}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp_name);
+    // Both failure paths remove the temp file: each save mints a unique
+    // name, so leaking it would accumulate litter across retries.
+    std::fs::write(&tmp, json).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Loads a snapshot file.
@@ -152,9 +188,15 @@ pub fn restore(
     for t in &snapshot.triples {
         store.ingest(&t.entity, &t.attr, &t.source);
     }
-    // The replayed rows are already folded into the saved epoch; they must
-    // not re-arm the refit trigger.
-    store.consume_pending(usize::MAX);
+    // Only the rows a refit had folded by save time are marked consumed;
+    // the saved `pending` tail was never seen by the saved epoch and must
+    // still arm the refit trigger after restart — otherwise served
+    // predictions silently exclude data the store visibly holds until
+    // some future ingest re-arms the trigger. Pre-watermark snapshots
+    // (`pending` absent) fall back to the old treat-all-as-folded reading.
+    let pending = snapshot.pending.unwrap_or(0);
+    let folded = snapshot.triples.len().saturating_sub(pending);
+    store.consume_pending(folded);
     if store.source_names() != snapshot.sources {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -223,7 +265,11 @@ mod tests {
         restore(&loaded, &store2, &predictor2).unwrap();
         assert_eq!(store2.stats().facts, store.stats().facts);
         assert_eq!(store2.source_names(), store.source_names());
-        assert_eq!(store2.pending(), 0, "replayed rows are not pending");
+        assert_eq!(
+            store2.pending(),
+            store.pending(),
+            "restore preserves the unfolded tail"
+        );
 
         let before = predictor.load();
         let after = predictor2.load();
@@ -234,6 +280,100 @@ mod tests {
             before.predictor.predict_fact(&claims),
             "bit-identical predictions after restore"
         );
+    }
+
+    #[test]
+    fn restore_leaves_unfolded_tail_pending() {
+        let store = ShardedStore::new(2);
+        let priors = Priors::default();
+        let predictor = EpochPredictor::new(&priors);
+        store.ingest("e0", "a0", "s0");
+        store.ingest("e0", "a1", "s1");
+        store.ingest("e1", "a0", "s0");
+        // A refit folded the first three rows…
+        store.consume_pending(3);
+        // …then two more arrived before the save.
+        store.ingest("e2", "a0", "s1");
+        store.ingest("e2", "a1", "s0");
+        assert_eq!(store.pending(), 2);
+
+        let snapshot = capture(&store, &predictor);
+        assert_eq!(snapshot.pending, Some(2));
+        let store2 = ShardedStore::new(2);
+        restore(&snapshot, &store2, &predictor).unwrap();
+        assert_eq!(
+            store2.pending(),
+            2,
+            "the tail the saved epoch never saw must re-arm the refit trigger"
+        );
+    }
+
+    #[test]
+    fn pre_watermark_snapshots_load_as_fully_folded() {
+        let path = temp_path("no-pending-field.json");
+        std::fs::write(
+            &path,
+            "{\"version\":1,\"shards\":1,\"sources\":[\"s\"],\
+             \"triples\":[{\"entity\":\"e\",\"attr\":\"a\",\"source\":\"s\"}],\
+             \"epoch\":null}",
+        )
+        .unwrap();
+        let snapshot = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(snapshot.pending, None);
+        let store = ShardedStore::new(1);
+        let predictor = EpochPredictor::new(&Priors::default());
+        restore(&snapshot, &store, &predictor).unwrap();
+        assert_eq!(store.pending(), 0, "old snapshots treat the log as folded");
+    }
+
+    #[test]
+    fn save_is_atomic_over_an_existing_snapshot() {
+        let store = ShardedStore::new(1);
+        let priors = Priors::default();
+        let predictor = EpochPredictor::new(&priors);
+        store.ingest("e", "a", "s");
+        let path = temp_path("atomic.json");
+        std::fs::write(&path, "previous good snapshot").unwrap();
+        save(&store, &predictor, &path).unwrap();
+        let reloaded = load(&path).unwrap();
+        assert_eq!(reloaded, capture(&store, &predictor));
+        // No temp file left behind in the target directory.
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&stem) && n != &stem)
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_never_corrupt_it() {
+        use std::sync::Arc;
+        let store = Arc::new(ShardedStore::new(1));
+        let priors = Priors::default();
+        let predictor = Arc::new(EpochPredictor::new(&priors));
+        store.ingest("e", "a", "s");
+        let path = Arc::new(temp_path("concurrent-save.json"));
+        let savers: Vec<_> = (0..8)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let predictor = Arc::clone(&predictor);
+                let path = Arc::clone(&path);
+                std::thread::spawn(move || save(&store, &predictor, &path).unwrap())
+            })
+            .collect();
+        for s in savers {
+            s.join().unwrap();
+        }
+        // Whichever save renamed last, the file must be a whole snapshot.
+        let reloaded = load(&path).unwrap();
+        assert_eq!(reloaded, capture(&store, &predictor));
+        std::fs::remove_file(&*path).ok();
     }
 
     #[test]

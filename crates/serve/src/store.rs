@@ -17,10 +17,17 @@
 //! database is emitted over the full global source-id space so their
 //! expected counts can be folded into one accumulator.
 //!
-//! Lock discipline: `sources` (RwLock), each shard (Mutex), the fact
-//! `registry` (RwLock), and the replay `log` (Mutex) are acquired in that
-//! order during ingest; readers that need the registry copy the entry out
-//! and release it *before* touching a shard, so no lock cycle exists.
+//! Lock discipline: the replay `log` (Mutex) is the outermost **ingest-
+//! order lock** — ingest holds it from before any id is minted until the
+//! log entry is appended, then `sources` (RwLock), the shard (Mutex), and
+//! the fact `registry` (RwLock) nest inside it in that order. Holding the
+//! log across the whole ingest is what makes id minting and log append
+//! one atomic step: without it, two racing ingests on different shards
+//! could mint source/fact ids in one order and append log entries in the
+//! other, and a snapshot replay (which is sequential) would then assign
+//! different ids than the live server handed out. Readers that need the
+//! registry copy the entry out and release it *before* touching a shard,
+//! so no lock cycle exists.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
@@ -169,7 +176,8 @@ pub struct ShardedStore {
     registry: RwLock<Vec<FactLocation>>,
     /// Accepted triples in arrival order — replaying this log through a
     /// fresh store with the same shard count reproduces every id
-    /// assignment (the snapshot-restore invariant).
+    /// assignment (the snapshot-restore invariant). Doubles as the
+    /// ingest-order lock: see the module docs.
     log: Mutex<Vec<[String; 3]>>,
     pending: AtomicUsize,
 }
@@ -228,6 +236,14 @@ impl ShardedStore {
 
     /// Ingests one `(entity, attribute, source)` triple.
     pub fn ingest(&self, entity: &str, attr: &str, source: &str) -> IngestOutcome {
+        // Built before the lock: the allocations don't need serialising,
+        // only id minting and the append do.
+        let entry = [entity.to_owned(), attr.to_owned(), source.to_owned()];
+        // Ingest-order lock: held across id minting AND the log append so
+        // replay order can never disagree with id-assignment order (the
+        // snapshot-restore invariant). Serialises ingest; reads and refit
+        // rebuilds never take it.
+        let mut log = self.log.lock().expect("log lock");
         let s = self.intern_source(source).raw();
         let shard_idx = self.shard_of(entity);
         let mut shard = self.shards[shard_idx].lock().expect("shard lock");
@@ -267,11 +283,7 @@ impl ShardedStore {
             }
         };
 
-        self.log.lock().expect("log lock").push([
-            entity.to_owned(),
-            attr.to_owned(),
-            source.to_owned(),
-        ]);
+        log.push(entry);
         self.pending.fetch_add(1, Ordering::Relaxed);
         if new_fact {
             IngestOutcome::NewFact(global)
@@ -373,6 +385,18 @@ impl ShardedStore {
         self.log.lock().expect("log lock").clone()
     }
 
+    /// One consistent persistence view: `(source names in id order,
+    /// accepted-triple log, pending count)`, all read under the
+    /// ingest-order lock so no concurrent ingest can interleave between
+    /// them. Reading these piecemeal would let a racing ingest mint a
+    /// source that appears in the log copy but not the sources copy —
+    /// and that snapshot fails its own restore validation at the next
+    /// boot.
+    pub fn persistence_snapshot(&self) -> (Vec<String>, Vec<[String; 3]>, usize) {
+        let log = self.log.lock().expect("log lock");
+        (self.source_names(), log.clone(), self.pending())
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -463,6 +487,88 @@ mod tests {
             let b = replayed.fact(id).unwrap();
             assert_eq!((a.entity, a.attr, a.claims), (b.entity, b.attr, b.claims));
         }
+    }
+
+    #[test]
+    fn concurrent_ingest_log_replays_to_identical_ids() {
+        // Regression test for the ingest-order race: id minting and the
+        // log append must be one atomic step, or racing ingests on
+        // different shards can mint source/fact ids in one order and log
+        // in the other — and then the sequential snapshot replay assigns
+        // different ids than the live server handed out.
+        use std::sync::Arc;
+        let store = Arc::new(ShardedStore::new(8));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        // Distinct entities and sources per (thread, i) so
+                        // every triple mints fresh ids in both spaces.
+                        store.ingest(&format!("e{t}-{i}"), "a", &format!("s{t}-{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        let replayed = ShardedStore::new(8);
+        for [e, a, s] in store.log_snapshot() {
+            replayed.ingest(&e, &a, &s);
+        }
+        assert_eq!(
+            replayed.source_names(),
+            store.source_names(),
+            "replay must reproduce the source-id assignment"
+        );
+        let n = store.stats().facts as u64;
+        assert_eq!(replayed.stats().facts as u64, n);
+        for id in 0..n {
+            let a = store.fact(id).unwrap();
+            let b = replayed.fact(id).unwrap();
+            assert_eq!(
+                (a.entity, a.attr, a.claims),
+                (b.entity, b.attr, b.claims),
+                "global fact id {id} must resolve identically after replay"
+            );
+        }
+    }
+
+    #[test]
+    fn persistence_snapshot_is_consistent_under_concurrent_ingest() {
+        // Every source named in the log copy must exist in the sources
+        // copy taken by the same call — otherwise the saved snapshot
+        // fails its own restore validation at the next boot.
+        use std::sync::Arc;
+        let store = Arc::new(ShardedStore::new(4));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        store.ingest(&format!("e{t}-{i}"), "a", &format!("s{t}-{i}"));
+                    }
+                })
+            })
+            .collect();
+        let mut done = false;
+        while !done {
+            done = writers.iter().all(|w| w.is_finished());
+            let (sources, log, pending) = store.persistence_snapshot();
+            let known: HashSet<&str> = sources.iter().map(String::as_str).collect();
+            for [_, _, s] in &log {
+                assert!(known.contains(s.as_str()), "log names unknown source {s}");
+            }
+            // Nothing consumes pending in this test, so the two reads
+            // under one lock hold must agree exactly.
+            assert_eq!(pending, log.len());
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(store.pending(), 2000);
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn config() -> ServeConfig {
             interval: Duration::from_millis(20),
         },
         snapshot: None,
+        ..ServeConfig::default()
     }
 }
 
@@ -209,6 +210,33 @@ fn queries_never_block_on_a_refit() {
     // Release the hostage: the pending refit completes and publishes.
     drop(guard);
     wait_for_epoch(addr, 1.0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn stalled_connections_cannot_wedge_the_worker_pool() {
+    // Slow-loris regression: a peer that connects and sends nothing must
+    // be dropped after the configured io_timeout instead of blocking a
+    // worker forever. Open enough idle connections to occupy every
+    // worker, then prove a real request still gets served.
+    let mut cfg = config();
+    cfg.threads = 2;
+    cfg.io_timeout = Duration::from_millis(200);
+    let server = Server::start(cfg).expect("boot");
+    let addr = server.addr();
+
+    let idle: Vec<_> = (0..3)
+        .map(|_| std::net::TcpStream::connect(addr).expect("connect idle"))
+        .collect();
+    let started = Instant::now();
+    let (status, body) = http_call(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "request stalled behind idle connections: {:?}",
+        started.elapsed()
+    );
+    drop(idle);
     server.shutdown().unwrap();
 }
 
