@@ -122,6 +122,22 @@ impl LatencyStats {
     }
 }
 
+/// One point of the refit-scaling phase: a full refit over the resident
+/// store versus an incremental refit over a small delta at the same size.
+#[derive(Debug, Clone, Serialize)]
+struct RefitScalePoint {
+    /// Claims resident in the store when the full refit ran.
+    resident_claims: usize,
+    /// Wall seconds of the full (from-zero) refit at that size.
+    full_refit_secs: f64,
+    /// Triples in the delta the incremental refit folded.
+    delta_triples: usize,
+    /// Wall seconds of the incremental refit over that delta.
+    incremental_refit_secs: f64,
+    /// `incremental_refit_secs / full_refit_secs` — the delta-refit win.
+    incremental_over_full: f64,
+}
+
 /// The `BENCH_serve.json` schema.
 #[derive(Debug, Clone, Serialize)]
 struct BenchServe {
@@ -144,6 +160,9 @@ struct BenchServe {
     epoch_swaps: f64,
     /// Refit attempts the daemon started.
     refits_started: f64,
+    /// Refit latency as the store grows: full vs incremental (paper
+    /// §5.4 — an increment costs the size of the delta, not the store).
+    refit_scaling: Vec<RefitScalePoint>,
 }
 
 /// Drives the serve path over HTTP and returns the measured report.
@@ -176,6 +195,7 @@ fn measure_serve(fast: bool) -> BenchServe {
             // provably overlap the mixed traffic.
             min_pending: usize::MAX,
             interval: std::time::Duration::from_millis(50),
+            ..RefitConfig::default()
         },
         snapshot: None,
         ..ServeConfig::default()
@@ -239,12 +259,15 @@ fn measure_serve(fast: bool) -> BenchServe {
     let first_epoch_seconds = epoch_started.elapsed().as_secs_f64();
 
     // Mixed phase: 9 queries per 1 ingest, measured per request, with
-    // refits fired at the start and midpoint so epoch swaps demonstrably
-    // overlap the measured traffic.
+    // refits fired early and at the midpoint so epoch swaps demonstrably
+    // overlap the measured traffic. Both triggers land just after an
+    // ingest op (the first ingest is at i = 9): a trigger with no delta
+    // since the last fold is an uncounted Empty pass, and the settle
+    // barrier below would wait forever for its outcome.
     let mut query_ms = Vec::new();
     let mut ingest_ms = Vec::new();
     for i in 0..mixed_ops {
-        if i == 0 || i == mixed_ops / 2 {
+        if i == 10 || i == mixed_ops / 2 {
             server.trigger_refit();
         }
         let started = Instant::now();
@@ -276,11 +299,19 @@ fn measure_serve(fast: bool) -> BenchServe {
     // Let the mid-phase refits land before reading the final counters.
     wait_for_refits_done(3.0, "mixed-phase refits");
     let (_, stats) = http_call(addr, "GET", "/stats", None).expect("final stats");
-    let report = BenchServe {
+    let store_claims = stats_f64(&stats, "claims") as usize;
+    let epoch_swaps = stats_f64(&stats, "epochs_published");
+    let refits_started = stats_f64(&stats, "refits_started");
+    server.shutdown().expect("clean shutdown");
+
+    // Refit-scaling phase on its own (now idle) server.
+    let refit_scaling = measure_refit_scaling(fast);
+
+    BenchServe {
         shards: 4,
         threads: 4,
         ingest_triples: triples.len(),
-        store_claims: stats_f64(&stats, "claims") as usize,
+        store_claims,
         ingest_seconds,
         ingest_triples_per_sec: triples.len() as f64 / ingest_seconds,
         first_epoch_seconds,
@@ -288,11 +319,139 @@ fn measure_serve(fast: bool) -> BenchServe {
         query_fraction: query_ms.len() as f64 / mixed_ops as f64,
         query: LatencyStats::from_millis(query_ms),
         ingest: LatencyStats::from_millis(ingest_ms),
-        epoch_swaps: stats_f64(&stats, "epochs_published"),
-        refits_started: stats_f64(&stats, "refits_started"),
+        epoch_swaps,
+        refits_started,
+        refit_scaling,
+    }
+}
+
+/// Measures refit latency as the resident store grows: at each target
+/// size, one **full** refit over everything versus one **incremental**
+/// refit over a ~1k-triple delta of brand-new facts — the paper's §5.4
+/// claim made measurable: the increment costs `O(Δ)`, not `O(store)`.
+fn measure_refit_scaling(fast: bool) -> Vec<RefitScalePoint> {
+    use ltm_serve::refit::{refit_once, RefitConfig, RefitMode, RefitOutcome, RefitState};
+    use ltm_serve::server::{ServeConfig, Server};
+
+    // Claims per entity: 2 attrs × 20 covering sources = 40.
+    let sources: usize = 20;
+    let entity_targets: &[usize] = if fast {
+        &[50, 250] // 2k / 10k claims
+    } else {
+        &[250, 2_500, 12_500] // 10k / 100k / 500k claims
     };
-    server.shutdown().expect("clean shutdown");
-    report
+    let delta_triples: usize = if fast { 200 } else { 1_000 };
+
+    let config = RefitConfig {
+        ltm: LtmConfig {
+            priors: Priors::scaled_specificity(entity_targets.last().unwrap() * 2),
+            schedule: SampleSchedule::new(60, 20, 1),
+            ..LtmConfig::default()
+        },
+        chains: 2,
+        rhat_gate: 1.5,
+        min_pending: usize::MAX, // this phase drives refits directly
+        ..RefitConfig::default()
+    };
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 4,
+        threads: 2,
+        refit: config.clone(),
+        snapshot: None,
+        ..ServeConfig::default()
+    })
+    .expect("boot refit-scaling server");
+    let store = server.store();
+    let predictor = server.predictor();
+    let state: std::sync::Arc<std::sync::Mutex<RefitState>> = server.refit_state();
+    let refit_lock = server.refit_lock();
+
+    let mut points = Vec::new();
+    let mut next_entity = 0usize;
+    let mut next_delta_entity = 0usize;
+    let mut bump = 0u64;
+    for &target in entity_targets {
+        // Grow the resident store to the target (direct ingest: this
+        // phase measures refits, not HTTP framing).
+        while next_entity < target {
+            // Every source covers every entity; attr parity alternates so
+            // both attrs exist → claims = entities × 2 × sources exactly.
+            for s in 0..sources {
+                let a = (next_entity + s) % 2;
+                store.ingest(
+                    &format!("e{next_entity}"),
+                    &format!("a{a}"),
+                    &format!("s{s}"),
+                );
+            }
+            next_entity += 1;
+        }
+
+        bump += 1;
+        let started = Instant::now();
+        let outcome = refit_once(
+            &store,
+            &predictor,
+            &config,
+            &state,
+            &refit_lock,
+            bump,
+            RefitMode::Full,
+        );
+        let full_refit_secs = started.elapsed().as_secs_f64();
+        let resident_claims = store.stats().claims;
+        assert!(
+            !matches!(outcome, RefitOutcome::Failed(_)),
+            "full refit failed: {outcome:?}"
+        );
+
+        // A small delta of brand-new single-source facts.
+        for _ in 0..delta_triples {
+            store.ingest(
+                &format!("delta{next_delta_entity}"),
+                "a0",
+                &format!("s{}", next_delta_entity % sources),
+            );
+            next_delta_entity += 1;
+        }
+        bump += 1;
+        let started = Instant::now();
+        let outcome = refit_once(
+            &store,
+            &predictor,
+            &config,
+            &state,
+            &refit_lock,
+            bump,
+            RefitMode::Incremental,
+        );
+        let incremental_refit_secs = started.elapsed().as_secs_f64();
+        assert!(
+            !matches!(outcome, RefitOutcome::Failed(_)),
+            "incremental refit failed: {outcome:?}"
+        );
+
+        let point = RefitScalePoint {
+            resident_claims,
+            full_refit_secs,
+            delta_triples,
+            incremental_refit_secs,
+            incremental_over_full: incremental_refit_secs / full_refit_secs,
+        };
+        println!(
+            "refit scaling @ {:>7} claims: full {:>8.2} ms, incremental ({} triples) \
+             {:>7.2} ms ({:.1}% of full)",
+            point.resident_claims,
+            point.full_refit_secs * 1e3,
+            point.delta_triples,
+            point.incremental_refit_secs * 1e3,
+            point.incremental_over_full * 100.0
+        );
+        points.push(point);
+    }
+    server.shutdown().expect("clean refit-scaling shutdown");
+    points
 }
 
 fn config(num_facts: usize, sweeps: usize, arithmetic: Arithmetic) -> LtmConfig {

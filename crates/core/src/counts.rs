@@ -158,6 +158,28 @@ impl ExpectedCounts {
         self.data.len() / 4
     }
 
+    /// The raw cell array, 4 entries per source in `(source, label, obs)`
+    /// order — the persistence surface for snapshotting a streaming
+    /// accumulator (see `ltm-serve`'s snapshot format).
+    pub fn cells(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Rebuilds a table from cells previously obtained via
+    /// [`ExpectedCounts::cells`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is not a whole number of 4-cell source blocks.
+    pub fn from_cells(cells: Vec<f64>) -> Self {
+        assert!(
+            cells.len().is_multiple_of(4),
+            "expected-count cells come in blocks of 4 per source, got {}",
+            cells.len()
+        );
+        Self { data: cells }
+    }
+
     /// Grows the table to cover at least `num_sources` sources.
     pub fn grow(&mut self, num_sources: usize) {
         if num_sources * 4 > self.data.len() {
@@ -271,6 +293,22 @@ mod tests {
         assert!((e.get(s1, false, false) - 0.75).abs() < 1e-12);
         // Totals: every claim contributes p + (1−p) = 1.
         assert!((e.total() - db.num_claims() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cells_round_trip() {
+        let db = tiny_db();
+        let t = TruthAssignment::new(vec![1.0, 0.25]);
+        let e = ExpectedCounts::from_posterior(&db, &t);
+        let rebuilt = ExpectedCounts::from_cells(e.cells().to_vec());
+        assert_eq!(rebuilt, e);
+        assert_eq!(rebuilt.num_sources(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks of 4")]
+    fn from_cells_rejects_ragged_input() {
+        ExpectedCounts::from_cells(vec![0.0; 6]);
     }
 
     #[test]

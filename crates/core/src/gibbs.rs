@@ -345,11 +345,7 @@ pub fn fit_chains_with_source_priors(
     let truth = TruthAssignment::new(pooled);
 
     let rhat = potential_scale_reduction(&per_chain_truth, db, config.schedule.num_samples());
-    let max_rhat = if rhat.is_empty() {
-        1.0
-    } else {
-        rhat.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-    };
+    let max_rhat = worst_rhat(&rhat);
     let mean_rhat = if rhat.is_empty() {
         1.0
     } else {
@@ -377,6 +373,22 @@ pub fn fit_chains_with_source_priors(
             per_chain,
         },
     }
+}
+
+/// The worst (largest) entry of a per-fact `R̂` list, with any NaN mapped
+/// to `+∞` before comparison. A NaN diagnostic comes from a degenerate
+/// chain (zero-variance arithmetic gone wrong) and must read as "not
+/// converged"; a plain `f64::max` fold silently *discards* NaN — its
+/// contract keeps the other operand — so a fit whose only pathological
+/// fact reports NaN would sail through any `max_rhat <= gate` check.
+/// Returns 1.0 for an empty list (no facts: vacuously converged).
+pub fn worst_rhat(rhat: &[f64]) -> f64 {
+    if rhat.is_empty() {
+        return 1.0;
+    }
+    rhat.iter()
+        .map(|&r| if r.is_nan() { f64::INFINITY } else { r })
+        .fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// Per-fact Gelman–Rubin `R̂` from per-chain posterior means.
@@ -844,6 +856,26 @@ mod tests {
         let s = SampleSchedule::new(10, 5, 4);
         assert_eq!(s.num_samples(), 1);
         assert!((1..=10).any(|i| s.samples_at(i)));
+    }
+
+    #[test]
+    fn worst_rhat_treats_nan_as_not_converged() {
+        // Regression: `f64::max` discards NaN (it keeps the other
+        // operand), so a constructed diagnostic list whose only bad entry
+        // is NaN used to fold to 1.0 — "converged" — and pass any
+        // promotion gate. NaN must read as +∞ instead.
+        assert_eq!(worst_rhat(&[1.0, f64::NAN, 1.05]), f64::INFINITY);
+        assert_eq!(worst_rhat(&[f64::NAN]), f64::INFINITY);
+        // The old fold really did lose the NaN — document the trap.
+        let folded = [1.0, f64::NAN]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(folded, 1.0, "f64::max silently drops NaN");
+        // Sane inputs are untouched; infinities propagate.
+        assert_eq!(worst_rhat(&[1.0, 1.3, 1.02]), 1.3);
+        assert_eq!(worst_rhat(&[1.0, f64::INFINITY]), f64::INFINITY);
+        assert_eq!(worst_rhat(&[]), 1.0, "no facts: vacuously converged");
     }
 
     #[test]

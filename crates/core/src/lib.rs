@@ -69,7 +69,8 @@ pub use adversarial::{fit_filtered, AdversarialFilter, FilteredFit};
 pub use counts::{ExpectedCounts, GibbsCounts};
 pub use gibbs::{
     fit, fit_chains, fit_chains_with_source_priors, fit_with_schedules, fit_with_source_priors,
-    Arithmetic, ChainDiagnostics, FitDiagnostics, LtmConfig, LtmFit, MultiChainFit, SampleSchedule,
+    worst_rhat, Arithmetic, ChainDiagnostics, FitDiagnostics, LtmConfig, LtmFit, MultiChainFit,
+    SampleSchedule,
 };
 pub use incremental::IncrementalLtm;
 pub use multi_attr::{fit_joint, MultiAttrConfig};

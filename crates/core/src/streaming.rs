@@ -71,9 +71,42 @@ impl StreamingLtm {
         }
     }
 
+    /// Resumes a trainer from a previously accumulated expected-count
+    /// table — e.g. one restored from a serving snapshot, or carried
+    /// across refit epochs by a long-lived daemon. The next batch is
+    /// fitted with priors that already carry everything `counts` has
+    /// seen; `batches_seen` restores the batch counter so per-batch seed
+    /// decorrelation continues where the saved trainer left off.
+    pub fn from_accumulated(
+        config: LtmConfig,
+        counts: ExpectedCounts,
+        batches_seen: usize,
+    ) -> Self {
+        Self {
+            config,
+            cumulative: counts,
+            batches_seen,
+        }
+    }
+
     /// Number of batches consumed so far.
     pub fn batches_seen(&self) -> usize {
         self.batches_seen
+    }
+
+    /// Replaces the base seed that per-batch chain seeds derive from.
+    /// The serve-layer refit daemon bumps this on every attempt so a
+    /// retried or gate-rejected refit explores with fresh chains instead
+    /// of replaying the previous attempt's trajectory.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.config.seed = seed;
+    }
+
+    /// The cumulative expected-count accumulator (the paper's
+    /// `Σ_batches E[n_{s,i,j}]`) — read it out to persist a trainer and
+    /// resume it later via [`StreamingLtm::from_accumulated`].
+    pub fn accumulated(&self) -> &ExpectedCounts {
+        &self.cumulative
     }
 
     /// The per-source priors the *next* batch will be fitted with.
@@ -353,6 +386,37 @@ mod tests {
         // The fold uses the pooled expected counts: totals match the batch.
         let q = chained.quality();
         assert_eq!(q.num_sources(), 2);
+    }
+
+    #[test]
+    fn from_accumulated_resumes_where_the_saved_trainer_left_off() {
+        // Train a reference trainer over two batches, snapshot it after
+        // the first, resume, fold the second batch — every observable
+        // (priors, quality, batch counter) must match the uninterrupted
+        // trainer exactly, because the resumed one replays the identical
+        // per-batch seeds.
+        let mut reference = StreamingLtm::new(config());
+        reference.observe(&batch(6, 0));
+        let saved_cells = reference.accumulated().cells().to_vec();
+        let saved_batches = reference.batches_seen();
+        reference.observe(&batch(6, 100));
+
+        let mut resumed = StreamingLtm::from_accumulated(
+            config(),
+            ExpectedCounts::from_cells(saved_cells),
+            saved_batches,
+        );
+        assert_eq!(resumed.batches_seen(), 1);
+        resumed.observe(&batch(6, 100));
+        assert_eq!(resumed.batches_seen(), reference.batches_seen());
+        assert_eq!(resumed.accumulated(), reference.accumulated());
+        for s in [SourceId::new(0), SourceId::new(1)] {
+            assert_eq!(
+                resumed.quality().sensitivity(s),
+                reference.quality().sensitivity(s),
+                "resumed trainer must be bit-identical for source {s}"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ```text
 //! ltm serve  [--addr A] [--shards N] [--threads N] [--chains N]
 //!            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]
-//!            [--snapshot FILE] [--port-file FILE] [--io-timeout-millis MS]
+//!            [--full-refit-every N] [--snapshot FILE] [--port-file FILE]
+//!            [--io-timeout-millis MS]
 //! ltm ingest <TRIPLES.csv> [--addr A] [--batch N]
 //! ltm query  <SOURCE=true|false>... [--addr A]
 //! ```
@@ -26,7 +27,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage:\n  ltm serve  [--addr A] [--shards N] [--threads N] [--chains N]\n\
          \x20            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]\n\
-         \x20            [--snapshot FILE] [--port-file FILE] [--io-timeout-millis MS]\n\
+         \x20            [--full-refit-every N] [--snapshot FILE] [--port-file FILE]\n\
+         \x20            [--io-timeout-millis MS]\n\
          \x20 ltm ingest <TRIPLES.csv> [--addr A] [--batch N]\n\
          \x20 ltm query  <SOURCE=true|false>... [--addr A]"
     );
@@ -78,6 +80,11 @@ fn serve(mut args: impl Iterator<Item = String>) {
                     Duration::from_millis(parse_or_usage(args.next(), "--refit-millis"))
             }
             "--rhat-gate" => config.refit.rhat_gate = parse_or_usage(args.next(), "--rhat-gate"),
+            // Every Nth daemon refit reconciles the incremental
+            // accumulator with a from-zero rebuild; 0 disables.
+            "--full-refit-every" => {
+                config.refit.full_refit_every = parse_or_usage(args.next(), "--full-refit-every")
+            }
             "--snapshot" => config.snapshot = Some(parse_or_usage(args.next(), "--snapshot")),
             "--port-file" => port_file = Some(parse_or_usage(args.next(), "--port-file")),
             // 0 disables the per-connection deadline (trusted peers only).

@@ -70,22 +70,31 @@ pub fn read_request_with_deadline(
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
     let deadline = timeout.map(|t| Instant::now() + t);
 
-    // Accumulate until the blank line that ends the head.
+    // Accumulate until the blank line that ends the head. The size bound
+    // is enforced when the buffer grows, not merely before the next read:
+    // checking only at the top of the loop would let a peer push the
+    // buffer to `MAX_HEAD + 4096` bytes (one full read chunk past the
+    // bound) before rejection. Reads are additionally capped so the
+    // buffer itself can never exceed `MAX_HEAD + 1` bytes — one byte over
+    // is exactly enough to detect the violation. (A buffer longer than
+    // `MAX_HEAD` is still legal once the terminator is inside it: the
+    // excess is body bytes, handed to the body loop below.)
     let mut head = Vec::new();
     let mut buf = [0u8; 4096];
     let body_start = loop {
         if let Some(pos) = find_head_end(&head) {
             break pos;
         }
-        if head.len() > MAX_HEAD {
-            return Err(bad("request head too large"));
-        }
         arm_deadline(stream, deadline)?;
-        let n = stream.read(&mut buf)?;
+        let cap = (MAX_HEAD + 1 - head.len()).min(buf.len());
+        let n = stream.read(&mut buf[..cap])?;
         if n == 0 {
             return Err(bad("connection closed mid-head"));
         }
         head.extend_from_slice(&buf[..n]);
+        if head.len() > MAX_HEAD && find_head_end(&head).is_none() {
+            return Err(bad("request head too large"));
+        }
     };
     let (head_bytes, rest) = head.split_at(body_start);
     let mut body = rest[4..].to_vec(); // skip the \r\n\r\n itself
@@ -340,6 +349,52 @@ mod tests {
             elapsed < Duration::from_secs(2),
             "server held past the deadline: {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn head_bound_is_enforced_at_the_boundary() {
+        // Reject: MAX_HEAD + 1 bytes with no terminator must fail with
+        // "too large" — the buffer may never be pushed a whole read chunk
+        // (4096 bytes) past the bound before rejection.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream)
+        });
+        let mut peer = TcpStream::connect(addr).unwrap();
+        let mut oversized = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        oversized.resize(MAX_HEAD + 1, b'a');
+        // One write: the server must reject from its own accounting, not
+        // because the peer stopped sending.
+        peer.write_all(&oversized).unwrap();
+        let err = server.join().unwrap().expect_err("oversized head parsed");
+        assert!(err.to_string().contains("too large"), "{err}");
+
+        // Accept: a head whose terminator ends exactly at MAX_HEAD parses,
+        // and trailing body bytes in the same packet are preserved even
+        // though they push the raw buffer past the bound.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream)
+        });
+        let body = "0123456789";
+        let mut exact = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\nX-Pad: ",
+            body.len()
+        )
+        .into_bytes();
+        exact.resize(MAX_HEAD - 4, b'a');
+        exact.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(exact.len(), MAX_HEAD);
+        exact.extend_from_slice(body.as_bytes());
+        let mut peer = TcpStream::connect(addr).unwrap();
+        peer.write_all(&exact).unwrap();
+        let req = server.join().unwrap().expect("boundary head must parse");
+        assert_eq!(req.path, "/x");
+        assert_eq!(req.body, body);
     }
 
     #[test]

@@ -14,14 +14,18 @@
 //!   `Arc<EpochSnapshot>` out of one short critical section; the refit
 //!   daemon publishes whole new generations atomically, so queries never
 //!   wait on a fit.
-//! * [`refit`] — the **background refit daemon**: folds the shards
-//!   batch-over-batch through [`ltm_core::StreamingLtm`] with multi-chain
-//!   Gibbs fits, and promotes the result only if its Gelman–Rubin `R̂`
-//!   passes the gate (a regressing refit is rejected and logged).
+//! * [`refit`] — the **background refit daemon**: keeps one long-lived
+//!   [`ltm_core::StreamingLtm`] accumulator across epochs and folds only
+//!   the store's **delta** (facts dirtied since the fold watermark) with
+//!   multi-chain Gibbs fits — `O(Δ)` per refit, with periodic full
+//!   reconciliation passes — and promotes the result only if its
+//!   Gelman–Rubin `R̂` passes the gate (a regressing refit is rejected
+//!   and logged; a failing one backs off exponentially).
 //! * [`http`] + [`server`] — a minimal HTTP/1.1 front end on
 //!   `std::net::TcpListener` and a fixed thread pool (no external deps).
-//! * [`snapshot`] — store + quality persistence, so a restarted server
-//!   resumes its last epoch without refitting.
+//! * [`snapshot`] — store + quality + accumulator persistence, so a
+//!   restarted server resumes its last epoch *and* keeps refitting
+//!   incrementally instead of cold-refitting.
 //!
 //! The `ltm` binary wraps this as a CLI: `ltm serve`, `ltm ingest`,
 //! `ltm query`. See README.md for a curl quickstart and DESIGN.md §6 for
@@ -39,7 +43,9 @@ pub mod store;
 
 pub use epoch::{EpochPredictor, EpochSnapshot};
 pub use http::http_call;
-pub use refit::{refit_once, RefitConfig, RefitDaemon, RefitOutcome};
+pub use refit::{
+    refit_once, RefitConfig, RefitCounters, RefitDaemon, RefitMode, RefitOutcome, RefitState,
+};
 pub use server::{ServeConfig, Server};
 pub use snapshot::Snapshot;
-pub use store::{FactView, IngestOutcome, ShardedStore, StoreStats};
+pub use store::{FactView, IngestOutcome, ShardedStore, StoreDelta, StoreStats};

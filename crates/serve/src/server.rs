@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::epoch::EpochPredictor;
 use crate::http::{read_request_with_deadline, write_response, Request, ThreadPool};
-use crate::refit::{RefitConfig, RefitDaemon};
+use crate::refit::{RefitConfig, RefitDaemon, RefitState};
 use crate::snapshot;
 use crate::store::ShardedStore;
 
@@ -74,6 +74,7 @@ struct Context {
     store: Arc<ShardedStore>,
     predictor: Arc<EpochPredictor>,
     daemon: Arc<RefitDaemon>,
+    refit_state: Arc<Mutex<RefitState>>,
     snapshot_path: Option<PathBuf>,
     requests: AtomicU64,
     started: Instant,
@@ -142,6 +143,12 @@ struct StatsResponse {
     epochs_published: u64,
     epochs_rejected: u64,
     refits_started: u64,
+    refits_incremental: u64,
+    refits_full: u64,
+    refits_failed: u64,
+    last_incremental_refit_secs: f64,
+    last_full_refit_secs: f64,
+    fold_watermark: u64,
     requests: u64,
     uptime_secs: f64,
 }
@@ -189,15 +196,8 @@ fn route(ctx: &Context, req: &Request) -> (u16, String) {
         ("GET", "/stats") => stats(ctx),
         ("POST", "/claims") => ingest(ctx, &req.body),
         ("POST", "/query") => query(ctx, &req.body),
-        ("POST", "/admin/refit") => {
-            ctx.daemon.trigger();
-            json(
-                202,
-                &HealthResponse {
-                    status: "refit triggered".into(),
-                    epoch: ctx.predictor.load().epoch,
-                },
-            )
+        ("POST", path) if path == "/admin/refit" || path.starts_with("/admin/refit?") => {
+            admin_refit(ctx, path)
         }
         ("POST", "/admin/snapshot") => admin_snapshot(ctx, &req.body),
         ("POST", "/admin/shutdown") => {
@@ -217,9 +217,41 @@ fn route(ctx: &Context, req: &Request) -> (u16, String) {
     }
 }
 
+/// `POST /admin/refit[?mode=full|incremental]` — arms the daemon. The
+/// default (no query) lets the daemon's own schedule pick the mode;
+/// `mode=full` forces a reconciliation pass that rebuilds the
+/// accumulator from zero.
+fn admin_refit(ctx: &Context, path: &str) -> (u16, String) {
+    let query = path.split_once('?').map(|(_, q)| q).unwrap_or("");
+    let status = match query {
+        "" | "mode=incremental" => {
+            ctx.daemon.trigger();
+            "refit triggered"
+        }
+        "mode=full" => {
+            ctx.daemon.trigger_full();
+            "full refit triggered"
+        }
+        other => {
+            return error(
+                400,
+                format!("unknown refit query `{other}` (use mode=full or mode=incremental)"),
+            )
+        }
+    };
+    json(
+        202,
+        &HealthResponse {
+            status: status.into(),
+            epoch: ctx.predictor.load().epoch,
+        },
+    )
+}
+
 fn stats(ctx: &Context) -> (u16, String) {
     let s = ctx.store.stats();
     let e = ctx.predictor.load();
+    let refit = ctx.refit_state.lock().expect("refit state").counters();
     json(
         200,
         &StatsResponse {
@@ -236,6 +268,12 @@ fn stats(ctx: &Context) -> (u16, String) {
             epochs_published: ctx.predictor.epochs_published(),
             epochs_rejected: ctx.predictor.epochs_rejected(),
             refits_started: ctx.daemon.refits_started(),
+            refits_incremental: refit.refits_incremental,
+            refits_full: refit.refits_full,
+            refits_failed: refit.refits_failed,
+            last_incremental_refit_secs: refit.last_incremental_secs,
+            last_full_refit_secs: refit.last_full_secs,
+            fold_watermark: refit.watermark,
             requests: ctx.requests.load(Ordering::Relaxed),
             uptime_secs: ctx.started.elapsed().as_secs_f64(),
         },
@@ -352,7 +390,7 @@ fn admin_snapshot(ctx: &Context, body: &str) -> (u16, String) {
     let Some(path) = requested.or_else(|| ctx.snapshot_path.clone()) else {
         return error(400, "no snapshot path configured or supplied");
     };
-    match snapshot::save(&ctx.store, &ctx.predictor, &path) {
+    match snapshot::save(&ctx.store, &ctx.predictor, &ctx.refit_state, &path) {
         Ok(()) => json(
             200,
             &HealthResponse {
@@ -385,10 +423,11 @@ impl Server {
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let store = Arc::new(ShardedStore::new(config.shards));
         let predictor = Arc::new(EpochPredictor::new(&config.refit.ltm.priors));
+        let refit_state = Arc::new(Mutex::new(RefitState::new()));
         if let Some(path) = &config.snapshot {
             if path.exists() {
                 let snap = snapshot::load(path)?;
-                snapshot::restore(&snap, &store, &predictor)?;
+                snapshot::restore(&snap, &store, &predictor, &refit_state, &config.refit.ltm)?;
             }
         }
         let refit_lock = Arc::new(Mutex::new(()));
@@ -396,6 +435,7 @@ impl Server {
             Arc::clone(&store),
             Arc::clone(&predictor),
             config.refit.clone(),
+            Arc::clone(&refit_state),
             Arc::clone(&refit_lock),
         ));
 
@@ -405,6 +445,7 @@ impl Server {
             store,
             predictor,
             daemon,
+            refit_state,
             snapshot_path: config.snapshot.clone(),
             requests: AtomicU64::new(0),
             started: Instant::now(),
@@ -487,14 +528,29 @@ impl Server {
         Arc::clone(&self.refit_lock)
     }
 
-    /// Forces a refit pass.
+    /// Forces a refit pass (the daemon's schedule picks the mode).
     pub fn trigger_refit(&self) {
         self.ctx.daemon.trigger();
     }
 
+    /// Forces a full (reconciliation) refit pass.
+    pub fn trigger_full_refit(&self) {
+        self.ctx.daemon.trigger_full();
+    }
+
+    /// The shared refit accumulator state (test/benchmark access).
+    pub fn refit_state(&self) -> Arc<Mutex<RefitState>> {
+        Arc::clone(&self.ctx.refit_state)
+    }
+
     /// Saves a snapshot to `path` immediately.
     pub fn save_snapshot(&self, path: &std::path::Path) -> io::Result<()> {
-        snapshot::save(&self.ctx.store, &self.ctx.predictor, path)
+        snapshot::save(
+            &self.ctx.store,
+            &self.ctx.predictor,
+            &self.ctx.refit_state,
+            path,
+        )
     }
 
     /// Blocks until a `POST /admin/shutdown` arrives.
@@ -520,7 +576,12 @@ impl Server {
             pool.shutdown();
         }
         if let Some(path) = &self.ctx.snapshot_path {
-            snapshot::save(&self.ctx.store, &self.ctx.predictor, path)?;
+            snapshot::save(
+                &self.ctx.store,
+                &self.ctx.predictor,
+                &self.ctx.refit_state,
+                path,
+            )?;
         }
         Ok(())
     }

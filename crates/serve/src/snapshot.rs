@@ -10,15 +10,20 @@
 //! served epoch, plus the pending watermark: the log can hold rows
 //! ingested after the epoch's last refit, and restore leaves exactly
 //! those rows pending so they still arm the refit trigger after a
-//! restart.
+//! restart. The refit side is the streaming **accumulator** — the
+//! cumulative expected-count table plus its fold watermark — so a
+//! restarted server resumes *incremental* refits over the unfolded tail
+//! instead of cold-refitting the whole store from zero.
 
 use std::io;
 use std::path::Path;
+use std::sync::Mutex;
 
-use ltm_core::{BetaPair, IncrementalLtm};
+use ltm_core::{BetaPair, ExpectedCounts, IncrementalLtm, LtmConfig, StreamingLtm};
 use serde::{Deserialize, Serialize};
 
 use crate::epoch::{EpochPredictor, EpochSnapshot};
+use crate::refit::RefitState;
 use crate::store::ShardedStore;
 
 /// One accepted triple.
@@ -59,6 +64,21 @@ pub struct EpochRec {
     pub trained_sources: usize,
 }
 
+/// The refit daemon's accumulator at save time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccumulatorRec {
+    /// Raw expected-count cells, 4 per source in global source-id order
+    /// ([`ExpectedCounts::cells`]).
+    pub cells: Vec<f64>,
+    /// Batches the saved [`StreamingLtm`] had folded (resumes per-batch
+    /// seed decorrelation).
+    pub batches_seen: usize,
+    /// Accepted-row sequence the accumulator covers. Replay reproduces
+    /// sequence numbers (they are replay-log positions), so this value
+    /// is directly meaningful to the restored store.
+    pub watermark: u64,
+}
+
 /// The on-disk snapshot format.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Snapshot {
@@ -76,19 +96,36 @@ pub struct Snapshot {
     /// trigger after a restart — the saved epoch never saw them. `None`
     /// in pre-watermark snapshots, which treated the whole log as folded.
     pub pending: Option<usize>,
+    /// The refit accumulator, if any fold had committed by save time.
+    /// Absent in older snapshots (which then cold-refit at boot).
+    pub accumulator: Option<AccumulatorRec>,
     /// The served epoch, if any was published before the save.
     pub epoch: Option<EpochRec>,
 }
 
-/// Captures the current store + served epoch.
-pub fn capture(store: &ShardedStore, predictor: &EpochPredictor) -> Snapshot {
+/// Captures the current store + refit accumulator + served epoch.
+pub fn capture(
+    store: &ShardedStore,
+    predictor: &EpochPredictor,
+    refit: &Mutex<RefitState>,
+) -> Snapshot {
     // Store state first (one consistent read under the ingest-order
-    // lock), the served epoch second. A refit that publishes in between
-    // can only make the saved epoch *newer* than the saved log, which
-    // errs toward leaving already-folded rows pending (a redundant refit
-    // at the next boot); the reverse order could pair an old epoch with
-    // `pending: 0` and silently exclude the unfolded tail.
+    // lock), the refit accumulator second, the served epoch last — the
+    // same order a refit commits in reverse. A refit that lands in
+    // between can only make the saved accumulator/epoch *newer* than the
+    // saved log, which errs toward re-folding already-folded rows at the
+    // next boot (the refit path self-heals that with an Empty pass); the
+    // reverse order could pair an old accumulator with `pending: 0` and
+    // silently exclude the unfolded tail.
     let (sources, log, pending) = store.persistence_snapshot();
+    let accumulator = {
+        let st = refit.lock().expect("refit state");
+        st.streaming().map(|s| AccumulatorRec {
+            cells: s.accumulated().cells().to_vec(),
+            batches_seen: s.batches_seen(),
+            watermark: st.watermark(),
+        })
+    };
     let snap = predictor.load();
     let epoch = if snap.epoch == 0 {
         None
@@ -120,6 +157,7 @@ pub fn capture(store: &ShardedStore, predictor: &EpochPredictor) -> Snapshot {
             })
             .collect(),
         pending: Some(pending),
+        accumulator,
         epoch,
     }
 }
@@ -130,8 +168,13 @@ pub fn capture(store: &ShardedStore, predictor: &EpochPredictor) -> Snapshot {
 /// temporary file in the same directory which is then renamed over the
 /// target, so a kill mid-write can never leave a truncated snapshot (or
 /// clobber the previous good one) that would fail the next boot.
-pub fn save(store: &ShardedStore, predictor: &EpochPredictor, path: &Path) -> io::Result<()> {
-    let snapshot = capture(store, predictor);
+pub fn save(
+    store: &ShardedStore,
+    predictor: &EpochPredictor,
+    refit: &Mutex<RefitState>,
+    path: &Path,
+) -> io::Result<()> {
+    let snapshot = capture(store, predictor, refit);
     let json = serde_json::to_string_pretty(&snapshot)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     // Unique per call, not just per process: two workers saving the same
@@ -168,11 +211,16 @@ pub fn load(path: &Path) -> io::Result<Snapshot> {
 }
 
 /// Replays a snapshot into `store` (which must be empty and have the
-/// snapshot's shard count) and restores the served epoch into `predictor`.
+/// snapshot's shard count), restores the served epoch into `predictor`,
+/// and resumes the refit accumulator (if saved) into `refit` so the
+/// first post-restart refit is incremental. `ltm` is the model
+/// configuration the resumed accumulator will fit future batches with.
 pub fn restore(
     snapshot: &Snapshot,
     store: &ShardedStore,
     predictor: &EpochPredictor,
+    refit: &Mutex<RefitState>,
+    ltm: &LtmConfig,
 ) -> io::Result<()> {
     if store.num_shards() != snapshot.shards {
         return Err(io::Error::new(
@@ -185,6 +233,17 @@ pub fn restore(
             ),
         ));
     }
+    if let Some(rec) = &snapshot.accumulator {
+        if !rec.cells.len().is_multiple_of(4) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "accumulator cells come in blocks of 4 per source, got {}",
+                    rec.cells.len()
+                ),
+            ));
+        }
+    }
     for t in &snapshot.triples {
         store.ingest(&t.entity, &t.attr, &t.source);
     }
@@ -194,9 +253,41 @@ pub fn restore(
     // predictions silently exclude data the store visibly holds until
     // some future ingest re-arms the trigger. Pre-watermark snapshots
     // (`pending` absent) fall back to the old treat-all-as-folded reading.
+    // A capture that raced a refit can leave the accumulator watermark
+    // ahead of the log's folded count; trust the larger of the two (the
+    // accumulator provably folded through its watermark).
     let pending = snapshot.pending.unwrap_or(0);
-    let folded = snapshot.triples.len().saturating_sub(pending);
-    store.consume_pending(folded);
+    let mut folded = snapshot.triples.len().saturating_sub(pending) as u64;
+    if let Some(rec) = &snapshot.accumulator {
+        // A capture that raced a refit can legally pair an accumulator
+        // slightly *newer* than the saved log: a fold that committed
+        // between the store read and the state read may cover rows (and
+        // even a source) the log never saw. Both mismatches are repaired
+        // here rather than rejected — rejecting would make the server
+        // unable to boot from its own legitimately-saved snapshot:
+        //
+        // * the watermark is clamped to the log, so the rows the log is
+        //   missing are simply not marked folded, and
+        // * cells for sources beyond the log's id space are dropped
+        //   (their triples are not in the log either — the source was
+        //   interned after the log copy was taken), keeping every
+        //   remaining cell attributed to the id the replayed store
+        //   assigns. The shed contribution is drift-sized and the next
+        //   full refit reconciles it exactly.
+        let watermark = rec.watermark.min(snapshot.triples.len() as u64);
+        let mut cells = rec.cells.clone();
+        cells.truncate(snapshot.sources.len() * 4);
+        folded = folded.max(watermark);
+        refit.lock().expect("refit state").restore(
+            StreamingLtm::from_accumulated(
+                *ltm,
+                ExpectedCounts::from_cells(cells),
+                rec.batches_seen,
+            ),
+            watermark,
+        );
+    }
+    store.consume_pending(usize::try_from(folded).unwrap_or(usize::MAX));
     if store.source_names() != snapshot.sources {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -234,11 +325,16 @@ mod tests {
         p
     }
 
+    fn empty_refit() -> Mutex<RefitState> {
+        Mutex::new(RefitState::new())
+    }
+
     #[test]
     fn snapshot_round_trips_store_and_epoch() {
         let store = ShardedStore::new(3);
         let priors = Priors::default();
         let predictor = EpochPredictor::new(&priors);
+        let refit = empty_refit();
         store.ingest("e0", "a0", "s0");
         store.ingest("e0", "a1", "s1");
         store.ingest("e1", "a0", "s0");
@@ -255,14 +351,22 @@ mod tests {
         predictor.publish(snap);
 
         let path = temp_path("roundtrip.json");
-        save(&store, &predictor, &path).unwrap();
+        save(&store, &predictor, &refit, &path).unwrap();
         let loaded = load(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert_eq!(loaded, capture(&store, &predictor));
+        assert_eq!(loaded, capture(&store, &predictor, &refit));
 
         let store2 = ShardedStore::new(3);
         let predictor2 = EpochPredictor::new(&priors);
-        restore(&loaded, &store2, &predictor2).unwrap();
+        let refit2 = empty_refit();
+        restore(
+            &loaded,
+            &store2,
+            &predictor2,
+            &refit2,
+            &LtmConfig::default(),
+        )
+        .unwrap();
         assert_eq!(store2.stats().facts, store.stats().facts);
         assert_eq!(store2.source_names(), store.source_names());
         assert_eq!(
@@ -283,6 +387,83 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_round_trips_the_accumulator() {
+        let store = ShardedStore::new(2);
+        let priors = Priors::default();
+        let predictor = EpochPredictor::new(&priors);
+        store.ingest("e0", "a0", "s0");
+        store.ingest("e0", "a1", "s1");
+        // A committed fold: accumulator over 2 sources, watermark 2.
+        let refit = empty_refit();
+        let mut streaming = StreamingLtm::new(LtmConfig::default());
+        streaming
+            .try_observe(&store.full_databases().batches[0])
+            .expect("fold");
+        let cells_before = streaming.accumulated().cells().to_vec();
+        refit.lock().unwrap().restore(streaming, 2);
+        store.consume_pending(2);
+        // …then one more row arrives unfolded.
+        store.ingest("e1", "a0", "s0");
+
+        let snapshot = capture(&store, &predictor, &refit);
+        let rec = snapshot.accumulator.as_ref().expect("accumulator saved");
+        assert_eq!(rec.watermark, 2);
+        assert_eq!(rec.batches_seen, 1);
+        assert_eq!(rec.cells, cells_before);
+
+        let store2 = ShardedStore::new(2);
+        let refit2 = empty_refit();
+        restore(
+            &snapshot,
+            &store2,
+            &predictor,
+            &refit2,
+            &LtmConfig::default(),
+        )
+        .unwrap();
+        let st = refit2.lock().unwrap();
+        assert_eq!(st.watermark(), 2, "fold watermark resumes");
+        let resumed = st.streaming().expect("accumulator resumed");
+        assert_eq!(resumed.accumulated().cells(), &cells_before[..]);
+        assert_eq!(resumed.batches_seen(), 1);
+        drop(st);
+        assert_eq!(store2.pending(), 1, "only the unfolded tail is pending");
+        // The delta since the restored watermark is exactly that tail.
+        let delta = store2.shard_databases_since(2);
+        assert_eq!(delta.delta_facts, 1);
+    }
+
+    #[test]
+    fn restore_trusts_the_newer_of_pending_and_accumulator_watermark() {
+        // A capture racing a refit can pair an older log view (pending
+        // still unconsumed) with a newer accumulator; restore must trust
+        // the accumulator's watermark instead of re-arming forever.
+        let store = ShardedStore::new(1);
+        let predictor = EpochPredictor::new(&Priors::default());
+        store.ingest("e0", "a0", "s0");
+        store.ingest("e1", "a0", "s0");
+        let mut snapshot = capture(&store, &predictor, &empty_refit());
+        assert_eq!(snapshot.pending, Some(2));
+        snapshot.accumulator = Some(AccumulatorRec {
+            cells: vec![0.0; 4],
+            batches_seen: 1,
+            watermark: 2,
+        });
+        let store2 = ShardedStore::new(1);
+        let refit2 = empty_refit();
+        restore(
+            &snapshot,
+            &store2,
+            &predictor,
+            &refit2,
+            &LtmConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(store2.pending(), 0, "accumulator already folded both rows");
+        assert_eq!(refit2.lock().unwrap().watermark(), 2);
+    }
+
+    #[test]
     fn restore_leaves_unfolded_tail_pending() {
         let store = ShardedStore::new(2);
         let priors = Priors::default();
@@ -297,10 +478,17 @@ mod tests {
         store.ingest("e2", "a1", "s0");
         assert_eq!(store.pending(), 2);
 
-        let snapshot = capture(&store, &predictor);
+        let snapshot = capture(&store, &predictor, &empty_refit());
         assert_eq!(snapshot.pending, Some(2));
         let store2 = ShardedStore::new(2);
-        restore(&snapshot, &store2, &predictor).unwrap();
+        restore(
+            &snapshot,
+            &store2,
+            &predictor,
+            &empty_refit(),
+            &LtmConfig::default(),
+        )
+        .unwrap();
         assert_eq!(
             store2.pending(),
             2,
@@ -321,10 +509,83 @@ mod tests {
         let snapshot = load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(snapshot.pending, None);
+        assert_eq!(snapshot.accumulator, None);
         let store = ShardedStore::new(1);
         let predictor = EpochPredictor::new(&Priors::default());
-        restore(&snapshot, &store, &predictor).unwrap();
+        let refit = empty_refit();
+        restore(&snapshot, &store, &predictor, &refit, &LtmConfig::default()).unwrap();
         assert_eq!(store.pending(), 0, "old snapshots treat the log as folded");
+        assert!(
+            refit.lock().unwrap().streaming().is_none(),
+            "no accumulator to resume: the next refit is a cold one"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_ragged_accumulator_cells() {
+        let store = ShardedStore::new(1);
+        let predictor = EpochPredictor::new(&Priors::default());
+        store.ingest("e", "a", "s");
+        let mut snapshot = capture(&store, &predictor, &empty_refit());
+        snapshot.accumulator = Some(AccumulatorRec {
+            cells: vec![0.0; 6],
+            batches_seen: 1,
+            watermark: 1,
+        });
+        let err = restore(
+            &snapshot,
+            &ShardedStore::new(1),
+            &predictor,
+            &empty_refit(),
+            &LtmConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("blocks of 4"), "{err}");
+    }
+
+    #[test]
+    fn restore_repairs_an_accumulator_newer_than_the_log() {
+        // A capture racing a refit can save an accumulator whose
+        // watermark exceeds the log and whose cells cover a source the
+        // log never interned. Restore must repair (clamp + truncate),
+        // not reject — the snapshot was legitimately saved, and a boot
+        // failure would strand the server until an operator deletes it.
+        let store = ShardedStore::new(1);
+        let predictor = EpochPredictor::new(&Priors::default());
+        store.ingest("e", "a", "s");
+        let mut snapshot = capture(&store, &predictor, &empty_refit());
+        snapshot.accumulator = Some(AccumulatorRec {
+            // Two sources' cells, but the log only interns one.
+            cells: vec![1.0; 8],
+            batches_seen: 3,
+            watermark: 99,
+        });
+        let store2 = ShardedStore::new(1);
+        let refit2 = empty_refit();
+        restore(
+            &snapshot,
+            &store2,
+            &predictor,
+            &refit2,
+            &LtmConfig::default(),
+        )
+        .unwrap();
+        let st = refit2.lock().unwrap();
+        assert_eq!(st.watermark(), 1, "watermark clamped to the log length");
+        let resumed = st.streaming().unwrap();
+        assert_eq!(
+            resumed.accumulated().num_sources(),
+            1,
+            "cells for the phantom source are dropped"
+        );
+        drop(st);
+        assert_eq!(store2.pending(), 0);
+        // The repaired accumulator folds incrementally again — no
+        // SourceSpaceShrunk poisoning.
+        let delta = store2.shard_databases_since(1);
+        assert!(delta.batches.is_empty());
+        store2.ingest("e2", "a", "s");
+        assert_eq!(store2.shard_databases_since(1).delta_facts, 1);
     }
 
     #[test]
@@ -332,12 +593,13 @@ mod tests {
         let store = ShardedStore::new(1);
         let priors = Priors::default();
         let predictor = EpochPredictor::new(&priors);
+        let refit = empty_refit();
         store.ingest("e", "a", "s");
         let path = temp_path("atomic.json");
         std::fs::write(&path, "previous good snapshot").unwrap();
-        save(&store, &predictor, &path).unwrap();
+        save(&store, &predictor, &refit, &path).unwrap();
         let reloaded = load(&path).unwrap();
-        assert_eq!(reloaded, capture(&store, &predictor));
+        assert_eq!(reloaded, capture(&store, &predictor, &refit));
         // No temp file left behind in the target directory.
         let dir = path.parent().unwrap();
         let stem = path.file_name().unwrap().to_string_lossy().into_owned();
@@ -357,14 +619,16 @@ mod tests {
         let store = Arc::new(ShardedStore::new(1));
         let priors = Priors::default();
         let predictor = Arc::new(EpochPredictor::new(&priors));
+        let refit = Arc::new(empty_refit());
         store.ingest("e", "a", "s");
         let path = Arc::new(temp_path("concurrent-save.json"));
         let savers: Vec<_> = (0..8)
             .map(|_| {
                 let store = Arc::clone(&store);
                 let predictor = Arc::clone(&predictor);
+                let refit = Arc::clone(&refit);
                 let path = Arc::clone(&path);
-                std::thread::spawn(move || save(&store, &predictor, &path).unwrap())
+                std::thread::spawn(move || save(&store, &predictor, &refit, &path).unwrap())
             })
             .collect();
         for s in savers {
@@ -372,7 +636,7 @@ mod tests {
         }
         // Whichever save renamed last, the file must be a whole snapshot.
         let reloaded = load(&path).unwrap();
-        assert_eq!(reloaded, capture(&store, &predictor));
+        assert_eq!(reloaded, capture(&store, &predictor, &refit));
         std::fs::remove_file(&*path).ok();
     }
 
@@ -382,9 +646,16 @@ mod tests {
         let priors = Priors::default();
         let predictor = EpochPredictor::new(&priors);
         store.ingest("e", "a", "s");
-        let snapshot = capture(&store, &predictor);
+        let snapshot = capture(&store, &predictor, &empty_refit());
         let wrong = ShardedStore::new(3);
-        let err = restore(&snapshot, &wrong, &predictor).unwrap_err();
+        let err = restore(
+            &snapshot,
+            &wrong,
+            &predictor,
+            &empty_refit(),
+            &LtmConfig::default(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("shards"), "{err}");
     }
 
@@ -393,8 +664,9 @@ mod tests {
         let store = ShardedStore::new(1);
         let priors = Priors::default();
         let predictor = EpochPredictor::new(&priors);
-        let snapshot = capture(&store, &predictor);
+        let snapshot = capture(&store, &predictor, &empty_refit());
         assert!(snapshot.epoch.is_none());
+        assert!(snapshot.accumulator.is_none());
     }
 
     #[test]

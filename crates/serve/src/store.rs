@@ -9,13 +9,28 @@
 //! split across shards.
 //!
 //! Each shard is an append log of deduplicated rows plus incrementally
-//! maintained coverage indexes; [`ShardedStore::shard_databases`] rebuilds
+//! maintained coverage indexes; [`ShardedStore::full_databases`] rebuilds
 //! each shard's CSR [`ClaimDb`] from the log when the refit daemon asks
-//! for it. **Source ids are global** — interned once in
-//! [`ShardedStore`]-level state — because source quality is the
-//! cross-shard signal the whole model exists to learn; every shard
+//! for it, and [`ShardedStore::shard_databases_since`] extracts only the
+//! **delta** — facts touched since a fold watermark — so an incremental
+//! refit costs `O(Δ)` instead of `O(store)`. **Source ids are global** —
+//! interned once in [`ShardedStore`]-level state — because source quality
+//! is the cross-shard signal the whole model exists to learn; every shard
 //! database is emitted over the full global source-id space so their
 //! expected counts can be folded into one accumulator.
+//!
+//! Delta tracking: every accepted triple gets a monotonically increasing
+//! sequence number (its 1-based position in the replay log, so replaying
+//! a snapshot reproduces the numbering exactly), and each shard keeps a
+//! dirty map from local fact id to the last sequence that changed the
+//! fact's Definition-3 claim row. Two kinds of ingest dirty a fact:
+//!
+//! * a triple asserting the fact itself (a negative row flips positive,
+//!   or a brand-new fact appears), and
+//! * a triple from a source that **newly covers the fact's entity** —
+//!   Definition 3 then adds a retroactive negative row to *every* fact of
+//!   that entity, so they are all marked dirty even though their own
+//!   triples are old.
 //!
 //! Lock discipline: the replay `log` (Mutex) is the outermost **ingest-
 //! order lock** — ingest holds it from before any id is minted until the
@@ -32,7 +47,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
 use ltm_model::interner::Interner;
@@ -104,6 +119,25 @@ pub struct StoreStats {
     pub pending: usize,
 }
 
+/// One extraction from the store: per-shard CSR batches over the global
+/// source-id space, plus the fold watermark the batches cover. Returned
+/// by both the full rebuild ([`ShardedStore::full_databases`]) and the
+/// delta path ([`ShardedStore::shard_databases_since`]).
+#[derive(Debug)]
+pub struct StoreDelta {
+    /// Per-shard batches; shards contributing no facts are omitted.
+    pub batches: Vec<ClaimDb>,
+    /// Accepted-row sequence covered once these batches are folded — the
+    /// caller's next `shard_databases_since` watermark.
+    pub watermark: u64,
+    /// Facts contained in the batches.
+    pub delta_facts: usize,
+    /// Claims contained in the batches.
+    pub delta_claims: usize,
+    /// Claims the whole store implies (all shards, not just the delta).
+    pub total_claims: usize,
+}
+
 /// One shard: a deduplicated row log with coverage indexes.
 #[derive(Debug, Default)]
 struct Shard {
@@ -120,6 +154,14 @@ struct Shard {
     cover: Vec<Vec<u32>>,
     /// Per local entity: local fact ids, in creation order.
     entity_facts: Vec<Vec<u32>>,
+    /// Local fact id → last accepted-row sequence that changed its
+    /// Definition-3 claim row (directly or via retroactive coverage).
+    /// Entries at or below the fold watermark are pruned on extraction.
+    dirty: HashMap<u32, u64>,
+    /// Running `Σ per entity: facts × covering sources`, maintained on
+    /// ingest so the delta path reads it in O(1) under the shard lock
+    /// instead of rescanning every entity per refit.
+    claims: usize,
 }
 
 impl Shard {
@@ -133,13 +175,10 @@ impl Shard {
     }
 
     /// Total claims the shard currently implies (Σ per entity:
-    /// facts × covering sources).
+    /// facts × covering sources) — an O(1) read of the counter ingest
+    /// maintains.
     fn num_claims(&self) -> usize {
-        self.entity_facts
-            .iter()
-            .zip(&self.cover)
-            .map(|(facts, cover)| facts.len() * cover.len())
-            .sum()
+        self.claims
     }
 
     /// Rebuilds the shard as a CSR [`ClaimDb`] over `num_sources` global
@@ -165,6 +204,43 @@ impl Shard {
         }
         ClaimDb::from_parts(facts, claims, num_sources)
     }
+
+    /// Raw `(facts, claims)` parts for the local facts dirtied in the
+    /// sequence window `(watermark, upto]`, or `None` when the window is
+    /// clean. Claims use batch-local fact indices and global source ids;
+    /// the caller builds the [`ClaimDb`] after releasing the shard lock
+    /// (the CSR width must be read with no shard lock held — see
+    /// [`ShardedStore::shard_databases_since`]).
+    fn delta_parts(&self, watermark: u64, upto: u64) -> Option<(Vec<Fact>, Vec<Claim>)> {
+        let mut selected: Vec<u32> = self
+            .dirty
+            .iter()
+            .filter(|&(_, &seq)| seq > watermark && seq <= upto)
+            .map(|(&f, _)| f)
+            .collect();
+        if selected.is_empty() {
+            return None;
+        }
+        // Deterministic batch layout regardless of hash-map iteration.
+        selected.sort_unstable();
+        let mut facts = Vec::with_capacity(selected.len());
+        let mut claims = Vec::new();
+        for (i, &lf) in selected.iter().enumerate() {
+            let (e, a, _) = self.facts[lf as usize];
+            facts.push(Fact {
+                entity: EntityId::new(e),
+                attr: AttrId::new(a),
+            });
+            for &s in &self.cover[e as usize] {
+                claims.push(Claim {
+                    fact: FactId::from_usize(i),
+                    source: SourceId::new(s),
+                    observation: self.rows.contains(&(e, a, s)),
+                });
+            }
+        }
+        Some((facts, claims))
+    }
 }
 
 /// Hash-partitioned claim store. See the module docs for the sharding
@@ -180,6 +256,11 @@ pub struct ShardedStore {
     /// ingest-order lock: see the module docs.
     log: Mutex<Vec<[String; 3]>>,
     pending: AtomicUsize,
+    /// Mirror of `log.len()` maintained under the ingest-order lock, so
+    /// extraction paths holding shard locks can read the accepted-row
+    /// sequence without touching the log mutex (shard → log would invert
+    /// the ingest lock order and deadlock).
+    seq: AtomicU64,
 }
 
 impl ShardedStore {
@@ -196,6 +277,7 @@ impl ShardedStore {
             registry: RwLock::new(Vec::new()),
             log: Mutex::new(Vec::new()),
             pending: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
         }
     }
 
@@ -258,12 +340,20 @@ impl ShardedStore {
             let local = shard.fact_index[&(e, a)];
             return IngestOutcome::Duplicate(shard.facts[local as usize].2);
         }
-        if let Err(pos) = shard.cover[e as usize].binary_search(&s) {
-            shard.cover[e as usize].insert(pos, s);
-        }
+        let newly_covering = match shard.cover[e as usize].binary_search(&s) {
+            Err(pos) => {
+                shard.cover[e as usize].insert(pos, s);
+                // One new negative-or-positive row per existing fact of
+                // the entity (the asserted fact, if new, is counted when
+                // it is created below, over the already-grown cover).
+                shard.claims += shard.entity_facts[e as usize].len();
+                true
+            }
+            Ok(_) => false,
+        };
 
-        let (global, new_fact) = match shard.fact_index.get(&(e, a)) {
-            Some(&local) => (shard.facts[local as usize].2, false),
+        let (global, new_fact, local) = match shard.fact_index.get(&(e, a)) {
+            Some(&local) => (shard.facts[local as usize].2, false, local),
             None => {
                 // New fact: assign the next global id. Registry is only
                 // ever locked while a shard lock is held (never the other
@@ -279,11 +369,31 @@ impl ShardedStore {
                 shard.facts.push((e, a, global));
                 shard.fact_index.insert((e, a), local);
                 shard.entity_facts[e as usize].push(local);
-                (global, true)
+                shard.claims += shard.cover[e as usize].len();
+                (global, true, local)
             }
         };
 
+        // Dirty marking for delta refits. The sequence is this row's
+        // 1-based replay-log position (stable under snapshot replay). A
+        // source newly covering the entity retroactively adds a
+        // Definition-3 negative row to every fact of the entity, so they
+        // are all dirtied; otherwise only the asserted fact changed.
+        let seq = log.len() as u64 + 1;
+        let sh = &mut *shard;
+        if newly_covering {
+            for &lf in &sh.entity_facts[e as usize] {
+                sh.dirty.insert(lf, seq);
+            }
+        } else {
+            sh.dirty.insert(local, seq);
+        }
+
         log.push(entry);
+        // Published while the ingest-order and shard locks are still
+        // held: a reader that acquires this shard's lock afterwards sees
+        // every mutation numbered at or below the sequence it reads.
+        self.seq.store(seq, Ordering::Release);
         self.pending.fetch_add(1, Ordering::Relaxed);
         if new_fact {
             IngestOutcome::NewFact(global)
@@ -311,28 +421,95 @@ impl ShardedStore {
         })
     }
 
+    /// Accepted-row sequence: the number of triples accepted so far
+    /// (equal to the replay-log length, maintained without the log lock).
+    pub fn accepted_seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
     /// Rebuilds every non-empty shard as a [`ClaimDb`] over the global
-    /// source-id space.
+    /// source-id space — the **full** (reconciliation) extraction.
     ///
-    /// Every shard lock is acquired *before* the source count is read:
-    /// ingest interns a triple's source before taking its shard lock, so
-    /// once all shards are held, no stored row can reference a source id
-    /// at or beyond `num_sources()` — reading the count first would race
-    /// with a concurrent ingest interning a new source and panic the CSR
-    /// rebuild. Ingestion stalls only for the rebuild itself, never for
-    /// the fit that follows.
-    pub fn shard_databases(&self) -> Vec<ClaimDb> {
+    /// Every shard lock is acquired *before* the source count and the
+    /// accepted-row sequence are read: ingest interns a triple's source
+    /// and bumps the sequence before releasing its shard lock, so once
+    /// all shards are held, no stored row can reference a source id at or
+    /// beyond `num_sources()` and every row numbered at or below the
+    /// returned watermark is present in the batches. Ingestion stalls
+    /// only for the rebuild itself, never for the fit that follows.
+    pub fn full_databases(&self) -> StoreDelta {
         let guards: Vec<_> = self
             .shards
             .iter()
             .map(|s| s.lock().expect("shard lock"))
             .collect();
+        let watermark = self.accepted_seq();
         let num_sources = self.num_sources();
-        guards
+        let mut delta_facts = 0;
+        let mut total_claims = 0;
+        let batches: Vec<ClaimDb> = guards
             .iter()
             .filter(|s| !s.facts.is_empty())
-            .map(|s| s.to_claim_db(num_sources))
-            .collect()
+            .map(|s| {
+                delta_facts += s.facts.len();
+                total_claims += s.num_claims();
+                s.to_claim_db(num_sources)
+            })
+            .collect();
+        StoreDelta {
+            batches,
+            watermark,
+            delta_facts,
+            delta_claims: total_claims,
+            total_claims,
+        }
+    }
+
+    /// Extracts only the facts dirtied since `watermark` — the **delta**
+    /// extraction behind incremental refits (paper §5.4: a new batch
+    /// costs only the size of the increment). Each returned batch holds
+    /// the *current* Definition-3 claim rows of its dirty facts,
+    /// including retroactive negative rows added when a new source
+    /// started covering an old entity.
+    ///
+    /// Shard locks are held one at a time, only long enough to copy that
+    /// shard's dirty facts — ingest never stalls behind the Gibbs fit,
+    /// and (unlike the full rebuild) not even behind other shards'
+    /// copies. The window is bounded above by the sequence read before
+    /// the first shard lock: rows accepted mid-extraction stay dirty and
+    /// are picked up by the next delta. Dirty entries at or below
+    /// `watermark` (already folded by the caller) are pruned in passing.
+    ///
+    /// The batches are emitted over the source-id space read *after* all
+    /// copies complete, which covers every id any copied row can
+    /// reference (sources are interned before their rows are stored).
+    pub fn shard_databases_since(&self, watermark: u64) -> StoreDelta {
+        let upto = self.accepted_seq();
+        let mut parts = Vec::new();
+        let mut delta_facts = 0;
+        let mut delta_claims = 0;
+        let mut total_claims = 0;
+        for shard in &self.shards {
+            let mut sh = shard.lock().expect("shard lock");
+            total_claims += sh.num_claims();
+            sh.dirty.retain(|_, seq| *seq > watermark);
+            if let Some((facts, claims)) = sh.delta_parts(watermark, upto) {
+                delta_facts += facts.len();
+                delta_claims += claims.len();
+                parts.push((facts, claims));
+            }
+        }
+        let num_sources = self.num_sources();
+        StoreDelta {
+            batches: parts
+                .into_iter()
+                .map(|(facts, claims)| ClaimDb::from_parts(facts, claims, num_sources))
+                .collect(),
+            watermark: upto,
+            delta_facts,
+            delta_claims,
+            total_claims,
+        }
     }
 
     /// Accepted rows since the last [`ShardedStore::consume_pending`].
@@ -434,7 +611,8 @@ mod tests {
             assert_eq!(stats.positive_claims, 8, "{shards} shards");
             assert_eq!(stats.sources, 4);
             let total: usize = store
-                .shard_databases()
+                .full_databases()
+                .batches
                 .iter()
                 .map(|db| db.num_claims())
                 .sum();
@@ -582,8 +760,138 @@ mod tests {
     #[test]
     fn shard_databases_share_global_source_space() {
         let store = table1_store(8);
-        for db in store.shard_databases() {
+        for db in store.full_databases().batches {
             assert_eq!(db.num_sources(), 4);
         }
+    }
+
+    #[test]
+    fn delta_since_zero_matches_full_extraction() {
+        let store = table1_store(4);
+        let full = store.full_databases();
+        let delta = store.shard_databases_since(0);
+        assert_eq!(delta.watermark, full.watermark);
+        assert_eq!(delta.watermark, store.accepted_seq());
+        assert_eq!(delta.delta_facts, full.delta_facts);
+        assert_eq!(delta.delta_claims, 13, "every claim is in the delta");
+        assert_eq!(delta.total_claims, 13);
+        let total: usize = delta.batches.iter().map(|db| db.num_claims()).sum();
+        assert_eq!(total, 13);
+    }
+
+    #[test]
+    fn delta_after_watermark_contains_only_touched_facts() {
+        let store = table1_store(4);
+        let watermark = store.shard_databases_since(0).watermark;
+        // A clean window extracts nothing.
+        let clean = store.shard_databases_since(watermark);
+        assert!(clean.batches.is_empty());
+        assert_eq!(clean.delta_facts, 0);
+        assert_eq!(clean.watermark, watermark);
+        // One new entity from an existing source dirties only its fact.
+        store.ingest("Inception", "Leonardo DiCaprio", "IMDB");
+        let delta = store.shard_databases_since(watermark);
+        assert_eq!(delta.delta_facts, 1);
+        assert_eq!(delta.delta_claims, 1, "only IMDB covers the new entity");
+        assert_eq!(delta.watermark, watermark + 1);
+        // The store total keeps counting everything.
+        assert_eq!(delta.total_claims, store.stats().claims);
+    }
+
+    #[test]
+    fn retroactive_coverage_dirties_every_fact_of_the_entity() {
+        // Definition 3: when a source newly covers an entity, every
+        // existing fact of that entity gains a negative row — those facts
+        // must reappear in the delta even though their own triples are
+        // ancient.
+        let store = ShardedStore::new(2);
+        store.ingest("e", "a0", "s0");
+        store.ingest("e", "a1", "s0");
+        store.ingest("other", "a0", "s0");
+        let watermark = store.shard_databases_since(0).watermark;
+
+        // `late` asserts only (e, a0) — but now covers entity `e`.
+        store.ingest("e", "a0", "late");
+        let delta = store.shard_databases_since(watermark);
+        assert_eq!(
+            delta.delta_facts, 2,
+            "both facts of `e` changed; `other` did not"
+        );
+        // 2 facts × 2 covering sources = 4 claims, with late's row on
+        // (e, a1) present and negative.
+        assert_eq!(delta.delta_claims, 4);
+        let late = store.source_id("late").unwrap();
+        let batch = &delta.batches[0];
+        let late_rows: Vec<bool> = batch
+            .fact_ids()
+            .flat_map(|f| batch.claims_of_fact(f))
+            .filter(|(s, _)| *s == late)
+            .map(|(_, o)| o)
+            .collect();
+        assert_eq!(
+            late_rows.iter().filter(|&&o| o).count(),
+            1,
+            "late asserted exactly one of the two facts"
+        );
+        assert_eq!(late_rows.len(), 2, "late has a row on both dirty facts");
+    }
+
+    #[test]
+    fn replay_reproduces_delta_watermarks() {
+        // Sequence numbers are replay-log positions, so a restored store
+        // resumes the same watermark arithmetic as the one that saved.
+        let store = table1_store(4);
+        let w = store.shard_databases_since(0).watermark;
+        store.ingest("Inception", "Leonardo DiCaprio", "IMDB");
+
+        let replayed = ShardedStore::new(4);
+        for [e, a, s] in store.log_snapshot() {
+            replayed.ingest(&e, &a, &s);
+        }
+        assert_eq!(replayed.accepted_seq(), store.accepted_seq());
+        let delta = replayed.shard_databases_since(w);
+        assert_eq!(delta.delta_facts, 1, "only the post-watermark fact");
+        assert_eq!(delta.watermark, store.accepted_seq());
+    }
+
+    #[test]
+    fn claim_counter_matches_recompute_under_mixed_ingest() {
+        // The O(1) per-shard claim counter must track the Definition-3
+        // recompute through every ingest shape: new facts, retroactive
+        // coverage, re-asserted rows, and duplicates.
+        let store = ShardedStore::new(3);
+        let triples = [
+            ("e0", "a0", "s0"), // new fact, new coverage
+            ("e0", "a1", "s0"), // new fact, existing coverage
+            ("e0", "a0", "s1"), // retroactive coverage of e0 (+2 rows)
+            ("e0", "a1", "s1"), // obs flip only (no new claims)
+            ("e0", "a1", "s1"), // duplicate (no change)
+            ("e1", "a0", "s1"), // fresh entity
+            ("e1", "a0", "s0"), // retroactive coverage of e1
+        ];
+        for (i, (e, a, s)) in triples.iter().enumerate() {
+            store.ingest(e, a, s);
+            // Independent recompute from the CSR rebuild path.
+            let rebuilt: usize = store
+                .full_databases()
+                .batches
+                .iter()
+                .map(|db| db.num_claims())
+                .sum();
+            assert_eq!(store.stats().claims, rebuilt, "after triple {i}");
+        }
+        // e0: 2 facts × 2 covering sources; e1: 1 fact × 2.
+        assert_eq!(store.stats().claims, 6);
+    }
+
+    #[test]
+    fn duplicates_do_not_advance_the_sequence_or_dirty_facts() {
+        let store = ShardedStore::new(1);
+        store.ingest("e", "a", "s");
+        let w = store.shard_databases_since(0).watermark;
+        assert_eq!(w, 1);
+        store.ingest("e", "a", "s");
+        assert_eq!(store.accepted_seq(), 1);
+        assert!(store.shard_databases_since(w).batches.is_empty());
     }
 }

@@ -30,6 +30,7 @@ fn config() -> ServeConfig {
             rhat_gate: 2.0,
             min_pending: usize::MAX,
             interval: Duration::from_millis(20),
+            ..RefitConfig::default()
         },
         snapshot: None,
         ..ServeConfig::default()
@@ -170,6 +171,163 @@ fn boot_ingest_refit_query_parity_and_snapshot_restart() {
     );
     restarted.shutdown().unwrap();
     let _ = std::fs::remove_file(&snap_path);
+}
+
+/// Waits until the given `/stats` counter reaches `at_least`.
+fn wait_for_stat(addr: std::net::SocketAddr, field: &str, at_least: f64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = http_call(addr, "GET", "/stats", None).expect("stats");
+        assert_eq!(status, 200, "{body}");
+        if field_f64(&body, field) >= at_least {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{field} never reached {at_least}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The second ingest wave: a brand-new source `late` starts covering ten
+/// *old* entities (retroactive Definition-3 negatives on their other
+/// facts) and ten new entities arrive from the old sources.
+fn second_wave_body() -> String {
+    let mut triples = Vec::new();
+    for e in 0..10 {
+        triples.push(format!("[\"e{e}\",\"a0\",\"late\"]"));
+    }
+    for e in 20..30 {
+        triples.push(format!("[\"e{e}\",\"a0\",\"good\"]"));
+        triples.push(format!("[\"e{e}\",\"a1\",\"good\"]"));
+        triples.push(format!("[\"e{e}\",\"a0\",\"lazy\"]"));
+    }
+    format!("{{\"triples\":[{}]}}", triples.join(","))
+}
+
+#[test]
+fn incremental_and_full_refits_agree_within_tolerance() {
+    // Same ingest history, two refit strategies: server A folds it in two
+    // incremental deltas (the second containing retroactive coverage
+    // changes), server B reconciles with one full refit. Their served
+    // probabilities must agree within an MCMC + drift tolerance.
+    let server_a = Server::start(config()).expect("boot A");
+    let addr_a = server_a.addr();
+    http_call(addr_a, "POST", "/claims", Some(&workload_body(20))).unwrap();
+    server_a.trigger_refit();
+    wait_for_stat(addr_a, "refits_incremental", 1.0);
+    http_call(addr_a, "POST", "/claims", Some(&second_wave_body())).unwrap();
+    server_a.trigger_refit();
+    wait_for_stat(addr_a, "refits_incremental", 2.0);
+    let (_, stats_a) = http_call(addr_a, "GET", "/stats", None).unwrap();
+    assert_eq!(field_f64(&stats_a, "refits_full"), 0.0, "{stats_a}");
+    assert_eq!(field_f64(&stats_a, "pending"), 0.0, "{stats_a}");
+
+    let server_b = Server::start(config()).expect("boot B");
+    let addr_b = server_b.addr();
+    http_call(addr_b, "POST", "/claims", Some(&workload_body(20))).unwrap();
+    http_call(addr_b, "POST", "/claims", Some(&second_wave_body())).unwrap();
+    let (status, body) = http_call(addr_b, "POST", "/admin/refit?mode=full", None).unwrap();
+    assert_eq!(status, 202, "{body}");
+    wait_for_stat(addr_b, "refits_full", 1.0);
+
+    for query in [
+        "{\"claims\":[[\"good\",true],[\"lazy\",false]]}",
+        "{\"claims\":[[\"late\",true]]}",
+        "{\"claims\":[[\"good\",true],[\"spammy\",true],[\"late\",false]]}",
+        "{\"claims\":[[\"lazy\",true],[\"spammy\",false]]}",
+    ] {
+        let (_, a) = http_call(addr_a, "POST", "/query", Some(query)).unwrap();
+        let (_, b) = http_call(addr_b, "POST", "/query", Some(query)).unwrap();
+        let (pa, pb) = (field_f64(&a, "probability"), field_f64(&b, "probability"));
+        assert!(
+            (pa - pb).abs() < 0.15,
+            "incremental {pa} vs full {pb} diverged on {query}"
+        );
+    }
+
+    // The unknown-source machinery agrees too: `late` is known to both.
+    let (_, a) = http_call(
+        addr_a,
+        "POST",
+        "/query",
+        Some("{\"claims\":[[\"late\",true]]}"),
+    )
+    .unwrap();
+    assert!(!a.contains("\"late\""), "late must be a known source: {a}");
+    server_a.shutdown().unwrap();
+    server_b.shutdown().unwrap();
+}
+
+#[test]
+fn snapshot_restart_resumes_the_accumulator_incrementally() {
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("ltm-e2e-acc-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&snap_path);
+    let mut cfg = config();
+    cfg.snapshot = Some(snap_path.clone());
+
+    let server = Server::start(cfg.clone()).expect("boot");
+    let addr = server.addr();
+    http_call(addr, "POST", "/claims", Some(&workload_body(12))).unwrap();
+    server.trigger_refit();
+    wait_for_stat(addr, "refits_incremental", 1.0);
+    let (_, stats) = http_call(addr, "GET", "/stats", None).unwrap();
+    let watermark = field_f64(&stats, "fold_watermark");
+    assert_eq!(watermark, 48.0, "all accepted rows folded");
+    // Graceful shutdown writes the snapshot (now carrying the accumulator).
+    server.shutdown().unwrap();
+
+    let restarted = Server::start(cfg).expect("restart");
+    let addr2 = restarted.addr();
+    // The accumulator is resumed at boot — before any refit runs.
+    {
+        let state = restarted.refit_state();
+        let st = state.lock().unwrap();
+        let resumed = st
+            .streaming()
+            .expect("restart must resume the accumulator, not cold-refit");
+        // 12 entities × 3 facts × 3 covering sources = 108 claims.
+        assert!(
+            (resumed.accumulated().total() - 108.0).abs() < 1e-6,
+            "accumulator covers the whole pre-restart history: {}",
+            resumed.accumulated().total()
+        );
+        assert_eq!(st.watermark(), 48);
+    }
+    let (_, stats2) = http_call(addr2, "GET", "/stats", None).unwrap();
+    assert_eq!(field_f64(&stats2, "fold_watermark"), watermark, "{stats2}");
+    assert_eq!(field_f64(&stats2, "pending"), 0.0, "nothing left to refold");
+
+    // New data after the restart is folded as a delta: the refit is
+    // incremental, no cold full refit ever runs.
+    http_call(
+        addr2,
+        "POST",
+        "/claims",
+        Some("{\"triples\":[[\"post-restart\",\"a0\",\"good\"]]}"),
+    )
+    .unwrap();
+    restarted.trigger_refit();
+    wait_for_stat(addr2, "refits_incremental", 1.0);
+    let (_, stats3) = http_call(addr2, "GET", "/stats", None).unwrap();
+    assert_eq!(field_f64(&stats3, "refits_full"), 0.0, "{stats3}");
+    assert_eq!(field_f64(&stats3, "fold_watermark"), 49.0, "{stats3}");
+    restarted.shutdown().unwrap();
+    let _ = std::fs::remove_file(&snap_path);
+}
+
+#[test]
+fn admin_refit_rejects_unknown_modes() {
+    let server = Server::start(config()).expect("boot");
+    let addr = server.addr();
+    let (status, body) = http_call(addr, "POST", "/admin/refit?mode=sideways", None).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown refit query"), "{body}");
+    let (status, _) = http_call(addr, "POST", "/admin/refit?mode=incremental", None).unwrap();
+    assert_eq!(status, 202);
+    server.shutdown().unwrap();
 }
 
 #[test]
