@@ -3,7 +3,7 @@
 //! claims) and the three kernels against each other — cached log-ratio
 //! tables versus naive log-space versus direct products (ablation A3).
 //! The full throughput comparison with JSON output lives in the `perf`
-//! binary (`cargo run --release --bin perf`).
+//! binary (`cargo run --release -p ltm-bench --bin perf`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ltm_core::{Arithmetic, LtmConfig, Priors, SampleSchedule};

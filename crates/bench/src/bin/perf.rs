@@ -138,6 +138,35 @@ struct RefitScalePoint {
     incremental_over_full: f64,
 }
 
+/// One domain's slice of the mixed two-domain phase.
+#[derive(Debug, Clone, Serialize)]
+struct DomainPhasePoint {
+    /// Domain name.
+    domain: String,
+    /// Model kind (`boolean` | `real_valued`).
+    kind: String,
+    /// Rows bulk-ingested into the domain before the mixed phase.
+    ingest_rows: usize,
+    /// Claims the domain's store implies after the run.
+    store_claims: usize,
+    /// Per-request query latency over the mixed phase.
+    query: LatencyStats,
+    /// Epochs the domain's own daemon published during the run.
+    epochs_published: f64,
+}
+
+/// The mixed two-domain phase: one server hosting a boolean and a
+/// real-valued domain concurrently, queried in an interleaved stream
+/// with per-domain latency percentiles — multi-model serving measured
+/// over real HTTP.
+#[derive(Debug, Clone, Serialize)]
+struct MultiDomainPhase {
+    /// Interleaved requests across both domains (queries + ingests).
+    mixed_ops: usize,
+    /// Per-domain breakdown (boolean first).
+    domains: Vec<DomainPhasePoint>,
+}
+
 /// The `BENCH_serve.json` schema.
 #[derive(Debug, Clone, Serialize)]
 struct BenchServe {
@@ -163,6 +192,8 @@ struct BenchServe {
     /// Refit latency as the store grows: full vs incremental (paper
     /// §5.4 — an increment costs the size of the delta, not the store).
     refit_scaling: Vec<RefitScalePoint>,
+    /// The mixed two-domain (boolean + real-valued) phase.
+    multi_domain: MultiDomainPhase,
 }
 
 /// Drives the serve path over HTTP and returns the measured report.
@@ -226,12 +257,10 @@ fn measure_serve(fast: bool) -> BenchServe {
     // Schema-less stats parsing through the vendored `serde::Value`.
     let stats_f64 = |body: &str, field: &str| -> f64 {
         let value: serde::Value = serde_json::from_str(body).expect("stats JSON");
-        match value.get_field(field) {
-            Some(serde::Value::Float(f)) => *f,
-            Some(serde::Value::Int(i)) => *i as f64,
-            Some(serde::Value::UInt(u)) => *u as f64,
-            other => panic!("stats field {field} missing or non-numeric: {other:?}"),
-        }
+        value
+            .get_field(field)
+            .and_then(serde::Value::as_f64)
+            .unwrap_or_else(|| panic!("stats field {field} missing or non-numeric: {body}"))
     };
     // Waits until `at_least` refits have *finished* (published or
     // gate-rejected), so the counters read afterwards are settled.
@@ -306,6 +335,8 @@ fn measure_serve(fast: bool) -> BenchServe {
 
     // Refit-scaling phase on its own (now idle) server.
     let refit_scaling = measure_refit_scaling(fast);
+    // Mixed two-domain phase on its own server.
+    let multi_domain = measure_multi_domain(fast);
 
     BenchServe {
         shards: 4,
@@ -322,7 +353,205 @@ fn measure_serve(fast: bool) -> BenchServe {
         epoch_swaps,
         refits_started,
         refit_scaling,
+        multi_domain,
     }
+}
+
+/// Boots one server hosting a boolean `default` domain and a
+/// real-valued `scores` domain, bulk-ingests both, waits for each
+/// domain's first epoch, then drives an interleaved query stream (with
+/// a 10% ingest mix) and reports query latency percentiles **per
+/// domain** — proof that multi-model serving holds its latency on both
+/// models at once.
+fn measure_multi_domain(fast: bool) -> MultiDomainPhase {
+    use ltm_datagen::streams::{real_valued_rows, RealStreamConfig};
+    use ltm_serve::http::http_call;
+    use ltm_serve::model::ModelKind;
+    use ltm_serve::refit::RefitConfig;
+    use ltm_serve::server::{ServeConfig, Server};
+
+    let bool_entities: usize = if fast { 100 } else { 1_000 };
+    let bool_sources: usize = 20;
+    let real_entities: usize = if fast { 60 } else { 600 };
+    let mixed_ops: usize = if fast { 300 } else { 2_000 };
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 4,
+        threads: 4,
+        refit: RefitConfig {
+            ltm: LtmConfig {
+                priors: Priors::scaled_specificity(bool_entities * 2),
+                schedule: SampleSchedule::new(60, 20, 1),
+                ..LtmConfig::default()
+            },
+            chains: 2,
+            rhat_gate: 1.5,
+            min_pending: usize::MAX, // manual triggers at phase boundaries
+            interval: std::time::Duration::from_millis(50),
+            ..RefitConfig::default()
+        },
+        domains: vec![("scores".into(), ModelKind::RealValued)],
+        snapshot: None,
+        ..ServeConfig::default()
+    })
+    .expect("boot multi-domain benchmark server");
+    let addr = server.addr();
+
+    // Bulk ingest: boolean workload on the legacy route, real-valued
+    // rows (datagen stream) on the domain route.
+    let bool_triples: Vec<String> = (0..bool_entities)
+        .flat_map(|e| {
+            (0..bool_sources).map(move |s| {
+                let a = (e + s) % 2;
+                format!("[\"e{e}\",\"a{a}\",\"s{s}\"]")
+            })
+        })
+        .collect();
+    for chunk in bool_triples.chunks(1_000) {
+        let body = format!("{{\"triples\":[{}]}}", chunk.join(","));
+        let (status, response) =
+            http_call(addr, "POST", "/claims", Some(&body)).expect("boolean bulk ingest");
+        assert_eq!(status, 200, "{response}");
+    }
+    let real_rows = real_valued_rows(&RealStreamConfig {
+        entities: real_entities,
+        attrs_per_entity: 2,
+        sources: 10,
+        informative_sources: 8,
+        ..RealStreamConfig::default()
+    });
+    let real_rendered: Vec<String> = real_rows
+        .iter()
+        .map(|(e, a, s, v)| format!("[\"{e}\",\"{a}\",\"{s}\",{v}]"))
+        .collect();
+    for chunk in real_rendered.chunks(1_000) {
+        let body = format!("{{\"triples\":[{}]}}", chunk.join(","));
+        let (status, response) =
+            http_call(addr, "POST", "/d/scores/claims", Some(&body)).expect("real bulk ingest");
+        assert_eq!(status, 200, "{response}");
+    }
+
+    // First epoch on both domains before the mixed phase.
+    let stat = |body: &str, domain: &str, field: &str| -> f64 {
+        let value: serde::Value = serde_json::from_str(body).expect("stats JSON");
+        let section = value
+            .get_field("domains")
+            .and_then(|d| d.get_field(domain))
+            .unwrap_or_else(|| panic!("no domain {domain} in {body}"));
+        section
+            .get_field(field)
+            .and_then(serde::Value::as_f64)
+            .unwrap_or_else(|| panic!("field {field} missing or non-numeric: {body}"))
+    };
+    server.trigger_refit();
+    let (status, _) = http_call(addr, "POST", "/d/scores/admin/refit", None).expect("refit");
+    assert_eq!(status, 202);
+    let started = Instant::now();
+    loop {
+        let (_, body) = http_call(addr, "GET", "/stats", None).expect("stats");
+        if stat(&body, "default", "epoch") >= 1.0 && stat(&body, "scores", "epoch") >= 1.0 {
+            break;
+        }
+        assert!(
+            started.elapsed().as_secs() < 600,
+            "multi-domain epochs never published: {body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Mixed phase: alternate boolean and real queries, with every 10th
+    // op an ingest into the matching domain; refits fire mid-phase on
+    // both domains so epoch swaps overlap the measured traffic.
+    let mut bool_ms = Vec::new();
+    let mut real_ms = Vec::new();
+    for i in 0..mixed_ops {
+        if i == mixed_ops / 2 {
+            server.trigger_refit();
+            let _ = http_call(addr, "POST", "/d/scores/admin/refit", None);
+        }
+        if i % 10 == 9 {
+            let (route, row) = if i % 20 == 9 {
+                (
+                    "/claims".to_string(),
+                    format!("[\"mix{i}\",\"a0\",\"s{}\"]", i % bool_sources),
+                )
+            } else {
+                (
+                    "/d/scores/claims".to_string(),
+                    format!("[\"mix{i}\",\"a0\",\"s{}\",0.75]", i % 10),
+                )
+            };
+            let (status, _) = http_call(
+                addr,
+                "POST",
+                &route,
+                Some(&format!("{{\"triples\":[{row}]}}")),
+            )
+            .expect("mixed ingest");
+            assert_eq!(status, 200);
+            continue;
+        }
+        if i % 2 == 0 {
+            let body = format!(
+                "{{\"claims\":[[\"s{}\",true],[\"s{}\",false]]}}",
+                i % bool_sources,
+                (i + 7) % bool_sources
+            );
+            let started = Instant::now();
+            let (status, response) =
+                http_call(addr, "POST", "/query", Some(&body)).expect("boolean query");
+            assert_eq!(status, 200, "{response}");
+            bool_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        } else {
+            let body = format!(
+                "{{\"claims\":[[\"s{}\",0.{}5],[\"s{}\",0.9]]}}",
+                i % 10,
+                i % 9,
+                (i + 3) % 10
+            );
+            let started = Instant::now();
+            let (status, response) =
+                http_call(addr, "POST", "/d/scores/query", Some(&body)).expect("real query");
+            assert_eq!(status, 200, "{response}");
+            real_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    let (_, stats_body) = http_call(addr, "GET", "/stats", None).expect("final stats");
+    let domains = vec![
+        DomainPhasePoint {
+            domain: "default".into(),
+            kind: "boolean".into(),
+            ingest_rows: bool_triples.len(),
+            store_claims: stat(&stats_body, "default", "claims") as usize,
+            query: LatencyStats::from_millis(bool_ms),
+            epochs_published: stat(&stats_body, "default", "epochs_published"),
+        },
+        DomainPhasePoint {
+            domain: "scores".into(),
+            kind: "real_valued".into(),
+            ingest_rows: real_rows.len(),
+            store_claims: stat(&stats_body, "scores", "claims") as usize,
+            query: LatencyStats::from_millis(real_ms),
+            epochs_published: stat(&stats_body, "scores", "epochs_published"),
+        },
+    ];
+    for d in &domains {
+        println!(
+            "multi-domain {} ({}): {} queries, p50 {:.2} ms, p99 {:.2} ms, \
+             {} epochs over {} claims",
+            d.domain,
+            d.kind,
+            d.query.ops,
+            d.query.p50_ms,
+            d.query.p99_ms,
+            d.epochs_published,
+            d.store_claims
+        );
+    }
+    server.shutdown().expect("clean multi-domain shutdown");
+    MultiDomainPhase { mixed_ops, domains }
 }
 
 /// Measures refit latency as the resident store grows: at each target
@@ -393,6 +622,7 @@ fn measure_refit_scaling(fast: bool) -> Vec<RefitScalePoint> {
         let outcome = refit_once(
             &store,
             &predictor,
+            ltm_serve::model::ModelKind::Boolean,
             &config,
             &state,
             &refit_lock,
@@ -420,6 +650,7 @@ fn measure_refit_scaling(fast: bool) -> Vec<RefitScalePoint> {
         let outcome = refit_once(
             &store,
             &predictor,
+            ltm_serve::model::ModelKind::Boolean,
             &config,
             &state,
             &refit_lock,

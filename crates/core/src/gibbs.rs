@@ -403,15 +403,34 @@ fn potential_scale_reduction(
     db: &ClaimDb,
     samples_per_chain: usize,
 ) -> Vec<f64> {
-    let k = chains.len();
+    let chain_means: Vec<Vec<f64>> = chains
+        .iter()
+        .map(|c| db.fact_ids().map(|f| c.prob(f)).collect())
+        .collect();
+    rhat_binary_means(&chain_means, samples_per_chain)
+}
+
+/// Per-fact Gelman–Rubin `R̂` from per-chain posterior means of a **0/1
+/// sampled quantity**, `chain_means[k][f]` being chain `k`'s mean for
+/// fact `f`. Because the samples are binary, the within-chain sample
+/// variance has the closed form `s²_k = m_k (1 − m_k) · n / (n − 1)`, so
+/// the diagnostic needs no per-sample storage. Shared by the Bernoulli
+/// ([`fit_chains`]) and real-valued
+/// ([`crate::realvalued::fit_chains_with_stats`]) multi-chain drivers.
+///
+/// Returns all-1.0 (vacuously converged) for fewer than 2 chains or
+/// fewer than 2 samples per chain.
+pub fn rhat_binary_means(chain_means: &[Vec<f64>], samples_per_chain: usize) -> Vec<f64> {
+    let k = chain_means.len();
     let n = samples_per_chain;
+    let num_facts = chain_means.first().map_or(0, Vec::len);
     if k < 2 || n < 2 {
-        return vec![1.0; db.num_facts()];
+        return vec![1.0; num_facts];
     }
     let (kf, nf) = (k as f64, n as f64);
-    db.fact_ids()
+    (0..num_facts)
         .map(|f| {
-            let means: Vec<f64> = chains.iter().map(|c| c.prob(f)).collect();
+            let means: Vec<f64> = chain_means.iter().map(|c| c[f]).collect();
             let grand = means.iter().sum::<f64>() / kf;
             // Within-chain variance (mean of per-chain sample variances).
             let w = means

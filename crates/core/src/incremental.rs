@@ -139,6 +139,19 @@ impl IncrementalLtm {
     /// the serving-path entry point: no throwaway [`ClaimDb`] is built per
     /// request. Unknown source ids fall back to prior-mean quality; an
     /// empty claim list yields the `β` prior mean.
+    ///
+    /// ```
+    /// use ltm_core::{BetaPair, IncrementalLtm};
+    /// use ltm_model::SourceId;
+    ///
+    /// // One source with sensitivity φ¹ = 0.9 and false-positive rate
+    /// // φ⁰ = 0.05, under a flat β prior.
+    /// let p = IncrementalLtm::from_parts(
+    ///     vec![0.9], vec![0.05], BetaPair::new(1.0, 1.0), 0.5, 0.1);
+    /// // Equation 3: p = 0.9 / (0.9 + 0.05) for a single positive claim.
+    /// let prob = p.predict_fact(&[(SourceId::new(0), true)]);
+    /// assert!((prob - 0.9 / 0.95).abs() < 1e-9);
+    /// ```
     pub fn predict_fact(&self, claims: &[(SourceId, bool)]) -> f64 {
         sigmoid(self.log_odds(claims.iter().copied()))
     }

@@ -69,12 +69,15 @@ pub use adversarial::{fit_filtered, AdversarialFilter, FilteredFit};
 pub use counts::{ExpectedCounts, GibbsCounts};
 pub use gibbs::{
     fit, fit_chains, fit_chains_with_source_priors, fit_with_schedules, fit_with_source_priors,
-    worst_rhat, Arithmetic, ChainDiagnostics, FitDiagnostics, LtmConfig, LtmFit, MultiChainFit,
-    SampleSchedule,
+    rhat_binary_means, worst_rhat, Arithmetic, ChainDiagnostics, FitDiagnostics, LtmConfig, LtmFit,
+    MultiChainFit, SampleSchedule,
 };
 pub use incremental::IncrementalLtm;
 pub use multi_attr::{fit_joint, MultiAttrConfig};
 pub use priors::{BetaPair, Priors, SourcePriors};
 pub use quality::{QualityRecord, SourceQuality};
-pub use realvalued::{RealClaim, RealClaimDb, RealLtmConfig, RealLtmFit};
+pub use realvalued::{
+    IncrementalRealLtm, NigPrior, RealClaim, RealClaimDb, RealLtmConfig, RealLtmFit,
+    RealMultiChainFit, RealSuffStats, StreamingRealLtm,
+};
 pub use streaming::{StreamError, StreamingLtm};

@@ -26,11 +26,14 @@
 //! O(1) per flip, preserving the linear iteration cost.
 
 use ltm_model::{FactId, SourceId, TruthAssignment};
-use ltm_stats::rng::rng_from_seed;
+use ltm_stats::rng::{derive_seed, rng_from_seed};
 use ltm_stats::special::{ln_gamma, sigmoid};
 use rand::Rng;
+use rayon::prelude::*;
 
+use crate::gibbs::{rhat_binary_means, worst_rhat};
 use crate::priors::BetaPair;
+use crate::streaming::StreamError;
 
 /// A real-valued claim: a source's scored assertion about a fact.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,6 +115,11 @@ impl RealClaimDb {
     /// Number of claims.
     pub fn num_claims(&self) -> usize {
         self.claim_source.len()
+    }
+
+    /// All fact ids, in order.
+    pub fn fact_ids(&self) -> impl Iterator<Item = FactId> {
+        (0..self.num_facts).map(FactId::from_usize)
     }
 
     /// `(source, value)` pairs of fact `f`'s claims.
@@ -199,58 +207,138 @@ pub struct RealLtmFit {
     pub mean_true: Vec<f64>,
     /// Posterior mean of each source's **false-side** observation value.
     pub mean_false: Vec<f64>,
+    /// Posterior-weighted sufficient statistics of *this batch only* —
+    /// the real-valued analogue of [`crate::ExpectedCounts`], folded into
+    /// the accumulator by [`StreamingRealLtm`].
+    pub expected: RealSuffStats,
 }
 
-/// Per-(source, side) sufficient statistics.
-#[derive(Debug, Clone, Default)]
-struct Suffstats {
-    n: Vec<f64>,
-    sum: Vec<f64>,
-    ssq: Vec<f64>,
+/// Per-`(source, side)` Gaussian sufficient statistics: observation count
+/// `n`, value sum `Σv`, and sum of squares `Σv²` — six cells per source.
+///
+/// This is both the sampler's working table and the *persistence surface*
+/// of the real-valued model: [`RealSuffStats::cells`] /
+/// [`RealSuffStats::from_cells`] round-trip it through `ltm-serve`
+/// snapshots exactly like [`crate::ExpectedCounts::cells`] does for the
+/// Bernoulli model. Soft (posterior-weighted) statistics accumulate across
+/// batches by plain addition, which is what makes the streaming trainer's
+/// "prior + everything seen so far" update exact under NIG conjugacy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RealSuffStats {
+    /// `cells[s * 6 + side * 3 + {0: n, 1: Σv, 2: Σv²}]`.
+    cells: Vec<f64>,
 }
 
-impl Suffstats {
-    fn new(num_sources: usize) -> Self {
+/// Cells per source in [`RealSuffStats`]: `(n, Σv, Σv²)` × 2 sides.
+pub const REAL_CELLS_PER_SOURCE: usize = 6;
+
+impl RealSuffStats {
+    /// An all-zero table over `num_sources` sources.
+    pub fn zeros(num_sources: usize) -> Self {
         Self {
-            n: vec![0.0; num_sources * 2],
-            sum: vec![0.0; num_sources * 2],
-            ssq: vec![0.0; num_sources * 2],
+            cells: vec![0.0; num_sources * REAL_CELLS_PER_SOURCE],
+        }
+    }
+
+    /// Sources covered by the table.
+    pub fn num_sources(&self) -> usize {
+        self.cells.len() / REAL_CELLS_PER_SOURCE
+    }
+
+    /// The raw cell array, [`REAL_CELLS_PER_SOURCE`] entries per source —
+    /// the persistence surface for snapshotting a streaming accumulator.
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+
+    /// Rebuilds a table from cells previously obtained via
+    /// [`RealSuffStats::cells`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is not a whole number of per-source blocks.
+    pub fn from_cells(cells: Vec<f64>) -> Self {
+        assert!(
+            cells.len().is_multiple_of(REAL_CELLS_PER_SOURCE),
+            "real suffstats cells come in blocks of {REAL_CELLS_PER_SOURCE} per source, got {}",
+            cells.len()
+        );
+        Self { cells }
+    }
+
+    /// Grows the table to cover at least `num_sources` sources.
+    pub fn grow(&mut self, num_sources: usize) {
+        if num_sources * REAL_CELLS_PER_SOURCE > self.cells.len() {
+            self.cells.resize(num_sources * REAL_CELLS_PER_SOURCE, 0.0);
+        }
+    }
+
+    /// Adds `other`'s cells into this table (growing as needed).
+    pub fn add_assign(&mut self, other: &RealSuffStats) {
+        self.grow(other.num_sources());
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            *a += b;
+        }
+    }
+
+    /// Total observation weight across all sources and sides (= claims
+    /// accounted for, when weights are posterior probabilities).
+    pub fn total(&self) -> f64 {
+        self.cells
+            .chunks(3)
+            .map(|c| c.first().copied().unwrap_or(0.0))
+            .sum()
+    }
+
+    /// `(n, Σv, Σv²)` for `(s, side)`; zeros outside the table.
+    pub fn get(&self, s: SourceId, side: bool) -> (f64, f64, f64) {
+        let i = Self::idx(s, side);
+        match self.cells.get(i..i + 3) {
+            Some(c) => (c[0], c[1], c[2]),
+            None => (0.0, 0.0, 0.0),
         }
     }
 
     #[inline]
     fn idx(s: SourceId, side: bool) -> usize {
-        s.index() * 2 + side as usize
+        s.index() * REAL_CELLS_PER_SOURCE + side as usize * 3
+    }
+
+    /// Adds a weighted observation (soft assignment).
+    #[inline]
+    pub fn add_weighted(&mut self, s: SourceId, side: bool, weight: f64, v: f64) {
+        let i = Self::idx(s, side);
+        self.cells[i] += weight;
+        self.cells[i + 1] += weight * v;
+        self.cells[i + 2] += weight * v * v;
     }
 
     #[inline]
     fn add(&mut self, s: SourceId, side: bool, v: f64) {
-        let i = Self::idx(s, side);
-        self.n[i] += 1.0;
-        self.sum[i] += v;
-        self.ssq[i] += v * v;
+        self.add_weighted(s, side, 1.0, v);
     }
 
     #[inline]
     fn remove(&mut self, s: SourceId, side: bool, v: f64) {
         let i = Self::idx(s, side);
-        self.n[i] -= 1.0;
-        self.sum[i] -= v;
-        self.ssq[i] -= v * v;
+        self.cells[i] -= 1.0;
+        self.cells[i + 1] -= v;
+        self.cells[i + 2] -= v * v;
     }
 
-    /// Log posterior-predictive density of `v` under the NIG posterior for
-    /// `(s, side)` given `prior` and the current sufficient statistics.
-    fn ln_predictive(&self, s: SourceId, side: bool, v: f64, prior: &NigPrior) -> f64 {
-        let i = Self::idx(s, side);
-        let n = self.n[i];
+    /// Log posterior-predictive density of `v` for `(s, side)`: the
+    /// Student-t implied by the NIG posterior of `prior` updated with the
+    /// current sufficient statistics. A source outside the table (or with
+    /// zero accumulated weight) falls back to the prior-only predictive.
+    pub fn ln_predictive(&self, s: SourceId, side: bool, v: f64, prior: &NigPrior) -> f64 {
+        let (n, sum, ssq) = self.get(s, side);
         let (kappa_n, mu_n, a_n, b_n);
         if n > 0.0 {
-            let mean = self.sum[i] / n;
+            let mean = sum / n;
             // Guard tiny negative values from floating-point cancellation.
-            let ss = (self.ssq[i] - self.sum[i] * self.sum[i] / n).max(0.0);
+            let ss = (ssq - sum * sum / n).max(0.0);
             kappa_n = prior.kappa + n;
-            mu_n = (prior.kappa * prior.mean + self.sum[i]) / kappa_n;
+            mu_n = (prior.kappa * prior.mean + sum) / kappa_n;
             a_n = prior.a + n / 2.0;
             b_n = prior.b
                 + 0.5 * ss
@@ -281,6 +369,22 @@ fn ln_student_t(v: f64, df: f64, loc: f64, scale: f64) -> f64 {
 
 /// Fits the real-valued Latent Truth Model by collapsed Gibbs sampling.
 pub fn fit(db: &RealClaimDb, config: &RealLtmConfig) -> RealLtmFit {
+    fit_with_stats(db, config, &RealSuffStats::zeros(0))
+}
+
+/// [`fit`] with **base sufficient statistics** carried in from earlier
+/// batches: every posterior-predictive evaluation sees `base` on top of
+/// the batch's own claims, which is exactly the streaming update of paper
+/// §5.4 transplanted to the Gaussian model — the NIG prior is updated
+/// with everything already seen, then the new batch is fitted against it.
+///
+/// `base` is read-only; the returned [`RealLtmFit::expected`] covers only
+/// this batch, so the caller accumulates by addition.
+pub fn fit_with_stats(
+    db: &RealClaimDb,
+    config: &RealLtmConfig,
+    base: &RealSuffStats,
+) -> RealLtmFit {
     assert!(
         config.burn_in < config.iterations,
         "burn_in must be < iterations"
@@ -307,7 +411,12 @@ pub fn fit(db: &RealClaimDb, config: &RealLtmConfig) -> RealLtmFit {
         })
         .collect();
 
-    let mut stats = Suffstats::new(db.num_sources());
+    // The working table starts as a copy of the carried-in statistics;
+    // flips only ever add/remove the batch's own claims, so the base
+    // contribution stays fixed underneath — the "prior plus accumulated
+    // counts" streaming update, by construction.
+    let mut stats = base.clone();
+    stats.grow(db.num_sources());
     #[allow(clippy::needless_range_loop)] // i is both FactId and label index
     for i in 0..db.num_facts() {
         let f = FactId::from_usize(i);
@@ -351,37 +460,307 @@ pub fn fit(db: &RealClaimDb, config: &RealLtmConfig) -> RealLtmFit {
     }
 
     let truth = TruthAssignment::new(acc.into_iter().map(|x| x / samples as f64).collect());
+    RealLtmFit::from_posterior(db, truth, config)
+}
 
-    // Posterior side means per source from the final expected statistics:
-    // recompute with soft assignments from the posterior.
-    let mut soft = Suffstats::new(db.num_sources());
-    for i in 0..db.num_facts() {
-        let f = FactId::from_usize(i);
-        let p1 = truth.prob(f);
-        for (s, v) in db.claims_of_fact(f) {
-            let j1 = Suffstats::idx(s, true);
-            let j0 = Suffstats::idx(s, false);
-            soft.n[j1] += p1;
-            soft.sum[j1] += p1 * v;
-            soft.n[j0] += 1.0 - p1;
-            soft.sum[j0] += (1.0 - p1) * v;
+impl RealLtmFit {
+    /// Derives the soft (posterior-weighted) sufficient statistics and
+    /// per-source side means from a posterior truth assignment — shared
+    /// by the single-chain and pooled multi-chain paths.
+    fn from_posterior(db: &RealClaimDb, truth: TruthAssignment, config: &RealLtmConfig) -> Self {
+        let mut soft = RealSuffStats::zeros(db.num_sources());
+        for i in 0..db.num_facts() {
+            let f = FactId::from_usize(i);
+            let p1 = truth.prob(f);
+            for (s, v) in db.claims_of_fact(f) {
+                soft.add_weighted(s, true, p1, v);
+                soft.add_weighted(s, false, 1.0 - p1, v);
+            }
+        }
+        let side_mean = |s: usize, side: bool, prior: &NigPrior| {
+            let (n, sum, _) = soft.get(SourceId::from_usize(s), side);
+            (prior.kappa * prior.mean + sum) / (prior.kappa + n)
+        };
+        let mean_true = (0..db.num_sources())
+            .map(|s| side_mean(s, true, &config.side1))
+            .collect();
+        let mean_false = (0..db.num_sources())
+            .map(|s| side_mean(s, false, &config.side0))
+            .collect();
+        Self {
+            truth,
+            mean_true,
+            mean_false,
+            expected: soft,
         }
     }
-    let side_mean = |s: usize, side: bool, prior: &NigPrior| {
-        let j = s * 2 + side as usize;
-        (prior.kappa * prior.mean + soft.sum[j]) / (prior.kappa + soft.n[j])
-    };
-    let mean_true = (0..db.num_sources())
-        .map(|s| side_mean(s, true, &config.side1))
-        .collect();
-    let mean_false = (0..db.num_sources())
-        .map(|s| side_mean(s, false, &config.side0))
-        .collect();
+}
 
-    RealLtmFit {
-        truth,
-        mean_true,
-        mean_false,
+/// A pooled multi-chain real-valued fit with Gelman–Rubin diagnostics —
+/// the real-valued analogue of [`crate::MultiChainFit`], consumed by the
+/// `ltm-serve` refit daemon's R̂-gated epoch promotion.
+#[derive(Debug, Clone)]
+pub struct RealMultiChainFit {
+    /// The pooled fit (equal-weight mean across chains), including the
+    /// posterior-weighted [`RealLtmFit::expected`] statistics.
+    pub fit: RealLtmFit,
+    /// Per-fact Gelman–Rubin `R̂` across chains.
+    pub rhat: Vec<f64>,
+    /// Worst per-fact `R̂` (NaN read as `+∞`; 1.0 when there are no facts).
+    pub max_rhat: f64,
+    /// Fraction of facts with `R̂ ≤ 1.1`.
+    pub converged_fraction: f64,
+    /// Chains run.
+    pub num_chains: usize,
+}
+
+/// Fits `num_chains` decorrelated chains in parallel over the same batch
+/// and base statistics, pools their posteriors, and computes per-fact
+/// `R̂` — see [`fit_with_stats`] for the base-statistics semantics.
+///
+/// # Panics
+///
+/// Panics if `num_chains` is zero.
+pub fn fit_chains_with_stats(
+    db: &RealClaimDb,
+    config: &RealLtmConfig,
+    base: &RealSuffStats,
+    num_chains: usize,
+) -> RealMultiChainFit {
+    assert!(
+        num_chains > 0,
+        "fit_chains_with_stats: need at least one chain"
+    );
+    let chains: Vec<TruthAssignment> = (0..num_chains)
+        .into_par_iter()
+        .map(|k| {
+            let seed = if k == 0 {
+                config.seed
+            } else {
+                derive_seed(config.seed, k as u64)
+            };
+            fit_with_stats(db, &RealLtmConfig { seed, ..*config }, base).truth
+        })
+        .collect();
+    let mut pooled = vec![0.0f64; db.num_facts()];
+    for chain in &chains {
+        for (acc, f) in pooled.iter_mut().zip(db.fact_ids()) {
+            *acc += chain.prob(f);
+        }
+    }
+    for p in &mut pooled {
+        *p /= num_chains as f64;
+    }
+    let chain_means: Vec<Vec<f64>> = chains
+        .iter()
+        .map(|c| db.fact_ids().map(|f| c.prob(f)).collect())
+        .collect();
+    let rhat = rhat_binary_means(&chain_means, config.iterations - config.burn_in);
+    let max_rhat = worst_rhat(&rhat);
+    let converged_fraction = if rhat.is_empty() {
+        1.0
+    } else {
+        rhat.iter().filter(|&&r| r <= 1.1).count() as f64 / rhat.len() as f64
+    };
+    RealMultiChainFit {
+        fit: RealLtmFit::from_posterior(db, TruthAssignment::new(pooled), config),
+        rhat,
+        max_rhat,
+        converged_fraction,
+        num_chains,
+    }
+}
+
+/// Streaming trainer for the real-valued model — the Gaussian counterpart
+/// of [`crate::StreamingLtm`]: each batch is fitted with the NIG priors
+/// effectively updated by the soft statistics accumulated from every
+/// earlier batch, then its own soft statistics are folded in.
+#[derive(Debug, Clone)]
+pub struct StreamingRealLtm {
+    config: RealLtmConfig,
+    cumulative: RealSuffStats,
+    batches_seen: usize,
+}
+
+impl StreamingRealLtm {
+    /// Creates a trainer with the given base configuration.
+    pub fn new(config: RealLtmConfig) -> Self {
+        Self {
+            config,
+            cumulative: RealSuffStats::zeros(0),
+            batches_seen: 0,
+        }
+    }
+
+    /// Resumes a trainer from a previously accumulated statistics table
+    /// (e.g. restored from an `ltm-serve` snapshot); `batches_seen`
+    /// restores the per-batch seed decorrelation counter.
+    pub fn from_accumulated(
+        config: RealLtmConfig,
+        stats: RealSuffStats,
+        batches_seen: usize,
+    ) -> Self {
+        Self {
+            config,
+            cumulative: stats,
+            batches_seen,
+        }
+    }
+
+    /// Number of batches consumed so far.
+    pub fn batches_seen(&self) -> usize {
+        self.batches_seen
+    }
+
+    /// Replaces the base seed per-batch chain seeds derive from (the
+    /// serve-layer refit daemon bumps this on every attempt).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.config.seed = seed;
+    }
+
+    /// The cumulative soft-statistics accumulator — read it out to
+    /// persist a trainer and resume via
+    /// [`StreamingRealLtm::from_accumulated`].
+    pub fn accumulated(&self) -> &RealSuffStats {
+        &self.cumulative
+    }
+
+    /// The model configuration (NIG priors, `β`, schedule).
+    pub fn config(&self) -> &RealLtmConfig {
+        &self.config
+    }
+
+    /// Rejects batches whose source-id space is smaller than the
+    /// accumulated statistics' (see [`StreamError::SourceSpaceShrunk`]).
+    fn check_id_space(&self, batch: &RealClaimDb) -> Result<(), StreamError> {
+        if batch.num_sources() < self.cumulative.num_sources() {
+            return Err(StreamError::SourceSpaceShrunk {
+                batch: batch.num_sources(),
+                accumulated: self.cumulative.num_sources(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The configuration for the next batch fit (seed decorrelated across
+    /// batches, reproducibly).
+    fn batch_config(&self) -> RealLtmConfig {
+        RealLtmConfig {
+            seed: self.config.seed.wrapping_add(self.batches_seen as u64),
+            ..self.config
+        }
+    }
+
+    /// Fits one batch under the accumulated statistics, then folds the
+    /// batch's soft statistics into the accumulator. On error the
+    /// accumulated state is left untouched.
+    pub fn try_observe(&mut self, batch: &RealClaimDb) -> Result<RealLtmFit, StreamError> {
+        self.check_id_space(batch)?;
+        let fit = fit_with_stats(batch, &self.batch_config(), &self.cumulative);
+        self.fold(&fit.expected);
+        Ok(fit)
+    }
+
+    /// Fits one batch with `num_chains` parallel chains (pooled
+    /// posterior plus `R̂` diagnostics) under the accumulated statistics,
+    /// then folds the pooled soft statistics in — the `ltm-serve` refit
+    /// path for real-valued domains.
+    pub fn try_observe_chains(
+        &mut self,
+        batch: &RealClaimDb,
+        num_chains: usize,
+    ) -> Result<RealMultiChainFit, StreamError> {
+        self.check_id_space(batch)?;
+        let multi =
+            fit_chains_with_stats(batch, &self.batch_config(), &self.cumulative, num_chains);
+        self.fold(&multi.fit.expected);
+        Ok(multi)
+    }
+
+    fn fold(&mut self, expected: &RealSuffStats) {
+        self.cumulative.add_assign(expected);
+        self.batches_seen += 1;
+    }
+
+    /// Exports a closed-form predictor over the current accumulated
+    /// statistics (the real-valued Equation-3 analogue).
+    pub fn predictor(&self) -> IncrementalRealLtm {
+        IncrementalRealLtm::new(&self.config, self.cumulative.clone())
+    }
+}
+
+/// Closed-form truth predictor for real-valued claims — the Gaussian
+/// analogue of [`crate::IncrementalLtm`] (paper §5.4 / §7): with source
+/// observation behaviour summarised by accumulated sufficient statistics,
+/// a new fact's posterior is one Student-t evaluation per claim and side,
+/// no sampling.
+///
+/// ```text
+/// p(t_f = 1 | v, s) ∝ β₁ Π_c  t(v_c; NIG₁(s_c) posterior)
+/// p(t_f = 0 | v, s) ∝ β₀ Π_c  t(v_c; NIG₀(s_c) posterior)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalRealLtm {
+    side0: NigPrior,
+    side1: NigPrior,
+    beta: BetaPair,
+    stats: RealSuffStats,
+}
+
+impl IncrementalRealLtm {
+    /// Builds a predictor from a model configuration (NIG priors + `β`)
+    /// and accumulated per-source statistics.
+    pub fn new(config: &RealLtmConfig, stats: RealSuffStats) -> Self {
+        Self {
+            side0: config.side0,
+            side1: config.side1,
+            beta: config.beta,
+            stats,
+        }
+    }
+
+    /// Rebuilds a predictor from previously exported parameters — the
+    /// snapshot-restore path of `ltm-serve`.
+    pub fn from_parts(
+        side0: NigPrior,
+        side1: NigPrior,
+        beta: BetaPair,
+        stats: RealSuffStats,
+    ) -> Self {
+        Self {
+            side0,
+            side1,
+            beta,
+            stats,
+        }
+    }
+
+    /// The accumulated per-source statistics backing the predictor.
+    pub fn stats(&self) -> &RealSuffStats {
+        &self.stats
+    }
+
+    /// The `(side0, side1)` NIG priors in use.
+    pub fn priors(&self) -> (NigPrior, NigPrior) {
+        (self.side0, self.side1)
+    }
+
+    /// The `β` prior in use.
+    pub fn beta(&self) -> BetaPair {
+        self.beta
+    }
+
+    /// Posterior truth probability of a fact given `(source, value)`
+    /// claims. Sources outside the learned statistics fall back to the
+    /// prior-only predictive; an empty claim list yields the `β` prior
+    /// mean.
+    pub fn predict_fact(&self, claims: &[(SourceId, f64)]) -> f64 {
+        let mut log_odds = (self.beta.pos / self.beta.neg).ln();
+        for &(s, v) in claims {
+            log_odds += self.stats.ln_predictive(s, true, v, &self.side1)
+                - self.stats.ln_predictive(s, false, v, &self.side0);
+        }
+        sigmoid(log_odds)
     }
 }
 
@@ -506,5 +885,146 @@ mod tests {
         let db = RealClaimDb::new(0, 0, vec![]);
         let f = fit(&db, &RealLtmConfig::default());
         assert!(f.truth.is_empty());
+        assert_eq!(f.expected.num_sources(), 0);
+    }
+
+    #[test]
+    fn expected_stats_account_for_every_claim() {
+        let (db, _) = two_cluster_db(60, 3, 0.9, 0.2, 0.05, 11);
+        let f = fit(&db, &RealLtmConfig::default());
+        // Soft weights per claim sum to 1 (p + (1−p)), so the total
+        // weight equals the claim count exactly.
+        assert!(
+            (f.expected.total() - db.num_claims() as f64).abs() < 1e-6,
+            "expected covers {} of {} claims",
+            f.expected.total(),
+            db.num_claims()
+        );
+    }
+
+    #[test]
+    fn suffstats_cells_round_trip_and_grow() {
+        let mut s = RealSuffStats::zeros(1);
+        s.add_weighted(SourceId::new(0), true, 0.7, 0.9);
+        s.add_weighted(SourceId::new(0), false, 0.3, 0.9);
+        let rebuilt = RealSuffStats::from_cells(s.cells().to_vec());
+        assert_eq!(rebuilt, s);
+        let mut grown = rebuilt.clone();
+        grown.grow(3);
+        assert_eq!(grown.num_sources(), 3);
+        assert_eq!(
+            grown.get(SourceId::new(0), true),
+            s.get(SourceId::new(0), true)
+        );
+        assert_eq!(grown.get(SourceId::new(2), true), (0.0, 0.0, 0.0));
+        // Out-of-range reads fall back to zeros rather than panicking.
+        assert_eq!(grown.get(SourceId::new(9), false), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks of 6")]
+    fn suffstats_rejects_ragged_cells() {
+        RealSuffStats::from_cells(vec![0.0; 5]);
+    }
+
+    #[test]
+    fn streaming_accumulates_and_resumes_bit_identically() {
+        let (batch1, _) = two_cluster_db(40, 3, 0.9, 0.2, 0.06, 21);
+        let (batch2, _) = two_cluster_db(40, 3, 0.9, 0.2, 0.06, 22);
+        let cfg = RealLtmConfig::default();
+
+        let mut reference = StreamingRealLtm::new(cfg);
+        reference.try_observe(&batch1).unwrap();
+        let saved = reference.accumulated().cells().to_vec();
+        let saved_batches = reference.batches_seen();
+        reference.try_observe(&batch2).unwrap();
+
+        let mut resumed = StreamingRealLtm::from_accumulated(
+            cfg,
+            RealSuffStats::from_cells(saved),
+            saved_batches,
+        );
+        resumed.try_observe(&batch2).unwrap();
+        assert_eq!(resumed.batches_seen(), reference.batches_seen());
+        assert_eq!(resumed.accumulated(), reference.accumulated());
+        let claims = [(SourceId::new(0), 0.88), (SourceId::new(1), 0.15)];
+        assert_eq!(
+            resumed.predictor().predict_fact(&claims),
+            reference.predictor().predict_fact(&claims),
+            "resumed trainer must predict bit-identically"
+        );
+    }
+
+    #[test]
+    fn streaming_rejects_shrunken_source_space() {
+        let (wide, _) = two_cluster_db(20, 3, 0.9, 0.2, 0.06, 23);
+        let (narrow, _) = two_cluster_db(20, 2, 0.9, 0.2, 0.06, 24);
+        let mut s = StreamingRealLtm::new(RealLtmConfig::default());
+        s.try_observe(&wide).unwrap();
+        let before = s.accumulated().clone();
+        let err = s.try_observe(&narrow).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::SourceSpaceShrunk {
+                batch: 2,
+                accumulated: 3
+            }
+        );
+        assert_eq!(s.accumulated(), &before, "rejected batch folds nothing");
+        assert_eq!(s.batches_seen(), 1);
+    }
+
+    #[test]
+    fn chains_pool_and_diagnose() {
+        let (db, truth) = two_cluster_db(100, 4, 0.9, 0.2, 0.06, 25);
+        let mut s = StreamingRealLtm::new(RealLtmConfig::default());
+        let multi = s.try_observe_chains(&db, 3).unwrap();
+        assert_eq!(multi.num_chains, 3);
+        assert_eq!(multi.rhat.len(), db.num_facts());
+        assert!(multi.max_rhat.is_finite(), "rhat = {}", multi.max_rhat);
+        assert!(multi.converged_fraction > 0.8);
+        let correct = (0..100)
+            .filter(|&i| (multi.fit.truth.prob(FactId::from_usize(i)) >= 0.5) == truth[i])
+            .count();
+        assert!(correct >= 95, "pooled fit correct = {correct}/100");
+        assert_eq!(s.batches_seen(), 1);
+    }
+
+    #[test]
+    fn incremental_predictor_separates_learned_sides() {
+        // After streaming over well-separated clusters, a high-valued
+        // claim from a learned source should score far above a low one.
+        let (db, _) = two_cluster_db(200, 3, 0.9, 0.2, 0.05, 26);
+        let mut s = StreamingRealLtm::new(RealLtmConfig::default());
+        s.try_observe(&db).unwrap();
+        let p = s.predictor();
+        let hi = p.predict_fact(&[(SourceId::new(0), 0.9)]);
+        let lo = p.predict_fact(&[(SourceId::new(0), 0.2)]);
+        assert!(hi > 0.9, "high-valued claim: {hi}");
+        assert!(lo < 0.1, "low-valued claim: {lo}");
+        // Unknown sources fall back to the prior-only predictive and
+        // still pull in the right direction.
+        let hi_unknown = p.predict_fact(&[(SourceId::new(99), 0.85)]);
+        let lo_unknown = p.predict_fact(&[(SourceId::new(99), 0.25)]);
+        assert!(hi_unknown > lo_unknown);
+        // An empty claim list yields the β prior mean.
+        let b = RealLtmConfig::default().beta;
+        assert!((p.predict_fact(&[]) - b.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_predictor_round_trips_from_parts() {
+        let (db, _) = two_cluster_db(50, 2, 0.9, 0.2, 0.06, 27);
+        let mut s = StreamingRealLtm::new(RealLtmConfig::default());
+        s.try_observe(&db).unwrap();
+        let p = s.predictor();
+        let rebuilt = IncrementalRealLtm::from_parts(
+            p.priors().0,
+            p.priors().1,
+            p.beta(),
+            RealSuffStats::from_cells(p.stats().cells().to_vec()),
+        );
+        let claims = [(SourceId::new(0), 0.7), (SourceId::new(1), 0.3)];
+        assert_eq!(rebuilt.predict_fact(&claims), p.predict_fact(&claims));
     }
 }

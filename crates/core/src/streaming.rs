@@ -54,6 +54,34 @@ impl std::error::Error for StreamError {}
 
 /// Incremental trainer that folds learned quality into the priors of
 /// subsequent batches.
+///
+/// # Example
+///
+/// ```
+/// use ltm_core::{LtmConfig, SampleSchedule, StreamingLtm};
+/// use ltm_model::{ClaimDb, RawDatabaseBuilder};
+///
+/// let config = LtmConfig {
+///     schedule: SampleSchedule::new(40, 10, 1),
+///     ..LtmConfig::default()
+/// };
+/// let mut trainer = StreamingLtm::new(config);
+///
+/// let mut b = RawDatabaseBuilder::new();
+/// b.add("Harry Potter", "Daniel Radcliffe", "IMDB");
+/// b.add("Harry Potter", "Emma Watson", "IMDB");
+/// b.add("Harry Potter", "Daniel Radcliffe", "Netflix");
+/// let batch = ClaimDb::from_raw(&b.build());
+///
+/// let fit = trainer.try_observe(&batch).expect("shared source-id space");
+/// assert_eq!(fit.truth.len(), batch.num_facts());
+/// assert_eq!(trainer.batches_seen(), 1);
+///
+/// // Quality learned so far exports as a no-sampling Equation-3
+/// // predictor for new facts (the `ltm-serve` query path).
+/// let predictor = trainer.predictor();
+/// # let _ = predictor;
+/// ```
 #[derive(Debug, Clone)]
 pub struct StreamingLtm {
     config: LtmConfig,

@@ -101,6 +101,76 @@ pub fn resolve_truth(
     truth
 }
 
+/// Configuration of the real-valued ingest stream generator
+/// ([`real_valued_rows`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealStreamConfig {
+    /// Entities to generate.
+    pub entities: usize,
+    /// Facts (attributes) per entity; even-indexed attributes are true.
+    pub attrs_per_entity: usize,
+    /// Sources; every source scores every fact.
+    pub sources: usize,
+    /// Sources (prefix of the id space) that are *informative*: they
+    /// score true facts near `hi` and false facts near `lo`. The rest
+    /// score uniformly at random in `[lo, hi]`.
+    pub informative_sources: usize,
+    /// Centre of informative scores for true facts.
+    pub hi: f64,
+    /// Centre of informative scores for false facts.
+    pub lo: f64,
+    /// Gaussian noise on informative scores.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RealStreamConfig {
+    fn default() -> Self {
+        Self {
+            entities: 50,
+            attrs_per_entity: 2,
+            sources: 5,
+            informative_sources: 4,
+            hi: 0.9,
+            lo: 0.2,
+            noise: 0.06,
+            seed: 17,
+        }
+    }
+}
+
+/// Generates a real-valued ingest stream: `(entity, attribute, source,
+/// value)` rows for the `ltm-serve` real-valued-domain ingest path (and
+/// its benchmarks/tests). Ground truth alternates per attribute index
+/// (`a0`, `a2`, … true; `a1`, `a3`, … false), so callers can check the
+/// fitted posterior against `attr index % 2 == 0` by name. Rows come in
+/// entity-major order, matching an arrival stream.
+pub fn real_valued_rows(config: &RealStreamConfig) -> Vec<(String, String, String, f64)> {
+    use rand::Rng;
+    let mut rng = rng_from_seed(config.seed);
+    let mut rows = Vec::with_capacity(config.entities * config.attrs_per_entity * config.sources);
+    for e in 0..config.entities {
+        for a in 0..config.attrs_per_entity {
+            let truth = a % 2 == 0;
+            for s in 0..config.sources {
+                let value = if s < config.informative_sources {
+                    // Box–Muller normal around the side centre.
+                    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u2: f64 = rng.gen();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let centre = if truth { config.hi } else { config.lo };
+                    (centre + config.noise * z).clamp(0.0, 1.0)
+                } else {
+                    config.lo + (config.hi - config.lo) * rng.gen::<f64>()
+                };
+                rows.push((format!("e{e}"), format!("a{a}"), format!("s{s}"), value));
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +251,34 @@ mod tests {
     #[should_panic(expected = "at least one batch")]
     fn zero_batches_rejected() {
         partition_entities(&data(), 0, 0);
+    }
+
+    #[test]
+    fn real_valued_rows_separate_by_truth() {
+        let cfg = RealStreamConfig::default();
+        let rows = real_valued_rows(&cfg);
+        assert_eq!(
+            rows.len(),
+            cfg.entities * cfg.attrs_per_entity * cfg.sources
+        );
+        // Informative sources score true facts (even attrs) higher than
+        // false ones on average, with a clear margin.
+        let mean_of = |want_true: bool| {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|(_, a, s, _)| {
+                    let attr_idx: usize = a[1..].parse().unwrap();
+                    let src_idx: usize = s[1..].parse().unwrap();
+                    attr_idx.is_multiple_of(2) == want_true && src_idx < cfg.informative_sources
+                })
+                .map(|&(_, _, _, v)| v)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(mean_of(true) > mean_of(false) + 0.4);
+        // All values stay in the unit interval and are finite.
+        assert!(rows.iter().all(|&(_, _, _, v)| (0.0..=1.0).contains(&v)));
+        // Deterministic per seed.
+        assert_eq!(real_valued_rows(&cfg), rows);
     }
 }

@@ -69,8 +69,11 @@ fn write_field_csv<W: Write>(w: &mut W, field: &str) -> std::io::Result<()> {
     }
 }
 
-/// Splits one CSV record into fields, honouring quotes.
-fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, IoError> {
+/// Splits one CSV record into fields, honouring RFC-4180-style quotes
+/// (doubled quotes escape; quoted fields may contain commas). Public so
+/// CSV-consuming front ends (the `ltm` CLI) parse rows exactly the way
+/// [`read_triples`]/[`write_triples`] round-trip them.
+pub fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, IoError> {
     let mut fields = Vec::new();
     let mut cur = String::new();
     let mut chars = line.chars().peekable();

@@ -4,23 +4,33 @@
 //! ltm serve  [--addr A] [--shards N] [--threads N] [--chains N]
 //!            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]
 //!            [--full-refit-every N] [--snapshot FILE] [--port-file FILE]
-//!            [--io-timeout-millis MS]
-//! ltm ingest <TRIPLES.csv> [--addr A] [--batch N]
-//! ltm query  <SOURCE=true|false>... [--addr A]
+//!            [--io-timeout-millis MS] [--domain NAME=KIND]...
+//! ltm ingest <TRIPLES.csv> [--addr A] [--batch N] [--domain NAME]
+//! ltm query  <SOURCE=true|false|VALUE>... [--addr A] [--domain NAME]
+//! ltm domain add <NAME> <KIND> [--addr A]
+//! ltm domain list [--addr A]
 //! ```
 //!
-//! `serve` runs the sharded server until `POST /admin/shutdown`;
-//! `ingest` streams a `entity,attribute,source` CSV (the
-//! `ltm_model::io` triples format) into a running server; `query` scores
-//! an ad-hoc claim list and prints the JSON response.
+//! `serve` runs the sharded multi-domain server until
+//! `POST /admin/shutdown`; `--domain` (repeatable) pre-creates extra
+//! domains beside the implicit boolean `default` (KIND is `boolean`,
+//! `real_valued`, or `positive_only`). `ingest` streams an
+//! `entity,attribute,source[,value]` CSV into a running server (the
+//! 4-column form for real-valued domains); `query` scores an ad-hoc
+//! claim list (`SOURCE=true|false` for boolean domains, `SOURCE=0.87`
+//! for real-valued ones) and prints the JSON response; `domain`
+//! adds/lists domains on a running server. See docs/API.md for the HTTP
+//! surface behind every subcommand.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use ltm_core::{LtmConfig, SampleSchedule};
 use ltm_serve::http::http_call;
+use ltm_serve::model::ModelKind;
 use ltm_serve::refit::RefitConfig;
 use ltm_serve::server::{ServeConfig, Server};
+use ltm_serve::DEFAULT_DOMAIN;
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -28,9 +38,12 @@ fn usage(msg: &str) -> ! {
         "usage:\n  ltm serve  [--addr A] [--shards N] [--threads N] [--chains N]\n\
          \x20            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]\n\
          \x20            [--full-refit-every N] [--snapshot FILE] [--port-file FILE]\n\
-         \x20            [--io-timeout-millis MS]\n\
-         \x20 ltm ingest <TRIPLES.csv> [--addr A] [--batch N]\n\
-         \x20 ltm query  <SOURCE=true|false>... [--addr A]"
+         \x20            [--io-timeout-millis MS] [--domain NAME=KIND]...\n\
+         \x20 ltm ingest <TRIPLES.csv> [--addr A] [--batch N] [--domain NAME]\n\
+         \x20 ltm query  <SOURCE=true|false|VALUE>... [--addr A] [--domain NAME]\n\
+         \x20 ltm domain add <NAME> <KIND> [--addr A]\n\
+         \x20 ltm domain list [--addr A]\n\
+         KIND is boolean, real_valued, or positive_only."
     );
     std::process::exit(2);
 }
@@ -47,6 +60,7 @@ fn main() {
         Some("serve") => serve(args),
         Some("ingest") => ingest(args),
         Some("query") => query(args),
+        Some("domain") => domain(args),
         Some(other) => usage(&format!("unknown subcommand `{other}`")),
         None => usage("missing subcommand"),
     }
@@ -92,6 +106,17 @@ fn serve(mut args: impl Iterator<Item = String>) {
                 config.io_timeout =
                     Duration::from_millis(parse_or_usage(args.next(), "--io-timeout-millis"))
             }
+            // Pre-create a domain at boot: --domain scores=real_valued
+            "--domain" => {
+                let spec: String = parse_or_usage(args.next(), "--domain");
+                let Some((name, kind_text)) = spec.split_once('=') else {
+                    usage("--domain takes NAME=KIND (e.g. scores=real_valued)");
+                };
+                let kind: ModelKind = kind_text
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("--domain: {e}")));
+                config.domains.push((name.to_owned(), kind));
+            }
             other => usage(&format!("unknown serve argument `{other}`")),
         }
     }
@@ -100,6 +125,9 @@ fn serve(mut args: impl Iterator<Item = String>) {
         std::process::exit(1);
     });
     println!("ltm serve listening on {}", server.addr());
+    for domain in server.domains().list() {
+        println!("  domain {} ({})", domain.name(), domain.kind());
+    }
     if let Some(path) = &port_file {
         std::fs::write(path, server.addr().to_string()).unwrap_or_else(|e| {
             eprintln!("failed to write port file: {e}");
@@ -114,14 +142,70 @@ fn serve(mut args: impl Iterator<Item = String>) {
     }
 }
 
+/// The `/claims` route for `domain` (`/claims` for the default domain,
+/// `/d/{domain}/claims` otherwise) — same scheme for the other routes.
+fn domain_route(domain: &str, rest: &str) -> String {
+    if domain == DEFAULT_DOMAIN {
+        rest.to_owned()
+    } else {
+        format!("/d/{domain}{rest}")
+    }
+}
+
+/// One parsed CSV row: 3 fields (boolean domains) or 4 with a trailing
+/// numeric value (real-valued domains).
+enum CsvRow {
+    Triple(String, String, String),
+    Valued(String, String, String, f64),
+}
+
+/// Reads an `entity,attribute,source[,value]` CSV (header row skipped).
+/// Fields follow the workspace's triples format — RFC-4180-style quoting
+/// via [`ltm_model::io::split_record`], so files produced by
+/// `ltm_model::io::write_triples` (including names with embedded commas)
+/// ingest unchanged; the 4-column form requires a finite numeric value.
+fn read_rows(path: &PathBuf) -> Result<Vec<CsvRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.is_empty() {
+            continue; // header / blank
+        }
+        let line_no = i + 1;
+        let fields = ltm_model::io::split_record(line, line_no).map_err(|e| e.to_string())?;
+        match fields.as_slice() {
+            [e, a, s] => rows.push(CsvRow::Triple(e.clone(), a.clone(), s.clone())),
+            [e, a, s, v] => {
+                let value: f64 = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("line {line_no}: bad value {v:?}"))?;
+                if !value.is_finite() {
+                    return Err(format!("line {line_no}: value must be finite, got {v:?}"));
+                }
+                rows.push(CsvRow::Valued(e.clone(), a.clone(), s.clone(), value));
+            }
+            other => {
+                return Err(format!(
+                    "line {line_no}: expected 3 or 4 fields, found {}",
+                    other.len()
+                ))
+            }
+        }
+    }
+    Ok(rows)
+}
+
 fn ingest(mut args: impl Iterator<Item = String>) {
     let mut file: Option<PathBuf> = None;
     let mut addr = "127.0.0.1:7878".to_string();
     let mut batch = 1000usize;
+    let mut domain = DEFAULT_DOMAIN.to_string();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = parse_or_usage(args.next(), "--addr"),
             "--batch" => batch = parse_or_usage(args.next(), "--batch"),
+            "--domain" => domain = parse_or_usage(args.next(), "--domain"),
             other if file.is_none() && !other.starts_with("--") => {
                 file = Some(PathBuf::from(other))
             }
@@ -129,24 +213,16 @@ fn ingest(mut args: impl Iterator<Item = String>) {
         }
     }
     let file = file.unwrap_or_else(|| usage("ingest needs a triples file"));
-    let raw = std::fs::File::open(&file)
-        .map_err(|e| e.to_string())
-        .and_then(|f| {
-            ltm_model::io::read_triples(std::io::BufReader::new(f)).map_err(|e| e.to_string())
-        })
-        .unwrap_or_else(|e| {
-            eprintln!("failed to read {}: {e}", file.display());
-            std::process::exit(1);
-        });
+    let rows = read_rows(&file).unwrap_or_else(|e| {
+        eprintln!("failed to read {}: {e}", file.display());
+        std::process::exit(1);
+    });
 
-    let triples: Vec<(String, String, String)> = raw
-        .iter_named()
-        .map(|(e, a, s)| (e.to_owned(), a.to_owned(), s.to_owned()))
-        .collect();
+    let route = domain_route(&domain, "/claims");
     let mut sent = 0usize;
-    for chunk in triples.chunks(batch.max(1)) {
+    for chunk in rows.chunks(batch.max(1)) {
         let body = claims_body(chunk);
-        match http_call(&addr, "POST", "/claims", Some(&body)) {
+        match http_call(&addr, "POST", &route, Some(&body)) {
             Ok((200, _)) => sent += chunk.len(),
             Ok((status, response)) => {
                 eprintln!("server rejected batch: HTTP {status}: {response}");
@@ -158,41 +234,72 @@ fn ingest(mut args: impl Iterator<Item = String>) {
             }
         }
     }
-    println!("ingested {sent} triples from {}", file.display());
+    println!(
+        "ingested {sent} rows from {} into domain {domain}",
+        file.display()
+    );
 }
 
-/// Renders a `/claims` body from named triples.
-fn claims_body(triples: &[(String, String, String)]) -> String {
-    let rows: Vec<Vec<&String>> = triples.iter().map(|(e, a, s)| vec![e, a, s]).collect();
-    format!(
-        "{{\"triples\":{}}}",
-        serde_json::to_string(&rows).expect("serialize triples")
-    )
+/// Renders a `/claims` body from CSV rows.
+fn claims_body(rows: &[CsvRow]) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|row| match row {
+            CsvRow::Triple(e, a, s) => serde_json::to_string(&vec![e, a, s]).expect("serialize"),
+            CsvRow::Valued(e, a, s, v) => format!(
+                "[{},{},{},{v}]",
+                serde_json::to_string(e).expect("serialize"),
+                serde_json::to_string(a).expect("serialize"),
+                serde_json::to_string(s).expect("serialize"),
+            ),
+        })
+        .collect();
+    format!("{{\"triples\":[{}]}}", rendered.join(","))
 }
 
 fn query(mut args: impl Iterator<Item = String>) {
     let mut addr = "127.0.0.1:7878".to_string();
-    let mut claims: Vec<(String, bool)> = Vec::new();
+    let mut domain = DEFAULT_DOMAIN.to_string();
+    let mut claims: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = parse_or_usage(args.next(), "--addr"),
+            "--domain" => domain = parse_or_usage(args.next(), "--domain"),
             other => match other.split_once('=') {
-                Some((source, "true")) => claims.push((source.to_owned(), true)),
-                Some((source, "false")) => claims.push((source.to_owned(), false)),
-                _ => usage(&format!(
-                    "query arguments look like SOURCE=true|false, got `{other}`"
+                Some((source, "true")) => {
+                    claims.push(format!(
+                        "[{},true]",
+                        serde_json::to_string(&source.to_owned()).expect("serialize")
+                    ));
+                }
+                Some((source, "false")) => {
+                    claims.push(format!(
+                        "[{},false]",
+                        serde_json::to_string(&source.to_owned()).expect("serialize")
+                    ));
+                }
+                Some((source, value)) => match value.parse::<f64>() {
+                    Ok(v) if v.is_finite() => claims.push(format!(
+                        "[{},{v}]",
+                        serde_json::to_string(&source.to_owned()).expect("serialize")
+                    )),
+                    _ => usage(&format!(
+                        "query arguments look like SOURCE=true|false (boolean domains) or \
+                         SOURCE=0.87 (real-valued domains), got `{other}`"
+                    )),
+                },
+                None => usage(&format!(
+                    "query arguments look like SOURCE=true|false|VALUE, got `{other}`"
                 )),
             },
         }
     }
     if claims.is_empty() {
-        usage("query needs at least one SOURCE=true|false claim");
+        usage("query needs at least one SOURCE=… claim");
     }
-    let body = format!(
-        "{{\"claims\":{}}}",
-        serde_json::to_string(&claims).expect("serialize claims")
-    );
-    match http_call(&addr, "POST", "/query", Some(&body)) {
+    let body = format!("{{\"claims\":[{}]}}", claims.join(","));
+    let route = domain_route(&domain, "/query");
+    match http_call(&addr, "POST", &route, Some(&body)) {
         Ok((200, response)) => println!("{response}"),
         Ok((status, response)) => {
             eprintln!("HTTP {status}: {response}");
@@ -202,5 +309,66 @@ fn query(mut args: impl Iterator<Item = String>) {
             eprintln!("query failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn domain(mut args: impl Iterator<Item = String>) {
+    match args.next().as_deref() {
+        Some("add") => {
+            let name = args
+                .next()
+                .unwrap_or_else(|| usage("domain add needs a NAME"));
+            let kind_text = args
+                .next()
+                .unwrap_or_else(|| usage("domain add needs a KIND"));
+            let kind: ModelKind = kind_text
+                .parse()
+                .unwrap_or_else(|e| usage(&format!("domain add: {e}")));
+            let mut addr = "127.0.0.1:7878".to_string();
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--addr" => addr = parse_or_usage(args.next(), "--addr"),
+                    other => usage(&format!("unknown domain add argument `{other}`")),
+                }
+            }
+            let body = format!(
+                "{{\"name\":{},\"kind\":\"{kind}\"}}",
+                serde_json::to_string(&name).expect("serialize")
+            );
+            match http_call(&addr, "POST", "/admin/domains", Some(&body)) {
+                Ok((201, response)) => println!("{response}"),
+                Ok((status, response)) => {
+                    eprintln!("HTTP {status}: {response}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("domain add failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("list") => {
+            let mut addr = "127.0.0.1:7878".to_string();
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--addr" => addr = parse_or_usage(args.next(), "--addr"),
+                    other => usage(&format!("unknown domain list argument `{other}`")),
+                }
+            }
+            match http_call(&addr, "GET", "/domains", None) {
+                Ok((200, response)) => println!("{response}"),
+                Ok((status, response)) => {
+                    eprintln!("HTTP {status}: {response}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("domain list failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => usage(&format!(
+            "domain subcommands are `add` and `list`, got {other:?}"
+        )),
     }
 }

@@ -12,15 +12,21 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use ltm_core::{IncrementalLtm, Priors, SourceQuality};
+use ltm_core::{
+    IncrementalLtm, IncrementalRealLtm, Priors, RealLtmConfig, RealSuffStats, SourceQuality,
+};
+
+use crate::model::{ModelKind, ServePredictor};
 
 /// One immutable published predictor generation.
 #[derive(Debug, Clone)]
 pub struct EpochSnapshot {
     /// Monotonic epoch number (0 = the prior-only boot predictor).
     pub epoch: u64,
-    /// The Equation-3 predictor for this epoch.
-    pub predictor: IncrementalLtm,
+    /// The closed-form predictor for this epoch (Equation 3 for boolean
+    /// and positive-only domains, the Student-t predictive for
+    /// real-valued ones).
+    pub predictor: ServePredictor,
     /// Largest per-fact Gelman–Rubin `R̂` of the refit that produced this
     /// epoch (1.0 for the boot predictor).
     pub max_rhat: f64,
@@ -33,16 +39,38 @@ pub struct EpochSnapshot {
 }
 
 impl EpochSnapshot {
-    /// The epoch-0 boot predictor: prior-mean quality only.
+    /// The epoch-0 boot predictor for a boolean (or positive-only)
+    /// domain: prior-mean quality only.
     pub fn boot(priors: &Priors) -> Self {
         let empty = SourceQuality::estimate(
             &ltm_model::ClaimDb::from_parts(vec![], vec![], 0),
             &ltm_model::TruthAssignment::new(vec![]),
             priors,
         );
+        Self::from_predictor(ServePredictor::Boolean(IncrementalLtm::new(&empty, priors)))
+    }
+
+    /// The epoch-0 boot predictor for a real-valued domain: the NIG
+    /// prior-only Student-t predictive.
+    pub fn boot_real(real: &RealLtmConfig) -> Self {
+        Self::from_predictor(ServePredictor::Real(IncrementalRealLtm::new(
+            real,
+            RealSuffStats::zeros(0),
+        )))
+    }
+
+    /// The epoch-0 boot predictor for `kind`.
+    pub fn boot_for(kind: ModelKind, priors: &Priors, real: &RealLtmConfig) -> Self {
+        match kind {
+            ModelKind::Boolean | ModelKind::PositiveOnly => Self::boot(priors),
+            ModelKind::RealValued => Self::boot_real(real),
+        }
+    }
+
+    fn from_predictor(predictor: ServePredictor) -> Self {
         Self {
             epoch: 0,
-            predictor: IncrementalLtm::new(&empty, priors),
+            predictor,
             max_rhat: 1.0,
             converged_fraction: 1.0,
             trained_claims: 0,
@@ -60,10 +88,16 @@ pub struct EpochPredictor {
 }
 
 impl EpochPredictor {
-    /// Starts at the epoch-0 boot predictor.
+    /// Starts at the boolean epoch-0 boot predictor.
     pub fn new(priors: &Priors) -> Self {
+        Self::with_boot(EpochSnapshot::boot(priors))
+    }
+
+    /// Starts at the given epoch-0 boot predictor (see
+    /// [`EpochSnapshot::boot_for`] for the per-kind boots).
+    pub fn with_boot(boot: EpochSnapshot) -> Self {
         Self {
-            current: RwLock::new(Arc::new(EpochSnapshot::boot(priors))),
+            current: RwLock::new(Arc::new(boot)),
             published: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         }
@@ -145,11 +179,31 @@ mod tests {
         let p = EpochPredictor::new(&priors());
         let mut snap = EpochSnapshot::boot(&priors());
         snap.epoch = 7;
-        snap.predictor =
-            IncrementalLtm::from_parts(vec![0.9], vec![0.1], BetaPair::new(1.0, 1.0), 0.5, 0.1);
+        snap.predictor = ServePredictor::Boolean(IncrementalLtm::from_parts(
+            vec![0.9],
+            vec![0.1],
+            BetaPair::new(1.0, 1.0),
+            0.5,
+            0.1,
+        ));
         p.restore(snap);
         assert_eq!(p.load().epoch, 7);
         assert_eq!(p.epochs_published(), 0);
+    }
+
+    #[test]
+    fn real_boot_predictor_is_prior_mean() {
+        let real = RealLtmConfig::default();
+        let p = EpochPredictor::with_boot(EpochSnapshot::boot_for(
+            ModelKind::RealValued,
+            &priors(),
+            &real,
+        ));
+        let snap = p.load();
+        assert_eq!(snap.epoch, 0);
+        assert!(snap.predictor.as_real().is_some());
+        // No claims → β prior mean, same contract as the boolean boot.
+        assert!((snap.predictor.predict_real(&[]) - real.beta.mean()).abs() < 1e-12);
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! truth-discovery service. This crate turns the workspace's library into
 //! that service:
 //!
+//! * [`model`] + [`domain`] — **multi-model serving**: one process hosts
+//!   named domains, each bound to a [`model::ModelKind`] (`boolean`,
+//!   `real_valued`, or `positive_only`) with its own store, predictor,
+//!   accumulator, and refit daemon, so a slow fold in one domain never
+//!   delays another's promotion.
 //! * [`store`] — a **sharded in-memory claim store**: triples are
 //!   hash-partitioned by entity across N shards, each an append log with
 //!   coverage indexes that rebuilds its CSR [`ltm_model::ClaimDb`] on
@@ -34,18 +39,25 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod domain;
 pub mod epoch;
 pub mod http;
+pub mod model;
 pub mod refit;
 pub mod server;
 pub mod snapshot;
 pub mod store;
 
+pub use domain::{Domain, DomainError, DomainSet, DEFAULT_DOMAIN};
 pub use epoch::{EpochPredictor, EpochSnapshot};
 pub use http::http_call;
+pub use model::{ModelKind, ServePredictor};
 pub use refit::{
     refit_once, RefitConfig, RefitCounters, RefitDaemon, RefitMode, RefitOutcome, RefitState,
 };
 pub use server::{ServeConfig, Server};
 pub use snapshot::Snapshot;
-pub use store::{FactView, IngestOutcome, ShardedStore, StoreDelta, StoreStats};
+pub use store::{
+    FactView, IngestOutcome, LogRecord, RealFactView, RealStoreDelta, ShardedStore, StoreDelta,
+    StoreDeltaOf, StoreStats,
+};

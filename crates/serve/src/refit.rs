@@ -37,16 +37,27 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ltm_core::{worst_rhat, LtmConfig, SampleSchedule, StreamError, StreamingLtm};
+use ltm_core::positive_only::positive_only_view;
+use ltm_core::{
+    worst_rhat, IncrementalLtm, LtmConfig, RealLtmConfig, SampleSchedule, StreamError,
+    StreamingLtm, StreamingRealLtm,
+};
 
 use crate::epoch::{EpochPredictor, EpochSnapshot};
+use crate::model::{ModelKind, ServePredictor};
 use crate::store::ShardedStore;
 
-/// Refit daemon configuration.
+/// Refit daemon configuration (shared by every domain of a server; the
+/// per-domain [`ModelKind`] selects which model configuration applies).
 #[derive(Debug, Clone)]
 pub struct RefitConfig {
-    /// Base model configuration (priors, schedule, seed, kernel).
+    /// Base boolean model configuration (priors, schedule, seed, kernel)
+    /// — used by boolean and positive-only domains.
     pub ltm: LtmConfig,
+    /// Real-valued model configuration (NIG priors, `β`, schedule) —
+    /// used by real-valued domains. Its `seed` field is overridden by the
+    /// same per-attempt bump as `ltm.seed`.
+    pub real: RealLtmConfig,
     /// Parallel Gibbs chains per shard fit (≥ 2 for meaningful `R̂`).
     pub chains: usize,
     /// Promotion gate: reject a refit whose worst `R̂` exceeds this and
@@ -72,6 +83,11 @@ impl Default for RefitConfig {
             ltm: LtmConfig {
                 schedule: SampleSchedule::new(100, 20, 1),
                 ..LtmConfig::default()
+            },
+            real: RealLtmConfig {
+                iterations: 100,
+                burn_in: 20,
+                ..RealLtmConfig::default()
             },
             chains: 2,
             rhat_gate: 1.2,
@@ -119,15 +135,20 @@ pub struct RefitCounters {
     pub watermark: u64,
 }
 
-/// The accumulator state shared between the refit daemon, `/stats`, and
-/// snapshot capture/restore: one long-lived [`StreamingLtm`] whose
-/// expected-count accumulator spans every fold since the last full refit,
-/// plus the fold watermark and mode counters. Always used behind a
-/// `Mutex`; refit passes additionally serialise on the refit lock, so the
-/// mutex is only ever held for short copies, never across a fit.
+/// The accumulator state shared between a domain's refit daemon, its
+/// `/stats` section, and snapshot capture/restore: one long-lived
+/// streaming trainer whose accumulator spans every fold since the last
+/// full refit, plus the fold watermark and mode counters. The trainer is
+/// a [`StreamingLtm`] for boolean/positive-only domains and a
+/// [`StreamingRealLtm`] for real-valued ones (at most one of the two is
+/// ever populated — the owning domain's kind decides which). Always used
+/// behind a `Mutex`; refit passes additionally serialise on the refit
+/// lock, so the mutex is only ever held for short copies, never across a
+/// fit.
 #[derive(Debug, Default)]
 pub struct RefitState {
     streaming: Option<StreamingLtm>,
+    streaming_real: Option<StreamingRealLtm>,
     counters: RefitCounters,
 }
 
@@ -137,9 +158,16 @@ impl RefitState {
         Self::default()
     }
 
-    /// The long-lived cumulative trainer, if any fold has committed.
+    /// The long-lived cumulative boolean trainer, if any fold has
+    /// committed in a boolean or positive-only domain.
     pub fn streaming(&self) -> Option<&StreamingLtm> {
         self.streaming.as_ref()
+    }
+
+    /// The long-lived cumulative real-valued trainer, if any fold has
+    /// committed in a real-valued domain.
+    pub fn streaming_real(&self) -> Option<&StreamingRealLtm> {
+        self.streaming_real.as_ref()
     }
 
     /// Accepted rows covered by the accumulator.
@@ -147,11 +175,18 @@ impl RefitState {
         self.counters.watermark
     }
 
-    /// Installs a restored accumulator (the snapshot boot path), so the
-    /// first post-restart refit folds only the unfolded tail instead of
-    /// cold-refitting the whole store.
+    /// Installs a restored boolean accumulator (the snapshot boot path),
+    /// so the first post-restart refit folds only the unfolded tail
+    /// instead of cold-refitting the whole store.
     pub fn restore(&mut self, streaming: StreamingLtm, watermark: u64) {
         self.streaming = Some(streaming);
+        self.counters.watermark = watermark;
+    }
+
+    /// Installs a restored real-valued accumulator (see
+    /// [`RefitState::restore`]).
+    pub fn restore_real(&mut self, streaming: StreamingRealLtm, watermark: u64) {
+        self.streaming_real = Some(streaming);
         self.counters.watermark = watermark;
     }
 
@@ -193,31 +228,47 @@ pub enum RefitOutcome {
     Failed(StreamError),
 }
 
-/// Runs one refit over the store and (maybe) publishes an epoch.
-///
-/// `refit_lock` is held for the whole fold — tests grab it first to hold
-/// the daemon hostage and prove queries still serve; it also serialises
-/// accumulator read-modify-commit across callers. `seed_bump`
-/// decorrelates the chains of successive attempts. The fold lands on a
-/// working copy of the accumulator and is committed to `state` (with the
-/// new watermark) only after it fully succeeds.
-pub fn refit_once(
+/// One completed (kind-specific) fold, ready for the promotion decision
+/// and the accumulator commit.
+struct Folded {
+    /// The accumulator to commit on success.
+    acc: FoldedAcc,
+    /// The candidate epoch (epoch number overwritten by publish).
+    candidate: EpochSnapshot,
+    /// Watermark the fold covered.
+    watermark: u64,
+    /// Claims in the folded batches.
+    delta_claims: usize,
+}
+
+enum FoldedAcc {
+    Boolean(StreamingLtm),
+    Real(StreamingRealLtm),
+}
+
+/// Outcome of the kind-specific extraction + fold step.
+enum FoldStep {
+    /// Nothing dirty since the watermark (which is still advanced).
+    Empty {
+        watermark: u64,
+    },
+    Done(Box<Folded>),
+    Failed(StreamError),
+}
+
+/// Extraction + fold for boolean and positive-only domains. Positive-only
+/// differs in exactly one step: each batch is filtered through
+/// [`positive_only_view`] before it is fitted and folded (paper §6.2 —
+/// the model never trains on negative claims).
+fn fold_boolean(
     store: &ShardedStore,
-    predictor: &EpochPredictor,
+    kind: ModelKind,
     config: &RefitConfig,
     state: &Mutex<RefitState>,
-    refit_lock: &Mutex<()>,
-    seed_bump: u64,
+    seed: u64,
     mode: RefitMode,
-) -> RefitOutcome {
-    let _hostage = refit_lock.lock().expect("refit lock");
-    let pending_at_start = store.pending();
-    let started = Instant::now();
-
-    let ltm = LtmConfig {
-        seed: config.ltm.seed.wrapping_add(seed_bump.wrapping_mul(0x9E37)),
-        ..config.ltm
-    };
+) -> FoldStep {
+    let ltm = LtmConfig { seed, ..config.ltm };
     let (mut streaming, delta) = match mode {
         RefitMode::Full => (StreamingLtm::new(ltm), store.full_databases()),
         RefitMode::Incremental => {
@@ -234,40 +285,38 @@ pub fn refit_once(
             (streaming, store.shard_databases_since(watermark))
         }
     };
-
     if delta.batches.is_empty() {
-        // Nothing new to fold. Still advance the watermark and consume
-        // pending: a snapshot race can restore pending slightly larger
-        // than the accumulator's watermark implies, and without this
-        // commit the daemon would re-arm forever over an empty delta.
-        let mut st = state.lock().expect("refit state");
-        st.counters.watermark = st.counters.watermark.max(delta.watermark);
-        drop(st);
-        store.consume_pending(pending_at_start);
-        return RefitOutcome::Empty;
+        return FoldStep::Empty {
+            watermark: delta.watermark,
+        };
     }
 
     let mut max_rhat: f64 = 1.0;
     let mut converged_weighted = 0.0;
     let mut facts_total = 0usize;
     for db in &delta.batches {
-        match streaming.try_observe_chains(db, config.chains) {
+        let view;
+        let batch = if kind == ModelKind::PositiveOnly {
+            view = positive_only_view(db);
+            &view
+        } else {
+            db
+        };
+        match streaming.try_observe_chains(batch, config.chains) {
             Ok(multi) => {
                 max_rhat = worst_rhat(&[max_rhat, multi.diagnostics.max_rhat]);
-                converged_weighted += multi.diagnostics.converged_fraction * db.num_facts() as f64;
-                facts_total += db.num_facts();
+                converged_weighted +=
+                    multi.diagnostics.converged_fraction * batch.num_facts() as f64;
+                facts_total += batch.num_facts();
             }
-            Err(e) => {
-                state.lock().expect("refit state").counters.refits_failed += 1;
-                return RefitOutcome::Failed(e);
-            }
+            Err(e) => return FoldStep::Failed(e),
         }
     }
 
     let quality = streaming.quality();
     let candidate = EpochSnapshot {
         epoch: 0, // overwritten by publish()
-        predictor: ltm_core::IncrementalLtm::new(&quality, &streaming.base_priors()),
+        predictor: ServePredictor::Boolean(IncrementalLtm::new(&quality, &streaming.base_priors())),
         max_rhat,
         converged_fraction: if facts_total == 0 {
             1.0
@@ -277,6 +326,139 @@ pub fn refit_once(
         trained_claims: delta.total_claims,
         trained_sources: quality.num_sources(),
     };
+    FoldStep::Done(Box::new(Folded {
+        acc: FoldedAcc::Boolean(streaming),
+        candidate,
+        watermark: delta.watermark,
+        delta_claims: delta.delta_claims,
+    }))
+}
+
+/// Extraction + fold for real-valued domains, over [`RealClaimDb`]
+/// batches and the [`StreamingRealLtm`] accumulator.
+fn fold_real(
+    store: &ShardedStore,
+    config: &RefitConfig,
+    state: &Mutex<RefitState>,
+    seed: u64,
+    mode: RefitMode,
+) -> FoldStep {
+    let real = RealLtmConfig {
+        seed,
+        ..config.real
+    };
+    let (mut streaming, delta) = match mode {
+        RefitMode::Full => (StreamingRealLtm::new(real), store.full_real_databases()),
+        RefitMode::Incremental => {
+            let st = state.lock().expect("refit state");
+            let mut streaming = st
+                .streaming_real
+                .clone()
+                .unwrap_or_else(|| StreamingRealLtm::new(real));
+            streaming.set_seed(real.seed);
+            let watermark = st.counters.watermark;
+            drop(st);
+            (streaming, store.real_databases_since(watermark))
+        }
+    };
+    if delta.batches.is_empty() {
+        return FoldStep::Empty {
+            watermark: delta.watermark,
+        };
+    }
+
+    let mut max_rhat: f64 = 1.0;
+    let mut converged_weighted = 0.0;
+    let mut facts_total = 0usize;
+    for db in &delta.batches {
+        match streaming.try_observe_chains(db, config.chains) {
+            Ok(multi) => {
+                max_rhat = worst_rhat(&[max_rhat, multi.max_rhat]);
+                converged_weighted += multi.converged_fraction * db.num_facts() as f64;
+                facts_total += db.num_facts();
+            }
+            Err(e) => return FoldStep::Failed(e),
+        }
+    }
+
+    let candidate = EpochSnapshot {
+        epoch: 0, // overwritten by publish()
+        predictor: ServePredictor::Real(streaming.predictor()),
+        max_rhat,
+        converged_fraction: if facts_total == 0 {
+            1.0
+        } else {
+            converged_weighted / facts_total as f64
+        },
+        trained_claims: delta.total_claims,
+        trained_sources: streaming.accumulated().num_sources(),
+    };
+    FoldStep::Done(Box::new(Folded {
+        acc: FoldedAcc::Real(streaming),
+        candidate,
+        watermark: delta.watermark,
+        delta_claims: delta.delta_claims,
+    }))
+}
+
+/// Runs one refit over the store and (maybe) publishes an epoch.
+///
+/// `kind` selects the extraction, accumulator, and candidate-predictor
+/// variant (see the kind table in [`crate::model`]). `refit_lock` is
+/// held for the whole fold — tests grab it first to hold the daemon
+/// hostage and prove queries still serve; it also serialises accumulator
+/// read-modify-commit across callers. `seed_bump` decorrelates the
+/// chains of successive attempts. The fold lands on a working copy of
+/// the accumulator and is committed to `state` (with the new watermark)
+/// only after it fully succeeds.
+#[allow(clippy::too_many_arguments)] // the daemon is the only real caller
+pub fn refit_once(
+    store: &ShardedStore,
+    predictor: &EpochPredictor,
+    kind: ModelKind,
+    config: &RefitConfig,
+    state: &Mutex<RefitState>,
+    refit_lock: &Mutex<()>,
+    seed_bump: u64,
+    mode: RefitMode,
+) -> RefitOutcome {
+    let _hostage = refit_lock.lock().expect("refit lock");
+    let pending_at_start = store.pending();
+    let started = Instant::now();
+
+    let seed = config.ltm.seed.wrapping_add(seed_bump.wrapping_mul(0x9E37));
+    let step = match kind {
+        ModelKind::Boolean | ModelKind::PositiveOnly => {
+            fold_boolean(store, kind, config, state, seed, mode)
+        }
+        ModelKind::RealValued => fold_real(store, config, state, seed, mode),
+    };
+    let folded = match step {
+        FoldStep::Empty { watermark } => {
+            // Nothing new to fold. Still advance the watermark and
+            // consume pending: a snapshot race can restore pending
+            // slightly larger than the accumulator's watermark implies,
+            // and without this commit the daemon would re-arm forever
+            // over an empty delta.
+            let mut st = state.lock().expect("refit state");
+            st.counters.watermark = st.counters.watermark.max(watermark);
+            drop(st);
+            store.consume_pending(pending_at_start);
+            return RefitOutcome::Empty;
+        }
+        FoldStep::Failed(e) => {
+            state.lock().expect("refit state").counters.refits_failed += 1;
+            return RefitOutcome::Failed(e);
+        }
+        FoldStep::Done(folded) => folded,
+    };
+    let Folded {
+        acc,
+        candidate,
+        watermark,
+        delta_claims,
+    } = *folded;
+    let max_rhat = candidate.max_rhat;
     let elapsed = started.elapsed().as_secs_f64();
 
     // The epoch decision is applied first, then the accumulator commit,
@@ -292,7 +474,7 @@ pub fn refit_once(
             epoch,
             max_rhat,
             mode,
-            delta_claims: delta.delta_claims,
+            delta_claims,
         }
     } else {
         predictor.record_rejection();
@@ -304,8 +486,11 @@ pub fn refit_once(
     };
     {
         let mut st = state.lock().expect("refit state");
-        st.streaming = Some(streaming);
-        st.counters.watermark = delta.watermark;
+        match acc {
+            FoldedAcc::Boolean(s) => st.streaming = Some(s),
+            FoldedAcc::Real(s) => st.streaming_real = Some(s),
+        }
+        st.counters.watermark = watermark;
         match mode {
             RefitMode::Incremental => {
                 st.counters.refits_incremental += 1;
@@ -354,10 +539,11 @@ pub struct RefitDaemon {
 }
 
 impl RefitDaemon {
-    /// Spawns the daemon thread.
+    /// Spawns the daemon thread for one domain of kind `kind`.
     pub fn spawn(
         store: Arc<ShardedStore>,
         predictor: Arc<EpochPredictor>,
+        kind: ModelKind,
         config: RefitConfig,
         refit_state: Arc<Mutex<RefitState>>,
         refit_lock: Arc<Mutex<()>>,
@@ -424,6 +610,7 @@ impl RefitDaemon {
                     let outcome = refit_once(
                         &store,
                         &predictor,
+                        kind,
                         &config,
                         &refit_state,
                         &refit_lock,
@@ -566,7 +753,16 @@ mod tests {
         mode: RefitMode,
     ) -> RefitOutcome {
         let lock = Mutex::new(());
-        refit_once(store, predictor, cfg, state, &lock, bump, mode)
+        refit_once(
+            store,
+            predictor,
+            ModelKind::Boolean,
+            cfg,
+            state,
+            &lock,
+            bump,
+            mode,
+        )
     }
 
     #[test]
@@ -822,6 +1018,7 @@ mod tests {
         let daemon = RefitDaemon::spawn(
             Arc::clone(&store),
             Arc::clone(&predictor),
+            ModelKind::Boolean,
             cfg,
             Arc::clone(&state),
             Arc::clone(&lock),
@@ -855,6 +1052,7 @@ mod tests {
         let daemon = RefitDaemon::spawn(
             Arc::clone(&store),
             Arc::clone(&predictor),
+            ModelKind::Boolean,
             cfg,
             Arc::clone(&state),
             Arc::new(Mutex::new(())),
@@ -886,6 +1084,7 @@ mod tests {
         let daemon = RefitDaemon::spawn(
             Arc::clone(&store),
             Arc::clone(&predictor),
+            ModelKind::Boolean,
             cfg,
             Arc::clone(&state),
             Arc::new(Mutex::new(())),
@@ -921,6 +1120,7 @@ mod tests {
         let daemon = RefitDaemon::spawn(
             Arc::clone(&store),
             Arc::clone(&predictor),
+            ModelKind::Boolean,
             cfg,
             Arc::clone(&state),
             Arc::new(Mutex::new(())),
@@ -950,6 +1150,7 @@ mod tests {
         let daemon = RefitDaemon::spawn(
             Arc::clone(&store),
             Arc::clone(&predictor),
+            ModelKind::Boolean,
             cfg,
             Arc::clone(&state),
             Arc::clone(&lock),

@@ -1,22 +1,30 @@
 //! The HTTP front end: routes, JSON schemas, and server lifecycle.
 //!
-//! Endpoints (all JSON, `Connection: close`):
+//! A server hosts named **domains** (see [`crate::domain`]), each bound
+//! to a [`ModelKind`]. Domain-scoped routes live under `/d/{domain}/…`;
+//! the legacy un-prefixed routes address the [`DEFAULT_DOMAIN`]. The
+//! complete request/response reference with curl examples is
+//! `docs/API.md`; the route table:
 //!
 //! | Route | Method | Purpose |
 //! |---|---|---|
-//! | `/claims` | POST | ingest `{"triples": [["entity","attr","source"], …]}` |
-//! | `/facts/{id}` | GET | one fact's names, claims, and current probability |
-//! | `/query` | POST | score an ad-hoc claim list `{"claims": [["source", true], …]}` |
-//! | `/healthz` | GET | liveness + served epoch |
-//! | `/stats` | GET | store/epoch/daemon counters |
-//! | `/admin/refit` | POST | force a refit pass |
+//! | `/claims`, `/d/{domain}/claims` | POST | ingest triples (4-field with value in real-valued domains) |
+//! | `/facts/{id}`, `/d/{domain}/facts/{id}` | GET | one fact's names, claims, and current probability |
+//! | `/query`, `/d/{domain}/query` | POST | score an ad-hoc claim list |
+//! | `/admin/refit`, `/d/{domain}/admin/refit` | POST | force a refit pass (`?mode=full\|incremental`) |
+//! | `/d/{domain}/stats` | GET | one domain's stats section |
+//! | `/domains` | GET | list hosted domains |
+//! | `/admin/domains` | POST | create a domain (`{"name","kind"}`) |
+//! | `/healthz` | GET | liveness + default-domain epoch |
+//! | `/stats` | GET | global + per-domain counters |
 //! | `/admin/snapshot` | POST | save a snapshot (`{"path": "…"}` optional) |
 //! | `/admin/shutdown` | POST | request a graceful stop |
 //!
 //! Queries read the current [`EpochSnapshot`](crate::epoch::EpochSnapshot)
-//! through one `Arc` clone and never wait on the refit daemon; see
-//! DESIGN.md §6.
+//! of their domain through one `Arc` clone and never wait on any refit
+//! daemon; see DESIGN.md §6.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -26,25 +34,49 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ltm_model::SourceId;
-use serde::{Deserialize, Serialize};
+use serde::{Serialize, Value};
 
+use crate::domain::{Domain, DomainError, DomainSet, DEFAULT_DOMAIN};
 use crate::epoch::EpochPredictor;
 use crate::http::{read_request_with_deadline, write_response, Request, ThreadPool};
-use crate::refit::{RefitConfig, RefitDaemon, RefitState};
+use crate::model::ModelKind;
+use crate::refit::{RefitConfig, RefitState};
 use crate::snapshot;
 use crate::store::ShardedStore;
 
 /// Server configuration.
+///
+/// # Example
+///
+/// ```
+/// use ltm_serve::model::ModelKind;
+/// use ltm_serve::server::ServeConfig;
+/// use std::time::Duration;
+///
+/// let config = ServeConfig {
+///     addr: "127.0.0.1:0".into(), // ephemeral port
+///     // A real-valued domain beside the implicit boolean `default`.
+///     domains: vec![("scores".into(), ModelKind::RealValued)],
+///     io_timeout: Duration::from_secs(5),
+///     ..ServeConfig::default()
+/// };
+/// assert_eq!(config.shards, 4);
+/// assert_eq!(config.domains[0].1, ModelKind::RealValued);
+/// // Server::start(config) boots the multi-domain server.
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Store shard count.
+    /// Store shard count (per domain).
     pub shards: usize,
     /// HTTP worker threads.
     pub threads: usize,
-    /// Refit daemon configuration.
+    /// Refit daemon configuration (shared by every domain).
     pub refit: RefitConfig,
+    /// Extra domains to create at boot, beside the implicit boolean
+    /// [`DEFAULT_DOMAIN`] (which always exists).
+    pub domains: Vec<(String, ModelKind)>,
     /// Snapshot path: loaded at boot when the file exists, saved on
     /// graceful shutdown and on `POST /admin/snapshot`.
     pub snapshot: Option<PathBuf>,
@@ -63,6 +95,7 @@ impl Default for ServeConfig {
             shards: 4,
             threads: 4,
             refit: RefitConfig::default(),
+            domains: Vec::new(),
             snapshot: None,
             io_timeout: Duration::from_secs(10),
         }
@@ -71,10 +104,10 @@ impl Default for ServeConfig {
 
 /// Everything a request handler needs, shared across workers.
 struct Context {
-    store: Arc<ShardedStore>,
-    predictor: Arc<EpochPredictor>,
-    daemon: Arc<RefitDaemon>,
-    refit_state: Arc<Mutex<RefitState>>,
+    domains: Arc<DomainSet>,
+    /// Shard count and refit config for runtime-created domains.
+    shards: usize,
+    refit: RefitConfig,
     snapshot_path: Option<PathBuf>,
     requests: AtomicU64,
     started: Instant,
@@ -85,13 +118,9 @@ struct Context {
 // JSON schemas
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Deserialize)]
-struct ClaimsRequest {
-    triples: Vec<Vec<String>>,
-}
-
 #[derive(Debug, Serialize)]
 struct ClaimsResponse {
+    domain: String,
     accepted: usize,
     duplicates: usize,
     new_facts: usize,
@@ -99,13 +128,9 @@ struct ClaimsResponse {
     epoch: u64,
 }
 
-#[derive(Debug, Deserialize)]
-struct QueryRequest {
-    claims: Vec<(String, bool)>,
-}
-
 #[derive(Debug, Serialize)]
 struct QueryResponse {
+    domain: String,
     probability: f64,
     epoch: u64,
     unknown_sources: Vec<String>,
@@ -113,6 +138,7 @@ struct QueryResponse {
 
 #[derive(Debug, Serialize)]
 struct FactResponse {
+    domain: String,
     id: u64,
     entity: String,
     attribute: String,
@@ -128,6 +154,50 @@ struct HealthResponse {
     epoch: u64,
 }
 
+#[derive(Debug, Serialize)]
+struct DomainInfo {
+    name: String,
+    kind: String,
+    epoch: u64,
+    facts: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct DomainsResponse {
+    domains: Vec<DomainInfo>,
+}
+
+/// One domain's `/stats` section.
+#[derive(Debug, Serialize)]
+struct DomainStats {
+    kind: String,
+    shards: usize,
+    facts: usize,
+    claims: usize,
+    positive_claims: usize,
+    sources: usize,
+    pending: usize,
+    epoch: u64,
+    epoch_max_rhat: f64,
+    epoch_converged_fraction: f64,
+    epoch_trained_claims: usize,
+    epochs_published: u64,
+    epochs_rejected: u64,
+    refits_started: u64,
+    refits_incremental: u64,
+    refits_full: u64,
+    refits_failed: u64,
+    last_incremental_refit_secs: f64,
+    last_full_refit_secs: f64,
+    fold_watermark: u64,
+}
+
+/// The global `/stats` body. Additive counters (`facts` through
+/// `refits_failed`) are sums over every domain — the per-domain sections
+/// under `domains` sum to them exactly; the epoch-shaped fields
+/// (`epoch`, `epoch_max_rhat`, …, `fold_watermark`, `shards`) mirror the
+/// [`DEFAULT_DOMAIN`] for backward compatibility with single-domain
+/// deployments.
 #[derive(Debug, Serialize)]
 struct StatsResponse {
     shards: usize,
@@ -151,11 +221,7 @@ struct StatsResponse {
     fold_watermark: u64,
     requests: u64,
     uptime_secs: f64,
-}
-
-#[derive(Debug, Deserialize)]
-struct SnapshotRequest {
-    path: Option<String>,
+    domains: BTreeMap<String, DomainStats>,
 }
 
 #[derive(Debug, Serialize)]
@@ -185,51 +251,116 @@ fn error(status: u16, message: impl Into<String>) -> (u16, String) {
 
 fn route(ctx: &Context, req: &Request) -> (u16, String) {
     ctx.requests.fetch_add(1, Ordering::Relaxed);
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => json(
-            200,
-            &HealthResponse {
-                status: "ok".into(),
-                epoch: ctx.predictor.load().epoch,
-            },
-        ),
-        ("GET", "/stats") => stats(ctx),
-        ("POST", "/claims") => ingest(ctx, &req.body),
-        ("POST", "/query") => query(ctx, &req.body),
-        ("POST", path) if path == "/admin/refit" || path.starts_with("/admin/refit?") => {
-            admin_refit(ctx, path)
-        }
-        ("POST", "/admin/snapshot") => admin_snapshot(ctx, &req.body),
-        ("POST", "/admin/shutdown") => {
-            let (flag, cv) = &ctx.shutdown_requested;
-            *flag.lock().expect("shutdown flag lock") = true;
-            cv.notify_all();
-            json(
-                202,
+    let method = req.method.as_str();
+    let path = req.path.as_str();
+
+    // Domain-scoped routes: `/d/{domain}/rest…`.
+    if let Some(after) = path.strip_prefix("/d/") {
+        let Some((name, rest)) = after.split_once('/') else {
+            return error(
+                404,
+                format!("no route for {path} (expected /d/{{domain}}/…)"),
+            );
+        };
+        let Some(domain) = ctx.domains.get(name) else {
+            return error(404, format!("no domain `{name}`"));
+        };
+        return route_domain(ctx, &domain, method, &format!("/{rest}"), &req.body);
+    }
+    match path {
+        "/healthz" => match method {
+            "GET" => json(
+                200,
                 &HealthResponse {
-                    status: "shutting down".into(),
-                    epoch: ctx.predictor.load().epoch,
+                    status: "ok".into(),
+                    epoch: ctx.domains.default_domain().predictor().load().epoch,
                 },
-            )
-        }
-        ("GET", path) if path.starts_with("/facts/") => fact(ctx, &path["/facts/".len()..]),
-        (_, path) => error(404, format!("no route for {path}")),
+            ),
+            _ => error(405, "use GET /healthz"),
+        },
+        "/stats" => match method {
+            "GET" => stats(ctx),
+            _ => error(405, "use GET /stats"),
+        },
+        "/domains" => match method {
+            "GET" => list_domains(ctx),
+            _ => error(405, "use GET /domains (create with POST /admin/domains)"),
+        },
+        "/admin/domains" => match method {
+            "POST" => admin_create_domain(ctx, &req.body),
+            _ => error(405, "use POST /admin/domains"),
+        },
+        "/admin/snapshot" => match method {
+            "POST" => admin_snapshot(ctx, &req.body),
+            _ => error(405, "use POST /admin/snapshot"),
+        },
+        "/admin/shutdown" => match method {
+            "POST" => {
+                let (flag, cv) = &ctx.shutdown_requested;
+                *flag.lock().expect("shutdown flag lock") = true;
+                cv.notify_all();
+                json(
+                    202,
+                    &HealthResponse {
+                        status: "shutting down".into(),
+                        epoch: ctx.domains.default_domain().predictor().load().epoch,
+                    },
+                )
+            }
+            _ => error(405, "use POST /admin/shutdown"),
+        },
+        // Everything else is a default-domain route.
+        _ => route_domain(ctx, &ctx.domains.default_domain(), method, path, &req.body),
     }
 }
 
-/// `POST /admin/refit[?mode=full|incremental]` — arms the daemon. The
-/// default (no query) lets the daemon's own schedule pick the mode;
-/// `mode=full` forces a reconciliation pass that rebuilds the
+/// Routes a request that resolved to one domain (either via `/d/{name}`
+/// or the legacy un-prefixed paths on the default domain).
+fn route_domain(
+    ctx: &Context,
+    domain: &Domain,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String) {
+    match path {
+        "/claims" => match method {
+            "POST" => ingest(domain, body),
+            _ => error(405, "use POST /claims"),
+        },
+        "/query" => match method {
+            "POST" => query(domain, body),
+            _ => error(405, "use POST /query"),
+        },
+        "/stats" => match method {
+            "GET" => json(200, &domain_stats(domain)),
+            _ => error(405, "use GET …/stats"),
+        },
+        p if p == "/admin/refit" || p.starts_with("/admin/refit?") => match method {
+            "POST" => admin_refit(ctx, domain, p),
+            _ => error(405, "use POST …/admin/refit"),
+        },
+        p if p.starts_with("/facts/") => match method {
+            "GET" => fact(domain, &p["/facts/".len()..]),
+            _ => error(405, "use GET …/facts/{id}"),
+        },
+        other => error(404, format!("no route for {other}")),
+    }
+}
+
+/// `POST …/admin/refit[?mode=full|incremental]` — arms the domain's
+/// daemon. The default (no query) lets the daemon's own schedule pick
+/// the mode; `mode=full` forces a reconciliation pass that rebuilds the
 /// accumulator from zero.
-fn admin_refit(ctx: &Context, path: &str) -> (u16, String) {
+fn admin_refit(_ctx: &Context, domain: &Domain, path: &str) -> (u16, String) {
     let query = path.split_once('?').map(|(_, q)| q).unwrap_or("");
     let status = match query {
         "" | "mode=incremental" => {
-            ctx.daemon.trigger();
+            domain.trigger_refit();
             "refit triggered"
         }
         "mode=full" => {
-            ctx.daemon.trigger_full();
+            domain.trigger_full_refit();
             "full refit triggered"
         }
         other => {
@@ -243,69 +374,200 @@ fn admin_refit(ctx: &Context, path: &str) -> (u16, String) {
         202,
         &HealthResponse {
             status: status.into(),
-            epoch: ctx.predictor.load().epoch,
+            epoch: domain.predictor().load().epoch,
         },
     )
+}
+
+fn domain_stats(domain: &Domain) -> DomainStats {
+    let s = domain.store().stats();
+    let e = domain.predictor().load();
+    let refit = domain.refit_state().lock().expect("refit state").counters();
+    let predictor: &EpochPredictor = domain.predictor();
+    DomainStats {
+        kind: domain.kind().as_str().to_owned(),
+        shards: s.shards,
+        facts: s.facts,
+        claims: s.claims,
+        positive_claims: s.positive_claims,
+        sources: s.sources,
+        pending: s.pending,
+        epoch: e.epoch,
+        epoch_max_rhat: e.max_rhat,
+        epoch_converged_fraction: e.converged_fraction,
+        epoch_trained_claims: e.trained_claims,
+        epochs_published: predictor.epochs_published(),
+        epochs_rejected: predictor.epochs_rejected(),
+        refits_started: domain.daemon().map_or(0, |d| d.refits_started()),
+        refits_incremental: refit.refits_incremental,
+        refits_full: refit.refits_full,
+        refits_failed: refit.refits_failed,
+        last_incremental_refit_secs: refit.last_incremental_secs,
+        last_full_refit_secs: refit.last_full_secs,
+        fold_watermark: refit.watermark,
+    }
 }
 
 fn stats(ctx: &Context) -> (u16, String) {
-    let s = ctx.store.stats();
-    let e = ctx.predictor.load();
-    let refit = ctx.refit_state.lock().expect("refit state").counters();
-    json(
-        200,
-        &StatsResponse {
-            shards: s.shards,
-            facts: s.facts,
-            claims: s.claims,
-            positive_claims: s.positive_claims,
-            sources: s.sources,
-            pending: s.pending,
-            epoch: e.epoch,
-            epoch_max_rhat: e.max_rhat,
-            epoch_converged_fraction: e.converged_fraction,
-            epoch_trained_claims: e.trained_claims,
-            epochs_published: ctx.predictor.epochs_published(),
-            epochs_rejected: ctx.predictor.epochs_rejected(),
-            refits_started: ctx.daemon.refits_started(),
-            refits_incremental: refit.refits_incremental,
-            refits_full: refit.refits_full,
-            refits_failed: refit.refits_failed,
-            last_incremental_refit_secs: refit.last_incremental_secs,
-            last_full_refit_secs: refit.last_full_secs,
-            fold_watermark: refit.watermark,
-            requests: ctx.requests.load(Ordering::Relaxed),
-            uptime_secs: ctx.started.elapsed().as_secs_f64(),
-        },
-    )
+    let mut sections = BTreeMap::new();
+    for domain in ctx.domains.list() {
+        sections.insert(domain.name().to_owned(), domain_stats(&domain));
+    }
+    let default = &sections[DEFAULT_DOMAIN];
+    let sum = |f: fn(&DomainStats) -> u64| sections.values().map(f).sum::<u64>();
+    let sum_usize = |f: fn(&DomainStats) -> usize| sections.values().map(f).sum::<usize>();
+    let response = StatsResponse {
+        shards: default.shards,
+        facts: sum_usize(|d| d.facts),
+        claims: sum_usize(|d| d.claims),
+        positive_claims: sum_usize(|d| d.positive_claims),
+        sources: sum_usize(|d| d.sources),
+        pending: sum_usize(|d| d.pending),
+        epoch: default.epoch,
+        epoch_max_rhat: default.epoch_max_rhat,
+        epoch_converged_fraction: default.epoch_converged_fraction,
+        epoch_trained_claims: default.epoch_trained_claims,
+        epochs_published: sum(|d| d.epochs_published),
+        epochs_rejected: sum(|d| d.epochs_rejected),
+        refits_started: sum(|d| d.refits_started),
+        refits_incremental: sum(|d| d.refits_incremental),
+        refits_full: sum(|d| d.refits_full),
+        refits_failed: sum(|d| d.refits_failed),
+        last_incremental_refit_secs: default.last_incremental_refit_secs,
+        last_full_refit_secs: default.last_full_refit_secs,
+        fold_watermark: default.fold_watermark,
+        requests: ctx.requests.load(Ordering::Relaxed),
+        uptime_secs: ctx.started.elapsed().as_secs_f64(),
+        domains: sections,
+    };
+    json(200, &response)
 }
 
-fn ingest(ctx: &Context, body: &str) -> (u16, String) {
-    let parsed: ClaimsRequest = match serde_json::from_str(body) {
-        Ok(p) => p,
-        Err(e) => return error(400, format!("bad claims body: {e}")),
+fn list_domains(ctx: &Context) -> (u16, String) {
+    let domains = ctx
+        .domains
+        .list()
+        .iter()
+        .map(|d| DomainInfo {
+            name: d.name().to_owned(),
+            kind: d.kind().as_str().to_owned(),
+            epoch: d.predictor().load().epoch,
+            facts: d.store().stats().facts,
+        })
+        .collect();
+    json(200, &DomainsResponse { domains })
+}
+
+fn admin_create_domain(ctx: &Context, body: &str) -> (u16, String) {
+    let parsed: Value = match serde_json::from_str(body) {
+        Ok(v) => v,
+        Err(e) => return error(400, format!("bad domain body: {e}")),
     };
+    let field = |name: &str| match parsed.get_field(name) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("domain body needs a string `{name}` field")),
+    };
+    let (name, kind_text) = match (field("name"), field("kind")) {
+        (Ok(n), Ok(k)) => (n, k),
+        (Err(e), _) | (_, Err(e)) => return error(400, e),
+    };
+    let kind: ModelKind = match kind_text.parse() {
+        Ok(k) => k,
+        Err(e) => return error(400, format!("{e}")),
+    };
+    match create_domain(ctx, &name, kind) {
+        Ok(domain) => json(
+            201,
+            &DomainInfo {
+                name: domain.name().to_owned(),
+                kind: domain.kind().as_str().to_owned(),
+                epoch: 0,
+                facts: 0,
+            },
+        ),
+        Err(DomainError::AlreadyExists(name)) => {
+            error(409, format!("domain `{name}` already exists"))
+        }
+        Err(DomainError::InvalidName(msg)) => error(400, msg),
+    }
+}
+
+/// Creates and registers a runtime domain, spawning its refit daemon
+/// only after the registry accepted the name.
+fn create_domain(ctx: &Context, name: &str, kind: ModelKind) -> Result<Arc<Domain>, DomainError> {
+    let domain = Domain::new(name, kind, ctx.shards, &ctx.refit);
+    ctx.domains.insert(Arc::clone(&domain))?;
+    domain.spawn_daemon(ctx.refit.clone());
+    Ok(domain)
+}
+
+/// One parsed ingest row: `(entity, attr, source, value)`.
+type IngestRow = (String, String, String, Option<f64>);
+
+/// Parses an ingest body into rows. Boolean and positive-only domains
+/// take 3-field triples; real-valued domains take 4-field rows with a
+/// finite numeric value.
+fn parse_triples(body: &str, kind: ModelKind) -> Result<Vec<IngestRow>, String> {
+    let parsed: Value = serde_json::from_str(body).map_err(|e| format!("bad claims body: {e}"))?;
+    let Some(Value::Array(rows)) = parsed.get_field("triples") else {
+        return Err("claims body needs a `triples` array".into());
+    };
+    let want = if kind.valued() { 4 } else { 3 };
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let Value::Array(fields) = row else {
+            return Err(format!(
+                "triple {i} is not an array; no triples were ingested"
+            ));
+        };
+        if fields.len() != want {
+            return Err(format!(
+                "triple {i} has {} fields, expected {want} for a {} domain; no triples \
+                 were ingested",
+                fields.len(),
+                kind
+            ));
+        }
+        let text = |j: usize| match &fields[j] {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("triple {i} field {j} is not a string: {other:?}")),
+        };
+        let value = if kind.valued() {
+            let Some(v) = fields[3].as_f64() else {
+                return Err(format!(
+                    "triple {i} value is not a number: {:?}; no triples were ingested",
+                    fields[3]
+                ));
+            };
+            if !v.is_finite() {
+                return Err(format!("triple {i} value must be finite"));
+            }
+            Some(v)
+        } else {
+            None
+        };
+        out.push((text(0)?, text(1)?, text(2)?, value));
+    }
+    Ok(out)
+}
+
+fn ingest(domain: &Domain, body: &str) -> (u16, String) {
     // Validate the whole batch before committing any of it, so a 400
     // never leaves a silently half-ingested prefix behind.
-    if let Some((i, t)) = parsed
-        .triples
-        .iter()
-        .enumerate()
-        .find(|(_, t)| t.len() != 3)
-    {
-        return error(
-            400,
-            format!(
-                "triple {i} has {} fields, expected 3; no triples were ingested",
-                t.len()
-            ),
-        );
-    }
+    let rows = match parse_triples(body, domain.kind()) {
+        Ok(rows) => rows,
+        Err(e) => return error(400, e),
+    };
+    let store = domain.store();
     let mut accepted = 0;
     let mut duplicates = 0;
     let mut new_facts = 0;
-    for t in &parsed.triples {
-        match ctx.store.ingest(&t[0], &t[1], &t[2]) {
+    for (entity, attr, source, value) in &rows {
+        let outcome = match value {
+            Some(v) => store.ingest_valued(entity, attr, source, *v),
+            None => store.ingest(entity, attr, source),
+        };
+        match outcome {
             crate::store::IngestOutcome::NewFact(_) => {
                 accepted += 1;
                 new_facts += 1;
@@ -317,65 +579,153 @@ fn ingest(ctx: &Context, body: &str) -> (u16, String) {
     json(
         200,
         &ClaimsResponse {
+            domain: domain.name().to_owned(),
             accepted,
             duplicates,
             new_facts,
-            pending: ctx.store.pending(),
-            epoch: ctx.predictor.load().epoch,
+            pending: store.pending(),
+            epoch: domain.predictor().load().epoch,
         },
     )
 }
 
-fn query(ctx: &Context, body: &str) -> (u16, String) {
-    let parsed: QueryRequest = match serde_json::from_str(body) {
-        Ok(p) => p,
+fn query(domain: &Domain, body: &str) -> (u16, String) {
+    let parsed: Value = match serde_json::from_str(body) {
+        Ok(v) => v,
         Err(e) => return error(400, format!("bad query body: {e}")),
     };
+    let Some(Value::Array(rows)) = parsed.get_field("claims") else {
+        return error(400, "query body needs a `claims` array");
+    };
+    let store = domain.store();
     let mut unknown = Vec::new();
-    let claims: Vec<(SourceId, bool)> = parsed
-        .claims
-        .iter()
-        .map(|(name, obs)| {
-            let id = ctx.store.source_id(name).unwrap_or_else(|| {
-                unknown.push(name.clone());
-                // Out-of-range id → the predictor's prior-mean fallback.
-                SourceId::new(u32::MAX)
-            });
-            (id, *obs)
+    // Resolve source names; unknown names map to an out-of-range id that
+    // hits the predictor's prior-mean fallback.
+    let mut resolve = |name: &str| {
+        store.source_id(name).unwrap_or_else(|| {
+            unknown.push(name.to_owned());
+            SourceId::new(u32::MAX)
         })
-        .collect();
-    let snap = ctx.predictor.load();
+    };
+    let valued = domain.kind().valued();
+    let mut bool_claims: Vec<(SourceId, bool)> = Vec::new();
+    let mut real_claims: Vec<(SourceId, f64)> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let Value::Array(fields) = row else {
+            return error(400, format!("claim {i} is not an array"));
+        };
+        let [Value::Str(name), observation] = fields.as_slice() else {
+            return error(
+                400,
+                format!(
+                    "claim {i} must be [\"source\", {}]",
+                    if valued { "value" } else { "true|false" }
+                ),
+            );
+        };
+        if valued {
+            let Some(v) = observation.as_f64() else {
+                return error(
+                    400,
+                    format!(
+                        "claim {i}: this domain is real_valued; expected a numeric \
+                         value, got {observation:?}"
+                    ),
+                );
+            };
+            if !v.is_finite() {
+                return error(400, format!("claim {i} value must be finite"));
+            }
+            real_claims.push((resolve(name), v));
+        } else {
+            let Value::Bool(o) = observation else {
+                return error(
+                    400,
+                    format!(
+                        "claim {i}: this domain is {}; expected true|false, got {observation:?}",
+                        domain.kind()
+                    ),
+                );
+            };
+            bool_claims.push((resolve(name), *o));
+        }
+    }
+    let snap = domain.predictor().load();
+    let probability = if valued {
+        snap.predictor.predict_real(&real_claims)
+    } else {
+        snap.predictor.predict_fact(&bool_claims)
+    };
     json(
         200,
         &QueryResponse {
-            probability: snap.predictor.predict_fact(&claims),
+            domain: domain.name().to_owned(),
+            probability,
             epoch: snap.epoch,
             unknown_sources: unknown,
         },
     )
 }
 
-fn fact(ctx: &Context, id_text: &str) -> (u16, String) {
-    let id: u64 = match id_text.parse() {
-        Ok(id) => id,
-        Err(_) => return error(400, format!("bad fact id {id_text:?}")),
+/// How a `/facts/{id}` path segment parsed.
+enum FactId {
+    /// A canonical decimal id.
+    Ok(u64),
+    /// Syntactically not a fact id (signs, blanks, trailing segments…).
+    Malformed,
+    /// All digits but beyond `u64` — cannot name a stored fact.
+    OutOfRange,
+}
+
+/// Strict fact-id parsing: ASCII digits only. `u64::from_str` also
+/// accepts a leading `+`, so `/facts/+3` would otherwise alias
+/// `/facts/3` — a malformed path must be a clean 400, never a quiet
+/// alias of a valid one.
+fn parse_fact_id(text: &str) -> FactId {
+    if text.is_empty() || !text.bytes().all(|b| b.is_ascii_digit()) {
+        return FactId::Malformed;
+    }
+    match text.parse::<u64>() {
+        Ok(id) => FactId::Ok(id),
+        Err(_) => FactId::OutOfRange,
+    }
+}
+
+fn fact(domain: &Domain, id_text: &str) -> (u16, String) {
+    let id = match parse_fact_id(id_text) {
+        FactId::Ok(id) => id,
+        FactId::Malformed => return error(400, format!("bad fact id {id_text:?}")),
+        FactId::OutOfRange => return error(404, format!("no fact {id_text}")),
     };
-    let Some(view) = ctx.store.fact(id) else {
+    let store: &ShardedStore = domain.store();
+    let Some(view) = store.fact(id) else {
         return error(404, format!("no fact {id}"));
     };
-    let snap = ctx.predictor.load();
+    let snap = domain.predictor().load();
+    let probability = if domain.kind().valued() {
+        let real = store.fact_real(id).expect("fact resolved above");
+        snap.predictor.predict_real(&real.claims)
+    } else {
+        snap.predictor.predict_fact(&view.claims)
+    };
     json(
         200,
         &FactResponse {
+            domain: domain.name().to_owned(),
             id: view.id,
             entity: view.entity,
             attribute: view.attr,
             claims: view.claims.len(),
             positive: view.claims.iter().filter(|(_, o)| *o).count(),
-            probability: snap.predictor.predict_fact(&view.claims),
+            probability,
             epoch: snap.epoch,
         },
     )
+}
+
+#[derive(Debug, serde::Deserialize)]
+struct SnapshotRequest {
+    path: Option<String>,
 }
 
 fn admin_snapshot(ctx: &Context, body: &str) -> (u16, String) {
@@ -390,12 +740,12 @@ fn admin_snapshot(ctx: &Context, body: &str) -> (u16, String) {
     let Some(path) = requested.or_else(|| ctx.snapshot_path.clone()) else {
         return error(400, "no snapshot path configured or supplied");
     };
-    match snapshot::save(&ctx.store, &ctx.predictor, &ctx.refit_state, &path) {
+    match snapshot::save(&ctx.domains, &path) {
         Ok(()) => json(
             200,
             &HealthResponse {
                 status: format!("snapshot saved to {}", path.display()),
-                epoch: ctx.predictor.load().epoch,
+                epoch: ctx.domains.default_domain().predictor().load().epoch,
             },
         ),
         Err(e) => error(500, format!("snapshot failed: {e}")),
@@ -411,41 +761,48 @@ fn admin_snapshot(ctx: &Context, body: &str) -> (u16, String) {
 pub struct Server {
     addr: SocketAddr,
     ctx: Arc<Context>,
-    refit_lock: Arc<Mutex<()>>,
     pool: Option<ThreadPool>,
     accept: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
 }
 
 impl Server {
-    /// Binds, restores the snapshot (if configured and present), and
-    /// spawns the worker pool plus refit daemon.
+    /// Binds, creates the configured domains, restores the snapshot (if
+    /// configured and present — which may create further domains), and
+    /// spawns the worker pool plus one refit daemon per domain.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
-        let store = Arc::new(ShardedStore::new(config.shards));
-        let predictor = Arc::new(EpochPredictor::new(&config.refit.ltm.priors));
-        let refit_state = Arc::new(Mutex::new(RefitState::new()));
+        let domains = Arc::new(DomainSet::new());
+        domains
+            .insert(Domain::new(
+                DEFAULT_DOMAIN,
+                ModelKind::Boolean,
+                config.shards,
+                &config.refit,
+            ))
+            .expect("empty registry accepts the default domain");
+        for (name, kind) in &config.domains {
+            domains
+                .insert(Domain::new(name, *kind, config.shards, &config.refit))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        }
         if let Some(path) = &config.snapshot {
             if path.exists() {
                 let snap = snapshot::load(path)?;
-                snapshot::restore(&snap, &store, &predictor, &refit_state, &config.refit.ltm)?;
+                snapshot::restore(&snap, &domains, &config.refit)?;
             }
         }
-        let refit_lock = Arc::new(Mutex::new(()));
-        let daemon = Arc::new(RefitDaemon::spawn(
-            Arc::clone(&store),
-            Arc::clone(&predictor),
-            config.refit.clone(),
-            Arc::clone(&refit_state),
-            Arc::clone(&refit_lock),
-        ));
+        // Daemons spawn only after restore, so the first refit of every
+        // domain sees the restored accumulator instead of cold-folding.
+        for domain in domains.list() {
+            domain.spawn_daemon(config.refit.clone());
+        }
 
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let ctx = Arc::new(Context {
-            store,
-            predictor,
-            daemon,
-            refit_state,
+            domains,
+            shards: config.shards,
+            refit: config.refit.clone(),
             snapshot_path: config.snapshot.clone(),
             requests: AtomicU64::new(0),
             started: Instant::now(),
@@ -499,7 +856,6 @@ impl Server {
         Ok(Server {
             addr,
             ctx,
-            refit_lock,
             pool: Some(pool),
             accept: Some(accept),
             stop,
@@ -511,46 +867,59 @@ impl Server {
         self.addr
     }
 
-    /// The shared store (test/benchmark access).
+    /// The domain registry.
+    pub fn domains(&self) -> Arc<DomainSet> {
+        Arc::clone(&self.ctx.domains)
+    }
+
+    /// Resolves a domain by name.
+    pub fn domain(&self, name: &str) -> Option<Arc<Domain>> {
+        self.ctx.domains.get(name)
+    }
+
+    /// Creates and registers a new domain at runtime (spawning its refit
+    /// daemon) — the programmatic sibling of `POST /admin/domains`.
+    pub fn create_domain(&self, name: &str, kind: ModelKind) -> Result<Arc<Domain>, DomainError> {
+        create_domain(&self.ctx, name, kind)
+    }
+
+    /// The default domain's store (test/benchmark access).
     pub fn store(&self) -> Arc<ShardedStore> {
-        Arc::clone(&self.ctx.store)
+        Arc::clone(self.ctx.domains.default_domain().store())
     }
 
-    /// The epoch predictor (test/benchmark access).
+    /// The default domain's epoch predictor (test/benchmark access).
     pub fn predictor(&self) -> Arc<EpochPredictor> {
-        Arc::clone(&self.ctx.predictor)
+        Arc::clone(self.ctx.domains.default_domain().predictor())
     }
 
-    /// The lock the refit daemon holds for the duration of every refit.
-    /// Tests acquire it to hold the daemon hostage and verify queries
-    /// still serve.
+    /// The lock the default domain's refit daemon holds for the duration
+    /// of every refit. Tests acquire it to hold the daemon hostage and
+    /// verify queries still serve.
     pub fn refit_lock(&self) -> Arc<Mutex<()>> {
-        Arc::clone(&self.refit_lock)
+        Arc::clone(self.ctx.domains.default_domain().refit_lock())
     }
 
-    /// Forces a refit pass (the daemon's schedule picks the mode).
+    /// Forces a default-domain refit pass (the daemon's schedule picks
+    /// the mode).
     pub fn trigger_refit(&self) {
-        self.ctx.daemon.trigger();
+        self.ctx.domains.default_domain().trigger_refit();
     }
 
-    /// Forces a full (reconciliation) refit pass.
+    /// Forces a full (reconciliation) refit pass on the default domain.
     pub fn trigger_full_refit(&self) {
-        self.ctx.daemon.trigger_full();
+        self.ctx.domains.default_domain().trigger_full_refit();
     }
 
-    /// The shared refit accumulator state (test/benchmark access).
+    /// The default domain's refit accumulator state (test/benchmark
+    /// access).
     pub fn refit_state(&self) -> Arc<Mutex<RefitState>> {
-        Arc::clone(&self.ctx.refit_state)
+        Arc::clone(self.ctx.domains.default_domain().refit_state())
     }
 
-    /// Saves a snapshot to `path` immediately.
+    /// Saves a snapshot of every domain to `path` immediately.
     pub fn save_snapshot(&self, path: &std::path::Path) -> io::Result<()> {
-        snapshot::save(
-            &self.ctx.store,
-            &self.ctx.predictor,
-            &self.ctx.refit_state,
-            path,
-        )
+        snapshot::save(&self.ctx.domains, path)
     }
 
     /// Blocks until a `POST /admin/shutdown` arrives.
@@ -562,10 +931,12 @@ impl Server {
         }
     }
 
-    /// Graceful stop: refit daemon, accept loop, worker pool — then the
-    /// final snapshot (if configured).
+    /// Graceful stop: every domain's refit daemon, the accept loop, the
+    /// worker pool — then the final snapshot (if configured).
     pub fn shutdown(mut self) -> io::Result<()> {
-        self.ctx.daemon.shutdown();
+        for domain in self.ctx.domains.list() {
+            domain.shutdown();
+        }
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept() with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -576,12 +947,7 @@ impl Server {
             pool.shutdown();
         }
         if let Some(path) = &self.ctx.snapshot_path {
-            snapshot::save(
-                &self.ctx.store,
-                &self.ctx.predictor,
-                &self.ctx.refit_state,
-                path,
-            )?;
+            snapshot::save(&self.ctx.domains, path)?;
         }
         Ok(())
     }

@@ -1,33 +1,45 @@
-//! Snapshot save/restore: store contents + learned quality as one JSON
-//! file, so a restarted server resumes serving its last published epoch
-//! without refitting from scratch.
+//! Snapshot save/restore: every domain's store contents + learned state
+//! as one JSON file, so a restarted server resumes serving its last
+//! published epochs without refitting from scratch.
 //!
-//! The store side is the accepted-triple log in arrival order: replaying
-//! it through a fresh [`ShardedStore`] with the same shard count
-//! reproduces every entity/attribute/source/fact id assignment (ids are
-//! handed out in first-accepted order and duplicates never mint ids).
-//! The predictor side is the raw Equation-3 parameter tables of the
-//! served epoch, plus the pending watermark: the log can hold rows
-//! ingested after the epoch's last refit, and restore leaves exactly
-//! those rows pending so they still arm the refit trigger after a
-//! restart. The refit side is the streaming **accumulator** — the
-//! cumulative expected-count table plus its fold watermark — so a
-//! restarted server resumes *incremental* refits over the unfolded tail
-//! instead of cold-refitting the whole store from zero.
+//! **Format v2** (current): a `domains` array, one record per hosted
+//! domain, each carrying the domain's name, [`ModelKind`] wire name,
+//! shard count, accepted-row replay log (with per-row values for
+//! real-valued domains), pending watermark, refit accumulator, and
+//! served epoch. **Format v1** (single-domain servers, pre-multi-model)
+//! is still loadable: [`load`] upgrades it in memory to a v2 snapshot
+//! holding one boolean [`DEFAULT_DOMAIN`] record, so old snapshots
+//! restore with bit-identical answers and re-save as v2.
+//!
+//! Per domain the invariants are unchanged from v1: the store side is
+//! the accepted-row log in arrival order (replaying it through a fresh
+//! [`ShardedStore`] with the same shard count reproduces every id
+//! assignment); the predictor side is the raw parameter tables of the
+//! served epoch plus the pending watermark; the refit side is the
+//! streaming accumulator — expected-count cells for boolean domains
+//! (4 per source), Gaussian sufficient statistics for real-valued ones
+//! (6 per source) — plus its fold watermark, so a restarted server
+//! resumes *incremental* refits over the unfolded tail.
 
 use std::io;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::Arc;
 
-use ltm_core::{BetaPair, ExpectedCounts, IncrementalLtm, LtmConfig, StreamingLtm};
+use ltm_core::{
+    BetaPair, ExpectedCounts, IncrementalLtm, IncrementalRealLtm, NigPrior, RealSuffStats,
+    StreamingLtm, StreamingRealLtm,
+};
 use serde::{Deserialize, Serialize};
 
-use crate::epoch::{EpochPredictor, EpochSnapshot};
-use crate::refit::RefitState;
-use crate::store::ShardedStore;
+use crate::domain::{Domain, DomainSet, DEFAULT_DOMAIN};
+use crate::epoch::EpochSnapshot;
+use crate::model::{ModelKind, ServePredictor};
+use crate::refit::RefitConfig;
+use crate::store::{LogRecord, ShardedStore};
 
-/// One accepted triple.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// One accepted row: the triple plus the optional value carried by
+/// real-valued domains (absent in v1 snapshots and boolean domains).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TripleRec {
     /// Entity name.
     pub entity: String,
@@ -35,9 +47,36 @@ pub struct TripleRec {
     pub attr: String,
     /// Source name.
     pub source: String,
+    /// Claim value (real-valued domains only).
+    pub value: Option<f64>,
 }
 
-/// The served epoch's parameters.
+/// The real-valued predictor parameters of a served epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealPredictorRec {
+    /// Accumulated per-source statistics ([`RealSuffStats::cells`]).
+    pub cells: Vec<f64>,
+    /// False-side NIG prior mean `m₀`.
+    pub side0_mean: f64,
+    /// False-side NIG prior strength `κ₀`.
+    pub side0_kappa: f64,
+    /// False-side inverse-gamma shape `a₀`.
+    pub side0_a: f64,
+    /// False-side inverse-gamma rate `b₀`.
+    pub side0_b: f64,
+    /// True-side NIG prior mean `m₁`.
+    pub side1_mean: f64,
+    /// True-side NIG prior strength `κ₁`.
+    pub side1_kappa: f64,
+    /// True-side inverse-gamma shape `a₁`.
+    pub side1_a: f64,
+    /// True-side inverse-gamma rate `b₁`.
+    pub side1_b: f64,
+}
+
+/// The served epoch's parameters. Boolean and positive-only domains fill
+/// the `φ` tables; real-valued domains fill `real` and leave the `φ`
+/// tables empty.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EpochRec {
     /// Epoch number at save time.
@@ -62,16 +101,21 @@ pub struct EpochRec {
     pub trained_claims: usize,
     /// Sources covered by the learned quality.
     pub trained_sources: usize,
+    /// Real-valued predictor parameters (real-valued domains only;
+    /// absent in v1 snapshots).
+    pub real: Option<RealPredictorRec>,
 }
 
-/// The refit daemon's accumulator at save time.
+/// The refit daemon's accumulator at save time. `cells` semantics follow
+/// the domain kind: [`ExpectedCounts::cells`] (4 per source) for boolean
+/// and positive-only domains, [`RealSuffStats::cells`] (6 per source)
+/// for real-valued ones.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AccumulatorRec {
-    /// Raw expected-count cells, 4 per source in global source-id order
-    /// ([`ExpectedCounts::cells`]).
+    /// Raw accumulator cells in global source-id order.
     pub cells: Vec<f64>,
-    /// Batches the saved [`StreamingLtm`] had folded (resumes per-batch
-    /// seed decorrelation).
+    /// Batches the saved trainer had folded (resumes per-batch seed
+    /// decorrelation).
     pub batches_seen: usize,
     /// Accepted-row sequence the accumulator covers. Replay reproduces
     /// sequence numbers (they are replay-log positions), so this value
@@ -79,82 +123,158 @@ pub struct AccumulatorRec {
     pub watermark: u64,
 }
 
-/// The on-disk snapshot format.
+/// One domain's complete persisted state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Snapshot {
-    /// Format version (currently 1).
-    pub version: u32,
+pub struct DomainRec {
+    /// Domain name (`default` for the legacy un-prefixed routes).
+    pub name: String,
+    /// [`ModelKind`] wire name (`boolean` | `real_valued` |
+    /// `positive_only`).
+    pub kind: String,
     /// Shard count the log was built with — restore replays into the
     /// same partitioning so global fact ids survive.
     pub shards: usize,
     /// Global source names in id order (informational / validation).
     pub sources: Vec<String>,
-    /// Accepted triples in arrival order.
+    /// Accepted rows in arrival order.
     pub triples: Vec<TripleRec>,
     /// Tail of `triples` not yet folded by a refit at save time. Restore
     /// leaves exactly this many rows pending so they still arm the refit
     /// trigger after a restart — the saved epoch never saw them. `None`
-    /// in pre-watermark snapshots, which treated the whole log as folded.
+    /// in pre-watermark v1 snapshots, which treated the whole log as
+    /// folded.
     pub pending: Option<usize>,
     /// The refit accumulator, if any fold had committed by save time.
-    /// Absent in older snapshots (which then cold-refit at boot).
     pub accumulator: Option<AccumulatorRec>,
     /// The served epoch, if any was published before the save.
     pub epoch: Option<EpochRec>,
 }
 
-/// Captures the current store + refit accumulator + served epoch.
-pub fn capture(
-    store: &ShardedStore,
-    predictor: &EpochPredictor,
-    refit: &Mutex<RefitState>,
-) -> Snapshot {
-    // Store state first (one consistent read under the ingest-order
-    // lock), the refit accumulator second, the served epoch last — the
-    // same order a refit commits in reverse. A refit that lands in
-    // between can only make the saved accumulator/epoch *newer* than the
-    // saved log, which errs toward re-folding already-folded rows at the
-    // next boot (the refit path self-heals that with an Empty pass); the
-    // reverse order could pair an old accumulator with `pending: 0` and
-    // silently exclude the unfolded tail.
+/// The on-disk snapshot: format version plus one record per domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format version (2 current; v1 files are upgraded by [`load`]).
+    pub version: u32,
+    /// Per-domain state, in the server's domain order.
+    pub domains: Vec<DomainRec>,
+}
+
+/// The v1 (single-domain) on-disk layout, kept for upgrade-on-load.
+#[derive(Debug, Clone, Deserialize)]
+struct SnapshotV1 {
+    #[allow(dead_code)] // parsed for shape validation only
+    version: u32,
+    shards: usize,
+    sources: Vec<String>,
+    triples: Vec<TripleRec>,
+    pending: Option<usize>,
+    accumulator: Option<AccumulatorRec>,
+    epoch: Option<EpochRec>,
+}
+
+impl Snapshot {
+    /// The record for `name`, if present.
+    pub fn domain(&self, name: &str) -> Option<&DomainRec> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+}
+
+/// Captures one domain's state: store first (one consistent read under
+/// the ingest-order lock), the refit accumulator second, the served
+/// epoch last — the same order a refit commits in reverse. A refit that
+/// lands in between can only make the saved accumulator/epoch *newer*
+/// than the saved log, which errs toward re-folding already-folded rows
+/// at the next boot (the refit path self-heals that with an Empty pass);
+/// the reverse order could pair an old accumulator with `pending: 0` and
+/// silently exclude the unfolded tail.
+fn capture_domain(domain: &Domain) -> DomainRec {
+    let store = domain.store();
     let (sources, log, pending) = store.persistence_snapshot();
     let accumulator = {
-        let st = refit.lock().expect("refit state");
-        st.streaming().map(|s| AccumulatorRec {
-            cells: s.accumulated().cells().to_vec(),
-            batches_seen: s.batches_seen(),
-            watermark: st.watermark(),
-        })
+        let st = domain.refit_state().lock().expect("refit state");
+        match domain.kind() {
+            ModelKind::Boolean | ModelKind::PositiveOnly => {
+                st.streaming().map(|s| AccumulatorRec {
+                    cells: s.accumulated().cells().to_vec(),
+                    batches_seen: s.batches_seen(),
+                    watermark: st.watermark(),
+                })
+            }
+            ModelKind::RealValued => st.streaming_real().map(|s| AccumulatorRec {
+                cells: s.accumulated().cells().to_vec(),
+                batches_seen: s.batches_seen(),
+                watermark: st.watermark(),
+            }),
+        }
     };
-    let snap = predictor.load();
+    let snap = domain.predictor().load();
     let epoch = if snap.epoch == 0 {
         None
     } else {
-        Some(EpochRec {
-            epoch: snap.epoch,
-            phi1: snap.predictor.phi1().to_vec(),
-            phi0: snap.predictor.phi0().to_vec(),
-            beta_pos: snap.predictor.beta().pos,
-            beta_neg: snap.predictor.beta().neg,
-            default_phi1: snap.predictor.fallback().0,
-            default_phi0: snap.predictor.fallback().1,
-            max_rhat: snap.max_rhat,
-            converged_fraction: snap.converged_fraction,
-            trained_claims: snap.trained_claims,
-            trained_sources: snap.trained_sources,
+        Some(match &snap.predictor {
+            ServePredictor::Boolean(p) => EpochRec {
+                epoch: snap.epoch,
+                phi1: p.phi1().to_vec(),
+                phi0: p.phi0().to_vec(),
+                beta_pos: p.beta().pos,
+                beta_neg: p.beta().neg,
+                default_phi1: p.fallback().0,
+                default_phi0: p.fallback().1,
+                max_rhat: snap.max_rhat,
+                converged_fraction: snap.converged_fraction,
+                trained_claims: snap.trained_claims,
+                trained_sources: snap.trained_sources,
+                real: None,
+            },
+            ServePredictor::Real(p) => {
+                let (side0, side1) = p.priors();
+                EpochRec {
+                    epoch: snap.epoch,
+                    phi1: Vec::new(),
+                    phi0: Vec::new(),
+                    beta_pos: p.beta().pos,
+                    beta_neg: p.beta().neg,
+                    default_phi1: 0.0,
+                    default_phi0: 0.0,
+                    max_rhat: snap.max_rhat,
+                    converged_fraction: snap.converged_fraction,
+                    trained_claims: snap.trained_claims,
+                    trained_sources: snap.trained_sources,
+                    real: Some(RealPredictorRec {
+                        cells: p.stats().cells().to_vec(),
+                        side0_mean: side0.mean,
+                        side0_kappa: side0.kappa,
+                        side0_a: side0.a,
+                        side0_b: side0.b,
+                        side1_mean: side1.mean,
+                        side1_kappa: side1.kappa,
+                        side1_a: side1.a,
+                        side1_b: side1.b,
+                    }),
+                }
+            }
         })
     };
-    Snapshot {
-        version: 1,
+    DomainRec {
+        name: domain.name().to_owned(),
+        kind: domain.kind().as_str().to_owned(),
         shards: store.num_shards(),
         sources,
         triples: log
             .into_iter()
-            .map(|[entity, attr, source]| TripleRec {
-                entity,
-                attr,
-                source,
-            })
+            .map(
+                |LogRecord {
+                     entity,
+                     attr,
+                     source,
+                     value,
+                 }| TripleRec {
+                    entity,
+                    attr,
+                    source,
+                    value,
+                },
+            )
             .collect(),
         pending: Some(pending),
         accumulator,
@@ -162,19 +282,22 @@ pub fn capture(
     }
 }
 
-/// Saves a snapshot as pretty JSON.
+/// Captures every domain's state as a v2 snapshot.
+pub fn capture(domains: &DomainSet) -> Snapshot {
+    Snapshot {
+        version: 2,
+        domains: domains.list().iter().map(|d| capture_domain(d)).collect(),
+    }
+}
+
+/// Saves a snapshot of every domain as pretty JSON.
 ///
 /// The write is atomic with respect to crashes: the JSON goes to a
 /// temporary file in the same directory which is then renamed over the
 /// target, so a kill mid-write can never leave a truncated snapshot (or
 /// clobber the previous good one) that would fail the next boot.
-pub fn save(
-    store: &ShardedStore,
-    predictor: &EpochPredictor,
-    refit: &Mutex<RefitState>,
-    path: &Path,
-) -> io::Result<()> {
-    let snapshot = capture(store, predictor, refit);
+pub fn save(domains: &DomainSet, path: &Path) -> io::Result<()> {
+    let snapshot = capture(domains);
     let json = serde_json::to_string_pretty(&snapshot)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     // Unique per call, not just per process: two workers saving the same
@@ -196,56 +319,117 @@ pub fn save(
     })
 }
 
-/// Loads a snapshot file.
+/// Loads a snapshot file, upgrading v1 single-domain files to a v2
+/// snapshot holding one boolean [`DEFAULT_DOMAIN`] record.
 pub fn load(path: &Path) -> io::Result<Snapshot> {
     let text = std::fs::read_to_string(path)?;
-    let snapshot: Snapshot = serde_json::from_str(&text)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    if snapshot.version != 1 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported snapshot version {}", snapshot.version),
-        ));
+    let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
+    let probe: serde::Value = serde_json::from_str(&text).map_err(|e| invalid(e.to_string()))?;
+    let version = match probe.get_field("version") {
+        Some(serde::Value::Int(v)) => *v,
+        Some(serde::Value::UInt(v)) => *v as i64,
+        _ => return Err(invalid("snapshot has no numeric `version` field".into())),
+    };
+    match version {
+        1 => {
+            let v1: SnapshotV1 = serde_json::from_str(&text).map_err(|e| invalid(e.to_string()))?;
+            Ok(Snapshot {
+                version: 2,
+                domains: vec![DomainRec {
+                    name: DEFAULT_DOMAIN.to_owned(),
+                    kind: ModelKind::Boolean.as_str().to_owned(),
+                    shards: v1.shards,
+                    sources: v1.sources,
+                    triples: v1.triples,
+                    pending: v1.pending,
+                    accumulator: v1.accumulator,
+                    epoch: v1.epoch,
+                }],
+            })
+        }
+        2 => serde_json::from_str(&text).map_err(|e| invalid(e.to_string())),
+        other => Err(invalid(format!("unsupported snapshot version {other}"))),
     }
-    Ok(snapshot)
 }
 
-/// Replays a snapshot into `store` (which must be empty and have the
-/// snapshot's shard count), restores the served epoch into `predictor`,
-/// and resumes the refit accumulator (if saved) into `refit` so the
-/// first post-restart refit is incremental. `ltm` is the model
-/// configuration the resumed accumulator will fit future batches with.
-pub fn restore(
-    snapshot: &Snapshot,
-    store: &ShardedStore,
-    predictor: &EpochPredictor,
-    refit: &Mutex<RefitState>,
-    ltm: &LtmConfig,
-) -> io::Result<()> {
-    if store.num_shards() != snapshot.shards {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "snapshot was taken with {} shards but the store has {} — fact ids would \
-                 not survive the replay",
-                snapshot.shards,
-                store.num_shards()
-            ),
-        ));
+/// Restores a snapshot into `domains`: each recorded domain is resolved
+/// by name — an existing domain must match the record's kind and shard
+/// count (its store must be empty, i.e. freshly booted); a missing one
+/// is created with the record's kind/shards and `config` and inserted.
+/// Per domain the record's log is replayed, the served epoch installed,
+/// and the refit accumulator resumed so the first post-restart refit is
+/// incremental. Restored-but-created domains do **not** have a daemon
+/// yet; the server spawns daemons for every domain after restore.
+pub fn restore(snapshot: &Snapshot, domains: &DomainSet, config: &RefitConfig) -> io::Result<()> {
+    let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
+    for rec in &snapshot.domains {
+        let kind: ModelKind = rec
+            .kind
+            .parse()
+            .map_err(|e: crate::model::UnknownModelKind| invalid(e.to_string()))?;
+        let domain = match domains.get(&rec.name) {
+            Some(existing) => {
+                if existing.kind() != kind {
+                    return Err(invalid(format!(
+                        "snapshot domain `{}` is {} but the configured domain is {}",
+                        rec.name,
+                        kind,
+                        existing.kind()
+                    )));
+                }
+                existing
+            }
+            None => {
+                let created = Domain::new(&rec.name, kind, rec.shards, config);
+                domains
+                    .insert(Arc::clone(&created))
+                    .map_err(|e| invalid(e.to_string()))?;
+                created
+            }
+        };
+        restore_domain(rec, kind, &domain, config)?;
     }
-    if let Some(rec) = &snapshot.accumulator {
-        if !rec.cells.len().is_multiple_of(4) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "accumulator cells come in blocks of 4 per source, got {}",
-                    rec.cells.len()
-                ),
-            ));
+    Ok(())
+}
+
+fn restore_domain(
+    rec: &DomainRec,
+    kind: ModelKind,
+    domain: &Domain,
+    config: &RefitConfig,
+) -> io::Result<()> {
+    let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
+    let store: &ShardedStore = domain.store();
+    if store.num_shards() != rec.shards {
+        return Err(invalid(format!(
+            "snapshot domain `{}` was taken with {} shards but the store has {} — fact ids \
+             would not survive the replay",
+            rec.name,
+            rec.shards,
+            store.num_shards()
+        )));
+    }
+    let cells_per_source = match kind {
+        ModelKind::Boolean | ModelKind::PositiveOnly => 4,
+        ModelKind::RealValued => 6,
+    };
+    if let Some(acc) = &rec.accumulator {
+        if !acc.cells.len().is_multiple_of(cells_per_source) {
+            return Err(invalid(format!(
+                "domain `{}` accumulator cells come in blocks of {cells_per_source} per \
+                 source, got {}",
+                rec.name,
+                acc.cells.len()
+            )));
         }
     }
-    for t in &snapshot.triples {
-        store.ingest(&t.entity, &t.attr, &t.source);
+    for t in &rec.triples {
+        store.replay(&LogRecord {
+            entity: t.entity.clone(),
+            attr: t.attr.clone(),
+            source: t.source.clone(),
+            value: t.value,
+        });
     }
     // Only the rows a refit had folded by save time are marked consumed;
     // the saved `pending` tail was never seen by the saved epoch and must
@@ -256,9 +440,9 @@ pub fn restore(
     // A capture that raced a refit can leave the accumulator watermark
     // ahead of the log's folded count; trust the larger of the two (the
     // accumulator provably folded through its watermark).
-    let pending = snapshot.pending.unwrap_or(0);
-    let mut folded = snapshot.triples.len().saturating_sub(pending) as u64;
-    if let Some(rec) = &snapshot.accumulator {
+    let pending = rec.pending.unwrap_or(0);
+    let mut folded = rec.triples.len().saturating_sub(pending) as u64;
+    if let Some(acc) = &rec.accumulator {
         // A capture that raced a refit can legally pair an accumulator
         // slightly *newer* than the saved log: a fold that committed
         // between the store read and the state read may cover rows (and
@@ -274,40 +458,89 @@ pub fn restore(
         //   remaining cell attributed to the id the replayed store
         //   assigns. The shed contribution is drift-sized and the next
         //   full refit reconciles it exactly.
-        let watermark = rec.watermark.min(snapshot.triples.len() as u64);
-        let mut cells = rec.cells.clone();
-        cells.truncate(snapshot.sources.len() * 4);
+        let watermark = acc.watermark.min(rec.triples.len() as u64);
+        let mut cells = acc.cells.clone();
+        cells.truncate(rec.sources.len() * cells_per_source);
         folded = folded.max(watermark);
-        refit.lock().expect("refit state").restore(
-            StreamingLtm::from_accumulated(
-                *ltm,
-                ExpectedCounts::from_cells(cells),
-                rec.batches_seen,
+        let mut st = domain.refit_state().lock().expect("refit state");
+        match kind {
+            ModelKind::Boolean | ModelKind::PositiveOnly => st.restore(
+                StreamingLtm::from_accumulated(
+                    config.ltm,
+                    ExpectedCounts::from_cells(cells),
+                    acc.batches_seen,
+                ),
+                watermark,
             ),
-            watermark,
-        );
+            ModelKind::RealValued => st.restore_real(
+                StreamingRealLtm::from_accumulated(
+                    config.real,
+                    RealSuffStats::from_cells(cells),
+                    acc.batches_seen,
+                ),
+                watermark,
+            ),
+        }
     }
     store.consume_pending(usize::try_from(folded).unwrap_or(usize::MAX));
-    if store.source_names() != snapshot.sources {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "replay produced a different source-id assignment than the snapshot records",
-        ));
+    if store.source_names() != rec.sources {
+        return Err(invalid(format!(
+            "domain `{}`: replay produced a different source-id assignment than the \
+             snapshot records",
+            rec.name
+        )));
     }
-    if let Some(rec) = &snapshot.epoch {
-        predictor.restore(EpochSnapshot {
-            epoch: rec.epoch,
-            predictor: IncrementalLtm::from_parts(
-                rec.phi1.clone(),
-                rec.phi0.clone(),
-                BetaPair::new(rec.beta_pos, rec.beta_neg),
-                rec.default_phi1,
-                rec.default_phi0,
-            ),
-            max_rhat: rec.max_rhat,
-            converged_fraction: rec.converged_fraction,
-            trained_claims: rec.trained_claims,
-            trained_sources: rec.trained_sources,
+    if let Some(e) = &rec.epoch {
+        let predictor = match kind {
+            ModelKind::Boolean | ModelKind::PositiveOnly => {
+                ServePredictor::Boolean(IncrementalLtm::from_parts(
+                    e.phi1.clone(),
+                    e.phi0.clone(),
+                    BetaPair::new(e.beta_pos, e.beta_neg),
+                    e.default_phi1,
+                    e.default_phi0,
+                ))
+            }
+            ModelKind::RealValued => {
+                let r = e.real.as_ref().ok_or_else(|| {
+                    invalid(format!(
+                        "domain `{}` is real_valued but its epoch record has no real \
+                         predictor parameters",
+                        rec.name
+                    ))
+                })?;
+                if !r.cells.len().is_multiple_of(6) {
+                    return Err(invalid(format!(
+                        "domain `{}` epoch stats cells come in blocks of 6 per source, got {}",
+                        rec.name,
+                        r.cells.len()
+                    )));
+                }
+                ServePredictor::Real(IncrementalRealLtm::from_parts(
+                    NigPrior {
+                        mean: r.side0_mean,
+                        kappa: r.side0_kappa,
+                        a: r.side0_a,
+                        b: r.side0_b,
+                    },
+                    NigPrior {
+                        mean: r.side1_mean,
+                        kappa: r.side1_kappa,
+                        a: r.side1_a,
+                        b: r.side1_b,
+                    },
+                    BetaPair::new(e.beta_pos, e.beta_neg),
+                    RealSuffStats::from_cells(r.cells.clone()),
+                ))
+            }
+        };
+        domain.predictor().restore(EpochSnapshot {
+            epoch: e.epoch,
+            predictor,
+            max_rhat: e.max_rhat,
+            converged_fraction: e.converged_fraction,
+            trained_claims: e.trained_claims,
+            trained_sources: e.trained_sources,
         });
     }
     Ok(())
@@ -316,7 +549,6 @@ pub fn restore(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ltm_core::Priors;
     use ltm_model::SourceId;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -325,58 +557,58 @@ mod tests {
         p
     }
 
-    fn empty_refit() -> Mutex<RefitState> {
-        Mutex::new(RefitState::new())
+    fn boolean_set(shards: usize) -> DomainSet {
+        let set = DomainSet::new();
+        set.insert(Domain::new(
+            DEFAULT_DOMAIN,
+            ModelKind::Boolean,
+            shards,
+            &RefitConfig::default(),
+        ))
+        .unwrap();
+        set
     }
 
     #[test]
     fn snapshot_round_trips_store_and_epoch() {
-        let store = ShardedStore::new(3);
-        let priors = Priors::default();
-        let predictor = EpochPredictor::new(&priors);
-        let refit = empty_refit();
+        let set = boolean_set(3);
+        let domain = set.default_domain();
+        let store = domain.store();
         store.ingest("e0", "a0", "s0");
         store.ingest("e0", "a1", "s1");
         store.ingest("e1", "a0", "s0");
-        let mut snap = EpochSnapshot::boot(&priors);
-        snap.predictor = IncrementalLtm::from_parts(
+        let mut snap = EpochSnapshot::boot(&RefitConfig::default().ltm.priors);
+        snap.predictor = ServePredictor::Boolean(IncrementalLtm::from_parts(
             vec![0.9, 0.4],
             vec![0.05, 0.3],
             BetaPair::new(2.0, 3.0),
             0.5,
             0.1,
-        );
+        ));
         snap.max_rhat = 1.07;
         snap.trained_claims = 4;
-        predictor.publish(snap);
+        domain.predictor().publish(snap);
 
         let path = temp_path("roundtrip.json");
-        save(&store, &predictor, &refit, &path).unwrap();
+        save(&set, &path).unwrap();
         let loaded = load(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert_eq!(loaded, capture(&store, &predictor, &refit));
+        assert_eq!(loaded, capture(&set));
+        assert_eq!(loaded.version, 2);
 
-        let store2 = ShardedStore::new(3);
-        let predictor2 = EpochPredictor::new(&priors);
-        let refit2 = empty_refit();
-        restore(
-            &loaded,
-            &store2,
-            &predictor2,
-            &refit2,
-            &LtmConfig::default(),
-        )
-        .unwrap();
-        assert_eq!(store2.stats().facts, store.stats().facts);
-        assert_eq!(store2.source_names(), store.source_names());
+        let set2 = boolean_set(3);
+        restore(&loaded, &set2, &RefitConfig::default()).unwrap();
+        let domain2 = set2.default_domain();
+        assert_eq!(domain2.store().stats().facts, store.stats().facts);
+        assert_eq!(domain2.store().source_names(), store.source_names());
         assert_eq!(
-            store2.pending(),
+            domain2.store().pending(),
             store.pending(),
             "restore preserves the unfolded tail"
         );
 
-        let before = predictor.load();
-        let after = predictor2.load();
+        let before = domain.predictor().load();
+        let after = domain2.predictor().load();
         assert_eq!(after.epoch, before.epoch);
         let claims = [(SourceId::new(0), true), (SourceId::new(1), false)];
         assert_eq!(
@@ -387,50 +619,176 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_round_trips_the_accumulator() {
-        let store = ShardedStore::new(2);
-        let priors = Priors::default();
-        let predictor = EpochPredictor::new(&priors);
-        store.ingest("e0", "a0", "s0");
-        store.ingest("e0", "a1", "s1");
-        // A committed fold: accumulator over 2 sources, watermark 2.
-        let refit = empty_refit();
-        let mut streaming = StreamingLtm::new(LtmConfig::default());
-        streaming
-            .try_observe(&store.full_databases().batches[0])
-            .expect("fold");
+    fn snapshot_round_trips_a_real_domain() {
+        let set = boolean_set(2);
+        let cfg = RefitConfig::default();
+        set.insert(Domain::new("scores", ModelKind::RealValued, 2, &cfg))
+            .unwrap();
+        let domain = set.get("scores").unwrap();
+        let store = domain.store();
+        store.ingest_valued("e0", "a0", "s0", 0.92);
+        store.ingest_valued("e0", "a1", "s1", 0.15);
+        store.ingest_valued("e1", "a0", "s0", 0.88);
+
+        // A committed fold: real accumulator over the full store.
+        let mut streaming = StreamingRealLtm::new(cfg.real);
+        for db in store.full_real_databases().batches {
+            streaming.try_observe(&db).unwrap();
+        }
+        let predictor = streaming.predictor();
         let cells_before = streaming.accumulated().cells().to_vec();
-        refit.lock().unwrap().restore(streaming, 2);
-        store.consume_pending(2);
+        domain
+            .refit_state()
+            .lock()
+            .unwrap()
+            .restore_real(streaming, 3);
+        store.consume_pending(3);
+        let mut snap = EpochSnapshot::boot_real(&cfg.real);
+        snap.predictor = ServePredictor::Real(predictor);
+        snap.max_rhat = 1.02;
+        domain.predictor().publish(snap);
         // …then one more row arrives unfolded.
-        store.ingest("e1", "a0", "s0");
+        store.ingest_valued("e1", "a1", "s1", 0.4);
 
-        let snapshot = capture(&store, &predictor, &refit);
-        let rec = snapshot.accumulator.as_ref().expect("accumulator saved");
-        assert_eq!(rec.watermark, 2);
-        assert_eq!(rec.batches_seen, 1);
-        assert_eq!(rec.cells, cells_before);
+        let path = temp_path("real-roundtrip.json");
+        save(&set, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let rec = loaded.domain("scores").expect("real domain saved");
+        assert_eq!(rec.kind, "real_valued");
+        assert_eq!(rec.triples[0].value, Some(0.92));
+        assert_eq!(rec.pending, Some(1));
+        assert_eq!(rec.accumulator.as_ref().unwrap().cells, cells_before);
 
-        let store2 = ShardedStore::new(2);
-        let refit2 = empty_refit();
-        restore(
-            &snapshot,
-            &store2,
-            &predictor,
-            &refit2,
-            &LtmConfig::default(),
+        // Restore into a fresh set that does NOT pre-configure `scores`:
+        // the domain is created from the record.
+        let set2 = boolean_set(2);
+        restore(&loaded, &set2, &cfg).unwrap();
+        let domain2 = set2.get("scores").expect("domain created by restore");
+        assert_eq!(domain2.kind(), ModelKind::RealValued);
+        assert_eq!(domain2.store().pending(), 1, "unfolded tail stays pending");
+        let st = domain2.refit_state().lock().unwrap();
+        assert_eq!(st.watermark(), 3);
+        assert_eq!(
+            st.streaming_real().unwrap().accumulated().cells(),
+            &cells_before[..]
+        );
+        drop(st);
+        let claims = [(SourceId::new(0), 0.9), (SourceId::new(1), 0.2)];
+        assert_eq!(
+            domain2.predictor().load().predictor.predict_real(&claims),
+            domain.predictor().load().predictor.predict_real(&claims),
+            "bit-identical real predictions after restore"
+        );
+    }
+
+    #[test]
+    fn v1_snapshot_upgrades_to_default_boolean_domain() {
+        // A pre-multi-model snapshot (version 1, no `domains` array, no
+        // per-triple values) must load as a v2 snapshot with one boolean
+        // `default` domain and restore with identical ids and pending.
+        let path = temp_path("v1-upgrade.json");
+        std::fs::write(
+            &path,
+            "{\"version\":1,\"shards\":2,\"sources\":[\"s0\",\"s1\"],\
+             \"triples\":[{\"entity\":\"e0\",\"attr\":\"a0\",\"source\":\"s0\"},\
+                          {\"entity\":\"e0\",\"attr\":\"a1\",\"source\":\"s1\"},\
+                          {\"entity\":\"e1\",\"attr\":\"a0\",\"source\":\"s0\"}],\
+             \"pending\":1,\
+             \"accumulator\":{\"cells\":[1.0,0.0,0.5,0.5,0.0,1.0,0.25,0.75],\
+                              \"batches_seen\":1,\"watermark\":2},\
+             \"epoch\":{\"epoch\":3,\"phi1\":[0.9,0.4],\"phi0\":[0.05,0.3],\
+                        \"beta_pos\":2.0,\"beta_neg\":3.0,\
+                        \"default_phi1\":0.5,\"default_phi0\":0.1,\
+                        \"max_rhat\":1.05,\"converged_fraction\":1.0,\
+                        \"trained_claims\":4,\"trained_sources\":2}}",
         )
         .unwrap();
-        let st = refit2.lock().unwrap();
-        assert_eq!(st.watermark(), 2, "fold watermark resumes");
-        let resumed = st.streaming().expect("accumulator resumed");
-        assert_eq!(resumed.accumulated().cells(), &cells_before[..]);
-        assert_eq!(resumed.batches_seen(), 1);
+        let snapshot = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(snapshot.version, 2);
+        assert_eq!(snapshot.domains.len(), 1);
+        let rec = snapshot.domain(DEFAULT_DOMAIN).unwrap();
+        assert_eq!(rec.kind, "boolean");
+        assert_eq!(rec.pending, Some(1));
+        assert!(rec.triples.iter().all(|t| t.value.is_none()));
+        assert!(rec.epoch.as_ref().unwrap().real.is_none());
+
+        let set = boolean_set(2);
+        restore(&snapshot, &set, &RefitConfig::default()).unwrap();
+        let domain = set.default_domain();
+        assert_eq!(domain.store().stats().facts, 3);
+        assert_eq!(domain.store().pending(), 1);
+        assert_eq!(domain.predictor().load().epoch, 3);
+        let st = domain.refit_state().lock().unwrap();
+        assert_eq!(st.watermark(), 2);
+        assert!(st.streaming().is_some());
         drop(st);
-        assert_eq!(store2.pending(), 1, "only the unfolded tail is pending");
-        // The delta since the restored watermark is exactly that tail.
-        let delta = store2.shard_databases_since(2);
-        assert_eq!(delta.delta_facts, 1);
+
+        // Equation-3 on the restored parameters is reproducible from the
+        // raw φ tables — the bit-identity assertion of the migration.
+        let expected = IncrementalLtm::from_parts(
+            vec![0.9, 0.4],
+            vec![0.05, 0.3],
+            BetaPair::new(2.0, 3.0),
+            0.5,
+            0.1,
+        );
+        let claims = [(SourceId::new(0), true), (SourceId::new(1), false)];
+        assert_eq!(
+            domain.predictor().load().predictor.predict_fact(&claims),
+            expected.predict_fact(&claims)
+        );
+
+        // Re-saving writes format v2; reloading restores identically.
+        let path2 = temp_path("v1-resaved.json");
+        save(&set, &path2).unwrap();
+        let resaved = load(&path2).unwrap();
+        std::fs::remove_file(&path2).ok();
+        assert_eq!(resaved.version, 2);
+        let set3 = boolean_set(2);
+        restore(&resaved, &set3, &RefitConfig::default()).unwrap();
+        assert_eq!(
+            set3.default_domain()
+                .predictor()
+                .load()
+                .predictor
+                .predict_fact(&claims),
+            expected.predict_fact(&claims),
+            "v1 → v2 → v2 restores stay bit-identical"
+        );
+    }
+
+    #[test]
+    fn pre_watermark_v1_snapshots_load_as_fully_folded() {
+        // The oldest v1 layout predates the `pending` and `accumulator`
+        // fields entirely; the upgrade path must treat the whole log as
+        // folded (no accumulator to resume → the next refit is cold).
+        let path = temp_path("v1-no-pending.json");
+        std::fs::write(
+            &path,
+            "{\"version\":1,\"shards\":1,\"sources\":[\"s\"],\
+             \"triples\":[{\"entity\":\"e\",\"attr\":\"a\",\"source\":\"s\"}],\
+             \"epoch\":null}",
+        )
+        .unwrap();
+        let snapshot = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let rec = snapshot.domain(DEFAULT_DOMAIN).unwrap();
+        assert_eq!(rec.pending, None);
+        assert_eq!(rec.accumulator, None);
+        let set = boolean_set(1);
+        restore(&snapshot, &set, &RefitConfig::default()).unwrap();
+        let domain = set.default_domain();
+        assert_eq!(
+            domain.store().pending(),
+            0,
+            "old snapshots treat the log as folded"
+        );
+        assert!(
+            domain.refit_state().lock().unwrap().streaming().is_none(),
+            "no accumulator to resume: the next refit is a cold one"
+        );
     }
 
     #[test]
@@ -438,36 +796,34 @@ mod tests {
         // A capture racing a refit can pair an older log view (pending
         // still unconsumed) with a newer accumulator; restore must trust
         // the accumulator's watermark instead of re-arming forever.
-        let store = ShardedStore::new(1);
-        let predictor = EpochPredictor::new(&Priors::default());
+        let set = boolean_set(1);
+        let domain = set.default_domain();
+        let store = domain.store();
         store.ingest("e0", "a0", "s0");
         store.ingest("e1", "a0", "s0");
-        let mut snapshot = capture(&store, &predictor, &empty_refit());
-        assert_eq!(snapshot.pending, Some(2));
-        snapshot.accumulator = Some(AccumulatorRec {
+        let mut snapshot = capture(&set);
+        assert_eq!(snapshot.domains[0].pending, Some(2));
+        snapshot.domains[0].accumulator = Some(AccumulatorRec {
             cells: vec![0.0; 4],
             batches_seen: 1,
             watermark: 2,
         });
-        let store2 = ShardedStore::new(1);
-        let refit2 = empty_refit();
-        restore(
-            &snapshot,
-            &store2,
-            &predictor,
-            &refit2,
-            &LtmConfig::default(),
-        )
-        .unwrap();
-        assert_eq!(store2.pending(), 0, "accumulator already folded both rows");
-        assert_eq!(refit2.lock().unwrap().watermark(), 2);
+        let set2 = boolean_set(1);
+        restore(&snapshot, &set2, &RefitConfig::default()).unwrap();
+        let domain2 = set2.default_domain();
+        assert_eq!(
+            domain2.store().pending(),
+            0,
+            "accumulator already folded both rows"
+        );
+        assert_eq!(domain2.refit_state().lock().unwrap().watermark(), 2);
     }
 
     #[test]
     fn restore_leaves_unfolded_tail_pending() {
-        let store = ShardedStore::new(2);
-        let priors = Priors::default();
-        let predictor = EpochPredictor::new(&priors);
+        let set = boolean_set(2);
+        let domain = set.default_domain();
+        let store = domain.store();
         store.ingest("e0", "a0", "s0");
         store.ingest("e0", "a1", "s1");
         store.ingest("e1", "a0", "s0");
@@ -478,68 +834,28 @@ mod tests {
         store.ingest("e2", "a1", "s0");
         assert_eq!(store.pending(), 2);
 
-        let snapshot = capture(&store, &predictor, &empty_refit());
-        assert_eq!(snapshot.pending, Some(2));
-        let store2 = ShardedStore::new(2);
-        restore(
-            &snapshot,
-            &store2,
-            &predictor,
-            &empty_refit(),
-            &LtmConfig::default(),
-        )
-        .unwrap();
+        let snapshot = capture(&set);
+        assert_eq!(snapshot.domains[0].pending, Some(2));
+        let set2 = boolean_set(2);
+        restore(&snapshot, &set2, &RefitConfig::default()).unwrap();
         assert_eq!(
-            store2.pending(),
+            set2.default_domain().store().pending(),
             2,
             "the tail the saved epoch never saw must re-arm the refit trigger"
         );
     }
 
     #[test]
-    fn pre_watermark_snapshots_load_as_fully_folded() {
-        let path = temp_path("no-pending-field.json");
-        std::fs::write(
-            &path,
-            "{\"version\":1,\"shards\":1,\"sources\":[\"s\"],\
-             \"triples\":[{\"entity\":\"e\",\"attr\":\"a\",\"source\":\"s\"}],\
-             \"epoch\":null}",
-        )
-        .unwrap();
-        let snapshot = load(&path).unwrap();
-        std::fs::remove_file(&path).ok();
-        assert_eq!(snapshot.pending, None);
-        assert_eq!(snapshot.accumulator, None);
-        let store = ShardedStore::new(1);
-        let predictor = EpochPredictor::new(&Priors::default());
-        let refit = empty_refit();
-        restore(&snapshot, &store, &predictor, &refit, &LtmConfig::default()).unwrap();
-        assert_eq!(store.pending(), 0, "old snapshots treat the log as folded");
-        assert!(
-            refit.lock().unwrap().streaming().is_none(),
-            "no accumulator to resume: the next refit is a cold one"
-        );
-    }
-
-    #[test]
     fn restore_rejects_ragged_accumulator_cells() {
-        let store = ShardedStore::new(1);
-        let predictor = EpochPredictor::new(&Priors::default());
-        store.ingest("e", "a", "s");
-        let mut snapshot = capture(&store, &predictor, &empty_refit());
-        snapshot.accumulator = Some(AccumulatorRec {
+        let set = boolean_set(1);
+        set.default_domain().store().ingest("e", "a", "s");
+        let mut snapshot = capture(&set);
+        snapshot.domains[0].accumulator = Some(AccumulatorRec {
             cells: vec![0.0; 6],
             batches_seen: 1,
             watermark: 1,
         });
-        let err = restore(
-            &snapshot,
-            &ShardedStore::new(1),
-            &predictor,
-            &empty_refit(),
-            &LtmConfig::default(),
-        )
-        .unwrap_err();
+        let err = restore(&snapshot, &boolean_set(1), &RefitConfig::default()).unwrap_err();
         assert!(err.to_string().contains("blocks of 4"), "{err}");
     }
 
@@ -550,27 +866,19 @@ mod tests {
         // log never interned. Restore must repair (clamp + truncate),
         // not reject — the snapshot was legitimately saved, and a boot
         // failure would strand the server until an operator deletes it.
-        let store = ShardedStore::new(1);
-        let predictor = EpochPredictor::new(&Priors::default());
-        store.ingest("e", "a", "s");
-        let mut snapshot = capture(&store, &predictor, &empty_refit());
-        snapshot.accumulator = Some(AccumulatorRec {
+        let set = boolean_set(1);
+        set.default_domain().store().ingest("e", "a", "s");
+        let mut snapshot = capture(&set);
+        snapshot.domains[0].accumulator = Some(AccumulatorRec {
             // Two sources' cells, but the log only interns one.
             cells: vec![1.0; 8],
             batches_seen: 3,
             watermark: 99,
         });
-        let store2 = ShardedStore::new(1);
-        let refit2 = empty_refit();
-        restore(
-            &snapshot,
-            &store2,
-            &predictor,
-            &refit2,
-            &LtmConfig::default(),
-        )
-        .unwrap();
-        let st = refit2.lock().unwrap();
+        let set2 = boolean_set(1);
+        restore(&snapshot, &set2, &RefitConfig::default()).unwrap();
+        let domain2 = set2.default_domain();
+        let st = domain2.refit_state().lock().unwrap();
         assert_eq!(st.watermark(), 1, "watermark clamped to the log length");
         let resumed = st.streaming().unwrap();
         assert_eq!(
@@ -579,9 +887,10 @@ mod tests {
             "cells for the phantom source are dropped"
         );
         drop(st);
-        assert_eq!(store2.pending(), 0);
+        assert_eq!(domain2.store().pending(), 0);
         // The repaired accumulator folds incrementally again — no
         // SourceSpaceShrunk poisoning.
+        let store2 = domain2.store();
         let delta = store2.shard_databases_since(1);
         assert!(delta.batches.is_empty());
         store2.ingest("e2", "a", "s");
@@ -590,16 +899,13 @@ mod tests {
 
     #[test]
     fn save_is_atomic_over_an_existing_snapshot() {
-        let store = ShardedStore::new(1);
-        let priors = Priors::default();
-        let predictor = EpochPredictor::new(&priors);
-        let refit = empty_refit();
-        store.ingest("e", "a", "s");
+        let set = boolean_set(1);
+        set.default_domain().store().ingest("e", "a", "s");
         let path = temp_path("atomic.json");
         std::fs::write(&path, "previous good snapshot").unwrap();
-        save(&store, &predictor, &refit, &path).unwrap();
+        save(&set, &path).unwrap();
         let reloaded = load(&path).unwrap();
-        assert_eq!(reloaded, capture(&store, &predictor, &refit));
+        assert_eq!(reloaded, capture(&set));
         // No temp file left behind in the target directory.
         let dir = path.parent().unwrap();
         let stem = path.file_name().unwrap().to_string_lossy().into_owned();
@@ -615,20 +921,14 @@ mod tests {
 
     #[test]
     fn concurrent_saves_to_one_path_never_corrupt_it() {
-        use std::sync::Arc;
-        let store = Arc::new(ShardedStore::new(1));
-        let priors = Priors::default();
-        let predictor = Arc::new(EpochPredictor::new(&priors));
-        let refit = Arc::new(empty_refit());
-        store.ingest("e", "a", "s");
+        let set = Arc::new(boolean_set(1));
+        set.default_domain().store().ingest("e", "a", "s");
         let path = Arc::new(temp_path("concurrent-save.json"));
         let savers: Vec<_> = (0..8)
             .map(|_| {
-                let store = Arc::clone(&store);
-                let predictor = Arc::clone(&predictor);
-                let refit = Arc::clone(&refit);
+                let set = Arc::clone(&set);
                 let path = Arc::clone(&path);
-                std::thread::spawn(move || save(&store, &predictor, &refit, &path).unwrap())
+                std::thread::spawn(move || save(&set, &path).unwrap())
             })
             .collect();
         for s in savers {
@@ -636,47 +936,48 @@ mod tests {
         }
         // Whichever save renamed last, the file must be a whole snapshot.
         let reloaded = load(&path).unwrap();
-        assert_eq!(reloaded, capture(&store, &predictor, &refit));
+        assert_eq!(reloaded, capture(&set));
         std::fs::remove_file(&*path).ok();
     }
 
     #[test]
     fn restore_rejects_shard_count_mismatch() {
-        let store = ShardedStore::new(2);
-        let priors = Priors::default();
-        let predictor = EpochPredictor::new(&priors);
-        store.ingest("e", "a", "s");
-        let snapshot = capture(&store, &predictor, &empty_refit());
-        let wrong = ShardedStore::new(3);
-        let err = restore(
-            &snapshot,
-            &wrong,
-            &predictor,
-            &empty_refit(),
-            &LtmConfig::default(),
-        )
-        .unwrap_err();
+        let set = boolean_set(2);
+        set.default_domain().store().ingest("e", "a", "s");
+        let snapshot = capture(&set);
+        let err = restore(&snapshot, &boolean_set(3), &RefitConfig::default()).unwrap_err();
         assert!(err.to_string().contains("shards"), "{err}");
     }
 
     #[test]
+    fn restore_rejects_kind_mismatch() {
+        let set = DomainSet::new();
+        set.insert(Domain::new(
+            DEFAULT_DOMAIN,
+            ModelKind::RealValued,
+            1,
+            &RefitConfig::default(),
+        ))
+        .unwrap();
+        let snapshot = capture(&set);
+        // Restoring a real-valued `default` into a boolean-configured
+        // server must fail loudly, not silently mix predictors.
+        let err = restore(&snapshot, &boolean_set(1), &RefitConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("real_valued"), "{err}");
+    }
+
+    #[test]
     fn epoch_zero_saves_without_epoch_record() {
-        let store = ShardedStore::new(1);
-        let priors = Priors::default();
-        let predictor = EpochPredictor::new(&priors);
-        let snapshot = capture(&store, &predictor, &empty_refit());
-        assert!(snapshot.epoch.is_none());
-        assert!(snapshot.accumulator.is_none());
+        let set = boolean_set(1);
+        let snapshot = capture(&set);
+        assert!(snapshot.domains[0].epoch.is_none());
+        assert!(snapshot.domains[0].accumulator.is_none());
     }
 
     #[test]
     fn load_rejects_future_versions() {
         let path = temp_path("version.json");
-        std::fs::write(
-            &path,
-            "{\"version\":9,\"shards\":1,\"sources\":[],\"triples\":[],\"epoch\":null}",
-        )
-        .unwrap();
+        std::fs::write(&path, "{\"version\":9,\"domains\":[]}").unwrap();
         let err = load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(err.to_string().contains("version"), "{err}");

@@ -50,8 +50,25 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
+use ltm_core::{RealClaim, RealClaimDb};
 use ltm_model::interner::Interner;
 use ltm_model::{AttrId, Claim, ClaimDb, EntityId, Fact, FactId, SourceId};
+
+/// One accepted row of the replay log: the triple plus the optional real
+/// value carried by valued ([`crate::model::ModelKind::RealValued`])
+/// domains. Replaying the log through a fresh store with the same shard
+/// count reproduces every id assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// Entity name.
+    pub entity: String,
+    /// Attribute name.
+    pub attr: String,
+    /// Source name.
+    pub source: String,
+    /// Claim value (`None` for boolean-domain rows).
+    pub value: Option<f64>,
+}
 
 /// Where a globally-numbered fact lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +119,22 @@ pub struct FactView {
     pub claims: Vec<(SourceId, bool)>,
 }
 
+/// A resolved fact in a valued (real-valued) domain: like [`FactView`]
+/// but claims carry their real value — a Definition-3 negative row reads
+/// `0.0`, an asserted row without an explicit value reads `1.0`.
+#[derive(Debug, Clone)]
+pub struct RealFactView {
+    /// Global fact id.
+    pub id: u64,
+    /// Entity name.
+    pub entity: String,
+    /// Attribute name.
+    pub attr: String,
+    /// One `(source, value)` claim per source covering the entity, in
+    /// ascending source id.
+    pub claims: Vec<(SourceId, f64)>,
+}
+
 /// Aggregate store statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreStats {
@@ -119,16 +152,20 @@ pub struct StoreStats {
     pub pending: usize,
 }
 
-/// One extraction from the store: per-shard CSR batches over the global
+/// One extraction from the store: per-shard batches over the global
 /// source-id space, plus the fold watermark the batches cover. Returned
-/// by both the full rebuild ([`ShardedStore::full_databases`]) and the
-/// delta path ([`ShardedStore::shard_databases_since`]).
+/// by the full rebuilds ([`ShardedStore::full_databases`],
+/// [`ShardedStore::full_real_databases`]) and the delta paths
+/// ([`ShardedStore::shard_databases_since`],
+/// [`ShardedStore::real_databases_since`]); the batch type is
+/// [`ClaimDb`] for boolean extractions and [`RealClaimDb`] for valued
+/// ones.
 #[derive(Debug)]
-pub struct StoreDelta {
+pub struct StoreDeltaOf<B> {
     /// Per-shard batches; shards contributing no facts are omitted.
-    pub batches: Vec<ClaimDb>,
+    pub batches: Vec<B>,
     /// Accepted-row sequence covered once these batches are folded — the
-    /// caller's next `shard_databases_since` watermark.
+    /// caller's next `*_databases_since` watermark.
     pub watermark: u64,
     /// Facts contained in the batches.
     pub delta_facts: usize,
@@ -138,6 +175,12 @@ pub struct StoreDelta {
     pub total_claims: usize,
 }
 
+/// Boolean extraction (CSR [`ClaimDb`] batches).
+pub type StoreDelta = StoreDeltaOf<ClaimDb>;
+
+/// Valued extraction ([`RealClaimDb`] batches).
+pub type RealStoreDelta = StoreDeltaOf<RealClaimDb>;
+
 /// One shard: a deduplicated row log with coverage indexes.
 #[derive(Debug, Default)]
 struct Shard {
@@ -146,6 +189,11 @@ struct Shard {
     /// Deduplication set over `(entity, attr, source)` (local entity/attr
     /// ids, global source id).
     rows: HashSet<(u32, u32, u32)>,
+    /// Claim values by row, populated only for valued ingests
+    /// ([`ShardedStore::ingest_valued`]). Definition-1 dedup applies to
+    /// values too: the first accepted value wins, later re-assertions of
+    /// the same triple are duplicates regardless of value.
+    values: HashMap<(u32, u32, u32), f64>,
     /// `(entity, attr, global fact id)` per local fact, in creation order —
     /// local fact id is the index.
     facts: Vec<(u32, u32, u64)>,
@@ -171,6 +219,26 @@ impl Shard {
         self.cover[e as usize]
             .iter()
             .map(|&s| (SourceId::new(s), self.rows.contains(&(e, a, s))))
+            .collect()
+    }
+
+    /// The real value of row `(e, a, s)` under the valued-domain reading:
+    /// a missing row (Definition-3 negative) is `0.0`, an asserted row
+    /// without an explicit value is `1.0`.
+    fn value_of(&self, e: u32, a: u32, s: u32) -> f64 {
+        if self.rows.contains(&(e, a, s)) {
+            self.values.get(&(e, a, s)).copied().unwrap_or(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Valued claims of local fact `f`, ascending source id.
+    fn real_claims_of(&self, f: u32) -> Vec<(SourceId, f64)> {
+        let (e, a, _) = self.facts[f as usize];
+        self.cover[e as usize]
+            .iter()
+            .map(|&s| (SourceId::new(s), self.value_of(e, a, s)))
             .collect()
     }
 
@@ -205,13 +273,28 @@ impl Shard {
         ClaimDb::from_parts(facts, claims, num_sources)
     }
 
-    /// Raw `(facts, claims)` parts for the local facts dirtied in the
-    /// sequence window `(watermark, upto]`, or `None` when the window is
-    /// clean. Claims use batch-local fact indices and global source ids;
-    /// the caller builds the [`ClaimDb`] after releasing the shard lock
-    /// (the CSR width must be read with no shard lock held — see
-    /// [`ShardedStore::shard_databases_since`]).
-    fn delta_parts(&self, watermark: u64, upto: u64) -> Option<(Vec<Fact>, Vec<Claim>)> {
+    /// Rebuilds the shard as a [`RealClaimDb`] over `num_sources` global
+    /// source ids (the valued-domain analogue of
+    /// [`Shard::to_claim_db`]): every covering source contributes one
+    /// valued claim per fact, negatives at `0.0`.
+    fn to_real_claim_db(&self, num_sources: usize) -> RealClaimDb {
+        let mut claims = Vec::with_capacity(self.num_claims());
+        for (f, &(e, a, _)) in self.facts.iter().enumerate() {
+            for &s in &self.cover[e as usize] {
+                claims.push(RealClaim {
+                    fact: FactId::from_usize(f),
+                    source: SourceId::new(s),
+                    value: self.value_of(e, a, s),
+                });
+            }
+        }
+        RealClaimDb::new(self.facts.len(), num_sources, claims)
+    }
+
+    /// The local fact ids dirtied in the sequence window `(watermark,
+    /// upto]`, sorted for a deterministic batch layout, or `None` when
+    /// the window is clean.
+    fn dirty_in_window(&self, watermark: u64, upto: u64) -> Option<Vec<u32>> {
         let mut selected: Vec<u32> = self
             .dirty
             .iter()
@@ -223,6 +306,17 @@ impl Shard {
         }
         // Deterministic batch layout regardless of hash-map iteration.
         selected.sort_unstable();
+        Some(selected)
+    }
+
+    /// Raw `(facts, claims)` parts for the local facts dirtied in the
+    /// sequence window `(watermark, upto]`, or `None` when the window is
+    /// clean. Claims use batch-local fact indices and global source ids;
+    /// the caller builds the [`ClaimDb`] after releasing the shard lock
+    /// (the CSR width must be read with no shard lock held — see
+    /// [`ShardedStore::shard_databases_since`]).
+    fn delta_parts(&self, watermark: u64, upto: u64) -> Option<(Vec<Fact>, Vec<Claim>)> {
+        let selected = self.dirty_in_window(watermark, upto)?;
         let mut facts = Vec::with_capacity(selected.len());
         let mut claims = Vec::new();
         for (i, &lf) in selected.iter().enumerate() {
@@ -241,6 +335,24 @@ impl Shard {
         }
         Some((facts, claims))
     }
+
+    /// Valued-domain [`Shard::delta_parts`]: `(fact count, claims)` for
+    /// the dirty window, claims carrying real values.
+    fn real_delta_parts(&self, watermark: u64, upto: u64) -> Option<(usize, Vec<RealClaim>)> {
+        let selected = self.dirty_in_window(watermark, upto)?;
+        let mut claims = Vec::new();
+        for (i, &lf) in selected.iter().enumerate() {
+            let (e, a, _) = self.facts[lf as usize];
+            for &s in &self.cover[e as usize] {
+                claims.push(RealClaim {
+                    fact: FactId::from_usize(i),
+                    source: SourceId::new(s),
+                    value: self.value_of(e, a, s),
+                });
+            }
+        }
+        Some((selected.len(), claims))
+    }
 }
 
 /// Hash-partitioned claim store. See the module docs for the sharding
@@ -250,11 +362,11 @@ pub struct ShardedStore {
     shards: Vec<Mutex<Shard>>,
     sources: RwLock<Interner<SourceId>>,
     registry: RwLock<Vec<FactLocation>>,
-    /// Accepted triples in arrival order — replaying this log through a
+    /// Accepted rows in arrival order — replaying this log through a
     /// fresh store with the same shard count reproduces every id
     /// assignment (the snapshot-restore invariant). Doubles as the
     /// ingest-order lock: see the module docs.
-    log: Mutex<Vec<[String; 3]>>,
+    log: Mutex<Vec<LogRecord>>,
     pending: AtomicUsize,
     /// Mirror of `log.len()` maintained under the ingest-order lock, so
     /// extraction paths holding shard locks can read the accepted-row
@@ -318,9 +430,48 @@ impl ShardedStore {
 
     /// Ingests one `(entity, attribute, source)` triple.
     pub fn ingest(&self, entity: &str, attr: &str, source: &str) -> IngestOutcome {
+        self.ingest_record(entity, attr, source, None)
+    }
+
+    /// Ingests one valued `(entity, attribute, source, value)` row — the
+    /// real-valued-domain ingest path. `value` must be finite (the HTTP
+    /// layer rejects non-finite values with a 400 before they reach the
+    /// store).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on a non-finite value.
+    pub fn ingest_valued(
+        &self,
+        entity: &str,
+        attr: &str,
+        source: &str,
+        value: f64,
+    ) -> IngestOutcome {
+        debug_assert!(value.is_finite(), "claim value must be finite");
+        self.ingest_record(entity, attr, source, Some(value))
+    }
+
+    /// Replays one log record (snapshot restore).
+    pub fn replay(&self, record: &LogRecord) -> IngestOutcome {
+        self.ingest_record(&record.entity, &record.attr, &record.source, record.value)
+    }
+
+    fn ingest_record(
+        &self,
+        entity: &str,
+        attr: &str,
+        source: &str,
+        value: Option<f64>,
+    ) -> IngestOutcome {
         // Built before the lock: the allocations don't need serialising,
         // only id minting and the append do.
-        let entry = [entity.to_owned(), attr.to_owned(), source.to_owned()];
+        let entry = LogRecord {
+            entity: entity.to_owned(),
+            attr: attr.to_owned(),
+            source: source.to_owned(),
+            value,
+        };
         // Ingest-order lock: held across id minting AND the log append so
         // replay order can never disagree with id-assignment order (the
         // snapshot-restore invariant). Serialises ingest; reads and refit
@@ -339,6 +490,9 @@ impl ShardedStore {
         if !shard.rows.insert((e, a, s)) {
             let local = shard.fact_index[&(e, a)];
             return IngestOutcome::Duplicate(shard.facts[local as usize].2);
+        }
+        if let Some(v) = value {
+            shard.values.insert((e, a, s), v);
         }
         let newly_covering = match shard.cover[e as usize].binary_search(&s) {
             Err(pos) => {
@@ -418,6 +572,25 @@ impl ShardedStore {
             entity: shard.entities.resolve(EntityId::new(e)).to_owned(),
             attr: shard.attrs.resolve(AttrId::new(a)).to_owned(),
             claims: shard.claims_of(loc.local),
+        })
+    }
+
+    /// Resolves a global fact id to its names and valued claim list (the
+    /// real-valued-domain sibling of [`ShardedStore::fact`]).
+    pub fn fact_real(&self, id: u64) -> Option<RealFactView> {
+        let loc = *self
+            .registry
+            .read()
+            .expect("registry lock")
+            .get(usize::try_from(id).ok()?)?;
+        let shard = self.shards[loc.shard].lock().expect("shard lock");
+        let &(e, a, global) = shard.facts.get(loc.local as usize)?;
+        debug_assert_eq!(global, id);
+        Some(RealFactView {
+            id,
+            entity: shard.entities.resolve(EntityId::new(e)).to_owned(),
+            attr: shard.attrs.resolve(AttrId::new(a)).to_owned(),
+            claims: shard.real_claims_of(loc.local),
         })
     }
 
@@ -512,6 +685,71 @@ impl ShardedStore {
         }
     }
 
+    /// [`ShardedStore::full_databases`] for valued domains: rebuilds
+    /// every non-empty shard as a [`RealClaimDb`] (negative rows at
+    /// `0.0`). Same locking discipline as the boolean full rebuild.
+    pub fn full_real_databases(&self) -> RealStoreDelta {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock"))
+            .collect();
+        let watermark = self.accepted_seq();
+        let num_sources = self.num_sources();
+        let mut delta_facts = 0;
+        let mut total_claims = 0;
+        let batches: Vec<RealClaimDb> = guards
+            .iter()
+            .filter(|s| !s.facts.is_empty())
+            .map(|s| {
+                delta_facts += s.facts.len();
+                total_claims += s.num_claims();
+                s.to_real_claim_db(num_sources)
+            })
+            .collect();
+        RealStoreDelta {
+            batches,
+            watermark,
+            delta_facts,
+            delta_claims: total_claims,
+            total_claims,
+        }
+    }
+
+    /// [`ShardedStore::shard_databases_since`] for valued domains: only
+    /// the facts dirtied since `watermark`, as [`RealClaimDb`] batches.
+    /// Same locking discipline and watermark semantics as the boolean
+    /// delta path (shard locks held one at a time, dirty entries at or
+    /// below `watermark` pruned in passing).
+    pub fn real_databases_since(&self, watermark: u64) -> RealStoreDelta {
+        let upto = self.accepted_seq();
+        let mut parts = Vec::new();
+        let mut delta_facts = 0;
+        let mut delta_claims = 0;
+        let mut total_claims = 0;
+        for shard in &self.shards {
+            let mut sh = shard.lock().expect("shard lock");
+            total_claims += sh.num_claims();
+            sh.dirty.retain(|_, seq| *seq > watermark);
+            if let Some((facts, claims)) = sh.real_delta_parts(watermark, upto) {
+                delta_facts += facts;
+                delta_claims += claims.len();
+                parts.push((facts, claims));
+            }
+        }
+        let num_sources = self.num_sources();
+        RealStoreDelta {
+            batches: parts
+                .into_iter()
+                .map(|(facts, claims)| RealClaimDb::new(facts, num_sources, claims))
+                .collect(),
+            watermark: upto,
+            delta_facts,
+            delta_claims,
+            total_claims,
+        }
+    }
+
     /// Accepted rows since the last [`ShardedStore::consume_pending`].
     pub fn pending(&self) -> usize {
         self.pending.load(Ordering::Relaxed)
@@ -557,19 +795,19 @@ impl ShardedStore {
         }
     }
 
-    /// The accepted-triple log in arrival order (for snapshots).
-    pub fn log_snapshot(&self) -> Vec<[String; 3]> {
+    /// The accepted-row log in arrival order (for snapshots).
+    pub fn log_snapshot(&self) -> Vec<LogRecord> {
         self.log.lock().expect("log lock").clone()
     }
 
     /// One consistent persistence view: `(source names in id order,
-    /// accepted-triple log, pending count)`, all read under the
+    /// accepted-row log, pending count)`, all read under the
     /// ingest-order lock so no concurrent ingest can interleave between
     /// them. Reading these piecemeal would let a racing ingest mint a
     /// source that appears in the log copy but not the sources copy —
     /// and that snapshot fails its own restore validation at the next
     /// boot.
-    pub fn persistence_snapshot(&self) -> (Vec<String>, Vec<[String; 3]>, usize) {
+    pub fn persistence_snapshot(&self) -> (Vec<String>, Vec<LogRecord>, usize) {
         let log = self.log.lock().expect("log lock");
         (self.source_names(), log.clone(), self.pending())
     }
@@ -654,8 +892,8 @@ mod tests {
         let store = table1_store(4);
         store.ingest("Harry Potter", "Emma Watson", "Netflix");
         let replayed = ShardedStore::new(4);
-        for [e, a, s] in store.log_snapshot() {
-            replayed.ingest(&e, &a, &s);
+        for rec in store.log_snapshot() {
+            replayed.replay(&rec);
         }
         assert_eq!(replayed.source_names(), store.source_names());
         let n = store.stats().facts as u64;
@@ -693,8 +931,8 @@ mod tests {
         }
 
         let replayed = ShardedStore::new(8);
-        for [e, a, s] in store.log_snapshot() {
-            replayed.ingest(&e, &a, &s);
+        for rec in store.log_snapshot() {
+            replayed.replay(&rec);
         }
         assert_eq!(
             replayed.source_names(),
@@ -736,7 +974,8 @@ mod tests {
             done = writers.iter().all(|w| w.is_finished());
             let (sources, log, pending) = store.persistence_snapshot();
             let known: HashSet<&str> = sources.iter().map(String::as_str).collect();
-            for [_, _, s] in &log {
+            for rec in &log {
+                let s = &rec.source;
                 assert!(known.contains(s.as_str()), "log names unknown source {s}");
             }
             // Nothing consumes pending in this test, so the two reads
@@ -845,8 +1084,8 @@ mod tests {
         store.ingest("Inception", "Leonardo DiCaprio", "IMDB");
 
         let replayed = ShardedStore::new(4);
-        for [e, a, s] in store.log_snapshot() {
-            replayed.ingest(&e, &a, &s);
+        for rec in store.log_snapshot() {
+            replayed.replay(&rec);
         }
         assert_eq!(replayed.accepted_seq(), store.accepted_seq());
         let delta = replayed.shard_databases_since(w);

@@ -57,12 +57,9 @@ fn field_f64(body: &str, name: &str) -> f64 {
     let field = value
         .get_field(name)
         .unwrap_or_else(|| panic!("no field {name} in {body}"));
-    match field {
-        serde::Value::Float(f) => *f,
-        serde::Value::Int(i) => *i as f64,
-        serde::Value::UInt(u) => *u as f64,
-        other => panic!("field {name} is not a number: {other:?}"),
-    }
+    field
+        .as_f64()
+        .unwrap_or_else(|| panic!("field {name} is not a number: {field:?}"))
 }
 
 fn wait_for_epoch(addr: std::net::SocketAddr, at_least: f64) {
@@ -114,7 +111,11 @@ fn boot_ingest_refit_query_parity_and_snapshot_restart() {
     // Rebuild the predictor from a snapshot of the served epoch.
     server.save_snapshot(&snap_path).unwrap();
     let saved = snapshot::load(&snap_path).unwrap();
-    let rec = saved.epoch.as_ref().expect("epoch saved");
+    assert_eq!(saved.version, 2, "snapshots save in format v2");
+    let default = saved
+        .domain(ltm_serve::DEFAULT_DOMAIN)
+        .expect("default domain saved");
+    let rec = default.epoch.as_ref().expect("epoch saved");
     let predictor = IncrementalLtm::from_parts(
         rec.phi1.clone(),
         rec.phi0.clone(),
@@ -124,7 +125,7 @@ fn boot_ingest_refit_query_parity_and_snapshot_restart() {
     );
     let id_of = |name: &str| {
         SourceId::from_usize(
-            saved
+            default
                 .sources
                 .iter()
                 .position(|s| s == name)
@@ -422,6 +423,406 @@ fn http_error_paths_are_json() {
     assert_eq!(status, 400);
     assert!(body.contains("expected 3"), "{body}");
     server.shutdown().unwrap();
+}
+
+/// Reads one field from a `/stats` domain section.
+fn domain_stat(stats_body: &str, domain: &str, field: &str) -> f64 {
+    let value: serde::Value = from_str(stats_body).expect("stats JSON");
+    let section = value
+        .get_field("domains")
+        .and_then(|d| d.get_field(domain))
+        .unwrap_or_else(|| panic!("no domain section {domain} in {stats_body}"));
+    section
+        .get_field(field)
+        .and_then(serde::Value::as_f64)
+        .unwrap_or_else(|| panic!("domain field {field} missing or non-numeric: {stats_body}"))
+}
+
+#[test]
+fn one_server_hosts_boolean_and_real_valued_domains_concurrently() {
+    use latent_truth::datagen::streams::{real_valued_rows, RealStreamConfig};
+
+    let mut cfg = config();
+    cfg.domains = vec![("scores".into(), ltm_serve::ModelKind::RealValued)];
+    let server = Server::start(cfg).expect("boot");
+    let addr = server.addr();
+
+    // Both domains are listed with their kinds.
+    let (status, body) = http_call(addr, "GET", "/domains", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"default\"") && body.contains("\"boolean\""),
+        "{body}"
+    );
+    assert!(
+        body.contains("\"scores\"") && body.contains("\"real_valued\""),
+        "{body}"
+    );
+
+    // Boolean ingest on the legacy route, real-valued ingest on the
+    // domain route (4-field rows).
+    let (status, body) = http_call(addr, "POST", "/claims", Some(&workload_body(10))).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let rows = real_valued_rows(&RealStreamConfig {
+        entities: 30,
+        ..RealStreamConfig::default()
+    });
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|(e, a, s, v)| format!("[\"{e}\",\"{a}\",\"{s}\",{v}]"))
+        .collect();
+    let (status, body) = http_call(
+        addr,
+        "POST",
+        "/d/scores/claims",
+        Some(&format!("{{\"triples\":[{}]}}", rendered.join(","))),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(field_f64(&body, "accepted"), rows.len() as f64, "{body}");
+
+    // Refit both domains; each publishes its own epoch independently.
+    server.trigger_refit();
+    let (status, _) = http_call(addr, "POST", "/d/scores/admin/refit", None).unwrap();
+    assert_eq!(status, 202);
+    wait_for_epoch(addr, 1.0);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, stats) = http_call(addr, "GET", "/stats", None).unwrap();
+        if domain_stat(&stats, "scores", "epoch") >= 1.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "scores never published: {stats}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The real domain learned the value separation: a high-valued claim
+    // from an informative source scores far above a low-valued one.
+    let (_, hi) = http_call(
+        addr,
+        "POST",
+        "/d/scores/query",
+        Some("{\"claims\":[[\"s0\",0.9]]}"),
+    )
+    .unwrap();
+    let (_, lo) = http_call(
+        addr,
+        "POST",
+        "/d/scores/query",
+        Some("{\"claims\":[[\"s0\",0.2]]}"),
+    )
+    .unwrap();
+    assert!(
+        field_f64(&hi, "probability") > field_f64(&lo, "probability") + 0.5,
+        "real domain did not separate values: {hi} vs {lo}"
+    );
+    // The boolean domain still answers boolean queries.
+    let (status, body) = http_call(
+        addr,
+        "POST",
+        "/query",
+        Some("{\"claims\":[[\"good\",true],[\"lazy\",false]]}"),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // A real-domain fact resolves with a probability; its claim count
+    // covers every covering source.
+    let (status, fact) = http_call(addr, "GET", "/d/scores/facts/0", None).unwrap();
+    assert_eq!(status, 200, "{fact}");
+    let p = field_f64(&fact, "probability");
+    assert!((0.0..=1.0).contains(&p), "{fact}");
+
+    // A positive-only domain can be created at runtime and serves too.
+    let (status, body) = http_call(
+        addr,
+        "POST",
+        "/admin/domains",
+        Some("{\"name\":\"pos\",\"kind\":\"positive_only\"}"),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{body}");
+    let (status, body) = http_call(addr, "POST", "/d/pos/claims", Some(&workload_body(6))).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, _) = http_call(addr, "POST", "/d/pos/admin/refit", None).unwrap();
+    assert_eq!(status, 202);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, stats) = http_call(addr, "GET", "/d/pos/stats", None).unwrap();
+        if field_f64(&stats, "epoch") >= 1.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "pos never published: {stats}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // Duplicate creation conflicts cleanly.
+    let (status, body) = http_call(
+        addr,
+        "POST",
+        "/admin/domains",
+        Some("{\"name\":\"pos\",\"kind\":\"boolean\"}"),
+    )
+    .unwrap();
+    assert_eq!(status, 409, "{body}");
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn v1_snapshot_restores_into_v2_server_with_bit_identical_answers() {
+    // Boot a server, capture its learned epoch, and rewrite the snapshot
+    // into the v1 single-domain layout by hand. A fresh server booting
+    // from that v1 file must serve bit-identical probabilities, and its
+    // own re-save must produce a v2 file that restores identically again.
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("ltm-e2e-v1mig-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&snap_path);
+    let mut cfg = config();
+    cfg.snapshot = Some(snap_path.clone());
+
+    let server = Server::start(cfg.clone()).expect("boot");
+    let addr = server.addr();
+    http_call(addr, "POST", "/claims", Some(&workload_body(10))).unwrap();
+    server.trigger_refit();
+    wait_for_epoch(addr, 1.0);
+    let query = "{\"claims\":[[\"good\",true],[\"spammy\",true]]}";
+    let (_, body) = http_call(addr, "POST", "/query", Some(query)).unwrap();
+    let served = field_f64(&body, "probability");
+    server.shutdown().unwrap();
+
+    // Downgrade the saved v2 snapshot to the v1 on-disk layout: hoist the
+    // default domain's fields to the top level and drop v2-only fields.
+    let saved = snapshot::load(&snap_path).unwrap();
+    let rec = saved.domain(ltm_serve::DEFAULT_DOMAIN).unwrap();
+    let triples: Vec<String> = rec
+        .triples
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"entity\":{},\"attr\":{},\"source\":{}}}",
+                serde_json::to_string(&t.entity).unwrap(),
+                serde_json::to_string(&t.attr).unwrap(),
+                serde_json::to_string(&t.source).unwrap()
+            )
+        })
+        .collect();
+    let acc = rec.accumulator.as_ref().expect("accumulator saved");
+    let epoch = rec.epoch.as_ref().expect("epoch saved");
+    let v1 = format!(
+        "{{\"version\":1,\"shards\":{},\"sources\":{},\"triples\":[{}],\"pending\":{},\
+         \"accumulator\":{{\"cells\":{},\"batches_seen\":{},\"watermark\":{}}},\
+         \"epoch\":{{\"epoch\":{},\"phi1\":{},\"phi0\":{},\"beta_pos\":{},\"beta_neg\":{},\
+         \"default_phi1\":{},\"default_phi0\":{},\"max_rhat\":{},\"converged_fraction\":{},\
+         \"trained_claims\":{},\"trained_sources\":{}}}}}",
+        rec.shards,
+        serde_json::to_string(&rec.sources).unwrap(),
+        triples.join(","),
+        rec.pending.unwrap(),
+        serde_json::to_string(&acc.cells).unwrap(),
+        acc.batches_seen,
+        acc.watermark,
+        epoch.epoch,
+        serde_json::to_string(&epoch.phi1).unwrap(),
+        serde_json::to_string(&epoch.phi0).unwrap(),
+        epoch.beta_pos,
+        epoch.beta_neg,
+        epoch.default_phi1,
+        epoch.default_phi0,
+        epoch.max_rhat,
+        epoch.converged_fraction,
+        epoch.trained_claims,
+        epoch.trained_sources,
+    );
+    std::fs::write(&snap_path, v1).unwrap();
+
+    // Restart from the v1 file: bit-identical answers, same epoch.
+    let restarted = Server::start(cfg.clone()).expect("restart from v1");
+    let addr2 = restarted.addr();
+    let (_, body2) = http_call(addr2, "POST", "/query", Some(query)).unwrap();
+    assert_eq!(
+        field_f64(&body2, "probability"),
+        served,
+        "v1 snapshot must restore bit-identical boolean answers"
+    );
+    // Graceful shutdown re-saves as v2…
+    restarted.shutdown().unwrap();
+    let resaved = snapshot::load(&snap_path).unwrap();
+    assert_eq!(resaved.version, 2, "re-save upgrades the on-disk format");
+    // …and the v2 file restores identically once more.
+    let again = Server::start(cfg).expect("restart from v2");
+    let (_, body3) = http_call(again.addr(), "POST", "/query", Some(query)).unwrap();
+    assert_eq!(field_f64(&body3, "probability"), served);
+    again.shutdown().unwrap();
+    let _ = std::fs::remove_file(&snap_path);
+}
+
+#[test]
+fn malformed_paths_get_clean_json_errors_on_every_route() {
+    let mut cfg = config();
+    cfg.domains = vec![("scores".into(), ltm_serve::ModelKind::RealValued)];
+    let server = Server::start(cfg).expect("boot");
+    let addr = server.addr();
+    http_call(addr, "POST", "/claims", Some(&workload_body(2))).unwrap();
+
+    // /facts/{id}: non-numeric, signed, blank, and trailing-junk ids are
+    // 400s; digits that cannot name a stored fact are 404s. `+3` MUST NOT
+    // alias `/facts/3` (u64::from_str would accept it).
+    for bad in [
+        "/facts/abc",
+        "/facts/-1",
+        "/facts/+1",
+        "/facts/",
+        "/facts/1x",
+        "/facts/1/",
+    ] {
+        let (status, body) = http_call(addr, "GET", bad, None).unwrap();
+        assert_eq!(status, 400, "{bad}: {body}");
+        assert!(body.contains("error"), "{bad}: {body}");
+    }
+    for absent in ["/facts/999999", "/facts/99999999999999999999999999"] {
+        let (status, body) = http_call(addr, "GET", absent, None).unwrap();
+        assert_eq!(status, 404, "{absent}: {body}");
+        assert!(body.contains("error"), "{absent}: {body}");
+    }
+    // Wrong methods are 405s with JSON bodies, not 404 fallthroughs.
+    for (method, path) in [
+        ("POST", "/healthz"),
+        ("POST", "/stats"),
+        ("GET", "/claims"),
+        ("GET", "/query"),
+        ("POST", "/facts/0"),
+        ("GET", "/admin/shutdown"),
+        ("GET", "/admin/snapshot"),
+        ("GET", "/admin/domains"),
+        ("POST", "/domains"),
+        ("GET", "/d/scores/admin/refit"),
+    ] {
+        let (status, body) = http_call(addr, method, path, None).unwrap();
+        assert_eq!(status, 405, "{method} {path}: {body}");
+        assert!(body.contains("error"), "{method} {path}: {body}");
+    }
+    // Unknown domains and dangling /d/ paths are 404s.
+    for path in ["/d/nope/claims", "/d/nope/stats", "/d/scores"] {
+        let (status, body) = http_call(addr, "GET", path, None).unwrap();
+        assert_eq!(status, 404, "{path}: {body}");
+        assert!(body.contains("error"), "{path}: {body}");
+    }
+    // Kind-mismatched payloads are 400s with actionable messages.
+    let (status, body) = http_call(
+        addr,
+        "POST",
+        "/d/scores/claims",
+        Some("{\"triples\":[[\"e\",\"a\",\"s\"]]}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("expected 4"), "{body}");
+    let (status, body) = http_call(
+        addr,
+        "POST",
+        "/claims",
+        Some("{\"triples\":[[\"e\",\"a\",\"s\",0.5]]}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("expected 3"), "{body}");
+    let (status, body) = http_call(
+        addr,
+        "POST",
+        "/d/scores/query",
+        Some("{\"claims\":[[\"s\",true]]}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("real_valued"), "{body}");
+    let (status, body) =
+        http_call(addr, "POST", "/query", Some("{\"claims\":[[\"s\",0.5]]}")).unwrap();
+    assert_eq!(status, 400, "{body}");
+    // Bad domain-creation bodies: invalid kind, invalid name.
+    let (status, body) = http_call(
+        addr,
+        "POST",
+        "/admin/domains",
+        Some("{\"name\":\"x\",\"kind\":\"gaussian\"}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = http_call(
+        addr,
+        "POST",
+        "/admin/domains",
+        Some("{\"name\":\"has space\",\"kind\":\"boolean\"}"),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+    server.shutdown().unwrap();
+}
+
+mod stats_sum_property {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The additive `/stats` counters whose per-domain sections must sum
+    /// to the global values exactly.
+    const ADDITIVE: &[&str] = &[
+        "facts",
+        "claims",
+        "positive_claims",
+        "sources",
+        "pending",
+        "epochs_published",
+        "epochs_rejected",
+        "refits_started",
+        "refits_incremental",
+        "refits_full",
+        "refits_failed",
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Property: for every additive counter, the global `/stats`
+        /// value equals the sum over the per-domain sections — under
+        /// arbitrary ingest interleavings across a boolean, a
+        /// real-valued, and a positive-only domain.
+        #[test]
+        fn per_domain_stats_sum_to_global(
+            batches in proptest::collection::vec(
+                (0usize..3, 0u8..6, 0u8..3, 0u8..4), 1..40),
+        ) {
+            let mut cfg = config();
+            cfg.domains = vec![
+                ("scores".into(), ltm_serve::ModelKind::RealValued),
+                ("pos".into(), ltm_serve::ModelKind::PositiveOnly),
+            ];
+            let server = Server::start(cfg).expect("boot");
+            let addr = server.addr();
+            for (d, e, a, s) in batches {
+                let (route, row) = match d {
+                    0 => ("/claims".to_string(), format!("[\"e{e}\",\"a{a}\",\"s{s}\"]")),
+                    1 => (
+                        "/d/scores/claims".to_string(),
+                        format!("[\"e{e}\",\"a{a}\",\"s{s}\",0.{s}5]"),
+                    ),
+                    _ => ("/d/pos/claims".to_string(), format!("[\"e{e}\",\"a{a}\",\"s{s}\"]")),
+                };
+                let (status, body) =
+                    http_call(addr, "POST", &route, Some(&format!("{{\"triples\":[{row}]}}")))
+                        .expect("ingest");
+                prop_assert_eq!(status, 200, "{}", body);
+            }
+            let (_, stats) = http_call(addr, "GET", "/stats", None).expect("stats");
+            for field in ADDITIVE {
+                let global = field_f64(&stats, field);
+                let sum: f64 = ["default", "scores", "pos"]
+                    .iter()
+                    .map(|d| domain_stat(&stats, d, field))
+                    .sum();
+                prop_assert_eq!(global, sum, "counter {} diverges: {}", field, stats);
+            }
+            server.shutdown().unwrap();
+        }
+    }
 }
 
 #[test]

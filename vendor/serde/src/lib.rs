@@ -50,6 +50,17 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The numeric value as `f64`, if this is any numeric variant
+    /// (mirrors upstream `serde_json::Value::as_f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
 }
 
 /// A deserialization error (human-readable message).
