@@ -27,6 +27,8 @@
 //! real HTTP: bulk-ingest a ~100k-claim workload, wait for the refit
 //! daemon's first epoch, then run a mixed query/ingest phase (9:1) with
 //! per-request latency percentiles — emitted as `BENCH_serve.json`.
+//! A final phase re-runs the bulk ingest against WAL-enabled servers at
+//! each `--wal-sync` policy to price the durability tax.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -167,6 +169,28 @@ struct MultiDomainPhase {
     domains: Vec<DomainPhasePoint>,
 }
 
+/// Ingest throughput under one WAL sync policy: the durability tax,
+/// measured as triples/sec over real HTTP with the log enabled.
+#[derive(Debug, Clone, Serialize)]
+struct WalSyncPoint {
+    /// The `--wal-sync` policy (`always` | `interval:5` | `never`).
+    policy: String,
+    /// Triples bulk-ingested (in `batch` triple batches).
+    ingest_triples: usize,
+    /// Triples per HTTP batch — `always` pays one fsync per batch.
+    batch: usize,
+    /// Wall seconds for the whole ingest.
+    seconds: f64,
+    /// Ingest throughput under this policy.
+    triples_per_sec: f64,
+    /// WAL records appended (one per accepted batch).
+    wal_appends: f64,
+    /// fsyncs issued — the knob the policy turns.
+    wal_fsyncs: f64,
+    /// Bytes framed into the log.
+    wal_bytes: f64,
+}
+
 /// The `BENCH_serve.json` schema.
 #[derive(Debug, Clone, Serialize)]
 struct BenchServe {
@@ -194,6 +218,9 @@ struct BenchServe {
     refit_scaling: Vec<RefitScalePoint>,
     /// The mixed two-domain (boolean + real-valued) phase.
     multi_domain: MultiDomainPhase,
+    /// Ingest throughput at each `--wal-sync` policy (the durability
+    /// tax; the WAL-less baseline is `ingest_triples_per_sec` above).
+    wal_sync: Vec<WalSyncPoint>,
 }
 
 /// Drives the serve path over HTTP and returns the measured report.
@@ -337,6 +364,8 @@ fn measure_serve(fast: bool) -> BenchServe {
     let refit_scaling = measure_refit_scaling(fast);
     // Mixed two-domain phase on its own server.
     let multi_domain = measure_multi_domain(fast);
+    // WAL sync-policy throughput, one fresh server per policy.
+    let wal_sync = measure_wal_sync(fast);
 
     BenchServe {
         shards: 4,
@@ -354,7 +383,102 @@ fn measure_serve(fast: bool) -> BenchServe {
         refits_started,
         refit_scaling,
         multi_domain,
+        wal_sync,
     }
+}
+
+/// Boots one WAL-enabled server per sync policy and bulk-ingests the
+/// same workload through each, measuring the durability tax: `always`
+/// pays an fsync per acked batch, `interval:5` amortises it onto a
+/// clock, `never` frames records but lets the OS flush.
+fn measure_wal_sync(fast: bool) -> Vec<WalSyncPoint> {
+    use ltm_serve::http::http_call;
+    use ltm_serve::refit::RefitConfig;
+    use ltm_serve::server::{ServeConfig, Server};
+    use ltm_serve::wal::{WalConfig, WalSyncPolicy};
+
+    let entities: usize = if fast { 60 } else { 500 };
+    let sources: usize = 20;
+    let batch: usize = 100;
+    let triples: Vec<String> = (0..entities)
+        .flat_map(|e| {
+            (0..sources).map(move |s| {
+                let a = (e + s) % 2;
+                format!("[\"e{e}\",\"a{a}\",\"s{s}\"]")
+            })
+        })
+        .collect();
+
+    let policies = [
+        ("always", WalSyncPolicy::Always),
+        ("interval:5", WalSyncPolicy::IntervalMs(5)),
+        ("never", WalSyncPolicy::Never),
+    ];
+    let mut points = Vec::new();
+    for (name, policy) in policies {
+        let dir = std::env::temp_dir().join(format!(
+            "ltm-perf-wal-{}-{}",
+            std::process::id(),
+            name.replace(':', "-")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = WalConfig::new(dir.clone());
+        wal.sync = policy;
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 4,
+            threads: 4,
+            refit: RefitConfig {
+                min_pending: usize::MAX, // pure ingest: no refits mid-measure
+                ..RefitConfig::default()
+            },
+            snapshot: None,
+            wal: Some(wal),
+            ..ServeConfig::default()
+        })
+        .expect("boot wal-sync benchmark server");
+        let addr = server.addr();
+
+        let started = Instant::now();
+        for chunk in triples.chunks(batch) {
+            let body = format!("{{\"triples\":[{}]}}", chunk.join(","));
+            let (status, response) =
+                http_call(addr, "POST", "/claims", Some(&body)).expect("wal ingest");
+            assert_eq!(status, 200, "{response}");
+        }
+        let seconds = started.elapsed().as_secs_f64();
+
+        let (_, stats) = http_call(addr, "GET", "/stats", None).expect("wal stats");
+        let stat = |field: &str| -> f64 {
+            let value: serde::Value = serde_json::from_str(&stats).expect("stats JSON");
+            value
+                .get_field(field)
+                .and_then(serde::Value::as_f64)
+                .unwrap_or_else(|| panic!("stats field {field} missing: {stats}"))
+        };
+        let point = WalSyncPoint {
+            policy: name.to_string(),
+            ingest_triples: triples.len(),
+            batch,
+            seconds,
+            triples_per_sec: triples.len() as f64 / seconds,
+            wal_appends: stat("wal_appends"),
+            wal_fsyncs: stat("wal_fsyncs"),
+            wal_bytes: stat("wal_bytes"),
+        };
+        println!(
+            "wal-sync {:>10}: {:>8.0} triples/s ({} triples, {} appends, {} fsyncs)",
+            point.policy,
+            point.triples_per_sec,
+            point.ingest_triples,
+            point.wal_appends,
+            point.wal_fsyncs
+        );
+        server.shutdown().expect("clean wal-sync shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+        points.push(point);
+    }
+    points
 }
 
 /// Boots one server hosting a boolean `default` domain and a

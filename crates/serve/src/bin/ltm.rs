@@ -5,6 +5,8 @@
 //!            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]
 //!            [--full-refit-every N] [--snapshot FILE] [--port-file FILE]
 //!            [--io-timeout-millis MS] [--domain NAME=KIND]...
+//!            [--wal-dir DIR] [--wal-sync always|never|interval:MS]
+//!            [--wal-segment-bytes N]
 //! ltm ingest <TRIPLES.csv> [--addr A] [--batch N] [--domain NAME]
 //! ltm query  <SOURCE=true|false|VALUE>... [--addr A] [--domain NAME]
 //! ltm domain add <NAME> <KIND> [--addr A]
@@ -14,7 +16,11 @@
 //! `serve` runs the sharded multi-domain server until
 //! `POST /admin/shutdown`; `--domain` (repeatable) pre-creates extra
 //! domains beside the implicit boolean `default` (KIND is `boolean`,
-//! `real_valued`, or `positive_only`). `ingest` streams an
+//! `real_valued`, or `positive_only`). `--wal-dir` turns on the
+//! write-ahead log: accepted batches are journaled and fsync'd (per
+//! `--wal-sync`, default `always`) before the HTTP ack, segments rotate
+//! at `--wal-segment-bytes` (default 8 MiB), and a restart replays the
+//! tail — see DESIGN.md §6 "Durability". `ingest` streams an
 //! `entity,attribute,source[,value]` CSV into a running server (the
 //! 4-column form for real-valued domains); `query` scores an ad-hoc
 //! claim list (`SOURCE=true|false` for boolean domains, `SOURCE=0.87`
@@ -30,6 +36,7 @@ use ltm_serve::http::http_call;
 use ltm_serve::model::ModelKind;
 use ltm_serve::refit::RefitConfig;
 use ltm_serve::server::{ServeConfig, Server};
+use ltm_serve::wal::{WalConfig, WalSyncPolicy};
 use ltm_serve::DEFAULT_DOMAIN;
 
 fn usage(msg: &str) -> ! {
@@ -39,6 +46,8 @@ fn usage(msg: &str) -> ! {
          \x20            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]\n\
          \x20            [--full-refit-every N] [--snapshot FILE] [--port-file FILE]\n\
          \x20            [--io-timeout-millis MS] [--domain NAME=KIND]...\n\
+         \x20            [--wal-dir DIR] [--wal-sync always|never|interval:MS]\n\
+         \x20            [--wal-segment-bytes N]\n\
          \x20 ltm ingest <TRIPLES.csv> [--addr A] [--batch N] [--domain NAME]\n\
          \x20 ltm query  <SOURCE=true|false|VALUE>... [--addr A] [--domain NAME]\n\
          \x20 ltm domain add <NAME> <KIND> [--addr A]\n\
@@ -80,6 +89,9 @@ fn serve(mut args: impl Iterator<Item = String>) {
         ..ServeConfig::default()
     };
     let mut port_file: Option<PathBuf> = None;
+    let mut wal_dir: Option<PathBuf> = None;
+    let mut wal_sync: Option<WalSyncPolicy> = None;
+    let mut wal_segment_bytes: Option<u64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => config.addr = parse_or_usage(args.next(), "--addr"),
@@ -117,9 +129,39 @@ fn serve(mut args: impl Iterator<Item = String>) {
                     .unwrap_or_else(|e| usage(&format!("--domain: {e}")));
                 config.domains.push((name.to_owned(), kind));
             }
+            "--wal-dir" => wal_dir = Some(parse_or_usage(args.next(), "--wal-dir")),
+            "--wal-sync" => {
+                let text: String = parse_or_usage(args.next(), "--wal-sync");
+                wal_sync = Some(text.parse().unwrap_or_else(|e: String| usage(&e)));
+            }
+            "--wal-segment-bytes" => {
+                let bytes: u64 = parse_or_usage(args.next(), "--wal-segment-bytes");
+                if bytes == 0 {
+                    usage("--wal-segment-bytes must be at least 1");
+                }
+                wal_segment_bytes = Some(bytes);
+            }
             other => usage(&format!("unknown serve argument `{other}`")),
         }
     }
+    match wal_dir {
+        Some(dir) => {
+            let mut wal = WalConfig::new(dir);
+            if let Some(sync) = wal_sync {
+                wal.sync = sync;
+            }
+            if let Some(bytes) = wal_segment_bytes {
+                wal.segment_bytes = bytes;
+            }
+            config.wal = Some(wal);
+        }
+        None if wal_sync.is_some() || wal_segment_bytes.is_some() => {
+            usage("--wal-sync / --wal-segment-bytes need --wal-dir");
+        }
+        None => {}
+    }
+    // An unusable --wal-dir (or a corrupt WAL / snapshot) surfaces here
+    // as a clean startup error, never a panic.
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("failed to start: {e}");
         std::process::exit(1);

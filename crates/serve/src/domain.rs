@@ -14,12 +14,14 @@
 //! routes), always containing the [`DEFAULT_DOMAIN`] that the legacy
 //! un-prefixed routes address.
 
+use std::io;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::epoch::{EpochPredictor, EpochSnapshot};
 use crate::model::ModelKind;
 use crate::refit::{RefitConfig, RefitDaemon, RefitState};
-use crate::store::ShardedStore;
+use crate::store::{BatchOutcome, JournalFn, LogRecord, ShardedStore};
+use crate::wal::DomainWal;
 
 /// The domain addressed by the legacy un-prefixed routes (`/claims`,
 /// `/query`, …) and created implicitly at every boot.
@@ -61,6 +63,9 @@ pub struct Domain {
     /// restored accumulator), and immediately for runtime-created
     /// domains.
     daemon: OnceLock<RefitDaemon>,
+    /// Attached after WAL replay when the server runs with `--wal-dir`;
+    /// absent on WAL-less servers (the pre-durability behaviour).
+    wal: OnceLock<Arc<DomainWal>>,
 }
 
 impl Domain {
@@ -80,7 +85,51 @@ impl Domain {
             refit_state: Arc::new(Mutex::new(RefitState::new())),
             refit_lock: Arc::new(Mutex::new(())),
             daemon: OnceLock::new(),
+            wal: OnceLock::new(),
         })
+    }
+
+    /// Attaches the domain's write-ahead log (idempotent; the boot path
+    /// calls it once, after [`crate::wal::DomainWal::open`] has replayed
+    /// the tail into this domain's store).
+    pub fn attach_wal(&self, wal: Arc<DomainWal>) {
+        let _ = self.wal.set(wal);
+    }
+
+    /// The domain's write-ahead log, when one is attached.
+    pub fn wal(&self) -> Option<&Arc<DomainWal>> {
+        self.wal.get()
+    }
+
+    /// Ingests a batch of rows atomically with respect to durability:
+    /// the accepted rows are journaled to the WAL as **one record while
+    /// the store's ingest-order lock is held**, then (lock released)
+    /// fsync'd per the sync policy. Only after both succeed may the
+    /// caller ack. Without an attached WAL this is just the batched
+    /// in-memory ingest.
+    ///
+    /// On a WAL error the rows are already live in memory (reads see
+    /// them; pending counts them); the caller must *not* ack — see
+    /// [`crate::store::ShardedStore::ingest_batch`] for the
+    /// at-least-once contract.
+    pub fn ingest_batch(&self, rows: &[LogRecord]) -> io::Result<BatchOutcome> {
+        let journal_fn;
+        let journal: Option<JournalFn<'_>> = match self.wal.get() {
+            Some(wal) => {
+                let wal = Arc::clone(wal);
+                journal_fn =
+                    move |seq: u64, accepted: &[LogRecord]| wal.append_batch(seq, accepted);
+                Some(&journal_fn)
+            }
+            None => None,
+        };
+        let outcome = self.store.ingest_batch(rows, journal)?;
+        if outcome.accepted > 0 {
+            if let Some(wal) = self.wal.get() {
+                wal.sync_for_ack()?;
+            }
+        }
+        Ok(outcome)
     }
 
     /// Spawns the domain's background refit daemon (idempotent: a second
@@ -164,6 +213,9 @@ pub enum DomainError {
     AlreadyExists(String),
     /// The name failed [`validate_domain_name`].
     InvalidName(String),
+    /// The domain's write-ahead log could not be opened (WAL-enabled
+    /// servers refuse to create a domain that cannot journal).
+    Wal(String),
 }
 
 impl std::fmt::Display for DomainError {
@@ -171,6 +223,7 @@ impl std::fmt::Display for DomainError {
         match self {
             DomainError::AlreadyExists(name) => write!(f, "domain `{name}` already exists"),
             DomainError::InvalidName(msg) => f.write_str(msg),
+            DomainError::Wal(msg) => f.write_str(msg),
         }
     }
 }

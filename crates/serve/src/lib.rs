@@ -31,6 +31,11 @@
 //! * [`snapshot`] — store + quality + accumulator persistence, so a
 //!   restarted server resumes its last epoch *and* keeps refitting
 //!   incrementally instead of cold-refitting.
+//! * [`wal`] — a per-domain **write-ahead log**: every accepted ingest
+//!   batch is CRC32-framed, appended, and fsync'd (per `--wal-sync`)
+//!   before the HTTP ack; a background compactor folds sealed segments
+//!   into the snapshot, and boot replays the tail — so an acked batch
+//!   survives `kill -9` (see DESIGN.md §6 "Durability").
 //!
 //! The `ltm` binary wraps this as a CLI: `ltm serve`, `ltm ingest`,
 //! `ltm query`. See README.md for a curl quickstart and DESIGN.md §6 for
@@ -47,6 +52,7 @@ pub mod refit;
 pub mod server;
 pub mod snapshot;
 pub mod store;
+pub mod wal;
 
 pub use domain::{Domain, DomainError, DomainSet, DEFAULT_DOMAIN};
 pub use epoch::{EpochPredictor, EpochSnapshot};
@@ -58,6 +64,7 @@ pub use refit::{
 pub use server::{ServeConfig, Server};
 pub use snapshot::Snapshot;
 pub use store::{
-    FactView, IngestOutcome, LogRecord, RealFactView, RealStoreDelta, ShardedStore, StoreDelta,
-    StoreDeltaOf, StoreStats,
+    BatchOutcome, FactView, IngestOutcome, LogRecord, RealFactView, RealStoreDelta, ShardedStore,
+    StoreDelta, StoreDeltaOf, StoreStats,
 };
+pub use wal::{DomainWal, WalConfig, WalSyncPolicy};

@@ -15,9 +15,10 @@
 //! | `/d/{domain}/stats` | GET | one domain's stats section |
 //! | `/domains` | GET | list hosted domains |
 //! | `/admin/domains` | POST | create a domain (`{"name","kind"}`) |
-//! | `/healthz` | GET | liveness + default-domain epoch |
-//! | `/stats` | GET | global + per-domain counters |
+//! | `/healthz` | GET | liveness + default-domain epoch (503 `degraded` after a WAL/snapshot write failure) |
+//! | `/stats` | GET | global + per-domain counters (incl. `wal_*` and compaction) |
 //! | `/admin/snapshot` | POST | save a snapshot (`{"path": "…"}` optional) |
+//! | `/admin/compact` | POST | seal + fold the WAL into the snapshot, delete covered segments |
 //! | `/admin/shutdown` | POST | request a graceful stop |
 //!
 //! Queries read the current [`EpochSnapshot`](crate::epoch::EpochSnapshot)
@@ -42,7 +43,8 @@ use crate::http::{read_request_with_deadline, write_response, Request, ThreadPoo
 use crate::model::ModelKind;
 use crate::refit::{RefitConfig, RefitState};
 use crate::snapshot;
-use crate::store::ShardedStore;
+use crate::store::{LogRecord, ShardedStore};
+use crate::wal::{self, DomainWal, WalConfig, WalDomainMeta};
 
 /// Server configuration.
 ///
@@ -86,6 +88,13 @@ pub struct ServeConfig {
     /// deadline passes instead of wedging a worker thread forever.
     /// `Duration::ZERO` explicitly disables both.
     pub io_timeout: Duration,
+    /// Write-ahead-log configuration. When set, every accepted ingest
+    /// batch is journaled and fsync'd (per [`WalConfig::sync`]) before
+    /// the HTTP ack, boot replays the WAL tail, and a background
+    /// compactor folds sealed segments into the snapshot (defaulting
+    /// `snapshot` to `<wal-dir>/snapshot.json` when unset). `None` keeps
+    /// the pre-durability behaviour: memory + explicit snapshots only.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +107,7 @@ impl Default for ServeConfig {
             domains: Vec::new(),
             snapshot: None,
             io_timeout: Duration::from_secs(10),
+            wal: None,
         }
     }
 }
@@ -109,9 +119,96 @@ struct Context {
     shards: usize,
     refit: RefitConfig,
     snapshot_path: Option<PathBuf>,
+    /// WAL configuration, when durability is on (runtime-created domains
+    /// get their own [`DomainWal`] from it).
+    wal: Option<WalConfig>,
+    /// Serialises every snapshot save to `snapshot_path`. Compaction
+    /// deletes WAL segments the snapshot covers, so a racing save that
+    /// captured *older* state must never rename into place after a
+    /// newer one — all configured-path saves go through this lock.
+    persist: Mutex<()>,
+    /// Set when the last snapshot save failed, cleared by the next
+    /// success; `/healthz` then reports 503 `degraded`.
+    snapshot_failed: AtomicBool,
+    /// Compaction bookkeeping for `/stats`.
+    compaction: Mutex<CompactionStatus>,
     requests: AtomicU64,
     started: Instant,
     shutdown_requested: (Mutex<bool>, Condvar),
+}
+
+/// When compaction last ran and how often it has.
+#[derive(Debug, Default)]
+struct CompactionStatus {
+    last_done: Option<Instant>,
+    runs: u64,
+}
+
+impl Context {
+    /// Whether the server should report itself degraded: the last WAL
+    /// append/fsync of any domain failed, or the last snapshot save did.
+    fn degraded(&self) -> bool {
+        self.snapshot_failed.load(Ordering::Relaxed)
+            || self
+                .domains
+                .list()
+                .iter()
+                .any(|d| d.wal().is_some_and(|w| w.degraded()))
+    }
+
+    /// Saves a snapshot to the configured path under the persist lock,
+    /// maintaining the degraded flag. `Err` if no path is configured.
+    fn save_configured_snapshot(&self) -> io::Result<()> {
+        let path = self.snapshot_path.as_ref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no snapshot path configured")
+        })?;
+        let _guard = self.persist.lock().expect("persist lock");
+        let result = snapshot::save(&self.domains, path);
+        self.snapshot_failed
+            .store(result.is_err(), Ordering::Relaxed);
+        result
+    }
+
+    /// One compaction pass: capture each domain's accepted sequence,
+    /// fold everything into the snapshot (the v2 snapshot holds the full
+    /// replay log, so one save covers every domain), then delete the
+    /// sealed segments the snapshot now covers. Returns segments
+    /// deleted. `seal_first` rotates active segments so the entire log
+    /// becomes foldable (`/admin/compact`, shutdown); the background
+    /// compactor leaves active segments alone.
+    fn compact(&self, seal_first: bool) -> io::Result<usize> {
+        let walled: Vec<(Arc<Domain>, u64)> = self
+            .domains
+            .list()
+            .into_iter()
+            .filter(|d| d.wal().is_some())
+            .map(|d| {
+                let covered = d.store().accepted_seq();
+                (d, covered)
+            })
+            .collect();
+        if seal_first {
+            for (domain, covered) in &walled {
+                domain
+                    .wal()
+                    .expect("filtered to walled domains")
+                    .seal_active(covered + 1)?;
+            }
+        }
+        self.save_configured_snapshot()?;
+        let mut deleted = 0;
+        for (domain, covered) in &walled {
+            deleted += domain
+                .wal()
+                .expect("filtered to walled domains")
+                .delete_segments_covered_by(*covered)?;
+        }
+        let mut status = self.compaction.lock().expect("compaction status lock");
+        status.last_done = Some(Instant::now());
+        status.runs += 1;
+        drop(status);
+        Ok(deleted)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -190,14 +287,20 @@ struct DomainStats {
     last_incremental_refit_secs: f64,
     last_full_refit_secs: f64,
     fold_watermark: u64,
+    wal_appends: u64,
+    wal_fsyncs: u64,
+    wal_bytes: u64,
+    wal_replayed_rows: u64,
 }
 
 /// The global `/stats` body. Additive counters (`facts` through
-/// `refits_failed`) are sums over every domain — the per-domain sections
-/// under `domains` sum to them exactly; the epoch-shaped fields
-/// (`epoch`, `epoch_max_rhat`, …, `fold_watermark`, `shards`) mirror the
-/// [`DEFAULT_DOMAIN`] for backward compatibility with single-domain
-/// deployments.
+/// `refits_failed`, and the `wal_*` counters) are sums over every
+/// domain — the per-domain sections under `domains` sum to them exactly;
+/// the epoch-shaped fields (`epoch`, `epoch_max_rhat`, …,
+/// `fold_watermark`, `shards`) mirror the [`DEFAULT_DOMAIN`] for
+/// backward compatibility with single-domain deployments.
+/// `last_compaction_secs` is the age of the last completed WAL
+/// compaction (`-1.0` when none has run or no WAL is configured).
 #[derive(Debug, Serialize)]
 struct StatsResponse {
     shards: usize,
@@ -219,6 +322,12 @@ struct StatsResponse {
     last_incremental_refit_secs: f64,
     last_full_refit_secs: f64,
     fold_watermark: u64,
+    wal_appends: u64,
+    wal_fsyncs: u64,
+    wal_bytes: u64,
+    wal_replayed_rows: u64,
+    last_compaction_secs: f64,
+    compactions: u64,
     requests: u64,
     uptime_secs: f64,
     domains: BTreeMap<String, DomainStats>,
@@ -269,13 +378,26 @@ fn route(ctx: &Context, req: &Request) -> (u16, String) {
     }
     match path {
         "/healthz" => match method {
-            "GET" => json(
-                200,
-                &HealthResponse {
-                    status: "ok".into(),
-                    epoch: ctx.domains.default_domain().predictor().load().epoch,
-                },
-            ),
+            "GET" => {
+                let epoch = ctx.domains.default_domain().predictor().load().epoch;
+                if ctx.degraded() {
+                    json(
+                        503,
+                        &HealthResponse {
+                            status: "degraded".into(),
+                            epoch,
+                        },
+                    )
+                } else {
+                    json(
+                        200,
+                        &HealthResponse {
+                            status: "ok".into(),
+                            epoch,
+                        },
+                    )
+                }
+            }
             _ => error(405, "use GET /healthz"),
         },
         "/stats" => match method {
@@ -293,6 +415,10 @@ fn route(ctx: &Context, req: &Request) -> (u16, String) {
         "/admin/snapshot" => match method {
             "POST" => admin_snapshot(ctx, &req.body),
             _ => error(405, "use POST /admin/snapshot"),
+        },
+        "/admin/compact" => match method {
+            "POST" => admin_compact(ctx),
+            _ => error(405, "use POST /admin/compact"),
         },
         "/admin/shutdown" => match method {
             "POST" => {
@@ -384,6 +510,8 @@ fn domain_stats(domain: &Domain) -> DomainStats {
     let e = domain.predictor().load();
     let refit = domain.refit_state().lock().expect("refit state").counters();
     let predictor: &EpochPredictor = domain.predictor();
+    let (wal_appends, wal_fsyncs, wal_bytes, wal_replayed_rows) =
+        domain.wal().map_or((0, 0, 0, 0), |w| w.counters());
     DomainStats {
         kind: domain.kind().as_str().to_owned(),
         shards: s.shards,
@@ -405,6 +533,10 @@ fn domain_stats(domain: &Domain) -> DomainStats {
         last_incremental_refit_secs: refit.last_incremental_secs,
         last_full_refit_secs: refit.last_full_secs,
         fold_watermark: refit.watermark,
+        wal_appends,
+        wal_fsyncs,
+        wal_bytes,
+        wal_replayed_rows,
     }
 }
 
@@ -416,6 +548,13 @@ fn stats(ctx: &Context) -> (u16, String) {
     let default = &sections[DEFAULT_DOMAIN];
     let sum = |f: fn(&DomainStats) -> u64| sections.values().map(f).sum::<u64>();
     let sum_usize = |f: fn(&DomainStats) -> usize| sections.values().map(f).sum::<usize>();
+    let compaction = {
+        let status = ctx.compaction.lock().expect("compaction status lock");
+        (
+            status.last_done.map_or(-1.0, |t| t.elapsed().as_secs_f64()),
+            status.runs,
+        )
+    };
     let response = StatsResponse {
         shards: default.shards,
         facts: sum_usize(|d| d.facts),
@@ -436,6 +575,12 @@ fn stats(ctx: &Context) -> (u16, String) {
         last_incremental_refit_secs: default.last_incremental_refit_secs,
         last_full_refit_secs: default.last_full_refit_secs,
         fold_watermark: default.fold_watermark,
+        wal_appends: sum(|d| d.wal_appends),
+        wal_fsyncs: sum(|d| d.wal_fsyncs),
+        wal_bytes: sum(|d| d.wal_bytes),
+        wal_replayed_rows: sum(|d| d.wal_replayed_rows),
+        last_compaction_secs: compaction.0,
+        compactions: compaction.1,
         requests: ctx.requests.load(Ordering::Relaxed),
         uptime_secs: ctx.started.elapsed().as_secs_f64(),
         domains: sections,
@@ -489,13 +634,26 @@ fn admin_create_domain(ctx: &Context, body: &str) -> (u16, String) {
             error(409, format!("domain `{name}` already exists"))
         }
         Err(DomainError::InvalidName(msg)) => error(400, msg),
+        Err(DomainError::Wal(msg)) => error(500, msg),
     }
 }
 
 /// Creates and registers a runtime domain, spawning its refit daemon
-/// only after the registry accepted the name.
+/// only after the registry accepted the name. On a WAL-enabled server
+/// the new domain gets its own log (and `meta.json` sidecar, so a later
+/// boot re-creates the domain even if no snapshot ever records it)
+/// before it can accept a single claim.
 fn create_domain(ctx: &Context, name: &str, kind: ModelKind) -> Result<Arc<Domain>, DomainError> {
     let domain = Domain::new(name, kind, ctx.shards, &ctx.refit);
+    if let Some(wal_config) = &ctx.wal {
+        let meta = WalDomainMeta {
+            kind: kind.as_str().to_owned(),
+            shards: ctx.shards,
+        };
+        let (domain_wal, _) = DomainWal::open(wal_config, name, &meta, domain.store())
+            .map_err(|e| DomainError::Wal(format!("cannot open WAL for `{name}`: {e}")))?;
+        domain.attach_wal(Arc::new(domain_wal));
+    }
     ctx.domains.insert(Arc::clone(&domain))?;
     domain.spawn_daemon(ctx.refit.clone());
     Ok(domain)
@@ -558,32 +716,38 @@ fn ingest(domain: &Domain, body: &str) -> (u16, String) {
         Ok(rows) => rows,
         Err(e) => return error(400, e),
     };
-    let store = domain.store();
-    let mut accepted = 0;
-    let mut duplicates = 0;
-    let mut new_facts = 0;
-    for (entity, attr, source, value) in &rows {
-        let outcome = match value {
-            Some(v) => store.ingest_valued(entity, attr, source, *v),
-            None => store.ingest(entity, attr, source),
-        };
-        match outcome {
-            crate::store::IngestOutcome::NewFact(_) => {
-                accepted += 1;
-                new_facts += 1;
-            }
-            crate::store::IngestOutcome::NewRow(_) => accepted += 1,
-            crate::store::IngestOutcome::Duplicate(_) => duplicates += 1,
+    let records: Vec<LogRecord> = rows
+        .into_iter()
+        .map(|(entity, attr, source, value)| LogRecord {
+            entity,
+            attr,
+            source,
+            value,
+        })
+        .collect();
+    // One batched ingest: journaled to the WAL (if attached) under the
+    // ingest-order lock and fsync'd before the 200 below — the ack IS
+    // the durability contract.
+    let outcome = match domain.ingest_batch(&records) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            return error(
+                500,
+                format!(
+                    "wal write failed: {e}; the rows are in memory but NOT durable — \
+                     retry once the log recovers (duplicates are deduplicated)"
+                ),
+            )
         }
-    }
+    };
     json(
         200,
         &ClaimsResponse {
             domain: domain.name().to_owned(),
-            accepted,
-            duplicates,
-            new_facts,
-            pending: store.pending(),
+            accepted: outcome.accepted as usize,
+            duplicates: outcome.duplicates as usize,
+            new_facts: outcome.new_facts as usize,
+            pending: domain.store().pending(),
             epoch: domain.predictor().load().epoch,
         },
     )
@@ -740,7 +904,15 @@ fn admin_snapshot(ctx: &Context, body: &str) -> (u16, String) {
     let Some(path) = requested.or_else(|| ctx.snapshot_path.clone()) else {
         return error(400, "no snapshot path configured or supplied");
     };
-    match snapshot::save(&ctx.domains, &path) {
+    // The configured path feeds WAL compaction (segment deletion trusts
+    // it), so those saves are serialised and tracked; ad-hoc paths are
+    // plain saves.
+    let result = if Some(&path) == ctx.snapshot_path.as_ref() {
+        ctx.save_configured_snapshot()
+    } else {
+        snapshot::save(&ctx.domains, &path)
+    };
+    match result {
         Ok(()) => json(
             200,
             &HealthResponse {
@@ -749,6 +921,31 @@ fn admin_snapshot(ctx: &Context, body: &str) -> (u16, String) {
             },
         ),
         Err(e) => error(500, format!("snapshot failed: {e}")),
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct CompactResponse {
+    status: String,
+    deleted_segments: usize,
+}
+
+/// `POST /admin/compact` — seals every domain's active WAL segment,
+/// folds the whole log into the snapshot, and deletes the covered
+/// segments. 400 without a WAL.
+fn admin_compact(ctx: &Context) -> (u16, String) {
+    if ctx.wal.is_none() {
+        return error(400, "no WAL configured (start the server with --wal-dir)");
+    }
+    match ctx.compact(true) {
+        Ok(deleted) => json(
+            200,
+            &CompactResponse {
+                status: "compacted".into(),
+                deleted_segments: deleted,
+            },
+        ),
+        Err(e) => error(500, format!("compaction failed: {e}")),
     }
 }
 
@@ -763,14 +960,44 @@ pub struct Server {
     ctx: Arc<Context>,
     pool: Option<ThreadPool>,
     accept: Option<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
 }
 
 impl Server {
     /// Binds, creates the configured domains, restores the snapshot (if
-    /// configured and present — which may create further domains), and
-    /// spawns the worker pool plus one refit daemon per domain.
+    /// configured and present — which may create further domains),
+    /// replays each domain's WAL tail (when `--wal-dir` is set — which
+    /// may also re-create domains that only ever lived in the WAL), and
+    /// spawns the worker pool, one refit daemon per domain, and the
+    /// background WAL compactor.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
+        // With a WAL but no explicit snapshot path, compaction still
+        // needs somewhere to fold sealed segments: default it into the
+        // WAL directory so `--wal-dir` alone gives full durability.
+        let snapshot_path = config
+            .snapshot
+            .clone()
+            .or_else(|| config.wal.as_ref().map(|w| w.dir.join("snapshot.json")));
+        if let Some(wal_config) = &config.wal {
+            validate_wal_dir(&wal_config.dir)?;
+        }
+        if let Some(path) = &snapshot_path {
+            // A crash mid-save leaves `<snapshot>.tmp.*` litter behind;
+            // sweep it before anything can collide with those names.
+            match snapshot::clean_stale_temps(path) {
+                Ok(0) => {}
+                Ok(n) => eprintln!(
+                    "[ltm-serve] removed {n} stale snapshot temp file(s) next to {}",
+                    path.display()
+                ),
+                Err(e) => eprintln!(
+                    "[ltm-serve] could not sweep stale snapshot temps next to {}: {e}",
+                    path.display()
+                ),
+            }
+        }
+
         let domains = Arc::new(DomainSet::new());
         domains
             .insert(Domain::new(
@@ -785,14 +1012,19 @@ impl Server {
                 .insert(Domain::new(name, *kind, config.shards, &config.refit))
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         }
-        if let Some(path) = &config.snapshot {
+        if let Some(path) = &snapshot_path {
             if path.exists() {
                 let snap = snapshot::load(path)?;
                 snapshot::restore(&snap, &domains, &config.refit)?;
             }
         }
-        // Daemons spawn only after restore, so the first refit of every
-        // domain sees the restored accumulator instead of cold-folding.
+        if let Some(wal_config) = &config.wal {
+            open_wals(wal_config, &domains, &config.refit)?;
+        }
+        // Daemons spawn only after restore AND WAL replay, so the first
+        // refit of every domain sees the fully recovered store (replayed
+        // rows count as pending and re-arm the trigger exactly like live
+        // ingests).
         for domain in domains.list() {
             domain.spawn_daemon(config.refit.clone());
         }
@@ -803,7 +1035,11 @@ impl Server {
             domains,
             shards: config.shards,
             refit: config.refit.clone(),
-            snapshot_path: config.snapshot.clone(),
+            snapshot_path,
+            wal: config.wal.clone(),
+            persist: Mutex::new(()),
+            snapshot_failed: AtomicBool::new(false),
+            compaction: Mutex::new(CompactionStatus::default()),
             requests: AtomicU64::new(0),
             started: Instant::now(),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
@@ -853,11 +1089,43 @@ impl Server {
             })
             .expect("spawn accept thread");
 
+        // Background compactor: folds naturally sealed segments into the
+        // snapshot about once a second, keeping disk usage bounded
+        // without ever stalling an ack (sealing is left to rotation and
+        // /admin/compact).
+        let compactor = config.wal.is_some().then(|| {
+            let ctx = Arc::clone(&ctx);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ltm-wal-compactor".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1_000));
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let sealed = ctx
+                            .domains
+                            .list()
+                            .iter()
+                            .any(|d| d.wal().is_some_and(|w| w.has_sealed_segments()));
+                        if !sealed {
+                            continue;
+                        }
+                        if let Err(e) = ctx.compact(false) {
+                            eprintln!("[ltm-serve] background WAL compaction failed: {e}");
+                        }
+                    }
+                })
+                .expect("spawn compactor thread")
+        });
+
         Ok(Server {
             addr,
             ctx,
             pool: Some(pool),
             accept: Some(accept),
+            compactor,
             stop,
         })
     }
@@ -932,7 +1200,9 @@ impl Server {
     }
 
     /// Graceful stop: every domain's refit daemon, the accept loop, the
-    /// worker pool — then the final snapshot (if configured).
+    /// worker pool, the WAL compactor — then the final snapshot (if
+    /// configured) and, on WAL-enabled servers, a final compaction that
+    /// folds the whole log into it and deletes the covered segments.
     pub fn shutdown(mut self) -> io::Result<()> {
         for domain in self.ctx.domains.list() {
             domain.shutdown();
@@ -946,11 +1216,80 @@ impl Server {
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
         }
-        if let Some(path) = &self.ctx.snapshot_path {
-            snapshot::save(&self.ctx.domains, path)?;
+        if let Some(compactor) = self.compactor.take() {
+            let _ = compactor.join();
+        }
+        if self.ctx.wal.is_some() {
+            // Seal + fold + delete: a clean shutdown leaves a snapshot
+            // and an empty WAL tail, so the next boot replays nothing.
+            self.ctx.compact(true)?;
+        } else if self.ctx.snapshot_path.is_some() {
+            self.ctx.save_configured_snapshot()?;
         }
         Ok(())
     }
+}
+
+/// Rejects an unusable `--wal-dir` at boot with a clear
+/// [`io::ErrorKind::InvalidInput`] error (the CLI surfaces it and exits
+/// instead of panicking): the directory is created if missing, then
+/// probed with a real write+delete.
+fn validate_wal_dir(dir: &std::path::Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("--wal-dir {}: cannot create directory: {e}", dir.display()),
+        )
+    })?;
+    let probe = dir.join(format!(".wal-write-probe.{}", std::process::id()));
+    std::fs::write(&probe, b"probe")
+        .and_then(|()| std::fs::remove_file(&probe))
+        .map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "--wal-dir {}: directory is not writable: {e}",
+                    dir.display()
+                ),
+            )
+        })
+}
+
+/// Boot-time WAL bring-up: re-creates domains that exist only in the WAL
+/// (their `meta.json` names a kind and shard count but no snapshot ever
+/// recorded them), then opens + replays every registered domain's log
+/// and attaches the append handles.
+fn open_wals(wal_config: &WalConfig, domains: &DomainSet, refit: &RefitConfig) -> io::Result<()> {
+    for name in wal::wal_domains(&wal_config.dir)? {
+        if domains.get(&name).is_some() {
+            continue;
+        }
+        let meta = wal::read_meta(&wal_config.dir, &name)?;
+        let kind: ModelKind = meta.kind.parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("WAL meta for `{name}`: {e}"),
+            )
+        })?;
+        domains
+            .insert(Domain::new(&name, kind, meta.shards, refit))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    }
+    let mut replayed = 0u64;
+    for domain in domains.list() {
+        let meta = WalDomainMeta {
+            kind: domain.kind().as_str().to_owned(),
+            shards: domain.store().num_shards(),
+        };
+        let (domain_wal, report) =
+            DomainWal::open(wal_config, domain.name(), &meta, domain.store())?;
+        domain.attach_wal(Arc::new(domain_wal));
+        replayed += report.replayed_rows;
+    }
+    if replayed > 0 {
+        eprintln!("[ltm-serve] WAL replay recovered {replayed} row(s) past the snapshot");
+    }
+    Ok(())
 }
 
 /// A dispatch closure for the accept thread (borrow-friendly indirection:

@@ -319,6 +319,35 @@ pub fn save(domains: &DomainSet, path: &Path) -> io::Result<()> {
     })
 }
 
+/// Deletes stale `<snapshot>.tmp.*` temp files next to `path` — the
+/// litter a crash mid-[`save`] leaves behind (the in-process cleanup in
+/// `save` never runs when the process dies between write and rename).
+/// Returns how many were removed. Called at boot, before the first save
+/// can race anything. A missing parent directory counts as zero.
+pub fn clean_stale_temps(path: &Path) -> io::Result<usize> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
+        return Ok(0);
+    };
+    let prefix = format!("{file_name}.tmp.");
+    if !parent.exists() {
+        return Ok(0);
+    }
+    let mut removed = 0;
+    for entry in std::fs::read_dir(&parent)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if name.to_str().is_some_and(|n| n.starts_with(&prefix)) {
+            std::fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
 /// Loads a snapshot file, upgrading v1 single-domain files to a v2
 /// snapshot holding one boolean [`DEFAULT_DOMAIN`] record.
 pub fn load(path: &Path) -> io::Result<Snapshot> {
@@ -895,6 +924,28 @@ mod tests {
         assert!(delta.batches.is_empty());
         store2.ingest("e2", "a", "s");
         assert_eq!(store2.shard_databases_since(1).delta_facts, 1);
+    }
+
+    #[test]
+    fn clean_stale_temps_removes_only_this_snapshots_litter() {
+        let dir = temp_path("stale-temps-dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        std::fs::write(&path, "{}").unwrap();
+        std::fs::write(dir.join("snap.json.tmp.1234.0"), "torn").unwrap();
+        std::fs::write(dir.join("snap.json.tmp.1234.7"), "torn").unwrap();
+        std::fs::write(dir.join("other.json.tmp.1.0"), "not ours").unwrap();
+        assert_eq!(clean_stale_temps(&path).unwrap(), 2);
+        assert!(path.exists(), "the snapshot itself is untouched");
+        assert!(dir.join("other.json.tmp.1.0").exists());
+        // Idempotent, and fine on a directory with nothing to clean.
+        assert_eq!(clean_stale_temps(&path).unwrap(), 0);
+        assert_eq!(
+            clean_stale_temps(&dir.join("missing/deep.json")).unwrap(),
+            0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -106,6 +106,25 @@ impl IngestOutcome {
     }
 }
 
+/// The journal callback [`ShardedStore::ingest_batch`] runs under the
+/// ingest-order lock: `(first_seq, accepted_rows)` → buffered write.
+pub type JournalFn<'a> = &'a (dyn Fn(u64, &[LogRecord]) -> std::io::Result<()> + 'a);
+
+/// Outcome of one batch ingest ([`ShardedStore::ingest_batch`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Rows accepted (not duplicates).
+    pub accepted: u64,
+    /// Rows rejected as Definition-1 duplicates.
+    pub duplicates: u64,
+    /// Accepted rows that introduced a brand-new fact.
+    pub new_facts: u64,
+    /// Sequence number of the first accepted row (the batch's accepted
+    /// rows occupy `first_seq .. first_seq + accepted` contiguously).
+    /// Meaningless when `accepted == 0`.
+    pub first_seq: u64,
+}
+
 /// A resolved fact: names plus its current claim list (global source ids).
 #[derive(Debug, Clone)]
 pub struct FactView {
@@ -452,9 +471,59 @@ impl ShardedStore {
         self.ingest_record(entity, attr, source, Some(value))
     }
 
-    /// Replays one log record (snapshot restore).
+    /// Replays one log record (snapshot restore and WAL replay).
     pub fn replay(&self, record: &LogRecord) -> IngestOutcome {
         self.ingest_record(&record.entity, &record.attr, &record.source, record.value)
+    }
+
+    /// Ingests a batch of rows under **one** acquisition of the
+    /// ingest-order lock, optionally journaling the accepted rows before
+    /// the lock is released.
+    ///
+    /// Holding the lock across the batch gives the accepted rows
+    /// contiguous sequence numbers starting at
+    /// [`BatchOutcome::first_seq`], and running `journal` (the WAL
+    /// append) *inside* the lock guarantees journal-record order equals
+    /// sequence order — recovery is then an exact prefix replay. The
+    /// journal gets `(first_seq, accepted_rows)` and should only write
+    /// (buffered); fsync belongs after this returns, off the ingest lock
+    /// (see [`crate::wal::DomainWal::sync_for_ack`]).
+    ///
+    /// If the journal fails, the rows are **already in memory** (and
+    /// counted as pending); the error is returned so the caller can
+    /// refuse to ack — the client retries against a store where the rows
+    /// are duplicates, which is exactly the at-least-once contract.
+    pub fn ingest_batch(
+        &self,
+        rows: &[LogRecord],
+        journal: Option<JournalFn<'_>>,
+    ) -> std::io::Result<BatchOutcome> {
+        let mut log = self.log.lock().expect("log lock");
+        let mut out = BatchOutcome {
+            first_seq: log.len() as u64 + 1,
+            ..BatchOutcome::default()
+        };
+        let mut accepted = Vec::with_capacity(rows.len());
+        for row in rows {
+            match self.ingest_locked(&mut log, row.clone()) {
+                IngestOutcome::Duplicate(_) => out.duplicates += 1,
+                IngestOutcome::NewFact(_) => {
+                    out.new_facts += 1;
+                    out.accepted += 1;
+                    accepted.push(row.clone());
+                }
+                IngestOutcome::NewRow(_) => {
+                    out.accepted += 1;
+                    accepted.push(row.clone());
+                }
+            }
+        }
+        if out.accepted > 0 {
+            if let Some(journal) = journal {
+                journal(out.first_seq, &accepted)?;
+            }
+        }
+        Ok(out)
     }
 
     fn ingest_record(
@@ -477,6 +546,16 @@ impl ShardedStore {
         // snapshot-restore invariant). Serialises ingest; reads and refit
         // rebuilds never take it.
         let mut log = self.log.lock().expect("log lock");
+        self.ingest_locked(&mut log, entry)
+    }
+
+    /// The ingest body, with the ingest-order lock already held by the
+    /// caller (single-row ingest takes it per row; [`Self::ingest_batch`]
+    /// holds it across a whole batch so the batch's accepted rows get
+    /// contiguous sequence numbers and can be journaled as one record).
+    fn ingest_locked(&self, log: &mut Vec<LogRecord>, entry: LogRecord) -> IngestOutcome {
+        let (entity, attr, source, value) =
+            (&entry.entity, &entry.attr, &entry.source, entry.value);
         let s = self.intern_source(source).raw();
         let shard_idx = self.shard_of(entity);
         let mut shard = self.shards[shard_idx].lock().expect("shard lock");

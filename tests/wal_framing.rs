@@ -1,0 +1,173 @@
+//! Property-based tests on the serving layer's WAL record framing
+//! (`ltm_serve::wal`): every encodable batch — empty, valued, unicode,
+//! max-length strings — must round-trip bit-exactly through
+//! `encode_record`/`decode_segment`, any byte-level prefix of a segment
+//! must decode as "clean records + torn tail" (never corruption, never a
+//! phantom record), and a flipped byte must always be caught by the
+//! CRC32 frame check.
+
+use ltm_serve::store::LogRecord;
+use ltm_serve::wal::{decode_segment, encode_record, SegmentIssue, WalRecord};
+use proptest::prelude::*;
+
+/// Strategy: one WAL row. Entity/attr/source draw from a vocabulary of
+/// ASCII, punctuation the JSON layer loves to mangle, and multi-byte
+/// unicode; about half the rows carry a real value (including
+/// adversarial bit patterns like `-0.0`).
+fn row() -> impl Strategy<Value = LogRecord> {
+    (
+        ("[a-zA-Z0-9 _.,\"\\\\émß→-]{0,24}", "[a-z0-9-]{1,12}"),
+        ("[A-Za-z0-9é]{0,16}", 0u8..4),
+        -1.0e12f64..1.0e12f64,
+    )
+        .prop_map(|((entity, attr), (source, tag), v)| LogRecord {
+            entity,
+            attr,
+            source,
+            value: match tag {
+                0 => None,
+                1 => Some(-0.0),
+                2 => Some(v.trunc()),
+                _ => Some(v),
+            },
+        })
+}
+
+/// Strategy: one record — a batch of 0..12 rows at an arbitrary
+/// starting sequence.
+fn record() -> impl Strategy<Value = WalRecord> {
+    (
+        "[a-z0-9-]{1,16}",
+        0u32..1_000_000,
+        proptest::collection::vec(row(), 0..12),
+    )
+        .prop_map(|(domain, first_seq, rows)| WalRecord {
+            domain,
+            first_seq: first_seq as u64 + 1,
+            rows,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Encode → decode is the identity, for a single record and for a
+    /// whole segment of concatenated records.
+    #[test]
+    fn segments_round_trip(records in proptest::collection::vec(record(), 1..6)) {
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let (decoded, clean_len, issue) = decode_segment(&bytes);
+        prop_assert_eq!(issue, None);
+        prop_assert_eq!(clean_len, bytes.len());
+        prop_assert_eq!(decoded, records);
+    }
+
+    /// Every strict byte prefix decodes to some prefix of the records
+    /// plus a torn tail exactly at the clean boundary — a crash can cut
+    /// an append anywhere and recovery must classify it as torn, never
+    /// as mid-log corruption, and never invent or lose a whole record.
+    #[test]
+    fn any_truncation_is_a_clean_torn_tail(
+        records in proptest::collection::vec(record(), 1..4),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+            boundaries.push(bytes.len());
+        }
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let (decoded, clean_len, issue) = decode_segment(&bytes[..cut]);
+        // The clean prefix is the greatest record boundary at or below
+        // the cut, and the records up to it decode intact.
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(clean_len, boundaries[whole]);
+        prop_assert_eq!(decoded.len(), whole);
+        prop_assert_eq!(&decoded[..], &records[..whole]);
+        if cut == boundaries[whole] {
+            prop_assert_eq!(issue, None);
+        } else {
+            prop_assert_eq!(issue, Some(SegmentIssue::TornTail { offset: boundaries[whole] }));
+        }
+    }
+
+    /// Any single flipped byte is detected: as a torn tail when the
+    /// damaged frame is the last one, as corruption when clean data
+    /// follows — but never decodes to the original records unchanged
+    /// with no issue... unless the flip never entered a frame at all.
+    #[test]
+    fn a_flipped_byte_never_passes_the_crc(
+        first_record in record(),
+        trailer in record(),
+        pos_frac in 0.0f64..1.0,
+        flip_less_one in 0u8..255,
+    ) {
+        let flip = flip_less_one + 1;
+        let first = encode_record(&first_record);
+        let mut bytes = first.clone();
+        bytes.extend_from_slice(&encode_record(&trailer));
+        let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        let (decoded, _, issue) = decode_segment(&bytes);
+        match issue {
+            Some(_) => {} // caught: torn or corrupt, either is a detection
+            None => {
+                // A flip the decoder cannot flag must be a pure length
+                // extension that still framed valid records — impossible
+                // here because CRC covers the payload and the length
+                // words are covered by the frame-boundary arithmetic.
+                // The only undetectable outcome would be identical
+                // records, which a non-zero flip rules out.
+                prop_assert!(
+                    decoded != vec![first_record.clone(), trailer.clone()],
+                    "flip at byte {pos} was silently ignored"
+                );
+            }
+        }
+    }
+}
+
+/// The largest strings the HTTP layer can possibly deliver (16 MiB body
+/// cap) round-trip: the u32 length prefixes must not truncate them.
+#[test]
+fn max_length_strings_round_trip() {
+    let big = "µ".repeat(1 << 20); // 2 MiB of multi-byte UTF-8
+    let record = WalRecord {
+        domain: "default".into(),
+        first_seq: u64::MAX - 1,
+        rows: vec![LogRecord {
+            entity: big.clone(),
+            attr: big.clone(),
+            source: big,
+            value: Some(f64::MIN_POSITIVE),
+        }],
+    };
+    let bytes = encode_record(&record);
+    let (decoded, clean, issue) = decode_segment(&bytes);
+    assert_eq!(issue, None);
+    assert_eq!(clean, bytes.len());
+    assert_eq!(decoded, vec![record]);
+}
+
+/// An empty batch (all rows deduplicated away never journals, but the
+/// framing itself must still support zero rows) and an empty segment.
+#[test]
+fn empty_batches_and_segments_decode() {
+    let record = WalRecord {
+        domain: "d".into(),
+        first_seq: 1,
+        rows: Vec::new(),
+    };
+    let bytes = encode_record(&record);
+    let (decoded, _, issue) = decode_segment(&bytes);
+    assert_eq!(issue, None);
+    assert_eq!(decoded, vec![record]);
+
+    let (decoded, clean, issue) = decode_segment(&[]);
+    assert!(decoded.is_empty());
+    assert_eq!((clean, issue), (0, None));
+}
