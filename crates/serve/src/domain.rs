@@ -109,9 +109,14 @@ impl Domain {
     /// in-memory ingest.
     ///
     /// On a WAL error the rows are already live in memory (reads see
-    /// them; pending counts them); the caller must *not* ack — see
-    /// [`crate::store::ShardedStore::ingest_batch`] for the
-    /// at-least-once contract.
+    /// them; pending counts them); the caller must *not* ack. The WAL
+    /// keeps the failed frame queued and re-journals it ahead of any
+    /// later append ([`crate::wal::DomainWal::append_batch`]), so the
+    /// on-disk log never gaps. A retry of the failed batch deduplicates
+    /// against the rows already in memory (`accepted == 0`, no journal
+    /// callback runs) — so before acking a duplicate-only batch this
+    /// flushes the backlog explicitly: a 200 must never cover rows the
+    /// WAL does not hold.
     pub fn ingest_batch(&self, rows: &[LogRecord]) -> io::Result<BatchOutcome> {
         let journal_fn;
         let journal: Option<JournalFn<'_>> = match self.wal.get() {
@@ -124,10 +129,11 @@ impl Domain {
             None => None,
         };
         let outcome = self.store.ingest_batch(rows, journal)?;
-        if outcome.accepted > 0 {
-            if let Some(wal) = self.wal.get() {
-                wal.sync_for_ack()?;
+        if let Some(wal) = self.wal.get() {
+            if outcome.accepted == 0 {
+                wal.flush_backlog()?;
             }
+            wal.sync_for_ack()?;
         }
         Ok(outcome)
     }

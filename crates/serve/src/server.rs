@@ -735,7 +735,8 @@ fn ingest(domain: &Domain, body: &str) -> (u16, String) {
                 500,
                 format!(
                     "wal write failed: {e}; the rows are in memory but NOT durable — \
-                     retry once the log recovers (duplicates are deduplicated)"
+                     retry once the log recovers (duplicates are deduplicated, and the \
+                     retry is acked only after the rows are re-journaled to the WAL)"
                 ),
             )
         }

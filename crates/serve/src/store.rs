@@ -490,9 +490,15 @@ impl ShardedStore {
     /// (see [`crate::wal::DomainWal::sync_for_ack`]).
     ///
     /// If the journal fails, the rows are **already in memory** (and
-    /// counted as pending); the error is returned so the caller can
-    /// refuse to ack — the client retries against a store where the rows
-    /// are duplicates, which is exactly the at-least-once contract.
+    /// counted as pending), with their sequence numbers consumed; the
+    /// error is returned so the caller can refuse to ack. The journal
+    /// implementation must therefore not *drop* the failed record — a
+    /// later record journaled at a higher `first_seq` would leave a
+    /// sequence gap that recovery rightly refuses to replay past.
+    /// [`crate::wal::DomainWal::append_batch`] keeps the failed frame in
+    /// a backlog and re-journals it ahead of any later frame; the
+    /// client's retry deduplicates in memory and is acked only once that
+    /// backlog has reached disk (see [`crate::domain::Domain::ingest_batch`]).
     pub fn ingest_batch(
         &self,
         rows: &[LogRecord],

@@ -26,7 +26,21 @@
 //! [`crc32`] (no external crates, per the vendored-dependency policy).
 //! [`WalConfig::fault_hook`] injects write/fsync failures for the
 //! crash-recovery and degraded-health tests.
+//!
+//! **Failed appends and the backlog.** A failed append cannot simply be
+//! dropped: the store has already accepted the rows and consumed their
+//! sequence numbers (it cannot un-ingest), so skipping the frame would
+//! leave a sequence gap on disk that replay's contiguity check rightly
+//! refuses to boot past. Instead the encoded frame is kept in an ordered
+//! backlog, and **every later append drains the backlog first** — the
+//! on-disk log is therefore always a gap-free prefix of the accepted
+//! sequence. A client retry of the failed batch deduplicates in memory
+//! (`accepted == 0`), so the ack path calls [`DomainWal::flush_backlog`]
+//! before acking a duplicate-only batch; either way the rows reach disk
+//! before any 200 covers them. The WAL stays `degraded` until the
+//! backlog is empty again.
 
+use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -447,6 +461,15 @@ struct WalInner {
     /// Whether bytes were appended since the last fsync.
     dirty: bool,
     last_sync: Instant,
+    /// Encoded frames whose append failed, in sequence order. They must
+    /// reach disk before any later frame (see the module docs) — every
+    /// append and [`DomainWal::flush_backlog`] drain this front-first.
+    backlog: VecDeque<(u64, Vec<u8>)>,
+    /// Set when a partial append could not be truncated away: the file
+    /// tail holds garbage, and appending anything after it would turn a
+    /// recoverable torn tail into boot-refusing mid-log corruption. All
+    /// further appends fail until restart.
+    wedged: bool,
 }
 
 /// One domain's write-ahead log: an append handle on the active segment
@@ -562,6 +585,8 @@ impl DomainWal {
                 written,
                 dirty: false,
                 last_sync: Instant::now(),
+                backlog: VecDeque::new(),
+                wedged: false,
             }),
             appends: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
@@ -592,6 +617,14 @@ impl DomainWal {
     /// order; the write itself is buffered by the OS — call
     /// [`DomainWal::sync_for_ack`] (after releasing the store lock)
     /// before acking the client.
+    ///
+    /// On failure the frame is **kept** in the backlog (the store has
+    /// already consumed its sequence numbers and cannot un-ingest, so
+    /// dropping it would gap the log): this and every later append
+    /// re-attempt the queued frames, in order, before writing anything
+    /// newer — the on-disk log is always a gap-free prefix of the
+    /// accepted sequence. The WAL reports [`DomainWal::degraded`] until
+    /// the backlog drains.
     pub fn append_batch(&self, first_seq: u64, rows: &[LogRecord]) -> io::Result<()> {
         let frame = encode_record(&WalRecord {
             domain: self.domain.clone(),
@@ -599,27 +632,87 @@ impl DomainWal {
             rows: rows.to_vec(),
         });
         let mut inner = self.inner.lock().expect("wal lock");
-        let result = self.append_locked(&mut inner, first_seq, &frame);
-        match &result {
-            Ok(()) => {
-                self.appends.fetch_add(1, Ordering::Relaxed);
-                self.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
-                self.degraded.store(false, Ordering::Relaxed);
-            }
-            Err(e) => {
-                eprintln!("[ltm-wal] {}: append failed: {e}", self.domain);
-                self.degraded.store(true, Ordering::Relaxed);
-            }
-        }
+        inner.backlog.push_back((first_seq, frame));
+        let result = self.drain_backlog_locked(&mut inner);
+        self.note_drain(&inner, &result);
         result
     }
 
+    /// Re-journals every queued failed-append frame without adding a new
+    /// one — the ack path for a **duplicate-only** batch (the retry of a
+    /// batch whose append failed deduplicates against the rows already
+    /// in memory, so no journal callback runs; acking it without this
+    /// flush would cover rows the WAL does not hold). A no-op when the
+    /// backlog is empty.
+    pub fn flush_backlog(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("wal lock");
+        if inner.backlog.is_empty() {
+            return Ok(());
+        }
+        let result = self.drain_backlog_locked(&mut inner);
+        self.note_drain(&inner, &result);
+        result
+    }
+
+    /// Whether failed-append frames are still queued for re-journal.
+    pub fn has_backlog(&self) -> bool {
+        !self.inner.lock().expect("wal lock").backlog.is_empty()
+    }
+
+    /// Writes the queued frames front-first, stopping (and requeueing
+    /// the failed frame) on the first error so sequence order on disk is
+    /// never violated.
+    fn drain_backlog_locked(&self, inner: &mut WalInner) -> io::Result<()> {
+        while let Some((first_seq, frame)) = inner.backlog.pop_front() {
+            if let Err(e) = self.append_locked(inner, first_seq, &frame) {
+                inner.backlog.push_front((first_seq, frame));
+                return Err(e);
+            }
+            self.appends.fetch_add(1, Ordering::Relaxed);
+            self.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Updates the degraded flag (and logs) after a backlog drain.
+    fn note_drain(&self, inner: &WalInner, result: &io::Result<()>) {
+        match result {
+            Ok(()) => self.degraded.store(false, Ordering::Relaxed),
+            Err(e) => {
+                eprintln!(
+                    "[ltm-wal] {}: append failed: {e} ({} batch(es) queued for re-journal)",
+                    self.domain,
+                    inner.backlog.len()
+                );
+                self.degraded.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
     fn append_locked(&self, inner: &mut WalInner, first_seq: u64, frame: &[u8]) -> io::Result<()> {
+        if inner.wedged {
+            return Err(io::Error::other(
+                "WAL wedged: a partial append could not be truncated away; \
+                 restart the server to recover (the tail will be truncated at boot)",
+            ));
+        }
         if inner.written >= self.segment_bytes && inner.written > 0 {
             self.rotate_locked(inner, first_seq)?;
         }
         self.check_hook(WalOp::Append)?;
-        inner.file.write_all(frame)?;
+        if let Err(e) = inner.file.write_all(frame) {
+            // An unknown number of the frame's bytes may have reached
+            // the file; cut back to the last record boundary so the
+            // re-journal appends cleanly. If even that fails, stop
+            // appending entirely — the garbage then stays a torn *tail*
+            // (truncated at the next boot) instead of gaining valid
+            // records behind it (mid-log corruption, which refuses to
+            // boot).
+            if inner.file.set_len(inner.written).is_err() {
+                inner.wedged = true;
+            }
+            return Err(e);
+        }
         inner.written += frame.len() as u64;
         inner.dirty = true;
         Ok(())
@@ -627,12 +720,15 @@ impl DomainWal {
 
     /// Seals the active segment and opens a fresh one whose name records
     /// `next_seq` as its first sequence. The sealed file is fsync'd
-    /// (unless the policy is `never`) so compaction's delete can trust
-    /// its contents reached disk.
+    /// **regardless of the sync policy** — compaction's delete trusts a
+    /// sealed segment's contents reached disk, and
+    /// [`WalSyncPolicy::Never`] only waives the per-ack sync, not seals.
     fn rotate_locked(&self, inner: &mut WalInner, next_seq: u64) -> io::Result<()> {
-        if inner.dirty && self.sync != WalSyncPolicy::Never {
+        if inner.dirty {
             self.check_hook(WalOp::Sync)?;
             inner.file.sync_data()?;
+            inner.dirty = false;
+            inner.last_sync = Instant::now();
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
         let path = self.dir.join(segment_name(next_seq));
@@ -683,7 +779,12 @@ impl DomainWal {
                 inner.dirty = false;
                 inner.last_sync = Instant::now();
                 self.fsyncs.fetch_add(1, Ordering::Relaxed);
-                self.degraded.store(false, Ordering::Relaxed);
+                // Still degraded while frames await re-journal: the
+                // acked prefix just synced, but the store holds rows the
+                // WAL doesn't yet.
+                if inner.backlog.is_empty() {
+                    self.degraded.store(false, Ordering::Relaxed);
+                }
             }
             Err(e) => {
                 eprintln!("[ltm-wal] {}: fsync failed: {e}", self.domain);
@@ -694,21 +795,25 @@ impl DomainWal {
     }
 
     /// Seals the active segment now (compaction wants the whole log
-    /// foldable): syncs it and opens a fresh segment starting at
-    /// `next_seq`. A no-op when the active segment is empty.
+    /// foldable): drains any failed-append backlog, syncs the segment
+    /// ([`DomainWal::rotate_locked`] always syncs a dirty seal), and
+    /// opens a fresh segment starting at `next_seq`. A no-op when the
+    /// active segment is empty.
     pub fn seal_active(&self, next_seq: u64) -> io::Result<()> {
         let mut inner = self.inner.lock().expect("wal lock");
-        if inner.written == 0 {
-            return Ok(());
+        let result = self.drain_backlog_locked(&mut inner).and_then(|()| {
+            if inner.written == 0 {
+                return Ok(());
+            }
+            self.rotate_locked(&mut inner, next_seq)
+        });
+        // Conservative flag maintenance: a failed seal degrades, but a
+        // successful one leaves clearing to the next append/sync (the
+        // paths that know whether the backlog is empty).
+        if result.is_err() {
+            self.degraded.store(true, Ordering::Relaxed);
         }
-        if inner.dirty {
-            self.check_hook(WalOp::Sync)?;
-            inner.file.sync_data()?;
-            inner.dirty = false;
-            inner.last_sync = Instant::now();
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
-        }
-        self.rotate_locked(&mut inner, next_seq)
+        result
     }
 
     /// Whether any sealed (non-active) segments exist — the background
@@ -1194,12 +1299,93 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("injected"), "{err}");
         assert!(wal.degraded(), "a failed append must mark the WAL degraded");
+        assert!(wal.has_backlog(), "the failed frame must stay queued");
 
         fail.store(false, Ordering::Relaxed);
         store
             .ingest_batch(&[row("e2", None)], Some(&|s, r| wal.append_batch(s, r)))
             .unwrap();
         assert!(!wal.degraded(), "a successful append clears the flag");
+        assert!(!wal.has_backlog(), "the backlog drained");
+        let (appends, _, _, _) = wal.counters();
+        assert_eq!(appends, 3, "e1's frame was re-journaled ahead of e2's");
+
+        // The whole point: the log has no sequence gap, so a restart
+        // boots and recovers every row — including e1, whose own append
+        // failed but which was re-journaled by e2's.
+        let recovered = ShardedStore::new(1);
+        let (_, report) = DomainWal::open(&config(&dir), "d", &meta_for("d"), &recovered).unwrap();
+        assert_eq!(report.replayed_rows, 3);
+        assert_eq!(recovered.accepted_seq(), store.accepted_seq());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_only_retry_flushes_the_backlog_before_acking() {
+        // The retry of a failed batch dedupes against the rows left in
+        // memory (accepted == 0), so no journal callback runs — the ack
+        // path flushes the backlog explicitly instead. While writes
+        // still fail, the flush must fail too (no ack for rows the WAL
+        // doesn't hold).
+        let dir = temp_dir("retry-flush");
+        let fail = Arc::new(AtomicBool::new(false));
+        let hook_flag = Arc::clone(&fail);
+        let mut cfg = config(&dir);
+        cfg.fault_hook = Some(Arc::new(move |op| {
+            (op == WalOp::Append && hook_flag.load(Ordering::Relaxed))
+                .then(|| io::Error::other("injected append failure"))
+        }));
+        let store = ShardedStore::new(1);
+        let (wal, _) = DomainWal::open(&cfg, "d", &meta_for("d"), &store).unwrap();
+
+        fail.store(true, Ordering::Relaxed);
+        store
+            .ingest_batch(&[row("e0", None)], Some(&|s, r| wal.append_batch(s, r)))
+            .unwrap_err();
+        // The retry is duplicate-only; its journal callback never runs.
+        let outcome = store
+            .ingest_batch(&[row("e0", None)], Some(&|s, r| wal.append_batch(s, r)))
+            .unwrap();
+        assert_eq!(outcome.accepted, 0);
+        assert_eq!(outcome.duplicates, 1);
+        // With writes still failing, the flush refuses the ack.
+        wal.flush_backlog().unwrap_err();
+        assert!(wal.degraded());
+
+        // Once writes recover, the flush re-journals and the ack is
+        // honest: a restart replays the row.
+        fail.store(false, Ordering::Relaxed);
+        wal.flush_backlog().unwrap();
+        wal.sync_now().unwrap();
+        assert!(!wal.degraded());
+        let recovered = ShardedStore::new(1);
+        let (_, report) = DomainWal::open(&cfg, "d", &meta_for("d"), &recovered).unwrap();
+        assert_eq!(report.replayed_rows, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_under_never_policy_still_syncs_sealed_segments() {
+        // WalSyncPolicy::Never waives only the per-ack fsync; a sealed
+        // (rotated) segment must still be synced so compaction can trust
+        // its contents reached disk before deleting it.
+        let dir = temp_dir("never-rotate");
+        let store = ShardedStore::new(1);
+        let mut cfg = config(&dir);
+        cfg.sync = WalSyncPolicy::Never;
+        cfg.segment_bytes = 1; // rotate on every batch after the first
+        let (wal, _) = DomainWal::open(&cfg, "d", &meta_for("d"), &store).unwrap();
+        for e in ["e0", "e1", "e2"] {
+            store
+                .ingest_batch(&[row(e, None)], Some(&|s, r| wal.append_batch(s, r)))
+                .unwrap();
+        }
+        let (_, fsyncs, _, _) = wal.counters();
+        assert_eq!(fsyncs, 2, "each of the two rotations sealed with an fsync");
+        // sync_for_ack stays a no-op under `never`.
+        wal.sync_for_ack().unwrap();
+        let (_, fsyncs, _, _) = wal.counters();
+        assert_eq!(fsyncs, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

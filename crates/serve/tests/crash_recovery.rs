@@ -461,11 +461,45 @@ fn wal_write_failures_degrade_healthz_until_writes_recover() {
     assert_eq!(status, 503, "{body}");
     assert!(body.contains("degraded"), "{body}");
 
+    // Retrying while writes still fail dedupes in memory (accepted: 0),
+    // but the rows are only in memory — the ack must still be refused
+    // until they can be re-journaled.
+    let (status, body) = http_call(&addr, "POST", "/claims", Some(&batch_body(1))).unwrap();
+    assert_eq!(
+        status, 500,
+        "a duplicate-only retry must not be acked while its rows are un-journaled: {body}"
+    );
+
     fail.store(false, Ordering::Relaxed);
-    let (status, _) = http_call(&addr, "POST", "/claims", Some(&batch_body(2))).unwrap();
-    assert_eq!(status, 200);
+    // The retry of the failed batch: all duplicates in memory, but the
+    // ack path re-journals the queued frame first, so this 200 is honest.
+    let (status, body) = http_call(&addr, "POST", "/claims", Some(&batch_body(1))).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"duplicates\":5"), "{body}");
     let (status, body) = http_call(&addr, "GET", "/healthz", None).unwrap();
     assert_eq!(status, 200, "recovered writes must clear the flag: {body}");
+    let (status, _) = http_call(&addr, "POST", "/claims", Some(&batch_body(2))).unwrap();
+    assert_eq!(status, 200);
+
+    // The interesting step: restart on the same WAL. The re-journaled
+    // frame means the log has no sequence gap — the server must boot
+    // (not refuse with "WAL jumps to sequence") and hold every acked
+    // row, including batch 1.
+    server.shutdown().unwrap();
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        wal: Some(WalConfig::new(root.join("wal"))),
+        ..ServeConfig::default()
+    })
+    .expect("the recovered WAL must boot");
+    let addr = server.addr().to_string();
+    assert_eq!(
+        stat_u64(&addr, "positive_claims"),
+        15,
+        "batches 0, 1, and 2 must all survive the restart"
+    );
+    let (status, body) = http_call(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!((status, body.contains("\"ok\"")), (200, true), "{body}");
 
     server.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&root);
