@@ -191,6 +191,37 @@ struct WalSyncPoint {
     wal_bytes: f64,
 }
 
+/// The observability tax: identical ingest + query workloads against a
+/// metrics-recording server (the `metrics: true` default) and a
+/// disabled one, interleaved call by call so every request pair sees
+/// the same machine state, store state, and body. The overhead is
+/// derived from the median per-call duration ratio — immune to the
+/// strictly additive scheduler noise that dwarfs the true effect on a
+/// shared 1-core container. CI gates both percentages at ≤ 3%.
+#[derive(Debug, Clone, Serialize)]
+struct ObsOverheadPhase {
+    /// Triples bulk-ingested per mode per repeat.
+    ingest_triples: usize,
+    /// `/query` requests issued per mode per repeat.
+    query_ops: usize,
+    /// Interleaved A/B repeats; the pcts below are medians over these.
+    repeats: usize,
+    /// Best single-call ingest throughput with metrics recording on.
+    ingest_on_per_sec: f64,
+    /// Best single-call ingest throughput with metrics recording off.
+    ingest_off_per_sec: f64,
+    /// `(1 − 1/median(t_on/t_off)) × 100` — ingest throughput given up
+    /// to metrics.
+    ingest_overhead_pct: f64,
+    /// Best single-call query throughput with metrics recording on.
+    query_on_per_sec: f64,
+    /// Best single-call query throughput with metrics recording off.
+    query_off_per_sec: f64,
+    /// `(1 − 1/median(t_on/t_off)) × 100` — query throughput given up
+    /// to metrics.
+    query_overhead_pct: f64,
+}
+
 /// The `BENCH_serve.json` schema.
 #[derive(Debug, Clone, Serialize)]
 struct BenchServe {
@@ -221,6 +252,8 @@ struct BenchServe {
     /// Ingest throughput at each `--wal-sync` policy (the durability
     /// tax; the WAL-less baseline is `ingest_triples_per_sec` above).
     wal_sync: Vec<WalSyncPoint>,
+    /// Metrics-recording overhead on the ingest and query hot paths.
+    obs_overhead: ObsOverheadPhase,
 }
 
 /// Drives the serve path over HTTP and returns the measured report.
@@ -366,6 +399,8 @@ fn measure_serve(fast: bool) -> BenchServe {
     let multi_domain = measure_multi_domain(fast);
     // WAL sync-policy throughput, one fresh server per policy.
     let wal_sync = measure_wal_sync(fast);
+    // Metrics on/off A-B, one fresh server per repeat.
+    let obs_overhead = measure_obs_overhead(fast);
 
     BenchServe {
         shards: 4,
@@ -384,7 +419,162 @@ fn measure_serve(fast: bool) -> BenchServe {
         refit_scaling,
         multi_domain,
         wal_sync,
+        obs_overhead,
     }
+}
+
+/// Runs the same ingest + query workload against a server with metrics
+/// recording on and one with it off (`ServeConfig::metrics = false`),
+/// best-of-N repeats per mode, and reports the throughput delta — the
+/// price of the per-request histogram records and span timers. The two
+/// modes share one process, so CPU frequency and allocator state match.
+fn measure_obs_overhead(fast: bool) -> ObsOverheadPhase {
+    use ltm_serve::http::http_call;
+    use ltm_serve::refit::RefitConfig;
+    use ltm_serve::server::{ServeConfig, Server};
+
+    // Throughput on a shared 1-core container drifts far more than
+    // the (tiny) true effect, so the modes run as a tightly interleaved
+    // pair: both servers boot together and every ingest chunk / query
+    // is sent to one then immediately the other (order alternating).
+    let entities: usize = if fast { 600 } else { 1_200 };
+    let sources: usize = 20;
+    let batch: usize = 250;
+    let query_ops: usize = if fast { 1_200 } else { 2_500 };
+    let repeats: usize = 5;
+
+    let triples: Vec<String> = (0..entities)
+        .flat_map(|e| {
+            (0..sources).map(move |s| {
+                let a = (e + s) % 2;
+                format!("[\"e{e}\",\"a{a}\",\"s{s}\"]")
+            })
+        })
+        .collect();
+
+    let boot = |metrics: bool| -> Server {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 4,
+            threads: 4,
+            refit: RefitConfig {
+                min_pending: usize::MAX, // no refits mid-measure
+                ..RefitConfig::default()
+            },
+            snapshot: None,
+            metrics,
+            ..ServeConfig::default()
+        })
+        .expect("boot obs-overhead benchmark server")
+    };
+    let timed_post = |addr: std::net::SocketAddr, path: &str, body: &str| -> std::time::Duration {
+        let started = Instant::now();
+        let (status, response) = http_call(addr, "POST", path, Some(body)).expect("obs request");
+        let elapsed = started.elapsed();
+        assert_eq!(status, 200, "{response}");
+        elapsed
+    };
+
+    fn median(mut v: Vec<f64>) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput ratios"));
+        v[v.len() / 2]
+    }
+
+    // One interleaved pair: identical workloads against a metrics-on
+    // and a metrics-off server, call by call. The two legs of each
+    // call see the same store state and the same body back to back,
+    // so their duration ratio isolates the metrics cost; the median
+    // over ~50 (ingest) / ~1000 (query) paired ratios is immune to
+    // the strictly additive preemption spikes that dominate single
+    // timings. Returns ((ingest/s on, query/s on), (off, off),
+    // (ingest t_on/t_off median, query t_on/t_off median)).
+    let pair = || -> ((f64, f64), (f64, f64), (f64, f64)) {
+        let server_on = boot(true);
+        let server_off = boot(false);
+        let (addr_on, addr_off) = (server_on.addr(), server_off.addr());
+
+        let mut ingest_best = [0.0f64; 2];
+        let mut ingest_ratios = Vec::new();
+        for (i, chunk) in triples.chunks(batch).enumerate() {
+            let body = format!("{{\"triples\":[{}]}}", chunk.join(","));
+            let order: [usize; 2] = if i % 2 == 0 { [0, 1] } else { [1, 0] };
+            let mut elapsed = [0.0f64; 2];
+            for mode in order {
+                let addr = if mode == 0 { addr_on } else { addr_off };
+                elapsed[mode] = timed_post(addr, "/claims", &body).as_secs_f64();
+                ingest_best[mode] = ingest_best[mode].max(chunk.len() as f64 / elapsed[mode]);
+            }
+            ingest_ratios.push(elapsed[0] / elapsed[1]);
+        }
+
+        let mut query_best = [0.0f64; 2];
+        let mut query_ratios = Vec::with_capacity(query_ops);
+        for i in 0..query_ops {
+            let body = format!(
+                "{{\"claims\":[[\"s{}\",true],[\"s{}\",false]]}}",
+                i % sources,
+                (i + 7) % sources
+            );
+            let order: [usize; 2] = if i % 2 == 0 { [0, 1] } else { [1, 0] };
+            let mut elapsed = [0.0f64; 2];
+            for mode in order {
+                let addr = if mode == 0 { addr_on } else { addr_off };
+                elapsed[mode] = timed_post(addr, "/query", &body).as_secs_f64();
+                query_best[mode] = query_best[mode].max(1.0 / elapsed[mode]);
+            }
+            query_ratios.push(elapsed[0] / elapsed[1]);
+        }
+
+        server_on.shutdown().expect("clean obs-overhead shutdown");
+        server_off.shutdown().expect("clean obs-overhead shutdown");
+        (
+            (ingest_best[0], query_best[0]),
+            (ingest_best[1], query_best[1]),
+            (median(ingest_ratios), median(query_ratios)),
+        )
+    };
+
+    let mut on = Vec::with_capacity(repeats);
+    let mut off = Vec::with_capacity(repeats);
+    let mut ratios = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let (rates_on, rates_off, ratio_medians) = pair();
+        on.push(rates_on);
+        off.push(rates_off);
+        ratios.push(ratio_medians);
+    }
+
+    // A t_on/t_off duration ratio of r means metrics cost (r − 1) of
+    // the off-mode time, i.e. (1 − 1/r) of the on-mode throughput.
+    let overhead_pct = |pick: fn(&(f64, f64)) -> f64| -> f64 {
+        let r = median(ratios.iter().map(pick).collect());
+        (1.0 - 1.0 / r) * 100.0
+    };
+    let best = |legs: &[(f64, f64)], pick: fn(&(f64, f64)) -> f64| -> f64 {
+        legs.iter().map(pick).fold(0.0f64, f64::max)
+    };
+
+    let point = ObsOverheadPhase {
+        ingest_triples: triples.len(),
+        query_ops,
+        repeats,
+        ingest_on_per_sec: best(&on, |l| l.0),
+        ingest_off_per_sec: best(&off, |l| l.0),
+        ingest_overhead_pct: overhead_pct(|l| l.0),
+        query_on_per_sec: best(&on, |l| l.1),
+        query_off_per_sec: best(&off, |l| l.1),
+        query_overhead_pct: overhead_pct(|l| l.1),
+    };
+    println!(
+        "obs-overhead: ingest {:.0}/s on vs {:.0}/s off ({:+.2}%), query {:.0}/s on vs {:.0}/s off ({:+.2}%)",
+        point.ingest_on_per_sec,
+        point.ingest_off_per_sec,
+        point.ingest_overhead_pct,
+        point.query_on_per_sec,
+        point.query_off_per_sec,
+        point.query_overhead_pct
+    );
+    point
 }
 
 /// Boots one WAL-enabled server per sync policy and bulk-ingests the

@@ -7,6 +7,7 @@
 //!            [--io-timeout-millis MS] [--domain NAME=KIND]...
 //!            [--wal-dir DIR] [--wal-sync always|never|interval:MS]
 //!            [--wal-segment-bytes N]
+//!            [--log-level error|warn|info|debug] [--log-format text|json]
 //! ltm ingest <TRIPLES.csv> [--addr A] [--batch N] [--domain NAME]
 //! ltm query  <SOURCE=true|false|VALUE>... [--addr A] [--domain NAME]
 //! ltm domain add <NAME> <KIND> [--addr A]
@@ -20,7 +21,11 @@
 //! write-ahead log: accepted batches are journaled and fsync'd (per
 //! `--wal-sync`, default `always`) before the HTTP ack, segments rotate
 //! at `--wal-segment-bytes` (default 8 MiB), and a restart replays the
-//! tail — see DESIGN.md §6 "Durability". `ingest` streams an
+//! tail — see DESIGN.md §6 "Durability". `--log-level` (default `info`)
+//! and `--log-format` (default `text`; `json` emits one object per line
+//! for log shippers) control the structured logger; `GET /metrics` on
+//! the running server exposes the Prometheus-format counters and latency
+//! histograms behind the same observability layer. `ingest` streams an
 //! `entity,attribute,source[,value]` CSV into a running server (the
 //! 4-column form for real-valued domains); `query` scores an ad-hoc
 //! claim list (`SOURCE=true|false` for boolean domains, `SOURCE=0.87`
@@ -34,13 +39,14 @@ use std::time::Duration;
 use ltm_core::{LtmConfig, SampleSchedule};
 use ltm_serve::http::http_call;
 use ltm_serve::model::ModelKind;
+use ltm_serve::obs::log as obs_log;
 use ltm_serve::refit::RefitConfig;
 use ltm_serve::server::{ServeConfig, Server};
 use ltm_serve::wal::{WalConfig, WalSyncPolicy};
 use ltm_serve::DEFAULT_DOMAIN;
 
 fn usage(msg: &str) -> ! {
-    eprintln!("{msg}");
+    ltm_serve::log_error!("cli", "{msg}");
     eprintln!(
         "usage:\n  ltm serve  [--addr A] [--shards N] [--threads N] [--chains N]\n\
          \x20            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]\n\
@@ -48,6 +54,7 @@ fn usage(msg: &str) -> ! {
          \x20            [--io-timeout-millis MS] [--domain NAME=KIND]...\n\
          \x20            [--wal-dir DIR] [--wal-sync always|never|interval:MS]\n\
          \x20            [--wal-segment-bytes N]\n\
+         \x20            [--log-level error|warn|info|debug] [--log-format text|json]\n\
          \x20 ltm ingest <TRIPLES.csv> [--addr A] [--batch N] [--domain NAME]\n\
          \x20 ltm query  <SOURCE=true|false|VALUE>... [--addr A] [--domain NAME]\n\
          \x20 ltm domain add <NAME> <KIND> [--addr A]\n\
@@ -141,6 +148,24 @@ fn serve(mut args: impl Iterator<Item = String>) {
                 }
                 wal_segment_bytes = Some(bytes);
             }
+            // Logger knobs take effect immediately, so later argument
+            // errors in the same invocation already honor the format.
+            "--log-level" => {
+                let text: String = parse_or_usage(args.next(), "--log-level");
+                let level = obs_log::Level::parse(&text).unwrap_or_else(|| {
+                    usage(&format!(
+                        "--log-level takes error|warn|info|debug, got `{text}`"
+                    ))
+                });
+                obs_log::set_level(level);
+            }
+            "--log-format" => {
+                let text: String = parse_or_usage(args.next(), "--log-format");
+                let format = obs_log::Format::parse(&text).unwrap_or_else(|| {
+                    usage(&format!("--log-format takes text|json, got `{text}`"))
+                });
+                obs_log::set_format(format);
+            }
             other => usage(&format!("unknown serve argument `{other}`")),
         }
     }
@@ -161,9 +186,23 @@ fn serve(mut args: impl Iterator<Item = String>) {
         None => {}
     }
     // An unusable --wal-dir (or a corrupt WAL / snapshot) surfaces here
-    // as a clean startup error, never a panic.
+    // as a clean startup error, never a panic. The error line names every
+    // path-bearing flag so the operator sees *which* configured location
+    // failed, not just the bare io error text.
+    let addr = config.addr.clone();
+    let snapshot_flag = config.snapshot.clone();
+    let wal_dir_flag = config.wal.as_ref().map(|w| w.dir.clone());
     let server = Server::start(config).unwrap_or_else(|e| {
-        eprintln!("failed to start: {e}");
+        ltm_serve::log_error!(
+            "serve",
+            "failed to start on --addr {addr}: {e} (--wal-dir {}, --snapshot {})",
+            wal_dir_flag
+                .as_deref()
+                .map_or("unset".to_owned(), |p| p.display().to_string()),
+            snapshot_flag
+                .as_deref()
+                .map_or("unset".to_owned(), |p| p.display().to_string()),
+        );
         std::process::exit(1);
     });
     println!("ltm serve listening on {}", server.addr());
@@ -172,14 +211,18 @@ fn serve(mut args: impl Iterator<Item = String>) {
     }
     if let Some(path) = &port_file {
         std::fs::write(path, server.addr().to_string()).unwrap_or_else(|e| {
-            eprintln!("failed to write port file: {e}");
+            ltm_serve::log_error!(
+                "serve",
+                "failed to write --port-file {}: {e}",
+                path.display()
+            );
             std::process::exit(1);
         });
     }
     server.wait_for_shutdown_request();
     println!("shutdown requested, stopping");
     if let Err(e) = server.shutdown() {
-        eprintln!("shutdown error: {e}");
+        ltm_serve::log_error!("serve", "shutdown error: {e}");
         std::process::exit(1);
     }
 }
@@ -256,7 +299,7 @@ fn ingest(mut args: impl Iterator<Item = String>) {
     }
     let file = file.unwrap_or_else(|| usage("ingest needs a triples file"));
     let rows = read_rows(&file).unwrap_or_else(|e| {
-        eprintln!("failed to read {}: {e}", file.display());
+        ltm_serve::log_error!("ingest", "failed to read {}: {e}", file.display());
         std::process::exit(1);
     });
 
@@ -267,11 +310,11 @@ fn ingest(mut args: impl Iterator<Item = String>) {
         match http_call(&addr, "POST", &route, Some(&body)) {
             Ok((200, _)) => sent += chunk.len(),
             Ok((status, response)) => {
-                eprintln!("server rejected batch: HTTP {status}: {response}");
+                ltm_serve::log_error!("ingest", "server rejected batch: HTTP {status}: {response}");
                 std::process::exit(1);
             }
             Err(e) => {
-                eprintln!("ingest failed: {e}");
+                ltm_serve::log_error!("ingest", "ingest failed: {e}");
                 std::process::exit(1);
             }
         }
@@ -344,11 +387,11 @@ fn query(mut args: impl Iterator<Item = String>) {
     match http_call(&addr, "POST", &route, Some(&body)) {
         Ok((200, response)) => println!("{response}"),
         Ok((status, response)) => {
-            eprintln!("HTTP {status}: {response}");
+            ltm_serve::log_error!("query", "HTTP {status}: {response}");
             std::process::exit(1);
         }
         Err(e) => {
-            eprintln!("query failed: {e}");
+            ltm_serve::log_error!("query", "query failed: {e}");
             std::process::exit(1);
         }
     }
@@ -380,11 +423,11 @@ fn domain(mut args: impl Iterator<Item = String>) {
             match http_call(&addr, "POST", "/admin/domains", Some(&body)) {
                 Ok((201, response)) => println!("{response}"),
                 Ok((status, response)) => {
-                    eprintln!("HTTP {status}: {response}");
+                    ltm_serve::log_error!("domain", "HTTP {status}: {response}");
                     std::process::exit(1);
                 }
                 Err(e) => {
-                    eprintln!("domain add failed: {e}");
+                    ltm_serve::log_error!("domain", "domain add failed: {e}");
                     std::process::exit(1);
                 }
             }
@@ -400,11 +443,11 @@ fn domain(mut args: impl Iterator<Item = String>) {
             match http_call(&addr, "GET", "/domains", None) {
                 Ok((200, response)) => println!("{response}"),
                 Ok((status, response)) => {
-                    eprintln!("HTTP {status}: {response}");
+                    ltm_serve::log_error!("domain", "HTTP {status}: {response}");
                     std::process::exit(1);
                 }
                 Err(e) => {
-                    eprintln!("domain list failed: {e}");
+                    ltm_serve::log_error!("domain", "domain list failed: {e}");
                     std::process::exit(1);
                 }
             }

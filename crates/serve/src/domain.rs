@@ -66,6 +66,38 @@ pub struct Domain {
     /// Attached after WAL replay when the server runs with `--wal-dir`;
     /// absent on WAL-less servers (the pre-durability behaviour).
     wal: OnceLock<Arc<DomainWal>>,
+    /// Ingest metric handles attached by the server (absent in bare
+    /// tests, where ingest records nothing).
+    obs: OnceLock<DomainObs>,
+}
+
+/// Per-domain ingest metric handles, labeled `domain=`.
+#[derive(Debug, Clone)]
+pub struct DomainObs {
+    /// Distribution of rows per ingest batch (`ltm_ingest_batch_rows`).
+    pub batch_rows: Arc<crate::obs::Histogram>,
+    /// Lifetime accepted rows (`ltm_ingest_rows_accepted_total`).
+    pub rows_accepted: Arc<crate::obs::Counter>,
+    /// Lifetime exact-duplicate rows
+    /// (`ltm_ingest_rows_duplicate_total`); with `rows_accepted` this
+    /// gives the dedup rate.
+    pub rows_duplicate: Arc<crate::obs::Counter>,
+}
+
+impl DomainObs {
+    /// Registers (or re-fetches) the ingest metric family for `domain`.
+    pub fn for_domain(registry: &crate::obs::Registry, domain: &str) -> Self {
+        let labels = &[("domain", domain)];
+        DomainObs {
+            batch_rows: registry.histogram(
+                "ltm_ingest_batch_rows",
+                labels,
+                crate::obs::Unit::Count,
+            ),
+            rows_accepted: registry.counter("ltm_ingest_rows_accepted_total", labels),
+            rows_duplicate: registry.counter("ltm_ingest_rows_duplicate_total", labels),
+        }
+    }
 }
 
 impl Domain {
@@ -86,7 +118,14 @@ impl Domain {
             refit_lock: Arc::new(Mutex::new(())),
             daemon: OnceLock::new(),
             wal: OnceLock::new(),
+            obs: OnceLock::new(),
         })
+    }
+
+    /// Attaches ingest metric handles (idempotent — first attachment
+    /// wins).
+    pub fn attach_obs(&self, obs: DomainObs) {
+        let _ = self.obs.set(obs);
     }
 
     /// Attaches the domain's write-ahead log (idempotent; the boot path
@@ -129,6 +168,11 @@ impl Domain {
             None => None,
         };
         let outcome = self.store.ingest_batch(rows, journal)?;
+        if let Some(obs) = self.obs.get() {
+            obs.batch_rows.record(rows.len() as u64);
+            obs.rows_accepted.add(outcome.accepted);
+            obs.rows_duplicate.add(outcome.duplicates);
+        }
         if let Some(wal) = self.wal.get() {
             if outcome.accepted == 0 {
                 wal.flush_backlog()?;

@@ -10,7 +10,8 @@
 //! DESIGN.md §6 for the memory-ordering argument).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use ltm_core::{
     IncrementalLtm, IncrementalRealLtm, Priors, RealLtmConfig, RealSuffStats, SourceQuality,
@@ -85,6 +86,7 @@ pub struct EpochPredictor {
     current: RwLock<Arc<EpochSnapshot>>,
     published: AtomicU64,
     rejected: AtomicU64,
+    swapped_at: Mutex<Instant>,
 }
 
 impl EpochPredictor {
@@ -100,6 +102,7 @@ impl EpochPredictor {
             current: RwLock::new(Arc::new(boot)),
             published: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            swapped_at: Mutex::new(Instant::now()),
         }
     }
 
@@ -117,12 +120,24 @@ impl EpochPredictor {
         *slot = Arc::new(snapshot);
         drop(slot);
         self.published.fetch_add(1, Ordering::Relaxed);
+        *self.swapped_at.lock().expect("epoch swap clock") = Instant::now();
         epoch
     }
 
     /// Installs a snapshot restored from disk, keeping its epoch number.
     pub fn restore(&self, snapshot: EpochSnapshot) {
         *self.current.write().expect("epoch lock") = Arc::new(snapshot);
+        *self.swapped_at.lock().expect("epoch swap clock") = Instant::now();
+    }
+
+    /// Seconds since the serving snapshot was last swapped (publish or
+    /// restore); measures epoch staleness for `/metrics`.
+    pub fn epoch_age_secs(&self) -> f64 {
+        self.swapped_at
+            .lock()
+            .expect("epoch swap clock")
+            .elapsed()
+            .as_secs_f64()
     }
 
     /// Records a refit whose diagnostics failed the promotion gate.
@@ -204,6 +219,16 @@ mod tests {
         assert!(snap.predictor.as_real().is_some());
         // No claims → β prior mean, same contract as the boolean boot.
         assert!((snap.predictor.predict_real(&[]) - real.beta.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_age_resets_on_publish() {
+        let p = EpochPredictor::new(&priors());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let before = p.epoch_age_secs();
+        assert!(before >= 0.01);
+        p.publish(EpochSnapshot::boot(&priors()));
+        assert!(p.epoch_age_secs() < before);
     }
 
     #[test]

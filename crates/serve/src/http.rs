@@ -144,6 +144,17 @@ fn find_head_end(bytes: &[u8]) -> Option<usize> {
 
 /// Writes a `Connection: close` JSON response.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write_response_with_type(stream, status, "application/json", body)
+}
+
+/// Writes a `Connection: close` response with an explicit content type
+/// (`GET /metrics` serves Prometheus text, everything else JSON).
+pub fn write_response_with_type(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         201 => "Created",
@@ -157,7 +168,7 @@ pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Re
     };
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()
@@ -199,8 +210,9 @@ impl ThreadPool {
                                         handler(stream)
                                     }));
                                 if result.is_err() {
-                                    eprintln!(
-                                        "[ltm-http] request handler panicked; worker continues"
+                                    crate::log_error!(
+                                        "http",
+                                        "request handler panicked; worker continues"
                                     );
                                 }
                             }

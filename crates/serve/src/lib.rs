@@ -36,6 +36,12 @@
 //!   before the HTTP ack; a background compactor folds sealed segments
 //!   into the snapshot, and boot replays the tail — so an acked batch
 //!   survives `kill -9` (see DESIGN.md §6 "Durability").
+//! * [`obs`] — the **observability spine**: a metrics registry of atomic
+//!   counters, gauges, and lock-free log-linear latency histograms
+//!   rendered by `GET /metrics` (Prometheus text format, `domain=`
+//!   labels), RAII spans timing WAL appends and refit phases, and a
+//!   leveled structured logger (`--log-level`, `--log-format`) behind
+//!   the `log_error!`…`log_debug!` macros.
 //!
 //! The `ltm` binary wraps this as a CLI: `ltm serve`, `ltm ingest`,
 //! `ltm query`. See README.md for a curl quickstart and DESIGN.md §6 for
@@ -48,18 +54,21 @@ pub mod domain;
 pub mod epoch;
 pub mod http;
 pub mod model;
+pub mod obs;
 pub mod refit;
 pub mod server;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
-pub use domain::{Domain, DomainError, DomainSet, DEFAULT_DOMAIN};
+pub use domain::{Domain, DomainError, DomainObs, DomainSet, DEFAULT_DOMAIN};
 pub use epoch::{EpochPredictor, EpochSnapshot};
 pub use http::http_call;
 pub use model::{ModelKind, ServePredictor};
+pub use obs::{Counter, Gauge, Histogram, Registry, ScopedGauge, SpanTimer, Unit};
 pub use refit::{
-    refit_once, RefitConfig, RefitCounters, RefitDaemon, RefitMode, RefitOutcome, RefitState,
+    refit_once, RefitConfig, RefitCounters, RefitDaemon, RefitMode, RefitObs, RefitOutcome,
+    RefitState,
 };
 pub use server::{ServeConfig, Server};
 pub use snapshot::Snapshot;
@@ -67,4 +76,4 @@ pub use store::{
     BatchOutcome, FactView, IngestOutcome, LogRecord, RealFactView, RealStoreDelta, ShardedStore,
     StoreDelta, StoreDeltaOf, StoreStats,
 };
-pub use wal::{DomainWal, WalConfig, WalSyncPolicy};
+pub use wal::{DomainWal, WalConfig, WalObs, WalSyncPolicy};

@@ -1,0 +1,219 @@
+//! Lock-free log-linear latency histogram.
+//!
+//! Values are recorded as non-negative integers (the serve stack records
+//! **microseconds** for durations and raw counts for size distributions).
+//! Buckets follow the HDR-histogram log-linear scheme: values below 16 get
+//! exact unit-width buckets; above that, each power-of-two range is split
+//! into 16 linear sub-buckets, so any recorded value lands in a bucket whose
+//! width is at most 1/16th of its magnitude (≤ 6.25% relative error).
+//!
+//! Recording is a single relaxed `fetch_add` on an `AtomicU64` — no locks,
+//! no allocation — so it is safe to call from request handlers, the WAL
+//! append path, and refit daemons without perturbing what is being measured.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of linear sub-buckets per power-of-two tier.
+const SUB_BUCKETS: usize = 16;
+
+/// Highest power-of-two tier tracked. Values at or above 2^40 (about 12.7
+/// days when recording microseconds) are clamped into the final bucket.
+const MAX_TIER: usize = 36;
+
+/// Total bucket count: 16 exact unit buckets plus 16 sub-buckets for each
+/// of the 36 log tiers covering [16, 2^40).
+const NUM_BUCKETS: usize = SUB_BUCKETS * (MAX_TIER + 1);
+
+/// Largest value stored without clamping.
+const MAX_VALUE: u64 = (1u64 << 40) - 1;
+
+/// A fixed-size, lock-free histogram with bounded relative error.
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Map a value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    let v = v.min(MAX_VALUE);
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        // Highest set bit; v >= 16 so msb >= 4 and tier >= 1.
+        let msb = 63 - v.leading_zeros() as usize;
+        let tier = msb - 3;
+        tier * SUB_BUCKETS + ((v >> (msb - 4)) & 15) as usize
+    }
+}
+
+/// Inclusive `(lower, upper)` value bounds covered by a bucket index.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS {
+        (index as u64, index as u64)
+    } else {
+        let tier = index / SUB_BUCKETS;
+        let offset = (index % SUB_BUCKETS) as u64;
+        let msb = tier + 3;
+        let width = 1u64 << (msb - 4);
+        let lower = (1u64 << msb) + offset * width;
+        (lower, lower + width - 1)
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value.min(MAX_VALUE), Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (clamped at 2^40 − 1 per observation).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Inclusive `(lower, upper)` bounds of the bucket holding the `q`-th
+    /// quantile (0.0 ≤ q ≤ 1.0) under nearest-rank selection. Returns
+    /// `(0, 0)` when the histogram is empty. The true quantile of the
+    /// recorded stream is guaranteed to lie within the returned bounds.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return (0, 0);
+        }
+        let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative > rank {
+                return bucket_bounds(i);
+            }
+        }
+        bucket_bounds(NUM_BUCKETS - 1)
+    }
+
+    /// Upper bound of the bucket holding the `q`-th quantile; a conservative
+    /// point estimate with ≤ 6.25% relative error.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+        // Median of 0..=15 under nearest-rank is exactly recoverable.
+        let (lo, hi) = h.quantile_bounds(0.5);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_are_inverse() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            1_000_000,
+            u32::MAX as u64,
+            MAX_VALUE,
+        ] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [16u64, 100, 999, 123_456, 88_888_888] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            let width = (hi - lo) as f64;
+            assert!(width / v as f64 <= 1.0 / 16.0 + 1e-9, "v={v} width={width}");
+        }
+    }
+
+    #[test]
+    fn clamps_above_max() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        let (_, hi) = h.quantile_bounds(1.0);
+        assert!(hi >= MAX_VALUE);
+    }
+
+    #[test]
+    fn quantiles_bracket_truth_on_a_known_stream() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (0..1000).map(|i| i * 37 % 10_000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let truth = sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+            let (lo, hi) = h.quantile_bounds(q);
+            assert!(
+                lo <= truth && truth <= hi,
+                "q={q} truth={truth} [{lo},{hi}]"
+            );
+        }
+    }
+}

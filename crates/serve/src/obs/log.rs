@@ -1,0 +1,252 @@
+//! Structured, leveled logging to stderr.
+//!
+//! A process-global level/format pair (plain atomics — no allocation, no
+//! lazy statics) gates the `log_error!` … `log_debug!` macros. Lines carry
+//! an RFC 3339 UTC timestamp, the level, a short target (subsystem name),
+//! and the message; `--log-format json` switches to one JSON object per
+//! line for log shippers. Request handlers tag their lines with an id from
+//! [`next_request_id`] so concurrent requests can be teased apart.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or operator-actionable failures.
+    Error = 0,
+    /// Degraded-but-running conditions (fsync failures, re-journal queues).
+    Warn = 1,
+    /// Lifecycle events (epoch published, WAL replayed, server listening).
+    Info = 2,
+    /// Per-request and per-phase detail.
+    Debug = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    /// Parse a level name (case-insensitive). Accepts `error`, `warn`,
+    /// `info`, `debug`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Output format for log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable single-line text (default).
+    Text,
+    /// One JSON object per line: `{"ts":…,"level":…,"target":…,"msg":…}`.
+    Json,
+}
+
+impl Format {
+    /// Parse a format name (case-insensitive). Accepts `text`, `json`.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = Text, 1 = Json
+static REQUEST_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Set the global log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Set the global log format.
+pub fn set_format(format: Format) {
+    FORMAT.store(matches!(format, Format::Json) as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Allocate the next request id (process-unique, monotonically increasing).
+pub fn next_request_id() -> u64 {
+    REQUEST_ID.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Emit one log line. Prefer the `log_*!` macros, which check [`enabled`]
+/// before formatting.
+pub fn write(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let ts = rfc3339_now();
+    let msg = args.to_string();
+    let line = if FORMAT.load(Ordering::Relaxed) == 1 {
+        format!(
+            "{{\"ts\":\"{ts}\",\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"}}\n",
+            level.as_str(),
+            json_escape(target),
+            json_escape(&msg)
+        )
+    } else {
+        format!("{ts} {:5} [{target}] {msg}\n", level.as_str())
+    };
+    let stderr = std::io::stderr();
+    let mut guard = stderr.lock();
+    let _ = guard.write_all(line.as_bytes());
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Current time as an RFC 3339 UTC timestamp with millisecond precision.
+pub fn rfc3339_now() -> String {
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let secs = now.as_secs() as i64;
+    let millis = now.subsec_millis();
+    let days = secs.div_euclid(86_400);
+    let tod = secs.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        tod / 3600,
+        (tod % 3600) / 60,
+        tod % 60
+    )
+}
+
+/// Convert days since 1970-01-01 to a (year, month, day) civil date.
+/// Howard Hinnant's `civil_from_days` algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Log at [`Level::Error`]: `log_error!("target", "format", args…)`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::obs::log::enabled($crate::obs::log::Level::Error) {
+            $crate::obs::log::write(
+                $crate::obs::log::Level::Error, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Warn`]: `log_warn!("target", "format", args…)`.
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::obs::log::enabled($crate::obs::log::Level::Warn) {
+            $crate::obs::log::write(
+                $crate::obs::log::Level::Warn, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Info`]: `log_info!("target", "format", args…)`.
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::obs::log::enabled($crate::obs::log::Level::Info) {
+            $crate::obs::log::write(
+                $crate::obs::log::Level::Info, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`]: `log_debug!("target", "format", args…)`.
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::obs::log::enabled($crate::obs::log::Level::Debug) {
+            $crate::obs::log::write(
+                $crate::obs::log::Level::Debug, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_round_trips() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+        assert_eq!(Format::parse("JSON"), Some(Format::Json));
+        assert_eq!(Format::parse("xml"), None);
+    }
+
+    #[test]
+    fn civil_from_days_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn timestamp_shape_is_rfc3339() {
+        let ts = rfc3339_now();
+        assert_eq!(ts.len(), 24, "{ts}");
+        assert_eq!(&ts[4..5], "-");
+        assert_eq!(&ts[10..11], "T");
+        assert!(ts.ends_with('Z'));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_increasing() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

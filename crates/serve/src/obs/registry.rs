@@ -1,0 +1,319 @@
+//! Process-wide metrics registry.
+//!
+//! The registry hands out `Arc` handles to named counters, gauges, and
+//! histograms keyed by `(name, labels)`. Handles are cheap to clone and
+//! record through atomics; the registry lock is only taken at registration
+//! time and when rendering, never on the hot recording path.
+//!
+//! [`Registry::render_prometheus`] emits the Prometheus text exposition
+//! format (version 0.0.4). Histograms are rendered as `summary` series —
+//! `name{quantile="…"}`, `name_sum`, `name_count` — which keeps the output
+//! compact (4 quantiles instead of 592 cumulative buckets) while every line
+//! still parses as `name{labels} value`.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use super::histogram::Histogram;
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Scale applied to histogram values when rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Values are microseconds; rendered divided by 1e6 (metric named `*_seconds`).
+    Micros,
+    /// Values are plain counts; rendered as-is.
+    Count,
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>, Unit),
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+/// Registry of named metrics. One per server; shared via `Arc`.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("metrics", &n).finish()
+    }
+}
+
+fn labels_match(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want.iter())
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut entries = self.entries.lock().unwrap();
+        for e in entries.iter() {
+            if e.name == name && labels_match(&e.labels, labels) {
+                if let Metric::Counter(c) = &e.metric {
+                    return Arc::clone(c);
+                }
+            }
+        }
+        let c = Arc::new(Counter::default());
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: owned(labels),
+            metric: Metric::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Get or register the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().unwrap();
+        for e in entries.iter() {
+            if e.name == name && labels_match(&e.labels, labels) {
+                if let Metric::Gauge(g) = &e.metric {
+                    return Arc::clone(g);
+                }
+            }
+        }
+        let g = Arc::new(Gauge::default());
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: owned(labels),
+            metric: Metric::Gauge(Arc::clone(&g)),
+        });
+        g
+    }
+
+    /// Get or register the histogram `name{labels}` with render unit `unit`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], unit: Unit) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().unwrap();
+        for e in entries.iter() {
+            if e.name == name && labels_match(&e.labels, labels) {
+                if let Metric::Histogram(h, _) = &e.metric {
+                    return Arc::clone(h);
+                }
+            }
+        }
+        let h = Arc::new(Histogram::new());
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: owned(labels),
+            metric: Metric::Histogram(Arc::clone(&h), unit),
+        });
+        h
+    }
+
+    /// Render every registered metric in Prometheus text exposition format,
+    /// appending to `out`. Series sharing a name are grouped under a single
+    /// `# TYPE` header in first-registration order.
+    pub fn render_prometheus(&self, out: &mut String) {
+        let entries = self.entries.lock().unwrap();
+        let mut order: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if !order.contains(&e.name.as_str()) {
+                order.push(&e.name);
+            }
+        }
+        for name in order {
+            let group: Vec<&Entry> = entries.iter().filter(|e| e.name == name).collect();
+            let kind = match group[0].metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(..) => "summary",
+            };
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for e in &group {
+                match &e.metric {
+                    Metric::Counter(c) => {
+                        push_line(out, name, &e.labels, None, &c.get().to_string());
+                    }
+                    Metric::Gauge(g) => {
+                        push_line(out, name, &e.labels, None, &g.get().to_string());
+                    }
+                    Metric::Histogram(h, unit) => {
+                        let scale = match unit {
+                            Unit::Micros => 1e-6,
+                            Unit::Count => 1.0,
+                        };
+                        for q in ["0.5", "0.9", "0.99", "0.999"] {
+                            let v = h.quantile(q.parse().unwrap()) as f64 * scale;
+                            push_line(out, name, &e.labels, Some(("quantile", q)), &fmt_f64(v));
+                        }
+                        let sum = h.sum() as f64 * scale;
+                        push_line(out, &format!("{name}_sum"), &e.labels, None, &fmt_f64(sum));
+                        push_line(
+                            out,
+                            &format!("{name}_count"),
+                            &e.labels,
+                            None,
+                            &h.count().to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Format one exposition line: `name{labels} value`.
+fn push_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(name);
+    let has_labels = !labels.is_empty() || extra.is_some();
+    if has_labels {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+        }
+        if let Some((k, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Escape a label value per the exposition format.
+pub fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render an f64 without losing small magnitudes (Rust's `Display` for f64
+/// never switches to exponent notation in our value range).
+pub fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("domain", "default")]);
+        let b = r.counter("x_total", &[("domain", "default")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let other = r.counter("x_total", &[("domain", "other")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    fn render_groups_series_under_one_type_header() {
+        let r = Registry::new();
+        r.counter("a_total", &[("domain", "x")]).add(3);
+        r.counter("a_total", &[("domain", "y")]).add(4);
+        r.gauge("b", &[]).set(-2);
+        let h = r.histogram("c_seconds", &[], Unit::Micros);
+        h.record(1_000_000);
+        let mut out = String::new();
+        r.render_prometheus(&mut out);
+        assert_eq!(out.matches("# TYPE a_total counter").count(), 1);
+        assert!(out.contains("a_total{domain=\"x\"} 3\n"));
+        assert!(out.contains("a_total{domain=\"y\"} 4\n"));
+        assert!(out.contains("b -2\n"));
+        assert!(out.contains("# TYPE c_seconds summary"));
+        assert!(out.contains("c_seconds_count 1\n"));
+        // 1s recorded in µs renders near 1.0 after scaling.
+        assert!(out.contains("c_seconds{quantile=\"0.5\"} 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

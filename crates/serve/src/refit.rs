@@ -150,6 +150,48 @@ pub struct RefitState {
     streaming: Option<StreamingLtm>,
     streaming_real: Option<StreamingRealLtm>,
     counters: RefitCounters,
+    /// Phase-span metric handles attached by the server (absent in bare
+    /// tests, where refits record nothing).
+    obs: Option<RefitObs>,
+}
+
+/// Refit phase-span metric handles: one histogram per phase of a refit
+/// pass, labeled `phase=` and `domain=` and rendered as
+/// `ltm_refit_phase_duration_seconds`.
+#[derive(Debug, Clone)]
+pub struct RefitObs {
+    /// Delta extraction (`phase="extract"`): assembling the batches
+    /// dirtied since the fold watermark.
+    pub extract_seconds: Arc<crate::obs::Histogram>,
+    /// The Gibbs fold (`phase="fold"`): multi-chain
+    /// `try_observe_chains` over the delta, including per-batch R̂
+    /// computation.
+    pub fold_seconds: Arc<crate::obs::Histogram>,
+    /// The promotion-gate decision (`phase="rhat"`): loading the served
+    /// epoch and comparing diagnostics against the gate.
+    pub rhat_seconds: Arc<crate::obs::Histogram>,
+    /// Publish/reject plus accumulator commit (`phase="promote"`).
+    pub promote_seconds: Arc<crate::obs::Histogram>,
+}
+
+impl RefitObs {
+    /// Registers (or re-fetches) the refit phase metric family for
+    /// `domain`.
+    pub fn for_domain(registry: &crate::obs::Registry, domain: &str) -> Self {
+        let phase = |name: &str| {
+            registry.histogram(
+                "ltm_refit_phase_duration_seconds",
+                &[("phase", name), ("domain", domain)],
+                crate::obs::Unit::Micros,
+            )
+        };
+        RefitObs {
+            extract_seconds: phase("extract"),
+            fold_seconds: phase("fold"),
+            rhat_seconds: phase("rhat"),
+            promote_seconds: phase("promote"),
+        }
+    }
 }
 
 impl RefitState {
@@ -193,6 +235,12 @@ impl RefitState {
     /// Counter snapshot for `/stats`.
     pub fn counters(&self) -> RefitCounters {
         self.counters
+    }
+
+    /// Attaches phase-span metric handles (the server's boot path; a
+    /// state without them records nothing).
+    pub fn set_obs(&mut self, obs: RefitObs) {
+        self.obs = Some(obs);
     }
 }
 
@@ -269,6 +317,8 @@ fn fold_boolean(
     mode: RefitMode,
 ) -> FoldStep {
     let ltm = LtmConfig { seed, ..config.ltm };
+    let obs = state.lock().expect("refit state").obs.clone();
+    let extract_started = Instant::now();
     let (mut streaming, delta) = match mode {
         RefitMode::Full => (StreamingLtm::new(ltm), store.full_databases()),
         RefitMode::Incremental => {
@@ -285,12 +335,16 @@ fn fold_boolean(
             (streaming, store.shard_databases_since(watermark))
         }
     };
+    if let Some(o) = &obs {
+        o.extract_seconds.record_duration(extract_started.elapsed());
+    }
     if delta.batches.is_empty() {
         return FoldStep::Empty {
             watermark: delta.watermark,
         };
     }
 
+    let fold_started = Instant::now();
     let mut max_rhat: f64 = 1.0;
     let mut converged_weighted = 0.0;
     let mut facts_total = 0usize;
@@ -311,6 +365,9 @@ fn fold_boolean(
             }
             Err(e) => return FoldStep::Failed(e),
         }
+    }
+    if let Some(o) = &obs {
+        o.fold_seconds.record_duration(fold_started.elapsed());
     }
 
     let quality = streaming.quality();
@@ -347,6 +404,8 @@ fn fold_real(
         seed,
         ..config.real
     };
+    let obs = state.lock().expect("refit state").obs.clone();
+    let extract_started = Instant::now();
     let (mut streaming, delta) = match mode {
         RefitMode::Full => (StreamingRealLtm::new(real), store.full_real_databases()),
         RefitMode::Incremental => {
@@ -361,12 +420,16 @@ fn fold_real(
             (streaming, store.real_databases_since(watermark))
         }
     };
+    if let Some(o) = &obs {
+        o.extract_seconds.record_duration(extract_started.elapsed());
+    }
     if delta.batches.is_empty() {
         return FoldStep::Empty {
             watermark: delta.watermark,
         };
     }
 
+    let fold_started = Instant::now();
     let mut max_rhat: f64 = 1.0;
     let mut converged_weighted = 0.0;
     let mut facts_total = 0usize;
@@ -379,6 +442,9 @@ fn fold_real(
             }
             Err(e) => return FoldStep::Failed(e),
         }
+    }
+    if let Some(o) = &obs {
+        o.fold_seconds.record_duration(fold_started.elapsed());
     }
 
     let candidate = EpochSnapshot {
@@ -460,6 +526,7 @@ pub fn refit_once(
     } = *folded;
     let max_rhat = candidate.max_rhat;
     let elapsed = started.elapsed().as_secs_f64();
+    let obs = state.lock().expect("refit state").obs.clone();
 
     // The epoch decision is applied first, then the accumulator commit,
     // then pending is consumed. A snapshot capture reads the store first,
@@ -467,8 +534,14 @@ pub fn refit_once(
     // means a racing capture can only pair a *newer* accumulator/epoch
     // with an older log — which errs toward a redundant re-fold after
     // restore, never toward silently excluding a folded tail.
+    let rhat_started = Instant::now();
     let current = predictor.load();
-    let outcome = if max_rhat <= config.rhat_gate || max_rhat <= current.max_rhat {
+    let promote = max_rhat <= config.rhat_gate || max_rhat <= current.max_rhat;
+    if let Some(o) = &obs {
+        o.rhat_seconds.record_duration(rhat_started.elapsed());
+    }
+    let promote_started = Instant::now();
+    let outcome = if promote {
         let epoch = predictor.publish(candidate);
         RefitOutcome::Published {
             epoch,
@@ -503,6 +576,9 @@ pub fn refit_once(
         }
     }
     store.consume_pending(pending_at_start);
+    if let Some(o) = &obs {
+        o.promote_seconds.record_duration(promote_started.elapsed());
+    }
     outcome
 }
 
@@ -626,8 +702,9 @@ impl RefitDaemon {
                             let delay =
                                 failure_backoff(config.interval, failures, config.max_backoff);
                             backoff_until = Some(Instant::now() + delay);
-                            eprintln!(
-                                "[ltm-refit] {mode} refit failed ({failures} consecutive): {e}; \
+                            crate::log_warn!(
+                                "refit",
+                                "{mode} refit failed ({failures} consecutive): {e}; \
                                  backing off {delay:?}"
                             );
                             continue;
@@ -635,14 +712,16 @@ impl RefitDaemon {
                         RefitOutcome::Published {
                             epoch, max_rhat, ..
                         } => {
-                            eprintln!(
-                                "[ltm-refit] published epoch {epoch} ({mode} refit, \
+                            crate::log_info!(
+                                "refit",
+                                "published epoch {epoch} ({mode} refit, \
                                  max R-hat {max_rhat:.3})"
                             );
                         }
                         RefitOutcome::Rejected { max_rhat, gate, .. } => {
-                            eprintln!(
-                                "[ltm-refit] rejected {mode} refit: \
+                            crate::log_info!(
+                                "refit",
+                                "rejected {mode} refit: \
                                  max R-hat {max_rhat:.3} > gate {gate:.3}"
                             );
                         }

@@ -29,7 +29,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -37,14 +37,18 @@ use std::time::{Duration, Instant};
 use ltm_model::SourceId;
 use serde::{Serialize, Value};
 
-use crate::domain::{Domain, DomainError, DomainSet, DEFAULT_DOMAIN};
+use crate::domain::{Domain, DomainError, DomainObs, DomainSet, DEFAULT_DOMAIN};
 use crate::epoch::EpochPredictor;
-use crate::http::{read_request_with_deadline, write_response, Request, ThreadPool};
+use crate::http::{
+    read_request_with_deadline, write_response, write_response_with_type, Request, ThreadPool,
+};
 use crate::model::ModelKind;
-use crate::refit::{RefitConfig, RefitState};
+use crate::obs::registry::{escape_label, fmt_f64};
+use crate::obs::{self, Counter, Gauge, Registry, ScopedGauge};
+use crate::refit::{RefitConfig, RefitObs, RefitState};
 use crate::snapshot;
 use crate::store::{LogRecord, ShardedStore};
-use crate::wal::{self, DomainWal, WalConfig, WalDomainMeta};
+use crate::wal::{self, DomainWal, WalConfig, WalDomainMeta, WalObs};
 
 /// Server configuration.
 ///
@@ -95,6 +99,12 @@ pub struct ServeConfig {
     /// `snapshot` to `<wal-dir>/snapshot.json` when unset). `None` keeps
     /// the pre-durability behaviour: memory + explicit snapshots only.
     pub wal: Option<WalConfig>,
+    /// Whether to record metrics (request latency histograms, WAL and
+    /// refit spans, ingest counters). On by default; the benchmark
+    /// harness turns it off to measure instrumentation overhead. With
+    /// metrics off, `GET /metrics` still serves but the recorded
+    /// families stay empty and `/stats` `requests` stays 0.
+    pub metrics: bool,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +118,7 @@ impl Default for ServeConfig {
             snapshot: None,
             io_timeout: Duration::from_secs(10),
             wal: None,
+            metrics: true,
         }
     }
 }
@@ -132,7 +143,16 @@ struct Context {
     snapshot_failed: AtomicBool,
     /// Compaction bookkeeping for `/stats`.
     compaction: Mutex<CompactionStatus>,
-    requests: AtomicU64,
+    /// The metrics registry behind both `GET /metrics` and the counter
+    /// fields of `/stats` — one source of truth for both surfaces.
+    obs: Arc<Registry>,
+    /// Completed requests, all endpoints (`ltm_http_requests_total`).
+    requests: Arc<Counter>,
+    /// Requests currently being handled
+    /// (`ltm_http_requests_in_flight`).
+    in_flight: Arc<Gauge>,
+    /// Whether handlers record metrics (see [`ServeConfig::metrics`]).
+    metrics: bool,
     started: Instant,
     shutdown_requested: (Mutex<bool>, Condvar),
 }
@@ -143,6 +163,10 @@ struct CompactionStatus {
     last_done: Option<Instant>,
     runs: u64,
 }
+
+/// Sentinel "path" for connections whose request never parsed — they
+/// still count, under `endpoint="malformed"`.
+const MALFORMED_PATH: &str = "<malformed>";
 
 impl Context {
     /// Whether the server should report itself degraded: the last WAL
@@ -209,6 +233,71 @@ impl Context {
         drop(status);
         Ok(deleted)
     }
+
+    /// Records one completed request: the grand-total counter, the
+    /// per-endpoint latency histogram, and a debug log line carrying the
+    /// request id. Called after routing but **before** the response is
+    /// written, so any strictly-later `/metrics` scrape already counts
+    /// the request — within one scrape body,
+    /// `ltm_http_requests_total == Σ ltm_http_request_duration_seconds_count`
+    /// always holds.
+    fn observe_request(
+        &self,
+        method: &str,
+        path: &str,
+        status: u16,
+        started: Instant,
+        req_id: u64,
+    ) {
+        if !self.metrics {
+            return;
+        }
+        let elapsed = started.elapsed();
+        let (endpoint, domain) = self.endpoint_label(path);
+        self.requests.inc();
+        self.obs
+            .histogram(
+                "ltm_http_request_duration_seconds",
+                &[("endpoint", &endpoint), ("domain", &domain)],
+                obs::Unit::Micros,
+            )
+            .record_duration(elapsed);
+        crate::log_debug!(
+            "http",
+            "req#{req_id} {method} {path} -> {status} in {:.3}ms",
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+
+    /// Collapses a request path into a bounded `(endpoint, domain)`
+    /// label pair: known routes verbatim, fact lookups as
+    /// `/facts/{id}`, query strings stripped, unknown paths as `other`.
+    /// `/d/{name}/…` paths only yield `domain=name` for names that
+    /// resolve to a hosted domain — anything else is `other`, so an
+    /// unauthenticated path scan cannot mint unbounded label values.
+    fn endpoint_label(&self, path: &str) -> (String, String) {
+        if path == MALFORMED_PATH {
+            return ("malformed".into(), "none".into());
+        }
+        let (domain, rest) = match path.strip_prefix("/d/") {
+            Some(after) => match after.split_once('/') {
+                Some((name, rest)) if self.domains.get(name).is_some() => {
+                    (name.to_owned(), format!("/{rest}"))
+                }
+                _ => return ("other".into(), "none".into()),
+            },
+            None => (DEFAULT_DOMAIN.to_owned(), path.to_owned()),
+        };
+        let rest = rest.split('?').next().unwrap_or("");
+        let endpoint = match rest {
+            "/healthz" | "/stats" | "/domains" | "/metrics" | "/claims" | "/query"
+            | "/admin/domains" | "/admin/snapshot" | "/admin/compact" | "/admin/shutdown"
+            | "/admin/refit" => rest.to_owned(),
+            p if p.starts_with("/facts/") => "/facts/{id}".to_owned(),
+            _ => "other".to_owned(),
+        };
+        (endpoint, domain)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -274,6 +363,7 @@ struct DomainStats {
     positive_claims: usize,
     sources: usize,
     pending: usize,
+    duplicate_rows: u64,
     epoch: u64,
     epoch_max_rhat: f64,
     epoch_converged_fraction: f64,
@@ -309,6 +399,7 @@ struct StatsResponse {
     positive_claims: usize,
     sources: usize,
     pending: usize,
+    duplicate_rows: u64,
     epoch: u64,
     epoch_max_rhat: f64,
     epoch_converged_fraction: f64,
@@ -330,6 +421,8 @@ struct StatsResponse {
     compactions: u64,
     requests: u64,
     uptime_secs: f64,
+    version: String,
+    git_describe: String,
     domains: BTreeMap<String, DomainStats>,
 }
 
@@ -359,7 +452,6 @@ fn error(status: u16, message: impl Into<String>) -> (u16, String) {
 // ---------------------------------------------------------------------------
 
 fn route(ctx: &Context, req: &Request) -> (u16, String) {
-    ctx.requests.fetch_add(1, Ordering::Relaxed);
     let method = req.method.as_str();
     let path = req.path.as_str();
 
@@ -403,6 +495,10 @@ fn route(ctx: &Context, req: &Request) -> (u16, String) {
         "/stats" => match method {
             "GET" => stats(ctx),
             _ => error(405, "use GET /stats"),
+        },
+        "/metrics" => match method {
+            "GET" => metrics(ctx),
+            _ => error(405, "use GET /metrics"),
         },
         "/domains" => match method {
             "GET" => list_domains(ctx),
@@ -520,6 +616,7 @@ fn domain_stats(domain: &Domain) -> DomainStats {
         positive_claims: s.positive_claims,
         sources: s.sources,
         pending: s.pending,
+        duplicate_rows: s.duplicate_rows,
         epoch: e.epoch,
         epoch_max_rhat: e.max_rhat,
         epoch_converged_fraction: e.converged_fraction,
@@ -562,6 +659,7 @@ fn stats(ctx: &Context) -> (u16, String) {
         positive_claims: sum_usize(|d| d.positive_claims),
         sources: sum_usize(|d| d.sources),
         pending: sum_usize(|d| d.pending),
+        duplicate_rows: sum(|d| d.duplicate_rows),
         epoch: default.epoch,
         epoch_max_rhat: default.epoch_max_rhat,
         epoch_converged_fraction: default.epoch_converged_fraction,
@@ -581,11 +679,147 @@ fn stats(ctx: &Context) -> (u16, String) {
         wal_replayed_rows: sum(|d| d.wal_replayed_rows),
         last_compaction_secs: compaction.0,
         compactions: compaction.1,
-        requests: ctx.requests.load(Ordering::Relaxed),
+        requests: ctx.requests.get(),
         uptime_secs: ctx.started.elapsed().as_secs_f64(),
+        version: obs::BUILD_VERSION.to_owned(),
+        git_describe: obs::BUILD_GIT.to_owned(),
         domains: sections,
     };
     json(200, &response)
+}
+
+/// `GET /metrics` — the whole registry in Prometheus text exposition
+/// format, followed by sampled families (store/epoch/refit/WAL counters
+/// read through the same [`domain_stats`] accessors `/stats` uses, so
+/// the two surfaces always agree).
+fn metrics(ctx: &Context) -> (u16, String) {
+    let mut out = String::new();
+    ctx.obs.render_prometheus(&mut out);
+    render_sampled_metrics(ctx, &mut out);
+    (200, out)
+}
+
+/// Appends the point-in-time families `/metrics` samples at scrape time
+/// (values that live in domain stores/predictors rather than in
+/// registry-owned atomics).
+fn render_sampled_metrics(ctx: &Context, out: &mut String) {
+    use std::fmt::Write as _;
+
+    let _ = writeln!(out, "# TYPE ltm_build_info gauge");
+    let _ = writeln!(
+        out,
+        "ltm_build_info{{version=\"{}\",git=\"{}\"}} 1",
+        escape_label(obs::BUILD_VERSION),
+        escape_label(obs::BUILD_GIT)
+    );
+    let _ = writeln!(out, "# TYPE ltm_uptime_seconds gauge");
+    let _ = writeln!(
+        out,
+        "ltm_uptime_seconds {}",
+        fmt_f64(ctx.started.elapsed().as_secs_f64())
+    );
+    let _ = writeln!(out, "# TYPE ltm_degraded gauge");
+    let _ = writeln!(out, "ltm_degraded {}", u8::from(ctx.degraded()));
+    let (last_compaction_secs, compactions) = {
+        let status = ctx.compaction.lock().expect("compaction status lock");
+        (
+            status.last_done.map_or(-1.0, |t| t.elapsed().as_secs_f64()),
+            status.runs,
+        )
+    };
+    let _ = writeln!(out, "# TYPE ltm_wal_compactions_total counter");
+    let _ = writeln!(out, "ltm_wal_compactions_total {compactions}");
+    let _ = writeln!(out, "# TYPE ltm_last_compaction_age_seconds gauge");
+    let _ = writeln!(
+        out,
+        "ltm_last_compaction_age_seconds {}",
+        fmt_f64(last_compaction_secs)
+    );
+
+    // Per-domain families, each rendered from the same DomainStats
+    // accessor /stats serializes.
+    let domains: Vec<(String, DomainStats, f64)> = ctx
+        .domains
+        .list()
+        .iter()
+        .map(|d| {
+            (
+                d.name().to_owned(),
+                domain_stats(d),
+                d.predictor().epoch_age_secs(),
+            )
+        })
+        .collect();
+    type Get = fn(&DomainStats) -> f64;
+    let families: &[(&str, &str, Get)] = &[
+        ("ltm_store_facts", "gauge", |s| s.facts as f64),
+        ("ltm_store_claims", "gauge", |s| s.claims as f64),
+        ("ltm_store_positive_claims", "gauge", |s| {
+            s.positive_claims as f64
+        }),
+        ("ltm_store_sources", "gauge", |s| s.sources as f64),
+        ("ltm_store_pending", "gauge", |s| s.pending as f64),
+        ("ltm_store_duplicate_rows_total", "counter", |s| {
+            s.duplicate_rows as f64
+        }),
+        ("ltm_epoch", "gauge", |s| s.epoch as f64),
+        ("ltm_epoch_max_rhat", "gauge", |s| s.epoch_max_rhat),
+        ("ltm_epoch_converged_fraction", "gauge", |s| {
+            s.epoch_converged_fraction
+        }),
+        ("ltm_epoch_trained_claims", "gauge", |s| {
+            s.epoch_trained_claims as f64
+        }),
+        ("ltm_epochs_published_total", "counter", |s| {
+            s.epochs_published as f64
+        }),
+        ("ltm_epochs_rejected_total", "counter", |s| {
+            s.epochs_rejected as f64
+        }),
+        ("ltm_refits_started_total", "counter", |s| {
+            s.refits_started as f64
+        }),
+        ("ltm_refits_incremental_total", "counter", |s| {
+            s.refits_incremental as f64
+        }),
+        ("ltm_refits_full_total", "counter", |s| s.refits_full as f64),
+        ("ltm_refits_failed_total", "counter", |s| {
+            s.refits_failed as f64
+        }),
+        ("ltm_last_incremental_refit_seconds", "gauge", |s| {
+            s.last_incremental_refit_secs
+        }),
+        ("ltm_last_full_refit_seconds", "gauge", |s| {
+            s.last_full_refit_secs
+        }),
+        ("ltm_fold_watermark", "gauge", |s| s.fold_watermark as f64),
+        ("ltm_wal_appends_total", "counter", |s| s.wal_appends as f64),
+        ("ltm_wal_fsyncs_total", "counter", |s| s.wal_fsyncs as f64),
+        ("ltm_wal_bytes_total", "counter", |s| s.wal_bytes as f64),
+        ("ltm_wal_replayed_rows_total", "counter", |s| {
+            s.wal_replayed_rows as f64
+        }),
+    ];
+    for (name, kind, get) in families {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (domain, stats, _) in &domains {
+            let _ = writeln!(
+                out,
+                "{name}{{domain=\"{}\"}} {}",
+                escape_label(domain),
+                fmt_f64(get(stats))
+            );
+        }
+    }
+    let _ = writeln!(out, "# TYPE ltm_epoch_age_seconds gauge");
+    for (domain, _, age) in &domains {
+        let _ = writeln!(
+            out,
+            "ltm_epoch_age_seconds{{domain=\"{}\"}} {}",
+            escape_label(domain),
+            fmt_f64(*age)
+        );
+    }
 }
 
 fn list_domains(ctx: &Context) -> (u16, String) {
@@ -653,6 +887,9 @@ fn create_domain(ctx: &Context, name: &str, kind: ModelKind) -> Result<Arc<Domai
         let (domain_wal, _) = DomainWal::open(wal_config, name, &meta, domain.store())
             .map_err(|e| DomainError::Wal(format!("cannot open WAL for `{name}`: {e}")))?;
         domain.attach_wal(Arc::new(domain_wal));
+    }
+    if ctx.metrics {
+        attach_domain_obs(&ctx.obs, &domain);
     }
     ctx.domains.insert(Arc::clone(&domain))?;
     domain.spawn_daemon(ctx.refit.clone());
@@ -988,12 +1225,14 @@ impl Server {
             // sweep it before anything can collide with those names.
             match snapshot::clean_stale_temps(path) {
                 Ok(0) => {}
-                Ok(n) => eprintln!(
-                    "[ltm-serve] removed {n} stale snapshot temp file(s) next to {}",
+                Ok(n) => crate::log_info!(
+                    "serve",
+                    "removed {n} stale snapshot temp file(s) next to {}",
                     path.display()
                 ),
-                Err(e) => eprintln!(
-                    "[ltm-serve] could not sweep stale snapshot temps next to {}: {e}",
+                Err(e) => crate::log_warn!(
+                    "serve",
+                    "could not sweep stale snapshot temps next to {}: {e}",
                     path.display()
                 ),
             }
@@ -1015,12 +1254,27 @@ impl Server {
         }
         if let Some(path) = &snapshot_path {
             if path.exists() {
-                let snap = snapshot::load(path)?;
-                snapshot::restore(&snap, &domains, &config.refit)?;
+                // Name the failing file: a bare "permission denied" with
+                // no path is undebuggable from a service log.
+                let snap = snapshot::load(path).map_err(|e| {
+                    io::Error::new(e.kind(), format!("snapshot {}: {e}", path.display()))
+                })?;
+                snapshot::restore(&snap, &domains, &config.refit).map_err(|e| {
+                    io::Error::new(e.kind(), format!("snapshot {}: {e}", path.display()))
+                })?;
             }
         }
         if let Some(wal_config) = &config.wal {
             open_wals(wal_config, &domains, &config.refit)?;
+        }
+        // Metric handles attach after restore + replay (so the domain
+        // set is final for boot) and before daemons spawn (so the first
+        // refit's phase spans are recorded).
+        let registry = Arc::new(Registry::new());
+        if config.metrics {
+            for domain in domains.list() {
+                attach_domain_obs(&registry, &domain);
+            }
         }
         // Daemons spawn only after restore AND WAL replay, so the first
         // refit of every domain sees the fully recovered store (replayed
@@ -1041,7 +1295,10 @@ impl Server {
             persist: Mutex::new(()),
             snapshot_failed: AtomicBool::new(false),
             compaction: Mutex::new(CompactionStatus::default()),
-            requests: AtomicU64::new(0),
+            requests: registry.counter("ltm_http_requests_total", &[]),
+            in_flight: registry.gauge("ltm_http_requests_in_flight", &[]),
+            obs: registry,
+            metrics: config.metrics,
             started: Instant::now(),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
         });
@@ -1061,12 +1318,27 @@ impl Server {
             if let Some(t) = io_timeout {
                 let _ = stream.set_write_timeout(Some(t));
             }
+            let started = Instant::now();
+            let _in_flight = handler_ctx
+                .metrics
+                .then(|| ScopedGauge::enter(&handler_ctx.in_flight));
+            let req_id = obs::log::next_request_id();
             match read_request_with_deadline(&mut stream, io_timeout) {
                 Ok(req) => {
                     let (status, body) = route(&handler_ctx, &req);
-                    let _ = write_response(&mut stream, status, &body);
+                    // Recorded before the response bytes go out, so any
+                    // scrape issued after this response already counts
+                    // this request (see Context::observe_request).
+                    handler_ctx.observe_request(&req.method, &req.path, status, started, req_id);
+                    let content_type = if req.path == "/metrics" && status == 200 {
+                        "text/plain; version=0.0.4"
+                    } else {
+                        "application/json"
+                    };
+                    let _ = write_response_with_type(&mut stream, status, content_type, &body);
                 }
                 Err(_) => {
+                    handler_ctx.observe_request("?", MALFORMED_PATH, 400, started, req_id);
                     let _ = write_response(&mut stream, 400, "{\"error\":\"malformed request\"}");
                 }
             }
@@ -1114,7 +1386,7 @@ impl Server {
                             continue;
                         }
                         if let Err(e) = ctx.compact(false) {
-                            eprintln!("[ltm-serve] background WAL compaction failed: {e}");
+                            crate::log_warn!("serve", "background WAL compaction failed: {e}");
                         }
                     }
                 })
@@ -1288,9 +1560,27 @@ fn open_wals(wal_config: &WalConfig, domains: &DomainSet, refit: &RefitConfig) -
         replayed += report.replayed_rows;
     }
     if replayed > 0 {
-        eprintln!("[ltm-serve] WAL replay recovered {replayed} row(s) past the snapshot");
+        crate::log_info!(
+            "serve",
+            "WAL replay recovered {replayed} row(s) past the snapshot"
+        );
     }
     Ok(())
+}
+
+/// Attaches the full per-domain metric family set (ingest, WAL, refit
+/// phases) to one domain. Idempotent per domain: the underlying
+/// attachments are first-write-wins.
+fn attach_domain_obs(registry: &Registry, domain: &Domain) {
+    domain.attach_obs(DomainObs::for_domain(registry, domain.name()));
+    if let Some(wal) = domain.wal() {
+        wal.attach_obs(WalObs::for_domain(registry, domain.name()));
+    }
+    domain
+        .refit_state()
+        .lock()
+        .expect("refit state")
+        .set_obs(RefitObs::for_domain(registry, domain.name()));
 }
 
 /// A dispatch closure for the accept thread (borrow-friendly indirection:

@@ -169,6 +169,9 @@ pub struct StoreStats {
     pub sources: usize,
     /// Accepted rows since the last [`ShardedStore::consume_pending`].
     pub pending: usize,
+    /// Lifetime rows rejected as exact `(entity, attr, source)`
+    /// duplicates (the ingest dedup counter).
+    pub duplicate_rows: u64,
 }
 
 /// One extraction from the store: per-shard batches over the global
@@ -392,6 +395,9 @@ pub struct ShardedStore {
     /// sequence without touching the log mutex (shard → log would invert
     /// the ingest lock order and deadlock).
     seq: AtomicU64,
+    /// Lifetime count of rows rejected as exact duplicates, feeding the
+    /// ingest dedup-rate in `/stats` and `/metrics`.
+    duplicate_rows: AtomicU64,
 }
 
 impl ShardedStore {
@@ -409,6 +415,7 @@ impl ShardedStore {
             log: Mutex::new(Vec::new()),
             pending: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
+            duplicate_rows: AtomicU64::new(0),
         }
     }
 
@@ -574,6 +581,7 @@ impl ShardedStore {
 
         if !shard.rows.insert((e, a, s)) {
             let local = shard.fact_index[&(e, a)];
+            self.duplicate_rows.fetch_add(1, Ordering::Relaxed);
             return IngestOutcome::Duplicate(shard.facts[local as usize].2);
         }
         if let Some(v) = value {
@@ -877,6 +885,7 @@ impl ShardedStore {
             positive_claims: positive,
             sources: self.num_sources(),
             pending: self.pending(),
+            duplicate_rows: self.duplicate_rows.load(Ordering::Relaxed),
         }
     }
 

@@ -45,7 +45,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -493,6 +493,42 @@ pub struct DomainWal {
     /// Set when the last append/fsync failed, cleared on the next
     /// success; surfaces as `/healthz` 503 `degraded`.
     degraded: AtomicBool,
+    /// Metric handles attached by the server (absent in bare tests).
+    obs: OnceLock<WalObs>,
+}
+
+/// Per-domain WAL metric handles: append/fsync latency histograms and the
+/// re-journal backlog depth gauge, all labeled `domain=`.
+#[derive(Debug, Clone)]
+pub struct WalObs {
+    /// Latency of one framed-record append (microseconds recorded,
+    /// rendered as `ltm_wal_append_duration_seconds`).
+    pub append_seconds: Arc<crate::obs::Histogram>,
+    /// Latency of one `fsync` (`ltm_wal_fsync_duration_seconds`).
+    pub fsync_seconds: Arc<crate::obs::Histogram>,
+    /// Frames currently queued for re-journal
+    /// (`ltm_wal_backlog_depth`).
+    pub backlog_depth: Arc<crate::obs::Gauge>,
+}
+
+impl WalObs {
+    /// Registers (or re-fetches) the WAL metric family for `domain`.
+    pub fn for_domain(registry: &crate::obs::Registry, domain: &str) -> Self {
+        let labels = &[("domain", domain)];
+        WalObs {
+            append_seconds: registry.histogram(
+                "ltm_wal_append_duration_seconds",
+                labels,
+                crate::obs::Unit::Micros,
+            ),
+            fsync_seconds: registry.histogram(
+                "ltm_wal_fsync_duration_seconds",
+                labels,
+                crate::obs::Unit::Micros,
+            ),
+            backlog_depth: registry.gauge("ltm_wal_backlog_depth", labels),
+        }
+    }
 }
 
 impl std::fmt::Debug for DomainWal {
@@ -593,6 +629,7 @@ impl DomainWal {
             bytes: AtomicU64::new(0),
             replayed_rows: AtomicU64::new(report.replayed_rows),
             degraded: AtomicBool::new(false),
+            obs: OnceLock::new(),
         };
         Ok((wal, report))
     }
@@ -600,6 +637,13 @@ impl DomainWal {
     /// The domain this WAL belongs to.
     pub fn domain(&self) -> &str {
         &self.domain
+    }
+
+    /// Attaches metric handles (idempotent — the first attachment wins).
+    /// Called by the server once the registry exists; a WAL used without
+    /// attachment (unit tests) simply records nothing.
+    pub fn attach_obs(&self, obs: WalObs) {
+        let _ = self.obs.set(obs);
     }
 
     fn check_hook(&self, op: WalOp) -> io::Result<()> {
@@ -664,9 +708,13 @@ impl DomainWal {
     /// never violated.
     fn drain_backlog_locked(&self, inner: &mut WalInner) -> io::Result<()> {
         while let Some((first_seq, frame)) = inner.backlog.pop_front() {
+            let started = Instant::now();
             if let Err(e) = self.append_locked(inner, first_seq, &frame) {
                 inner.backlog.push_front((first_seq, frame));
                 return Err(e);
+            }
+            if let Some(obs) = self.obs.get() {
+                obs.append_seconds.record_duration(started.elapsed());
             }
             self.appends.fetch_add(1, Ordering::Relaxed);
             self.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
@@ -674,13 +722,18 @@ impl DomainWal {
         Ok(())
     }
 
-    /// Updates the degraded flag (and logs) after a backlog drain.
+    /// Updates the degraded flag and backlog gauge (and logs) after a
+    /// backlog drain.
     fn note_drain(&self, inner: &WalInner, result: &io::Result<()>) {
+        if let Some(obs) = self.obs.get() {
+            obs.backlog_depth.set(inner.backlog.len() as i64);
+        }
         match result {
             Ok(()) => self.degraded.store(false, Ordering::Relaxed),
             Err(e) => {
-                eprintln!(
-                    "[ltm-wal] {}: append failed: {e} ({} batch(es) queued for re-journal)",
+                crate::log_warn!(
+                    "wal",
+                    "{}: append failed: {e} ({} batch(es) queued for re-journal)",
                     self.domain,
                     inner.backlog.len()
                 );
@@ -725,8 +778,12 @@ impl DomainWal {
     /// [`WalSyncPolicy::Never`] only waives the per-ack sync, not seals.
     fn rotate_locked(&self, inner: &mut WalInner, next_seq: u64) -> io::Result<()> {
         if inner.dirty {
+            let started = Instant::now();
             self.check_hook(WalOp::Sync)?;
             inner.file.sync_data()?;
+            if let Some(obs) = self.obs.get() {
+                obs.fsync_seconds.record_duration(started.elapsed());
+            }
             inner.dirty = false;
             inner.last_sync = Instant::now();
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
@@ -771,11 +828,15 @@ impl DomainWal {
         if !inner.dirty {
             return Ok(());
         }
+        let started = Instant::now();
         let result = self
             .check_hook(WalOp::Sync)
             .and_then(|()| inner.file.sync_data());
         match &result {
             Ok(()) => {
+                if let Some(obs) = self.obs.get() {
+                    obs.fsync_seconds.record_duration(started.elapsed());
+                }
                 inner.dirty = false;
                 inner.last_sync = Instant::now();
                 self.fsyncs.fetch_add(1, Ordering::Relaxed);
@@ -787,7 +848,7 @@ impl DomainWal {
                 }
             }
             Err(e) => {
-                eprintln!("[ltm-wal] {}: fsync failed: {e}", self.domain);
+                crate::log_warn!("wal", "{}: fsync failed: {e}", self.domain);
                 self.degraded.store(true, Ordering::Relaxed);
             }
         }
@@ -796,7 +857,7 @@ impl DomainWal {
 
     /// Seals the active segment now (compaction wants the whole log
     /// foldable): drains any failed-append backlog, syncs the segment
-    /// ([`DomainWal::rotate_locked`] always syncs a dirty seal), and
+    /// (`rotate_locked` always syncs a dirty seal), and
     /// opens a fresh segment starting at `next_seq`. A no-op when the
     /// active segment is empty.
     pub fn seal_active(&self, next_seq: u64) -> io::Result<()> {
@@ -883,8 +944,9 @@ fn replay_segments(dir: &Path, domain: &str, store: &ShardedStore) -> io::Result
             None => {}
             Some(SegmentIssue::TornTail { offset }) if i == last_index => {
                 let torn = bytes.len() - good_len;
-                eprintln!(
-                    "[ltm-wal] {}: torn final record at byte {offset} ({torn} bytes) — \
+                crate::log_warn!(
+                    "wal",
+                    "{}: torn final record at byte {offset} ({torn} bytes) — \
                      truncating (an interrupted append; the batch was never acked)",
                     path.display()
                 );

@@ -323,6 +323,15 @@ fn torn_final_record_is_truncated_and_the_server_boots() {
     let (status, body) = http_call(&server.addr, "GET", "/healthz", None).unwrap();
     assert_eq!(status, 200, "{body}");
 
+    // The metrics surface is live immediately after replay and reports
+    // the replayed rows through the same counters /stats reads.
+    let (status, metrics) = http_call(&server.addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200, "{metrics}");
+    assert!(
+        metrics.contains("ltm_wal_replayed_rows_total{domain=\"default\"} 20"),
+        "replay counter missing from the scrape:\n{metrics}"
+    );
+
     // Explicit compaction folds the whole log into the snapshot and
     // frees the sealed segments.
     let (status, body) = http_call(&server.addr, "POST", "/admin/compact", Some("")).unwrap();

@@ -1,0 +1,359 @@
+//! Observability-layer tests: histogram quantile bracketing under
+//! adversarial streams (proptest), lock-free recording under thread
+//! contention, `GET /metrics` exposition-format validity, and the
+//! `/stats` ↔ `/metrics` single-registry contract — both surfaces must
+//! report the same counters because they read the same atomics.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ltm_serve::http::http_call;
+use ltm_serve::refit::RefitConfig;
+use ltm_serve::server::{ServeConfig, Server};
+use ltm_serve::wal::WalConfig;
+use ltm_serve::Histogram;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Histogram properties
+// ---------------------------------------------------------------------------
+
+/// Largest value a histogram stores without clamping (2^40 − 1).
+const CLAMP: u64 = (1u64 << 40) - 1;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any stream — including values past the clamp point and
+    /// pathological all-equal or two-spike shapes — every quantile's
+    /// bucket bounds bracket the exact nearest-rank quantile of the
+    /// (clamped) stream.
+    #[test]
+    fn quantile_bounds_bracket_truth(values in proptest::collection::vec(any::<u64>(), 1..300)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted: Vec<u64> = values.iter().map(|&v| v.min(CLAMP)).collect();
+        sorted.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let truth = sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+            let (lo, hi) = h.quantile_bounds(q);
+            prop_assert!(lo <= truth && truth <= hi, "q={q} truth={truth} [{lo},{hi}]");
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+}
+
+/// Eight threads hammering one histogram: no recorded observation is
+/// lost, and the sum matches the exact arithmetic total.
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread");
+    }
+    let n = THREADS * PER_THREAD;
+    assert_eq!(h.count(), n);
+    assert_eq!(h.sum(), n * (n - 1) / 2);
+    let (lo, hi) = h.quantile_bounds(0.5);
+    let truth = (n - 1) / 2; // nearest-rank median of 0..n
+    assert!(lo <= truth && truth <= hi, "median [{lo},{hi}] vs {truth}");
+}
+
+// ---------------------------------------------------------------------------
+// HTTP surface
+// ---------------------------------------------------------------------------
+
+/// Test-speed server config (no background refits).
+fn config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 2,
+        threads: 2,
+        refit: RefitConfig {
+            min_pending: usize::MAX,
+            interval: Duration::from_millis(20),
+            ..RefitConfig::default()
+        },
+        snapshot: None,
+        ..ServeConfig::default()
+    }
+}
+
+/// Extracts a JSON number field from a flat response body.
+fn field_f64(body: &str, name: &str) -> f64 {
+    let value: serde::Value =
+        serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"));
+    value
+        .get_field(name)
+        .and_then(serde::Value::as_f64)
+        .unwrap_or_else(|| panic!("no numeric field {name} in {body}"))
+}
+
+/// Splits one exposition line into `(name, labels, value)`, panicking if
+/// it does not have the `name{labels} value` shape.
+fn parse_line(line: &str) -> (&str, &str, f64) {
+    let (lhs, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("no value: {line}"));
+    let value: f64 = value
+        .parse()
+        .unwrap_or_else(|e| panic!("bad value in {line:?}: {e}"));
+    let (name, labels) = match lhs.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unclosed label set: {line}"));
+            (name, labels)
+        }
+        None => (lhs, ""),
+    };
+    (name, labels, value)
+}
+
+/// Finds `family{labels}` in an exposition body.
+fn metric_value(body: &str, family: &str, labels: &str) -> f64 {
+    for line in body.lines().filter(|l| !l.starts_with('#')) {
+        let (name, have, value) = parse_line(line);
+        if name == family && have == labels {
+            return value;
+        }
+    }
+    panic!("metric {family}{{{labels}}} not found in:\n{body}");
+}
+
+/// Every non-comment `/metrics` line must parse as `name{labels} value`
+/// with a legal metric name and well-formed label pairs; every comment
+/// must be a `# TYPE` header naming a known metric kind.
+#[test]
+fn metrics_exposition_is_well_formed() {
+    let dir = std::env::temp_dir().join(format!("ltm-obs-exposition-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = config();
+    cfg.wal = Some(WalConfig::new(dir.clone()));
+    let server = Server::start(cfg).expect("boot");
+    let addr = server.addr();
+    // Touch a few endpoints so request histograms have series.
+    let body = "{\"triples\":[[\"e0\",\"a0\",\"s0\"],[\"e0\",\"a1\",\"s1\"]]}";
+    let (status, _) = http_call(addr, "POST", "/claims", Some(body)).unwrap();
+    assert_eq!(status, 200);
+    let (status, _) =
+        http_call(addr, "POST", "/query", Some("{\"claims\":[[\"s0\",true]]}")).unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = http_call(addr, "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+
+    let (status, metrics) = http_call(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200, "{metrics}");
+    let mut samples = 0usize;
+    for line in metrics.lines() {
+        if let Some(header) = line.strip_prefix("# ") {
+            let parts: Vec<&str> = header.split(' ').collect();
+            assert_eq!(parts.len(), 3, "comment is not a TYPE header: {line}");
+            assert_eq!(parts[0], "TYPE", "{line}");
+            assert!(
+                matches!(parts[2], "counter" | "gauge" | "summary"),
+                "unknown metric kind: {line}"
+            );
+            continue;
+        }
+        let (name, labels, value) = parse_line(line);
+        assert!(
+            name.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+            "bad name start: {line}"
+        );
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad name char: {line}"
+        );
+        if !labels.is_empty() {
+            for pair in labels.split("\",") {
+                let (key, val) = pair
+                    .split_once("=\"")
+                    .unwrap_or_else(|| panic!("bad label pair {pair:?} in {line}"));
+                assert!(
+                    !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "bad label key in {line}"
+                );
+                // Values may keep a trailing quote (last pair); no bare quotes inside.
+                assert!(
+                    !val.trim_end_matches('"').contains('"'),
+                    "unescaped quote: {line}"
+                );
+            }
+        }
+        assert!(value.is_finite(), "non-finite sample: {line}");
+        samples += 1;
+    }
+    assert!(samples >= 30, "suspiciously few samples:\n{metrics}");
+    // The families the issue promises are all present.
+    for family in [
+        "ltm_http_requests_total",
+        "ltm_http_requests_in_flight",
+        "ltm_http_request_duration_seconds_count",
+        "ltm_build_info",
+        "ltm_uptime_seconds",
+        "ltm_store_facts",
+        "ltm_epoch_age_seconds",
+        "ltm_refit_phase_duration_seconds_count",
+        "ltm_wal_append_duration_seconds_count",
+        "ltm_ingest_batch_rows_count",
+    ] {
+        assert!(
+            metrics.lines().any(|l| parse_line_name(l) == Some(family)),
+            "family {family} missing from:\n{metrics}"
+        );
+    }
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `parse_line` for sample lines only (None for comments).
+fn parse_line_name(line: &str) -> Option<&str> {
+    if line.starts_with('#') {
+        return None;
+    }
+    Some(parse_line(line).0)
+}
+
+/// `/stats` and `/metrics` read the same registry: the request counter,
+/// store gauges, and WAL counters agree across both surfaces, the
+/// per-endpoint histogram counts sum to the request total within one
+/// scrape body, and uptime/build info are exposed on both.
+#[test]
+fn stats_and_metrics_share_one_registry() {
+    let dir = std::env::temp_dir().join(format!("ltm-obs-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = config();
+    cfg.wal = Some(WalConfig::new(dir.clone()));
+    let server = Server::start(cfg).expect("boot");
+    let addr = server.addr();
+
+    // 1 ingest + 3 queries + 1 health probe = 5 requests.
+    let body =
+        "{\"triples\":[[\"e0\",\"a0\",\"s0\"],[\"e1\",\"a0\",\"s1\"],[\"e0\",\"a0\",\"s0\"]]}";
+    let (status, response) = http_call(addr, "POST", "/claims", Some(body)).unwrap();
+    assert_eq!(status, 200, "{response}");
+    for _ in 0..3 {
+        let (status, _) =
+            http_call(addr, "POST", "/query", Some("{\"claims\":[[\"s0\",true]]}")).unwrap();
+        assert_eq!(status, 200);
+    }
+    let (status, _) = http_call(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+
+    // The /stats body is built before its own request is recorded, so it
+    // reports exactly the 5 completed requests.
+    let (status, stats) = http_call(addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200, "{stats}");
+    assert_eq!(field_f64(&stats, "requests"), 5.0, "{stats}");
+    assert!(field_f64(&stats, "uptime_secs") >= 0.0);
+    assert_eq!(field_f64(&stats, "duplicate_rows"), 1.0, "{stats}");
+
+    // The scrape sees those 5 plus the /stats call itself.
+    let (status, metrics) = http_call(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200, "{metrics}");
+    let total = metric_value(&metrics, "ltm_http_requests_total", "");
+    assert_eq!(total, 6.0, "{metrics}");
+
+    // Per-endpoint histogram counts: one series per endpoint touched,
+    // summing to the request total — same atomics, one registry.
+    let count_of = |endpoint: &str| {
+        metric_value(
+            &metrics,
+            "ltm_http_request_duration_seconds_count",
+            &format!("endpoint=\"{endpoint}\",domain=\"default\""),
+        )
+    };
+    assert_eq!(count_of("/claims"), 1.0);
+    assert_eq!(count_of("/query"), 3.0);
+    assert_eq!(count_of("/healthz"), 1.0);
+    assert_eq!(count_of("/stats"), 1.0);
+    let histogram_total: f64 = metrics
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| parse_line(l).0 == "ltm_http_request_duration_seconds_count")
+        .map(|l| parse_line(l).2)
+        .sum();
+    assert_eq!(histogram_total, total, "{metrics}");
+
+    // Store and WAL values match across surfaces (both derive from the
+    // same stores and counters).
+    let domain = "domain=\"default\"";
+    assert_eq!(
+        metric_value(&metrics, "ltm_store_facts", domain),
+        field_f64(&stats, "facts")
+    );
+    assert_eq!(
+        metric_value(&metrics, "ltm_store_duplicate_rows_total", domain),
+        field_f64(&stats, "duplicate_rows")
+    );
+    assert_eq!(
+        metric_value(&metrics, "ltm_wal_appends_total", domain),
+        field_f64(&stats, "wal_appends")
+    );
+    assert_eq!(field_f64(&stats, "wal_appends"), 1.0, "{stats}");
+    // The registry-owned WAL histogram saw the same single append.
+    assert_eq!(
+        metric_value(&metrics, "ltm_wal_append_duration_seconds_count", domain),
+        1.0
+    );
+    // Ingest-side families from the same batch.
+    assert_eq!(
+        metric_value(&metrics, "ltm_ingest_rows_accepted_total", domain),
+        2.0
+    );
+    assert_eq!(
+        metric_value(&metrics, "ltm_ingest_rows_duplicate_total", domain),
+        1.0
+    );
+    // Build info is on both surfaces with the same version string.
+    let version = env!("CARGO_PKG_VERSION");
+    assert!(
+        stats.contains(&format!("\"version\":\"{version}\"")),
+        "{stats}"
+    );
+    assert!(
+        metrics.contains(&format!("version=\"{version}\"")),
+        "{metrics}"
+    );
+
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With `metrics: false` the hot paths record nothing, but `/metrics`
+/// still serves and `/stats` still answers — the switch only disables
+/// recording, never the surfaces.
+#[test]
+fn metrics_flag_disables_recording_not_the_surface() {
+    let mut cfg = config();
+    cfg.metrics = false;
+    let server = Server::start(cfg).expect("boot");
+    let addr = server.addr();
+    let (status, _) = http_call(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    let (status, stats) = http_call(addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(field_f64(&stats, "requests"), 0.0, "{stats}");
+    let (status, metrics) = http_call(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(metric_value(&metrics, "ltm_http_requests_total", ""), 0.0);
+    server.shutdown().expect("clean shutdown");
+}
