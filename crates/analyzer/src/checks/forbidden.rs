@@ -1,0 +1,118 @@
+//! Forbidden-API pass: names the manifest bans, flagged wherever their
+//! final `segment::segment` path appears outside the entry's allowed
+//! path prefixes.
+//!
+//! Matching on the trailing two path segments catches both the
+//! fully-qualified spelling (`std::process::exit`) and the common
+//! imported spelling (`process::exit`); a single-segment name matches a
+//! bare identifier. The flagship entry is `f64::max` — the PR 3 R̂-gate
+//! bug class, where `f64::max` silently discards a NaN fold input.
+
+use crate::manifest::ForbiddenApi;
+use crate::scan::FileUnit;
+use crate::Diagnostic;
+
+/// Runs every forbidden-name rule that applies to `unit`'s path.
+pub fn check(unit: &FileUnit, rules: &[ForbiddenApi], out: &mut Vec<Diagnostic>) {
+    for rule in rules {
+        if rule
+            .allowed
+            .iter()
+            .any(|p| unit.path.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        let segments: Vec<&str> = rule.name.split("::").collect();
+        let tail: Vec<&str> = segments[segments.len().saturating_sub(2)..].to_vec();
+        scan_for(unit, rule, &tail, out);
+    }
+}
+
+fn scan_for(unit: &FileUnit, rule: &ForbiddenApi, tail: &[&str], out: &mut Vec<Diagnostic>) {
+    let tokens = &unit.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if unit.in_test(i) {
+            continue;
+        }
+        let Some(id) = t.kind.ident() else {
+            continue;
+        };
+        let matched = match tail {
+            [single] => id == *single,
+            [a, b] => {
+                id == *a
+                    && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
+                    && tokens.get(i + 3).is_some_and(|t| t.kind.ident() == Some(b))
+            }
+            _ => false,
+        };
+        if !matched || unit.is_allowed("forbidden-api", t.line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: unit.path.clone(),
+            line: t.line,
+            check: "forbidden-api".to_owned(),
+            message: format!("`{}` is forbidden here: {}", rule.name, rule.reason),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> Vec<ForbiddenApi> {
+        vec![
+            ForbiddenApi {
+                name: "f64::max".into(),
+                allowed: vec![],
+                reason: "discards NaN".into(),
+            },
+            ForbiddenApi {
+                name: "std::process::exit".into(),
+                allowed: vec!["crates/serve/src/bin".into()],
+                reason: "bins only".into(),
+            },
+        ]
+    }
+
+    fn run(path: &str, src: &str) -> Vec<String> {
+        let unit = FileUnit::prepare(path, src);
+        let mut out = Vec::new();
+        check(&unit, &rules(), &mut out);
+        out.into_iter().map(|d| d.message).collect()
+    }
+
+    #[test]
+    fn qualified_and_imported_spellings_match() {
+        let msgs = run(
+            "crates/serve/src/refit.rs",
+            "fn f() { let m = xs.iter().fold(f64::NEG_INFINITY, f64::max); std::process::exit(1); process::exit(2); }",
+        );
+        assert_eq!(msgs.len(), 3, "{msgs:?}");
+        assert!(msgs[0].contains("f64::max"));
+    }
+
+    #[test]
+    fn allowed_paths_are_exempt() {
+        let msgs = run(
+            "crates/serve/src/bin/ltm.rs",
+            "fn f() { std::process::exit(1); }",
+        );
+        assert!(msgs.is_empty());
+    }
+
+    #[test]
+    fn method_call_max_is_not_the_path_form() {
+        let msgs = run("crates/serve/src/refit.rs", "fn f() { let x = a.max(b); }");
+        assert!(msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn annotation_suppresses() {
+        let src = "fn f() {\n// analyzer: allow(forbidden-api) -- inputs pre-mapped\nlet m = f64::max(a, b); }";
+        assert!(run("crates/serve/src/refit.rs", src).is_empty());
+    }
+}

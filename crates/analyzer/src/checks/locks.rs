@@ -1,0 +1,568 @@
+//! Lock-order and double-acquisition analysis.
+//!
+//! Per function body, the pass extracts guard acquisitions — `.lock()`,
+//! `.read()`, `.write()` (and the crate's poison-handling wrappers
+//! `.locked()`, `.read_locked()`, `.write_locked()`) with **no
+//! arguments**, so `stream.read(&mut buf)` never matches — resolves the
+//! receiver's final field name against the manifest's declared locks, and
+//! simulates which guards are *held* at each later acquisition:
+//!
+//! - a `let`-bound guard (`let g = self.log.locked();`) is held until
+//!   `drop(g)` or its block closes; `.expect(..)` / `.unwrap()` /
+//!   `.unwrap_or_else(..)` after the acquisition are transparent, but any
+//!   further method call means the guard was a temporary and the binding
+//!   holds a derived value (`let n = self.sources.read().unwrap().len();`
+//!   holds no lock past its statement);
+//! - a temporary guard is held to the end of its statement — except in
+//!   `if let` / `while let` / `match` heads, where Rust 2021 extends the
+//!   temporary through the whole construct, and so does this pass;
+//! - `for s in &self.shards { s.lock() … }` and
+//!   `self.shards.iter().map(|s| s.lock() …)` resolve through one level
+//!   of loop-variable / closure-parameter aliasing.
+//!
+//! Violations: acquiring a lock whose declared rank is lower than a held
+//! lock's (`lock-order`), re-acquiring a held lock that is not declared
+//! `multi_instance` (`lock-double`), and acquiring a lock inside one of
+//! its `never_inside` locks (`lock-order`). The analysis is
+//! intra-procedural: a guard passed as `&mut` into a callee is the
+//! *callee's* parameter, invisible here — see docs/ANALYZER.md for the
+//! soundness boundary.
+
+use crate::lexer::{Token, TokenKind};
+use crate::manifest::Manifest;
+use crate::scan::{matching_close, FileUnit, FnSpan};
+use crate::Diagnostic;
+
+/// A guard the simulation currently considers held.
+#[derive(Debug, Clone)]
+struct Held {
+    lock: String,
+    rank: usize,
+    line: u32,
+    /// Variable the guard is bound to (`None` for extended temporaries).
+    var: Option<String>,
+    /// Brace depth at which the guard dies (release when depth drops
+    /// below this).
+    scope_depth: i64,
+    /// Statement-scoped temporary (released at `;`).
+    temp: bool,
+}
+
+/// A loop-variable or closure-parameter alias to a declared lock field.
+#[derive(Debug, Clone)]
+struct Alias {
+    var: String,
+    lock: String,
+    scope_depth: i64,
+}
+
+/// Runs the pass over every function body in `unit`.
+pub fn check(unit: &FileUnit, manifest: &Manifest, out: &mut Vec<Diagnostic>) {
+    for f in &unit.fns {
+        if unit.in_test(f.body_start) {
+            continue;
+        }
+        check_fn(unit, f, manifest, out);
+    }
+}
+
+fn declared_order(manifest: &Manifest) -> String {
+    manifest
+        .lock_order
+        .iter()
+        .map(|l| l.name.as_str())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+fn check_fn(unit: &FileUnit, f: &FnSpan, manifest: &Manifest, out: &mut Vec<Diagnostic>) {
+    let tokens = &unit.tokens;
+    // Nested fn bodies run on their own call stacks — skip their ranges.
+    let nested: Vec<(usize, usize)> = unit
+        .fns
+        .iter()
+        .filter(|g| g.body_start > f.body_start && g.body_end < f.body_end)
+        .map(|g| (g.body_start, g.body_end))
+        .collect();
+    let in_nested = |i: usize| nested.iter().any(|&(s, e)| i > s && i < e);
+
+    let mut held: Vec<Held> = Vec::new();
+    let mut aliases: Vec<Alias> = Vec::new();
+    let mut depth: i64 = 0;
+
+    // Statement context.
+    let mut stmt_start = f.body_start + 1;
+    let mut let_var: Option<String> = None;
+    let mut awaiting_let_name = false;
+    let mut stmt_is_extending = false; // `if let` / `while let` / `match` head
+
+    let mut i = f.body_start;
+    while i <= f.body_end {
+        if in_nested(i) {
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        match &t.kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                // Temporaries die at the end of their expression — which
+                // is before the block body runs — unless the statement
+                // head extends them (`if let`/`while let`/`match`).
+                if stmt_is_extending {
+                    for h in held.iter_mut().filter(|h| h.temp) {
+                        h.temp = false;
+                        h.var = None;
+                        h.scope_depth = depth;
+                    }
+                } else {
+                    held.retain(|h| !h.temp);
+                }
+                stmt_start = i + 1;
+                let_var = None;
+                awaiting_let_name = false;
+                stmt_is_extending = false;
+            }
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                held.retain(|h| !h.temp && h.scope_depth <= depth);
+                aliases.retain(|a| a.scope_depth <= depth);
+                stmt_start = i + 1;
+                let_var = None;
+                awaiting_let_name = false;
+                stmt_is_extending = false;
+            }
+            TokenKind::Punct(';') => {
+                held.retain(|h| !h.temp);
+                stmt_start = i + 1;
+                let_var = None;
+                awaiting_let_name = false;
+                stmt_is_extending = false;
+            }
+            TokenKind::Ident(id) => {
+                match id.as_str() {
+                    "let" => {
+                        awaiting_let_name = true;
+                        // `if let` / `while let` extend condition temporaries.
+                        if prev_code_ident(tokens, i, stmt_start)
+                            .is_some_and(|p| p == "if" || p == "while")
+                        {
+                            stmt_is_extending = true;
+                        }
+                    }
+                    "match" => stmt_is_extending = true,
+                    "mut" => {} // transparent between `let` and the name
+                    "drop" => {
+                        // `drop(var)` releases a named guard.
+                        if let Some(var) = call_single_ident_arg(tokens, i) {
+                            held.retain(|h| h.var.as_deref() != Some(var));
+                        }
+                    }
+                    "for" => {
+                        if let Some(alias) = for_loop_alias(tokens, i, manifest) {
+                            aliases.push(Alias {
+                                scope_depth: depth + 1,
+                                ..alias
+                            });
+                        }
+                    }
+                    _ => {
+                        if awaiting_let_name {
+                            let_var = Some(id.clone());
+                            awaiting_let_name = false;
+                        }
+                        // Closure parameter aliasing: `….map(|s| s.lock()…)`.
+                        if let Some(alias) = closure_alias(tokens, i, stmt_start, manifest) {
+                            aliases.push(Alias {
+                                scope_depth: depth,
+                                ..alias
+                            });
+                        }
+                        // Guard acquisition site?
+                        if let Some(acq) = acquisition_at(tokens, i, manifest, &aliases) {
+                            report_conflicts(unit, f, &held, &acq, manifest, out);
+                            let bound = let_var.clone().filter(|_| acq.binds_guard);
+                            held.push(Held {
+                                lock: acq.lock,
+                                rank: acq.rank,
+                                line: acq.line,
+                                temp: bound.is_none(),
+                                var: bound,
+                                scope_depth: depth,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// A recognized guard acquisition.
+struct Acquisition {
+    lock: String,
+    rank: usize,
+    line: u32,
+    /// Whether the expression's value *is* the guard (nothing after the
+    /// acquisition chain but transparent adapters).
+    binds_guard: bool,
+}
+
+fn report_conflicts(
+    unit: &FileUnit,
+    f: &FnSpan,
+    held: &[Held],
+    acq: &Acquisition,
+    manifest: &Manifest,
+    out: &mut Vec<Diagnostic>,
+) {
+    for h in held {
+        if h.lock == acq.lock {
+            if !manifest.is_multi_instance(&acq.lock) {
+                push(unit, out, "lock-double", acq.line, format!(
+                    "`{}`: re-acquires `{}` already held since line {} — self-deadlock on a non-reentrant lock",
+                    f.name, acq.lock, h.line
+                ));
+            }
+            continue;
+        }
+        if h.rank > acq.rank {
+            push(unit, out, "lock-order", acq.line, format!(
+                "`{}`: acquires `{}` (rank {}) while holding `{}` (rank {}, line {}); declared order is {}",
+                f.name, acq.lock, acq.rank, h.lock, h.rank, h.line, declared_order(manifest)
+            ));
+        }
+    }
+    for ni in &manifest.never_inside {
+        if ni.lock == acq.lock {
+            for h in held {
+                if ni.inside.iter().any(|n| n == &h.lock) {
+                    push(unit, out, "lock-order", acq.line, format!(
+                        "`{}`: acquires `{}` while holding `{}` (line {}), but the manifest declares `{}` is never taken inside `{}`",
+                        f.name, acq.lock, h.lock, h.line, ni.lock, h.lock
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn push(unit: &FileUnit, out: &mut Vec<Diagnostic>, check: &str, line: u32, message: String) {
+    if unit.is_allowed(check, line) {
+        return;
+    }
+    out.push(Diagnostic {
+        file: unit.path.clone(),
+        line,
+        check: check.to_owned(),
+        message,
+    });
+}
+
+/// The nearest identifier before `i` within the current statement.
+fn prev_code_ident(tokens: &[Token], i: usize, stmt_start: usize) -> Option<&str> {
+    tokens[stmt_start..i]
+        .iter()
+        .rev()
+        .find_map(|t| t.kind.ident())
+}
+
+/// For `name ( ident )` at the `name` token, returns the single ident arg.
+fn call_single_ident_arg(tokens: &[Token], i: usize) -> Option<&str> {
+    if !tokens.get(i + 1)?.kind.is_punct('(') {
+        return None;
+    }
+    let arg = tokens.get(i + 2)?.kind.ident()?;
+    if tokens.get(i + 3)?.kind.is_punct(')') {
+        Some(arg)
+    } else {
+        None
+    }
+}
+
+/// `for <var> in <expr> {`: aliases `var` to a declared lock mentioned in
+/// the iterated expression (e.g. `for shard in &self.shards`).
+fn for_loop_alias(tokens: &[Token], i: usize, manifest: &Manifest) -> Option<Alias> {
+    let var = tokens.get(i + 1)?.kind.ident()?.to_owned();
+    if tokens.get(i + 2)?.kind.ident() != Some("in") {
+        return None;
+    }
+    let mut j = i + 3;
+    while let Some(t) = tokens.get(j) {
+        if t.kind.is_punct('{') {
+            break;
+        }
+        if let Some(id) = t.kind.ident() {
+            if manifest.rank_of(id).is_some() {
+                return Some(Alias {
+                    var,
+                    lock: id.to_owned(),
+                    scope_depth: 0, // caller sets
+                });
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Closure-parameter aliasing: at an ident that is a closure's first
+/// parameter (`(`/`,`/`move` then `|ident|` or `|ident,`), aliases it to
+/// a declared lock named earlier in the same statement's chain —
+/// `self.shards.iter().map(|s| s.lock())` resolves `s` to `shards`.
+fn closure_alias(
+    tokens: &[Token],
+    i: usize,
+    stmt_start: usize,
+    manifest: &Manifest,
+) -> Option<Alias> {
+    if i < 1 || !tokens[i - 1].kind.is_punct('|') {
+        return None;
+    }
+    let opener = tokens.get(i.checked_sub(2)?)?;
+    let opens_closure = opener.kind.is_punct('(')
+        || opener.kind.is_punct(',')
+        || opener.kind.ident() == Some("move");
+    if !opens_closure {
+        return None;
+    }
+    let next = tokens.get(i + 1)?;
+    if !(next.kind.is_punct('|') || next.kind.is_punct(',') || next.kind.is_punct(':')) {
+        return None;
+    }
+    // Find the nearest declared lock mentioned earlier in the statement.
+    let lock = tokens[stmt_start..i]
+        .iter()
+        .rev()
+        .filter_map(|t| t.kind.ident())
+        .find(|id| manifest.rank_of(id).is_some())?;
+    Some(Alias {
+        var: tokens[i].kind.ident()?.to_owned(),
+        lock: lock.to_owned(),
+        scope_depth: 0, // caller sets
+    })
+}
+
+/// Recognizes a guard acquisition whose *method name* token is at `i`:
+/// `. <method> ( )` with the receiver resolving to a declared lock.
+fn acquisition_at(
+    tokens: &[Token],
+    i: usize,
+    manifest: &Manifest,
+    aliases: &[Alias],
+) -> Option<Acquisition> {
+    let method = tokens[i].kind.ident()?;
+    if !manifest.lock_methods.iter().any(|m| m == method) {
+        return None;
+    }
+    if i == 0 || !tokens[i - 1].kind.is_punct('.') {
+        return None;
+    }
+    // Zero-argument call only: `()` — `stream.read(&mut buf)` is I/O.
+    if !(tokens.get(i + 1)?.kind.is_punct('(') && tokens.get(i + 2)?.kind.is_punct(')')) {
+        return None;
+    }
+    // Resolve the receiver's final field: walk back over `]…[` index
+    // groups to the owning ident.
+    let mut r = i - 2; // token before the `.`
+    loop {
+        let t = tokens.get(r)?;
+        if t.kind.is_punct(']') {
+            // Walk back to the matching `[`.
+            let mut d = 0i64;
+            loop {
+                let tk = tokens.get(r)?;
+                if tk.kind.is_punct(']') {
+                    d += 1;
+                } else if tk.kind.is_punct('[') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                r = r.checked_sub(1)?;
+            }
+            r = r.checked_sub(1)?;
+            continue;
+        }
+        break;
+    }
+    let field = tokens.get(r)?.kind.ident()?;
+    let lock = if manifest.rank_of(field).is_some() {
+        field.to_owned()
+    } else if let Some(a) = aliases.iter().rev().find(|a| a.var == field) {
+        a.lock.clone()
+    } else {
+        return None;
+    };
+    let rank = manifest.rank_of(&lock)?;
+
+    // Guard fate: skip transparent adapters after the call, then see
+    // whether the chain continues (derived value → temporary only).
+    let mut j = i + 3; // past `( )`
+    loop {
+        if tokens.get(j).is_some_and(|t| t.kind.is_punct('.'))
+            && tokens.get(j + 1).is_some_and(|t| {
+                matches!(
+                    t.kind.ident(),
+                    Some("expect") | Some("unwrap") | Some("unwrap_or_else")
+                )
+            })
+            && tokens.get(j + 2).is_some_and(|t| t.kind.is_punct('('))
+        {
+            j = matching_close(tokens, j + 2, '(', ')') + 1;
+            continue;
+        }
+        break;
+    }
+    let chained_on = tokens.get(j).is_some_and(|t| t.kind.is_punct('.'));
+    Some(Acquisition {
+        lock,
+        rank,
+        line: tokens[i].line,
+        binds_guard: !chained_on,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest;
+
+    const MANIFEST: &str = r#"
+[locks]
+order = ["log", "sources", "shards", "registry"]
+multi_instance = ["shards"]
+methods = ["lock", "read", "write", "locked", "read_locked", "write_locked"]
+
+[[locks.never_inside]]
+lock = "persist"
+inside = ["shards"]
+"#;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        // `persist` participates via never_inside; give it a rank too so
+        // rank lookups succeed.
+        let text = MANIFEST.replace("order = [\"log\"", "order = [\"persist\", \"log\"");
+        let m = manifest::parse(&text).unwrap();
+        let unit = FileUnit::prepare("x.rs", src);
+        let mut out = Vec::new();
+        check(&unit, &m, &mut out);
+        out
+    }
+
+    #[test]
+    fn in_order_nesting_is_clean() {
+        let src = "fn f(&self) { let g = self.log.lock().expect(\"l\"); let s = self.shards[0].lock().unwrap(); let r = self.registry.write().unwrap(); }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn out_of_order_is_flagged() {
+        let src = "fn f(&self) { let s = self.shards[0].lock().unwrap(); let g = self.log.lock().unwrap(); }";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, "lock-order");
+        assert!(d[0].message.contains("`log`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn double_acquire_is_flagged_but_multi_instance_is_not() {
+        let src =
+            "fn f(&self) { let a = self.log.lock().unwrap(); let b = self.log.lock().unwrap(); }";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].check, "lock-double");
+
+        let src = "fn f(&self) { let a = self.shards[0].lock().unwrap(); let b = self.shards[1].lock().unwrap(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn dropped_guard_releases() {
+        let src = "fn f(&self) { let s = self.shards[0].lock().unwrap(); drop(s); let g = self.log.lock().unwrap(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn block_scope_releases() {
+        let src = "fn f(&self) { { let s = self.shards[0].lock().unwrap(); } let g = self.log.lock().unwrap(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn derived_value_does_not_hold_the_lock() {
+        // `.get(..)` after the guard chain copies a value out; the guard
+        // is a temporary released at the statement end.
+        let src = "fn f(&self) { let loc = self.registry.read().unwrap().get(0); let s = self.shards[0].lock().unwrap(); }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn held_guard_binding_is_tracked_past_a_second_acquisition() {
+        // The binding DOES hold the registry guard; shards after it is a
+        // rank inversion.
+        let src = "fn f(&self) { let reg = self.registry.read().unwrap(); let s = self.shards[0].lock().unwrap(); }";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, "lock-order");
+    }
+
+    #[test]
+    fn if_let_head_temporary_extends_through_the_body() {
+        let src = "fn f(&self) { if let Some(x) = self.registry.read().unwrap().get(0) { let s = self.shards[0].lock().unwrap(); } }";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, "lock-order");
+        // …but after the construct the temporary is gone.
+        let src = "fn f(&self) { if let Some(x) = self.registry.read().unwrap().get(0) { y(); } let s = self.shards[0].lock().unwrap(); }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn closure_alias_resolves_the_shard_pool() {
+        let src = "fn f(&self) { let guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect(); let r = self.log.lock().unwrap(); }";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, "lock-order");
+        assert!(d[0].message.contains("`log`"));
+    }
+
+    #[test]
+    fn for_loop_alias_resolves_and_releases_per_iteration() {
+        let src = "fn f(&self) { for shard in &self.shards { let sh = shard.lock().unwrap(); } let g = self.log.lock().unwrap(); }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn never_inside_is_enforced() {
+        let src = "fn f(&self) { let s = self.shards[0].lock().unwrap(); let p = self.persist.lock().unwrap(); }";
+        let d = run(src);
+        assert!(
+            d.iter().any(|d| d.message.contains("never taken inside")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_an_acquisition() {
+        let src = "fn f(&self) { let s = self.shards[0].lock().unwrap(); let n = stream.read(&mut buf); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let src = "fn f(&self) { let s = self.shards[0].lock().unwrap();\n// analyzer: allow(lock-order) -- sources is a leaf here\nlet g = self.log.lock().unwrap(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn wrapper_methods_are_acquisitions() {
+        let src = "fn f(&self) { let s = self.shards[0].locked(); let g = self.log.locked(); }";
+        let d = run(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].check, "lock-order");
+    }
+}

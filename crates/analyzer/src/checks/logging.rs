@@ -1,0 +1,91 @@
+//! Logging discipline: all diagnostics go through the leveled logger.
+//!
+//! Within the manifest's `logging.paths`, direct writes to the process
+//! streams (`println!`, `print!`, `eprintln!`, `eprint!`, `dbg!`) are
+//! forbidden (`log-print`) — they bypass the level gate, the structured
+//! format, and the per-request ids. Exempt: the logger's own backend
+//! (`logging.allowed`), anything under a `/bin/` directory (CLIs own
+//! their stdout), and test code.
+
+use crate::lexer::TokenKind;
+use crate::scan::FileUnit;
+use crate::Diagnostic;
+
+/// The forbidden direct-output macros.
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Whether `path` is subject to this check at all.
+pub fn applies(path: &str, paths: &[String], allowed: &[String]) -> bool {
+    if !paths.iter().any(|p| path.starts_with(p.as_str())) {
+        return false;
+    }
+    if allowed.iter().any(|p| path.starts_with(p.as_str())) {
+        return false;
+    }
+    // Binaries own their stdout: `src/bin/**` anywhere is exempt.
+    !path.contains("/bin/")
+}
+
+/// Runs the pass over `unit`.
+pub fn check(unit: &FileUnit, out: &mut Vec<Diagnostic>) {
+    for (i, t) in unit.tokens.iter().enumerate() {
+        if unit.in_test(i) {
+            continue;
+        }
+        let TokenKind::Ident(id) = &t.kind else {
+            continue;
+        };
+        if !PRINT_MACROS.contains(&id.as_str()) {
+            continue;
+        }
+        if !unit.tokens.get(i + 1).is_some_and(|n| n.kind.is_punct('!')) {
+            continue;
+        }
+        if unit.is_allowed("log-print", t.line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: unit.path.clone(),
+            line: t.line,
+            check: "log-print".to_owned(),
+            message: format!(
+                "`{id}!` bypasses the leveled logger — use log_error!/log_warn!/log_info!/log_debug! (crates/serve/src/obs/log.rs)"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applies_respects_paths_allowed_and_bin() {
+        let paths = vec!["crates/serve/src".to_owned()];
+        let allowed = vec!["crates/serve/src/obs/log.rs".to_owned()];
+        assert!(applies("crates/serve/src/wal.rs", &paths, &allowed));
+        assert!(!applies("crates/serve/src/obs/log.rs", &paths, &allowed));
+        assert!(!applies("crates/serve/src/bin/ltm.rs", &paths, &allowed));
+        assert!(!applies("crates/eval/src/report.rs", &paths, &allowed));
+    }
+
+    #[test]
+    fn flags_direct_prints_but_not_log_macros() {
+        let src =
+            "fn f() { eprintln!(\"x\"); dbg!(y); log_error!(\"wal\", \"y\"); writeln!(w, \"z\"); }";
+        let unit = FileUnit::prepare("x.rs", src);
+        let mut out = Vec::new();
+        check(&unit, &mut out);
+        let checks: Vec<&str> = out.iter().map(|d| d.check.as_str()).collect();
+        assert_eq!(checks, vec!["log-print", "log-print"]);
+    }
+
+    #[test]
+    fn doc_comments_do_not_trigger() {
+        let src = "//! use println!(\"x\") for output\nfn f() {}\n";
+        let unit = FileUnit::prepare("x.rs", src);
+        let mut out = Vec::new();
+        check(&unit, &mut out);
+        assert!(out.is_empty());
+    }
+}

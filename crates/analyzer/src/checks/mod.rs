@@ -1,0 +1,11 @@
+//! The four invariant passes. Each pass takes a prepared [`FileUnit`]
+//! and appends [`Diagnostic`]s; `lib.rs` decides which passes apply to
+//! which paths from the manifest.
+//!
+//! [`FileUnit`]: crate::scan::FileUnit
+//! [`Diagnostic`]: crate::Diagnostic
+
+pub mod forbidden;
+pub mod locks;
+pub mod logging;
+pub mod panics;

@@ -1,0 +1,152 @@
+//! Panic-freedom lint for manifest-listed files.
+//!
+//! On the request, WAL, and refit paths a panic mid-operation can poison
+//! a lock, strand a half-applied ingest, or take down a worker — so
+//! `.unwrap()` / `.expect(..)` (`panic-unwrap` / `panic-expect`), the
+//! panicking macros (`panic-macro`), and slice/array indexing
+//! (`panic-index`) are forbidden there unless annotated with
+//! `// analyzer: allow(<check>) -- <reason>`.
+
+use crate::lexer::TokenKind;
+use crate::scan::FileUnit;
+use crate::Diagnostic;
+
+/// Macros that unconditionally panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that may legally precede a `[` that is *not* an index
+/// expression (array literals and patterns: `return [a]`, `in [1, 2]`).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "in", "return", "break", "if", "else", "match", "let", "mut", "ref", "move", "as", "dyn",
+    "where", "use", "continue", "yield",
+];
+
+/// Runs the pass over `unit` (the caller decides path membership).
+pub fn check(unit: &FileUnit, out: &mut Vec<Diagnostic>) {
+    let tokens = &unit.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if unit.in_test(i) {
+            continue;
+        }
+        match &t.kind {
+            TokenKind::Ident(id) => {
+                let next_is = |c: char| tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(c));
+                let after_dot = i > 0 && tokens[i - 1].kind.is_punct('.');
+                if after_dot && next_is('(') {
+                    if id == "unwrap" {
+                        push(unit, out, "panic-unwrap", t.line,
+                            "`.unwrap()` on a panic-free path — return a typed error, log a 500, or annotate with a reason".into());
+                    } else if id == "expect" {
+                        push(unit, out, "panic-expect", t.line,
+                            "`.expect(..)` on a panic-free path — return a typed error, log a 500, or annotate with a reason".into());
+                    }
+                }
+                if PANIC_MACROS.contains(&id.as_str()) && next_is('!') {
+                    push(
+                        unit,
+                        out,
+                        "panic-macro",
+                        t.line,
+                        format!("`{id}!` on a panic-free path — convert to an error return or annotate with a reason"),
+                    );
+                }
+            }
+            TokenKind::Punct('[') if i > 0 => {
+                let prev = &tokens[i - 1];
+                let is_index = match &prev.kind {
+                    TokenKind::Ident(id) => !NON_INDEX_KEYWORDS.contains(&id.as_str()),
+                    TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+                    _ => false,
+                };
+                if is_index {
+                    push(unit, out, "panic-index", t.line,
+                        "slice/array indexing can panic on a panic-free path — use `.get(..)` or annotate with the bound that holds".into());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn push(unit: &FileUnit, out: &mut Vec<Diagnostic>, check: &str, line: u32, message: String) {
+    if unit.is_allowed(check, line) {
+        return;
+    }
+    out.push(Diagnostic {
+        file: unit.path.clone(),
+        line,
+        check: check.to_owned(),
+        message,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<String> {
+        let unit = FileUnit::prepare("x.rs", src);
+        let mut out = Vec::new();
+        check(&unit, &mut out);
+        out.into_iter().map(|d| d.check).collect()
+    }
+
+    #[test]
+    fn flags_the_five_shapes() {
+        let src =
+            "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); unreachable!(); let v = xs[0]; }";
+        let checks = run(src);
+        assert_eq!(
+            checks,
+            vec![
+                "panic-unwrap",
+                "panic-expect",
+                "panic-macro",
+                "panic-macro",
+                "panic-index"
+            ]
+        );
+    }
+
+    #[test]
+    fn array_literals_types_and_macros_are_not_indexing() {
+        let src = "fn f() { let a = [0u8; 4]; let b: [u8; 2] = [1, 2]; let v = vec![3]; for x in [1, 2] {} return [a]; }";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn attributes_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() {}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn range_slicing_is_indexing() {
+        let src = "fn f(b: &[u8]) { let x = &b[..4]; }";
+        assert_eq!(run(src), vec!["panic-index"]);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); v[0]; panic!(); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn annotations_suppress_with_reason() {
+        let src = "fn f() { let x = xs[0]; // analyzer: allow(panic-index) -- xs grown above\n a.unwrap(); }";
+        assert_eq!(run(src), vec!["panic-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_invisible() {
+        let src = "fn f() { let s = \"call .unwrap() maybe\"; /* a.unwrap() */ }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f() { a.unwrap_or_else(|| 3); a.unwrap_or(4); a.unwrap_or_default(); }";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,519 @@
+//! A hand-rolled Rust lexer, sufficient for invariant scanning.
+//!
+//! The checks in this crate only need a token stream that is *reliable
+//! about what is code and what is not*: comments, string literals, char
+//! literals, and raw strings must never leak their contents into the
+//! token stream (a `panic!` inside a doc comment is not a diagnostic).
+//! Everything else — idents, punctuation, literals — is passed through
+//! with line numbers so diagnostics can point at the source.
+//!
+//! The lexer also collects `// analyzer: allow(...)` annotation comments
+//! as structured [`AllowAnnotation`]s, since those live in exactly the
+//! trivia the token stream drops.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Token classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `self`, `unwrap`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `{`, `!`, …).
+    Punct(char),
+    /// String, byte-string, or raw-string literal (contents dropped).
+    Str,
+    /// Character or byte literal (contents dropped).
+    Char,
+    /// Numeric literal (text dropped).
+    Num,
+    /// Lifetime such as `'a` (name dropped).
+    Lifetime,
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// A parsed `// analyzer: allow(<checks>) -- <reason>` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowAnnotation {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Check ids listed inside `allow(...)`.
+    pub checks: Vec<String>,
+    /// The justification after `--` (may be empty — checked later).
+    pub reason: String,
+    /// Whether the annotation parsed well-formed (`allow(...)` with a
+    /// `-- reason` tail). Malformed ones become `allow-syntax` errors.
+    pub well_formed: bool,
+    /// Whether any code precedes the comment on its line (a trailing
+    /// annotation covers its own line; a standalone one covers the next).
+    pub trailing: bool,
+}
+
+/// Lexer output: the token stream plus the annotation comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `// analyzer: allow(...)` annotations found in comments.
+    pub allows: Vec<AllowAnnotation>,
+}
+
+/// Lexes `src`. Never fails: unterminated literals simply consume to the
+/// end of input (the compiler is the authority on syntax errors; the
+/// analyzer only needs to stay out of strings and comments).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_had_code = false;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            for &b in &bytes[$range] {
+                if b == b'\n' {
+                    line += 1;
+                    line_had_code = false;
+                }
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                line_had_code = false;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = memchr_newline(bytes, i);
+                let text = &src[i..end];
+                if let Some(ann) = parse_allow_comment(text, line, line_had_code) {
+                    out.allows.push(ann);
+                }
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested per Rust.
+                let start = i;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines!(start..i);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(bytes, i + 1);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    line,
+                });
+                line_had_code = true;
+                bump_lines!(start..i);
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                let start = i;
+                let (kind, end) = lex_r_or_b(bytes, i);
+                i = end;
+                out.tokens.push(Token { kind, line });
+                line_had_code = true;
+                bump_lines!(start..i);
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                let start = i;
+                let (kind, end) = lex_quote(bytes, i);
+                i = end;
+                out.tokens.push(Token { kind, line });
+                line_had_code = true;
+                bump_lines!(start..i);
+            }
+            b'0'..=b'9' => {
+                i = skip_number(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Num,
+                    line,
+                });
+                line_had_code = true;
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
+                    line,
+                });
+                line_had_code = true;
+            }
+            _ => {
+                // Multi-byte UTF-8 inside code can only appear in idents
+                // (already handled via is_ident_start for ASCII; non-ASCII
+                // idents are rare — treat bytes as opaque punct-ish and
+                // advance one whole char).
+                let ch = src[i..].chars().next().unwrap_or('\0');
+                if ch.is_ascii() {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct(ch),
+                        line,
+                    });
+                } else if ch.is_alphabetic() {
+                    let start = i;
+                    i += ch.len_utf8();
+                    while i < bytes.len() {
+                        let c = src[i..].chars().next().unwrap_or('\0');
+                        if c.is_alphanumeric() || c == '_' {
+                            i += c.len_utf8();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident(src[start..i].to_owned()),
+                        line,
+                    });
+                    line_had_code = true;
+                    continue;
+                }
+                line_had_code = true;
+                i += ch.len_utf8().max(1);
+            }
+        }
+    }
+    out
+}
+
+/// Whether `r`/`b` at `i` begins a raw string, byte string, byte char, or
+/// raw identifier (vs a plain identifier starting with r/b).
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'\'') | Some(b'r')),
+        _ => false,
+    }
+}
+
+/// Lexes a token starting with `r` or `b` already known to be a literal
+/// or raw identifier. Returns `(kind, end_index)`.
+fn lex_r_or_b(bytes: &[u8], i: usize) -> (TokenKind, usize) {
+    match bytes[i] {
+        b'r' => {
+            // r"..." or r#"..."# or r#ident (raw identifier).
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'"') {
+                (TokenKind::Str, skip_raw_string(bytes, j + 1, hashes))
+            } else if hashes == 1 && bytes.get(j).is_some_and(|&b| is_ident_start(b)) {
+                // Raw identifier r#ident.
+                let start = j;
+                let mut k = start;
+                while k < bytes.len() && is_ident_continue(bytes[k]) {
+                    k += 1;
+                }
+                let text = String::from_utf8_lossy(&bytes[start..k]).into_owned();
+                (TokenKind::Ident(text), k)
+            } else {
+                // `r#` with nothing lexable: treat as ident `r`.
+                (TokenKind::Ident("r".into()), i + 1)
+            }
+        }
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') => (TokenKind::Str, skip_string(bytes, i + 2)),
+            Some(b'\'') => {
+                let (_, end) = lex_quote(bytes, i + 1);
+                (TokenKind::Char, end)
+            }
+            Some(b'r') => {
+                let mut j = i + 2;
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    (TokenKind::Str, skip_raw_string(bytes, j + 1, hashes))
+                } else {
+                    (TokenKind::Ident("b".into()), i + 1)
+                }
+            }
+            _ => (TokenKind::Ident("b".into()), i + 1),
+        },
+        _ => unreachable!("caller checked the prefix"),
+    }
+}
+
+/// Skips a `"..."` body starting just after the opening quote, honoring
+/// backslash escapes. Returns the index just past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string body (after the opening quote) terminated by
+/// `"` followed by `hashes` `#`s.
+fn skip_raw_string(bytes: &[u8], mut i: usize, hashes: usize) -> usize {
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Lexes at a `'`: either a lifetime (`'a`) or a char literal (`'x'`,
+/// `'\n'`, `'\u{1F600}'`). Returns `(kind, end_index)`.
+fn lex_quote(bytes: &[u8], i: usize) -> (TokenKind, usize) {
+    let next = bytes.get(i + 1).copied();
+    match next {
+        Some(b'\\') => {
+            // Escaped char literal: skip to the closing quote.
+            let mut j = i + 2;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return (TokenKind::Char, j + 1),
+                    _ => j += 1,
+                }
+            }
+            (TokenKind::Char, j)
+        }
+        Some(b) if is_ident_start(b) => {
+            // `'a` could be a lifetime or `'a'` a char literal.
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_continue(bytes[j]) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') && j == i + 2 {
+                (TokenKind::Char, j + 1)
+            } else {
+                (TokenKind::Lifetime, j)
+            }
+        }
+        Some(_) => {
+            // Non-ident char literal like '.' or '"' — find closing quote.
+            if bytes.get(i + 2) == Some(&b'\'') {
+                (TokenKind::Char, i + 3)
+            } else {
+                (TokenKind::Punct('\''), i + 1)
+            }
+        }
+        None => (TokenKind::Punct('\''), i + 1),
+    }
+}
+
+/// Skips a numeric literal (integers, floats, underscores, suffixes)
+/// without swallowing `..` range punctuation.
+fn skip_number(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1) != Some(&b'.') {
+        // Fractional part — but `1.max(2)` is a method call, not a float:
+        // only consume when a digit follows.
+        if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn memchr_newline(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Parses one line comment into an [`AllowAnnotation`] if it carries the
+/// `analyzer:` marker. Returns `None` for ordinary comments.
+fn parse_allow_comment(text: &str, line: u32, trailing: bool) -> Option<AllowAnnotation> {
+    let body = text.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("analyzer:")?.trim();
+    let malformed = |reason: &str| AllowAnnotation {
+        line,
+        checks: Vec::new(),
+        reason: reason.to_owned(),
+        well_formed: false,
+        trailing,
+    };
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Some(malformed("only `allow(...)` is recognized"));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(malformed("missing `(` after allow"));
+    };
+    let Some((list, tail)) = rest.split_once(')') else {
+        return Some(malformed("missing `)` after check list"));
+    };
+    let checks: Vec<String> = list
+        .split(',')
+        .map(|c| c.trim().to_owned())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if checks.is_empty() {
+        return Some(malformed("empty check list"));
+    }
+    let tail = tail.trim();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Some(malformed("missing `-- <reason>`"));
+    };
+    let reason = reason.trim().to_owned();
+    if reason.is_empty() {
+        return Some(malformed("empty reason after `--`"));
+    }
+    Some(AllowAnnotation {
+        line,
+        checks,
+        reason,
+        well_formed: true,
+        trailing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_drop_contents() {
+        let src = r##"
+            // unwrap() panic! .lock()
+            /* eprintln!("x") /* nested unwrap() */ still comment */
+            let s = "panic!(\"in a string\") .lock()";
+            let r = r#"unwrap() "quoted" panic!"#;
+            let c = 'p';
+            let b = b"bytes with unwrap()";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "panic"));
+        assert!(ids.contains(&"let".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x';";
+        let toks = lex(src);
+        let lifetimes = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!((lifetimes, chars), (3, 1));
+    }
+
+    #[test]
+    fn escaped_char_literal_does_not_derail() {
+        let ids = idents(r"let q = '\''; let x = y.unwrap();");
+        assert!(ids.contains(&"unwrap".to_owned()));
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let src = "a\nb\n  c";
+        let toks = lex(src).tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn allow_annotation_parses() {
+        let src = "x(); // analyzer: allow(panic-unwrap, panic-index) -- bounds checked above\n";
+        let lexed = lex(src);
+        let ann = &lexed.allows[0];
+        assert!(ann.well_formed);
+        assert!(ann.trailing);
+        assert_eq!(ann.checks, vec!["panic-unwrap", "panic-index"]);
+        assert_eq!(ann.reason, "bounds checked above");
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let src = "// analyzer: allow(panic-unwrap)\nx();";
+        let lexed = lex(src);
+        assert!(!lexed.allows[0].well_formed);
+        assert!(!lexed.allows[0].trailing);
+    }
+
+    #[test]
+    fn number_then_method_is_not_swallowed() {
+        let ids = idents("let x = 1.max(2); let y = 1.5_f64; let r = 0..n;");
+        assert!(ids.contains(&"max".to_owned()));
+        assert!(ids.contains(&"n".to_owned()));
+    }
+}

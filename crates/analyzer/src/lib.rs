@@ -1,0 +1,218 @@
+//! ltm-analyzer: workspace static analysis for the latent-truth serving
+//! stack.
+//!
+//! A hand-rolled lexer + lightweight scanner (std-only, matching the
+//! repo's vendored-deps policy) that enforces the invariants declared in
+//! `analyzer.toml` at the workspace root:
+//!
+//! * **lock-order / lock-double** — every function acquires the store's
+//!   locks consistently with the declared partial order
+//!   (log → sources → shard → registry) and never re-acquires a held
+//!   lock (crates/analyzer/src/checks/locks.rs).
+//! * **panic-unwrap / panic-expect / panic-macro / panic-index** — the
+//!   listed serve-path files are panic-free unless a site carries an
+//!   `// analyzer: allow(<check>) -- <reason>` annotation
+//!   (checks/panics.rs).
+//! * **log-print** — no direct stdout/stderr writes inside the serving
+//!   tree; the leveled logger is the only sink (checks/logging.rs).
+//! * **forbidden-api** — manifest-banned names (`SystemTime::now`,
+//!   `process::exit`, `f64::max`) outside their allowed paths
+//!   (checks/forbidden.rs).
+//!
+//! The analysis is deliberately *intra-procedural and syntactic*: it
+//! sees tokens, not types, and function calls are opaque. That boundary
+//! is documented in docs/ANALYZER.md; the allow-annotation escape hatch
+//! exists for the (rare, reviewed) sites where the analysis is wrong.
+
+use std::fmt;
+use std::path::Path;
+
+pub mod checks;
+pub mod explain;
+pub mod lexer;
+pub mod manifest;
+pub mod scan;
+
+use manifest::Manifest;
+use scan::FileUnit;
+
+/// One finding, printed rustc-style as `file:line: error[check]: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Check id (see [`explain::EXPLANATIONS`]).
+    pub check: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: error[{}]: {}",
+            self.file, self.line, self.check, self.message
+        )
+    }
+}
+
+/// Analyzes one file's source text.
+///
+/// `path` is the workspace-relative path used both for diagnostics and
+/// for deciding which manifest path-scoped passes apply. With
+/// `force_all`, the panic and logging passes run regardless of path —
+/// used by the fixture suite, whose files live outside the serve tree.
+pub fn analyze_source(
+    path: &str,
+    src: &str,
+    manifest: &Manifest,
+    force_all: bool,
+) -> Vec<Diagnostic> {
+    let unit = FileUnit::prepare(path, src);
+    let mut out = Vec::new();
+
+    // Malformed or unknown-id allow annotations are themselves findings:
+    // an allow that doesn't parse silently fails to suppress (or worse,
+    // records no reason).
+    for a in &unit.allows {
+        if !a.well_formed {
+            out.push(Diagnostic {
+                file: path.to_owned(),
+                line: a.line,
+                check: "allow-syntax".to_owned(),
+                message: "malformed allow annotation — expected \
+                          `// analyzer: allow(check-a, check-b) -- reason`"
+                    .to_owned(),
+            });
+            continue;
+        }
+        for c in &a.checks {
+            if explain::explain(c).is_none() {
+                out.push(Diagnostic {
+                    file: path.to_owned(),
+                    line: a.line,
+                    check: "allow-syntax".to_owned(),
+                    message: format!("allow annotation names unknown check `{c}`"),
+                });
+            }
+        }
+    }
+
+    checks::locks::check(&unit, manifest, &mut out);
+    if force_all
+        || manifest
+            .panic_paths
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    {
+        checks::panics::check(&unit, &mut out);
+    }
+    if force_all
+        || checks::logging::applies(path, &manifest.logging_paths, &manifest.logging_allowed)
+    {
+        checks::logging::check(&unit, &mut out);
+    }
+    checks::forbidden::check(&unit, &manifest.forbidden, &mut out);
+
+    out.sort_by(|a, b| (a.line, &a.check).cmp(&(b.line, &b.check)));
+    out
+}
+
+/// Walks the workspace source set under `root` and runs every pass.
+///
+/// Returns diagnostics sorted by (file, line, check), or an error string
+/// for an unreadable file.
+pub fn analyze_workspace(root: &Path, manifest: &Manifest) -> Result<Vec<Diagnostic>, String> {
+    let mut out = Vec::new();
+    for abs in scan::workspace_files(root) {
+        let rel = abs
+            .strip_prefix(root)
+            .unwrap_or(&abs)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("{}: read failed: {e}", abs.display()))?;
+        out.extend(analyze_source(&rel, &src, manifest, false));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.check).cmp(&(&b.file, b.line, &b.check)));
+    Ok(out)
+}
+
+/// Reads and parses `analyzer.toml` under `root`.
+pub fn load_manifest(root: &Path) -> Result<Manifest, String> {
+    let path = root.join("analyzer.toml");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+    manifest::parse(&text).map_err(|e| format!("{}:{}: {}", path.display(), e.line, e.message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_manifest() -> Manifest {
+        manifest::parse(
+            r#"
+[locks]
+order = ["log", "sources", "shards", "registry"]
+multi_instance = ["shards"]
+
+[panic]
+paths = ["crates/serve/src/wal.rs"]
+
+[logging]
+paths = ["crates/serve/src"]
+allowed = ["crates/serve/src/obs/log.rs"]
+
+[[forbidden]]
+name = "std::process::exit"
+allowed = ["crates/serve/src/bin"]
+reason = "bins only"
+"#,
+        )
+        .expect("manifest parses")
+    }
+
+    #[test]
+    fn path_scoping_gates_panic_and_logging_passes() {
+        let m = mini_manifest();
+        let src = "fn f() { a.unwrap(); eprintln!(\"x\"); }";
+        let on_path = analyze_source("crates/serve/src/wal.rs", src, &m, false);
+        let off_path = analyze_source("crates/eval/src/report.rs", src, &m, false);
+        let forced = analyze_source("crates/eval/src/report.rs", src, &m, true);
+        assert_eq!(
+            on_path.iter().map(|d| d.check.as_str()).collect::<Vec<_>>(),
+            vec!["log-print", "panic-unwrap"]
+        );
+        assert!(off_path.is_empty());
+        assert_eq!(forced.len(), 2);
+    }
+
+    #[test]
+    fn malformed_and_unknown_allows_are_reported() {
+        let m = mini_manifest();
+        let src = "fn f() {\n// analyzer: allow(panic-unwrap)\nlet x = 1;\n// analyzer: allow(no-such) -- why\nlet y = 2;\n}";
+        let out = analyze_source("x.rs", src, &m, false);
+        let checks: Vec<&str> = out.iter().map(|d| d.check.as_str()).collect();
+        assert_eq!(checks, vec!["allow-syntax", "allow-syntax"]);
+        assert!(out[0].message.contains("malformed"));
+        assert!(out[1].message.contains("no-such"));
+    }
+
+    #[test]
+    fn display_is_rustc_style() {
+        let d = Diagnostic {
+            file: "crates/serve/src/wal.rs".into(),
+            line: 42,
+            check: "panic-unwrap".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/serve/src/wal.rs:42: error[panic-unwrap]: boom"
+        );
+    }
+}

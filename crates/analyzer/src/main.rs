@@ -1,0 +1,213 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! cargo run -p ltm-analyzer                 # analyze the workspace; exit 1 on findings
+//! cargo run -p ltm-analyzer -- --self-test  # fixture suite: every fixture must go red
+//! cargo run -p ltm-analyzer -- --explain lock-order
+//! ```
+//!
+//! Exit codes: 0 clean / all fixtures behave, 1 findings or fixture
+//! mismatch, 2 usage or configuration error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ltm_analyzer::{analyze_source, analyze_workspace, explain, load_manifest, scan};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut explain_id: Option<String> = None;
+    let mut self_test = false;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return usage("--root needs a path");
+                };
+                root = Some(PathBuf::from(v));
+            }
+            "--explain" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return usage("--explain needs a check id");
+                };
+                explain_id = Some(v.clone());
+            }
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    if let Some(id) = explain_id {
+        return match explain::explain(&id) {
+            Some(text) => {
+                println!("{id}\n{}\n\n{text}", "-".repeat(id.len()));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: unknown check id `{id}`; known ids:");
+                for (known, _) in explain::EXPLANATIONS {
+                    eprintln!("  {known}");
+                }
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let root = match root.map(Ok).unwrap_or_else(find_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let manifest = match load_manifest(&root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if self_test {
+        return run_self_test(&root, &manifest);
+    }
+
+    match analyze_workspace(&root, &manifest) {
+        Ok(diags) if diags.is_empty() => {
+            println!("ltm-analyzer: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!(
+                "\nltm-analyzer: {} finding(s); run with `--explain <check-id>` for details",
+                diags.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Ascends from the current directory to the first one holding an
+/// `analyzer.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd unavailable: {e}"))?;
+    loop {
+        if dir.join("analyzer.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no analyzer.toml found here or in any parent (or pass --root)".into());
+        }
+    }
+}
+
+/// Runs every fixture under `crates/analyzer/tests/fixtures/` with all
+/// path-scoped passes forced on, and requires the produced check-id set
+/// to equal the fixture's `// expect:` header exactly.
+fn run_self_test(root: &Path, manifest: &ltm_analyzer::manifest::Manifest) -> ExitCode {
+    let dir = root.join("crates/analyzer/tests/fixtures");
+    let fixtures = scan::collect_rs_files(&dir, &[]);
+    if fixtures.is_empty() {
+        eprintln!("error: no fixtures under {}", dir.display());
+        return ExitCode::from(2);
+    }
+    let mut failed = 0usize;
+    for path in &fixtures {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("FAIL {name}: read failed: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let mut expected = expected_checks(&src);
+        expected.sort();
+        if expected.is_empty() {
+            eprintln!("FAIL {name}: fixture has no `// expect: <check-id>` header");
+            failed += 1;
+            continue;
+        }
+        let rel = format!("crates/analyzer/tests/fixtures/{name}");
+        let mut got: Vec<String> = analyze_source(&rel, &src, manifest, true)
+            .into_iter()
+            .map(|d| d.check)
+            .collect();
+        got.sort();
+        got.dedup();
+        if got == expected {
+            println!("ok   {name}: {}", expected.join(", "));
+        } else {
+            eprintln!(
+                "FAIL {name}: expected [{}], got [{}]",
+                expected.join(", "),
+                got.join(", ")
+            );
+            failed += 1;
+        }
+    }
+    if failed == 0 {
+        println!(
+            "ltm-analyzer self-test: {} fixture(s) all red with expected check-ids",
+            fixtures.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ltm-analyzer self-test: {failed} fixture(s) FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+/// Parses `// expect: a, b` header lines (deduplicated, unsorted).
+fn expected_checks(src: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for line in src.lines() {
+        let Some(rest) = line.trim().strip_prefix("// expect:") else {
+            continue;
+        };
+        for id in rest.split(',') {
+            let id = id.trim();
+            if !id.is_empty() && !out.iter().any(|x| x == id) {
+                out.push(id.to_owned());
+            }
+        }
+    }
+    out
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    print_help();
+    ExitCode::from(2)
+}
+
+fn print_help() {
+    println!(
+        "ltm-analyzer — static analysis for the latent-truth workspace
+
+USAGE:
+    ltm-analyzer [--root <dir>]     analyze the workspace (exit 1 on findings)
+    ltm-analyzer --self-test        run the fixture suite (each must go red)
+    ltm-analyzer --explain <id>     describe a check id
+
+Invariants come from analyzer.toml at the workspace root; see
+docs/ANALYZER.md for the full check list and suppression policy."
+    );
+}

@@ -1,0 +1,443 @@
+//! The invariant manifest: `analyzer.toml` at the workspace root.
+//!
+//! Parsed with a hand-rolled TOML-subset reader (tables, arrays of
+//! tables, string/bool/integer values, string arrays) in keeping with the
+//! workspace's no-registry policy. The subset is validated strictly:
+//! unknown keys are errors, so a typo in the manifest cannot silently
+//! disable a check.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A declared lock with its rank in the partial order (0 = outermost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockDecl {
+    /// Field name the lock is recognized by (e.g. `log`, `shards`).
+    pub name: String,
+    /// Rank in the declared order; acquiring rank r while holding rank
+    /// > r is a violation.
+    pub rank: usize,
+}
+
+/// A `lock is never acquired while any of `inside` is held` constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeverInside {
+    /// The constrained lock.
+    pub lock: String,
+    /// Locks that must not be held when `lock` is acquired.
+    pub inside: Vec<String>,
+}
+
+/// One forbidden fully-qualified name (`SystemTime::now`, `f64::max`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForbiddenApi {
+    /// `::`-separated path; matched as a token subsequence.
+    pub name: String,
+    /// Path prefixes where the name is permitted.
+    pub allowed: Vec<String>,
+    /// Why the name is forbidden (shown in the diagnostic).
+    pub reason: String,
+}
+
+/// The full manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Ordered lock declarations (outermost first).
+    pub lock_order: Vec<LockDecl>,
+    /// Locks allowed to be held several instances at once (sibling
+    /// mutexes of the same rank, e.g. the shard pool).
+    pub multi_instance: Vec<String>,
+    /// Guard-returning method names (`lock`, `read_locked`, …).
+    pub lock_methods: Vec<String>,
+    /// Never-inside constraints.
+    pub never_inside: Vec<NeverInside>,
+    /// Files subject to the panic-freedom checks.
+    pub panic_paths: Vec<String>,
+    /// Path prefixes subject to the logging discipline.
+    pub logging_paths: Vec<String>,
+    /// Path prefixes exempt from the logging discipline.
+    pub logging_allowed: Vec<String>,
+    /// Forbidden fully-qualified names.
+    pub forbidden: Vec<ForbiddenApi>,
+}
+
+impl Manifest {
+    /// Rank of a declared lock, if `name` is declared.
+    pub fn rank_of(&self, name: &str) -> Option<usize> {
+        self.lock_order
+            .iter()
+            .find(|l| l.name == name)
+            .map(|l| l.rank)
+    }
+
+    /// Whether several sibling instances of `name` may be held at once.
+    pub fn is_multi_instance(&self, name: &str) -> bool {
+        self.multi_instance.iter().any(|m| m == name)
+    }
+}
+
+/// A manifest-loading error with line context.
+#[derive(Debug)]
+pub struct ManifestError {
+    /// 1-based line in the manifest, 0 when not line-specific.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "analyzer.toml:{}: {}", self.line, self.message)
+        } else {
+            write!(f, "analyzer.toml: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn err(line: u32, message: impl Into<String>) -> ManifestError {
+    ManifestError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    StrArray(Vec<String>),
+}
+
+impl Value {
+    fn as_str(&self, line: u32, key: &str) -> Result<&str, ManifestError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(err(line, format!("`{key}` must be a string"))),
+        }
+    }
+
+    fn as_str_array(&self, line: u32, key: &str) -> Result<Vec<String>, ManifestError> {
+        match self {
+            Value::StrArray(v) => Ok(v.clone()),
+            _ => Err(err(line, format!("`{key}` must be an array of strings"))),
+        }
+    }
+}
+
+/// One parsed `key = value` with its source line.
+type Entry = (Value, u32);
+/// A table: key → entry.
+type Table = BTreeMap<String, Entry>;
+
+/// Parses the manifest text.
+pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+    // Phase 1: raw tables.
+    let mut tables: BTreeMap<String, Table> = BTreeMap::new();
+    let mut array_tables: BTreeMap<String, Vec<(Table, u32)>> = BTreeMap::new();
+    let mut current: Option<(String, bool)> = None; // (name, is_array)
+
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let mut idx = 0usize;
+    while idx < raw_lines.len() {
+        let line_no = idx as u32 + 1;
+        let mut line = strip_comment(raw_lines[idx]).trim().to_owned();
+        idx += 1;
+        if line.is_empty() {
+            continue;
+        }
+        // Multi-line arrays: a `key = [` value keeps consuming lines
+        // until the closing `]`.
+        if line.split_once('=').is_some_and(|(_, v)| {
+            let v = v.trim();
+            v.starts_with('[') && !v.ends_with(']')
+        }) {
+            loop {
+                if idx >= raw_lines.len() {
+                    return Err(err(line_no, "unterminated array"));
+                }
+                let cont = strip_comment(raw_lines[idx]).trim().to_owned();
+                idx += 1;
+                line.push(' ');
+                line.push_str(&cont);
+                if cont.ends_with(']') {
+                    break;
+                }
+            }
+        }
+        let line = line.as_str();
+        if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let name = name.trim().to_owned();
+            array_tables
+                .entry(name.clone())
+                .or_default()
+                .push((Table::new(), line_no));
+            current = Some((name, true));
+        } else if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = name.trim().to_owned();
+            tables.entry(name.clone()).or_default();
+            current = Some((name, false));
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim().to_owned();
+            let value = parse_value(value.trim(), line_no)?;
+            let Some((name, is_array)) = &current else {
+                return Err(err(line_no, "key outside any [table]"));
+            };
+            let table = if *is_array {
+                let entries = array_tables
+                    .get_mut(name)
+                    .and_then(|v| v.last_mut())
+                    .map(|(t, _)| t);
+                match entries {
+                    Some(t) => t,
+                    None => return Err(err(line_no, "internal: missing array table")),
+                }
+            } else {
+                tables.entry(name.clone()).or_default()
+            };
+            if table.insert(key.clone(), (value, line_no)).is_some() {
+                return Err(err(line_no, format!("duplicate key `{key}`")));
+            }
+        } else {
+            return Err(err(line_no, format!("unparseable line: `{line}`")));
+        }
+    }
+
+    // Phase 2: typed extraction with unknown-key validation.
+    let mut m = Manifest {
+        lock_methods: vec!["lock".into(), "read".into(), "write".into()],
+        ..Manifest::default()
+    };
+
+    if let Some(locks) = tables.get("locks") {
+        for (key, (value, line)) in locks {
+            match key.as_str() {
+                "order" => {
+                    m.lock_order = value
+                        .as_str_array(*line, key)?
+                        .into_iter()
+                        .enumerate()
+                        .map(|(rank, name)| LockDecl { name, rank })
+                        .collect();
+                }
+                "multi_instance" => m.multi_instance = value.as_str_array(*line, key)?,
+                "methods" => m.lock_methods = value.as_str_array(*line, key)?,
+                _ => return Err(err(*line, format!("unknown key `locks.{key}`"))),
+            }
+        }
+    }
+    for (table, line) in array_tables.get("locks.never_inside").into_iter().flatten() {
+        let mut lock = None;
+        let mut inside = Vec::new();
+        for (key, (value, kline)) in table {
+            match key.as_str() {
+                "lock" => lock = Some(value.as_str(*kline, key)?.to_owned()),
+                "inside" => inside = value.as_str_array(*kline, key)?,
+                _ => {
+                    return Err(err(
+                        *kline,
+                        format!("unknown key `locks.never_inside.{key}`"),
+                    ))
+                }
+            }
+        }
+        let lock = lock.ok_or_else(|| err(*line, "never_inside needs `lock`"))?;
+        if inside.is_empty() {
+            return Err(err(*line, "never_inside needs a non-empty `inside`"));
+        }
+        m.never_inside.push(NeverInside { lock, inside });
+    }
+
+    if let Some(panic) = tables.get("panic") {
+        for (key, (value, line)) in panic {
+            match key.as_str() {
+                "paths" => m.panic_paths = value.as_str_array(*line, key)?,
+                _ => return Err(err(*line, format!("unknown key `panic.{key}`"))),
+            }
+        }
+    }
+
+    if let Some(logging) = tables.get("logging") {
+        for (key, (value, line)) in logging {
+            match key.as_str() {
+                "paths" => m.logging_paths = value.as_str_array(*line, key)?,
+                "allowed" => m.logging_allowed = value.as_str_array(*line, key)?,
+                _ => return Err(err(*line, format!("unknown key `logging.{key}`"))),
+            }
+        }
+    }
+
+    for (table, line) in array_tables.get("forbidden").into_iter().flatten() {
+        let mut name = None;
+        let mut allowed = Vec::new();
+        let mut reason = None;
+        for (key, (value, kline)) in table {
+            match key.as_str() {
+                "name" => name = Some(value.as_str(*kline, key)?.to_owned()),
+                "allowed" => allowed = value.as_str_array(*kline, key)?,
+                "reason" => reason = Some(value.as_str(*kline, key)?.to_owned()),
+                _ => return Err(err(*kline, format!("unknown key `forbidden.{key}`"))),
+            }
+        }
+        m.forbidden.push(ForbiddenApi {
+            name: name.ok_or_else(|| err(*line, "forbidden entry needs `name`"))?,
+            allowed,
+            reason: reason.ok_or_else(|| err(*line, "forbidden entry needs `reason`"))?,
+        });
+    }
+
+    // Cross-validation: every multi_instance / never_inside name must be
+    // declared, so a rename can't silently detach a constraint.
+    for name in &m.multi_instance {
+        if m.rank_of(name).is_none() {
+            return Err(err(0, format!("multi_instance lock `{name}` not in order")));
+        }
+    }
+    for ni in &m.never_inside {
+        for inside in &ni.inside {
+            if m.rank_of(inside).is_none() {
+                return Err(err(
+                    0,
+                    format!("never_inside references undeclared lock `{inside}`"),
+                ));
+            }
+        }
+    }
+    if m.lock_order.is_empty() {
+        return Err(err(0, "manifest declares no lock order"));
+    }
+    Ok(m)
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, line: u32) -> Result<Value, ManifestError> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let Some(body) = body.strip_suffix('"') else {
+            return Err(err(line, "unterminated string"));
+        };
+        if body.contains('"') {
+            return Err(err(line, "escapes/embedded quotes unsupported"));
+        }
+        return Ok(Value::Str(body.to_owned()));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(err(line, "unterminated array"));
+        };
+        let body = body.trim();
+        if body.is_empty() {
+            return Ok(Value::StrArray(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for item in body.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue; // trailing comma
+            }
+            match parse_value(item, line)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err(err(line, "only string arrays are supported")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Ok(n) = text.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(err(line, format!("unsupported value `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[locks]
+order = ["log", "sources", "shards", "registry"] # trailing comment
+multi_instance = ["shards"]
+methods = ["lock", "read", "write", "locked"]
+
+[[locks.never_inside]]
+lock = "persist"
+inside = ["shards"]
+
+[panic]
+paths = ["crates/serve/src/wal.rs"]
+
+[logging]
+paths = ["crates/serve/src"]
+allowed = ["crates/serve/src/obs/log.rs"]
+
+[[forbidden]]
+name = "f64::max"
+allowed = []
+reason = "discards NaN"
+
+[[forbidden]]
+name = "SystemTime::now"
+allowed = ["crates/serve/src/obs"]
+reason = "clocks live in obs"
+"#;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let m = parse(SAMPLE).unwrap();
+        assert_eq!(m.rank_of("log"), Some(0));
+        assert_eq!(m.rank_of("registry"), Some(3));
+        assert!(m.is_multi_instance("shards"));
+        assert!(!m.is_multi_instance("log"));
+        assert_eq!(m.lock_methods.len(), 4);
+        assert_eq!(m.never_inside[0].lock, "persist");
+        assert_eq!(m.forbidden.len(), 2);
+        assert_eq!(m.forbidden[1].allowed, vec!["crates/serve/src/obs"]);
+    }
+
+    #[test]
+    fn multi_line_arrays_parse() {
+        let src = "[locks]\norder = [\n  \"log\", # outermost\n  \"shards\",\n]\n";
+        let m = parse(src).unwrap();
+        assert_eq!(m.rank_of("shards"), Some(1));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let bad = "[locks]\norder = [\"log\"]\nordr = [\"log\"]\n";
+        let e = parse(bad).unwrap_err();
+        assert!(e.message.contains("unknown key"), "{e}");
+    }
+
+    #[test]
+    fn undeclared_multi_instance_is_rejected() {
+        let bad = "[locks]\norder = [\"log\"]\nmulti_instance = [\"shards\"]\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn missing_reason_on_forbidden_is_rejected() {
+        let bad = "[locks]\norder=[\"log\"]\n[[forbidden]]\nname = \"f64::max\"\n";
+        assert!(parse(bad).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! File preparation: lexing plus structural landmarks.
+//!
+//! The checks need three structural facts the raw token stream doesn't
+//! carry: which token ranges are test code (`#[cfg(test)]` modules and
+//! `#[test]` functions — exempt from every check), where function bodies
+//! begin and end (the lock-order analysis is per-body), and which lines
+//! carry `// analyzer: allow(...)` suppressions.
+
+use crate::lexer::{lex, AllowAnnotation, Token};
+use std::path::{Path, PathBuf};
+
+/// A function found in a file.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name (for diagnostics).
+    pub name: String,
+    /// Token index of the body's opening `{`.
+    pub body_start: usize,
+    /// Token index of the matching `}` (exclusive range end is `+1`).
+    pub body_end: usize,
+}
+
+/// A lexed file with its structural landmarks.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Allow annotations by line.
+    pub allows: Vec<AllowAnnotation>,
+    /// Token ranges `[start, end)` that are test code.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Function bodies, in source order (includes nested functions).
+    pub fns: Vec<FnSpan>,
+}
+
+impl FileUnit {
+    /// Lexes and indexes `src`.
+    pub fn prepare(path: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let test_spans = find_test_spans(&lexed.tokens);
+        let fns = find_fns(&lexed.tokens, &test_spans);
+        FileUnit {
+            path: path.to_owned(),
+            tokens: lexed.tokens,
+            allows: lexed.allows,
+            test_spans,
+            fns,
+        }
+    }
+
+    /// Whether token index `i` lies inside test code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// Whether a diagnostic of `check` at `line` is suppressed by a
+    /// well-formed allow annotation (trailing on the same line, or
+    /// standalone on the line directly above).
+    pub fn is_allowed(&self, check: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.well_formed
+                && a.checks.iter().any(|c| c == check)
+                && ((a.trailing && a.line == line) || (!a.trailing && a.line + 1 == line))
+        })
+    }
+}
+
+/// Finds the token index of the matching closing delimiter for the
+/// opener at `open` (`{`/`}`, `[`/`]`, `(`/`)`), or the stream end.
+pub fn matching_close(tokens: &[Token], open: usize, open_ch: char, close_ch: char) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind.is_punct(open_ch) {
+            depth += 1;
+        } else if t.kind.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Token ranges covered by `#[cfg(test)]` items and `#[test]` functions.
+fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    let mut pending_test_attr = false;
+    while i < tokens.len() {
+        if tokens[i].kind.is_punct('#') {
+            // `#[...]` or `#![...]`: scan the attribute contents.
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].kind.is_punct('!') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].kind.is_punct('[') {
+                let end = matching_close(tokens, j, '[', ']');
+                if attr_is_test(&tokens[j + 1..end]) {
+                    pending_test_attr = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if pending_test_attr {
+            // The attribute's item: skip to its body/terminator and mark
+            // the whole range. Items without braces (e.g. `use`) end at
+            // the first `;` at depth zero.
+            let start = i;
+            let mut j = i;
+            let end = loop {
+                if j >= tokens.len() {
+                    break tokens.len();
+                }
+                if tokens[j].kind.is_punct('{') {
+                    break matching_close(tokens, j, '{', '}') + 1;
+                }
+                if tokens[j].kind.is_punct(';') {
+                    break j + 1;
+                }
+                j += 1;
+            };
+            spans.push((start, end));
+            pending_test_attr = false;
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Whether attribute tokens (inside `#[...]`) mean "test code": exactly
+/// `test` or `cfg(test)` / `cfg(any(test, ...))`.
+fn attr_is_test(attr: &[Token]) -> bool {
+    let idents: Vec<&str> = attr.iter().filter_map(|t| t.kind.ident()).collect();
+    match idents.as_slice() {
+        ["test"] => true,
+        [first, rest @ ..] if *first == "cfg" => {
+            // cfg(test), cfg(any(test, fuzzing)), … — but NOT cfg(not(test)).
+            rest.contains(&"test") && !rest.contains(&"not")
+        }
+        _ => false,
+    }
+}
+
+/// Locates every `fn` body outside test spans.
+fn find_fns(tokens: &[Token], test_spans: &[(usize, usize)]) -> Vec<FnSpan> {
+    let in_test = |i: usize| test_spans.iter().any(|&(s, e)| i >= s && i < e);
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if in_test(i) || tokens[i].kind.ident() != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        let Some(name) = name_tok.kind.ident() else {
+            i += 1;
+            continue;
+        };
+        // Find the body `{` at paren depth zero; a `;` first means a
+        // trait/extern declaration without a body.
+        let mut j = i + 2;
+        let mut paren = 0i64;
+        let body = loop {
+            let Some(t) = tokens.get(j) else {
+                break None;
+            };
+            if t.kind.is_punct('(') {
+                paren += 1;
+            } else if t.kind.is_punct(')') {
+                paren -= 1;
+            } else if paren == 0 && t.kind.is_punct('{') {
+                break Some(j);
+            } else if paren == 0 && t.kind.is_punct(';') {
+                break None;
+            }
+            j += 1;
+        };
+        match body {
+            Some(start) => {
+                let end = matching_close(tokens, start, '{', '}');
+                fns.push(FnSpan {
+                    name: name.to_owned(),
+                    body_start: start,
+                    body_end: end,
+                });
+                // Continue scanning *inside* the body so nested fns are
+                // found too; the lock check skips nested ranges itself.
+                i = start + 1;
+            }
+            None => i = j + 1,
+        }
+    }
+    fns
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for stable
+/// output). `skip_dirs` are directory names pruned wherever they appear.
+pub fn collect_rs_files(dir: &Path, skip_dirs: &[&str]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if skip_dirs.contains(&name) {
+                continue;
+            }
+            out.extend(collect_rs_files(&path, skip_dirs));
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// The workspace source set the analyzer walks: `src/` of the root crate
+/// plus `crates/*/src/`. Vendored shims, tests, examples, and benches
+/// are outside the invariant surface.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = collect_rs_files(&root.join("src"), &["target"]);
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        return out;
+    };
+    let mut members: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    members.sort();
+    for member in members {
+        out.extend(collect_rs_files(&member.join("src"), &["target"]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_spanned() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\n";
+        let unit = FileUnit::prepare("f.rs", src);
+        assert_eq!(unit.test_spans.len(), 1);
+        // The second `unwrap` ident must be inside the span.
+        let unwraps: Vec<usize> = unit
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind.ident() == Some("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unit.in_test(unwraps[0]));
+        assert!(unit.in_test(unwraps[1]));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let unit = FileUnit::prepare("f.rs", src);
+        assert!(unit.test_spans.is_empty());
+    }
+
+    #[test]
+    fn test_attr_fn_is_spanned() {
+        let src = "#[test]\nfn t() { y.unwrap(); }\nfn live() {}\n";
+        let unit = FileUnit::prepare("f.rs", src);
+        assert_eq!(unit.test_spans.len(), 1);
+        assert_eq!(unit.fns.iter().filter(|f| f.name == "live").count(), 1);
+    }
+
+    #[test]
+    fn fn_bodies_are_found_including_nested() {
+        let src = "fn outer() { fn inner() { a(); } b(); }\ntrait T { fn decl(&self); }\n";
+        let unit = FileUnit::prepare("f.rs", src);
+        let names: Vec<&str> = unit.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn where_clause_and_generics_do_not_confuse_body_start() {
+        let src = "fn f<T: Clone>(x: T) -> Vec<T> where T: Send { g(); }\n";
+        let unit = FileUnit::prepare("f.rs", src);
+        assert_eq!(unit.fns.len(), 1);
+        let body = &unit.tokens[unit.fns[0].body_start..unit.fns[0].body_end];
+        assert!(body.iter().any(|t| t.kind.ident() == Some("g")));
+    }
+
+    #[test]
+    fn allow_suppression_lines() {
+        let src = "a(); // analyzer: allow(x) -- fine\n// analyzer: allow(y) -- next line\nb();\n";
+        let unit = FileUnit::prepare("f.rs", src);
+        assert!(unit.is_allowed("x", 1));
+        assert!(!unit.is_allowed("x", 2));
+        assert!(unit.is_allowed("y", 3));
+        assert!(!unit.is_allowed("y", 2));
+    }
+}

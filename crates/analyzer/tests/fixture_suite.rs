@@ -1,0 +1,185 @@
+//! End-to-end checks for the analyzer: the real workspace is clean, every
+//! fixture goes red with exactly its declared check-ids, and the CLI's
+//! exit codes and output shapes hold (they are what CI gates on).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ltm_analyzer::{analyze_source, analyze_workspace, load_manifest};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Parses the `// expect: a, b` header of a fixture.
+fn expected_checks(src: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for line in src.lines() {
+        if let Some(rest) = line.trim().strip_prefix("// expect:") {
+            for id in rest.split(',') {
+                let id = id.trim();
+                if !id.is_empty() && !out.iter().any(|x| x == id) {
+                    out.push(id.to_owned());
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = workspace_root();
+    let manifest = load_manifest(&root).expect("analyzer.toml parses");
+    let diags = analyze_workspace(&root, &manifest).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "workspace must stay clean; found:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_fixture_goes_red_with_its_expected_ids() {
+    let root = workspace_root();
+    let manifest = load_manifest(&root).expect("analyzer.toml parses");
+    let dir = fixtures_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures dir exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 9,
+        "expected the full fixture set, got {entries:?}"
+    );
+
+    let mut covered: Vec<String> = Vec::new();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).expect("fixture readable");
+        let expected = expected_checks(&src);
+        assert!(
+            !expected.is_empty(),
+            "{name}: fixture must declare `// expect:` check-ids"
+        );
+        let mut got: Vec<String> =
+            analyze_source(&format!("fixtures/{name}"), &src, &manifest, true)
+                .into_iter()
+                .map(|d| d.check)
+                .collect();
+        got.sort();
+        got.dedup();
+        assert_eq!(
+            got, expected,
+            "{name}: produced check-ids diverge from header"
+        );
+        covered.extend(expected);
+    }
+
+    // Completeness: every check id the analyzer can emit has a fixture
+    // keeping it red.
+    for (id, _) in ltm_analyzer::explain::EXPLANATIONS {
+        assert!(
+            covered.iter().any(|c| c == id),
+            "check `{id}` has no fixture exercising it"
+        );
+    }
+}
+
+#[test]
+fn self_test_binary_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ltm-analyzer"))
+        .args(["--self-test", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "self-test failed:\n{stdout}");
+    assert!(
+        stdout.contains("all red with expected check-ids"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn workspace_mode_binary_reports_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ltm-analyzer"))
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "expected clean workspace:\n{stdout}");
+    assert!(stdout.contains("workspace clean"), "{stdout}");
+}
+
+#[test]
+fn violations_exit_nonzero_with_rustc_style_diagnostics() {
+    // Build a throwaway root: the real manifest plus two red fixtures as
+    // its `src/`, then check the CLI's workspace mode against it.
+    let tmp = std::env::temp_dir().join(format!("ltm-analyzer-red-{}", std::process::id()));
+    let src_dir = tmp.join("src");
+    std::fs::create_dir_all(&src_dir).expect("temp root");
+    std::fs::copy(
+        workspace_root().join("analyzer.toml"),
+        tmp.join("analyzer.toml"),
+    )
+    .expect("manifest copied");
+    for (fixture, dest) in [
+        ("lock_out_of_order.rs", "broken_locks.rs"),
+        ("forbidden_api.rs", "forbidden.rs"),
+    ] {
+        std::fs::copy(fixtures_dir().join(fixture), src_dir.join(dest)).expect("fixture copied");
+    }
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ltm-analyzer"))
+        .arg("--root")
+        .arg(&tmp)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    std::fs::remove_dir_all(&tmp).ok();
+
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "findings must exit 1:\n{stdout}"
+    );
+    assert!(stdout.contains("error[lock-order]"), "{stdout}");
+    assert!(stdout.contains("error[forbidden-api]"), "{stdout}");
+    // rustc-style `file:line:` prefix on a concrete diagnostic.
+    assert!(stdout.contains("src/broken_locks.rs:"), "{stdout}");
+    assert!(stdout.contains("finding(s)"), "{stdout}");
+}
+
+#[test]
+fn explain_knows_every_id_and_rejects_unknown() {
+    for (id, _) in ltm_analyzer::explain::EXPLANATIONS {
+        let out = Command::new(env!("CARGO_BIN_EXE_ltm-analyzer"))
+            .args(["--explain", id])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "--explain {id} must succeed");
+        assert!(String::from_utf8_lossy(&out.stdout).contains(id));
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_ltm-analyzer"))
+        .args(["--explain", "no-such-check"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "unknown id is a usage error");
+}

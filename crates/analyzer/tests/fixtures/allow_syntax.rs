@@ -1,0 +1,13 @@
+// expect: allow-syntax
+//
+// Suppressions must parse and carry a reason; a malformed allow silently
+// fails to suppress, and an unknown check id suppresses nothing. Both
+// are findings in their own right.
+
+pub fn annotated() -> u32 {
+    // analyzer: allow(panic-unwrap)
+    let missing_reason = 1;
+    // analyzer: allow(no-such-check) -- the id above does not exist
+    let unknown_id = 2;
+    missing_reason + unknown_id
+}

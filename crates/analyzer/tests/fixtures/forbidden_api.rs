@@ -1,0 +1,20 @@
+// expect: forbidden-api
+//
+// Three manifest-banned names outside their allowed paths:
+// `SystemTime::now` (clock reads go through the obs layer so tests can
+// pin time), `process::exit` (skips Drop — WAL buffers never flush),
+// and `f64::max` (silently swallows NaN; the workspace uses total_cmp).
+
+use std::time::SystemTime;
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn bail() {
+    std::process::exit(1);
+}
+
+pub fn peak(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}

@@ -1,0 +1,23 @@
+// expect: lock-order
+//
+// Takes `persist` while a shard guard is held. The manifest declares
+// never_inside(persist, [shards]): the persister flushes shard state and
+// must never wait on the pool it is about to read.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    persist: Mutex<Vec<u8>>,
+    shards: Vec<Mutex<Vec<u8>>>,
+}
+
+impl Store {
+    pub fn flush_under_shard(&self) {
+        for shard in &self.shards {
+            let guard = shard.locked();
+            let sink = self.persist.locked();
+            drop(sink);
+            drop(guard);
+        }
+    }
+}

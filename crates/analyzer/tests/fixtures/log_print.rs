@@ -1,0 +1,8 @@
+// expect: log-print
+//
+// A stray `eprintln!` in the serve tree bypasses the leveled logger:
+// no level gate, no structured fields, interleaved output under load.
+
+pub fn on_error(detail: &str) {
+    eprintln!("request failed: {detail}");
+}

@@ -1,0 +1,12 @@
+// expect: panic-expect, panic-macro
+//
+// `.expect(..)` and the panicking macros are the same failure mode with
+// a nicer message; both are forbidden on serve paths.
+
+pub fn decode(payload: Option<&str>, kind: u8) -> &str {
+    let text = payload.expect("payload present");
+    if kind > 3 {
+        unreachable!()
+    }
+    text
+}

@@ -1,0 +1,8 @@
+// expect: panic-index
+//
+// Slice indexing without a proven bound panics on short input — the
+// classic truncated-frame crash. Use `.get(..)` or annotate the bound.
+
+pub fn first_byte(frame: &[u8]) -> u8 {
+    frame[0]
+}

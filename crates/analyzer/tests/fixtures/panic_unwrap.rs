@@ -1,0 +1,8 @@
+// expect: panic-unwrap
+//
+// An unannotated `.unwrap()` on a serve path: a poisoned lock or a bad
+// frame would take the worker down mid-request.
+
+pub fn frame_len(header: Option<u32>) -> u32 {
+    header.unwrap()
+}

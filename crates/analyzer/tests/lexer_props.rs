@@ -1,0 +1,119 @@
+//! Property tests for the lexer's blind spots: trigger-shaped text inside
+//! comments, string literals, and char literals must never reach the
+//! scanners. A false positive here would mean the lexer leaked literal
+//! contents into the token stream.
+
+use ltm_analyzer::{analyze_source, manifest, manifest::Manifest};
+use proptest::prelude::*;
+
+fn mini_manifest() -> Manifest {
+    manifest::parse(
+        r#"
+[locks]
+order = ["log", "sources", "shards", "registry"]
+multi_instance = ["shards"]
+methods = ["lock", "read", "write", "locked"]
+
+[panic]
+paths = ["x.rs"]
+
+[logging]
+paths = ["x.rs"]
+allowed = []
+
+[[forbidden]]
+name = "std::process::exit"
+allowed = []
+reason = "bins only"
+
+[[forbidden]]
+name = "f64::max"
+allowed = []
+reason = "NaN-swallowing"
+"#,
+    )
+    .expect("mini manifest parses")
+}
+
+/// Every check the analyzer knows, concentrated into one line of text.
+/// As *code* this trips lock-order, panic-unwrap, panic-macro,
+/// panic-index, log-print, and forbidden-api; as literal contents it must
+/// trip nothing.
+const TRIGGER_SOUP: &str =
+    "self.shards.lock() self.log.lock() a.unwrap() b.expect(x) panic!() xs[0] eprintln!(e) std::process::exit(1) f64::max";
+
+fn assert_clean(src: &str) {
+    let m = mini_manifest();
+    let diags = analyze_source("x.rs", src, &m, true);
+    assert!(
+        diags.is_empty(),
+        "literal contents leaked into the scanners for source:\n{src}\nfindings: {diags:?}"
+    );
+}
+
+#[test]
+fn trigger_soup_as_code_is_red() {
+    // Sanity for the property: the same text *outside* literals does fire.
+    let m = mini_manifest();
+    let src = format!("fn f(&self) {{ {TRIGGER_SOUP}; }}");
+    let diags = analyze_source("x.rs", &src, &m, true);
+    assert!(
+        diags.len() >= 6,
+        "trigger soup must be red as code: {diags:?}"
+    );
+}
+
+#[test]
+fn char_literals_and_raw_strings_are_opaque() {
+    // Chars the scanners key on, plus a raw string full of trigger text.
+    let src = format!(
+        "fn f() {{ let a = '['; let b = '('; let c = '!'; let d = '.'; let e = '\"'; \
+         let s = r\"{TRIGGER_SOUP}\"; let t = r#\"{TRIGGER_SOUP}\"#; }}"
+    );
+    assert_clean(&src);
+}
+
+#[test]
+fn nested_block_comments_are_opaque() {
+    let src = format!("fn f() {{ /* outer /* {TRIGGER_SOUP} */ still comment {TRIGGER_SOUP} */ }}");
+    assert_clean(&src);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary line-comment contents — including unwrap/index/macro
+    /// shapes and lock names — produce no diagnostics. The `x` prefix
+    /// keeps the comment from ever starting with `analyzer:`, which is
+    /// the one comment shape the analyzer *does* read.
+    #[test]
+    fn line_comment_contents_never_trigger(
+        payload in "[a-zA-Z0-9 .,!?()\\[\\]{}<>*&#@$%^~;:'/_-]{0,60}"
+    ) {
+        let src = format!("fn f() {{ let x = 1; }} // x {payload} {TRIGGER_SOUP}");
+        assert_clean(&src);
+    }
+
+    /// Block-comment contents never trigger. The class omits `*` and `/`
+    /// so the payload cannot open or close a comment itself — delimiter
+    /// handling is covered by the nested-comment test above.
+    #[test]
+    fn block_comment_contents_never_trigger(
+        payload in "[a-zA-Z0-9 .,!?()\\[\\]{}<>&#@$%^~;:'_-]{0,60}"
+    ) {
+        let src = format!("fn f() {{ let x = /* {payload} {TRIGGER_SOUP} */ 1; let y = x; }}");
+        assert_clean(&src);
+    }
+
+    /// String-literal contents never trigger (class omits `"` and `\` so
+    /// the payload cannot end the literal or start an escape).
+    #[test]
+    fn string_literal_contents_never_trigger(
+        payload in "[a-zA-Z0-9 .,!?()\\[\\]{}<>*&#@$%^~;:'/_-]{0,60}"
+    ) {
+        let src = format!(
+            "fn f() {{ let s = \"{payload} {TRIGGER_SOUP}\"; let n = s; }}"
+        );
+        assert_clean(&src);
+    }
+}

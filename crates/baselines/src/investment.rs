@@ -102,6 +102,7 @@ impl TruthMethod for Investment {
             let max = group
                 .iter()
                 .map(|&f| belief[f.index()])
+                // analyzer: allow(forbidden-api) -- beliefs are finite sums of trust shares; no NaN can reach the fold
                 .fold(0.0f64, f64::max);
             if max > 0.0 {
                 for &f in group {

@@ -140,6 +140,7 @@ fn minmax_normalize(v: &mut [f64], floor: f64) {
         return;
     }
     let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+    // analyzer: allow(forbidden-api) -- estimates are clamped to [floor, 1] before every renormalisation; no NaN can reach the fold
     let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if max - min < 1e-12 {
         for x in v {

@@ -551,6 +551,7 @@ fn measure_obs_overhead(fast: bool) -> ObsOverheadPhase {
         (1.0 - 1.0 / r) * 100.0
     };
     let best = |legs: &[(f64, f64)], pick: fn(&(f64, f64)) -> f64| -> f64 {
+        // analyzer: allow(forbidden-api) -- legs hold finite medians of measured latencies
         legs.iter().map(pick).fold(0.0f64, f64::max)
     };
 
@@ -1050,6 +1051,7 @@ fn main() {
     let usage = |msg: &str| -> ! {
         eprintln!("{msg}");
         eprintln!("usage: perf [--out FILE] [--serve-out FILE] [--repeats N] [--fast]");
+        #[allow(clippy::disallowed_methods)] // bin entry point, nothing to flush yet
         std::process::exit(2);
     };
     let mut args = std::env::args().skip(1);

@@ -21,6 +21,7 @@ use crate::epoch::{EpochPredictor, EpochSnapshot};
 use crate::model::ModelKind;
 use crate::refit::{RefitConfig, RefitDaemon, RefitState};
 use crate::store::{BatchOutcome, JournalFn, LogRecord, ShardedStore};
+use crate::sync::RwLockExt;
 use crate::wal::DomainWal;
 
 /// The domain addressed by the legacy un-prefixed routes (`/claims`,
@@ -295,8 +296,7 @@ impl DomainSet {
     /// Resolves a domain by name.
     pub fn get(&self, name: &str) -> Option<Arc<Domain>> {
         self.domains
-            .read()
-            .expect("domain registry lock")
+            .read_locked()
             .iter()
             .find(|d| d.name() == name)
             .cloned()
@@ -309,18 +309,19 @@ impl DomainSet {
     /// Panics if the default domain was never inserted (the server boot
     /// path always inserts it first).
     pub fn default_domain(&self) -> Arc<Domain> {
+        // analyzer: allow(panic-expect) -- documented panic; every boot path inserts the default domain first
         self.get(DEFAULT_DOMAIN).expect("default domain exists")
     }
 
     /// Every domain, in insertion order.
     pub fn list(&self) -> Vec<Arc<Domain>> {
-        self.domains.read().expect("domain registry lock").clone()
+        self.domains.read_locked().clone()
     }
 
     /// Inserts a new domain, rejecting duplicates and invalid names.
     pub fn insert(&self, domain: Arc<Domain>) -> Result<(), DomainError> {
         validate_domain_name(domain.name()).map_err(DomainError::InvalidName)?;
-        let mut domains = self.domains.write().expect("domain registry lock");
+        let mut domains = self.domains.write_locked();
         if domains.iter().any(|d| d.name() == domain.name()) {
             return Err(DomainError::AlreadyExists(domain.name().to_owned()));
         }

@@ -11,6 +11,8 @@ use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+
+use crate::sync::LockExt;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -87,16 +89,19 @@ pub fn read_request_with_deadline(
         }
         arm_deadline(stream, deadline)?;
         let cap = (MAX_HEAD + 1 - head.len()).min(buf.len());
+        // analyzer: allow(panic-index) -- cap is clamped to buf.len() on the line above
         let n = stream.read(&mut buf[..cap])?;
         if n == 0 {
             return Err(bad("connection closed mid-head"));
         }
+        // analyzer: allow(panic-index) -- read() returns n <= buf.len()
         head.extend_from_slice(&buf[..n]);
         if head.len() > MAX_HEAD && find_head_end(&head).is_none() {
             return Err(bad("request head too large"));
         }
     };
     let (head_bytes, rest) = head.split_at(body_start);
+    // analyzer: allow(panic-index) -- find_head_end found "\r\n\r\n" at body_start, so rest has >= 4 bytes
     let mut body = rest[4..].to_vec(); // skip the \r\n\r\n itself
 
     let head_text = std::str::from_utf8(head_bytes).map_err(|_| bad("non-UTF-8 head"))?;
@@ -126,6 +131,7 @@ pub fn read_request_with_deadline(
         if n == 0 {
             return Err(bad("connection closed mid-body"));
         }
+        // analyzer: allow(panic-index) -- read() returns n <= buf.len()
         body.extend_from_slice(&buf[..n]);
     }
     body.truncate(content_length);
@@ -199,7 +205,7 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("ltm-http-{i}"))
                     .spawn(move || loop {
-                        let next = receiver.lock().expect("pool receiver lock").recv();
+                        let next = receiver.locked().recv();
                         match next {
                             Ok(stream) => {
                                 // A panicking handler must not shrink the
@@ -219,6 +225,7 @@ impl ThreadPool {
                             Err(_) => return, // sender dropped: shutdown
                         }
                     })
+                    // analyzer: allow(panic-expect) -- boot-time spawn; fails only on OS thread exhaustion, before the server serves
                     .expect("spawn http worker")
             })
             .collect();

@@ -59,6 +59,7 @@ pub mod refit;
 pub mod server;
 pub mod snapshot;
 pub mod store;
+pub mod sync;
 pub mod wal;
 
 pub use domain::{Domain, DomainError, DomainObs, DomainSet, DEFAULT_DOMAIN};
@@ -76,4 +77,5 @@ pub use store::{
     BatchOutcome, FactView, IngestOutcome, LogRecord, RealFactView, RealStoreDelta, ShardedStore,
     StoreDelta, StoreDeltaOf, StoreStats,
 };
+pub use sync::{LockExt, RwLockExt};
 pub use wal::{DomainWal, WalConfig, WalObs, WalSyncPolicy};

@@ -46,6 +46,7 @@ use ltm_core::{
 use crate::epoch::{EpochPredictor, EpochSnapshot};
 use crate::model::{ModelKind, ServePredictor};
 use crate::store::ShardedStore;
+use crate::sync::LockExt;
 
 /// Refit daemon configuration (shared by every domain of a server; the
 /// per-domain [`ModelKind`] selects which model configuration applies).
@@ -317,12 +318,12 @@ fn fold_boolean(
     mode: RefitMode,
 ) -> FoldStep {
     let ltm = LtmConfig { seed, ..config.ltm };
-    let obs = state.lock().expect("refit state").obs.clone();
+    let obs = state.locked().obs.clone();
     let extract_started = Instant::now();
     let (mut streaming, delta) = match mode {
         RefitMode::Full => (StreamingLtm::new(ltm), store.full_databases()),
         RefitMode::Incremental => {
-            let st = state.lock().expect("refit state");
+            let st = state.locked();
             let mut streaming = st
                 .streaming
                 .clone()
@@ -404,12 +405,12 @@ fn fold_real(
         seed,
         ..config.real
     };
-    let obs = state.lock().expect("refit state").obs.clone();
+    let obs = state.locked().obs.clone();
     let extract_started = Instant::now();
     let (mut streaming, delta) = match mode {
         RefitMode::Full => (StreamingRealLtm::new(real), store.full_real_databases()),
         RefitMode::Incremental => {
-            let st = state.lock().expect("refit state");
+            let st = state.locked();
             let mut streaming = st
                 .streaming_real
                 .clone()
@@ -488,7 +489,7 @@ pub fn refit_once(
     seed_bump: u64,
     mode: RefitMode,
 ) -> RefitOutcome {
-    let _hostage = refit_lock.lock().expect("refit lock");
+    let _hostage = refit_lock.locked();
     let pending_at_start = store.pending();
     let started = Instant::now();
 
@@ -506,14 +507,14 @@ pub fn refit_once(
             // slightly larger than the accumulator's watermark implies,
             // and without this commit the daemon would re-arm forever
             // over an empty delta.
-            let mut st = state.lock().expect("refit state");
+            let mut st = state.locked();
             st.counters.watermark = st.counters.watermark.max(watermark);
             drop(st);
             store.consume_pending(pending_at_start);
             return RefitOutcome::Empty;
         }
         FoldStep::Failed(e) => {
-            state.lock().expect("refit state").counters.refits_failed += 1;
+            state.locked().counters.refits_failed += 1;
             return RefitOutcome::Failed(e);
         }
         FoldStep::Done(folded) => folded,
@@ -526,7 +527,7 @@ pub fn refit_once(
     } = *folded;
     let max_rhat = candidate.max_rhat;
     let elapsed = started.elapsed().as_secs_f64();
-    let obs = state.lock().expect("refit state").obs.clone();
+    let obs = state.locked().obs.clone();
 
     // The epoch decision is applied first, then the accumulator commit,
     // then pending is consumed. A snapshot capture reads the store first,
@@ -558,7 +559,7 @@ pub fn refit_once(
         }
     };
     {
-        let mut st = state.lock().expect("refit state");
+        let mut st = state.locked();
         match acc {
             FoldedAcc::Boolean(s) => st.streaming = Some(s),
             FoldedAcc::Real(s) => st.streaming_real = Some(s),
@@ -639,7 +640,7 @@ impl RefitDaemon {
                 loop {
                     let forced;
                     {
-                        let mut st = lock.lock().expect("daemon lock");
+                        let mut st = lock.locked();
                         loop {
                             if st.shutdown {
                                 return;
@@ -658,7 +659,7 @@ impl RefitDaemon {
                             }
                             let (next, _timeout) = cv
                                 .wait_timeout(st, config.interval)
-                                .expect("daemon lock poisoned");
+                                .unwrap_or_else(|poisoned| poisoned.into_inner());
                             st = next;
                         }
                     }
@@ -736,6 +737,7 @@ impl RefitDaemon {
                     }
                 }
             })
+            // analyzer: allow(panic-expect) -- boot-time spawn; fails only on OS thread exhaustion, before the domain serves
             .expect("spawn refit daemon");
         Self {
             state,
@@ -758,7 +760,7 @@ impl RefitDaemon {
 
     fn force(&self, trigger: ForcedTrigger) {
         let (lock, cv) = &*self.state;
-        let mut st = lock.lock().expect("daemon lock");
+        let mut st = lock.locked();
         // A pending full request is never downgraded by a later auto one.
         st.forced = match (st.forced, trigger) {
             (Some(ForcedTrigger::Full), _) | (_, ForcedTrigger::Full) => Some(ForcedTrigger::Full),
@@ -780,7 +782,7 @@ impl RefitDaemon {
             st.shutdown = true;
         }
         cv.notify_all();
-        let handle = self.handle.lock().expect("daemon handle lock").take();
+        let handle = self.handle.locked().take();
         if let Some(h) = handle {
             let _ = h.join();
         }
@@ -861,7 +863,7 @@ mod tests {
         let snap = predictor.load();
         assert_eq!(snap.trained_claims, store.stats().claims);
         assert_eq!(store.pending(), 0, "pending consumed");
-        let st = state.lock().unwrap();
+        let st = state.locked();
         assert_eq!(st.watermark(), store.accepted_seq());
         assert_eq!(st.counters().refits_full, 1);
         assert!(st.counters().last_full_secs > 0.0);
@@ -913,7 +915,7 @@ mod tests {
             other => panic!("expected publish, got {other:?}"),
         }
         assert_eq!(store.pending(), 0);
-        let st = state.lock().unwrap();
+        let st = state.locked();
         assert_eq!(st.counters().refits_incremental, 2);
         assert_eq!(st.watermark(), store.accepted_seq());
         // The accumulator still covers the whole history, not just the
@@ -949,7 +951,7 @@ mod tests {
             ),
             other => panic!("expected publish, got {other:?}"),
         }
-        let st = state.lock().unwrap();
+        let st = state.locked();
         let acc = st.streaming().unwrap().accumulated();
         let late = store.source_id("late").unwrap();
         let late_total: f64 = [(true, true), (true, false), (false, true), (false, false)]
@@ -1025,7 +1027,7 @@ mod tests {
         assert_eq!(predictor.load().epoch, 0, "served epoch unchanged");
         assert_eq!(predictor.epochs_rejected(), 1);
         assert_eq!(store.pending(), 0, "pending consumed even on rejection");
-        let st = state.lock().unwrap();
+        let st = state.locked();
         assert!(
             st.streaming().is_some() && st.watermark() == store.accepted_seq(),
             "the fold is committed even when promotion is vetoed"
@@ -1055,7 +1057,7 @@ mod tests {
             other => panic!("expected failure, got {other:?}"),
         }
         assert_eq!(store.pending(), pending_before, "pending stays armed");
-        let st = state.lock().unwrap();
+        let st = state.locked();
         assert_eq!(st.counters().refits_failed, 1);
         assert_eq!(st.watermark(), 0, "watermark not advanced");
         drop(st);
@@ -1104,7 +1106,7 @@ mod tests {
         );
         std::thread::sleep(Duration::from_millis(700));
         let started = daemon.refits_started();
-        let failed = state.lock().unwrap().counters().refits_failed;
+        let failed = state.locked().counters().refits_failed;
         daemon.shutdown();
         assert!(started >= 2, "daemon must keep retrying: {started}");
         assert!(
@@ -1141,7 +1143,7 @@ mod tests {
             assert!(Instant::now() < deadline, "daemon never self-healed");
             std::thread::sleep(Duration::from_millis(10));
         }
-        let c = state.lock().unwrap().counters();
+        let c = state.locked().counters();
         assert!(c.refits_failed >= 2, "escalation needs two failures: {c:?}");
         assert!(
             c.refits_full >= 1,
@@ -1170,7 +1172,7 @@ mod tests {
         );
         // Wait for at least one failure so a backoff is in force.
         let deadline = Instant::now() + Duration::from_secs(30);
-        while state.lock().unwrap().counters().refits_failed == 0 {
+        while state.locked().counters().refits_failed == 0 {
             assert!(Instant::now() < deadline, "daemon never attempted");
             std::thread::sleep(Duration::from_millis(10));
         }
@@ -1182,7 +1184,7 @@ mod tests {
             assert!(Instant::now() < deadline, "forced full refit never healed");
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert!(state.lock().unwrap().counters().refits_full >= 1);
+        assert!(state.locked().counters().refits_full >= 1);
         daemon.shutdown();
     }
 
@@ -1209,7 +1211,7 @@ mod tests {
             // New data before each trigger so no attempt is Empty.
             store.ingest(&format!("fresh-{}", daemon.refits_started()), "a0", "good");
             daemon.trigger();
-            let c = state.lock().unwrap().counters();
+            let c = state.locked().counters();
             if c.refits_full >= 1 && c.refits_incremental >= 1 {
                 break;
             }

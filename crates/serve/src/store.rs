@@ -54,6 +54,8 @@ use ltm_core::{RealClaim, RealClaimDb};
 use ltm_model::interner::Interner;
 use ltm_model::{AttrId, Claim, ClaimDb, EntityId, Fact, FactId, SourceId};
 
+use crate::sync::{LockExt, RwLockExt};
+
 /// One accepted row of the replay log: the triple plus the optional real
 /// value carried by valued ([`crate::model::ModelKind::RealValued`])
 /// domains. Replaying the log through a fresh store with the same shard
@@ -237,7 +239,9 @@ struct Shard {
 impl Shard {
     /// Claims of local fact `f` per Definition 3, ascending source id.
     fn claims_of(&self, f: u32) -> Vec<(SourceId, bool)> {
+        // analyzer: allow(panic-index) -- f is a local fact id minted by this shard
         let (e, a, _) = self.facts[f as usize];
+        // analyzer: allow(panic-index) -- cover is grown to every interned entity on ingest
         self.cover[e as usize]
             .iter()
             .map(|&s| (SourceId::new(s), self.rows.contains(&(e, a, s))))
@@ -257,7 +261,9 @@ impl Shard {
 
     /// Valued claims of local fact `f`, ascending source id.
     fn real_claims_of(&self, f: u32) -> Vec<(SourceId, f64)> {
+        // analyzer: allow(panic-index) -- f is a local fact id minted by this shard
         let (e, a, _) = self.facts[f as usize];
+        // analyzer: allow(panic-index) -- cover is grown to every interned entity on ingest
         self.cover[e as usize]
             .iter()
             .map(|&s| (SourceId::new(s), self.value_of(e, a, s)))
@@ -284,6 +290,7 @@ impl Shard {
             .collect();
         let mut claims = Vec::with_capacity(self.num_claims());
         for (f, &(e, a, _)) in self.facts.iter().enumerate() {
+            // analyzer: allow(panic-index) -- cover is grown to every interned entity on ingest
             for &s in &self.cover[e as usize] {
                 claims.push(Claim {
                     fact: FactId::from_usize(f),
@@ -302,6 +309,7 @@ impl Shard {
     fn to_real_claim_db(&self, num_sources: usize) -> RealClaimDb {
         let mut claims = Vec::with_capacity(self.num_claims());
         for (f, &(e, a, _)) in self.facts.iter().enumerate() {
+            // analyzer: allow(panic-index) -- cover is grown to every interned entity on ingest
             for &s in &self.cover[e as usize] {
                 claims.push(RealClaim {
                     fact: FactId::from_usize(f),
@@ -342,11 +350,13 @@ impl Shard {
         let mut facts = Vec::with_capacity(selected.len());
         let mut claims = Vec::new();
         for (i, &lf) in selected.iter().enumerate() {
+            // analyzer: allow(panic-index) -- dirty_in_window only yields local fact ids of this shard
             let (e, a, _) = self.facts[lf as usize];
             facts.push(Fact {
                 entity: EntityId::new(e),
                 attr: AttrId::new(a),
             });
+            // analyzer: allow(panic-index) -- cover is grown to every interned entity on ingest
             for &s in &self.cover[e as usize] {
                 claims.push(Claim {
                     fact: FactId::from_usize(i),
@@ -364,7 +374,9 @@ impl Shard {
         let selected = self.dirty_in_window(watermark, upto)?;
         let mut claims = Vec::new();
         for (i, &lf) in selected.iter().enumerate() {
+            // analyzer: allow(panic-index) -- dirty_in_window only yields local fact ids of this shard
             let (e, a, _) = self.facts[lf as usize];
+            // analyzer: allow(panic-index) -- cover is grown to every interned entity on ingest
             for &s in &self.cover[e as usize] {
                 claims.push(RealClaim {
                     fact: FactId::from_usize(i),
@@ -428,22 +440,21 @@ impl ShardedStore {
 
     /// Interns a source name globally, returning its id.
     fn intern_source(&self, name: &str) -> SourceId {
-        if let Some(id) = self.sources.read().expect("sources lock").get(name) {
+        if let Some(id) = self.sources.read_locked().get(name) {
             return id;
         }
-        self.sources.write().expect("sources lock").intern(name)
+        self.sources.write_locked().intern(name)
     }
 
     /// Resolves a source name to its global id, if known.
     pub fn source_id(&self, name: &str) -> Option<SourceId> {
-        self.sources.read().expect("sources lock").get(name)
+        self.sources.read_locked().get(name)
     }
 
     /// Global source names in id order.
     pub fn source_names(&self) -> Vec<String> {
         self.sources
-            .read()
-            .expect("sources lock")
+            .read_locked()
             .iter()
             .map(|(_, n)| n.to_owned())
             .collect()
@@ -451,7 +462,7 @@ impl ShardedStore {
 
     /// Number of distinct sources interned so far.
     pub fn num_sources(&self) -> usize {
-        self.sources.read().expect("sources lock").len()
+        self.sources.read_locked().len()
     }
 
     /// Ingests one `(entity, attribute, source)` triple.
@@ -511,7 +522,7 @@ impl ShardedStore {
         rows: &[LogRecord],
         journal: Option<JournalFn<'_>>,
     ) -> std::io::Result<BatchOutcome> {
-        let mut log = self.log.lock().expect("log lock");
+        let mut log = self.log.locked();
         let mut out = BatchOutcome {
             first_seq: log.len() as u64 + 1,
             ..BatchOutcome::default()
@@ -558,7 +569,7 @@ impl ShardedStore {
         // replay order can never disagree with id-assignment order (the
         // snapshot-restore invariant). Serialises ingest; reads and refit
         // rebuilds never take it.
-        let mut log = self.log.lock().expect("log lock");
+        let mut log = self.log.locked();
         self.ingest_locked(&mut log, entry)
     }
 
@@ -571,7 +582,8 @@ impl ShardedStore {
             (&entry.entity, &entry.attr, &entry.source, entry.value);
         let s = self.intern_source(source).raw();
         let shard_idx = self.shard_of(entity);
-        let mut shard = self.shards[shard_idx].lock().expect("shard lock");
+        // analyzer: allow(panic-index) -- shard_of reduces the hash modulo shards.len()
+        let mut shard = self.shards[shard_idx].locked();
         let e = shard.entities.intern(entity).raw();
         let a = shard.attrs.intern(attr).raw();
         while shard.cover.len() <= e as usize {
@@ -580,19 +592,24 @@ impl ShardedStore {
         }
 
         if !shard.rows.insert((e, a, s)) {
+            // analyzer: allow(panic-index) -- a row in `rows` implies its fact was indexed on first insert
             let local = shard.fact_index[&(e, a)];
             self.duplicate_rows.fetch_add(1, Ordering::Relaxed);
+            // analyzer: allow(panic-index) -- fact_index values are indices into facts
             return IngestOutcome::Duplicate(shard.facts[local as usize].2);
         }
         if let Some(v) = value {
             shard.values.insert((e, a, s), v);
         }
+        // analyzer: allow(panic-index) -- cover was grown past e by the loop above
         let newly_covering = match shard.cover[e as usize].binary_search(&s) {
             Err(pos) => {
+                // analyzer: allow(panic-index) -- cover was grown past e by the loop above
                 shard.cover[e as usize].insert(pos, s);
                 // One new negative-or-positive row per existing fact of
                 // the entity (the asserted fact, if new, is counted when
                 // it is created below, over the already-grown cover).
+                // analyzer: allow(panic-index) -- entity_facts is grown in lockstep with cover
                 shard.claims += shard.entity_facts[e as usize].len();
                 true
             }
@@ -600,12 +617,13 @@ impl ShardedStore {
         };
 
         let (global, new_fact, local) = match shard.fact_index.get(&(e, a)) {
+            // analyzer: allow(panic-index) -- fact_index values are indices into facts
             Some(&local) => (shard.facts[local as usize].2, false, local),
             None => {
                 // New fact: assign the next global id. Registry is only
                 // ever locked while a shard lock is held (never the other
                 // way round), so this nesting cannot deadlock.
-                let mut registry = self.registry.write().expect("registry lock");
+                let mut registry = self.registry.write_locked();
                 let global = registry.len() as u64;
                 let local = shard.facts.len() as u32;
                 registry.push(FactLocation {
@@ -615,7 +633,9 @@ impl ShardedStore {
                 drop(registry);
                 shard.facts.push((e, a, global));
                 shard.fact_index.insert((e, a), local);
+                // analyzer: allow(panic-index) -- entity_facts is grown in lockstep with cover
                 shard.entity_facts[e as usize].push(local);
+                // analyzer: allow(panic-index) -- cover was grown past e by the loop above
                 shard.claims += shard.cover[e as usize].len();
                 (global, true, local)
             }
@@ -629,6 +649,7 @@ impl ShardedStore {
         let seq = log.len() as u64 + 1;
         let sh = &mut *shard;
         if newly_covering {
+            // analyzer: allow(panic-index) -- entity_facts is grown in lockstep with cover
             for &lf in &sh.entity_facts[e as usize] {
                 sh.dirty.insert(lf, seq);
             }
@@ -651,13 +672,10 @@ impl ShardedStore {
 
     /// Resolves a global fact id to its names and current claim list.
     pub fn fact(&self, id: u64) -> Option<FactView> {
-        let loc = *self
-            .registry
-            .read()
-            .expect("registry lock")
-            .get(usize::try_from(id).ok()?)?;
+        let loc = *self.registry.read_locked().get(usize::try_from(id).ok()?)?;
         // Registry lock is released here; only then is the shard locked.
-        let shard = self.shards[loc.shard].lock().expect("shard lock");
+        // analyzer: allow(panic-index) -- registry entries record the shard index that minted them
+        let shard = self.shards[loc.shard].locked();
         let &(e, a, global) = shard.facts.get(loc.local as usize)?;
         debug_assert_eq!(global, id);
         Some(FactView {
@@ -671,12 +689,9 @@ impl ShardedStore {
     /// Resolves a global fact id to its names and valued claim list (the
     /// real-valued-domain sibling of [`ShardedStore::fact`]).
     pub fn fact_real(&self, id: u64) -> Option<RealFactView> {
-        let loc = *self
-            .registry
-            .read()
-            .expect("registry lock")
-            .get(usize::try_from(id).ok()?)?;
-        let shard = self.shards[loc.shard].lock().expect("shard lock");
+        let loc = *self.registry.read_locked().get(usize::try_from(id).ok()?)?;
+        // analyzer: allow(panic-index) -- registry entries record the shard index that minted them
+        let shard = self.shards[loc.shard].locked();
         let &(e, a, global) = shard.facts.get(loc.local as usize)?;
         debug_assert_eq!(global, id);
         Some(RealFactView {
@@ -704,11 +719,7 @@ impl ShardedStore {
     /// returned watermark is present in the batches. Ingestion stalls
     /// only for the rebuild itself, never for the fit that follows.
     pub fn full_databases(&self) -> StoreDelta {
-        let guards: Vec<_> = self
-            .shards
-            .iter()
-            .map(|s| s.lock().expect("shard lock"))
-            .collect();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.locked()).collect();
         let watermark = self.accepted_seq();
         let num_sources = self.num_sources();
         let mut delta_facts = 0;
@@ -756,7 +767,7 @@ impl ShardedStore {
         let mut delta_claims = 0;
         let mut total_claims = 0;
         for shard in &self.shards {
-            let mut sh = shard.lock().expect("shard lock");
+            let mut sh = shard.locked();
             total_claims += sh.num_claims();
             sh.dirty.retain(|_, seq| *seq > watermark);
             if let Some((facts, claims)) = sh.delta_parts(watermark, upto) {
@@ -782,11 +793,7 @@ impl ShardedStore {
     /// every non-empty shard as a [`RealClaimDb`] (negative rows at
     /// `0.0`). Same locking discipline as the boolean full rebuild.
     pub fn full_real_databases(&self) -> RealStoreDelta {
-        let guards: Vec<_> = self
-            .shards
-            .iter()
-            .map(|s| s.lock().expect("shard lock"))
-            .collect();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.locked()).collect();
         let watermark = self.accepted_seq();
         let num_sources = self.num_sources();
         let mut delta_facts = 0;
@@ -821,7 +828,7 @@ impl ShardedStore {
         let mut delta_claims = 0;
         let mut total_claims = 0;
         for shard in &self.shards {
-            let mut sh = shard.lock().expect("shard lock");
+            let mut sh = shard.locked();
             total_claims += sh.num_claims();
             sh.dirty.retain(|_, seq| *seq > watermark);
             if let Some((facts, claims)) = sh.real_delta_parts(watermark, upto) {
@@ -873,7 +880,7 @@ impl ShardedStore {
         let mut claims = 0;
         let mut positive = 0;
         for s in &self.shards {
-            let s = s.lock().expect("shard lock");
+            let s = s.locked();
             facts += s.facts.len();
             claims += s.num_claims();
             positive += s.rows.len();
@@ -891,7 +898,7 @@ impl ShardedStore {
 
     /// The accepted-row log in arrival order (for snapshots).
     pub fn log_snapshot(&self) -> Vec<LogRecord> {
-        self.log.lock().expect("log lock").clone()
+        self.log.locked().clone()
     }
 
     /// One consistent persistence view: `(source names in id order,
@@ -902,7 +909,7 @@ impl ShardedStore {
     /// and that snapshot fails its own restore validation at the next
     /// boot.
     pub fn persistence_snapshot(&self) -> (Vec<String>, Vec<LogRecord>, usize) {
-        let log = self.log.lock().expect("log lock");
+        let log = self.log.locked();
         (self.source_names(), log.clone(), self.pending())
     }
 

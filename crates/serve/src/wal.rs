@@ -51,6 +51,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use crate::store::{IngestOutcome, LogRecord, ShardedStore};
+use crate::sync::LockExt;
 
 /// Segment file names: `wal-{first_seq:020}.seg` (20 digits covers u64).
 const SEGMENT_PREFIX: &str = "wal-";
@@ -86,6 +87,7 @@ const CRC32_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
+        // analyzer: allow(panic-index) -- const-evaluated loop, i < 256 == table.len()
         table[i] = crc;
         i += 1;
     }
@@ -97,6 +99,7 @@ const CRC32_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // analyzer: allow(panic-index) -- index is masked to 0..=255 and the table has 256 entries
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
@@ -301,6 +304,7 @@ fn parse_payload(payload: &[u8]) -> Result<WalRecord, String> {
         Ok(slice)
     };
     let take_u32 = |at: &mut usize| -> Result<u32, String> {
+        // analyzer: allow(panic-unwrap) -- take(_, 4) yielded exactly 4 bytes
         Ok(u32::from_le_bytes(take(at, 4)?.try_into().unwrap()))
     };
     let take_str = |at: &mut usize| -> Result<String, String> {
@@ -309,6 +313,7 @@ fn parse_payload(payload: &[u8]) -> Result<WalRecord, String> {
         String::from_utf8(bytes.to_vec()).map_err(|_| format!("non-UTF-8 string at byte {at}"))
     };
     let domain = take_str(&mut at)?;
+    // analyzer: allow(panic-unwrap) -- take(_, 8) yielded exactly 8 bytes
     let first_seq = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
     let count = take_u32(&mut at)? as usize;
     let mut rows = Vec::with_capacity(count.min(1 << 20));
@@ -319,6 +324,7 @@ fn parse_payload(payload: &[u8]) -> Result<WalRecord, String> {
         let value = match take(&mut at, 1)?[0] {
             0 => None,
             1 => Some(f64::from_bits(u64::from_le_bytes(
+                // analyzer: allow(panic-unwrap) -- take(_, 8) yielded exactly 8 bytes
                 take(&mut at, 8)?.try_into().unwrap(),
             ))),
             tag => return Err(format!("bad value tag {tag}")),
@@ -357,6 +363,7 @@ pub fn decode_segment(bytes: &[u8]) -> (Vec<WalRecord>, usize, Option<SegmentIss
         if remaining < 8 {
             return (records, at, Some(SegmentIssue::TornTail { offset: at }));
         }
+        // analyzer: allow(panic-index, panic-unwrap) -- remaining >= 8 was checked above; the slice is exactly 4 bytes
         let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
         if len > MAX_RECORD {
             return (
@@ -372,7 +379,9 @@ pub fn decode_segment(bytes: &[u8]) -> (Vec<WalRecord>, usize, Option<SegmentIss
         if remaining - 8 < len {
             return (records, at, Some(SegmentIssue::TornTail { offset: at }));
         }
+        // analyzer: allow(panic-index, panic-unwrap) -- remaining >= 8 was checked above; the slice is exactly 4 bytes
         let expected = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        // analyzer: allow(panic-index) -- remaining - 8 >= len was checked above
         let payload = &bytes[at + 8..at + 8 + len];
         let is_final = at + 8 + len == bytes.len();
         if crc32(payload) != expected {
@@ -675,7 +684,7 @@ impl DomainWal {
             first_seq,
             rows: rows.to_vec(),
         });
-        let mut inner = self.inner.lock().expect("wal lock");
+        let mut inner = self.inner.locked();
         inner.backlog.push_back((first_seq, frame));
         let result = self.drain_backlog_locked(&mut inner);
         self.note_drain(&inner, &result);
@@ -689,7 +698,7 @@ impl DomainWal {
     /// flush would cover rows the WAL does not hold). A no-op when the
     /// backlog is empty.
     pub fn flush_backlog(&self) -> io::Result<()> {
-        let mut inner = self.inner.lock().expect("wal lock");
+        let mut inner = self.inner.locked();
         if inner.backlog.is_empty() {
             return Ok(());
         }
@@ -700,7 +709,7 @@ impl DomainWal {
 
     /// Whether failed-append frames are still queued for re-journal.
     pub fn has_backlog(&self) -> bool {
-        !self.inner.lock().expect("wal lock").backlog.is_empty()
+        !self.inner.locked().backlog.is_empty()
     }
 
     /// Writes the queued frames front-first, stopping (and requeueing
@@ -810,7 +819,7 @@ impl DomainWal {
             WalSyncPolicy::Always => self.sync_now(),
             WalSyncPolicy::IntervalMs(ms) => {
                 let due = {
-                    let inner = self.inner.lock().expect("wal lock");
+                    let inner = self.inner.locked();
                     inner.dirty && inner.last_sync.elapsed() >= Duration::from_millis(ms)
                 };
                 if due {
@@ -824,7 +833,7 @@ impl DomainWal {
 
     /// Unconditional fsync of the active segment (shutdown, tests).
     pub fn sync_now(&self) -> io::Result<()> {
-        let mut inner = self.inner.lock().expect("wal lock");
+        let mut inner = self.inner.locked();
         if !inner.dirty {
             return Ok(());
         }
@@ -861,7 +870,7 @@ impl DomainWal {
     /// opens a fresh segment starting at `next_seq`. A no-op when the
     /// active segment is empty.
     pub fn seal_active(&self, next_seq: u64) -> io::Result<()> {
-        let mut inner = self.inner.lock().expect("wal lock");
+        let mut inner = self.inner.locked();
         let result = self.drain_backlog_locked(&mut inner).and_then(|()| {
             if inner.written == 0 {
                 return Ok(());
@@ -880,7 +889,7 @@ impl DomainWal {
     /// Whether any sealed (non-active) segments exist — the background
     /// compactor's trigger condition.
     pub fn has_sealed_segments(&self) -> bool {
-        let active = self.inner.lock().expect("wal lock").path.clone();
+        let active = self.inner.locked().path.clone();
         list_segments(&self.dir)
             .map(|segs| segs.iter().any(|(_, p)| p != &active))
             .unwrap_or(false)
@@ -892,11 +901,13 @@ impl DomainWal {
     /// `i` is deletable iff segment `i+1` starts at or below
     /// `covered_seq + 1`; the active segment is never deleted.
     pub fn delete_segments_covered_by(&self, covered_seq: u64) -> io::Result<usize> {
-        let active = self.inner.lock().expect("wal lock").path.clone();
+        let active = self.inner.locked().path.clone();
         let segments = list_segments(&self.dir)?;
         let mut deleted = 0;
         for pair in segments.windows(2) {
+            // analyzer: allow(panic-index) -- windows(2) yields exactly-2-element slices
             let (_, path) = &pair[0];
+            // analyzer: allow(panic-index) -- windows(2) yields exactly-2-element slices
             let (next_first, _) = &pair[1];
             if path != &active && *next_first <= covered_seq + 1 {
                 std::fs::remove_file(path)?;
