@@ -40,7 +40,7 @@ pub use avglog::AvgLog;
 pub use graph::PositiveGraph;
 pub use hits::HubAuthority;
 pub use investment::Investment;
-pub use method::TruthMethod;
+pub use method::{source_agreement_trust, TruthMethod};
 pub use pooled::PooledInvestment;
 pub use three_estimates::ThreeEstimates;
 pub use truthfinder::TruthFinder;

@@ -1,6 +1,6 @@
 //! The common interface implemented by every truth-finding method.
 
-use ltm_model::{ClaimDb, TruthAssignment};
+use ltm_model::{ClaimDb, SourceId, TruthAssignment};
 
 /// A truth-finding method: consumes a claim database, produces a score in
 /// `[0, 1]` per fact ("the probability for each fact indicating how likely
@@ -15,6 +15,41 @@ pub trait TruthMethod {
 
     /// Scores every fact of `db`.
     fn infer(&self, db: &ClaimDb) -> TruthAssignment;
+}
+
+/// Derives a per-source trust vector from a method's own fitted scores:
+/// each source's trust is the mean agreement of its claims with the
+/// assignment — `score(f)` for a positive claim on fact `f`, `1 −
+/// score(f)` for a negative one. Sources with no claims get the
+/// uninformed 0.5.
+///
+/// This gives every [`TruthMethod`] a uniform way to weigh an *ad-hoc*
+/// claim set (the serving layer's shadow-query path) without exposing
+/// each method's internal trust iterate: a source that mostly agrees
+/// with what the method concluded is trusted, one that mostly disagrees
+/// is not. Always in `[0, 1]` when the scores are.
+pub fn source_agreement_trust(db: &ClaimDb, scores: &TruthAssignment) -> Vec<f64> {
+    (0..db.num_sources())
+        .map(|k| {
+            let s = SourceId::from_usize(k);
+            let claims = db.claims_of_source(s);
+            if claims.is_empty() {
+                return 0.5;
+            }
+            let agree: f64 = claims
+                .iter()
+                .map(|&c| {
+                    let p = scores.prob(db.claim_fact(c));
+                    if db.claim_observation(c) {
+                        p
+                    } else {
+                        1.0 - p
+                    }
+                })
+                .sum();
+            agree / claims.len() as f64
+        })
+        .collect()
 }
 
 /// Shared test fixtures for the baseline implementations.

@@ -9,12 +9,16 @@
 //!
 //! ```text
 //! perf [--out <FILE>] [--serve-out <FILE>] [--repeats <N>] [--fast]
+//! perf --emit-goldens [<FILE>]
 //!
 //! Options:
 //!   --out <FILE>        Gibbs output JSON path (default BENCH_gibbs.json)
 //!   --serve-out <FILE>  serve-path output JSON path (default BENCH_serve.json)
 //!   --repeats <N>       timing repeats per measurement, best-of (default 3)
 //!   --fast              smoke mode: small dataset, one repeat
+//!   --emit-goldens      regenerate the golden-accuracy fixture (default
+//!                       tests/goldens/accuracy.json, relative to the
+//!                       workspace root) and exit without benchmarking
 //! ```
 //!
 //! The headline dataset is 5 000 facts × 20 sources = 100 000 claims; the
@@ -28,7 +32,9 @@
 //! daemon's first epoch, then run a mixed query/ingest phase (9:1) with
 //! per-request latency percentiles — emitted as `BENCH_serve.json`.
 //! A final phase re-runs the bulk ingest against WAL-enabled servers at
-//! each `--wal-sync` policy to price the durability tax.
+//! each `--wal-sync` policy to price the durability tax, and an A/B pair
+//! of servers prices the observability layer (`obs_overhead`) and the
+//! baseline shadow ensemble (`shadow_overhead`) on the hot paths.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -222,6 +228,38 @@ struct ObsOverheadPhase {
     query_overhead_pct: f64,
 }
 
+/// The shadow-predictor tax: identical query workloads against a server
+/// whose refits also fit the baseline shadow ensemble and one with
+/// shadows disabled (`refit.shadows = false`), interleaved call by call
+/// like [`ObsOverheadPhase`]. Shadow fitting runs on the refit daemon
+/// thread, so the query path only pays for the heavier epoch snapshot it
+/// clones — the phase prices exactly that. CI gates the median-ratio
+/// overhead at ≤ 5%.
+#[derive(Debug, Clone, Serialize)]
+struct ShadowOverheadPhase {
+    /// Triples bulk-ingested per mode.
+    ingest_triples: usize,
+    /// Plain `/query` requests issued per mode.
+    query_ops: usize,
+    /// Shadow methods fitted on the shadows-on server (8 = LTM + the
+    /// seven Table 7 baselines).
+    shadow_methods: usize,
+    /// Facts covered by the published shadow tables.
+    shadow_facts: usize,
+    /// Plain-query latency with shadow tables published.
+    query_on: LatencyStats,
+    /// Plain-query latency with shadows disabled.
+    query_off: LatencyStats,
+    /// `(1 − 1/median(t_on/t_off)) × 100` over paired calls — query
+    /// throughput given up to the shadow ensemble (the CI-gated number).
+    query_overhead_pct: f64,
+    /// `(p99_on/p99_off − 1) × 100` — the headline p99 regression.
+    p99_regression_pct: f64,
+    /// `?methods=all` latency on the shadows-on server (9 scores per
+    /// answer), for reference — not gated.
+    methods_all: LatencyStats,
+}
+
 /// The `BENCH_serve.json` schema.
 #[derive(Debug, Clone, Serialize)]
 struct BenchServe {
@@ -254,6 +292,8 @@ struct BenchServe {
     wal_sync: Vec<WalSyncPoint>,
     /// Metrics-recording overhead on the ingest and query hot paths.
     obs_overhead: ObsOverheadPhase,
+    /// Query-path cost of publishing the baseline shadow ensemble.
+    shadow_overhead: ShadowOverheadPhase,
 }
 
 /// Drives the serve path over HTTP and returns the measured report.
@@ -401,6 +441,8 @@ fn measure_serve(fast: bool) -> BenchServe {
     let wal_sync = measure_wal_sync(fast);
     // Metrics on/off A-B, one fresh server per repeat.
     let obs_overhead = measure_obs_overhead(fast);
+    // Shadows on/off A-B on a pair of servers.
+    let shadow_overhead = measure_shadow_overhead(fast);
 
     BenchServe {
         shards: 4,
@@ -420,7 +462,181 @@ fn measure_serve(fast: bool) -> BenchServe {
         multi_domain,
         wal_sync,
         obs_overhead,
+        shadow_overhead,
     }
+}
+
+/// Prices the shadow ensemble on the query path: two servers ingest the
+/// same workload, both publish a first epoch (one fitting the eight
+/// shadow predictors, one with `refit.shadows = false`), then an
+/// interleaved plain-`/query` stream measures both call by call. The
+/// overhead comes from the median per-call duration ratio — the same
+/// scheduler-noise-immune methodology as [`measure_obs_overhead`]. A
+/// final pass times `?methods=all` on the shadows-on server for scale.
+fn measure_shadow_overhead(fast: bool) -> ShadowOverheadPhase {
+    use ltm_serve::http::http_call;
+    use ltm_serve::refit::RefitConfig;
+    use ltm_serve::server::{ServeConfig, Server};
+
+    let entities: usize = if fast { 200 } else { 800 };
+    let sources: usize = 20;
+    let query_ops: usize = if fast { 800 } else { 2_000 };
+
+    let boot = |shadows: bool| -> Server {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 4,
+            threads: 4,
+            refit: RefitConfig {
+                ltm: LtmConfig {
+                    priors: Priors::scaled_specificity(entities * 2),
+                    schedule: SampleSchedule::new(60, 20, 1),
+                    ..LtmConfig::default()
+                },
+                chains: 2,
+                // Always promote: this phase prices the published shadow
+                // tables, so the fit must land regardless of mixing.
+                rhat_gate: 1e9,
+                min_pending: usize::MAX,
+                interval: std::time::Duration::from_millis(50),
+                shadows,
+                ..RefitConfig::default()
+            },
+            snapshot: None,
+            ..ServeConfig::default()
+        })
+        .expect("boot shadow-overhead benchmark server")
+    };
+    let server_on = boot(true);
+    let server_off = boot(false);
+    let (addr_on, addr_off) = (server_on.addr(), server_off.addr());
+
+    let triples: Vec<String> = (0..entities)
+        .flat_map(|e| {
+            (0..sources).map(move |s| {
+                let a = (e + s) % 2;
+                format!("[\"e{e}\",\"a{a}\",\"s{s}\"]")
+            })
+        })
+        .collect();
+    for chunk in triples.chunks(1_000) {
+        let body = format!("{{\"triples\":[{}]}}", chunk.join(","));
+        for addr in [addr_on, addr_off] {
+            let (status, response) =
+                http_call(addr, "POST", "/claims", Some(&body)).expect("shadow ingest");
+            assert_eq!(status, 200, "{response}");
+        }
+    }
+
+    // The shadow fields are per-domain, so read the nested `domains.default`
+    // stats section rather than the flat epoch mirror at the top level.
+    let stats_f64 = |addr: std::net::SocketAddr, field: &str| -> f64 {
+        let (_, body) = http_call(addr, "GET", "/stats", None).expect("stats");
+        let value: serde::Value = serde_json::from_str(&body).expect("stats JSON");
+        value
+            .get_field("domains")
+            .and_then(|d| d.get_field("default"))
+            .and_then(|s| s.get_field(field))
+            .and_then(serde::Value::as_f64)
+            .unwrap_or_else(|| panic!("stats field {field} missing or non-numeric: {body}"))
+    };
+    server_on.trigger_refit();
+    server_off.trigger_refit();
+    let started = Instant::now();
+    loop {
+        if stats_f64(addr_on, "shadow_facts") > 0.0 && stats_f64(addr_off, "epoch") >= 1.0 {
+            break;
+        }
+        assert!(
+            started.elapsed().as_secs() < 600,
+            "shadow tables never published"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let shadow_facts = stats_f64(addr_on, "shadow_facts") as usize;
+
+    fn median(mut v: Vec<f64>) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite duration ratios"));
+        v[v.len() / 2]
+    }
+
+    // Interleaved plain-query stream: same body against both servers,
+    // back to back, order alternating.
+    let mut on_ms = Vec::with_capacity(query_ops);
+    let mut off_ms = Vec::with_capacity(query_ops);
+    let mut ratios = Vec::with_capacity(query_ops);
+    for i in 0..query_ops {
+        let body = format!(
+            "{{\"claims\":[[\"s{}\",true],[\"s{}\",false]]}}",
+            i % sources,
+            (i + 7) % sources
+        );
+        let order: [usize; 2] = if i % 2 == 0 { [0, 1] } else { [1, 0] };
+        let mut elapsed = [0.0f64; 2];
+        for mode in order {
+            let addr = if mode == 0 { addr_on } else { addr_off };
+            let started = Instant::now();
+            let (status, response) =
+                http_call(addr, "POST", "/query", Some(&body)).expect("shadow query");
+            elapsed[mode] = started.elapsed().as_secs_f64();
+            assert_eq!(status, 200, "{response}");
+        }
+        on_ms.push(elapsed[0] * 1e3);
+        off_ms.push(elapsed[1] * 1e3);
+        ratios.push(elapsed[0] / elapsed[1]);
+    }
+
+    // `?methods=all` on the shadows-on server, for the report only.
+    let mut methods_ms = Vec::with_capacity(query_ops.min(500));
+    for i in 0..query_ops.min(500) {
+        let body = format!(
+            "{{\"claims\":[[\"s{}\",true],[\"s{}\",false]]}}",
+            i % sources,
+            (i + 3) % sources
+        );
+        let started = Instant::now();
+        let (status, response) = http_call(addr_on, "POST", "/query?methods=all", Some(&body))
+            .expect("methods=all query");
+        methods_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(status, 200, "{response}");
+        assert!(
+            response.contains("\"ensemble\""),
+            "methods=all answer lacks the ensemble score: {response}"
+        );
+    }
+
+    server_on
+        .shutdown()
+        .expect("clean shadow-overhead shutdown");
+    server_off
+        .shutdown()
+        .expect("clean shadow-overhead shutdown");
+
+    let query_on = LatencyStats::from_millis(on_ms);
+    let query_off = LatencyStats::from_millis(off_ms);
+    let point = ShadowOverheadPhase {
+        ingest_triples: triples.len(),
+        query_ops,
+        shadow_methods: 1 + ltm_baselines::all_baselines().len(),
+        shadow_facts,
+        query_overhead_pct: (1.0 - 1.0 / median(ratios)) * 100.0,
+        p99_regression_pct: (query_on.p99_ms / query_off.p99_ms - 1.0) * 100.0,
+        methods_all: LatencyStats::from_millis(methods_ms),
+        query_on,
+        query_off,
+    };
+    println!(
+        "shadow-overhead: query p50 {:.2} ms on vs {:.2} ms off ({:+.2}% median-ratio, \
+         p99 {:+.2}%), methods=all p50 {:.2} ms over {} facts × {} methods",
+        point.query_on.p50_ms,
+        point.query_off.p50_ms,
+        point.query_overhead_pct,
+        point.p99_regression_pct,
+        point.methods_all.p50_ms,
+        point.shadow_facts,
+        point.shadow_methods
+    );
+    point
 }
 
 /// Runs the same ingest + query workload against a server with metrics
@@ -1048,15 +1264,30 @@ fn main() {
     let mut serve_out = PathBuf::from("BENCH_serve.json");
     let mut repeats = 3usize;
     let mut fast = false;
+    let mut emit_goldens: Option<PathBuf> = None;
     let usage = |msg: &str| -> ! {
         eprintln!("{msg}");
-        eprintln!("usage: perf [--out FILE] [--serve-out FILE] [--repeats N] [--fast]");
+        eprintln!(
+            "usage: perf [--out FILE] [--serve-out FILE] [--repeats N] [--fast]\n\
+             \x20      perf --emit-goldens [FILE]"
+        );
         #[allow(clippy::disallowed_methods)] // bin entry point, nothing to flush yet
         std::process::exit(2);
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            // The path operand is optional: a following flag (or nothing)
+            // keeps the checked-in fixture location.
+            "--emit-goldens" => {
+                emit_goldens = Some(match args.next() {
+                    Some(path) if !path.starts_with("--") => PathBuf::from(path),
+                    Some(flag) => usage(&format!(
+                        "--emit-goldens takes an optional FILE, not the flag `{flag}`"
+                    )),
+                    None => PathBuf::from("tests/goldens/accuracy.json"),
+                });
+            }
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a path")))
             }
@@ -1079,6 +1310,19 @@ fn main() {
             "--fast" => fast = true,
             other => usage(&format!("unknown argument `{other}`")),
         }
+    }
+    if let Some(path) = emit_goldens {
+        let report = ltm_bench::compute_goldens();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create goldens directory");
+        }
+        write_json(&path, &report).expect("write goldens");
+        println!(
+            "wrote {} golden records to {}",
+            report.records.len(),
+            path.display()
+        );
+        return;
     }
     if fast {
         repeats = 1;

@@ -10,7 +10,9 @@
 //! * [`suite`] — construction of the simulated book/movie datasets and
 //!   entity-sampled subsets, with one shared set of seeds;
 //! * [`experiments`] — one module per table/figure, each returning a
-//!   serialisable result and a rendered text table.
+//!   serialisable result and a rendered text table;
+//! * [`goldens`] — the fixed-seed golden-accuracy computation shared by
+//!   the workspace regression test and `perf --emit-goldens`.
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 
@@ -19,7 +21,9 @@
 
 pub mod adapters;
 pub mod experiments;
+pub mod goldens;
 pub mod suite;
 
 pub use adapters::{LtmIncMethod, LtmMethod, LtmPosMethod};
+pub use goldens::{compute_goldens, GoldenRecord, GoldenReport};
 pub use suite::Suite;

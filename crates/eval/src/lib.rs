@@ -25,7 +25,7 @@ pub mod sweep;
 pub mod timing;
 
 pub use calibration::{brier_score, expected_calibration_error, reliability_diagram};
-pub use metrics::{Confusion, Metrics};
+pub use metrics::{evaluate, Confusion, Metrics};
 pub use report::TextTable;
 pub use roc::{auc, roc_curve, RocPoint};
 pub use sweep::{accuracy_series, threshold_sweep};

@@ -5,6 +5,7 @@
 //!            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]
 //!            [--full-refit-every N] [--snapshot FILE] [--port-file FILE]
 //!            [--io-timeout-millis MS] [--domain NAME=KIND]...
+//!            [--labels FILE] [--no-shadows]
 //!            [--wal-dir DIR] [--wal-sync always|never|interval:MS]
 //!            [--wal-segment-bytes N]
 //!            [--log-level error|warn|info|debug] [--log-format text|json]
@@ -21,7 +22,12 @@
 //! write-ahead log: accepted batches are journaled and fsync'd (per
 //! `--wal-sync`, default `always`) before the HTTP ack, segments rotate
 //! at `--wal-segment-bytes` (default 8 MiB), and a restart replays the
-//! tail — see DESIGN.md §6 "Durability". `--log-level` (default `info`)
+//! tail — see DESIGN.md §6 "Durability". `--labels FILE` loads ground
+//! truth (`entity,attribute,true|false` CSV, header row skipped) into the
+//! default domain at boot so `GET /eval` can report per-method accuracy
+//! from the first promoted refit; `--no-shadows` skips the per-epoch
+//! baseline shadow fits (queries with `?methods=` beyond `ltm` then
+//! answer 409). `--log-level` (default `info`)
 //! and `--log-format` (default `text`; `json` emits one object per line
 //! for log shippers) control the structured logger; `GET /metrics` on
 //! the running server exposes the Prometheus-format counters and latency
@@ -57,6 +63,7 @@ fn usage(msg: &str) -> ! {
          \x20            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]\n\
          \x20            [--full-refit-every N] [--snapshot FILE] [--port-file FILE]\n\
          \x20            [--io-timeout-millis MS] [--domain NAME=KIND]...\n\
+         \x20            [--labels FILE] [--no-shadows]\n\
          \x20            [--wal-dir DIR] [--wal-sync always|never|interval:MS]\n\
          \x20            [--wal-segment-bytes N]\n\
          \x20            [--log-level error|warn|info|debug] [--log-format text|json]\n\
@@ -101,6 +108,7 @@ fn serve(mut args: impl Iterator<Item = String>) {
         ..ServeConfig::default()
     };
     let mut port_file: Option<PathBuf> = None;
+    let mut labels_file: Option<PathBuf> = None;
     let mut wal_dir: Option<PathBuf> = None;
     let mut wal_sync: Option<WalSyncPolicy> = None;
     let mut wal_segment_bytes: Option<u64> = None;
@@ -141,6 +149,8 @@ fn serve(mut args: impl Iterator<Item = String>) {
                     .unwrap_or_else(|e| usage(&format!("--domain: {e}")));
                 config.domains.push((name.to_owned(), kind));
             }
+            "--labels" => labels_file = Some(parse_or_usage(args.next(), "--labels")),
+            "--no-shadows" => config.refit.shadows = false,
             "--wal-dir" => wal_dir = Some(parse_or_usage(args.next(), "--wal-dir")),
             "--wal-sync" => {
                 let text: String = parse_or_usage(args.next(), "--wal-sync");
@@ -210,6 +220,20 @@ fn serve(mut args: impl Iterator<Item = String>) {
         );
         std::process::exit(1);
     });
+    // Labels load before the port file is written, so anything watching
+    // the port file sees a server whose /eval is already primed.
+    if let Some(path) = &labels_file {
+        let rows = read_labels(path).unwrap_or_else(|e| {
+            ltm_serve::log_error!("serve", "failed to read --labels {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let loaded = rows.len();
+        let total = server.domains().default_domain().add_labels(rows);
+        println!(
+            "loaded {loaded} labels ({total} total) from {}",
+            path.display()
+        );
+    }
     println!("ltm serve listening on {}", server.addr());
     for domain in server.domains().list() {
         println!("  domain {} ({})", domain.name(), domain.kind());
@@ -278,6 +302,42 @@ fn read_rows(path: &PathBuf) -> Result<Vec<CsvRow>, String> {
             other => {
                 return Err(format!(
                     "line {line_no}: expected 3 or 4 fields, found {}",
+                    other.len()
+                ))
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Reads an `entity,attribute,true|false` ground-truth CSV (header row
+/// skipped) for `serve --labels`, with the same RFC-4180-style quoting
+/// as [`read_rows`].
+fn read_labels(path: &PathBuf) -> Result<Vec<(String, String, bool)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.is_empty() {
+            continue; // header / blank
+        }
+        let line_no = i + 1;
+        let fields = ltm_model::io::split_record(line, line_no).map_err(|e| e.to_string())?;
+        match fields.as_slice() {
+            [e, a, t] => {
+                let truth = match t.trim() {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(format!(
+                            "line {line_no}: label must be true|false, got {other:?}"
+                        ))
+                    }
+                };
+                rows.push((e.clone(), a.clone(), truth));
+            }
+            other => {
+                return Err(format!(
+                    "line {line_no}: expected 3 fields (entity,attribute,true|false), found {}",
                     other.len()
                 ))
             }

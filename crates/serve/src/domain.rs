@@ -14,6 +14,7 @@
 //! routes), always containing the [`DEFAULT_DOMAIN`] that the legacy
 //! un-prefixed routes address.
 
+use std::collections::HashMap;
 use std::io;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
@@ -21,7 +22,7 @@ use crate::epoch::{EpochPredictor, EpochSnapshot};
 use crate::model::ModelKind;
 use crate::refit::{RefitConfig, RefitDaemon, RefitState};
 use crate::store::{BatchOutcome, JournalFn, LogRecord, ShardedStore};
-use crate::sync::RwLockExt;
+use crate::sync::{LockExt, RwLockExt};
 use crate::wal::DomainWal;
 
 /// The domain addressed by the legacy un-prefixed routes (`/claims`,
@@ -70,6 +71,11 @@ pub struct Domain {
     /// Ingest metric handles attached by the server (absent in bare
     /// tests, where ingest records nothing).
     obs: OnceLock<DomainObs>,
+    /// Ground-truth labels keyed by `(entity, attr)` names, loaded via
+    /// `--labels` or `POST …/admin/labels` and joined against the shadow
+    /// tables by `GET …/eval`. Held only for short copies — never across
+    /// any store or epoch lock.
+    labels: Mutex<HashMap<(String, String), bool>>,
 }
 
 /// Per-domain ingest metric handles, labeled `domain=`.
@@ -120,7 +126,33 @@ impl Domain {
             daemon: OnceLock::new(),
             wal: OnceLock::new(),
             obs: OnceLock::new(),
+            labels: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Merges ground-truth labels into the domain's label set (later
+    /// labels for the same `(entity, attr)` win) and returns the total
+    /// number of labels now loaded.
+    pub fn add_labels(&self, rows: impl IntoIterator<Item = (String, String, bool)>) -> usize {
+        let mut labels = self.labels.locked();
+        for (entity, attr, truth) in rows {
+            labels.insert((entity, attr), truth);
+        }
+        labels.len()
+    }
+
+    /// A snapshot of the loaded ground-truth labels.
+    pub fn labels(&self) -> Vec<(String, String, bool)> {
+        self.labels
+            .locked()
+            .iter()
+            .map(|((e, a), &t)| (e.clone(), a.clone(), t))
+            .collect()
+    }
+
+    /// Number of ground-truth labels currently loaded.
+    pub fn num_labels(&self) -> usize {
+        self.labels.locked().len()
     }
 
     /// Attaches ingest metric handles (idempotent — first attachment

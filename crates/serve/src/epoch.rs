@@ -18,6 +18,7 @@ use ltm_core::{
 };
 
 use crate::model::{ModelKind, ServePredictor};
+use crate::shadow::ShadowTables;
 
 /// One immutable published predictor generation.
 #[derive(Debug, Clone)]
@@ -37,6 +38,11 @@ pub struct EpochSnapshot {
     pub trained_claims: usize,
     /// Sources covered by the learned quality.
     pub trained_sources: usize,
+    /// Shadow baseline tables fit on the same extraction as this epoch,
+    /// if shadow fitting is enabled for the domain (`None` for the boot
+    /// predictor, real-valued domains, and restored epochs whose
+    /// snapshot predates shadow persistence).
+    pub shadow: Option<Arc<ShadowTables>>,
 }
 
 impl EpochSnapshot {
@@ -76,6 +82,7 @@ impl EpochSnapshot {
             converged_fraction: 1.0,
             trained_claims: 0,
             trained_sources: 0,
+            shadow: None,
         }
     }
 }

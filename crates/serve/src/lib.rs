@@ -36,6 +36,13 @@
 //!   before the HTTP ack; a background compactor folds sealed segments
 //!   into the snapshot, and boot replays the tail — so an acked batch
 //!   survives `kill -9` (see DESIGN.md §6 "Durability").
+//! * [`shadow`] — the **baseline shadow ensemble**: each promoted refit
+//!   also fits the seven Table 7 baselines on the same extraction and
+//!   publishes their truth tables beside LTM in the epoch swap, so
+//!   `?methods=all` queries answer every method plus a rank-average
+//!   ensemble, `/stats` and `/metrics` report method agreement
+//!   (pairwise correlation + decision flips), and `GET /eval` scores
+//!   them all live against loaded ground-truth labels.
 //! * [`obs`] — the **observability spine**: a metrics registry of atomic
 //!   counters, gauges, and lock-free log-linear latency histograms
 //!   rendered by `GET /metrics` (Prometheus text format, `domain=`
@@ -57,6 +64,7 @@ pub mod model;
 pub mod obs;
 pub mod refit;
 pub mod server;
+pub mod shadow;
 pub mod snapshot;
 pub mod store;
 pub mod sync;
@@ -72,6 +80,7 @@ pub use refit::{
     RefitState,
 };
 pub use server::{ServeConfig, Server};
+pub use shadow::{Agreement, ShadowColumn, ShadowObs, ShadowTables};
 pub use snapshot::Snapshot;
 pub use store::{
     BatchOutcome, FactView, IngestOutcome, LogRecord, RealFactView, RealStoreDelta, ShardedStore,

@@ -76,6 +76,11 @@ pub struct RefitConfig {
     /// Cap on the exponential backoff applied after consecutive refit
     /// failures (the delay doubles from `interval` up to this).
     pub max_backoff: Duration,
+    /// Fit the shadow baseline predictors on every published boolean or
+    /// positive-only refit (see [`crate::shadow`]). Disabling skips the
+    /// baseline fits entirely; `?methods=` queries beyond `ltm` then
+    /// answer 409.
+    pub shadows: bool,
 }
 
 impl Default for RefitConfig {
@@ -96,6 +101,7 @@ impl Default for RefitConfig {
             interval: Duration::from_millis(200),
             full_refit_every: 8,
             max_backoff: Duration::from_secs(60),
+            shadows: true,
         }
     }
 }
@@ -154,6 +160,9 @@ pub struct RefitState {
     /// Phase-span metric handles attached by the server (absent in bare
     /// tests, where refits record nothing).
     obs: Option<RefitObs>,
+    /// Per-method shadow-fit latency handles attached by the server
+    /// (absent in bare tests).
+    shadow_obs: Option<crate::shadow::ShadowObs>,
 }
 
 /// Refit phase-span metric handles: one histogram per phase of a refit
@@ -242,6 +251,12 @@ impl RefitState {
     /// state without them records nothing).
     pub fn set_obs(&mut self, obs: RefitObs) {
         self.obs = Some(obs);
+    }
+
+    /// Attaches shadow-fit metric handles (the server's boot path; a
+    /// state without them records nothing).
+    pub fn set_shadow_obs(&mut self, obs: crate::shadow::ShadowObs) {
+        self.shadow_obs = Some(obs);
     }
 }
 
@@ -383,6 +398,7 @@ fn fold_boolean(
         },
         trained_claims: delta.total_claims,
         trained_sources: quality.num_sources(),
+        shadow: None, // attached by refit_once iff the candidate promotes
     };
     FoldStep::Done(Box::new(Folded {
         acc: FoldedAcc::Boolean(streaming),
@@ -459,6 +475,7 @@ fn fold_real(
         },
         trained_claims: delta.total_claims,
         trained_sources: streaming.accumulated().num_sources(),
+        shadow: None, // real-valued domains have no boolean shadow fits
     };
     FoldStep::Done(Box::new(Folded {
         acc: FoldedAcc::Real(streaming),
@@ -521,7 +538,7 @@ pub fn refit_once(
     };
     let Folded {
         acc,
-        candidate,
+        mut candidate,
         watermark,
         delta_claims,
     } = *folded;
@@ -543,6 +560,26 @@ pub fn refit_once(
     }
     let promote_started = Instant::now();
     let outcome = if promote {
+        // Shadow baselines are fit only for epochs that will actually be
+        // published (a vetoed candidate is dropped whole), on a fresh
+        // full extraction so every method — including the LTM column the
+        // candidate will serve — scores one consistent claim database
+        // keyed by global fact id. This runs on the daemon thread behind
+        // the epoch pointer-swap; queries never wait on it.
+        if config.shadows {
+            if let Some(ltm) = candidate.predictor.as_boolean().cloned() {
+                let shadow_obs = state.locked().shadow_obs.clone();
+                let (full, globals) = store.full_databases_with_ids();
+                if !full.batches.is_empty() {
+                    candidate.shadow = Some(Arc::new(crate::shadow::fit_shadow_tables(
+                        &full.batches,
+                        &globals,
+                        &ltm,
+                        shadow_obs.as_ref(),
+                    )));
+                }
+            }
+        }
         let epoch = predictor.publish(candidate);
         RefitOutcome::Published {
             epoch,

@@ -46,6 +46,7 @@ use crate::model::ModelKind;
 use crate::obs::registry::{escape_label, fmt_f64};
 use crate::obs::{self, Counter, Gauge, Registry, ScopedGauge};
 use crate::refit::{RefitConfig, RefitObs, RefitState};
+use crate::shadow::{self, ShadowObs, ShadowTables};
 use crate::snapshot;
 use crate::store::{LogRecord, ShardedStore};
 use crate::sync::{wait_recovered, LockExt};
@@ -293,9 +294,9 @@ impl Context {
         };
         let rest = rest.split('?').next().unwrap_or("");
         let endpoint = match rest {
-            "/healthz" | "/stats" | "/domains" | "/metrics" | "/claims" | "/query"
+            "/healthz" | "/stats" | "/domains" | "/metrics" | "/claims" | "/query" | "/eval"
             | "/admin/domains" | "/admin/snapshot" | "/admin/compact" | "/admin/shutdown"
-            | "/admin/refit" => rest.to_owned(),
+            | "/admin/refit" | "/admin/labels" => rest.to_owned(),
             p if p.starts_with("/facts/") => "/facts/{id}".to_owned(),
             _ => "other".to_owned(),
         };
@@ -323,6 +324,48 @@ struct QueryResponse {
     probability: f64,
     epoch: u64,
     unknown_sources: Vec<String>,
+}
+
+/// The `?methods=` variant of a query response: `probability` is still
+/// the LTM answer; `methods` maps each requested wire name (plus
+/// `"ensemble"` when requested) to its score.
+#[derive(Debug, Serialize)]
+struct QueryMethodsResponse {
+    domain: String,
+    probability: f64,
+    epoch: u64,
+    unknown_sources: Vec<String>,
+    methods: BTreeMap<String, f64>,
+}
+
+/// One method's rolling evaluation against the loaded labels.
+#[derive(Debug, Serialize)]
+struct MethodEval {
+    accuracy: f64,
+    precision: f64,
+    recall: f64,
+    f1: f64,
+    auc: f64,
+    brier: f64,
+}
+
+/// `GET …/eval` — per-method metrics over the labels that join to facts
+/// in the current epoch's shadow tables.
+#[derive(Debug, Serialize)]
+struct EvalResponse {
+    domain: String,
+    epoch: u64,
+    labels: usize,
+    matched: usize,
+    threshold: f64,
+    methods: BTreeMap<String, MethodEval>,
+}
+
+#[derive(Debug, Serialize)]
+struct LabelsResponse {
+    domain: String,
+    loaded: usize,
+    total: usize,
 }
 
 #[derive(Debug, Serialize)]
@@ -384,6 +427,13 @@ struct DomainStats {
     wal_fsyncs: u64,
     wal_bytes: u64,
     wal_replayed_rows: u64,
+    labels_loaded: usize,
+    shadow_facts: usize,
+    /// Shadow method wire names, indexing both agreement matrices below.
+    /// Empty when the current epoch has no shadow tables.
+    shadow_methods: Vec<String>,
+    shadow_correlation: Vec<Vec<f64>>,
+    shadow_decision_flips: Vec<Vec<u64>>,
 }
 
 /// The global `/stats` body. Additive counters (`facts` through
@@ -553,13 +603,21 @@ fn route_domain(
             "POST" => ingest(domain, body),
             _ => error(405, "use POST /claims"),
         },
-        "/query" => match method {
-            "POST" => query(domain, body),
+        p if p == "/query" || p.starts_with("/query?") => match method {
+            "POST" => query(domain, p, body),
             _ => error(405, "use POST /query"),
         },
         "/stats" => match method {
             "GET" => json(200, &domain_stats(domain)),
             _ => error(405, "use GET …/stats"),
+        },
+        "/eval" => match method {
+            "GET" => eval(domain),
+            _ => error(405, "use GET …/eval"),
+        },
+        "/admin/labels" => match method {
+            "POST" => admin_labels(domain, body),
+            _ => error(405, "use POST …/admin/labels"),
         },
         p if p == "/admin/refit" || p.starts_with("/admin/refit?") => match method {
             "POST" => admin_refit(ctx, domain, p),
@@ -612,6 +670,20 @@ fn domain_stats(domain: &Domain) -> DomainStats {
     let predictor: &EpochPredictor = domain.predictor();
     let (wal_appends, wal_fsyncs, wal_bytes, wal_replayed_rows) =
         domain.wal().map_or((0, 0, 0, 0), |w| w.counters());
+    let (shadow_facts, shadow_methods, shadow_correlation, shadow_decision_flips) =
+        match e.shadow.as_deref() {
+            Some(t) => (
+                t.num_facts(),
+                t.agreement
+                    .methods
+                    .iter()
+                    .map(|m| shadow::wire_name(m))
+                    .collect(),
+                t.agreement.correlation.clone(),
+                t.agreement.decision_flips.clone(),
+            ),
+            None => (0, Vec::new(), Vec::new(), Vec::new()),
+        };
     DomainStats {
         kind: domain.kind().as_str().to_owned(),
         shards: s.shards,
@@ -638,6 +710,11 @@ fn domain_stats(domain: &Domain) -> DomainStats {
         wal_fsyncs,
         wal_bytes,
         wal_replayed_rows,
+        labels_loaded: domain.num_labels(),
+        shadow_facts,
+        shadow_methods,
+        shadow_correlation,
+        shadow_decision_flips,
     }
 }
 
@@ -825,6 +902,64 @@ fn render_sampled_metrics(ctx: &Context, out: &mut String) {
             fmt_f64(*age)
         );
     }
+
+    // Shadow-predictor families, sampled from the same DomainStats. The
+    // agreement matrices are symmetric with a trivial diagonal, so only
+    // the upper triangle is exposed (a= < b= in method order).
+    let _ = writeln!(out, "# TYPE ltm_shadow_facts gauge");
+    for (domain, stats, _) in &domains {
+        let _ = writeln!(
+            out,
+            "ltm_shadow_facts{{domain=\"{}\"}} {}",
+            escape_label(domain),
+            stats.shadow_facts
+        );
+    }
+    let _ = writeln!(out, "# TYPE ltm_eval_labels gauge");
+    for (domain, stats, _) in &domains {
+        let _ = writeln!(
+            out,
+            "ltm_eval_labels{{domain=\"{}\"}} {}",
+            escape_label(domain),
+            stats.labels_loaded
+        );
+    }
+    let _ = writeln!(out, "# TYPE ltm_shadow_correlation gauge");
+    for (domain, stats, _) in &domains {
+        for (i, a) in stats.shadow_methods.iter().enumerate() {
+            for (j, b) in stats.shadow_methods.iter().enumerate().skip(i + 1) {
+                let Some(c) = stats.shadow_correlation.get(i).and_then(|r| r.get(j)) else {
+                    continue;
+                };
+                let _ = writeln!(
+                    out,
+                    "ltm_shadow_correlation{{domain=\"{}\",a=\"{}\",b=\"{}\"}} {}",
+                    escape_label(domain),
+                    escape_label(a),
+                    escape_label(b),
+                    fmt_f64(*c)
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "# TYPE ltm_shadow_decision_flips gauge");
+    for (domain, stats, _) in &domains {
+        for (i, a) in stats.shadow_methods.iter().enumerate() {
+            for (j, b) in stats.shadow_methods.iter().enumerate().skip(i + 1) {
+                let Some(f) = stats.shadow_decision_flips.get(i).and_then(|r| r.get(j)) else {
+                    continue;
+                };
+                let _ = writeln!(
+                    out,
+                    "ltm_shadow_decision_flips{{domain=\"{}\",a=\"{}\",b=\"{}\"}} {}",
+                    escape_label(domain),
+                    escape_label(a),
+                    escape_label(b),
+                    f
+                );
+            }
+        }
+    }
 }
 
 fn list_domains(ctx: &Context) -> (u16, String) {
@@ -999,7 +1134,103 @@ fn ingest(domain: &Domain, body: &str) -> (u16, String) {
     )
 }
 
-fn query(domain: &Domain, body: &str) -> (u16, String) {
+/// Parses the `?methods=` query parameter of a query path. `Ok(None)`
+/// when absent (the legacy LTM-only query), `Ok(Some(list))` with the
+/// requested wire names otherwise (`all` expands to every shadow method
+/// plus the ensemble).
+fn parse_methods_param(path: &str) -> Result<Option<Vec<String>>, String> {
+    let Some((_, query_string)) = path.split_once('?') else {
+        return Ok(None);
+    };
+    let mut methods = None;
+    for pair in query_string.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("methods", list)) => methods = Some(list),
+            _ => return Err(format!("unknown query parameter `{pair}` (use methods=)")),
+        }
+    }
+    let Some(list) = methods else { return Ok(None) };
+    if list == "all" {
+        let mut all = vec![shadow::wire_name(shadow::LTM_METHOD)];
+        all.extend(
+            ltm_baselines::all_baselines()
+                .iter()
+                .map(|m| shadow::wire_name(m.name())),
+        );
+        all.push(shadow::ENSEMBLE_METHOD.to_owned());
+        return Ok(Some(all));
+    }
+    let requested: Vec<String> = list
+        .split(',')
+        .filter(|m| !m.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if requested.is_empty() {
+        return Err("methods= lists no methods (use methods=all or a comma list)".into());
+    }
+    Ok(Some(requested))
+}
+
+/// Scores one ad-hoc boolean claim set under every requested method.
+/// `tables` may be `None` only when `requested` is exactly `["ltm"]`.
+fn method_scores(
+    requested: &[String],
+    tables: Option<&ShadowTables>,
+    snap: &crate::epoch::EpochSnapshot,
+    claims: &[(SourceId, bool)],
+) -> Result<BTreeMap<String, f64>, String> {
+    let ltm_wire = shadow::wire_name(shadow::LTM_METHOD);
+    let mut out = BTreeMap::new();
+    for wire in requested {
+        let score = if *wire == ltm_wire {
+            snap.predictor.predict_fact(claims)
+        } else if *wire == shadow::ENSEMBLE_METHOD {
+            let Some(tables) = tables else {
+                return Err(format!("method `{wire}` needs shadow tables"));
+            };
+            let per_method: Vec<f64> = tables
+                .methods
+                .iter()
+                .enumerate()
+                .map(|(m, col)| {
+                    if m == 0 {
+                        snap.predictor.predict_fact(claims)
+                    } else {
+                        shadow::score_claims(&col.trust, claims)
+                    }
+                })
+                .collect();
+            tables.ensemble_of(&per_method)
+        } else {
+            let Some(tables) = tables else {
+                return Err(format!("method `{wire}` needs shadow tables"));
+            };
+            let col = tables
+                .method_index(wire)
+                .and_then(|m| tables.methods.get(m));
+            let Some(col) = col else {
+                return Err(format!(
+                    "unknown method `{wire}` (use methods=all, or a comma list of \
+                     ltm, ensemble, {})",
+                    ltm_baselines::all_baselines()
+                        .iter()
+                        .map(|m| shadow::wire_name(m.name()))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            };
+            shadow::score_claims(&col.trust, claims)
+        };
+        out.insert(wire.clone(), score);
+    }
+    Ok(out)
+}
+
+fn query(domain: &Domain, path: &str, body: &str) -> (u16, String) {
+    let methods_param = match parse_methods_param(path) {
+        Ok(m) => m,
+        Err(e) => return error(400, e),
+    };
     let parsed: Value = match serde_json::from_str(body) {
         Ok(v) => v,
         Err(e) => return error(400, format!("bad query body: {e}")),
@@ -1066,13 +1297,173 @@ fn query(domain: &Domain, body: &str) -> (u16, String) {
     } else {
         snap.predictor.predict_fact(&bool_claims)
     };
+    let Some(requested) = methods_param else {
+        return json(
+            200,
+            &QueryResponse {
+                domain: domain.name().to_owned(),
+                probability,
+                epoch: snap.epoch,
+                unknown_sources: unknown,
+            },
+        );
+    };
+    if valued {
+        return error(
+            409,
+            "real-valued domains have no shadow methods (drop ?methods=)",
+        );
+    }
+    let ltm_wire = shadow::wire_name(shadow::LTM_METHOD);
+    let needs_tables = requested.iter().any(|m| *m != ltm_wire);
+    let tables = snap.shadow.as_deref();
+    if needs_tables && tables.is_none() {
+        return error(
+            409,
+            "no shadow tables published yet (wait for the first promoted refit, or the \
+             server runs with shadow fitting disabled)",
+        );
+    }
+    match method_scores(&requested, tables, &snap, &bool_claims) {
+        Ok(methods) => json(
+            200,
+            &QueryMethodsResponse {
+                domain: domain.name().to_owned(),
+                probability,
+                epoch: snap.epoch,
+                unknown_sources: unknown,
+                methods,
+            },
+        ),
+        Err(e) => error(400, e),
+    }
+}
+
+/// `GET …/eval` — joins the loaded ground-truth labels against the
+/// current epoch's shadow tables (by `(entity, attr)` name → global fact
+/// id) and reports accuracy/precision/recall/F1/AUC/Brier per method,
+/// including the rank-average ensemble.
+fn eval(domain: &Domain) -> (u16, String) {
+    let labels = domain.labels();
+    if labels.is_empty() {
+        return error(
+            409,
+            "no labels loaded (POST …/admin/labels or start with --labels FILE)",
+        );
+    }
+    let snap = domain.predictor().load();
+    let Some(tables) = snap.shadow.as_deref() else {
+        return error(
+            409,
+            "no shadow tables published yet (wait for the first promoted refit, or the \
+             server runs with shadow fitting disabled)",
+        );
+    };
+    // Join labels to shadow rows. The label lock is already released;
+    // fact_id_by_name takes one shard lock per lookup.
+    let store = domain.store();
+    let mut rows: Vec<usize> = Vec::new();
+    let mut truths: Vec<bool> = Vec::new();
+    for (entity, attr, truth) in &labels {
+        let Some(id) = store.fact_id_by_name(entity, attr) else {
+            continue;
+        };
+        let Ok(row) = tables.fact_ids.binary_search(&id) else {
+            continue;
+        };
+        rows.push(row);
+        truths.push(*truth);
+    }
+    if rows.is_empty() {
+        return error(
+            409,
+            format!(
+                "none of the {} label(s) match facts in the current shadow tables",
+                labels.len()
+            ),
+        );
+    }
+    let mut truth = ltm_model::GroundTruth::new();
+    for (i, &t) in truths.iter().enumerate() {
+        truth.insert(
+            ltm_model::EntityId::new(0),
+            ltm_model::FactId::from_usize(i),
+            t,
+        );
+    }
+    let threshold = 0.5;
+    let score_eval = |scores: Vec<f64>| {
+        let pred = ltm_model::TruthAssignment::new(scores);
+        let m = ltm_eval::evaluate(&truth, &pred, threshold);
+        MethodEval {
+            accuracy: m.accuracy,
+            precision: m.precision,
+            recall: m.recall,
+            f1: m.f1,
+            auc: ltm_eval::auc(&truth, &pred),
+            brier: ltm_eval::brier_score(&truth, &pred),
+        }
+    };
+    let mut methods = BTreeMap::new();
+    for col in &tables.methods {
+        let scores: Vec<f64> = rows
+            .iter()
+            .filter_map(|&r| col.scores.get(r).copied())
+            .collect();
+        methods.insert(shadow::wire_name(&col.name), score_eval(scores));
+    }
+    let ensemble: Vec<f64> = rows
+        .iter()
+        .filter_map(|&r| tables.ensemble.get(r).copied())
+        .collect();
+    methods.insert(shadow::ENSEMBLE_METHOD.to_owned(), score_eval(ensemble));
     json(
         200,
-        &QueryResponse {
+        &EvalResponse {
             domain: domain.name().to_owned(),
-            probability,
             epoch: snap.epoch,
-            unknown_sources: unknown,
+            labels: labels.len(),
+            matched: rows.len(),
+            threshold,
+            methods,
+        },
+    )
+}
+
+/// `POST …/admin/labels` — merges ground-truth labels into the domain:
+/// `{"labels": [["entity", "attr", true], …]}`.
+fn admin_labels(domain: &Domain, body: &str) -> (u16, String) {
+    let parsed: Value = match serde_json::from_str(body) {
+        Ok(v) => v,
+        Err(e) => return error(400, format!("bad labels body: {e}")),
+    };
+    let Some(Value::Array(rows)) = parsed.get_field("labels") else {
+        return error(400, "labels body needs a `labels` array");
+    };
+    let mut parsed_rows = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let Value::Array(fields) = row else {
+            return error(
+                400,
+                format!("label {i} is not an array; no labels were loaded"),
+            );
+        };
+        let [Value::Str(entity), Value::Str(attr), Value::Bool(truth)] = fields.as_slice() else {
+            return error(
+                400,
+                format!("label {i} must be [\"entity\", \"attr\", true|false]"),
+            );
+        };
+        parsed_rows.push((entity.clone(), attr.clone(), *truth));
+    }
+    let loaded = parsed_rows.len();
+    let total = domain.add_labels(parsed_rows);
+    json(
+        200,
+        &LabelsResponse {
+            domain: domain.name().to_owned(),
+            loaded,
+            total,
         },
     )
 }
@@ -1588,10 +1979,9 @@ fn attach_domain_obs(registry: &Registry, domain: &Domain) {
     if let Some(wal) = domain.wal() {
         wal.attach_obs(WalObs::for_domain(registry, domain.name()));
     }
-    domain
-        .refit_state()
-        .locked()
-        .set_obs(RefitObs::for_domain(registry, domain.name()));
+    let mut refit_state = domain.refit_state().locked();
+    refit_state.set_obs(RefitObs::for_domain(registry, domain.name()));
+    refit_state.set_shadow_obs(ShadowObs::for_domain(registry, domain.name()));
 }
 
 /// A dispatch closure for the accept thread (borrow-friendly indirection:

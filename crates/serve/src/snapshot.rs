@@ -35,6 +35,7 @@ use crate::domain::{Domain, DomainSet, DEFAULT_DOMAIN};
 use crate::epoch::EpochSnapshot;
 use crate::model::{ModelKind, ServePredictor};
 use crate::refit::RefitConfig;
+use crate::shadow::{ShadowColumn, ShadowTables};
 use crate::store::{LogRecord, ShardedStore};
 
 /// One accepted row: the triple plus the optional value carried by
@@ -74,6 +75,31 @@ pub struct RealPredictorRec {
     pub side1_b: f64,
 }
 
+/// One persisted shadow method column: the method's display name plus
+/// its fitted scores and per-source trust.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShadowColumnRec {
+    /// Method display name (`"LTM"` or a paper Table 7 spelling).
+    pub name: String,
+    /// Per-fact scores, parallel to [`ShadowRec::fact_ids`].
+    pub scores: Vec<f64>,
+    /// Per-source agreement trust in global source-id order.
+    pub trust: Vec<f64>,
+}
+
+/// The published shadow tables of a served epoch. Only the fitted
+/// columns are persisted; the ensemble, agreement matrices, and
+/// percentile indexes are recomputed deterministically on restore
+/// ([`crate::shadow::ShadowTables::assemble`]), so a round-trip serves
+/// bit-identical shadow answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShadowRec {
+    /// Global fact ids of the fit extraction, ascending.
+    pub fact_ids: Vec<u64>,
+    /// Score columns, LTM first then Table 7 order.
+    pub methods: Vec<ShadowColumnRec>,
+}
+
 /// The served epoch's parameters. Boolean and positive-only domains fill
 /// the `φ` tables; real-valued domains fill `real` and leave the `φ`
 /// tables empty.
@@ -104,6 +130,10 @@ pub struct EpochRec {
     /// Real-valued predictor parameters (real-valued domains only;
     /// absent in v1 snapshots).
     pub real: Option<RealPredictorRec>,
+    /// Shadow baseline tables of the epoch (absent in pre-shadow
+    /// snapshots, real-valued domains, and epochs fit with shadows
+    /// disabled).
+    pub shadow: Option<ShadowRec>,
 }
 
 /// The refit daemon's accumulator at save time. `cells` semantics follow
@@ -187,6 +217,40 @@ impl Snapshot {
 /// at the next boot (the refit path self-heals that with an Empty pass);
 /// the reverse order could pair an old accumulator with `pending: 0` and
 /// silently exclude the unfolded tail.
+/// Persists the raw shadow columns (the derived artifacts are rebuilt on
+/// restore).
+fn capture_shadow(tables: &ShadowTables) -> ShadowRec {
+    ShadowRec {
+        fact_ids: tables.fact_ids.clone(),
+        methods: tables
+            .methods
+            .iter()
+            .map(|c| ShadowColumnRec {
+                name: c.name.clone(),
+                scores: c.scores.clone(),
+                trust: c.trust.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Rebuilds full shadow tables (ensemble, agreement, percentile indexes)
+/// from persisted columns. Deterministic, so a save/restore round-trip
+/// serves bit-identical shadow answers.
+fn restore_shadow(rec: &ShadowRec) -> ShadowTables {
+    ShadowTables::assemble(
+        rec.fact_ids.clone(),
+        rec.methods
+            .iter()
+            .map(|c| ShadowColumn {
+                name: c.name.clone(),
+                scores: c.scores.clone(),
+                trust: c.trust.clone(),
+            })
+            .collect(),
+    )
+}
+
 fn capture_domain(domain: &Domain) -> DomainRec {
     let store = domain.store();
     let (sources, log, pending) = store.persistence_snapshot();
@@ -225,6 +289,7 @@ fn capture_domain(domain: &Domain) -> DomainRec {
                 trained_claims: snap.trained_claims,
                 trained_sources: snap.trained_sources,
                 real: None,
+                shadow: snap.shadow.as_deref().map(capture_shadow),
             },
             ServePredictor::Real(p) => {
                 let (side0, side1) = p.priors();
@@ -251,6 +316,7 @@ fn capture_domain(domain: &Domain) -> DomainRec {
                         side1_a: side1.a,
                         side1_b: side1.b,
                     }),
+                    shadow: None,
                 }
             }
         })
@@ -570,6 +636,7 @@ fn restore_domain(
             converged_fraction: e.converged_fraction,
             trained_claims: e.trained_claims,
             trained_sources: e.trained_sources,
+            shadow: e.shadow.as_ref().map(|s| Arc::new(restore_shadow(s))),
         });
     }
     Ok(())

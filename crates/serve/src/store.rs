@@ -702,6 +702,21 @@ impl ShardedStore {
         })
     }
 
+    /// Resolves an `(entity, attribute)` name pair to its global fact id,
+    /// if the fact has been ingested. This is the label-join used by
+    /// `/eval`: ground-truth labels arrive as names and are matched to
+    /// the shadow tables' global-id rows through this lookup.
+    pub fn fact_id_by_name(&self, entity: &str, attr: &str) -> Option<u64> {
+        // analyzer: allow(panic-index) -- shard_of reduces the hash modulo shards.len()
+        let shard = self.shards[self.shard_of(entity)].locked();
+        let e = shard.entities.get(entity)?;
+        let a = shard.attrs.get(attr)?;
+        let local = *shard
+            .fact_index
+            .get(&(e.index() as u32, a.index() as u32))?;
+        shard.facts.get(local as usize).map(|&(_, _, g)| g)
+    }
+
     /// Accepted-row sequence: the number of triples accepted so far
     /// (equal to the replay-log length, maintained without the log lock).
     pub fn accepted_seq(&self) -> u64 {
@@ -719,27 +734,41 @@ impl ShardedStore {
     /// returned watermark is present in the batches. Ingestion stalls
     /// only for the rebuild itself, never for the fit that follows.
     pub fn full_databases(&self) -> StoreDelta {
+        self.full_databases_with_ids().0
+    }
+
+    /// [`ShardedStore::full_databases`] plus, per batch, the global fact
+    /// id of every batch row (batch fact index `i` ↔ `ids[i]`). This is
+    /// the extraction behind the shadow baseline fits, which key their
+    /// published score tables by global fact id so `/eval`, `/stats`
+    /// agreement, and snapshot persistence all address the same rows.
+    pub fn full_databases_with_ids(&self) -> (StoreDelta, Vec<Vec<u64>>) {
         let guards: Vec<_> = self.shards.iter().map(|s| s.locked()).collect();
         let watermark = self.accepted_seq();
         let num_sources = self.num_sources();
         let mut delta_facts = 0;
         let mut total_claims = 0;
+        let mut globals = Vec::new();
         let batches: Vec<ClaimDb> = guards
             .iter()
             .filter(|s| !s.facts.is_empty())
             .map(|s| {
                 delta_facts += s.facts.len();
                 total_claims += s.num_claims();
+                globals.push(s.facts.iter().map(|&(_, _, g)| g).collect());
                 s.to_claim_db(num_sources)
             })
             .collect();
-        StoreDelta {
-            batches,
-            watermark,
-            delta_facts,
-            delta_claims: total_claims,
-            total_claims,
-        }
+        (
+            StoreDelta {
+                batches,
+                watermark,
+                delta_facts,
+                delta_claims: total_claims,
+                total_claims,
+            },
+            globals,
+        )
     }
 
     /// Extracts only the facts dirtied since `watermark` — the **delta**

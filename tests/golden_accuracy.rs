@@ -1,0 +1,103 @@
+//! Golden accuracy-regression suite.
+//!
+//! Re-runs LTM and every Table 7 baseline on the two fixed-seed golden
+//! streams (the §6.1 synthetic boolean stream and the planted-conflict
+//! book-author stream) and asserts that accuracy, F1, and AUC match the
+//! checked-in fixture `tests/goldens/accuracy.json` to within each
+//! method's tolerance: 1e-9 for the deterministic iterative baselines,
+//! 1e-6 for the seeded Gibbs chain. Any algorithmic drift — a changed
+//! update rule, a reordered reduction, a generator tweak — fails here
+//! with the exact method and measure named.
+//!
+//! Regenerate the fixture (after an *intentional* change) with:
+//!
+//! ```text
+//! cargo run -p ltm-bench -- --emit-goldens
+//! ```
+
+use std::collections::BTreeSet;
+
+use ltm_baselines::all_baselines;
+use ltm_bench::{compute_goldens, GoldenReport};
+
+fn checked_in_goldens() -> GoldenReport {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/accuracy.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("corrupt golden fixture {path}: {e}"))
+}
+
+#[test]
+fn accuracy_matches_checked_in_goldens() {
+    let fixture = checked_in_goldens();
+    let fresh = compute_goldens();
+    assert_eq!(
+        fixture.records.len(),
+        fresh.records.len(),
+        "golden fixture is stale: record count changed (regenerate with \
+         `cargo run -p ltm-bench -- --emit-goldens`)"
+    );
+    for (want, got) in fixture.records.iter().zip(&fresh.records) {
+        assert_eq!(
+            (&want.stream, &want.method),
+            (&got.stream, &got.method),
+            "golden fixture is stale: stream/method order changed"
+        );
+        let tol = ltm_bench::goldens::tolerance(&want.method);
+        for (measure, want_v, got_v) in [
+            ("accuracy", want.accuracy, got.accuracy),
+            ("f1", want.f1, got.f1),
+            ("auc", want.auc, got.auc),
+        ] {
+            assert!(
+                (want_v - got_v).abs() <= tol,
+                "{}/{} {measure} drifted: golden {want_v:.12}, computed {got_v:.12} \
+                 (tolerance {tol:e})",
+                want.stream,
+                want.method
+            );
+        }
+    }
+}
+
+/// The fixture itself must cover every method on every stream — a
+/// regenerated fixture that silently dropped a method would otherwise
+/// pass the drift check above.
+#[test]
+fn fixture_covers_every_method_on_both_streams() {
+    let fixture = checked_in_goldens();
+    let mut methods: Vec<String> = vec!["LTM".to_owned()];
+    methods.extend(all_baselines().iter().map(|m| m.name().to_owned()));
+    for stream in ["synthetic_boolean", "books_conflict"] {
+        for method in &methods {
+            assert!(
+                fixture
+                    .records
+                    .iter()
+                    .any(|r| r.stream == stream && &r.method == method),
+                "fixture lacks {stream}/{method}"
+            );
+        }
+    }
+}
+
+/// Pins `all_baselines()` to the paper's Table 7 method list by name-set
+/// equality: adding, removing, or renaming a baseline must be a
+/// deliberate decision that also updates this test, the goldens, and the
+/// shadow ensemble it feeds.
+#[test]
+fn baseline_registry_matches_table7() {
+    let expected: BTreeSet<&str> = [
+        "3-Estimates",
+        "Voting",
+        "TruthFinder",
+        "Investment",
+        "HubAuthority",
+        "AvgLog",
+        "PooledInvestment",
+    ]
+    .into_iter()
+    .collect();
+    let actual: BTreeSet<&str> = all_baselines().iter().map(|m| m.name()).collect();
+    assert_eq!(actual, expected, "all_baselines() drifted from Table 7");
+}

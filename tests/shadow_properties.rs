@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) on the shadow-ensemble math in
+//! `ltm_serve::shadow`: ad-hoc claim scoring, tie-aware rank averaging,
+//! the method-agreement matrices, and the AUC invariance the ensemble's
+//! rank construction relies on.
+
+use ltm_model::{EntityId, FactId, GroundTruth, SourceId, TruthAssignment};
+use ltm_serve::shadow::{
+    self, normalized_ranks, rank_average, score_claims, ShadowColumn, ShadowTables,
+};
+use proptest::prelude::*;
+
+/// Strategy: 1–4 ragged (scores, trust) column pairs with 1–30 entries
+/// each; [`parallel_columns`] trims them to a common length.
+fn column_pairs() -> impl Strategy<Value = Vec<(Vec<f64>, Vec<f64>)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0.0f64..1.0, 1..31),
+            proptest::collection::vec(0.0f64..1.0, 1..31),
+        ),
+        1..5,
+    )
+}
+
+/// Trims ragged generated columns to one shared fact count (the shim has
+/// no `prop_flat_map`, so parallel lengths are enforced after the draw).
+fn parallel_columns(raw: Vec<(Vec<f64>, Vec<f64>)>) -> Vec<ShadowColumn> {
+    let facts = raw
+        .iter()
+        .map(|(s, t)| s.len().min(t.len()))
+        .min()
+        .unwrap_or(1);
+    raw.into_iter()
+        .enumerate()
+        .map(|(i, (mut scores, mut trust))| {
+            scores.truncate(facts);
+            trust.truncate(facts);
+            ShadowColumn {
+                name: format!("m{i}"),
+                scores,
+                trust,
+            }
+        })
+        .collect()
+}
+
+/// Strategy: assembled shadow tables over 1–4 methods and a shared fact
+/// count.
+fn shadow_tables() -> impl Strategy<Value = ShadowTables> {
+    column_pairs().prop_map(|raw| {
+        let methods = parallel_columns(raw);
+        let fact_ids: Vec<u64> = (0..methods[0].scores.len() as u64).collect();
+        ShadowTables::assemble(fact_ids, methods)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Ad-hoc scoring is a weighted vote: always in `[0,1]`, whatever
+    /// the trust vector and claim pattern (including out-of-range
+    /// source ids, which weigh the unknown-source prior 0.5).
+    #[test]
+    fn score_claims_stays_in_unit_interval(
+        trust in proptest::collection::vec(0.0f64..1.0, 0..8),
+        claims in proptest::collection::vec((0u32..12, any::<bool>()), 0..12),
+    ) {
+        let claims: Vec<(SourceId, bool)> = claims
+            .into_iter()
+            .map(|(s, o)| (SourceId::new(s), o))
+            .collect();
+        let p = score_claims(&trust, &claims);
+        prop_assert!((0.0..=1.0).contains(&p), "score {} out of [0,1]", p);
+    }
+
+    /// Every stored shadow score, ensemble score, and query-time
+    /// ensemble answer stays in `[0,1]`.
+    #[test]
+    fn shadow_tables_scores_stay_in_unit_interval(
+        tables in shadow_tables(),
+        per_method in proptest::collection::vec(0.0f64..1.0, 1..5),
+    ) {
+        for column in &tables.methods {
+            for &s in &column.scores {
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+        for &e in &tables.ensemble {
+            prop_assert!((0.0..=1.0).contains(&e));
+        }
+        let q = tables.ensemble_of(&per_method[..per_method.len().min(tables.methods.len())]);
+        prop_assert!((0.0..=1.0).contains(&q), "query ensemble {} out of [0,1]", q);
+    }
+
+    /// The rank-average ensemble is bounded per fact by the minimum and
+    /// maximum of its members' normalized ranks — averaging never
+    /// extrapolates beyond the member consensus.
+    #[test]
+    fn rank_average_is_bounded_by_member_ranks(raw in column_pairs()) {
+        let columns = parallel_columns(raw);
+        let ranks: Vec<Vec<f64>> = columns
+            .iter()
+            .map(|c| normalized_ranks(&c.scores))
+            .collect();
+        let refs: Vec<&[f64]> = columns.iter().map(|c| c.scores.as_slice()).collect();
+        let averaged = rank_average(&refs);
+        for (f, &avg) in averaged.iter().enumerate() {
+            let member: Vec<f64> = ranks.iter().map(|r| r[f]).collect();
+            let lo = member.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = member
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, |a, b| if b > a { b } else { a });
+            prop_assert!(
+                avg >= lo - 1e-12 && avg <= hi + 1e-12,
+                "fact {}: average {} outside member rank range [{}, {}]",
+                f, avg, lo, hi
+            );
+        }
+    }
+
+    /// The published agreement matrices are symmetric; correlation has a
+    /// unit diagonal and every entry in `[-1,1]`, decision flips have a
+    /// zero diagonal.
+    #[test]
+    fn agreement_is_symmetric_with_unit_diagonal(tables in shadow_tables()) {
+        let a = &tables.agreement;
+        let n = a.methods.len();
+        prop_assert_eq!(n, tables.methods.len(), "agreement covers every member method");
+        for i in 0..n {
+            let c_ii = a.correlation[i][i];
+            prop_assert!((c_ii - 1.0).abs() < 1e-12, "diag correlation {} != 1", c_ii);
+            prop_assert_eq!(a.decision_flips[i][i], 0, "diag flips nonzero");
+            for j in 0..n {
+                let c = a.correlation[i][j];
+                prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&c), "correlation {}", c);
+                prop_assert!(
+                    (c - a.correlation[j][i]).abs() < 1e-12,
+                    "correlation not symmetric at ({},{})", i, j
+                );
+                prop_assert_eq!(a.decision_flips[i][j], a.decision_flips[j][i]);
+            }
+        }
+    }
+
+    /// AUC is a rank statistic: any strictly monotone transform of the
+    /// scores (here `x ↦ x³` and `x ↦ x/(x+½)`, both order-preserving on
+    /// `[0,1]`) leaves it unchanged. This is what makes the rank-average
+    /// ensemble well-posed across methods with different calibrations.
+    #[test]
+    fn auc_is_invariant_under_monotone_transforms(
+        labeled in proptest::collection::vec((0.0f64..1.0, any::<bool>()), 2..40),
+    ) {
+        let mut truth = GroundTruth::new();
+        for (i, (_, label)) in labeled.iter().enumerate() {
+            truth.insert(EntityId::new(0), FactId::from_usize(i), *label);
+        }
+        let scores: Vec<f64> = labeled.iter().map(|(s, _)| *s).collect();
+        let base = ltm_eval::auc(&truth, &TruthAssignment::new(scores.clone()));
+        let cubed: Vec<f64> = scores.iter().map(|s| s * s * s).collect();
+        let squashed: Vec<f64> = scores.iter().map(|s| s / (s + 0.5)).collect();
+        for transformed in [cubed, squashed] {
+            let t = ltm_eval::auc(&truth, &TruthAssignment::new(transformed));
+            prop_assert!(
+                (base - t).abs() < 1e-12,
+                "AUC changed under a monotone transform: {} vs {}", base, t
+            );
+        }
+    }
+}
+
+/// The wire-name map is total and collision-free over the shadow method
+/// set — the HTTP layer depends on both.
+#[test]
+fn wire_names_are_unique_and_lowercase() {
+    let mut names: Vec<String> = vec![shadow::wire_name(shadow::LTM_METHOD)];
+    for m in ltm_baselines::all_baselines() {
+        names.push(shadow::wire_name(m.name()));
+    }
+    names.push(shadow::ENSEMBLE_METHOD.to_owned());
+    let unique: std::collections::BTreeSet<&String> = names.iter().collect();
+    assert_eq!(unique.len(), names.len(), "wire-name collision: {names:?}");
+    for n in &names {
+        assert_eq!(n, &n.to_lowercase(), "wire name {n} not lowercase");
+    }
+}
