@@ -34,7 +34,10 @@
 //! A final phase re-runs the bulk ingest against WAL-enabled servers at
 //! each `--wal-sync` policy to price the durability tax, and an A/B pair
 //! of servers prices the observability layer (`obs_overhead`) and the
-//! baseline shadow ensemble (`shadow_overhead`) on the hot paths.
+//! baseline shadow ensemble (`shadow_overhead`) on the hot paths. A
+//! last phase (`high_concurrency`) storms the readiness-loop front end
+//! with hundreds of parked keep-alive connections — asserting the
+//! thread census does not grow — and prices `POST /query/batch`.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -260,6 +263,50 @@ struct ShadowOverheadPhase {
     methods_all: LatencyStats,
 }
 
+/// The readiness-loop front end under fan-in: hundreds of keep-alive
+/// connections held open at once while driver threads storm `/query`
+/// round-robin across them, then a batched sub-phase that streams
+/// `POST /query/batch` bodies of `batch_size` fact queries each. The
+/// thread census is read from `/proc/self/status` before and after the
+/// connections open — an epoll loop must serve N parked connections
+/// with the same fixed thread count it booted with, unlike a
+/// thread-per-connection front end. CI gates qps, p99, and facts/sec.
+#[derive(Debug, Clone, Serialize)]
+struct HighConcurrencyPhase {
+    /// Front end that served the phase (`epoll` or `blocking`).
+    frontend: String,
+    /// Keep-alive connections open concurrently through the storm.
+    connections: usize,
+    /// Client driver threads sharing those connections round-robin.
+    driver_threads: usize,
+    /// Process thread count after boot, before any connection opened.
+    threads_before: usize,
+    /// Process thread count with every connection open and primed —
+    /// must equal `threads_before`: connections cost no threads.
+    threads_with_connections: usize,
+    /// `/query` requests answered across all connections.
+    query_ops: usize,
+    /// Wall seconds of the single-query storm.
+    seconds: f64,
+    /// Sustained single-query throughput under the fan-in.
+    qps: f64,
+    /// Per-request latency under the storm.
+    query: LatencyStats,
+    /// Requests the server answered on a reused connection (its
+    /// `keepalive_reuses` counter) — proves the storm stayed parked.
+    keepalive_reuses: f64,
+    /// Fact queries per `POST /query/batch` body.
+    batch_size: usize,
+    /// Batch requests issued.
+    batch_ops: usize,
+    /// Wall seconds of the batched sub-phase.
+    batch_seconds: f64,
+    /// Batched fact-query throughput: facts scored per second.
+    batch_facts_per_sec: f64,
+    /// Per-batch request latency.
+    batch: LatencyStats,
+}
+
 /// The `BENCH_serve.json` schema.
 #[derive(Debug, Clone, Serialize)]
 struct BenchServe {
@@ -294,6 +341,9 @@ struct BenchServe {
     obs_overhead: ObsOverheadPhase,
     /// Query-path cost of publishing the baseline shadow ensemble.
     shadow_overhead: ShadowOverheadPhase,
+    /// The readiness-loop front end under ≥ 256 keep-alive connections,
+    /// plus the batched query path's facts/sec.
+    high_concurrency: HighConcurrencyPhase,
 }
 
 /// Drives the serve path over HTTP and returns the measured report.
@@ -443,6 +493,8 @@ fn measure_serve(fast: bool) -> BenchServe {
     let obs_overhead = measure_obs_overhead(fast);
     // Shadows on/off A-B on a pair of servers.
     let shadow_overhead = measure_shadow_overhead(fast);
+    // Keep-alive fan-in + batched query throughput on a fresh server.
+    let high_concurrency = measure_high_concurrency(fast);
 
     BenchServe {
         shards: 4,
@@ -463,7 +515,236 @@ fn measure_serve(fast: bool) -> BenchServe {
         wal_sync,
         obs_overhead,
         shadow_overhead,
+        high_concurrency,
     }
+}
+
+/// Thread count of this process, from `/proc/self/status` (Linux-only;
+/// 0 where that file does not exist, which also disables the census
+/// assertion in [`measure_high_concurrency`]).
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find_map(|line| line.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Storms the front end with hundreds of keep-alive connections and
+/// prices the batched query path. Three claims, in order:
+///
+/// 1. **Connections are free.** The process thread count is read before
+///    and after all `connections` keep-alive connections open (each
+///    primed with one request, so the server has accepted and parked
+///    every one of them). On the epoll front end both reads must match.
+/// 2. **Keep-alive sustains the storm.** `driver_threads` client
+///    threads each own an equal slice of the connections and issue
+///    `/query` round-robin across the slice, so every connection stays
+///    in rotation; afterwards the server's own `keepalive_reuses`
+///    counter must account for (nearly) every request. The driver
+///    count is kept small: per-request latency includes the driver's
+///    own time on the run queue, so on small CI machines more drivers
+///    fatten the measured tail without adding server load.
+/// 3. **Batching amortizes.** One connection streams `/query/batch`
+///    bodies of `batch_size` fact queries; facts/sec is the gated
+///    number (the issue's floor: 100k facts/sec on the full run).
+fn measure_high_concurrency(fast: bool) -> HighConcurrencyPhase {
+    use ltm_serve::http::{http_call, HttpClient};
+    use ltm_serve::refit::RefitConfig;
+    use ltm_serve::server::{ServeConfig, Server};
+
+    let connections: usize = if fast { 64 } else { 256 };
+    let driver_threads: usize = 4;
+    let per_thread_ops: usize = if fast { 1_000 } else { 8_000 };
+    let batch_size: usize = 1_024;
+    let batch_ops: usize = if fast { 30 } else { 200 };
+    let entities: usize = if fast { 100 } else { 400 };
+    let sources: usize = 20;
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 4,
+        threads: 4,
+        refit: RefitConfig {
+            ltm: LtmConfig {
+                priors: Priors::scaled_specificity(entities * 2),
+                schedule: SampleSchedule::new(60, 20, 1),
+                ..LtmConfig::default()
+            },
+            chains: 2,
+            // Always promote: the phase measures the front end, not the
+            // fit; queries must answer from a published epoch.
+            rhat_gate: 1e9,
+            min_pending: usize::MAX,
+            interval: std::time::Duration::from_millis(50),
+            ..RefitConfig::default()
+        },
+        snapshot: None,
+        ..ServeConfig::default()
+    })
+    .expect("boot high-concurrency benchmark server");
+    let addr = server.addr();
+    let frontend = if ltm_serve::event_loop::SUPPORTED {
+        "epoll"
+    } else {
+        "blocking"
+    };
+
+    let triples: Vec<String> = (0..entities)
+        .flat_map(|e| {
+            (0..sources).map(move |s| {
+                let a = (e + s) % 2;
+                format!("[\"e{e}\",\"a{a}\",\"s{s}\"]")
+            })
+        })
+        .collect();
+    for chunk in triples.chunks(1_000) {
+        let body = format!("{{\"triples\":[{}]}}", chunk.join(","));
+        let (status, response) =
+            http_call(addr, "POST", "/claims", Some(&body)).expect("fan-in ingest");
+        assert_eq!(status, 200, "{response}");
+    }
+    let stats_f64 = |field: &str| -> f64 {
+        let (_, body) = http_call(addr, "GET", "/stats", None).expect("stats");
+        let value: serde::Value = serde_json::from_str(&body).expect("stats JSON");
+        value
+            .get_field(field)
+            .and_then(serde::Value::as_f64)
+            .unwrap_or_else(|| panic!("stats field {field} missing or non-numeric: {body}"))
+    };
+    server.trigger_refit();
+    let started = Instant::now();
+    while stats_f64("epoch") < 1.0 {
+        assert!(started.elapsed().as_secs() < 600, "no epoch published");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Census before a single connection exists, then with every
+    // connection open and primed. The delta is the per-connection
+    // thread cost — zero on the readiness loop.
+    let threads_before = process_threads();
+    let mut clients: Vec<HttpClient> = (0..connections)
+        .map(|_| {
+            let mut client = HttpClient::new(addr).expect("open keep-alive connection");
+            let (status, body) = client
+                .call("GET", "/healthz", None)
+                .expect("prime connection");
+            assert_eq!(status, 200, "{body}");
+            client
+        })
+        .collect();
+    let threads_with_connections = process_threads();
+    if ltm_serve::event_loop::SUPPORTED && threads_before > 0 {
+        assert_eq!(
+            threads_with_connections, threads_before,
+            "{connections} parked connections grew the thread census"
+        );
+    }
+
+    // Partition the clients across the driver threads; each driver
+    // rotates through its slice so all connections stay warm.
+    let mut groups: Vec<Vec<HttpClient>> = Vec::with_capacity(driver_threads);
+    let per_group = connections / driver_threads;
+    for _ in 0..driver_threads {
+        groups.push(clients.drain(..per_group).collect());
+    }
+    let storm_started = Instant::now();
+    let per_thread_ms: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut group)| {
+                scope.spawn(move || {
+                    let mut ms = Vec::with_capacity(per_thread_ops);
+                    for i in 0..per_thread_ops {
+                        let body = format!(
+                            "{{\"claims\":[[\"s{}\",true],[\"s{}\",false]]}}",
+                            (t + i) % sources,
+                            (t + i + 7) % sources
+                        );
+                        let len = group.len();
+                        let client = &mut group[i % len];
+                        let call_started = Instant::now();
+                        let (status, response) = client
+                            .call("POST", "/query", Some(&body))
+                            .expect("storm query");
+                        assert_eq!(status, 200, "{response}");
+                        ms.push(call_started.elapsed().as_secs_f64() * 1e3);
+                    }
+                    ms
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread"))
+            .collect()
+    });
+    let seconds = storm_started.elapsed().as_secs_f64();
+    let query_ms: Vec<f64> = per_thread_ms.into_iter().flatten().collect();
+    let query_ops = query_ms.len();
+    let keepalive_reuses = stats_f64("keepalive_reuses");
+
+    // Batched sub-phase: one connection, `batch_size` fact queries per
+    // request, all answered against a single epoch snapshot.
+    let queries: Vec<String> = (0..batch_size)
+        .map(|i| {
+            format!(
+                "[[\"s{}\",true],[\"s{}\",false]]",
+                i % sources,
+                (i + 7) % sources
+            )
+        })
+        .collect();
+    let batch_body = format!("{{\"queries\":[{}]}}", queries.join(","));
+    let mut batch_client = HttpClient::new(addr).expect("open batch connection");
+    let mut batch_ms = Vec::with_capacity(batch_ops);
+    let batch_started = Instant::now();
+    for _ in 0..batch_ops {
+        let call_started = Instant::now();
+        let (status, response) = batch_client
+            .call("POST", "/query/batch", Some(&batch_body))
+            .expect("batch query");
+        assert_eq!(status, 200, "{response}");
+        batch_ms.push(call_started.elapsed().as_secs_f64() * 1e3);
+    }
+    let batch_seconds = batch_started.elapsed().as_secs_f64();
+    server.shutdown().expect("clean fan-in shutdown");
+
+    let point = HighConcurrencyPhase {
+        frontend: frontend.to_string(),
+        connections,
+        driver_threads,
+        threads_before,
+        threads_with_connections,
+        query_ops,
+        seconds,
+        qps: query_ops as f64 / seconds,
+        query: LatencyStats::from_millis(query_ms),
+        keepalive_reuses,
+        batch_size,
+        batch_ops,
+        batch_seconds,
+        batch_facts_per_sec: (batch_size * batch_ops) as f64 / batch_seconds,
+        batch: LatencyStats::from_millis(batch_ms),
+    };
+    println!(
+        "high-concurrency ({}): {} connections on {} threads (census {} -> {}), \
+         {:.0} qps sustained, query p99 {:.3} ms, batch {:.0} facts/sec",
+        point.frontend,
+        point.connections,
+        point.driver_threads,
+        point.threads_before,
+        point.threads_with_connections,
+        point.qps,
+        point.query.p99_ms,
+        point.batch_facts_per_sec
+    );
+    point
 }
 
 /// Prices the shadow ensemble on the query path: two servers ingest the

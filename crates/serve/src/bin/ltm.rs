@@ -5,6 +5,7 @@
 //!            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]
 //!            [--full-refit-every N] [--snapshot FILE] [--port-file FILE]
 //!            [--io-timeout-millis MS] [--domain NAME=KIND]...
+//!            [--frontend auto|epoll|blocking]
 //!            [--labels FILE] [--no-shadows]
 //!            [--wal-dir DIR] [--wal-sync always|never|interval:MS]
 //!            [--wal-segment-bytes N]
@@ -63,6 +64,7 @@ fn usage(msg: &str) -> ! {
          \x20            [--refit-claims N] [--refit-millis MS] [--rhat-gate X]\n\
          \x20            [--full-refit-every N] [--snapshot FILE] [--port-file FILE]\n\
          \x20            [--io-timeout-millis MS] [--domain NAME=KIND]...\n\
+         \x20            [--frontend auto|epoll|blocking]\n\
          \x20            [--labels FILE] [--no-shadows]\n\
          \x20            [--wal-dir DIR] [--wal-sync always|never|interval:MS]\n\
          \x20            [--wal-segment-bytes N]\n\
@@ -148,6 +150,15 @@ fn serve(mut args: impl Iterator<Item = String>) {
                     .parse()
                     .unwrap_or_else(|e| usage(&format!("--domain: {e}")));
                 config.domains.push((name.to_owned(), kind));
+            }
+            // Which HTTP front end serves connections: the epoll event
+            // loop (keep-alive + pipelining; Linux), the blocking thread
+            // pool (portable), or auto-pick (default).
+            "--frontend" => {
+                let text: String = parse_or_usage(args.next(), "--frontend");
+                config.frontend = text
+                    .parse()
+                    .unwrap_or_else(|e: String| usage(&format!("--frontend: {e}")));
             }
             "--labels" => labels_file = Some(parse_or_usage(args.next(), "--labels")),
             "--no-shadows" => config.refit.shadows = false,

@@ -26,8 +26,11 @@
 //!   reconciliation passes — and promotes the result only if its
 //!   Gelman–Rubin `R̂` passes the gate (a regressing refit is rejected
 //!   and logged; a failing one backs off exponentially).
-//! * [`http`] + [`server`] — a minimal HTTP/1.1 front end on
-//!   `std::net::TcpListener` and a fixed thread pool (no external deps).
+//! * [`http`] + [`event_loop`] + [`server`] — a minimal HTTP/1.1 front
+//!   end on `std::net::TcpListener`: an epoll readiness loop with
+//!   keep-alive, pipelining, and a handler worker pool where supported
+//!   (Linux), falling back to a blocking fixed thread pool elsewhere
+//!   (no external deps beyond the vendored `epoll` shim).
 //! * [`snapshot`] — store + quality + accumulator persistence, so a
 //!   restarted server resumes its last epoch *and* keeps refitting
 //!   incrementally instead of cold-refitting.
@@ -59,6 +62,7 @@
 
 pub mod domain;
 pub mod epoch;
+pub mod event_loop;
 pub mod http;
 pub mod model;
 pub mod obs;
@@ -72,14 +76,14 @@ pub mod wal;
 
 pub use domain::{Domain, DomainError, DomainObs, DomainSet, DEFAULT_DOMAIN};
 pub use epoch::{EpochPredictor, EpochSnapshot};
-pub use http::http_call;
+pub use http::{http_call, HttpClient};
 pub use model::{ModelKind, ServePredictor};
 pub use obs::{Counter, Gauge, Histogram, Registry, ScopedGauge, SpanTimer, Unit};
 pub use refit::{
     refit_once, RefitConfig, RefitCounters, RefitDaemon, RefitMode, RefitObs, RefitOutcome,
     RefitState,
 };
-pub use server::{ServeConfig, Server};
+pub use server::{Frontend, ServeConfig, Server};
 pub use shadow::{Agreement, ShadowColumn, ShadowObs, ShadowTables};
 pub use snapshot::Snapshot;
 pub use store::{

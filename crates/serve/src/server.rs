@@ -39,12 +39,14 @@ use serde::{Serialize, Value};
 
 use crate::domain::{Domain, DomainError, DomainObs, DomainSet, DEFAULT_DOMAIN};
 use crate::epoch::EpochPredictor;
+use crate::event_loop::{self, EventLoop, EventLoopConfig};
 use crate::http::{
-    read_request_with_deadline, write_response, write_response_with_type, Request, ThreadPool,
+    is_too_large, read_request_with_deadline, write_response, write_response_with_type, Request,
+    Response, ThreadPool,
 };
 use crate::model::ModelKind;
 use crate::obs::registry::{escape_label, fmt_f64};
-use crate::obs::{self, Counter, Gauge, Registry, ScopedGauge};
+use crate::obs::{self, Counter, Gauge, Histogram, Registry, ScopedGauge, Unit};
 use crate::refit::{RefitConfig, RefitObs, RefitState};
 use crate::shadow::{self, ShadowObs, ShadowTables};
 use crate::snapshot;
@@ -107,6 +109,41 @@ pub struct ServeConfig {
     /// metrics off, `GET /metrics` still serves but the recorded
     /// families stay empty and `/stats` `requests` stays 0.
     pub metrics: bool,
+    /// Which HTTP front end to run (see [`Frontend`]).
+    pub frontend: Frontend,
+}
+
+/// Which HTTP front end serves connections.
+///
+/// The **event loop** (one epoll readiness thread + a worker pool, see
+/// [`crate::event_loop`]) supports HTTP/1.1 keep-alive and pipelining
+/// and holds thousands of connections on a fixed thread census; the
+/// **blocking** pool (one worker thread reads one connection at a time,
+/// `Connection: close` per request) is the portable fallback for
+/// targets without epoll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// The event loop where supported (Linux), else the blocking pool.
+    #[default]
+    Auto,
+    /// The event loop, failing boot where unsupported.
+    Epoll,
+    /// The blocking thread pool, everywhere.
+    Blocking,
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Frontend::Auto),
+            "epoll" => Ok(Frontend::Epoll),
+            "blocking" => Ok(Frontend::Blocking),
+            other => Err(format!(
+                "unknown frontend `{other}` (use auto, epoll, or blocking)"
+            )),
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -121,6 +158,7 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(10),
             wal: None,
             metrics: true,
+            frontend: Frontend::Auto,
         }
     }
 }
@@ -153,6 +191,16 @@ struct Context {
     /// Requests currently being handled
     /// (`ltm_http_requests_in_flight`).
     in_flight: Arc<Gauge>,
+    /// Open HTTP connections (`ltm_open_connections`; event-loop front
+    /// end only — the blocking pool has no connection table).
+    open_connections: Arc<Gauge>,
+    /// Second-and-later requests served on one keep-alive connection
+    /// (`ltm_keepalive_reuse_total`; event-loop front end only).
+    keepalive_reuse: Arc<Counter>,
+    /// Batched-query sizes, in fact queries per batch
+    /// (`ltm_batch_query_size`); its count is the number of batch
+    /// requests served.
+    batch_size: Arc<Histogram>,
     /// Whether handlers record metrics (see [`ServeConfig::metrics`]).
     metrics: bool,
     started: Instant,
@@ -294,9 +342,11 @@ impl Context {
         };
         let rest = rest.split('?').next().unwrap_or("");
         let endpoint = match rest {
-            "/healthz" | "/stats" | "/domains" | "/metrics" | "/claims" | "/query" | "/eval"
-            | "/admin/domains" | "/admin/snapshot" | "/admin/compact" | "/admin/shutdown"
-            | "/admin/refit" | "/admin/labels" => rest.to_owned(),
+            "/healthz" | "/stats" | "/domains" | "/metrics" | "/claims" | "/query"
+            | "/query/batch" | "/eval" | "/admin/domains" | "/admin/snapshot"
+            | "/admin/compact" | "/admin/shutdown" | "/admin/refit" | "/admin/labels" => {
+                rest.to_owned()
+            }
             p if p.starts_with("/facts/") => "/facts/{id}".to_owned(),
             _ => "other".to_owned(),
         };
@@ -336,6 +386,40 @@ struct QueryMethodsResponse {
     epoch: u64,
     unknown_sources: Vec<String>,
     methods: BTreeMap<String, f64>,
+}
+
+/// One scored fact query inside a `POST …/query/batch` response.
+#[derive(Debug, Serialize)]
+struct BatchItem {
+    probability: f64,
+    unknown_sources: Vec<String>,
+}
+
+/// `POST …/query/batch` — every query scored against **one** epoch
+/// snapshot, results in request order.
+#[derive(Debug, Serialize)]
+struct BatchQueryResponse {
+    domain: String,
+    epoch: u64,
+    count: usize,
+    results: Vec<BatchItem>,
+}
+
+/// The `?methods=` variant of a batch item.
+#[derive(Debug, Serialize)]
+struct BatchItemMethods {
+    probability: f64,
+    unknown_sources: Vec<String>,
+    methods: BTreeMap<String, f64>,
+}
+
+/// The `?methods=` variant of a batch response.
+#[derive(Debug, Serialize)]
+struct BatchQueryMethodsResponse {
+    domain: String,
+    epoch: u64,
+    count: usize,
+    results: Vec<BatchItemMethods>,
 }
 
 /// One method's rolling evaluation against the loaded labels.
@@ -473,6 +557,13 @@ struct StatsResponse {
     last_compaction_secs: f64,
     compactions: u64,
     requests: u64,
+    /// Currently open HTTP connections (0 on the blocking front end,
+    /// which has no connection table).
+    open_connections: i64,
+    /// Second-and-later requests served over keep-alive connections.
+    keepalive_reuses: u64,
+    /// Batched query requests served (`POST …/query/batch`).
+    batch_queries: u64,
     uptime_secs: f64,
     version: String,
     git_describe: String,
@@ -602,6 +693,10 @@ fn route_domain(
         "/claims" => match method {
             "POST" => ingest(domain, body),
             _ => error(405, "use POST /claims"),
+        },
+        p if p == "/query/batch" || p.starts_with("/query/batch?") => match method {
+            "POST" => query_batch(ctx, domain, p, body),
+            _ => error(405, "use POST …/query/batch"),
         },
         p if p == "/query" || p.starts_with("/query?") => match method {
             "POST" => query(domain, p, body),
@@ -762,6 +857,9 @@ fn stats(ctx: &Context) -> (u16, String) {
         last_compaction_secs: compaction.0,
         compactions: compaction.1,
         requests: ctx.requests.get(),
+        open_connections: ctx.open_connections.get(),
+        keepalive_reuses: ctx.keepalive_reuse.get(),
+        batch_queries: ctx.batch_size.count(),
         uptime_secs: ctx.started.elapsed().as_secs_f64(),
         version: obs::BUILD_VERSION.to_owned(),
         git_describe: obs::BUILD_GIT.to_owned(),
@@ -1226,6 +1324,69 @@ fn method_scores(
     Ok(out)
 }
 
+/// One ad-hoc claim list parsed per the domain's kind: exactly one of
+/// the two vectors is populated. Unknown source names resolve to an
+/// out-of-range id that hits the predictor's prior-mean fallback and are
+/// reported back by name.
+struct ParsedClaims {
+    bool_claims: Vec<(SourceId, bool)>,
+    real_claims: Vec<(SourceId, f64)>,
+    unknown: Vec<String>,
+}
+
+/// Parses one `claims`-shaped array (`[["source", true|false|value], …]`)
+/// against a domain. `label` prefixes error messages (`"claim"` for the
+/// single-query endpoint, `"query N claim"` for batch items).
+fn parse_claim_rows(domain: &Domain, rows: &[Value], label: &str) -> Result<ParsedClaims, String> {
+    let store = domain.store();
+    let mut unknown = Vec::new();
+    let mut resolve = |name: &str| {
+        store.source_id(name).unwrap_or_else(|| {
+            unknown.push(name.to_owned());
+            SourceId::new(u32::MAX)
+        })
+    };
+    let valued = domain.kind().valued();
+    let mut bool_claims: Vec<(SourceId, bool)> = Vec::new();
+    let mut real_claims: Vec<(SourceId, f64)> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let Value::Array(fields) = row else {
+            return Err(format!("{label} {i} is not an array"));
+        };
+        let [Value::Str(name), observation] = fields.as_slice() else {
+            return Err(format!(
+                "{label} {i} must be [\"source\", {}]",
+                if valued { "value" } else { "true|false" }
+            ));
+        };
+        if valued {
+            let Some(v) = observation.as_f64() else {
+                return Err(format!(
+                    "{label} {i}: this domain is real_valued; expected a numeric \
+                     value, got {observation:?}"
+                ));
+            };
+            if !v.is_finite() {
+                return Err(format!("{label} {i} value must be finite"));
+            }
+            real_claims.push((resolve(name), v));
+        } else {
+            let Value::Bool(o) = observation else {
+                return Err(format!(
+                    "{label} {i}: this domain is {}; expected true|false, got {observation:?}",
+                    domain.kind()
+                ));
+            };
+            bool_claims.push((resolve(name), *o));
+        }
+    }
+    Ok(ParsedClaims {
+        bool_claims,
+        real_claims,
+        unknown,
+    })
+}
+
 fn query(domain: &Domain, path: &str, body: &str) -> (u16, String) {
     let methods_param = match parse_methods_param(path) {
         Ok(m) => m,
@@ -1238,59 +1399,15 @@ fn query(domain: &Domain, path: &str, body: &str) -> (u16, String) {
     let Some(Value::Array(rows)) = parsed.get_field("claims") else {
         return error(400, "query body needs a `claims` array");
     };
-    let store = domain.store();
-    let mut unknown = Vec::new();
-    // Resolve source names; unknown names map to an out-of-range id that
-    // hits the predictor's prior-mean fallback.
-    let mut resolve = |name: &str| {
-        store.source_id(name).unwrap_or_else(|| {
-            unknown.push(name.to_owned());
-            SourceId::new(u32::MAX)
-        })
+    let ParsedClaims {
+        bool_claims,
+        real_claims,
+        unknown,
+    } = match parse_claim_rows(domain, rows, "claim") {
+        Ok(p) => p,
+        Err(e) => return error(400, e),
     };
     let valued = domain.kind().valued();
-    let mut bool_claims: Vec<(SourceId, bool)> = Vec::new();
-    let mut real_claims: Vec<(SourceId, f64)> = Vec::new();
-    for (i, row) in rows.iter().enumerate() {
-        let Value::Array(fields) = row else {
-            return error(400, format!("claim {i} is not an array"));
-        };
-        let [Value::Str(name), observation] = fields.as_slice() else {
-            return error(
-                400,
-                format!(
-                    "claim {i} must be [\"source\", {}]",
-                    if valued { "value" } else { "true|false" }
-                ),
-            );
-        };
-        if valued {
-            let Some(v) = observation.as_f64() else {
-                return error(
-                    400,
-                    format!(
-                        "claim {i}: this domain is real_valued; expected a numeric \
-                         value, got {observation:?}"
-                    ),
-                );
-            };
-            if !v.is_finite() {
-                return error(400, format!("claim {i} value must be finite"));
-            }
-            real_claims.push((resolve(name), v));
-        } else {
-            let Value::Bool(o) = observation else {
-                return error(
-                    400,
-                    format!(
-                        "claim {i}: this domain is {}; expected true|false, got {observation:?}",
-                        domain.kind()
-                    ),
-                );
-            };
-            bool_claims.push((resolve(name), *o));
-        }
-    }
     let snap = domain.predictor().load();
     let probability = if valued {
         snap.predictor.predict_real(&real_claims)
@@ -1337,6 +1454,111 @@ fn query(domain: &Domain, path: &str, body: &str) -> (u16, String) {
         ),
         Err(e) => error(400, e),
     }
+}
+
+/// `POST …/query/batch[?methods=…]` — scores a JSON array of fact
+/// queries (`{"queries": [[["source", true], …], …]}`, each entry a
+/// `claims`-shaped array) against **one** epoch snapshot, so every
+/// result in the batch is mutually consistent; results come back in
+/// request order. An empty batch is a valid no-op. The whole body is
+/// validated before anything is scored — a 400 never returns a
+/// half-answered batch.
+fn query_batch(ctx: &Context, domain: &Domain, path: &str, body: &str) -> (u16, String) {
+    let methods_param = match parse_methods_param(path) {
+        Ok(m) => m,
+        Err(e) => return error(400, e),
+    };
+    let parsed: Value = match serde_json::from_str(body) {
+        Ok(v) => v,
+        Err(e) => return error(400, format!("bad batch body: {e}")),
+    };
+    let Some(Value::Array(queries)) = parsed.get_field("queries") else {
+        return error(
+            400,
+            "batch body needs a `queries` array (each entry a `claims`-shaped array)",
+        );
+    };
+    let valued = domain.kind().valued();
+    let mut items = Vec::with_capacity(queries.len());
+    for (q, entry) in queries.iter().enumerate() {
+        let Value::Array(rows) = entry else {
+            return error(400, format!("query {q} is not an array of claims"));
+        };
+        match parse_claim_rows(domain, rows, &format!("query {q} claim")) {
+            Ok(p) => items.push(p),
+            Err(e) => return error(400, e),
+        }
+    }
+    if ctx.metrics {
+        ctx.batch_size.record(items.len() as u64);
+    }
+    // One snapshot, cloned out of one short critical section, answers
+    // the whole batch — the per-query Arc-load cost is amortised away
+    // and no refit promotion can land between two results.
+    let snap = domain.predictor().load();
+    let score = |item: &ParsedClaims| {
+        if valued {
+            snap.predictor.predict_real(&item.real_claims)
+        } else {
+            snap.predictor.predict_fact(&item.bool_claims)
+        }
+    };
+    let Some(requested) = methods_param else {
+        let results: Vec<BatchItem> = items
+            .into_iter()
+            .map(|item| BatchItem {
+                probability: score(&item),
+                unknown_sources: item.unknown,
+            })
+            .collect();
+        let count = results.len();
+        return json(
+            200,
+            &BatchQueryResponse {
+                domain: domain.name().to_owned(),
+                epoch: snap.epoch,
+                count,
+                results,
+            },
+        );
+    };
+    if valued {
+        return error(
+            409,
+            "real-valued domains have no shadow methods (drop ?methods=)",
+        );
+    }
+    let ltm_wire = shadow::wire_name(shadow::LTM_METHOD);
+    let needs_tables = requested.iter().any(|m| *m != ltm_wire);
+    let tables = snap.shadow.as_deref();
+    if needs_tables && tables.is_none() {
+        return error(
+            409,
+            "no shadow tables published yet (wait for the first promoted refit, or the \
+             server runs with shadow fitting disabled)",
+        );
+    }
+    let mut results = Vec::with_capacity(items.len());
+    for item in items {
+        match method_scores(&requested, tables, &snap, &item.bool_claims) {
+            Ok(methods) => results.push(BatchItemMethods {
+                probability: snap.predictor.predict_fact(&item.bool_claims),
+                unknown_sources: item.unknown,
+                methods,
+            }),
+            Err(e) => return error(400, e),
+        }
+    }
+    let count = results.len();
+    json(
+        200,
+        &BatchQueryMethodsResponse {
+            domain: domain.name().to_owned(),
+            epoch: snap.epoch,
+            count,
+            results,
+        },
+    )
 }
 
 /// `GET …/eval` — joins the loaded ground-truth labels against the
@@ -1596,8 +1818,12 @@ fn admin_compact(ctx: &Context) -> (u16, String) {
 pub struct Server {
     addr: SocketAddr,
     ctx: Arc<Context>,
+    /// Blocking front end only.
     pool: Option<ThreadPool>,
+    /// Blocking front end only.
     accept: Option<JoinHandle<()>>,
+    /// Event-loop front end only.
+    event_loop: Option<EventLoop>,
     compactor: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
 }
@@ -1698,71 +1924,120 @@ impl Server {
             compaction: Mutex::new(CompactionStatus::default()),
             requests: registry.counter("ltm_http_requests_total", &[]),
             in_flight: registry.gauge("ltm_http_requests_in_flight", &[]),
+            open_connections: registry.gauge("ltm_open_connections", &[]),
+            keepalive_reuse: registry.counter("ltm_keepalive_reuse_total", &[]),
+            batch_size: registry.histogram("ltm_batch_query_size", &[], Unit::Count),
             obs: registry,
             metrics: config.metrics,
             started: Instant::now(),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
         });
 
-        let handler_ctx = Arc::clone(&ctx);
         // Duration::ZERO means "no timeout" — mapped to None explicitly,
         // because set_read_timeout(Some(ZERO)) is an error in std and
         // silently swallowing it would disable the slow-loris protection
         // while appearing configured.
         let io_timeout = (!config.io_timeout.is_zero()).then_some(config.io_timeout);
-        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(move |mut stream| {
-            // Bound both directions before parsing: a peer that connects
-            // and sends nothing (or stalls, or drips bytes mid-head /
-            // mid-body) must not wedge this worker thread forever. The
-            // read side is a whole-request deadline enforced inside
-            // read_request_with_deadline.
-            if let Some(t) = io_timeout {
-                let _ = stream.set_write_timeout(Some(t));
-            }
-            let started = Instant::now();
-            let _in_flight = handler_ctx
-                .metrics
-                .then(|| ScopedGauge::enter(&handler_ctx.in_flight));
-            let req_id = obs::log::next_request_id();
-            match read_request_with_deadline(&mut stream, io_timeout) {
-                Ok(req) => {
-                    let (status, body) = route(&handler_ctx, &req);
-                    // Recorded before the response bytes go out, so any
-                    // scrape issued after this response already counts
-                    // this request (see Context::observe_request).
-                    handler_ctx.observe_request(&req.method, &req.path, status, started, req_id);
-                    let content_type = if req.path == "/metrics" && status == 200 {
-                        "text/plain; version=0.0.4"
-                    } else {
-                        "application/json"
-                    };
-                    let _ = write_response_with_type(&mut stream, status, content_type, &body);
+        let use_event_loop = match config.frontend {
+            Frontend::Auto => event_loop::SUPPORTED,
+            Frontend::Epoll => {
+                if !event_loop::SUPPORTED {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "frontend=epoll requested but this target has no epoll \
+                         (use auto or blocking)",
+                    ));
                 }
-                Err(_) => {
-                    handler_ctx.observe_request("?", MALFORMED_PATH, 400, started, req_id);
-                    let _ = write_response(&mut stream, 400, "{\"error\":\"malformed request\"}");
-                }
+                true
             }
-        });
-        let pool = ThreadPool::new(config.threads, handler);
+            Frontend::Blocking => false,
+        };
 
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = Arc::clone(&stop);
-        let accept_pool_sender = pool_sender(&pool);
-        let accept = std::thread::Builder::new()
-            .name("ltm-accept".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
+        let (pool, accept, event_loop) = if use_event_loop {
+            let handler_ctx = Arc::clone(&ctx);
+            let handler: event_loop::RequestHandler =
+                Arc::new(move |req| handle_request(&handler_ctx, req));
+            let malformed_ctx = Arc::clone(&ctx);
+            let front = EventLoop::start(
+                listener,
+                handler,
+                EventLoopConfig {
+                    workers: config.threads,
+                    io_timeout,
+                    metrics: config.metrics,
+                    open_connections: Arc::clone(&ctx.open_connections),
+                    keepalive_reuse: Arc::clone(&ctx.keepalive_reuse),
+                    observe_malformed: Arc::new(move |status| {
+                        malformed_ctx.observe_request(
+                            "?",
+                            MALFORMED_PATH,
+                            status,
+                            Instant::now(),
+                            obs::log::next_request_id(),
+                        );
+                    }),
+                },
+            )?;
+            (None, None, Some(front))
+        } else {
+            let handler_ctx = Arc::clone(&ctx);
+            let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(move |mut stream| {
+                // Bound both directions before parsing: a peer that
+                // connects and sends nothing (or stalls, or drips bytes
+                // mid-head / mid-body) must not wedge this worker thread
+                // forever. The read side is a whole-request deadline
+                // enforced inside read_request_with_deadline.
+                if let Some(t) = io_timeout {
+                    let _ = stream.set_write_timeout(Some(t));
+                }
+                match read_request_with_deadline(&mut stream, io_timeout) {
+                    Ok(req) => {
+                        let response = handle_request(&handler_ctx, &req);
+                        let _ = write_response_with_type(
+                            &mut stream,
+                            response.status,
+                            response.content_type,
+                            &response.body,
+                        );
                     }
-                    if let Ok(stream) = conn {
-                        accept_pool_sender(stream);
+                    Err(e) => {
+                        let status = if is_too_large(&e) { 413 } else { 400 };
+                        handler_ctx.observe_request(
+                            "?",
+                            MALFORMED_PATH,
+                            status,
+                            Instant::now(),
+                            obs::log::next_request_id(),
+                        );
+                        let body = if status == 413 {
+                            "{\"error\":\"request too large\"}"
+                        } else {
+                            "{\"error\":\"malformed request\"}"
+                        };
+                        let _ = write_response(&mut stream, status, body);
                     }
                 }
-            })
-            // analyzer: allow(panic-expect) -- boot-time spawn; fails only on OS thread exhaustion, before the server serves
-            .expect("spawn accept thread");
+            });
+            let pool = ThreadPool::new(config.threads, "ltm-http", handler);
+            let accept_stop = Arc::clone(&stop);
+            let accept_pool_sender = pool_sender(&pool);
+            let accept = std::thread::Builder::new()
+                .name("ltm-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if accept_stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(stream) = conn {
+                            accept_pool_sender(stream);
+                        }
+                    }
+                })
+                // analyzer: allow(panic-expect) -- boot-time spawn; fails only on OS thread exhaustion, before the server serves
+                .expect("spawn accept thread");
+            (Some(pool), Some(accept), None)
+        };
 
         // Background compactor: folds naturally sealed segments into the
         // snapshot about once a second, keeping disk usage bounded
@@ -1799,8 +2074,9 @@ impl Server {
         Ok(Server {
             addr,
             ctx,
-            pool: Some(pool),
-            accept: Some(accept),
+            pool,
+            accept,
+            event_loop,
             compactor,
             stop,
         })
@@ -1884,8 +2160,13 @@ impl Server {
             domain.shutdown();
         }
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        if let Some(front) = self.event_loop.take() {
+            front.shutdown();
+        }
+        if self.accept.is_some() {
+            // Wake the blocking accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
@@ -1982,6 +2263,30 @@ fn attach_domain_obs(registry: &Registry, domain: &Domain) {
     let mut refit_state = domain.refit_state().locked();
     refit_state.set_obs(RefitObs::for_domain(registry, domain.name()));
     refit_state.set_shadow_obs(ShadowObs::for_domain(registry, domain.name()));
+}
+
+/// Handles one parsed request end to end — in-flight gauge, routing,
+/// request metrics — and returns the response for the calling front end
+/// to frame and write. Shared by the blocking pool and the event loop.
+fn handle_request(ctx: &Context, req: &Request) -> Response {
+    let started = Instant::now();
+    let _in_flight = ctx.metrics.then(|| ScopedGauge::enter(&ctx.in_flight));
+    let req_id = obs::log::next_request_id();
+    let (status, body) = route(ctx, req);
+    // Recorded before the response bytes go out, so any scrape issued
+    // after this response already counts this request (see
+    // Context::observe_request).
+    ctx.observe_request(&req.method, &req.path, status, started, req_id);
+    let content_type = if req.path == "/metrics" && status == 200 {
+        "text/plain; version=0.0.4"
+    } else {
+        "application/json"
+    };
+    Response {
+        status,
+        content_type,
+        body,
+    }
 }
 
 /// A dispatch closure for the accept thread (borrow-friendly indirection:
